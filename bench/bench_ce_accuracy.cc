@@ -1,0 +1,81 @@
+// E2 — reproduces the accuracy comparison of the CE benchmark studies the
+// tutorial cites (Han et al. [12], Sun et al. [53], Wang et al. [61]):
+// q-error distributions per estimator, split single-table vs multi-join,
+// across a correlated schema (stats_lite), a skewed snowflake (imdb_lite)
+// and a mostly-uniform synthetic schema (tpch_lite).
+
+#include <cstdio>
+
+#include "benchlib/lab.h"
+#include "cardinality/evaluation.h"
+#include "cardinality/registry.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+namespace lqo {
+namespace {
+
+void RunDataset(const std::string& dataset) {
+  auto lab = MakeLab(dataset, 0.1);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 60;
+  wopts.min_tables = 1;
+  wopts.max_tables = 4;
+  wopts.seed = 21;
+  Workload train = GenerateWorkload(lab->catalog, wopts);
+  wopts.seed = 22;
+  wopts.num_queries = 30;
+  Workload test = GenerateWorkload(lab->catalog, wopts);
+
+  CeTrainingData training =
+      BuildCeTrainingData(lab->catalog, lab->stats, train, lab->truth.get());
+  CeTrainingData evaluation =
+      BuildCeTrainingData(lab->catalog, lab->stats, test, lab->truth.get());
+
+  std::vector<LabeledSubquery> single, multi;
+  SplitBySize(evaluation.labeled, &single, &multi);
+
+  std::vector<RegisteredEstimator> suite =
+      MakeEstimatorSuite(lab->catalog, lab->stats, training);
+
+  TablePrinter table({"Method", "Category", "1T p50", "1T p99", "Join p50",
+                      "Join p90", "Join p99", "Join max"});
+  for (RegisteredEstimator& entry : suite) {
+    QErrorSummary s1 = EvaluateEstimator(entry.estimator.get(), single);
+    QErrorSummary sj = EvaluateEstimator(entry.estimator.get(), multi);
+    table.AddRow({entry.estimator->Name(), CeCategoryName(entry.category),
+                  FormatDouble(s1.p50, 3), FormatDouble(s1.p99, 3),
+                  FormatDouble(sj.p50, 3), FormatDouble(sj.p90, 3),
+                  FormatDouble(sj.p99, 3), FormatDouble(sj.max, 3)});
+  }
+  std::printf("%s\n",
+              table.ToString("-- dataset: " + dataset + " (" +
+                             std::to_string(single.size()) +
+                             " single-table, " + std::to_string(multi.size()) +
+                             " join sub-queries) --")
+                  .c_str());
+}
+
+void Run() {
+  std::printf("== E2: learned cardinality estimator accuracy sweep "
+              "(q-error, lower is better) ==\n\n");
+  for (const std::string& dataset :
+       {std::string("stats_lite"), std::string("imdb_lite"),
+        std::string("tpch_lite")}) {
+    RunDataset(dataset);
+  }
+  std::printf(
+      "Expected shape (Han et al. [12]): data-driven methods dominate on\n"
+      "correlated schemas (stats/imdb), traditional histograms remain\n"
+      "competitive on the near-independent tpch_lite; query-driven methods\n"
+      "sit between, degrading at the join tail.\n");
+}
+
+}  // namespace
+}  // namespace lqo
+
+int main() {
+  lqo::Run();
+  return 0;
+}

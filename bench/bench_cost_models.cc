@@ -1,0 +1,182 @@
+// E4 — reproduces the learned-cost-model comparisons of Section 2.1.2
+// ([39,51] plan-level models, BASE [5] calibration, zero-shot [16]):
+// predicted-vs-true correlation, rank quality and plan-picking accuracy on
+// held-out plans, plus the zero-shot transfer column (train on stats_lite,
+// test unchanged on tpch_lite).
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+
+#include "benchlib/lab.h"
+#include "common/stats_util.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "costmodel/learned_cost_model.h"
+#include "costmodel/sample_collection.h"
+
+namespace lqo {
+namespace {
+
+struct Corpus {
+  std::unique_ptr<Lab> lab;
+  // Owned workloads: collected plans reference these Query objects.
+  Workload train_queries;
+  Workload test_queries;
+  std::vector<CollectedPlan> train;
+  std::vector<CollectedPlan> test;
+  // Candidates grouped per test query for plan-picking accuracy.
+  std::map<std::string, std::vector<const CollectedPlan*>> test_groups;
+};
+
+Corpus BuildCorpus(const std::string& dataset, uint64_t seed) {
+  Corpus corpus;
+  corpus.lab = MakeLab(dataset, 0.1);
+  Lab& lab = *corpus.lab;
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 40;
+  wopts.min_tables = 2;
+  wopts.max_tables = 4;
+  wopts.seed = seed;
+  corpus.train_queries = GenerateWorkload(lab.catalog, wopts);
+  wopts.seed = seed + 1;
+  wopts.num_queries = 20;
+  corpus.test_queries = GenerateWorkload(lab.catalog, wopts);
+
+  CardinalityProvider cards(lab.estimator.get());
+  corpus.train = CollectCostSamples(corpus.train_queries, *lab.optimizer,
+                                    &cards, *lab.executor);
+  corpus.test = CollectCostSamples(corpus.test_queries, *lab.optimizer,
+                                   &cards, *lab.executor);
+  for (const CollectedPlan& entry : corpus.test) {
+    corpus.test_groups[Subquery{entry.plan.query,
+                                entry.plan.query->AllTables()}
+                           .Key()]
+        .push_back(&entry);
+  }
+  return corpus;
+}
+
+struct ModelEval {
+  double spearman = 0.0;
+  double pearson_log = 0.0;
+  double within_query_spearman = 0.0;  // rank quality among one query's plans
+  double pick_accuracy = 0.0;  // fraction of queries picking the fastest
+};
+
+ModelEval Evaluate(const Corpus& corpus,
+                   const std::function<double(const CollectedPlan&)>& predict) {
+  ModelEval eval;
+  std::vector<double> pred, truth;
+  for (const CollectedPlan& entry : corpus.test) {
+    pred.push_back(std::log(predict(entry) + 1.0));
+    truth.push_back(std::log(entry.sample.time_units + 1.0));
+  }
+  eval.spearman = SpearmanCorrelation(pred, truth);
+  eval.pearson_log = PearsonCorrelation(pred, truth);
+
+  int correct = 0, total = 0;
+  std::vector<double> within;
+  for (const auto& [key, group] : corpus.test_groups) {
+    if (group.size() < 2) continue;
+    ++total;
+    std::vector<double> group_pred, group_truth;
+    for (const CollectedPlan* plan : group) {
+      group_pred.push_back(predict(*plan));
+      group_truth.push_back(plan->sample.time_units);
+    }
+    if (group.size() >= 3) {
+      within.push_back(SpearmanCorrelation(group_pred, group_truth));
+    }
+    size_t best_pred = 0, best_true = 0;
+    for (size_t i = 1; i < group.size(); ++i) {
+      if (predict(*group[i]) < predict(*group[best_pred])) best_pred = i;
+      if (group[i]->sample.time_units <
+          group[best_true]->sample.time_units) {
+        best_true = i;
+      }
+    }
+    if (best_pred == best_true) ++correct;
+  }
+  eval.pick_accuracy =
+      total > 0 ? static_cast<double>(correct) / total : 1.0;
+  eval.within_query_spearman = Mean(within);
+  return eval;
+}
+
+void Run() {
+  std::printf("== E4: cost model quality (train: stats_lite plans; test: "
+              "held-out stats_lite plans + tpch_lite transfer) ==\n\n");
+  Corpus corpus = BuildCorpus("stats_lite", 41);
+  Corpus transfer = BuildCorpus("tpch_lite", 43);
+
+  std::vector<CostSample> train_samples;
+  for (const CollectedPlan& entry : corpus.train) {
+    train_samples.push_back(entry.sample);
+  }
+
+  CardinalityProvider cards(corpus.lab->estimator.get());
+  auto analytical = [&](const CollectedPlan& entry) {
+    PhysicalPlan clone = entry.plan.Clone();
+    return corpus.lab->cost_model->PlanCost(&clone, &cards);
+  };
+
+  LearnedPlanCostModel gbdt(LearnedPlanCostModel::ModelType::kGbdt);
+  gbdt.Train(train_samples);
+  LearnedPlanCostModel mlp(LearnedPlanCostModel::ModelType::kMlp);
+  mlp.Train(train_samples);
+  CalibratedCostModel calibrated;
+  calibrated.Train(train_samples);
+  ZeroShotCostModel zero_shot;
+  zero_shot.Train(train_samples);
+
+  TablePrinter table({"Cost model", "Spearman", "within-q rank",
+                      "plan-pick acc", "transfer Spearman"});
+  auto add = [&](const std::string& name,
+                 const std::function<double(const CollectedPlan&)>& predict,
+                 double transfer_spearman) {
+    ModelEval eval = Evaluate(corpus, predict);
+    table.AddRow({name, FormatDouble(eval.spearman, 3),
+                  FormatDouble(eval.within_query_spearman, 3),
+                  FormatDouble(eval.pick_accuracy, 3),
+                  transfer_spearman == transfer_spearman
+                      ? FormatDouble(transfer_spearman, 3)
+                      : "-"});
+  };
+
+  double nan = std::nan("");
+  add("analytical (native)", analytical, nan);
+  add("calibrated (BASE [5])",
+      [&](const CollectedPlan& e) { return calibrated.PredictTime(e.plan); },
+      nan);
+  add("learned_gbdt ([39,9])",
+      [&](const CollectedPlan& e) { return gbdt.PredictTime(e.plan); }, nan);
+  add("learned_mlp ([51,76])",
+      [&](const CollectedPlan& e) { return mlp.PredictTime(e.plan); }, nan);
+  {
+    ModelEval t = Evaluate(transfer, [&](const CollectedPlan& e) {
+      return zero_shot.PredictTime(e.plan, transfer.lab->stats);
+    });
+    add("zero_shot ([16])",
+        [&](const CollectedPlan& e) {
+          return zero_shot.PredictTime(e.plan, corpus.lab->stats);
+        },
+        t.spearman);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: learned models beat the analytical model's raw\n"
+      "latency correlation (it cannot see skew/cache/spill); the\n"
+      "calibrated model recovers most of the gap with a linear fit; the\n"
+      "zero-shot model keeps useful accuracy on an unseen schema.\n");
+}
+
+}  // namespace
+}  // namespace lqo
+
+int main() {
+  lqo::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E8 — reproduces the dynamic-data setting of Warper [29] / DDUp [25] /
+// ALECE [30]: estimators built on a database snapshot are evaluated after
+// the data drifts (the database grows with freshly-distributed rows);
+// stale models degrade, refreshed models recover.
+
+#include <cstdio>
+
+#include "benchlib/lab.h"
+#include "cardinality/data_driven.h"
+#include "cardinality/evaluation.h"
+#include "cardinality/query_driven.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+namespace lqo {
+namespace {
+
+CeTrainingData LabelWorkload(Lab& lab, const Workload& workload) {
+  return BuildCeTrainingData(lab.catalog, lab.stats, workload,
+                             lab.truth.get());
+}
+
+void Run() {
+  std::printf("== E8: data drift — stale vs refreshed estimators "
+              "(stats_lite snapshot -> grown database) ==\n\n");
+
+  // Old snapshot and drifted database: 60%% more rows generated with a
+  // different seed, changing both sizes and value correlations.
+  auto old_lab = MakeLab("stats_lite", 0.1, /*seed=*/42);
+  auto new_lab = MakeLab("stats_lite", 0.16, /*seed=*/77);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 50;
+  wopts.min_tables = 1;
+  wopts.max_tables = 4;
+  wopts.seed = 81;
+  Workload old_train = GenerateWorkload(old_lab->catalog, wopts);
+  wopts.seed = 82;
+  wopts.num_queries = 30;
+  Workload new_eval = GenerateWorkload(new_lab->catalog, wopts);
+  wopts.seed = 83;
+  wopts.num_queries = 50;
+  Workload new_train = GenerateWorkload(new_lab->catalog, wopts);
+
+  CeTrainingData old_training = LabelWorkload(*old_lab, old_train);
+  CeTrainingData new_training = LabelWorkload(*new_lab, new_train);
+  CeTrainingData evaluation = LabelWorkload(*new_lab, new_eval);
+
+  TablePrinter table({"Estimator", "state", "q-err p50", "q-err p90",
+                      "q-err p99"});
+  auto add = [&](const std::string& name, const std::string& state,
+                 CardinalityEstimatorInterface* estimator) {
+    QErrorSummary summary = EvaluateEstimator(estimator, evaluation.labeled);
+    table.AddRow({name, state, FormatDouble(summary.p50, 3),
+                  FormatDouble(summary.p90, 3),
+                  FormatDouble(summary.p99, 3)});
+  };
+
+  // Data-driven: SPN built on old vs new data.
+  {
+    DataDrivenEstimator stale("deepdb_spn", &old_lab->catalog,
+                              &old_lab->stats, JoinCombineMode::kIndependence);
+    stale.Build();
+    add("deepdb_spn", "stale", &stale);
+    DataDrivenEstimator fresh("deepdb_spn", &new_lab->catalog,
+                              &new_lab->stats, JoinCombineMode::kIndependence);
+    fresh.Build();
+    add("deepdb_spn", "refreshed", &fresh);
+  }
+  // Query-driven: GBDT trained on old workload+old labels vs retrained
+  // (Warper's adaptation step).
+  {
+    QueryDrivenEstimator stale(QueryDrivenEstimator::ModelType::kGbdt,
+                               &old_lab->catalog, &old_lab->stats);
+    stale.Train(old_training);
+    add("gbdt_qd", "stale", &stale);
+    QueryDrivenEstimator fresh(QueryDrivenEstimator::ModelType::kGbdt,
+                               &new_lab->catalog, &new_lab->stats);
+    fresh.Train(new_training);
+    add("gbdt_qd", "refreshed (Warper [29])", &fresh);
+  }
+  // Traditional histogram: stale stats vs re-ANALYZE.
+  {
+    BaselineCardinalityEstimator stale(&old_lab->catalog, &old_lab->stats);
+    add("histogram", "stale", &stale);
+    add("histogram", "refreshed", new_lab->estimator.get());
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: every stale model degrades on the drifted data —\n"
+      "most sharply the data-driven one — and refreshing (Warper/DDUp's\n"
+      "update step) restores accuracy.\n");
+}
+
+}  // namespace
+}  // namespace lqo
+
+int main() {
+  lqo::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E6 — reproduces the end-to-end learned-optimizer evaluations of
+// Section 2.2 (Bao [37], Lero [79], Neo [38], Balsa [69], HyperQO [72],
+// LEON [4]): workload speedup over the native optimizer, per-query
+// win/loss counts and tail regressions after a training phase.
+
+#include <cstdio>
+#include <memory>
+
+#include "benchlib/e2e_harness.h"
+#include "benchlib/lab.h"
+#include "common/stats_util.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "e2e/bao.h"
+#include "e2e/hyperqo.h"
+#include "e2e/leon.h"
+#include "e2e/lero.h"
+#include "e2e/neo.h"
+
+namespace lqo {
+namespace {
+
+double Gmrl(const E2eEvalResult& result) {
+  // Geometric mean relative latency (learned / native), the robustness
+  // metric of the Lero/Eraser papers.
+  std::vector<double> ratios;
+  for (size_t i = 0; i < result.learned_times.size(); ++i) {
+    double native = std::max(result.native_times[i], 1e-9);
+    ratios.push_back(std::max(result.learned_times[i], 1e-9) / native);
+  }
+  return GeometricMean(ratios);
+}
+
+void RunDataset(const std::string& dataset) {
+  auto lab = MakeLab(dataset, 0.1);
+  WorkloadOptions wopts;
+  wopts.num_queries = 50;
+  wopts.min_tables = 2;
+  wopts.max_tables = 4;
+  wopts.seed = 61;
+  Workload train = GenerateWorkload(lab->catalog, wopts);
+  wopts.seed = 62;
+  wopts.num_queries = 30;
+  Workload test = GenerateWorkload(lab->catalog, wopts);
+
+  std::vector<std::unique_ptr<LearnedQueryOptimizer>> optimizers;
+  optimizers.push_back(std::make_unique<BaoOptimizer>(lab->Context()));
+  optimizers.push_back(std::make_unique<LeroOptimizer>(lab->Context()));
+  optimizers.push_back(std::make_unique<NeoOptimizer>(lab->Context()));
+  optimizers.push_back(
+      std::make_unique<BalsaOptimizer>(lab->Context(), train.queries));
+  optimizers.push_back(std::make_unique<HyperQoOptimizer>(lab->Context()));
+  optimizers.push_back(std::make_unique<LeonOptimizer>(lab->Context()));
+
+  TablePrinter table({"Optimizer", "speedup", "GMRL", "wins", "losses",
+                      "worst regr", "train cost"});
+  for (auto& optimizer : optimizers) {
+    double train_cost =
+        TrainLearnedOptimizer(optimizer.get(), train, *lab->executor);
+    E2eEvalResult result = EvaluateLearnedOptimizer(
+        optimizer.get(), lab->Context(), test, *lab->executor);
+    table.AddRow({result.name, FormatDouble(result.Speedup(), 4),
+                  FormatDouble(Gmrl(result), 4), std::to_string(result.wins),
+                  std::to_string(result.losses),
+                  FormatDouble(result.worst_regression_ratio, 4),
+                  FormatDouble(train_cost, 4)});
+  }
+  std::printf("%s\n", table.ToString("-- dataset: " + dataset +
+                                     " (speedup>1 & GMRL<1 beat native) --")
+                          .c_str());
+}
+
+void Run() {
+  std::printf("== E6: end-to-end learned query optimizers vs the native "
+              "cost-based optimizer ==\n\n");
+  RunDataset("stats_lite");
+  RunDataset("imdb_lite");
+  std::printf(
+      "Expected shape (Section 2.2): learned optimizers match or beat the\n"
+      "native optimizer in total workload time, with residual per-query\n"
+      "regressions (losses > 0) — the problem Eraser (E7) targets.\n");
+}
+
+}  // namespace
+}  // namespace lqo
+
+int main() {
+  lqo::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark): per-component latencies that frame
+// the system-level experiments — estimator inference cost, DP planning
+// cost, executor throughput and plan featurization.
+
+#include <benchmark/benchmark.h>
+
+#include "benchlib/lab.h"
+#include "cardinality/data_driven.h"
+#include "costmodel/plan_featurizer.h"
+#include "query/workload.h"
+
+namespace lqo {
+namespace {
+
+struct MicroFixture {
+  std::unique_ptr<Lab> lab;
+  Workload workload;
+  std::unique_ptr<DataDrivenEstimator> spn;
+
+  MicroFixture() {
+    lab = MakeLab("stats_lite", 0.05);
+    WorkloadOptions wopts;
+    wopts.num_queries = 20;
+    wopts.min_tables = 2;
+    wopts.max_tables = 4;
+    wopts.seed = 111;
+    workload = GenerateWorkload(lab->catalog, wopts);
+    spn = std::make_unique<DataDrivenEstimator>(
+        "deepdb_spn", &lab->catalog, &lab->stats,
+        JoinCombineMode::kIndependence);
+    spn->Build();
+  }
+};
+
+MicroFixture& Fixture() {
+  static MicroFixture* fixture = new MicroFixture();
+  return *fixture;
+}
+
+void BM_BaselineEstimate(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = f.workload.queries[i++ % f.workload.queries.size()];
+    benchmark::DoNotOptimize(
+        f.lab->estimator->EstimateSubquery(Subquery{&q, q.AllTables()}));
+  }
+}
+BENCHMARK(BM_BaselineEstimate);
+
+void BM_SpnEstimate(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = f.workload.queries[i++ % f.workload.queries.size()];
+    benchmark::DoNotOptimize(
+        f.spn->EstimateSubquery(Subquery{&q, q.AllTables()}));
+  }
+}
+BENCHMARK(BM_SpnEstimate);
+
+void BM_DpPlanning(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  CardinalityProvider cards(f.lab->estimator.get());
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = f.workload.queries[i++ % f.workload.queries.size()];
+    benchmark::DoNotOptimize(f.lab->optimizer->Optimize(q, &cards));
+  }
+}
+BENCHMARK(BM_DpPlanning);
+
+void BM_ExecuteNativePlan(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  CardinalityProvider cards(f.lab->estimator.get());
+  std::vector<PhysicalPlan> plans;
+  for (const Query& q : f.workload.queries) {
+    plans.push_back(f.lab->optimizer->Optimize(q, &cards).plan);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.lab->executor->Execute(plans[i++ % plans.size()]));
+  }
+}
+BENCHMARK(BM_ExecuteNativePlan);
+
+void BM_PlanFeaturize(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  CardinalityProvider cards(f.lab->estimator.get());
+  PhysicalPlan plan =
+      f.lab->optimizer->Optimize(f.workload.queries[0], &cards).plan;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanFeaturizer::Featurize(plan));
+  }
+}
+BENCHMARK(BM_PlanFeaturize);
+
+}  // namespace
+}  // namespace lqo
+
+BENCHMARK_MAIN();

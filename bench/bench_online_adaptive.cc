@@ -1,0 +1,83 @@
+// E12 — reproduces the online adaptive-processing result of SkinnerDB [56]
+// (Section 2.1.3, online learning): executing with intra-query plan
+// switching tracks the best candidate plan's time *without any optimizer
+// estimates*, bounding the damage of a bad native plan.
+
+#include <cstdio>
+#include <set>
+
+#include "benchlib/lab.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "joinorder/online_skinner.h"
+#include "query/workload.h"
+
+namespace lqo {
+namespace {
+
+void Run() {
+  std::printf("== E12: online adaptive processing (SkinnerDB-style UCB over "
+              "plans, dataset: stats_lite) ==\n\n");
+  auto lab = MakeLab("stats_lite", 0.1);
+  WorkloadOptions wopts;
+  wopts.num_queries = 25;
+  wopts.min_tables = 3;
+  wopts.max_tables = 5;
+  wopts.seed = 131;
+  Workload workload = GenerateWorkload(lab->catalog, wopts);
+
+  OnlineSkinnerExecutor online(lab->executor.get());
+
+  double sum_native = 0, sum_best = 0, sum_worst = 0, sum_online = 0;
+  int total_switches = 0;
+  for (const Query& q : workload.queries) {
+    // Candidate plans: the hint-set variants of the native optimizer (the
+    // adaptive executor is agnostic to where candidates come from).
+    std::vector<PhysicalPlan> candidates;
+    CardinalityProvider cards(lab->estimator.get());
+    std::set<std::string> seen;
+    for (int mask : {7, 1, 2, 4}) {
+      HintSet hints;
+      hints.enable_hash_join = (mask & 1) != 0;
+      hints.enable_nested_loop = (mask & 2) != 0;
+      hints.enable_merge_join = (mask & 4) != 0;
+      PhysicalPlan plan = lab->optimizer->Optimize(q, &cards, hints).plan;
+      if (seen.insert(plan.Signature()).second) {
+        candidates.push_back(std::move(plan));
+      }
+    }
+    auto native_exec = lab->executor->Execute(candidates[0]);
+    LQO_CHECK(native_exec.ok());
+    OnlineSkinnerResult result = online.Run(candidates);
+    sum_native += native_exec->time_units;
+    sum_best += result.best_plan_time;
+    sum_worst += result.worst_plan_time;
+    sum_online += result.total_time;
+    total_switches += result.switches;
+  }
+
+  TablePrinter table({"Strategy", "total time", "vs best possible"});
+  table.AddRow({"best candidate (oracle)", FormatDouble(sum_best, 6), "1"});
+  table.AddRow({"native plan (no adaptivity)", FormatDouble(sum_native, 6),
+                FormatDouble(sum_native / sum_best, 4)});
+  table.AddRow({"online skinner (UCB)", FormatDouble(sum_online, 6),
+                FormatDouble(sum_online / sum_best, 4)});
+  table.AddRow({"worst candidate", FormatDouble(sum_worst, 6),
+                FormatDouble(sum_worst / sum_best, 4)});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Total plan switches across the workload: %d\n\n",
+              total_switches);
+  std::printf(
+      "Expected shape (SkinnerDB [56]): the online executor lands within a\n"
+      "small regret factor of the best candidate — far from the worst —\n"
+      "without consulting any cardinality estimates, while the static\n"
+      "native plan has no such guarantee.\n");
+}
+
+}  // namespace
+}  // namespace lqo
+
+int main() {
+  lqo::Run();
+  return 0;
+}

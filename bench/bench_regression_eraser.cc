@@ -1,0 +1,78 @@
+// E7 — reproduces the Eraser evaluation [62]: per-query regressions of
+// each learned optimizer before/after deploying the Eraser plugin, and how
+// much of the overall improvement survives.
+
+#include <cstdio>
+#include <memory>
+
+#include "benchlib/e2e_harness.h"
+#include "benchlib/lab.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "e2e/bao.h"
+#include "e2e/lero.h"
+#include "e2e/neo.h"
+#include "regression/eraser.h"
+
+namespace lqo {
+namespace {
+
+void Run() {
+  std::printf("== E7: eliminating performance regression with an "
+              "Eraser-style plugin (dataset: stats_lite) ==\n\n");
+  auto lab = MakeLab("stats_lite", 0.1);
+  WorkloadOptions wopts;
+  wopts.num_queries = 45;
+  wopts.min_tables = 2;
+  wopts.max_tables = 4;
+  wopts.seed = 71;
+  Workload train = GenerateWorkload(lab->catalog, wopts);
+  wopts.seed = 72;
+  wopts.num_queries = 30;
+  Workload test = GenerateWorkload(lab->catalog, wopts);
+
+  TablePrinter table({"Optimizer", "speedup", "losses", "worst regr",
+                      "fallbacks"});
+
+  auto run_pair = [&](std::unique_ptr<LearnedQueryOptimizer> raw_optimizer,
+                      std::unique_ptr<LearnedQueryOptimizer> inner) {
+    // Raw run.
+    TrainLearnedOptimizer(raw_optimizer.get(), train, *lab->executor);
+    E2eEvalResult raw = EvaluateLearnedOptimizer(
+        raw_optimizer.get(), lab->Context(), test, *lab->executor);
+    table.AddRow({raw.name, FormatDouble(raw.Speedup(), 4),
+                  std::to_string(raw.losses),
+                  FormatDouble(raw.worst_regression_ratio, 4), "-"});
+    // Guarded run (fresh inner optimizer; Eraser needs paired training).
+    EraserGuard guard(lab->Context(), inner.get());
+    TrainLearnedOptimizer(&guard, train, *lab->executor);
+    E2eEvalResult guarded = EvaluateLearnedOptimizer(
+        &guard, lab->Context(), test, *lab->executor);
+    table.AddRow({guarded.name, FormatDouble(guarded.Speedup(), 4),
+                  std::to_string(guarded.losses),
+                  FormatDouble(guarded.worst_regression_ratio, 4),
+                  std::to_string(guard.fallbacks())});
+  };
+
+  run_pair(std::make_unique<BaoOptimizer>(lab->Context()),
+           std::make_unique<BaoOptimizer>(lab->Context()));
+  run_pair(std::make_unique<LeroOptimizer>(lab->Context()),
+           std::make_unique<LeroOptimizer>(lab->Context()));
+  run_pair(std::make_unique<NeoOptimizer>(lab->Context()),
+           std::make_unique<NeoOptimizer>(lab->Context()));
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape (Eraser [62]): the +eraser rows keep the speedup\n"
+      "close to the raw rows while cutting the loss count and the worst\n"
+      "regression toward 1.0 (fallbacks show how often the guard chose the\n"
+      "native plan).\n");
+}
+
+}  // namespace
+}  // namespace lqo
+
+int main() {
+  lqo::Run();
+  return 0;
+}

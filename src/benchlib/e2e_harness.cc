@@ -1,0 +1,62 @@
+#include "benchlib/e2e_harness.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+double TrainLearnedOptimizer(LearnedQueryOptimizer* optimizer,
+                             const Workload& train, const Executor& executor,
+                             const HarnessOptions& options) {
+  LQO_CHECK(optimizer != nullptr);
+  double total_time = 0.0;
+  int since_retrain = 0;
+  for (int pass = 0; pass < options.training_passes; ++pass) {
+    for (const Query& query : train.queries) {
+      for (const PhysicalPlan& plan : optimizer->TrainingCandidates(query)) {
+        auto result = executor.Execute(plan);
+        LQO_CHECK(result.ok()) << result.status().ToString();
+        optimizer->Observe(query, plan, result->time_units);
+        total_time += result->time_units;
+      }
+      if (++since_retrain >= options.retrain_every) {
+        optimizer->Retrain();
+        since_retrain = 0;
+      }
+    }
+  }
+  optimizer->Retrain();
+  return total_time;
+}
+
+E2eEvalResult EvaluateLearnedOptimizer(LearnedQueryOptimizer* optimizer,
+                                       const E2eContext& context,
+                                       const Workload& test,
+                                       const Executor& executor) {
+  E2eEvalResult result;
+  result.name = optimizer->Name();
+  for (const Query& query : test.queries) {
+    PhysicalPlan native = NativePlan(context, query);
+    PhysicalPlan learned = optimizer->ChoosePlan(query);
+    auto native_exec = executor.Execute(native);
+    auto learned_exec = executor.Execute(learned);
+    LQO_CHECK(native_exec.ok()) << native_exec.status().ToString();
+    LQO_CHECK(learned_exec.ok()) << learned_exec.status().ToString();
+    double native_time = native_exec->time_units;
+    double learned_time = learned_exec->time_units;
+    result.native_times.push_back(native_time);
+    result.learned_times.push_back(learned_time);
+    result.total_native += native_time;
+    result.total_learned += learned_time;
+    if (learned_time < native_time / 1.1) ++result.wins;
+    if (learned_time > native_time * 1.1) ++result.losses;
+    if (native_time > 0) {
+      result.worst_regression_ratio =
+          std::max(result.worst_regression_ratio, learned_time / native_time);
+    }
+  }
+  return result;
+}
+
+}  // namespace lqo

@@ -1,0 +1,31 @@
+#include "benchlib/lab.h"
+
+#include "common/logging.h"
+
+namespace lqo {
+
+std::unique_ptr<Lab> MakeLabFromCatalog(Catalog catalog) {
+  auto lab = std::make_unique<Lab>();
+  lab->catalog = std::move(catalog);
+  lab->stats.Build(lab->catalog);
+  lab->estimator = std::make_unique<BaselineCardinalityEstimator>(
+      &lab->catalog, &lab->stats);
+  lab->cost_model = std::make_unique<AnalyticalCostModel>(&lab->stats);
+  lab->optimizer =
+      std::make_unique<Optimizer>(&lab->stats, lab->cost_model.get());
+  lab->executor = std::make_unique<Executor>(&lab->catalog);
+  lab->truth = std::make_unique<TrueCardinalityService>(&lab->catalog);
+  return lab;
+}
+
+std::unique_ptr<Lab> MakeLab(const std::string& dataset, double scale,
+                             uint64_t seed) {
+  DatasetOptions options;
+  options.scale = scale;
+  options.seed = seed;
+  auto catalog_or = MakeDataset(dataset, options);
+  LQO_CHECK(catalog_or.ok()) << catalog_or.status().ToString();
+  return MakeLabFromCatalog(std::move(*catalog_or));
+}
+
+}  // namespace lqo

@@ -1,0 +1,50 @@
+#ifndef LQO_BENCHLIB_LAB_H_
+#define LQO_BENCHLIB_LAB_H_
+
+#include <memory>
+#include <string>
+
+#include "e2e/framework.h"
+#include "engine/executor.h"
+#include "engine/true_cardinality.h"
+#include "optimizer/baseline_estimator.h"
+#include "optimizer/optimizer.h"
+#include "storage/datasets.h"
+
+namespace lqo {
+
+/// Bundles the full native stack over one dataset — catalog, statistics,
+/// baseline estimator, analytical cost model, DP optimizer, executor, truth
+/// oracle — so every bench/example sets up one object instead of seven.
+struct Lab {
+  Catalog catalog;
+  StatsCatalog stats;
+  std::unique_ptr<BaselineCardinalityEstimator> estimator;
+  std::unique_ptr<AnalyticalCostModel> cost_model;
+  std::unique_ptr<Optimizer> optimizer;
+  std::unique_ptr<Executor> executor;
+  std::unique_ptr<TrueCardinalityService> truth;
+
+  /// Non-owning view for the e2e learned optimizers.
+  E2eContext Context() const {
+    E2eContext context;
+    context.catalog = &catalog;
+    context.stats = &stats;
+    context.optimizer = optimizer.get();
+    context.cost_model = cost_model.get();
+    context.estimator = estimator.get();
+    return context;
+  }
+};
+
+/// Builds a Lab from an already-generated catalog.
+std::unique_ptr<Lab> MakeLabFromCatalog(Catalog catalog);
+
+/// Builds a Lab over a named dataset ("imdb_lite", "stats_lite",
+/// "tpch_lite") at the given scale.
+std::unique_ptr<Lab> MakeLab(const std::string& dataset, double scale,
+                             uint64_t seed = 42);
+
+}  // namespace lqo
+
+#endif  // LQO_BENCHLIB_LAB_H_

@@ -1,0 +1,131 @@
+#include "cardinality/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cardinality/evaluation.h"
+#include "common/logging.h"
+#include "common/stats_util.h"
+
+namespace lqo {
+
+std::vector<AdvisorEntry> ModelAdvisor::Rank(
+    std::vector<RegisteredEstimator>& suite,
+    const std::vector<LabeledSubquery>& validation) {
+  LQO_CHECK(!validation.empty());
+  std::vector<AdvisorEntry> ranking;
+  for (RegisteredEstimator& entry : suite) {
+    AdvisorEntry result;
+    result.method = entry.estimator->Name();
+    result.geo_mean_qerror =
+        EvaluateEstimator(entry.estimator.get(), validation).geometric_mean;
+    ranking.push_back(std::move(result));
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const AdvisorEntry& a, const AdvisorEntry& b) {
+              return a.geo_mean_qerror < b.geo_mean_qerror;
+            });
+  return ranking;
+}
+
+std::vector<double> ModelAdvisor::MetaFeatures(const Catalog& catalog,
+                                               const StatsCatalog& stats) {
+  double total_rows = 0.0;
+  std::vector<double> correlations;
+  std::vector<double> skews;
+  std::vector<double> log_domains;
+
+  for (const std::string& name : catalog.table_names()) {
+    const Table& table = **catalog.GetTable(name);
+    total_rows += static_cast<double>(table.num_rows());
+    const TableStatistics& table_stats = stats.Of(name);
+
+    // Pairwise column correlation on the stats sample.
+    const std::vector<size_t>& sample = table_stats.sample_rows;
+    std::vector<std::vector<double>> columns;
+    for (const Column& col : table.columns()) {
+      std::vector<double> values;
+      values.reserve(sample.size());
+      for (size_t r : sample) {
+        values.push_back(static_cast<double>(col.data[r]));
+      }
+      columns.push_back(std::move(values));
+      skews.push_back(table_stats.ColumnStatsOf(col.name).mcvs.empty()
+                          ? 1.0 / std::max<double>(1.0, static_cast<double>(
+                                                            col.num_distinct))
+                          : table_stats.ColumnStatsOf(col.name)
+                                .mcvs.front()
+                                .second);
+      log_domains.push_back(std::log(
+          static_cast<double>(col.max_value - col.min_value + 1)));
+    }
+    for (size_t i = 0; i < columns.size(); ++i) {
+      for (size_t j = i + 1; j < columns.size(); ++j) {
+        correlations.push_back(
+            std::abs(PearsonCorrelation(columns[i], columns[j])));
+      }
+    }
+  }
+
+  double mean_fanout = 0.0;
+  if (!catalog.join_edges().empty()) {
+    for (const JoinEdge& edge : catalog.join_edges()) {
+      double left_rows =
+          static_cast<double>(stats.Of(edge.left_table).row_count);
+      double right_rows =
+          static_cast<double>(stats.Of(edge.right_table).row_count);
+      mean_fanout += std::max(left_rows, right_rows) /
+                     std::max(1.0, std::min(left_rows, right_rows));
+    }
+    mean_fanout /= static_cast<double>(catalog.join_edges().size());
+  }
+
+  double max_corr = correlations.empty()
+                        ? 0.0
+                        : *std::max_element(correlations.begin(),
+                                            correlations.end());
+  return {std::log(total_rows + 1.0),
+          static_cast<double>(catalog.table_names().size()),
+          Mean(correlations),
+          max_corr,
+          Mean(skews),
+          Mean(log_domains),
+          mean_fanout};
+}
+
+void ModelAdvisor::Profile(const Catalog& catalog, const StatsCatalog& stats,
+                           const std::string& best_method) {
+  profiles_.push_back({MetaFeatures(catalog, stats), best_method});
+}
+
+std::string ModelAdvisor::Advise(const Catalog& catalog,
+                                 const StatsCatalog& stats) const {
+  LQO_CHECK(!profiles_.empty()) << "advisor has no profiled datasets";
+  std::vector<double> features = MetaFeatures(catalog, stats);
+
+  // Normalize distances per dimension over the profile set.
+  size_t dim = features.size();
+  std::vector<double> scale(dim, 1e-9);
+  for (const Profiled& profile : profiles_) {
+    for (size_t d = 0; d < dim; ++d) {
+      scale[d] = std::max(scale[d], std::abs(profile.features[d]));
+      scale[d] = std::max(scale[d], std::abs(features[d]));
+    }
+  }
+  const Profiled* best = nullptr;
+  double best_distance = 0.0;
+  for (const Profiled& profile : profiles_) {
+    double distance = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      double diff = (features[d] - profile.features[d]) / scale[d];
+      distance += diff * diff;
+    }
+    if (best == nullptr || distance < best_distance) {
+      best = &profile;
+      best_distance = distance;
+    }
+  }
+  return best->best_method;
+}
+
+}  // namespace lqo

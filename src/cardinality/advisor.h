@@ -1,0 +1,62 @@
+#ifndef LQO_CARDINALITY_ADVISOR_H_
+#define LQO_CARDINALITY_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cardinality/registry.h"
+#include "optimizer/table_stats.h"
+#include "storage/catalog.h"
+
+namespace lqo {
+
+/// One estimator's validation outcome on a dataset.
+struct AdvisorEntry {
+  std::string method;
+  double geo_mean_qerror = 0.0;
+};
+
+/// AutoCE-style model advisor [74]: recommends which estimator family to
+/// deploy on a dataset. Two modes:
+///  1. Rank(): exhaustive — score every trained estimator on validation
+///     sub-queries (the ground truth the advisor learns from).
+///  2. Profile()/Advise(): learned — characterize datasets by cheap meta
+///     features (correlation strength, skew, domain sizes, schema size)
+///     and recommend the method that won on the most similar profiled
+///     dataset, without building any model on the new dataset.
+class ModelAdvisor {
+ public:
+  ModelAdvisor() = default;
+
+  /// Exhaustive validation ranking (best first).
+  static std::vector<AdvisorEntry> Rank(
+      std::vector<RegisteredEstimator>& suite,
+      const std::vector<LabeledSubquery>& validation);
+
+  /// Meta-features of a dataset: [log total rows, num tables, mean
+  /// |pairwise column correlation|, max correlation, mean skew (top MCV
+  /// frequency), mean log domain size, mean join fanout].
+  static std::vector<double> MetaFeatures(const Catalog& catalog,
+                                          const StatsCatalog& stats);
+
+  /// Records that `best_method` won on the dataset with these features.
+  void Profile(const Catalog& catalog, const StatsCatalog& stats,
+               const std::string& best_method);
+
+  /// Nearest-profile recommendation for a new dataset. Requires at least
+  /// one profiled dataset.
+  std::string Advise(const Catalog& catalog, const StatsCatalog& stats) const;
+
+  size_t num_profiles() const { return profiles_.size(); }
+
+ private:
+  struct Profiled {
+    std::vector<double> features;
+    std::string best_method;
+  };
+  std::vector<Profiled> profiles_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_ADVISOR_H_

@@ -1,0 +1,233 @@
+#include "cardinality/ar_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "ml/gmm.h"
+
+namespace lqo {
+namespace {
+
+// IAM-style discretization: cut between the means of a fitted 1-D GMM.
+ColumnBinning GmmBinning(const Column& col, int num_components) {
+  std::vector<double> values;
+  values.reserve(col.data.size());
+  for (int64_t v : col.data) values.push_back(static_cast<double>(v));
+  GmmOptions options;
+  options.num_components = num_components;
+  GaussianMixture1D gmm(options);
+  gmm.Fit(values);
+  std::vector<double> means = gmm.means();
+  std::sort(means.begin(), means.end());
+  std::vector<int64_t> cuts;
+  for (size_t c = 0; c + 1 < means.size(); ++c) {
+    cuts.push_back(static_cast<int64_t>((means[c] + means[c + 1]) / 2.0));
+  }
+  return ColumnBinning::FromCutPoints(std::move(cuts), col.min_value,
+                                      col.max_value);
+}
+
+}  // namespace
+
+ArTableModel::ArTableModel(const Table* table, int max_bins, int num_samples,
+                           uint64_t seed, bool gmm_binning)
+    : table_(table), num_samples_(num_samples), seed_(seed) {
+  LQO_CHECK(table_ != nullptr);
+  LQO_CHECK_GT(table_->num_rows(), 0u);
+
+  std::vector<std::vector<int64_t>> binned;
+  for (const Column& col : table_->columns()) {
+    column_names_.push_back(col.name);
+    var_of_column_[col.name] = binnings_.size();
+    ColumnBinning binning =
+        gmm_binning && col.num_distinct > max_bins
+            ? GmmBinning(col, std::max(2, max_bins / 3))
+            : ColumnBinning::BuildEquiDepth(col.data, max_bins);
+    std::vector<int64_t> codes(col.data.size());
+    for (size_t r = 0; r < col.data.size(); ++r) {
+      codes[r] = binning.BinOf(col.data[r]);
+    }
+    binnings_.push_back(std::move(binning));
+    binned.push_back(std::move(codes));
+  }
+
+  size_t v = binnings_.size();
+  size_t n = table_->num_rows();
+  unigram_.resize(v);
+  bigram_.resize(v);
+  trigram_.resize(v);
+  for (size_t i = 0; i < v; ++i) {
+    size_t bins = static_cast<size_t>(binnings_[i].num_bins());
+    unigram_[i].assign(bins, 1.0);  // Laplace
+    for (size_t r = 0; r < n; ++r) {
+      unigram_[i][static_cast<size_t>(binned[i][r])] += 1.0;
+    }
+    double total = 0.0;
+    for (double c : unigram_[i]) total += c;
+    for (double& c : unigram_[i]) c /= total;
+
+    if (i >= 1) {
+      size_t prev_bins = static_cast<size_t>(binnings_[i - 1].num_bins());
+      bigram_[i].assign(prev_bins, std::vector<double>(bins, 0.5));
+      for (size_t r = 0; r < n; ++r) {
+        bigram_[i][static_cast<size_t>(binned[i - 1][r])]
+                  [static_cast<size_t>(binned[i][r])] += 1.0;
+      }
+      for (auto& row : bigram_[i]) {
+        double row_total = 0.0;
+        for (double c : row) row_total += c;
+        for (double& c : row) c /= row_total;
+      }
+    }
+    if (i >= 2) {
+      int64_t b2 = binnings_[i - 2].num_bins();
+      for (size_t r = 0; r < n; ++r) {
+        int64_t key = binned[i - 1][r] * b2 + binned[i - 2][r];
+        auto& counts = trigram_[i][key];
+        if (counts.empty()) counts.assign(bins, 0.0);
+        counts[static_cast<size_t>(binned[i][r])] += 1.0;
+      }
+      for (auto& [key, counts] : trigram_[i]) {
+        double row_total = 0.0;
+        for (double c : counts) row_total += c;
+        for (double& c : counts) c /= row_total;
+      }
+    }
+  }
+}
+
+int ArTableModel::NumBinsOf(const std::string& column) const {
+  return binnings_[var_of_column_.at(column)].num_bins();
+}
+
+double ArTableModel::Conditional(size_t var, int bin, int prev1,
+                                 int prev2) const {
+  double p = unigram_[var][static_cast<size_t>(bin)];
+  if (var >= 1 && prev1 >= 0) {
+    p = 0.3 * p +
+        0.7 * bigram_[var][static_cast<size_t>(prev1)]
+                        [static_cast<size_t>(bin)];
+    if (var >= 2 && prev2 >= 0) {
+      int64_t key = static_cast<int64_t>(prev1) *
+                        binnings_[var - 2].num_bins() +
+                    prev2;
+      auto it = trigram_[var].find(key);
+      if (it != trigram_[var].end()) {
+        p = 0.4 * p + 0.6 * it->second[static_cast<size_t>(bin)];
+      }
+    }
+  }
+  return p;
+}
+
+std::vector<std::vector<double>> ArTableModel::AllowedOf(
+    const Query& query, int table_index) const {
+  std::vector<std::vector<double>> allowed(binnings_.size());
+  for (size_t v = 0; v < binnings_.size(); ++v) {
+    allowed[v].assign(static_cast<size_t>(binnings_[v].num_bins()), 1.0);
+  }
+  for (const Predicate& p : query.PredicatesOf(table_index)) {
+    size_t v = var_of_column_.at(p.column);
+    const ColumnBinning& binning = binnings_[v];
+    for (int b = 0; b < binning.num_bins(); ++b) {
+      double frac = 0.0;
+      switch (p.kind) {
+        case PredicateKind::kEquals:
+          frac = binning.OverlapFraction(b, p.value, p.value);
+          break;
+        case PredicateKind::kRange:
+          frac = binning.OverlapFraction(b, p.lo, p.hi);
+          break;
+        case PredicateKind::kIn:
+          for (int64_t value : p.in_values) {
+            frac += binning.OverlapFraction(b, value, value);
+          }
+          frac = std::min(frac, 1.0);
+          break;
+      }
+      allowed[v][static_cast<size_t>(b)] *= frac;
+    }
+  }
+  return allowed;
+}
+
+double ArTableModel::ProgressiveSample(
+    const std::vector<std::vector<double>>& allowed, int key_var,
+    const KeyBuckets* buckets, std::vector<double>* key_masses) const {
+  Rng rng(seed_);
+  size_t v = binnings_.size();
+  double total_weight = 0.0;
+
+  for (int s = 0; s < num_samples_; ++s) {
+    double weight = 1.0;
+    int prev1 = -1, prev2 = -1;
+    int sampled_key_bin = -1;
+    for (size_t i = 0; i < v && weight > 0.0; ++i) {
+      size_t bins = allowed[i].size();
+      // rho = sum over bins of P(bin | prefix) * allowed fraction.
+      std::vector<double> masses(bins);
+      double rho = 0.0;
+      for (size_t b = 0; b < bins; ++b) {
+        masses[b] =
+            Conditional(i, static_cast<int>(b), prev1, prev2) * allowed[i][b];
+        rho += masses[b];
+      }
+      if (rho <= 0.0) {
+        weight = 0.0;
+        break;
+      }
+      weight *= rho;
+      size_t pick = rng.Categorical(masses);
+      if (static_cast<int>(i) == key_var) {
+        sampled_key_bin = static_cast<int>(pick);
+      }
+      prev2 = prev1;
+      prev1 = static_cast<int>(pick);
+    }
+    total_weight += weight;
+    if (key_masses != nullptr && weight > 0.0 && sampled_key_bin >= 0) {
+      // Spread the path's weight across key buckets overlapped by the
+      // sampled key bin.
+      const ColumnBinning& binning = binnings_[static_cast<size_t>(key_var)];
+      int64_t lo = binning.BinLow(sampled_key_bin);
+      int64_t hi = binning.BinHigh(sampled_key_bin);
+      int b_lo = buckets->BucketOf(lo);
+      int b_hi = buckets->BucketOf(hi);
+      double span = static_cast<double>(hi - lo + 1);
+      for (int kb = b_lo; kb <= b_hi; ++kb) {
+        int64_t seg_lo = std::max(lo, buckets->BucketLow(kb));
+        int64_t seg_hi = std::min(hi, buckets->BucketHigh(kb));
+        if (seg_lo > seg_hi) continue;
+        (*key_masses)[static_cast<size_t>(kb)] +=
+            weight * static_cast<double>(seg_hi - seg_lo + 1) / span;
+      }
+    }
+  }
+  double mean = total_weight / static_cast<double>(num_samples_);
+  if (key_masses != nullptr) {
+    for (double& m : *key_masses) {
+      m = m / static_cast<double>(num_samples_) *
+          static_cast<double>(table_->num_rows());
+    }
+  }
+  return mean;
+}
+
+double ArTableModel::Selectivity(const Query& query, int table_index) const {
+  std::vector<std::vector<double>> allowed = AllowedOf(query, table_index);
+  return std::clamp(ProgressiveSample(allowed, -1, nullptr, nullptr), 0.0,
+                    1.0);
+}
+
+std::vector<double> ArTableModel::FilteredKeyHistogram(
+    const Query& query, int table_index, const std::string& key_column,
+    const KeyBuckets& buckets) const {
+  std::vector<std::vector<double>> allowed = AllowedOf(query, table_index);
+  int key_var = static_cast<int>(var_of_column_.at(key_column));
+  std::vector<double> masses(static_cast<size_t>(buckets.num_buckets()), 0.0);
+  ProgressiveSample(allowed, key_var, &buckets, &masses);
+  return masses;
+}
+
+}  // namespace lqo

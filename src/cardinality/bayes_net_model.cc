@@ -1,0 +1,213 @@
+#include "cardinality/bayes_net_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ml/chow_liu.h"
+
+namespace lqo {
+
+BayesNetTableModel::BayesNetTableModel(const Table* table, int max_bins)
+    : table_(table) {
+  LQO_CHECK(table_ != nullptr);
+  LQO_CHECK_GT(table_->num_rows(), 0u);
+
+  // Discretize every column.
+  std::vector<std::vector<int64_t>> binned;
+  std::vector<int64_t> domains;
+  for (const Column& col : table_->columns()) {
+    column_names_.push_back(col.name);
+    var_of_column_[col.name] = binnings_.size();
+    ColumnBinning binning = ColumnBinning::BuildEquiDepth(col.data, max_bins);
+    std::vector<int64_t> codes(col.data.size());
+    for (size_t r = 0; r < col.data.size(); ++r) {
+      codes[r] = binning.BinOf(col.data[r]);
+    }
+    domains.push_back(binning.num_bins());
+    binnings_.push_back(std::move(binning));
+    binned.push_back(std::move(codes));
+  }
+
+  ChowLiuResult structure = LearnChowLiuTree(binned, domains);
+  parent_ = structure.parent;
+  order_ = structure.topological_order;
+
+  // CPTs with Laplace smoothing.
+  size_t v = column_names_.size();
+  cpt_.resize(v);
+  for (size_t i = 0; i < v; ++i) {
+    int64_t bins = domains[i];
+    int64_t parent_bins = parent_[i] < 0
+                              ? 1
+                              : domains[static_cast<size_t>(parent_[i])];
+    cpt_[i].assign(static_cast<size_t>(parent_bins),
+                   std::vector<double>(static_cast<size_t>(bins), 1.0));
+    const std::vector<int64_t>& child = binned[i];
+    for (size_t r = 0; r < child.size(); ++r) {
+      size_t pb = parent_[i] < 0
+                      ? 0
+                      : static_cast<size_t>(
+                            binned[static_cast<size_t>(parent_[i])][r]);
+      cpt_[i][pb][static_cast<size_t>(child[r])] += 1.0;
+    }
+    for (auto& row : cpt_[i]) {
+      double total = 0.0;
+      for (double c : row) total += c;
+      for (double& c : row) c /= total;
+    }
+  }
+}
+
+std::vector<std::vector<double>> BayesNetTableModel::EvidenceOf(
+    const Query& query, int table_index) const {
+  std::vector<std::vector<double>> evidence(binnings_.size());
+  for (size_t v = 0; v < binnings_.size(); ++v) {
+    evidence[v].assign(static_cast<size_t>(binnings_[v].num_bins()), 1.0);
+  }
+  for (const Predicate& p : query.PredicatesOf(table_index)) {
+    size_t v = var_of_column_.at(p.column);
+    const ColumnBinning& binning = binnings_[v];
+    std::vector<double> allowed(
+        static_cast<size_t>(binning.num_bins()), 0.0);
+    for (int b = 0; b < binning.num_bins(); ++b) {
+      double frac = 0.0;
+      switch (p.kind) {
+        case PredicateKind::kEquals:
+          frac = binning.OverlapFraction(b, p.value, p.value);
+          break;
+        case PredicateKind::kRange:
+          frac = binning.OverlapFraction(b, p.lo, p.hi);
+          break;
+        case PredicateKind::kIn:
+          for (int64_t value : p.in_values) {
+            frac += binning.OverlapFraction(b, value, value);
+          }
+          frac = std::min(frac, 1.0);
+          break;
+      }
+      allowed[static_cast<size_t>(b)] = frac;
+    }
+    for (size_t b = 0; b < allowed.size(); ++b) {
+      evidence[v][b] *= allowed[b];
+    }
+  }
+  return evidence;
+}
+
+std::vector<std::vector<double>> BayesNetTableModel::Beliefs(
+    const std::vector<std::vector<double>>& evidence) const {
+  size_t v = binnings_.size();
+  // Upward messages: up[i][parent_bin] from child i to its parent.
+  std::vector<std::vector<double>> up(v);
+  // phi[i][bin] = evidence_i(bin) * prod of children's upward messages.
+  std::vector<std::vector<double>> phi(v);
+  for (size_t i = 0; i < v; ++i) phi[i] = evidence[i];
+
+  // Children lists.
+  std::vector<std::vector<int>> children(v);
+  for (size_t i = 0; i < v; ++i) {
+    if (parent_[i] >= 0) {
+      children[static_cast<size_t>(parent_[i])].push_back(
+          static_cast<int>(i));
+    }
+  }
+
+  // Up pass in reverse topological order.
+  for (size_t oi = order_.size(); oi > 0; --oi) {
+    size_t i = static_cast<size_t>(order_[oi - 1]);
+    for (int c : children[i]) {
+      for (size_t b = 0; b < phi[i].size(); ++b) {
+        phi[i][b] *= up[static_cast<size_t>(c)][b];
+      }
+    }
+    if (parent_[i] >= 0) {
+      size_t parent_bins = cpt_[i].size();
+      std::vector<double> message(parent_bins, 0.0);
+      for (size_t pb = 0; pb < parent_bins; ++pb) {
+        double sum = 0.0;
+        for (size_t b = 0; b < phi[i].size(); ++b) {
+          sum += cpt_[i][pb][b] * phi[i][b];
+        }
+        message[pb] = sum;
+      }
+      up[i] = std::move(message);
+    }
+  }
+
+  // Root belief: P(x_root ∧ e) = P(x_root) * phi_root.
+  std::vector<std::vector<double>> belief(v);
+  size_t root = static_cast<size_t>(order_[0]);
+  belief[root].resize(phi[root].size());
+  for (size_t b = 0; b < phi[root].size(); ++b) {
+    belief[root][b] = cpt_[root][0][b] * phi[root][b];
+  }
+
+  // Down pass in topological order: belief[i](x_i) =
+  //   evidence-weighted phi * sum over parent bins of
+  //   P(x_i | x_p) * (belief[p](x_p) / up-message_i(x_p)).
+  for (size_t oi = 1; oi < order_.size(); ++oi) {
+    size_t i = static_cast<size_t>(order_[oi]);
+    size_t p = static_cast<size_t>(parent_[i]);
+    std::vector<double> parent_excl(belief[p].size(), 0.0);
+    for (size_t pb = 0; pb < belief[p].size(); ++pb) {
+      double denom = up[i][pb];
+      parent_excl[pb] = denom > 1e-300 ? belief[p][pb] / denom : 0.0;
+    }
+    belief[i].assign(phi[i].size(), 0.0);
+    for (size_t b = 0; b < phi[i].size(); ++b) {
+      double sum = 0.0;
+      for (size_t pb = 0; pb < parent_excl.size(); ++pb) {
+        sum += cpt_[i][pb][b] * parent_excl[pb];
+      }
+      belief[i][b] = sum * phi[i][b];
+    }
+  }
+  return belief;
+}
+
+double BayesNetTableModel::Selectivity(const Query& query,
+                                       int table_index) const {
+  std::vector<std::vector<double>> beliefs =
+      Beliefs(EvidenceOf(query, table_index));
+  size_t root = static_cast<size_t>(order_[0]);
+  double p = 0.0;
+  for (double b : beliefs[root]) p += b;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+std::vector<double> BayesNetTableModel::FilteredKeyHistogram(
+    const Query& query, int table_index, const std::string& key_column,
+    const KeyBuckets& buckets) const {
+  size_t key_var = var_of_column_.at(key_column);
+  std::vector<std::vector<double>> beliefs =
+      Beliefs(EvidenceOf(query, table_index));
+  const ColumnBinning& binning = binnings_[key_var];
+  double rows = static_cast<double>(table_->num_rows());
+
+  std::vector<double> masses(static_cast<size_t>(buckets.num_buckets()), 0.0);
+  for (int bin = 0; bin < binning.num_bins(); ++bin) {
+    double mass = beliefs[key_var][static_cast<size_t>(bin)] * rows;
+    if (mass <= 0.0) continue;
+    // Spread the bin's mass across the key buckets it overlaps,
+    // proportionally to integer span.
+    int64_t lo = binning.BinLow(bin);
+    int64_t hi = binning.BinHigh(bin);
+    int b_lo = buckets.BucketOf(lo);
+    int b_hi = buckets.BucketOf(hi);
+    if (b_lo == b_hi) {
+      masses[static_cast<size_t>(b_lo)] += mass;
+      continue;
+    }
+    double span = static_cast<double>(hi - lo + 1);
+    for (int kb = b_lo; kb <= b_hi; ++kb) {
+      int64_t seg_lo = std::max(lo, buckets.BucketLow(kb));
+      int64_t seg_hi = std::min(hi, buckets.BucketHigh(kb));
+      if (seg_lo > seg_hi) continue;
+      masses[static_cast<size_t>(kb)] +=
+          mass * static_cast<double>(seg_hi - seg_lo + 1) / span;
+    }
+  }
+  return masses;
+}
+
+}  // namespace lqo

@@ -1,0 +1,52 @@
+#ifndef LQO_CARDINALITY_BAYES_NET_MODEL_H_
+#define LQO_CARDINALITY_BAYES_NET_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cardinality/table_model.h"
+#include "storage/table.h"
+
+namespace lqo {
+
+/// Tree-structured Bayesian network over discretized columns
+/// (Tzoumas et al. [57] / BayesCard [65]): structure learned with Chow-Liu,
+/// CPTs with Laplace smoothing, exact inference by belief propagation on
+/// the tree. Predicates enter as soft per-bin evidence (bin overlap
+/// fractions).
+class BayesNetTableModel : public SingleTableDistribution {
+ public:
+  BayesNetTableModel(const Table* table, int max_bins = 40);
+
+  double Selectivity(const Query& query, int table_index) const override;
+  std::vector<double> FilteredKeyHistogram(
+      const Query& query, int table_index, const std::string& key_column,
+      const KeyBuckets& buckets) const override;
+  std::string Kind() const override { return "bayesnet"; }
+
+ private:
+  /// Soft evidence: per-variable allowed fraction of each bin.
+  std::vector<std::vector<double>> EvidenceOf(const Query& query,
+                                              int table_index) const;
+
+  /// Joint beliefs P(x_v = bin ∧ evidence) for every variable, via one
+  /// up-pass and one down-pass over the tree. Returns per-variable vectors;
+  /// summing any variable's vector gives P(evidence).
+  std::vector<std::vector<double>> Beliefs(
+      const std::vector<std::vector<double>>& evidence) const;
+
+  const Table* table_;
+  std::vector<std::string> column_names_;
+  std::vector<ColumnBinning> binnings_;
+  std::map<std::string, size_t> var_of_column_;
+  std::vector<int> parent_;
+  std::vector<int> order_;  // topological, root first
+  /// cpt_[v][parent_bin][bin] = P(x_v = bin | parent = parent_bin); the
+  /// root uses parent_bin = 0 only.
+  std::vector<std::vector<std::vector<double>>> cpt_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_BAYES_NET_MODEL_H_

@@ -1,0 +1,109 @@
+#include "cardinality/discretize.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+ColumnBinning ColumnBinning::BuildEquiDepth(const std::vector<int64_t>& values,
+                                            int max_bins) {
+  LQO_CHECK(!values.empty());
+  LQO_CHECK_GT(max_bins, 0);
+  std::vector<int64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int64_t> distinct = sorted;
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+
+  ColumnBinning binning;
+  if (static_cast<int>(distinct.size()) <= max_bins) {
+    // One bin per distinct value.
+    for (int64_t v : distinct) {
+      binning.lows_.push_back(v);
+      binning.highs_.push_back(v);
+    }
+    return binning;
+  }
+
+  // Equi-depth cuts over the sorted multiset; merge cuts landing on the
+  // same value.
+  size_t n = sorted.size();
+  int64_t prev_high = sorted[0] - 1;
+  for (int b = 0; b < max_bins; ++b) {
+    size_t hi_idx = (static_cast<size_t>(b) + 1) * (n - 1) /
+                    static_cast<size_t>(max_bins);
+    int64_t hi = sorted[hi_idx];
+    if (b == max_bins - 1) hi = sorted[n - 1];
+    if (hi <= prev_high) continue;  // empty bucket after merge.
+    binning.lows_.push_back(prev_high + 1);
+    binning.highs_.push_back(hi);
+    prev_high = hi;
+  }
+  // First bin must start at the minimum.
+  binning.lows_.front() = sorted.front();
+  return binning;
+}
+
+ColumnBinning ColumnBinning::FromCutPoints(std::vector<int64_t> cuts,
+                                           int64_t min_value,
+                                           int64_t max_value) {
+  LQO_CHECK_LE(min_value, max_value);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  ColumnBinning binning;
+  int64_t low = min_value;
+  for (int64_t cut : cuts) {
+    if (cut < low || cut >= max_value) continue;
+    binning.lows_.push_back(low);
+    binning.highs_.push_back(cut);
+    low = cut + 1;
+  }
+  binning.lows_.push_back(low);
+  binning.highs_.push_back(max_value);
+  return binning;
+}
+
+int ColumnBinning::BinOf(int64_t v) const {
+  LQO_CHECK(!highs_.empty());
+  auto it = std::lower_bound(highs_.begin(), highs_.end(), v);
+  if (it == highs_.end()) return num_bins() - 1;
+  return static_cast<int>(it - highs_.begin());
+}
+
+double ColumnBinning::OverlapFraction(int bin, int64_t lo, int64_t hi) const {
+  int64_t blo = BinLow(bin);
+  int64_t bhi = BinHigh(bin);
+  int64_t olo = std::max(blo, lo);
+  int64_t ohi = std::min(bhi, hi);
+  if (olo > ohi) return 0.0;
+  double span = static_cast<double>(bhi - blo + 1);
+  return static_cast<double>(ohi - olo + 1) / span;
+}
+
+KeyBuckets::KeyBuckets(int64_t min_value, int64_t max_value, int num_buckets)
+    : min_value_(min_value),
+      max_value_(std::max(min_value, max_value)),
+      num_buckets_(std::max(1, num_buckets)) {
+  width_ = static_cast<double>(max_value_ - min_value_ + 1) /
+           static_cast<double>(num_buckets_);
+}
+
+int KeyBuckets::BucketOf(int64_t v) const {
+  if (v <= min_value_) return 0;
+  if (v >= max_value_) return num_buckets_ - 1;
+  int b = static_cast<int>(static_cast<double>(v - min_value_) / width_);
+  return std::clamp(b, 0, num_buckets_ - 1);
+}
+
+int64_t KeyBuckets::BucketLow(int b) const {
+  if (b <= 0) return min_value_;
+  return min_value_ + static_cast<int64_t>(static_cast<double>(b) * width_);
+}
+
+int64_t KeyBuckets::BucketHigh(int b) const {
+  if (b >= num_buckets_ - 1) return max_value_;
+  return BucketLow(b + 1) - 1;
+}
+
+}  // namespace lqo

@@ -1,0 +1,69 @@
+#ifndef LQO_CARDINALITY_DISCRETIZE_H_
+#define LQO_CARDINALITY_DISCRETIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lqo {
+
+/// Discretization of one column into contiguous value bins, used by the
+/// data-driven models (Bayes net CPTs, autoregressive chain, SPN leaves).
+/// Bins are equi-depth over the observed data; columns with few distinct
+/// values get one bin per value.
+class ColumnBinning {
+ public:
+  ColumnBinning() = default;
+
+  /// Builds bins from the raw column values.
+  static ColumnBinning BuildEquiDepth(const std::vector<int64_t>& values,
+                                      int max_bins);
+
+  /// Builds bins from explicit interior cut points: bin i spans
+  /// [cut_{i-1}+1, cut_i] with the first starting at `min_value` and the
+  /// last ending at `max_value`. Cuts outside (min,max) are dropped.
+  static ColumnBinning FromCutPoints(std::vector<int64_t> cuts,
+                                     int64_t min_value, int64_t max_value);
+
+  int num_bins() const { return static_cast<int>(lows_.size()); }
+
+  /// Bin containing v; values outside the observed domain clamp to the
+  /// first/last bin.
+  int BinOf(int64_t v) const;
+
+  int64_t BinLow(int bin) const { return lows_[static_cast<size_t>(bin)]; }
+  int64_t BinHigh(int bin) const { return highs_[static_cast<size_t>(bin)]; }
+
+  /// Fraction of bin `bin` overlapped by [lo, hi], assuming values are
+  /// uniform over the bin's integer span.
+  double OverlapFraction(int bin, int64_t lo, int64_t hi) const;
+
+ private:
+  std::vector<int64_t> lows_;   // inclusive
+  std::vector<int64_t> highs_;  // inclusive
+};
+
+/// Equi-width bucketing of a join-key domain, shared across all tables
+/// whose columns participate in the same join group (FactorJoin-style).
+class KeyBuckets {
+ public:
+  KeyBuckets() = default;
+  KeyBuckets(int64_t min_value, int64_t max_value, int num_buckets);
+
+  int num_buckets() const { return num_buckets_; }
+  int BucketOf(int64_t v) const;
+
+  /// Inclusive value range of bucket b (BucketLow(0) == domain min).
+  int64_t BucketLow(int b) const;
+  int64_t BucketHigh(int b) const;
+
+ private:
+  int64_t min_value_ = 0;
+  int64_t max_value_ = 0;
+  int num_buckets_ = 1;
+  double width_ = 1.0;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_DISCRETIZE_H_

@@ -1,0 +1,40 @@
+#include "cardinality/evaluation.h"
+
+#include "common/logging.h"
+
+namespace lqo {
+
+std::vector<double> EstimatorQErrors(
+    CardinalityEstimatorInterface* estimator,
+    const std::vector<LabeledSubquery>& evaluation) {
+  LQO_CHECK(estimator != nullptr);
+  std::vector<double> qerrors;
+  qerrors.reserve(evaluation.size());
+  for (const LabeledSubquery& labeled : evaluation) {
+    double estimate = estimator->EstimateSubquery(labeled.AsSubquery());
+    qerrors.push_back(QError(estimate, labeled.cardinality));
+  }
+  return qerrors;
+}
+
+QErrorSummary EvaluateEstimator(
+    CardinalityEstimatorInterface* estimator,
+    const std::vector<LabeledSubquery>& evaluation) {
+  return SummarizeQErrors(EstimatorQErrors(estimator, evaluation));
+}
+
+void SplitBySize(const std::vector<LabeledSubquery>& labeled,
+                 std::vector<LabeledSubquery>* single_table,
+                 std::vector<LabeledSubquery>* multi_join) {
+  LQO_CHECK(single_table != nullptr);
+  LQO_CHECK(multi_join != nullptr);
+  for (const LabeledSubquery& sub : labeled) {
+    if (PopCount(sub.tables) == 1) {
+      single_table->push_back(sub);
+    } else {
+      multi_join->push_back(sub);
+    }
+  }
+}
+
+}  // namespace lqo

@@ -1,0 +1,28 @@
+#ifndef LQO_CARDINALITY_EVALUATION_H_
+#define LQO_CARDINALITY_EVALUATION_H_
+
+#include <vector>
+
+#include "cardinality/training_data.h"
+#include "ml/metrics.h"
+#include "optimizer/cardinality_interface.h"
+
+namespace lqo {
+
+/// q-errors of `estimator` over labeled evaluation sub-queries.
+std::vector<double> EstimatorQErrors(
+    CardinalityEstimatorInterface* estimator,
+    const std::vector<LabeledSubquery>& evaluation);
+
+/// Summary convenience.
+QErrorSummary EvaluateEstimator(CardinalityEstimatorInterface* estimator,
+                                const std::vector<LabeledSubquery>& evaluation);
+
+/// Splits labeled sub-queries by join size: single-table vs multi-join.
+void SplitBySize(const std::vector<LabeledSubquery>& labeled,
+                 std::vector<LabeledSubquery>* single_table,
+                 std::vector<LabeledSubquery>* multi_join);
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_EVALUATION_H_

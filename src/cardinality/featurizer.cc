@@ -1,0 +1,141 @@
+#include "cardinality/featurizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "query/workload.h"
+
+namespace lqo {
+namespace {
+
+std::string CanonicalEdgeKey(const std::string& a_table,
+                             const std::string& a_col,
+                             const std::string& b_table,
+                             const std::string& b_col) {
+  std::string a = a_table + "." + a_col;
+  std::string b = b_table + "." + b_col;
+  if (b < a) std::swap(a, b);
+  return a + "=" + b;
+}
+
+}  // namespace
+
+QueryFeaturizer::QueryFeaturizer(const Catalog* catalog,
+                                 const StatsCatalog* stats)
+    : catalog_(catalog), stats_(stats) {
+  LQO_CHECK(catalog_ != nullptr);
+  LQO_CHECK(stats_ != nullptr);
+  for (const std::string& table : catalog_->table_names()) {
+    table_slot_[table] = table_slot_.size();
+  }
+  for (const JoinEdge& edge : catalog_->join_edges()) {
+    edge_keys_.push_back(CanonicalEdgeKey(edge.left_table, edge.left_column,
+                                          edge.right_table,
+                                          edge.right_column));
+  }
+  std::sort(edge_keys_.begin(), edge_keys_.end());
+  for (const std::string& table : catalog_->table_names()) {
+    for (const std::string& column : PredicateColumns(*catalog_, table)) {
+      column_slot_index_[table + "." + column] = column_slots_.size();
+      column_slots_.push_back({table, column});
+    }
+  }
+  dim_ = table_slot_.size() + edge_keys_.size() + 4 * column_slots_.size() + 2;
+}
+
+std::vector<std::pair<size_t, size_t>> QueryFeaturizer::PredicateSlotRanges()
+    const {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  size_t column_base = table_slot_.size() + edge_keys_.size();
+  for (size_t s = 0; s < column_slots_.size(); ++s) {
+    ranges.emplace_back(column_base + 4 * s, 4);
+  }
+  return ranges;
+}
+
+std::vector<double> QueryFeaturizer::Featurize(const Subquery& subquery) const {
+  const Query& query = *subquery.query;
+  std::vector<double> features(dim_, 0.0);
+
+  size_t edge_base = table_slot_.size();
+  size_t column_base = edge_base + edge_keys_.size();
+  size_t global_base = column_base + 4 * column_slots_.size();
+
+  double log_domain = 0.0;
+  int num_tables = 0;
+  for (int t = 0; t < query.num_tables(); ++t) {
+    if (!ContainsTable(subquery.tables, t)) continue;
+    ++num_tables;
+    const std::string& name =
+        query.tables()[static_cast<size_t>(t)].table_name;
+    auto slot = table_slot_.find(name);
+    if (slot != table_slot_.end()) features[slot->second] = 1.0;
+    log_domain +=
+        std::log(static_cast<double>(stats_->Of(name).row_count) + 1.0);
+  }
+
+  for (const QueryJoin& join : query.JoinsWithin(subquery.tables)) {
+    std::string key = CanonicalEdgeKey(
+        query.tables()[static_cast<size_t>(join.left_table)].table_name,
+        join.left_column,
+        query.tables()[static_cast<size_t>(join.right_table)].table_name,
+        join.right_column);
+    auto it = std::lower_bound(edge_keys_.begin(), edge_keys_.end(), key);
+    if (it != edge_keys_.end() && *it == key) {
+      features[edge_base +
+               static_cast<size_t>(it - edge_keys_.begin())] = 1.0;
+    }
+  }
+
+  for (const Predicate& p : query.predicates()) {
+    if (!ContainsTable(subquery.tables, p.table_index)) continue;
+    const std::string& table =
+        query.tables()[static_cast<size_t>(p.table_index)].table_name;
+    auto slot_it = column_slot_index_.find(table + "." + p.column);
+    if (slot_it == column_slot_index_.end()) continue;
+    size_t base = column_base + 4 * slot_it->second;
+    const ColumnStats& cs = stats_->Of(table).ColumnStatsOf(p.column);
+    double span =
+        std::max<double>(1.0, static_cast<double>(cs.max_value - cs.min_value));
+    int64_t lo = 0, hi = 0;
+    switch (p.kind) {
+      case PredicateKind::kEquals:
+        lo = hi = p.value;
+        break;
+      case PredicateKind::kRange:
+        lo = p.lo;
+        hi = p.hi;
+        break;
+      case PredicateKind::kIn:
+        lo = p.in_values.front();
+        hi = p.in_values.back();
+        break;
+    }
+    double lo_norm = std::clamp(
+        (static_cast<double>(lo) - static_cast<double>(cs.min_value)) / span,
+        0.0, 1.0);
+    double hi_norm = std::clamp(
+        (static_cast<double>(hi) - static_cast<double>(cs.min_value)) / span,
+        0.0, 1.0);
+    double sel = cs.Selectivity(p);
+    // Multiple predicates on one column: keep the tighter box, combine
+    // selectivities multiplicatively in log space.
+    if (features[base] > 0.0) {
+      features[base + 1] = std::max(features[base + 1], lo_norm);
+      features[base + 2] = std::min(features[base + 2], hi_norm);
+      features[base + 3] += std::log(sel);
+    } else {
+      features[base] = 1.0;
+      features[base + 1] = lo_norm;
+      features[base + 2] = hi_norm;
+      features[base + 3] = std::log(sel);
+    }
+  }
+
+  features[global_base] = static_cast<double>(num_tables);
+  features[global_base + 1] = log_domain;
+  return features;
+}
+
+}  // namespace lqo

@@ -1,0 +1,51 @@
+#ifndef LQO_CARDINALITY_FEATURIZER_H_
+#define LQO_CARDINALITY_FEATURIZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "optimizer/table_stats.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace lqo {
+
+/// MSCN-style sub-query featurization [23]: fixed-size vectors with
+///  - one slot per schema table (presence),
+///  - one slot per schema join edge (induced presence),
+///  - four slots per (table, predicate column): presence, normalized range
+///    bounds, and the log histogram selectivity (the "set" features of MSCN
+///    flattened into a fixed layout, which is exact for our schemas since
+///    queries never repeat a table),
+///  - two global slots: number of tables and log of the joined domain size.
+class QueryFeaturizer {
+ public:
+  QueryFeaturizer(const Catalog* catalog, const StatsCatalog* stats);
+
+  size_t dim() const { return dim_; }
+
+  std::vector<double> Featurize(const Subquery& subquery) const;
+
+  /// Feature ranges [start, start+4) of each (table, column) predicate
+  /// slot — the units Robust-MSCN-style training masks out.
+  std::vector<std::pair<size_t, size_t>> PredicateSlotRanges() const;
+
+ private:
+  struct ColumnSlot {
+    std::string table;
+    std::string column;
+  };
+
+  const Catalog* catalog_;
+  const StatsCatalog* stats_;
+  std::map<std::string, size_t> table_slot_;
+  std::vector<std::string> edge_keys_;  // canonical "a.c=b.d" strings
+  std::vector<ColumnSlot> column_slots_;
+  std::map<std::string, size_t> column_slot_index_;  // "table.column"
+  size_t dim_ = 0;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_FEATURIZER_H_

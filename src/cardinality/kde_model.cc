@@ -1,0 +1,98 @@
+#include "cardinality/kde_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats_util.h"
+
+namespace lqo {
+namespace {
+
+// Standard normal CDF.
+double Phi(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// Gaussian kernel mass of [lo, hi] around center with bandwidth h (integer
+// semantics widen the interval by half a unit on each side).
+double IntervalMass(double center, double h, double lo, double hi) {
+  return Phi((hi + 0.5 - center) / h) - Phi((lo - 0.5 - center) / h);
+}
+
+}  // namespace
+
+KdeTableModel::KdeTableModel(const Table* table,
+                             std::vector<size_t> sample_rows)
+    : table_(table), sample_rows_(std::move(sample_rows)) {
+  LQO_CHECK(table_ != nullptr);
+  LQO_CHECK(!sample_rows_.empty());
+  scale_ = static_cast<double>(table_->num_rows()) /
+           static_cast<double>(sample_rows_.size());
+  // Scott's rule per column: h = sigma * n^(-1/(d+4)) with d=1 per-dim.
+  double n = static_cast<double>(sample_rows_.size());
+  for (const Column& col : table_->columns()) {
+    std::vector<double> values;
+    values.reserve(sample_rows_.size());
+    for (size_t r : sample_rows_) {
+      values.push_back(static_cast<double>(col.data[r]));
+    }
+    double sigma = StdDev(values);
+    double h = std::max(0.5, sigma * std::pow(n, -0.2));
+    bandwidth_[col.name] = h;
+  }
+}
+
+std::vector<double> KdeTableModel::PointWeights(const Query& query,
+                                                int table_index) const {
+  std::vector<Predicate> predicates = query.PredicatesOf(table_index);
+  std::vector<double> weights(sample_rows_.size(), 1.0);
+  for (const Predicate& p : predicates) {
+    const Column& col =
+        table_->column(table_->ColumnIndex(p.column).value());
+    double h = bandwidth_.at(p.column);
+    for (size_t i = 0; i < sample_rows_.size(); ++i) {
+      double center = static_cast<double>(col.data[sample_rows_[i]]);
+      double mass = 0.0;
+      switch (p.kind) {
+        case PredicateKind::kEquals:
+          mass = IntervalMass(center, h, static_cast<double>(p.value),
+                              static_cast<double>(p.value));
+          break;
+        case PredicateKind::kRange:
+          mass = IntervalMass(center, h, static_cast<double>(p.lo),
+                              static_cast<double>(p.hi));
+          break;
+        case PredicateKind::kIn:
+          for (int64_t v : p.in_values) {
+            mass += IntervalMass(center, h, static_cast<double>(v),
+                                 static_cast<double>(v));
+          }
+          break;
+      }
+      weights[i] *= std::clamp(mass, 0.0, 1.0);
+    }
+  }
+  return weights;
+}
+
+double KdeTableModel::Selectivity(const Query& query, int table_index) const {
+  std::vector<double> weights = PointWeights(query, table_index);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  return total / static_cast<double>(weights.size());
+}
+
+std::vector<double> KdeTableModel::FilteredKeyHistogram(
+    const Query& query, int table_index, const std::string& key_column,
+    const KeyBuckets& buckets) const {
+  std::vector<double> weights = PointWeights(query, table_index);
+  const Column& key =
+      table_->column(table_->ColumnIndex(key_column).value());
+  std::vector<double> masses(static_cast<size_t>(buckets.num_buckets()), 0.0);
+  for (size_t i = 0; i < sample_rows_.size(); ++i) {
+    masses[static_cast<size_t>(buckets.BucketOf(key.data[sample_rows_[i]]))] +=
+        weights[i] * scale_;
+  }
+  return masses;
+}
+
+}  // namespace lqo

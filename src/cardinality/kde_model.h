@@ -1,0 +1,40 @@
+#ifndef LQO_CARDINALITY_KDE_MODEL_H_
+#define LQO_CARDINALITY_KDE_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cardinality/table_model.h"
+#include "storage/table.h"
+
+namespace lqo {
+
+/// Product-Gaussian kernel density estimator over a row sample
+/// (Heimel et al. [14], Kiefer et al. [21]): each sample point carries a
+/// per-dimension Gaussian kernel with Scott's-rule bandwidth; a predicate
+/// box's selectivity is the average kernel mass inside the box.
+class KdeTableModel : public SingleTableDistribution {
+ public:
+  KdeTableModel(const Table* table, std::vector<size_t> sample_rows);
+
+  double Selectivity(const Query& query, int table_index) const override;
+  std::vector<double> FilteredKeyHistogram(
+      const Query& query, int table_index, const std::string& key_column,
+      const KeyBuckets& buckets) const override;
+  std::string Kind() const override { return "kde"; }
+
+ private:
+  /// Per-sample-point kernel mass of the predicate box (vector aligned with
+  /// sample points).
+  std::vector<double> PointWeights(const Query& query, int table_index) const;
+
+  const Table* table_;
+  std::vector<size_t> sample_rows_;
+  double scale_;
+  std::map<std::string, double> bandwidth_;  // per column
+};
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_KDE_MODEL_H_

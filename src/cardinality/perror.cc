@@ -1,0 +1,69 @@
+#include "cardinality/perror.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lqo {
+namespace {
+
+/// Exact-cardinality estimator over the truth oracle.
+class OracleEstimator : public CardinalityEstimatorInterface {
+ public:
+  explicit OracleEstimator(TrueCardinalityService* truth) : truth_(truth) {}
+  double EstimateSubquery(const Subquery& subquery) override {
+    return static_cast<double>(truth_->Cardinality(subquery));
+  }
+  std::string Name() const override { return "oracle"; }
+
+ private:
+  TrueCardinalityService* truth_;
+};
+
+}  // namespace
+
+PErrorEvaluator::PErrorEvaluator(const Optimizer* optimizer,
+                                 const AnalyticalCostModel* cost_model,
+                                 TrueCardinalityService* truth)
+    : optimizer_(optimizer), cost_model_(cost_model), truth_(truth) {
+  LQO_CHECK(optimizer_ != nullptr);
+  LQO_CHECK(cost_model_ != nullptr);
+  LQO_CHECK(truth_ != nullptr);
+}
+
+double PErrorEvaluator::TrueCost(PhysicalPlan* plan) {
+  OracleEstimator oracle(truth_);
+  CardinalityProvider oracle_cards(&oracle);
+  return cost_model_->PlanCost(plan, &oracle_cards);
+}
+
+double PErrorEvaluator::PError(const Query& query,
+                               CardinalityEstimatorInterface* estimator) {
+  LQO_CHECK(estimator != nullptr);
+  OracleEstimator oracle(truth_);
+  CardinalityProvider oracle_cards(&oracle);
+  PlannerResult optimal = optimizer_->Optimize(query, &oracle_cards);
+  // The optimal plan's estimated_cost already is its true cost.
+  double optimal_cost = optimal.estimated_cost;
+
+  CardinalityProvider estimated_cards(estimator);
+  PlannerResult chosen = optimizer_->Optimize(query, &estimated_cards);
+  double chosen_true_cost = TrueCost(&chosen.plan);
+
+  LQO_CHECK_GT(optimal_cost, 0.0);
+  // Guard tiny numerical slack: the chosen plan can never truly beat the
+  // plan that is optimal under true cardinalities.
+  return std::max(1.0, chosen_true_cost / optimal_cost);
+}
+
+std::vector<double> PErrorEvaluator::Evaluate(
+    const Workload& workload, CardinalityEstimatorInterface* estimator) {
+  std::vector<double> perrors;
+  perrors.reserve(workload.queries.size());
+  for (const Query& query : workload.queries) {
+    perrors.push_back(PError(query, estimator));
+  }
+  return perrors;
+}
+
+}  // namespace lqo

@@ -1,0 +1,48 @@
+#ifndef LQO_CARDINALITY_PERROR_H_
+#define LQO_CARDINALITY_PERROR_H_
+
+#include <vector>
+
+#include "engine/true_cardinality.h"
+#include "optimizer/optimizer.h"
+#include "query/workload.h"
+
+namespace lqo {
+
+/// P-error (plan error), the metric the CE-for-query-optimization
+/// literature converged on (Han et al. [12]; related to Flow-Loss [44]):
+/// instead of scoring estimates in isolation (q-error), score the *plan*
+/// they induce. For a query Q and estimator E,
+///
+///   P-error(Q, E) = TrueCost(plan chosen under E)
+///                 / TrueCost(plan chosen under exact cardinalities)
+///
+/// where TrueCost evaluates a plan with the analytical cost model fed the
+/// exact cardinalities. P-error >= 1, and equals 1 exactly when the
+/// estimation errors do not change the optimizer's choice — the property
+/// q-error cannot see.
+class PErrorEvaluator {
+ public:
+  PErrorEvaluator(const Optimizer* optimizer,
+                  const AnalyticalCostModel* cost_model,
+                  TrueCardinalityService* truth);
+
+  /// P-error of one query under `estimator`.
+  double PError(const Query& query, CardinalityEstimatorInterface* estimator);
+
+  /// P-errors for a workload.
+  std::vector<double> Evaluate(const Workload& workload,
+                               CardinalityEstimatorInterface* estimator);
+
+ private:
+  /// True cost of a plan: analytical formulas + exact cardinalities.
+  double TrueCost(PhysicalPlan* plan);
+
+  Optimizer const* optimizer_;
+  const AnalyticalCostModel* cost_model_;
+  TrueCardinalityService* truth_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_PERROR_H_

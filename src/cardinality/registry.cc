@@ -1,0 +1,190 @@
+#include "cardinality/registry.h"
+
+#include <chrono>
+
+#include "cardinality/data_driven.h"
+#include "cardinality/hybrid.h"
+#include "cardinality/query_driven.h"
+#include "cardinality/traditional.h"
+#include "common/logging.h"
+
+namespace lqo {
+namespace {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+const char* CeCategoryName(CeCategory category) {
+  switch (category) {
+    case CeCategory::kTraditional:
+      return "Traditional";
+    case CeCategory::kQueryDrivenStatistical:
+      return "Query-Driven (Statistical)";
+    case CeCategory::kQueryDrivenDnn:
+      return "Query-Driven (DNN-Based)";
+    case CeCategory::kDataDriven:
+      return "Data-Driven";
+    case CeCategory::kHybrid:
+      return "Hybrid";
+  }
+  return "Unknown";
+}
+
+std::vector<RegisteredEstimator> MakeEstimatorSuite(
+    const Catalog& catalog, const StatsCatalog& stats,
+    const CeTrainingData& training_data,
+    const EstimatorSuiteOptions& options) {
+  std::vector<RegisteredEstimator> suite;
+  auto add = [&](std::unique_ptr<CardinalityEstimatorInterface> estimator,
+                 CeCategory category, std::string represents,
+                 double seconds) {
+    RegisteredEstimator entry;
+    entry.estimator = std::move(estimator);
+    entry.category = category;
+    entry.represents = std::move(represents);
+    entry.build_seconds = seconds;
+    suite.push_back(std::move(entry));
+  };
+
+  if (options.traditional) {
+    {
+      Stopwatch timer;
+      auto estimator = std::make_unique<HistogramEstimator>(&catalog, &stats);
+      add(std::move(estimator), CeCategory::kTraditional,
+          "1-D histograms + independence (PostgreSQL default)",
+          timer.Seconds());
+    }
+    {
+      Stopwatch timer;
+      auto estimator = std::make_unique<SamplingEstimator>(&catalog, 0.05);
+      add(std::move(estimator), CeCategory::kTraditional,
+          "uniform row sampling", timer.Seconds());
+    }
+  }
+
+  if (options.query_driven) {
+    {
+      Stopwatch timer;
+      auto estimator = std::make_unique<QueryDrivenEstimator>(
+          QueryDrivenEstimator::ModelType::kLinear, &catalog, &stats);
+      estimator->Train(training_data);
+      add(std::move(estimator), CeCategory::kQueryDrivenStatistical,
+          "linear model (Malik et al. [36])", timer.Seconds());
+    }
+    {
+      Stopwatch timer;
+      auto estimator = std::make_unique<QueryDrivenEstimator>(
+          QueryDrivenEstimator::ModelType::kGbdt, &catalog, &stats);
+      estimator->Train(training_data);
+      add(std::move(estimator), CeCategory::kQueryDrivenStatistical,
+          "tree ensembles / XGBoost (Dutt et al. [10],[9])",
+          timer.Seconds());
+    }
+    {
+      Stopwatch timer;
+      auto estimator = std::make_unique<QuickSelEstimator>(&catalog, &stats);
+      estimator->Train(training_data);
+      add(std::move(estimator), CeCategory::kQueryDrivenStatistical,
+          "uniform mixture model (QuickSel [47])", timer.Seconds());
+    }
+    {
+      Stopwatch timer;
+      auto estimator = std::make_unique<QueryDrivenEstimator>(
+          QueryDrivenEstimator::ModelType::kForest, &catalog, &stats);
+      estimator->Train(training_data);
+      add(std::move(estimator), CeCategory::kQueryDrivenDnn,
+          "deep ensemble with uncertainty (Fauce [33]/NNGP [75])",
+          timer.Seconds());
+    }
+    if (options.include_mlp) {
+      {
+        Stopwatch timer;
+        auto estimator = std::make_unique<QueryDrivenEstimator>(
+            QueryDrivenEstimator::ModelType::kMlp, &catalog, &stats);
+        estimator->Train(training_data);
+        add(std::move(estimator), CeCategory::kQueryDrivenDnn,
+            "set-featurized MLP (MSCN, Kipf et al. [23])", timer.Seconds());
+      }
+      {
+        Stopwatch timer;
+        QueryDrivenOptions robust_options;
+        robust_options.mask_training = true;
+        auto estimator = std::make_unique<QueryDrivenEstimator>(
+            QueryDrivenEstimator::ModelType::kMlp, &catalog, &stats,
+            robust_options);
+        estimator->Train(training_data);
+        add(std::move(estimator), CeCategory::kQueryDrivenDnn,
+            "query masking for workload drift (Robust-MSCN [45])",
+            timer.Seconds());
+      }
+    }
+  }
+
+  if (options.data_driven) {
+    struct DataDrivenSpec {
+      std::string name;
+      TableModelKind kind;
+      JoinCombineMode mode;
+      std::string represents;
+    };
+    const DataDrivenSpec kSpecs[] = {
+        {"kde", TableModelKind::kKde, JoinCombineMode::kIndependence,
+         "kernel density models (Heimel [14], Kiefer [21])"},
+        {"naru_ar", TableModelKind::kAr, JoinCombineMode::kKeyBuckets,
+         "autoregressive + progressive sampling (Naru [71]/NeuroCard [70])"},
+        {"bayesnet", TableModelKind::kBayesNet, JoinCombineMode::kKeyBuckets,
+         "Chow-Liu Bayesian networks (BayesNet [57]/BayesCard [65])"},
+        {"deepdb_spn", TableModelKind::kSpn, JoinCombineMode::kIndependence,
+         "sum-product networks (DeepDB [17]/FLAT [81])"},
+        {"factorjoin", TableModelKind::kSample, JoinCombineMode::kKeyBuckets,
+         "per-table samples + join-key histograms (FactorJoin [64])"},
+        {"iam_ar", TableModelKind::kIamAr, JoinCombineMode::kKeyBuckets,
+         "GMM-discretized autoregressive model (IAM [40])"},
+        {"iris_sketch", TableModelKind::kSketch,
+         JoinCombineMode::kKeyBuckets,
+         "column-group summarization sketches (Iris [35])"},
+    };
+    for (const DataDrivenSpec& spec : kSpecs) {
+      Stopwatch timer;
+      auto estimator = std::make_unique<DataDrivenEstimator>(
+          spec.name, &catalog, &stats, spec.mode);
+      estimator->SetUniformModelKind(spec.kind);
+      estimator->Build();
+      add(std::move(estimator), CeCategory::kDataDriven, spec.represents,
+          timer.Seconds());
+    }
+  }
+
+  if (options.hybrid) {
+    {
+      Stopwatch timer;
+      auto estimator = std::make_unique<UaeEstimator>(&catalog, &stats);
+      estimator->Train(training_data);
+      add(std::move(estimator), CeCategory::kHybrid,
+          "data+query joint model (UAE [63])", timer.Seconds());
+    }
+    {
+      Stopwatch timer;
+      auto estimator = MakeGlueEstimator(&catalog, &stats, training_data);
+      add(std::move(estimator), CeCategory::kHybrid,
+          "merged single-table models (GLUE [82]) + ALECE-style workload "
+          "awareness [30]",
+          timer.Seconds());
+    }
+  }
+
+  return suite;
+}
+
+}  // namespace lqo

@@ -1,0 +1,55 @@
+#ifndef LQO_CARDINALITY_REGISTRY_H_
+#define LQO_CARDINALITY_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cardinality/training_data.h"
+#include "optimizer/cardinality_interface.h"
+
+namespace lqo {
+
+/// Taxonomy category of an estimator (the rows of the paper's Table 1).
+enum class CeCategory {
+  kTraditional,
+  kQueryDrivenStatistical,
+  kQueryDrivenDnn,
+  kDataDriven,
+  kHybrid,
+};
+
+const char* CeCategoryName(CeCategory category);
+
+/// A constructed, trained estimator with its taxonomy metadata.
+struct RegisteredEstimator {
+  std::unique_ptr<CardinalityEstimatorInterface> estimator;
+  CeCategory category = CeCategory::kTraditional;
+  /// The surveyed systems this implementation represents, e.g.
+  /// "Naru [71] / NeuroCard [70]".
+  std::string represents;
+  /// Wall-clock build+train time, seconds (measured at construction).
+  double build_seconds = 0.0;
+};
+
+/// Which estimators to build (all true = full Table 1 sweep).
+struct EstimatorSuiteOptions {
+  bool traditional = true;
+  bool query_driven = true;
+  bool data_driven = true;
+  bool hybrid = true;
+  /// The expensive DNN-based member (MSCN MLP) can be skipped for quick
+  /// runs.
+  bool include_mlp = true;
+};
+
+/// Builds and trains the full estimator suite over one dataset + training
+/// workload. The catalog/stats/training data must outlive the suite.
+std::vector<RegisteredEstimator> MakeEstimatorSuite(
+    const Catalog& catalog, const StatsCatalog& stats,
+    const CeTrainingData& training_data,
+    const EstimatorSuiteOptions& options = {});
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_REGISTRY_H_

@@ -1,0 +1,55 @@
+#include "cardinality/sample_model.h"
+
+#include "common/logging.h"
+
+namespace lqo {
+
+SampleTableModel::SampleTableModel(const Table* table,
+                                   std::vector<size_t> sample_rows)
+    : table_(table), sample_rows_(std::move(sample_rows)) {
+  LQO_CHECK(table_ != nullptr);
+  LQO_CHECK(!sample_rows_.empty());
+  scale_ = static_cast<double>(table_->num_rows()) /
+           static_cast<double>(sample_rows_.size());
+}
+
+std::vector<size_t> SampleTableModel::MatchingRows(const Query& query,
+                                                   int table_index) const {
+  std::vector<Predicate> predicates = query.PredicatesOf(table_index);
+  std::vector<const Column*> cols;
+  for (const Predicate& p : predicates) {
+    cols.push_back(&table_->column(table_->ColumnIndex(p.column).value()));
+  }
+  std::vector<size_t> matching;
+  for (size_t r : sample_rows_) {
+    bool pass = true;
+    for (size_t p = 0; p < predicates.size(); ++p) {
+      if (!predicates[p].Matches(cols[p]->data[r])) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) matching.push_back(r);
+  }
+  return matching;
+}
+
+double SampleTableModel::Selectivity(const Query& query,
+                                     int table_index) const {
+  return static_cast<double>(MatchingRows(query, table_index).size()) /
+         static_cast<double>(sample_rows_.size());
+}
+
+std::vector<double> SampleTableModel::FilteredKeyHistogram(
+    const Query& query, int table_index, const std::string& key_column,
+    const KeyBuckets& buckets) const {
+  const Column& key =
+      table_->column(table_->ColumnIndex(key_column).value());
+  std::vector<double> masses(static_cast<size_t>(buckets.num_buckets()), 0.0);
+  for (size_t r : MatchingRows(query, table_index)) {
+    masses[static_cast<size_t>(buckets.BucketOf(key.data[r]))] += scale_;
+  }
+  return masses;
+}
+
+}  // namespace lqo

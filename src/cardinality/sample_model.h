@@ -1,0 +1,38 @@
+#ifndef LQO_CARDINALITY_SAMPLE_MODEL_H_
+#define LQO_CARDINALITY_SAMPLE_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cardinality/table_model.h"
+#include "storage/table.h"
+
+namespace lqo {
+
+/// Exact evaluation over a uniform row sample — FactorJoin's single-table
+/// building block [64]: cheap, unbiased per table, combined across joins
+/// with key-bucket histograms.
+class SampleTableModel : public SingleTableDistribution {
+ public:
+  /// `sample_rows` are row indices into `table` (uniform sample).
+  SampleTableModel(const Table* table, std::vector<size_t> sample_rows);
+
+  double Selectivity(const Query& query, int table_index) const override;
+  std::vector<double> FilteredKeyHistogram(
+      const Query& query, int table_index, const std::string& key_column,
+      const KeyBuckets& buckets) const override;
+  std::string Kind() const override { return "sample"; }
+
+ private:
+  /// Rows of the sample that satisfy the predicates.
+  std::vector<size_t> MatchingRows(const Query& query, int table_index) const;
+
+  const Table* table_;
+  std::vector<size_t> sample_rows_;
+  double scale_;  // full rows / sample rows
+};
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_SAMPLE_MODEL_H_

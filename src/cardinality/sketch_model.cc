@@ -1,0 +1,242 @@
+#include "cardinality/sketch_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats_util.h"
+
+namespace lqo {
+
+SketchTableModel::SketchTableModel(const Table* table, int bins_1d,
+                                   int bins_2d,
+                                   double correlation_threshold)
+    : table_(table) {
+  LQO_CHECK(table_ != nullptr);
+  LQO_CHECK_GT(table_->num_rows(), 0u);
+
+  // Discretize; 2-D sketches use a coarser binning to bound the budget.
+  std::vector<std::vector<int64_t>> coarse_codes;
+  std::vector<ColumnBinning> coarse_binnings;
+  for (const Column& col : table_->columns()) {
+    column_names_.push_back(col.name);
+    var_of_column_[col.name] = binnings_.size();
+    binnings_.push_back(ColumnBinning::BuildEquiDepth(col.data, bins_1d));
+    coarse_binnings.push_back(
+        ColumnBinning::BuildEquiDepth(col.data, bins_2d));
+    std::vector<int64_t> codes(col.data.size());
+    for (size_t r = 0; r < col.data.size(); ++r) {
+      codes[r] = coarse_binnings.back().BinOf(col.data[r]);
+    }
+    coarse_codes.push_back(std::move(codes));
+  }
+  size_t v = binnings_.size();
+
+  // 1-D marginals over the fine binning.
+  marginals_.resize(v);
+  double n = static_cast<double>(table_->num_rows());
+  for (size_t i = 0; i < v; ++i) {
+    marginals_[i].assign(static_cast<size_t>(binnings_[i].num_bins()), 0.5);
+    const Column& col = table_->column(i);
+    for (int64_t value : col.data) {
+      marginals_[i][static_cast<size_t>(binnings_[i].BinOf(value))] += 1.0;
+    }
+    double total = 0.0;
+    for (double c : marginals_[i]) total += c;
+    for (double& c : marginals_[i]) c /= total;
+  }
+
+  // Greedy pairing by |Pearson| on raw values (Iris's budget allocation to
+  // the column sets that co-vary).
+  std::vector<std::vector<double>> values(v);
+  for (size_t i = 0; i < v; ++i) {
+    values[i].reserve(table_->num_rows());
+    for (int64_t value : table_->column(i).data) {
+      values[i].push_back(static_cast<double>(value));
+    }
+  }
+  struct Candidate {
+    double corr;
+    size_t a, b;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t a = 0; a < v; ++a) {
+    for (size_t b = a + 1; b < v; ++b) {
+      double corr = std::abs(PearsonCorrelation(values[a], values[b]));
+      if (corr >= correlation_threshold) candidates.push_back({corr, a, b});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              return x.corr > y.corr;
+            });
+  pair_of_var_.assign(v, -1);
+  for (const Candidate& candidate : candidates) {
+    if (pair_of_var_[candidate.a] >= 0 || pair_of_var_[candidate.b] >= 0) {
+      continue;  // each variable joins at most one pair.
+    }
+    PairSketch sketch;
+    sketch.var_a = candidate.a;
+    sketch.var_b = candidate.b;
+    size_t bins_a =
+        static_cast<size_t>(coarse_binnings[candidate.a].num_bins());
+    size_t bins_b =
+        static_cast<size_t>(coarse_binnings[candidate.b].num_bins());
+    sketch.joint.assign(bins_a * bins_b, 0.2);  // smoothing
+    for (size_t r = 0; r < table_->num_rows(); ++r) {
+      sketch.joint[static_cast<size_t>(coarse_codes[candidate.a][r]) *
+                       bins_b +
+                   static_cast<size_t>(coarse_codes[candidate.b][r])] += 1.0;
+    }
+    double total = 0.0;
+    for (double c : sketch.joint) total += c;
+    for (double& c : sketch.joint) c /= total;
+    pair_of_var_[candidate.a] = static_cast<int>(pairs_.size());
+    pair_of_var_[candidate.b] = static_cast<int>(pairs_.size());
+    pairs_.push_back(std::move(sketch));
+  }
+  // Pairs use the coarse binning at query time: store it by replacing the
+  // fine binning for paired variables' joint lookups. Keep both: the pair
+  // evaluation re-bins through coarse_binnings captured below.
+  coarse_binnings_ = std::move(coarse_binnings);
+  (void)n;
+}
+
+void SketchTableModel::ConstraintsOf(
+    const Query& query, int table_index,
+    std::vector<std::vector<double>>* allowed,
+    std::vector<bool>* constrained) const {
+  size_t v = binnings_.size();
+  allowed->resize(v);
+  constrained->assign(v, false);
+  for (size_t i = 0; i < v; ++i) {
+    (*allowed)[i].assign(static_cast<size_t>(binnings_[i].num_bins()), 1.0);
+  }
+  for (const Predicate& p : query.PredicatesOf(table_index)) {
+    size_t i = var_of_column_.at(p.column);
+    (*constrained)[i] = true;
+    const ColumnBinning& binning = binnings_[i];
+    for (int b = 0; b < binning.num_bins(); ++b) {
+      double frac = 0.0;
+      switch (p.kind) {
+        case PredicateKind::kEquals:
+          frac = binning.OverlapFraction(b, p.value, p.value);
+          break;
+        case PredicateKind::kRange:
+          frac = binning.OverlapFraction(b, p.lo, p.hi);
+          break;
+        case PredicateKind::kIn:
+          for (int64_t value : p.in_values) {
+            frac += binning.OverlapFraction(b, value, value);
+          }
+          frac = std::min(frac, 1.0);
+          break;
+      }
+      (*allowed)[i][static_cast<size_t>(b)] *= frac;
+    }
+  }
+}
+
+double SketchTableModel::GroupSelectivity(
+    const std::vector<std::vector<double>>& allowed) const {
+  // Per-variable 1-D selectivities first.
+  size_t v = binnings_.size();
+  std::vector<double> marginal_selectivity(v, 1.0);
+  for (size_t i = 0; i < v; ++i) {
+    double s = 0.0;
+    for (size_t b = 0; b < allowed[i].size(); ++b) {
+      s += marginals_[i][b] * allowed[i][b];
+    }
+    marginal_selectivity[i] = std::clamp(s, 1e-9, 1.0);
+  }
+
+  double selectivity = 1.0;
+  std::vector<bool> handled(v, false);
+  for (const PairSketch& sketch : pairs_) {
+    // Joint selectivity over the coarse grid: the allowed fraction of each
+    // coarse bin is approximated by the allowed fraction of its value
+    // range under the fine binning (re-binned via OverlapFraction of the
+    // coarse bin range against... we instead fold the fine allowed vector
+    // into coarse allowed by range intersection).
+    const ColumnBinning& ca = coarse_binnings_[sketch.var_a];
+    const ColumnBinning& cb = coarse_binnings_[sketch.var_b];
+    auto coarse_allowed = [&](size_t var, const ColumnBinning& coarse,
+                              int bin) {
+      // Fraction of the coarse bin's range allowed under the fine vector.
+      const ColumnBinning& fine = binnings_[var];
+      int64_t lo = coarse.BinLow(bin), hi = coarse.BinHigh(bin);
+      int first = fine.BinOf(lo), last = fine.BinOf(hi);
+      double mass = 0.0, weight = 0.0;
+      for (int fb = first; fb <= last; ++fb) {
+        double overlap = fine.OverlapFraction(fb, lo, hi);
+        if (overlap <= 0.0) continue;
+        mass += overlap * allowed[var][static_cast<size_t>(fb)];
+        weight += overlap;
+      }
+      return weight > 0 ? mass / weight : 0.0;
+    };
+    double s = 0.0;
+    size_t bins_b = static_cast<size_t>(cb.num_bins());
+    for (int a = 0; a < ca.num_bins(); ++a) {
+      double fa = coarse_allowed(sketch.var_a, ca, a);
+      if (fa <= 0.0) continue;
+      for (int b = 0; b < cb.num_bins(); ++b) {
+        double fb = coarse_allowed(sketch.var_b, cb, b);
+        if (fb <= 0.0) continue;
+        s += sketch.joint[static_cast<size_t>(a) * bins_b +
+                          static_cast<size_t>(b)] *
+             fa * fb;
+      }
+    }
+    selectivity *= std::clamp(s, 1e-9, 1.0);
+    handled[sketch.var_a] = true;
+    handled[sketch.var_b] = true;
+  }
+  for (size_t i = 0; i < v; ++i) {
+    if (!handled[i]) selectivity *= marginal_selectivity[i];
+  }
+  return std::clamp(selectivity, 0.0, 1.0);
+}
+
+double SketchTableModel::Selectivity(const Query& query,
+                                     int table_index) const {
+  std::vector<std::vector<double>> allowed;
+  std::vector<bool> constrained;
+  ConstraintsOf(query, table_index, &allowed, &constrained);
+  return GroupSelectivity(allowed);
+}
+
+std::vector<double> SketchTableModel::FilteredKeyHistogram(
+    const Query& query, int table_index, const std::string& key_column,
+    const KeyBuckets& buckets) const {
+  size_t key_var = var_of_column_.at(key_column);
+  std::vector<std::vector<double>> allowed;
+  std::vector<bool> constrained;
+  ConstraintsOf(query, table_index, &allowed, &constrained);
+  double rows = static_cast<double>(table_->num_rows());
+
+  std::vector<double> masses(static_cast<size_t>(buckets.num_buckets()), 0.0);
+  const ColumnBinning& binning = binnings_[key_var];
+  std::vector<double> saved = allowed[key_var];
+  for (int bin = 0; bin < binning.num_bins(); ++bin) {
+    if (saved[static_cast<size_t>(bin)] <= 0.0) continue;
+    std::fill(allowed[key_var].begin(), allowed[key_var].end(), 0.0);
+    allowed[key_var][static_cast<size_t>(bin)] =
+        saved[static_cast<size_t>(bin)];
+    double mass = GroupSelectivity(allowed) * rows;
+    if (mass <= 0.0) continue;
+    int64_t lo = binning.BinLow(bin), hi = binning.BinHigh(bin);
+    int b_lo = buckets.BucketOf(lo), b_hi = buckets.BucketOf(hi);
+    double span = static_cast<double>(hi - lo + 1);
+    for (int kb = b_lo; kb <= b_hi; ++kb) {
+      int64_t seg_lo = std::max(lo, buckets.BucketLow(kb));
+      int64_t seg_hi = std::min(hi, buckets.BucketHigh(kb));
+      if (seg_lo > seg_hi) continue;
+      masses[static_cast<size_t>(kb)] +=
+          mass * static_cast<double>(seg_hi - seg_lo + 1) / span;
+    }
+  }
+  return masses;
+}
+
+}  // namespace lqo

@@ -1,0 +1,66 @@
+#ifndef LQO_CARDINALITY_SKETCH_MODEL_H_
+#define LQO_CARDINALITY_SKETCH_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cardinality/table_model.h"
+#include "storage/table.h"
+
+namespace lqo {
+
+/// Iris-style summarization model [35]: the table's columns are split into
+/// groups (here: greedily pairing the most correlated columns, as Iris
+/// allocates its summarization budget to the column sets that need it);
+/// each group gets its own summary — a 2-D histogram for a pair, a 1-D
+/// histogram for a singleton — and selectivities multiply across groups.
+/// Captures exactly the pairwise correlations the independence assumption
+/// destroys, with a budget far below a full joint model.
+class SketchTableModel : public SingleTableDistribution {
+ public:
+  SketchTableModel(const Table* table, int bins_1d = 64, int bins_2d = 24,
+                   double correlation_threshold = 0.3);
+
+  double Selectivity(const Query& query, int table_index) const override;
+  std::vector<double> FilteredKeyHistogram(
+      const Query& query, int table_index, const std::string& key_column,
+      const KeyBuckets& buckets) const override;
+  std::string Kind() const override { return "sketch"; }
+
+  /// Number of 2-D (paired) groups chosen (for tests).
+  size_t num_pairs() const { return pairs_.size(); }
+
+ private:
+  struct PairSketch {
+    size_t var_a = 0;
+    size_t var_b = 0;
+    /// joint[a_bin * bins_b + b_bin] = probability mass.
+    std::vector<double> joint;
+  };
+
+  /// Per-variable allowed bin fractions from the predicates (1.0 where
+  /// unconstrained); `constrained[v]` says whether any predicate touched v.
+  void ConstraintsOf(const Query& query, int table_index,
+                     std::vector<std::vector<double>>* allowed,
+                     std::vector<bool>* constrained) const;
+
+  double GroupSelectivity(const std::vector<std::vector<double>>& allowed)
+      const;
+
+  const Table* table_;
+  std::vector<std::string> column_names_;
+  std::map<std::string, size_t> var_of_column_;
+  std::vector<ColumnBinning> binnings_;
+  /// 1-D marginals for every variable.
+  std::vector<std::vector<double>> marginals_;
+  std::vector<PairSketch> pairs_;
+  /// Coarser binnings used by the 2-D sketches.
+  std::vector<ColumnBinning> coarse_binnings_;
+  /// Group id per variable: pair index, or -1 when summarized alone.
+  std::vector<int> pair_of_var_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_SKETCH_MODEL_H_

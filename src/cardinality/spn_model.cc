@@ -1,0 +1,264 @@
+#include "cardinality/spn_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/stats_util.h"
+#include "ml/kmeans.h"
+
+namespace lqo {
+
+SpnTableModel::SpnTableModel(const Table* table, SpnOptions options)
+    : table_(table), options_(options) {
+  LQO_CHECK(table_ != nullptr);
+  LQO_CHECK_GT(table_->num_rows(), 0u);
+  for (const Column& col : table_->columns()) {
+    var_of_column_[col.name] = binnings_.size();
+    ColumnBinning binning =
+        ColumnBinning::BuildEquiDepth(col.data, options_.max_bins);
+    std::vector<int64_t> codes(col.data.size());
+    for (size_t r = 0; r < col.data.size(); ++r) {
+      codes[r] = binning.BinOf(col.data[r]);
+    }
+    binnings_.push_back(std::move(binning));
+    binned_.push_back(std::move(codes));
+  }
+
+  std::vector<size_t> all_rows(table_->num_rows());
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  std::vector<size_t> all_vars(binnings_.size());
+  std::iota(all_vars.begin(), all_vars.end(), 0);
+  root_ = Build(all_rows, all_vars, 0);
+}
+
+int SpnTableModel::BuildLeaf(const std::vector<size_t>& rows, size_t var) {
+  Node leaf;
+  leaf.type = Node::Type::kLeaf;
+  leaf.var = var;
+  leaf.distribution.assign(
+      static_cast<size_t>(binnings_[var].num_bins()), 0.5);  // smoothing
+  for (size_t r : rows) {
+    leaf.distribution[static_cast<size_t>(binned_[var][r])] += 1.0;
+  }
+  double total = 0.0;
+  for (double c : leaf.distribution) total += c;
+  for (double& c : leaf.distribution) c /= total;
+  nodes_.push_back(std::move(leaf));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int SpnTableModel::Build(const std::vector<size_t>& rows,
+                         const std::vector<size_t>& vars, int depth) {
+  LQO_CHECK(!vars.empty());
+  if (vars.size() == 1) return BuildLeaf(rows, vars[0]);
+
+  bool stop_splitting =
+      rows.size() < options_.min_rows || depth >= options_.max_depth;
+
+  if (!stop_splitting) {
+    // Try a product split: connected components of the "correlated" graph.
+    std::vector<std::vector<double>> values(vars.size());
+    for (size_t i = 0; i < vars.size(); ++i) {
+      values[i].reserve(rows.size());
+      for (size_t r : rows) {
+        values[i].push_back(static_cast<double>(binned_[vars[i]][r]));
+      }
+    }
+    std::vector<int> component(vars.size(), -1);
+    int num_components = 0;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (component[i] >= 0) continue;
+      component[i] = num_components;
+      std::vector<size_t> frontier = {i};
+      while (!frontier.empty()) {
+        size_t u = frontier.back();
+        frontier.pop_back();
+        for (size_t j = 0; j < vars.size(); ++j) {
+          if (component[j] >= 0) continue;
+          if (std::abs(PearsonCorrelation(values[u], values[j])) >=
+              options_.independence_threshold) {
+            component[j] = num_components;
+            frontier.push_back(j);
+          }
+        }
+      }
+      ++num_components;
+    }
+    if (num_components > 1) {
+      Node product;
+      product.type = Node::Type::kProduct;
+      nodes_.push_back(product);
+      int index = static_cast<int>(nodes_.size()) - 1;
+      std::vector<int> children;
+      for (int c = 0; c < num_components; ++c) {
+        std::vector<size_t> group;
+        for (size_t i = 0; i < vars.size(); ++i) {
+          if (component[i] == c) group.push_back(vars[i]);
+        }
+        children.push_back(Build(rows, group, depth + 1));
+      }
+      nodes_[static_cast<size_t>(index)].children = std::move(children);
+      return index;
+    }
+
+    // Sum split: k-means over normalized bin codes.
+    std::vector<std::vector<double>> points(rows.size());
+    for (size_t ri = 0; ri < rows.size(); ++ri) {
+      points[ri].resize(vars.size());
+      for (size_t i = 0; i < vars.size(); ++i) {
+        double bins = static_cast<double>(binnings_[vars[i]].num_bins());
+        points[ri][i] = values[i][ri] / std::max(1.0, bins - 1.0);
+      }
+    }
+    KMeansOptions km_options;
+    km_options.k = options_.sum_clusters;
+    km_options.seed = options_.seed + static_cast<uint64_t>(depth);
+    KMeans kmeans(km_options);
+    kmeans.Fit(points);
+    if (kmeans.centroids().size() > 1) {
+      std::vector<std::vector<size_t>> cluster_rows(
+          kmeans.centroids().size());
+      for (size_t ri = 0; ri < rows.size(); ++ri) {
+        cluster_rows[kmeans.labels()[ri]].push_back(rows[ri]);
+      }
+      Node sum;
+      sum.type = Node::Type::kSum;
+      nodes_.push_back(sum);
+      int index = static_cast<int>(nodes_.size()) - 1;
+      std::vector<int> children;
+      std::vector<double> weights;
+      for (const auto& cluster : cluster_rows) {
+        if (cluster.empty()) continue;
+        weights.push_back(static_cast<double>(cluster.size()) /
+                          static_cast<double>(rows.size()));
+        children.push_back(Build(cluster, vars, depth + 1));
+      }
+      if (children.size() > 1) {
+        nodes_[static_cast<size_t>(index)].children = std::move(children);
+        nodes_[static_cast<size_t>(index)].weights = std::move(weights);
+        return index;
+      }
+      // Degenerate clustering: fall through to independence fallback, using
+      // the placeholder node as the product node.
+      Node& node = nodes_[static_cast<size_t>(index)];
+      node.type = Node::Type::kProduct;
+      std::vector<int> leaf_children;
+      for (size_t var : vars) leaf_children.push_back(BuildLeaf(rows, var));
+      node.children = std::move(leaf_children);
+      return index;
+    }
+  }
+
+  // Fallback: independence product of leaves.
+  Node product;
+  product.type = Node::Type::kProduct;
+  nodes_.push_back(product);
+  int index = static_cast<int>(nodes_.size()) - 1;
+  std::vector<int> children;
+  for (size_t var : vars) children.push_back(BuildLeaf(rows, var));
+  nodes_[static_cast<size_t>(index)].children = std::move(children);
+  return index;
+}
+
+double SpnTableModel::Evaluate(int node_index,
+                               const BinConstraints& constraints) const {
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  switch (node.type) {
+    case Node::Type::kLeaf: {
+      const std::vector<double>& allowed = constraints[node.var];
+      double p = 0.0;
+      for (size_t b = 0; b < node.distribution.size(); ++b) {
+        p += node.distribution[b] * allowed[b];
+      }
+      return p;
+    }
+    case Node::Type::kProduct: {
+      double p = 1.0;
+      for (int child : node.children) p *= Evaluate(child, constraints);
+      return p;
+    }
+    case Node::Type::kSum: {
+      double p = 0.0;
+      for (size_t c = 0; c < node.children.size(); ++c) {
+        p += node.weights[c] * Evaluate(node.children[c], constraints);
+      }
+      return p;
+    }
+  }
+  return 0.0;
+}
+
+SpnTableModel::BinConstraints SpnTableModel::ConstraintsOf(
+    const Query& query, int table_index) const {
+  BinConstraints constraints(binnings_.size());
+  for (size_t v = 0; v < binnings_.size(); ++v) {
+    constraints[v].assign(static_cast<size_t>(binnings_[v].num_bins()), 1.0);
+  }
+  for (const Predicate& p : query.PredicatesOf(table_index)) {
+    size_t v = var_of_column_.at(p.column);
+    const ColumnBinning& binning = binnings_[v];
+    for (int b = 0; b < binning.num_bins(); ++b) {
+      double frac = 0.0;
+      switch (p.kind) {
+        case PredicateKind::kEquals:
+          frac = binning.OverlapFraction(b, p.value, p.value);
+          break;
+        case PredicateKind::kRange:
+          frac = binning.OverlapFraction(b, p.lo, p.hi);
+          break;
+        case PredicateKind::kIn:
+          for (int64_t value : p.in_values) {
+            frac += binning.OverlapFraction(b, value, value);
+          }
+          frac = std::min(frac, 1.0);
+          break;
+      }
+      constraints[v][static_cast<size_t>(b)] *= frac;
+    }
+  }
+  return constraints;
+}
+
+double SpnTableModel::Selectivity(const Query& query, int table_index) const {
+  return std::clamp(Evaluate(root_, ConstraintsOf(query, table_index)), 0.0,
+                    1.0);
+}
+
+std::vector<double> SpnTableModel::FilteredKeyHistogram(
+    const Query& query, int table_index, const std::string& key_column,
+    const KeyBuckets& buckets) const {
+  size_t key_var = var_of_column_.at(key_column);
+  BinConstraints constraints = ConstraintsOf(query, table_index);
+  const ColumnBinning& binning = binnings_[key_var];
+  double rows = static_cast<double>(table_->num_rows());
+
+  std::vector<double> masses(static_cast<size_t>(buckets.num_buckets()), 0.0);
+  // One evaluation per key *bin* (bins <= max_bins), spreading each bin's
+  // probability over the key buckets it overlaps.
+  std::vector<double> saved = constraints[key_var];
+  for (int bin = 0; bin < binning.num_bins(); ++bin) {
+    if (saved[static_cast<size_t>(bin)] <= 0.0) continue;
+    std::fill(constraints[key_var].begin(), constraints[key_var].end(), 0.0);
+    constraints[key_var][static_cast<size_t>(bin)] =
+        saved[static_cast<size_t>(bin)];
+    double mass = Evaluate(root_, constraints) * rows;
+    if (mass <= 0.0) continue;
+    int64_t lo = binning.BinLow(bin);
+    int64_t hi = binning.BinHigh(bin);
+    int b_lo = buckets.BucketOf(lo);
+    int b_hi = buckets.BucketOf(hi);
+    double span = static_cast<double>(hi - lo + 1);
+    for (int kb = b_lo; kb <= b_hi; ++kb) {
+      int64_t seg_lo = std::max(lo, buckets.BucketLow(kb));
+      int64_t seg_hi = std::min(hi, buckets.BucketHigh(kb));
+      if (seg_lo > seg_hi) continue;
+      masses[static_cast<size_t>(kb)] +=
+          mass * static_cast<double>(seg_hi - seg_lo + 1) / span;
+    }
+  }
+  return masses;
+}
+
+}  // namespace lqo

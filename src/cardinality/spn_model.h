@@ -1,0 +1,79 @@
+#ifndef LQO_CARDINALITY_SPN_MODEL_H_
+#define LQO_CARDINALITY_SPN_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cardinality/table_model.h"
+#include "storage/table.h"
+
+namespace lqo {
+
+/// Options for the sum-product network builder.
+struct SpnOptions {
+  int max_bins = 40;
+  /// Stop splitting below this many rows; emit a product of leaves.
+  size_t min_rows = 256;
+  /// |Pearson correlation| below which two columns are considered
+  /// independent (product split).
+  double independence_threshold = 0.25;
+  /// Row clusters per sum split.
+  int sum_clusters = 2;
+  int max_depth = 8;
+  uint64_t seed = 701;
+};
+
+/// DeepDB-style sum-product network [17]: recursive structure with
+///  - product nodes over (approximately) independent column groups,
+///  - sum nodes over k-means row clusters,
+///  - histogram leaves over single columns.
+/// FLAT's FSPN [81] refinement (factorize highly-correlated columns first)
+/// is approximated by the correlation-driven product splits.
+class SpnTableModel : public SingleTableDistribution {
+ public:
+  SpnTableModel(const Table* table, SpnOptions options = SpnOptions());
+
+  double Selectivity(const Query& query, int table_index) const override;
+  std::vector<double> FilteredKeyHistogram(
+      const Query& query, int table_index, const std::string& key_column,
+      const KeyBuckets& buckets) const override;
+  std::string Kind() const override { return "spn"; }
+
+  /// Number of nodes in the built network (for reporting / tests).
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    enum class Type { kSum, kProduct, kLeaf };
+    Type type = Type::kLeaf;
+    // kSum / kProduct children.
+    std::vector<int> children;
+    std::vector<double> weights;  // kSum only, sums to 1.
+    // kLeaf payload.
+    size_t var = 0;                     // column index
+    std::vector<double> distribution;   // P(bin), over binnings_[var]
+  };
+
+  /// A per-variable box constraint: allowed fraction per bin.
+  using BinConstraints = std::vector<std::vector<double>>;
+
+  int Build(const std::vector<size_t>& rows, const std::vector<size_t>& vars,
+            int depth);
+  int BuildLeaf(const std::vector<size_t>& rows, size_t var);
+  double Evaluate(int node, const BinConstraints& constraints) const;
+  BinConstraints ConstraintsOf(const Query& query, int table_index) const;
+
+  const Table* table_;
+  SpnOptions options_;
+  std::vector<ColumnBinning> binnings_;
+  std::map<std::string, size_t> var_of_column_;
+  std::vector<std::vector<int64_t>> binned_;  // per var, per row
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_SPN_MODEL_H_

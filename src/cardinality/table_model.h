@@ -1,0 +1,38 @@
+#ifndef LQO_CARDINALITY_TABLE_MODEL_H_
+#define LQO_CARDINALITY_TABLE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "cardinality/discretize.h"
+#include "query/query.h"
+
+namespace lqo {
+
+/// A learned model of one table's joint column distribution — the
+/// per-table unit every data-driven estimator in Table 1 builds
+/// (kernel density, Bayes net, SPN, autoregressive, sample). The estimator
+/// combines per-table answers across joins (see JoinCombiner).
+class SingleTableDistribution {
+ public:
+  virtual ~SingleTableDistribution() = default;
+
+  /// Fraction of the table's rows satisfying the local predicates of
+  /// `table_index` in `query` (in [0, 1]).
+  virtual double Selectivity(const Query& query, int table_index) const = 0;
+
+  /// Expected *absolute row counts* per key bucket among rows satisfying
+  /// the local predicates, for join column `key_column`. The returned
+  /// vector has `buckets.num_buckets()` entries summing to roughly
+  /// Selectivity * row_count.
+  virtual std::vector<double> FilteredKeyHistogram(
+      const Query& query, int table_index, const std::string& key_column,
+      const KeyBuckets& buckets) const = 0;
+
+  /// Model family tag ("kde", "bayesnet", ...).
+  virtual std::string Kind() const = 0;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_TABLE_MODEL_H_

@@ -1,0 +1,66 @@
+#include "cardinality/traditional.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lqo {
+
+SamplingEstimator::SamplingEstimator(const Catalog* catalog, double rate,
+                                     uint64_t seed) {
+  LQO_CHECK(catalog != nullptr);
+  LQO_CHECK_GT(rate, 0.0);
+  LQO_CHECK_LE(rate, 1.0);
+  Rng rng(seed);
+  sampled_ = std::make_unique<Catalog>();
+  for (const std::string& name : catalog->table_names()) {
+    const Table& table = **catalog->GetTable(name);
+    size_t k = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(
+               rate * static_cast<double>(table.num_rows()))));
+    k = std::min(k, table.num_rows());
+    std::vector<size_t> rows = rng.SampleWithoutReplacement(table.num_rows(), k);
+
+    TableBuilder builder(name);
+    for (const Column& col : table.columns()) {
+      if (col.type == ColumnType::kCategorical) {
+        builder.AddCategoricalColumn(col.name, col.dictionary);
+      } else {
+        builder.AddInt64Column(col.name);
+      }
+    }
+    std::vector<int64_t> row_values(table.num_columns());
+    for (size_t r : rows) {
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        row_values[c] = table.ValueAt(r, c);
+      }
+      builder.AppendRow(row_values);
+    }
+    scale_[name] = static_cast<double>(table.num_rows()) /
+                   static_cast<double>(k);
+    LQO_CHECK(sampled_->AddTable(builder.Build()).ok());
+  }
+  for (const JoinEdge& edge : catalog->join_edges()) {
+    LQO_CHECK(sampled_->AddJoinEdge(edge).ok());
+  }
+  executor_ = std::make_unique<Executor>(sampled_.get());
+}
+
+double SamplingEstimator::EstimateSubquery(const Subquery& subquery) {
+  const Query& query = *subquery.query;
+  PhysicalPlan plan =
+      MakeLeftDeepPlan(query, subquery.tables, JoinAlgorithm::kHashJoin);
+  auto result = executor_->Execute(plan);
+  LQO_CHECK(result.ok()) << result.status().ToString();
+  double scale = 1.0;
+  for (int t = 0; t < query.num_tables(); ++t) {
+    if (!ContainsTable(subquery.tables, t)) continue;
+    scale *= scale_.at(query.tables()[static_cast<size_t>(t)].table_name);
+  }
+  // Clamp to one row: an empty sampled join still admits matches in the
+  // full data (the classic vanishing-sample-join failure mode).
+  return std::max(1.0, static_cast<double>(result->row_count) * scale);
+}
+
+}  // namespace lqo

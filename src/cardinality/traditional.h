@@ -1,0 +1,53 @@
+#ifndef LQO_CARDINALITY_TRADITIONAL_H_
+#define LQO_CARDINALITY_TRADITIONAL_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/executor.h"
+#include "optimizer/baseline_estimator.h"
+#include "optimizer/cardinality_interface.h"
+#include "storage/catalog.h"
+
+namespace lqo {
+
+/// Histogram + independence estimator — identical math to the native
+/// optimizer's BaselineCardinalityEstimator, exposed under the taxonomy
+/// name used by the benchmark tables.
+class HistogramEstimator : public CardinalityEstimatorInterface {
+ public:
+  HistogramEstimator(const Catalog* catalog, const StatsCatalog* stats)
+      : baseline_(catalog, stats) {}
+
+  double EstimateSubquery(const Subquery& subquery) override {
+    return baseline_.EstimateSubquery(subquery);
+  }
+  std::string Name() const override { return "histogram"; }
+
+ private:
+  BaselineCardinalityEstimator baseline_;
+};
+
+/// Uniform-sample estimator: materializes a per-table row sample at build
+/// time, executes the sub-query exactly on the sampled tables and scales by
+/// the sampling rates. Accurate on selections, high-variance on joins (the
+/// classic failure mode the paper's Section 2.1.1 contrasts learned methods
+/// against).
+class SamplingEstimator : public CardinalityEstimatorInterface {
+ public:
+  /// Samples ceil(rate * rows) rows of each table (at least 1).
+  SamplingEstimator(const Catalog* catalog, double rate, uint64_t seed = 301);
+
+  double EstimateSubquery(const Subquery& subquery) override;
+  std::string Name() const override { return "sampling"; }
+
+ private:
+  std::unique_ptr<Catalog> sampled_;
+  std::unique_ptr<Executor> executor_;
+  /// Scale factor per table name: full rows / sampled rows.
+  std::map<std::string, double> scale_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_TRADITIONAL_H_

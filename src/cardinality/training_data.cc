@@ -1,0 +1,38 @@
+#include "cardinality/training_data.h"
+
+#include "common/logging.h"
+
+namespace lqo {
+
+std::vector<TableSet> ConnectedSubsets(const Query& query) {
+  std::vector<TableSet> result;
+  TableSet all = query.AllTables();
+  for (TableSet s = 1; s <= all; ++s) {
+    if ((s & all) != s) continue;
+    if (query.IsConnected(s)) result.push_back(s);
+  }
+  return result;
+}
+
+CeTrainingData BuildCeTrainingData(const Catalog& catalog,
+                                   const StatsCatalog& stats,
+                                   const Workload& workload,
+                                   TrueCardinalityService* truth) {
+  LQO_CHECK(truth != nullptr);
+  CeTrainingData data;
+  data.catalog = &catalog;
+  data.stats = &stats;
+  for (const Query& query : workload.queries) {
+    for (TableSet s : ConnectedSubsets(query)) {
+      LabeledSubquery labeled;
+      labeled.query = &query;
+      labeled.tables = s;
+      labeled.cardinality =
+          static_cast<double>(truth->Cardinality(Subquery{&query, s}));
+      data.labeled.push_back(labeled);
+    }
+  }
+  return data;
+}
+
+}  // namespace lqo

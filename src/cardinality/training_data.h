@@ -1,0 +1,46 @@
+#ifndef LQO_CARDINALITY_TRAINING_DATA_H_
+#define LQO_CARDINALITY_TRAINING_DATA_H_
+
+#include <vector>
+
+#include "engine/true_cardinality.h"
+#include "optimizer/table_stats.h"
+#include "query/query.h"
+#include "query/workload.h"
+#include "storage/catalog.h"
+
+namespace lqo {
+
+/// A sub-query labeled with its exact cardinality.
+struct LabeledSubquery {
+  const Query* query = nullptr;
+  TableSet tables = 0;
+  double cardinality = 0.0;
+
+  Subquery AsSubquery() const { return Subquery{query, tables}; }
+};
+
+/// Everything an estimator may use at training time. Data-driven methods
+/// read `catalog` (the data); query-driven methods read `labeled` (the
+/// workload with true cardinalities); hybrid methods read both.
+struct CeTrainingData {
+  const Catalog* catalog = nullptr;
+  const StatsCatalog* stats = nullptr;
+  /// All connected sub-queries of the training workload, labeled.
+  std::vector<LabeledSubquery> labeled;
+};
+
+/// Enumerates all connected sub-queries (table subsets) of `query`.
+std::vector<TableSet> ConnectedSubsets(const Query& query);
+
+/// Labels every connected sub-query of every workload query with its true
+/// cardinality. The workload object must outlive the returned data (the
+/// labels point into it).
+CeTrainingData BuildCeTrainingData(const Catalog& catalog,
+                                   const StatsCatalog& stats,
+                                   const Workload& workload,
+                                   TrueCardinalityService* truth);
+
+}  // namespace lqo
+
+#endif  // LQO_CARDINALITY_TRAINING_DATA_H_

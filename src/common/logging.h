@@ -1,0 +1,95 @@
+#ifndef LQO_COMMON_LOGGING_H_
+#define LQO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lqo {
+
+/// Severity levels understood by LQO_LOG.
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+namespace internal_logging {
+
+/// Accumulates one log line and flushes it (aborting on kFatal) when the
+/// temporary dies at the end of the statement.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    if (level_ == LogLevel::kFatal) {
+      std::cerr.flush();
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelTag(LogLevel level) {
+    switch (level) {
+      case LogLevel::kInfo:
+        return "I";
+      case LogLevel::kWarning:
+        return "W";
+      case LogLevel::kError:
+        return "E";
+      case LogLevel::kFatal:
+        return "F";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Helper that swallows the stream expression in the non-triggered branch of
+/// a CHECK macro without warnings.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace lqo
+
+#define LQO_LOG(level)                                                 \
+  ::lqo::internal_logging::LogMessage(::lqo::LogLevel::k##level,       \
+                                      __FILE__, __LINE__)              \
+      .stream()
+
+/// Aborts the process with a message when `condition` is false.
+#define LQO_CHECK(condition)                                           \
+  (condition) ? (void)0                                                \
+              : ::lqo::internal_logging::Voidify() &                   \
+                    ::lqo::internal_logging::LogMessage(               \
+                        ::lqo::LogLevel::kFatal, __FILE__, __LINE__)   \
+                        .stream()                                      \
+                        << "Check failed: " #condition " "
+
+#define LQO_CHECK_EQ(a, b) LQO_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LQO_CHECK_NE(a, b) LQO_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LQO_CHECK_LT(a, b) LQO_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LQO_CHECK_LE(a, b) LQO_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LQO_CHECK_GT(a, b) LQO_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LQO_CHECK_GE(a, b) LQO_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // LQO_COMMON_LOGGING_H_

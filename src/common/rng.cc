@@ -1,0 +1,107 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  LQO_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(gen_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(gen_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(gen_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(std::clamp(p, 0.0, 1.0));
+  return dist(gen_);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  LQO_CHECK_GT(n, 0);
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(static_cast<size_t>(n));
+    double total = 0.0;
+    for (int64_t r = 0; r < n; ++r) {
+      total += std::pow(static_cast<double>(r + 1), -s);
+      zipf_cdf_[static_cast<size_t>(r)] = total;
+    }
+    for (double& v : zipf_cdf_) v /= total;
+  }
+  double u = UniformDouble(0.0, 1.0);
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) --it;
+  return static_cast<int64_t>(it - zipf_cdf_.begin());
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  LQO_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  LQO_CHECK_GT(total, 0.0);
+  double u = UniformDouble(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  LQO_CHECK_LE(k, n);
+  // Floyd's algorithm keeps this O(k) in memory for large n.
+  std::vector<size_t> result;
+  result.reserve(k);
+  std::vector<bool> used;
+  if (k * 4 >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  used.assign(n, false);
+  while (result.size() < k) {
+    size_t candidate =
+        static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+    if (!used[candidate]) {
+      used[candidate] = true;
+      result.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+ZipfDistribution::ZipfDistribution(int64_t n, double s) {
+  LQO_CHECK_GT(n, 0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -s);
+    cdf_[static_cast<size_t>(r)] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+int64_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformDouble(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+}  // namespace lqo

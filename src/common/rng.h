@@ -1,0 +1,77 @@
+#ifndef LQO_COMMON_RNG_H_
+#define LQO_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lqo {
+
+/// Deterministic random number source. Every stochastic component in the
+/// library draws from an explicitly seeded Rng so experiments are exactly
+/// reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard-normal sample scaled to (mean, stddev).
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed value in [0, n): rank r has weight (r+1)^-s.
+  /// Uses an inverse-CDF table; intended for n up to a few million.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Samples an index in [0, weights.size()) proportional to weights.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Access to the underlying engine for std:: distributions.
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  // Cached Zipf CDF keyed by (n, s) of the last call; regenerating the table
+  // per call would dominate dataset generation.
+  int64_t zipf_n_ = -1;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+/// Precomputed Zipf sampler: rank r in [0, n) has weight (r+1)^-s. Prefer
+/// this over Rng::Zipf when sampling many values from the same distribution
+/// or interleaving several distributions.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double s);
+
+  int64_t Sample(Rng& rng) const;
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_COMMON_RNG_H_

@@ -1,0 +1,132 @@
+#ifndef LQO_COMMON_STATUS_H_
+#define LQO_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+/// Error categories used across the library. We deliberately keep the set
+/// small; the message carries the details.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// A lightweight absl::Status lookalike. Fallible public APIs return Status
+/// (or StatusOr<T>) instead of throwing; internal invariants use LQO_CHECK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "INVALID_ARGUMENT: bad column".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound:
+        return "NOT_FOUND";
+      case StatusCode::kFailedPrecondition:
+        return "FAILED_PRECONDITION";
+      case StatusCode::kInternal:
+        return "INTERNAL";
+      case StatusCode::kUnimplemented:
+        return "UNIMPLEMENTED";
+    }
+    return "UNKNOWN";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Dereferencing a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value / Status mirrors absl::StatusOr ergonomics.
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : data_(std::move(status)) {  // NOLINT
+    LQO_CHECK(!std::get<Status>(data_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    LQO_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    LQO_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    LQO_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace lqo
+
+/// Propagates a non-OK Status out of the current function.
+#define LQO_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::lqo::Status lqo_status_ = (expr);           \
+    if (!lqo_status_.ok()) return lqo_status_;    \
+  } while (false)
+
+#endif  // LQO_COMMON_STATUS_H_

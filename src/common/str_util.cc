@@ -1,0 +1,47 @@
+#include "common/str_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace lqo {
+
+std::vector<std::string> StrSplit(const std::string& input, char delim) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : input) {
+    if (c == delim) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string StripWhitespace(const std::string& input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string AsciiLower(const std::string& input) {
+  std::string out = input;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", digits, value);
+  return buffer;
+}
+
+}  // namespace lqo

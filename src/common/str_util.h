@@ -1,0 +1,37 @@
+#ifndef LQO_COMMON_STR_UTIL_H_
+#define LQO_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lqo {
+
+/// Joins the elements of `parts` with `sep` using operator<<.
+template <typename Container>
+std::string StrJoin(const Container& parts, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) out << sep;
+    out << part;
+    first = false;
+  }
+  return out.str();
+}
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& input, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string StripWhitespace(const std::string& input);
+
+/// Lowercases ASCII characters.
+std::string AsciiLower(const std::string& input);
+
+/// Formats a double with `digits` significant digits, trimming zeros.
+std::string FormatDouble(double value, int digits = 4);
+
+}  // namespace lqo
+
+#endif  // LQO_COMMON_STR_UTIL_H_

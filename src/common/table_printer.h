@@ -1,0 +1,35 @@
+#ifndef LQO_COMMON_TABLE_PRINTER_H_
+#define LQO_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace lqo {
+
+/// Renders aligned ASCII result tables for the benchmark binaries, e.g.
+///
+///   +---------+-------+-------+
+///   | method  |  p50  |  p99  |
+///   +---------+-------+-------+
+///   | hist    |  1.20 | 45.00 |
+///   +---------+-------+-------+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table; optionally prefixed by a title line.
+  std::string ToString(const std::string& title = "") const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,93 @@
+#include "costmodel/concurrent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "costmodel/plan_featurizer.h"
+
+namespace lqo {
+
+PlanResourceProfile MakeResourceProfile(const PhysicalPlan& plan,
+                                        const ExecutionResult& result) {
+  PlanResourceProfile profile;
+  profile.solo_time = result.time_units;
+  profile.cpu_work = result.time_units;
+  for (const NodeProfile& node : result.node_profiles) {
+    if (node.kind == PlanNode::Kind::kJoin &&
+        node.algorithm == JoinAlgorithm::kHashJoin) {
+      profile.memory_rows = std::max(
+          profile.memory_rows, static_cast<double>(node.right_rows));
+    }
+  }
+  profile.plan_features = PlanFeaturizer::Featurize(plan);
+  return profile;
+}
+
+std::vector<double> ConcurrencySimulator::BatchLatencies(
+    const std::vector<const PlanResourceProfile*>& batch) const {
+  std::vector<double> latencies;
+  latencies.reserve(batch.size());
+  double total_memory = 0.0;
+  double total_cpu = 0.0;
+  for (const PlanResourceProfile* profile : batch) {
+    total_memory += profile->memory_rows;
+    total_cpu += profile->cpu_work;
+  }
+  for (const PlanResourceProfile* profile : batch) {
+    double co_memory = total_memory - profile->memory_rows;
+    double co_cpu = total_cpu - profile->cpu_work;
+    double inflation =
+        1.0 + options_.memory_alpha * co_memory / options_.memory_capacity +
+        options_.cpu_beta * co_cpu / options_.cpu_capacity;
+    latencies.push_back(profile->solo_time * inflation);
+  }
+  return latencies;
+}
+
+std::vector<double> ConcurrentCostModel::MixFeatures(
+    const PlanResourceProfile& self,
+    const std::vector<const PlanResourceProfile*>& batch) {
+  double co_memory = 0.0, co_cpu = 0.0, max_co_memory = 0.0;
+  for (const PlanResourceProfile* other : batch) {
+    if (other == &self) continue;
+    co_memory += other->memory_rows;
+    co_cpu += other->cpu_work;
+    max_co_memory = std::max(max_co_memory, other->memory_rows);
+  }
+  std::vector<double> features = self.plan_features;
+  features.push_back(std::log(self.memory_rows + 1.0));
+  features.push_back(std::log(self.cpu_work + 1.0));
+  features.push_back(static_cast<double>(batch.size()));
+  features.push_back(std::log(co_memory + 1.0));
+  features.push_back(std::log(co_cpu + 1.0));
+  features.push_back(std::log(max_co_memory + 1.0));
+  return features;
+}
+
+void ConcurrentCostModel::Train(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& latencies) {
+  LQO_CHECK(!features.empty());
+  LQO_CHECK_EQ(features.size(), latencies.size());
+  std::vector<double> log_latency;
+  log_latency.reserve(latencies.size());
+  for (double latency : latencies) {
+    log_latency.push_back(std::log(latency + 1.0));
+  }
+  GbdtOptions options;
+  options.num_trees = 120;
+  options.tree.max_depth = 5;
+  model_ = GradientBoostedTrees(options);
+  model_.Fit(features, log_latency);
+  trained_ = true;
+}
+
+double ConcurrentCostModel::Predict(
+    const std::vector<double>& features) const {
+  LQO_CHECK(trained_);
+  double log_latency = std::clamp(model_.Predict(features), 0.0, 50.0);
+  return std::exp(log_latency) - 1.0;
+}
+
+}  // namespace lqo

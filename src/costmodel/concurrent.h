@@ -1,0 +1,86 @@
+#ifndef LQO_COSTMODEL_CONCURRENT_H_
+#define LQO_COSTMODEL_CONCURRENT_H_
+
+#include <vector>
+
+#include "costmodel/learned_cost_model.h"
+#include "engine/executor.h"
+#include "ml/gbdt.h"
+
+namespace lqo {
+
+/// Resource profile of one plan when run in a mix: its solo latency and
+/// the footprints that create interference.
+struct PlanResourceProfile {
+  double solo_time = 0.0;
+  /// Largest hash-build input (memory pressure proxy).
+  double memory_rows = 0.0;
+  /// Total work (CPU pressure proxy) == solo time under our schedule.
+  double cpu_work = 0.0;
+  std::vector<double> plan_features;
+};
+
+/// Extracts the resource profile from an executed plan.
+PlanResourceProfile MakeResourceProfile(const PhysicalPlan& plan,
+                                        const ExecutionResult& result);
+
+/// Options of the deterministic concurrency simulator.
+struct ConcurrencyOptions {
+  /// Latency inflation per unit of co-runner memory over capacity.
+  double memory_alpha = 1.5;
+  double memory_capacity = 50000.0;  // rows
+  /// Latency inflation per unit of co-runner CPU work over capacity.
+  double cpu_beta = 0.5;
+  double cpu_capacity = 2e6;  // time units
+};
+
+/// Deterministic stand-in for running query mixes on a shared server: each
+/// query in a batch is slowed down proportionally to its co-runners'
+/// memory and CPU footprints. This is the substrate the concurrent-query
+/// cost models of the paper's Section 2.1.2 (GPredictor [78],
+/// Prestroid [20], resource-aware models [31]) are trained against.
+class ConcurrencySimulator {
+ public:
+  explicit ConcurrencySimulator(
+      ConcurrencyOptions options = ConcurrencyOptions())
+      : options_(options) {}
+
+  /// Latency of every batch member under interference; batch of one
+  /// returns the solo time.
+  std::vector<double> BatchLatencies(
+      const std::vector<const PlanResourceProfile*>& batch) const;
+
+  const ConcurrencyOptions& options() const { return options_; }
+
+ private:
+  ConcurrencyOptions options_;
+};
+
+/// GPredictor/Prestroid-style learned concurrent-latency model: a GBDT
+/// over [own plan features; own footprints; co-runner aggregates]
+/// predicting the query's latency inside the mix. The "solo" baseline it
+/// is compared against simply predicts the solo latency, ignoring
+/// interference.
+class ConcurrentCostModel {
+ public:
+  ConcurrentCostModel() = default;
+
+  /// One training observation: the query's features within its batch.
+  static std::vector<double> MixFeatures(
+      const PlanResourceProfile& self,
+      const std::vector<const PlanResourceProfile*>& batch);
+
+  void Train(const std::vector<std::vector<double>>& features,
+             const std::vector<double>& latencies);
+
+  double Predict(const std::vector<double>& features) const;
+  bool trained() const { return trained_; }
+
+ private:
+  GradientBoostedTrees model_;
+  bool trained_ = false;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_COSTMODEL_CONCURRENT_H_

@@ -1,0 +1,131 @@
+#include "costmodel/plan_featurizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lqo {
+namespace {
+
+double Log1p(double v) { return std::log(std::max(v, 0.0) + 1.0); }
+
+struct Aggregates {
+  double count_scan = 0, count_hash = 0, count_nlj = 0, count_merge = 0;
+  double sum_log_card = 0, max_log_card = 0, root_log_card = 0;
+  double sum_log_hash_build = 0, sum_log_nlj_inner = 0;
+  double nlj_pairs = 0;
+  double max_depth = 0;
+  double sum_scan_card = 0;
+  // Per-node maxima: the features that let a model learn threshold effects
+  // (cache-resident NLJ inners, spilling hash builds).
+  double max_log_nlj_inner = 0, max_log_hash_build = 0, max_log_nlj_pairs = 0;
+};
+
+void Walk(const PlanNode& node, int depth, Aggregates* agg) {
+  double card = std::max(node.estimated_cardinality, 0.0);
+  agg->sum_log_card += Log1p(card);
+  agg->max_log_card = std::max(agg->max_log_card, Log1p(card));
+  agg->max_depth = std::max(agg->max_depth, static_cast<double>(depth));
+  if (node.kind == PlanNode::Kind::kScan) {
+    agg->count_scan += 1;
+    agg->sum_scan_card += card;
+    return;
+  }
+  double left = std::max(node.left->estimated_cardinality, 0.0);
+  double right = std::max(node.right->estimated_cardinality, 0.0);
+  switch (node.algorithm) {
+    case JoinAlgorithm::kHashJoin:
+      agg->count_hash += 1;
+      agg->sum_log_hash_build += Log1p(right);
+      agg->max_log_hash_build = std::max(agg->max_log_hash_build, Log1p(right));
+      break;
+    case JoinAlgorithm::kNestedLoopJoin:
+      agg->count_nlj += 1;
+      agg->sum_log_nlj_inner += Log1p(right);
+      agg->nlj_pairs += left * right;
+      agg->max_log_nlj_inner = std::max(agg->max_log_nlj_inner, Log1p(right));
+      agg->max_log_nlj_pairs =
+          std::max(agg->max_log_nlj_pairs, Log1p(left * right));
+      break;
+    case JoinAlgorithm::kMergeJoin:
+      agg->count_merge += 1;
+      break;
+  }
+  Walk(*node.left, depth + 1, agg);
+  Walk(*node.right, depth + 1, agg);
+}
+
+}  // namespace
+
+std::vector<double> PlanFeaturizer::Featurize(const PhysicalPlan& plan) {
+  LQO_CHECK(plan.root != nullptr);
+  Aggregates agg;
+  Walk(*plan.root, 0, &agg);
+  agg.root_log_card = Log1p(std::max(plan.root->estimated_cardinality, 0.0));
+
+  double num_joins = agg.count_hash + agg.count_nlj + agg.count_merge;
+  std::vector<double> features = {
+      agg.count_scan,
+      agg.count_hash,
+      agg.count_nlj,
+      agg.count_merge,
+      num_joins,
+      agg.max_depth,
+      agg.root_log_card,
+      agg.sum_log_card,
+      agg.max_log_card,
+      Log1p(agg.sum_scan_card),
+      agg.sum_log_hash_build,
+      agg.sum_log_nlj_inner,
+      Log1p(agg.nlj_pairs),
+      // Shape indicators.
+      num_joins > 0 ? agg.count_hash / num_joins : 0.0,
+      num_joins > 0 ? agg.count_nlj / num_joins : 0.0,
+      num_joins > 0 ? agg.count_merge / num_joins : 0.0,
+      agg.max_depth - num_joins,  // 0 for left-deep, negative for bushy
+      // Cardinality-derived interactions.
+      agg.root_log_card * num_joins,
+      agg.max_log_card * agg.count_nlj,
+      agg.max_log_card * agg.count_hash,
+      agg.sum_log_card / std::max(1.0, num_joins + agg.count_scan),
+      agg.max_log_nlj_inner,
+      agg.max_log_hash_build,
+      agg.max_log_nlj_pairs,
+      1.0,  // bias
+  };
+  LQO_CHECK_EQ(features.size(), kDim);
+  return features;
+}
+
+std::vector<double> PlanFeaturizer::NodeFeatures(PlanNode::Kind kind,
+                                                 JoinAlgorithm algorithm,
+                                                 double left_rows,
+                                                 double right_rows,
+                                                 double output_rows,
+                                                 int depth) {
+  std::vector<double> features(kNodeDim, 0.0);
+  if (kind == PlanNode::Kind::kScan) {
+    features[0] = 1.0;
+  } else {
+    switch (algorithm) {
+      case JoinAlgorithm::kHashJoin:
+        features[1] = 1.0;
+        break;
+      case JoinAlgorithm::kNestedLoopJoin:
+        features[2] = 1.0;
+        break;
+      case JoinAlgorithm::kMergeJoin:
+        features[3] = 1.0;
+        break;
+    }
+  }
+  features[4] = Log1p(left_rows);
+  features[5] = Log1p(right_rows);
+  features[6] = Log1p(output_rows);
+  features[7] = Log1p(left_rows) + Log1p(right_rows);
+  features[8] = static_cast<double>(depth);
+  return features;
+}
+
+}  // namespace lqo

@@ -1,0 +1,36 @@
+#ifndef LQO_COSTMODEL_PLAN_FEATURIZER_H_
+#define LQO_COSTMODEL_PLAN_FEATURIZER_H_
+
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/plan.h"
+
+namespace lqo {
+
+/// Fixed-size featurization of an (annotated) physical plan, in the spirit
+/// of the tree-convolution featurizations of [39]/Neo/Bao: per-operator
+/// counts and cardinality aggregates plus tree-shape statistics. Plans must
+/// carry estimated_cardinality annotations (set by any CostModelInterface
+/// or the optimizer).
+class PlanFeaturizer {
+ public:
+  /// Number of features produced.
+  static constexpr size_t kDim = 25;
+
+  /// Featurizes an annotated plan.
+  static std::vector<double> Featurize(const PhysicalPlan& plan);
+
+  /// Node-local features for per-operator (zero-shot style) models:
+  /// [scan, hash, nlj, merge one-hot; log left rows; log right rows;
+  ///  log output rows; left*right interaction (log); depth].
+  static constexpr size_t kNodeDim = 9;
+  static std::vector<double> NodeFeatures(PlanNode::Kind kind,
+                                          JoinAlgorithm algorithm,
+                                          double left_rows, double right_rows,
+                                          double output_rows, int depth);
+};
+
+}  // namespace lqo
+
+#endif  // LQO_COSTMODEL_PLAN_FEATURIZER_H_

@@ -1,0 +1,68 @@
+#include "costmodel/sample_collection.h"
+
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+std::vector<CollectedPlan> CollectCostSamples(const Workload& workload,
+                                              const Optimizer& optimizer,
+                                              CardinalityProvider* cards,
+                                              const Executor& executor) {
+  std::vector<CollectedPlan> collected;
+
+  std::vector<HintSet> hint_variants;
+  hint_variants.push_back(HintSet{});
+  {
+    HintSet h;
+    h.name = "hash_only";
+    h.enable_nested_loop = false;
+    h.enable_merge_join = false;
+    hint_variants.push_back(h);
+  }
+  {
+    HintSet h;
+    h.name = "no_hash";
+    h.enable_hash_join = false;
+    hint_variants.push_back(h);
+  }
+  {
+    HintSet h;
+    h.name = "nlj_only";
+    h.enable_hash_join = false;
+    h.enable_merge_join = false;
+    hint_variants.push_back(h);
+  }
+
+  const double kScales[] = {0.1, 10.0};
+
+  for (const Query& query : workload.queries) {
+    std::set<std::string> seen;
+    auto add_plan = [&](PhysicalPlan plan) {
+      if (!seen.insert(plan.Signature()).second) return;
+      auto result = executor.Execute(plan);
+      LQO_CHECK(result.ok()) << result.status().ToString();
+      CollectedPlan entry;
+      entry.sample = MakeCostSample(plan, *result, optimizer.stats());
+      entry.plan = std::move(plan);
+      collected.push_back(std::move(entry));
+    };
+
+    for (const HintSet& hints : hint_variants) {
+      add_plan(optimizer.Optimize(query, cards, hints).plan);
+    }
+    if (query.num_tables() > 1) {
+      add_plan(optimizer.OptimizeGreedy(query, cards).plan);
+      for (double scale : kScales) {
+        cards->SetScale(scale, 2);
+        add_plan(optimizer.Optimize(query, cards).plan);
+        cards->ClearOverrides();
+      }
+    }
+  }
+  return collected;
+}
+
+}  // namespace lqo

@@ -1,0 +1,32 @@
+#ifndef LQO_COSTMODEL_SAMPLE_COLLECTION_H_
+#define LQO_COSTMODEL_SAMPLE_COLLECTION_H_
+
+#include <vector>
+
+#include "costmodel/learned_cost_model.h"
+#include "engine/executor.h"
+#include "optimizer/optimizer.h"
+#include "query/workload.h"
+
+namespace lqo {
+
+/// An executed training plan with its extracted cost sample.
+struct CollectedPlan {
+  PhysicalPlan plan;
+  CostSample sample;
+};
+
+/// Builds a diverse plan corpus for cost-model training: for every workload
+/// query, plans from the DP enumerator under several hint sets plus the
+/// greedy enumerator and cardinality scalings, deduplicated by signature,
+/// each executed to obtain true time units. Node annotations keep the
+/// *estimated* cardinalities (the information a cost model actually has at
+/// planning time).
+std::vector<CollectedPlan> CollectCostSamples(const Workload& workload,
+                                              const Optimizer& optimizer,
+                                              CardinalityProvider* cards,
+                                              const Executor& executor);
+
+}  // namespace lqo
+
+#endif  // LQO_COSTMODEL_SAMPLE_COLLECTION_H_

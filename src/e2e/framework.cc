@@ -1,0 +1,19 @@
+#include "e2e/framework.h"
+
+#include "common/logging.h"
+
+namespace lqo {
+
+PhysicalPlan NativePlan(const E2eContext& context, const Query& query) {
+  LQO_CHECK(context.optimizer != nullptr);
+  CardinalityProvider cards(context.estimator);
+  return context.optimizer->Optimize(query, &cards).plan;
+}
+
+void AnnotateWithBaseline(const E2eContext& context, PhysicalPlan* plan) {
+  LQO_CHECK(plan != nullptr);
+  CardinalityProvider cards(context.estimator);
+  context.cost_model->PlanCost(plan, &cards);
+}
+
+}  // namespace lqo

@@ -1,0 +1,77 @@
+#ifndef LQO_E2E_FRAMEWORK_H_
+#define LQO_E2E_FRAMEWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+#include "optimizer/baseline_estimator.h"
+#include "optimizer/optimizer.h"
+
+namespace lqo {
+
+/// Shared context every end-to-end learned optimizer plans against: the
+/// native optimizer, its statistics and its baseline estimator. Each
+/// learned optimizer owns its own CardinalityProvider so knob turning
+/// (scales, overrides) never leaks across methods.
+struct E2eContext {
+  const Catalog* catalog = nullptr;
+  const StatsCatalog* stats = nullptr;
+  const Optimizer* optimizer = nullptr;
+  const AnalyticalCostModel* cost_model = nullptr;
+  CardinalityEstimatorInterface* estimator = nullptr;
+};
+
+/// One observed execution, the unit of experience for risk models.
+struct PlanExperience {
+  /// Groups observations of the same logical query (for pairwise models).
+  std::string query_key;
+  std::vector<double> features;
+  double time_units = 0.0;
+  std::string plan_signature;
+};
+
+/// The paper's Section 2.2 unified framework: a learned query optimizer
+/// generates candidate plans with some exploration strategy and selects one
+/// with a learned risk model; execution feedback flows back via Observe and
+/// periodic Retrain.
+class LearnedQueryOptimizer {
+ public:
+  virtual ~LearnedQueryOptimizer() = default;
+
+  /// The plan this optimizer would execute for `query` right now.
+  virtual PhysicalPlan ChoosePlan(const Query& query) = 0;
+
+  /// Candidate plans worth executing during the training phase (plan
+  /// exploration). Default: just the chosen plan.
+  virtual std::vector<PhysicalPlan> TrainingCandidates(const Query& query) {
+    std::vector<PhysicalPlan> plans;
+    plans.push_back(ChoosePlan(query));
+    return plans;
+  }
+
+  /// Execution feedback for one (query, plan) pair.
+  virtual void Observe(const Query& query, const PhysicalPlan& plan,
+                       double time_units) = 0;
+
+  /// Refits the risk model from accumulated experience.
+  virtual void Retrain() = 0;
+
+  virtual std::string Name() const = 0;
+
+  virtual bool trained() const = 0;
+};
+
+/// The native plan for a query (DP + analytical model + baseline cards) —
+/// the comparison point for every learned optimizer and the fallback plan
+/// several of them keep in their candidate sets.
+PhysicalPlan NativePlan(const E2eContext& context, const Query& query);
+
+/// Annotates `plan` with estimates from clean (unscaled) baseline cards so
+/// risk-model features are computed consistently across candidates.
+void AnnotateWithBaseline(const E2eContext& context, PhysicalPlan* plan);
+
+}  // namespace lqo
+
+#endif  // LQO_E2E_FRAMEWORK_H_

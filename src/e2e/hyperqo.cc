@@ -1,0 +1,112 @@
+#include "e2e/hyperqo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+#include "common/stats_util.h"
+#include "costmodel/plan_featurizer.h"
+
+namespace lqo {
+
+HyperQoOptimizer::HyperQoOptimizer(const E2eContext& context,
+                                   HyperQoOptions options)
+    : context_(context), options_(options) {}
+
+std::vector<PhysicalPlan> HyperQoOptimizer::Candidates(const Query& query) {
+  std::vector<PhysicalPlan> candidates;
+  std::set<std::string> seen;
+  CardinalityProvider cards(context_.estimator);
+
+  PhysicalPlan native = context_.optimizer->Optimize(query, &cards).plan;
+  seen.insert(native.Signature());
+  AnnotateWithBaseline(context_, &native);
+  candidates.push_back(std::move(native));
+
+  // Leading hints: force each table as the driving table.
+  for (int t = 0; t < query.num_tables(); ++t) {
+    HintSet hints;
+    hints.leading = {t};
+    PhysicalPlan plan =
+        context_.optimizer->Optimize(query, &cards, hints).plan;
+    if (!seen.insert(plan.Signature()).second) continue;
+    AnnotateWithBaseline(context_, &plan);
+    candidates.push_back(std::move(plan));
+  }
+  return candidates;
+}
+
+void HyperQoOptimizer::Predict(const std::vector<double>& features,
+                               double* mean, double* stddev) const {
+  LQO_CHECK(trained_);
+  std::vector<double> predictions;
+  for (const Mlp& model : ensemble_) {
+    predictions.push_back(model.Predict(features));
+  }
+  *mean = Mean(predictions);
+  *stddev = StdDev(predictions);
+}
+
+PhysicalPlan HyperQoOptimizer::ChoosePlan(const Query& query) {
+  std::vector<PhysicalPlan> candidates = Candidates(query);
+  LQO_CHECK(!candidates.empty());
+  if (!trained_ || candidates.size() == 1) {
+    return std::move(candidates[0]);  // cost-based fallback.
+  }
+  size_t best = 0;  // native fallback survives any filtering.
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double mean, stddev;
+    Predict(PlanFeaturizer::Featurize(candidates[i]), &mean, &stddev);
+    // Variance filter: skip risky candidates (never filters the native
+    // plan out of existence — if everything is filtered, native wins).
+    if (stddev > options_.max_relative_std * std::max(std::abs(mean), 1e-3)) {
+      continue;
+    }
+    if (mean < best_mean) {
+      best_mean = mean;
+      best = i;
+    }
+  }
+  return std::move(candidates[best]);
+}
+
+std::vector<PhysicalPlan> HyperQoOptimizer::TrainingCandidates(
+    const Query& query) {
+  return Candidates(query);
+}
+
+void HyperQoOptimizer::Observe(const Query& query, const PhysicalPlan& plan,
+                               double time_units) {
+  PlanExperience experience;
+  experience.query_key = Subquery{&query, query.AllTables()}.Key();
+  experience.features = PlanFeaturizer::Featurize(plan);
+  experience.time_units = time_units;
+  experience.plan_signature = plan.Signature();
+  experience_.Add(std::move(experience));
+}
+
+void HyperQoOptimizer::Retrain() {
+  if (experience_.size() < 8) return;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (const PlanExperience& record : experience_.records()) {
+    x.push_back(record.features);
+    y.push_back(std::log(record.time_units + 1.0));
+  }
+  ensemble_.clear();
+  for (int k = 0; k < options_.ensemble_size; ++k) {
+    MlpOptions mlp_options;
+    mlp_options.hidden_layers = {32, 16};
+    mlp_options.epochs = 60;
+    mlp_options.seed = options_.seed + static_cast<uint64_t>(k) * 97;
+    Mlp model(mlp_options);
+    model.Fit(x, y);
+    ensemble_.push_back(std::move(model));
+  }
+  trained_ = true;
+}
+
+}  // namespace lqo

@@ -1,0 +1,82 @@
+#include "e2e/leon.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "costmodel/plan_featurizer.h"
+
+namespace lqo {
+namespace {
+
+OptimizerOptions LeftDeepOptions() {
+  OptimizerOptions options;
+  options.bushy = false;
+  return options;
+}
+
+}  // namespace
+
+LeonOptimizer::LeonOptimizer(const E2eContext& context, LeonOptions options)
+    : context_(context),
+      options_(options),
+      left_deep_optimizer_(context.stats, context.cost_model,
+                           LeftDeepOptions()),
+      risk_model_(options.seed) {}
+
+std::vector<PhysicalPlan> LeonOptimizer::Candidates(const Query& query) {
+  std::vector<PhysicalPlan> candidates;
+  std::set<std::string> seen;
+  CardinalityProvider cards(context_.estimator);
+
+  auto add = [&](PhysicalPlan plan) {
+    if (!seen.insert(plan.Signature()).second) return;
+    AnnotateWithBaseline(context_, &plan);
+    candidates.push_back(std::move(plan));
+  };
+
+  add(context_.optimizer->Optimize(query, &cards).plan);  // native first.
+  add(left_deep_optimizer_.Optimize(query, &cards).plan);
+  if (query.num_tables() > 1) {
+    add(context_.optimizer->OptimizeGreedy(query, &cards).plan);
+  }
+  HintSet no_nlj;
+  no_nlj.enable_nested_loop = false;
+  add(context_.optimizer->Optimize(query, &cards, no_nlj).plan);
+  HintSet no_hash;
+  no_hash.enable_hash_join = false;
+  add(context_.optimizer->Optimize(query, &cards, no_hash).plan);
+  return candidates;
+}
+
+PhysicalPlan LeonOptimizer::ChoosePlan(const Query& query) {
+  std::vector<PhysicalPlan> candidates = Candidates(query);
+  LQO_CHECK(!candidates.empty());
+  if (!risk_model_.trained() || candidates.size() == 1) {
+    return std::move(candidates[0]);
+  }
+  std::vector<std::vector<double>> features;
+  for (const PhysicalPlan& plan : candidates) {
+    features.push_back(PlanFeaturizer::Featurize(plan));
+  }
+  size_t best = risk_model_.PickBestConservative(features, 0);
+  return std::move(candidates[best]);
+}
+
+std::vector<PhysicalPlan> LeonOptimizer::TrainingCandidates(
+    const Query& query) {
+  return Candidates(query);
+}
+
+void LeonOptimizer::Observe(const Query& query, const PhysicalPlan& plan,
+                            double time_units) {
+  PlanExperience experience;
+  experience.query_key = Subquery{&query, query.AllTables()}.Key();
+  experience.features = PlanFeaturizer::Featurize(plan);
+  experience.time_units = time_units;
+  experience.plan_signature = plan.Signature();
+  experience_.Add(std::move(experience));
+}
+
+void LeonOptimizer::Retrain() { risk_model_.Train(experience_); }
+
+}  // namespace lqo

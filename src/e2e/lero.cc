@@ -1,0 +1,69 @@
+#include "e2e/lero.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+LeroOptimizer::LeroOptimizer(const E2eContext& context, LeroOptions options)
+    : context_(context),
+      options_(options),
+      risk_model_(options.seed) {}
+
+std::vector<PhysicalPlan> LeroOptimizer::Candidates(const Query& query) {
+  std::vector<PhysicalPlan> candidates;
+  std::set<std::string> seen;
+  CardinalityProvider cards(context_.estimator);
+
+  // Native (scale = 1) first.
+  PhysicalPlan native = context_.optimizer->Optimize(query, &cards).plan;
+  seen.insert(native.Signature());
+  AnnotateWithBaseline(context_, &native);
+  candidates.push_back(std::move(native));
+
+  for (double factor : options_.scale_factors) {
+    if (factor == 1.0) continue;
+    cards.ClearOverrides();
+    cards.SetScale(factor, 2);
+    PhysicalPlan plan = context_.optimizer->Optimize(query, &cards).plan;
+    cards.ClearOverrides();
+    if (!seen.insert(plan.Signature()).second) continue;
+    AnnotateWithBaseline(context_, &plan);
+    candidates.push_back(std::move(plan));
+  }
+  return candidates;
+}
+
+PhysicalPlan LeroOptimizer::ChoosePlan(const Query& query) {
+  std::vector<PhysicalPlan> candidates = Candidates(query);
+  LQO_CHECK(!candidates.empty());
+  if (!risk_model_.trained() || candidates.size() == 1) {
+    return std::move(candidates[0]);  // native fallback.
+  }
+  std::vector<std::vector<double>> features;
+  for (const PhysicalPlan& plan : candidates) {
+    features.push_back(PlanFeaturizer::Featurize(plan));
+  }
+  size_t best = risk_model_.PickBestConservative(features, 0);
+  return std::move(candidates[best]);
+}
+
+std::vector<PhysicalPlan> LeroOptimizer::TrainingCandidates(
+    const Query& query) {
+  return Candidates(query);
+}
+
+void LeroOptimizer::Observe(const Query& query, const PhysicalPlan& plan,
+                            double time_units) {
+  PlanExperience experience;
+  experience.query_key = Subquery{&query, query.AllTables()}.Key();
+  experience.features = PlanFeaturizer::Featurize(plan);
+  experience.time_units = time_units;
+  experience.plan_signature = plan.Signature();
+  experience_.Add(std::move(experience));
+}
+
+void LeroOptimizer::Retrain() { risk_model_.Train(experience_); }
+
+}  // namespace lqo

@@ -1,0 +1,103 @@
+#include "e2e/neo.h"
+
+#include "common/logging.h"
+
+namespace lqo {
+
+NeoOptimizer::NeoOptimizer(const E2eContext& context, NeoOptions options)
+    : context_(context),
+      options_(options),
+      search_(context, options.max_expansions, /*beam_width=*/1) {}
+
+PhysicalPlan NeoOptimizer::ChoosePlan(const Query& query) {
+  if (!value_model_.trained()) {
+    // Expert bootstrap phase: execute the native optimizer's plans.
+    return NativePlan(context_, query);
+  }
+  return search_.Search(query, value_model_,
+                        ValueSearch::Strategy::kBestFirst);
+}
+
+void NeoOptimizer::Observe(const Query& query, const PhysicalPlan& plan,
+                           double time_units) {
+  for (PlanExperience& experience :
+       search_.SubplanExperiences(query, plan, time_units)) {
+    experience_.Add(std::move(experience));
+  }
+}
+
+void NeoOptimizer::Retrain() { value_model_.Train(experience_); }
+
+BalsaOptimizer::BalsaOptimizer(const E2eContext& context,
+                               const std::vector<Query>& simulation_queries,
+                               BalsaOptions options)
+    : context_(context),
+      options_(options),
+      search_(context, /*max_expansions=*/300, options.beam_width) {
+  Simulate(simulation_queries);
+}
+
+void BalsaOptimizer::Simulate(const std::vector<Query>& queries) {
+  // Diverse plans per query via hint variants and enumerator choice,
+  // labeled with *analytical cost* (no execution — the simulation phase).
+  std::vector<HintSet> variants;
+  variants.push_back(HintSet{});
+  for (int mask = 1; mask < 7; ++mask) {
+    HintSet hints;
+    hints.enable_hash_join = (mask & 1) != 0;
+    hints.enable_nested_loop = (mask & 2) != 0;
+    hints.enable_merge_join = (mask & 4) != 0;
+    variants.push_back(hints);
+  }
+  CardinalityProvider cards(context_.estimator);
+  for (const Query& query : queries) {
+    int produced = 0;
+    for (const HintSet& hints : variants) {
+      if (produced >= options_.simulation_plans_per_query) break;
+      PlannerResult result = context_.optimizer->Optimize(query, &cards,
+                                                          hints);
+      ++produced;
+      for (PlanExperience& experience : search_.SubplanExperiences(
+               query, result.plan, result.estimated_cost)) {
+        sim_experience_.Add(std::move(experience));
+      }
+    }
+    if (query.num_tables() > 1) {
+      PlannerResult greedy = context_.optimizer->OptimizeGreedy(query, &cards);
+      for (PlanExperience& experience : search_.SubplanExperiences(
+               query, greedy.plan, greedy.estimated_cost)) {
+        sim_experience_.Add(std::move(experience));
+      }
+    }
+  }
+  value_model_.Train(sim_experience_);
+}
+
+PhysicalPlan BalsaOptimizer::ChoosePlan(const Query& query) {
+  if (!value_model_.trained()) {
+    // Degenerate case (no simulation queries): greedy fallback.
+    CardinalityProvider cards(context_.estimator);
+    return query.num_tables() > 1
+               ? context_.optimizer->OptimizeGreedy(query, &cards).plan
+               : NativePlan(context_, query);
+  }
+  return search_.Search(query, value_model_, ValueSearch::Strategy::kBeam);
+}
+
+void BalsaOptimizer::Observe(const Query& query, const PhysicalPlan& plan,
+                             double time_units) {
+  for (PlanExperience& experience :
+       search_.SubplanExperiences(query, plan, time_units)) {
+    real_experience_.Add(std::move(experience));
+  }
+}
+
+void BalsaOptimizer::Retrain() {
+  // Fine-tune: once real executions exist, they replace the simulation
+  // labels (which are on a different scale).
+  if (real_experience_.size() >= 30) {
+    value_model_.Train(real_experience_);
+  }
+}
+
+}  // namespace lqo

@@ -1,0 +1,82 @@
+#ifndef LQO_E2E_NEO_H_
+#define LQO_E2E_NEO_H_
+
+#include "e2e/framework.h"
+#include "e2e/risk_models.h"
+#include "e2e/value_search.h"
+
+namespace lqo {
+
+/// Options for the Neo-style optimizer.
+struct NeoOptions {
+  int max_expansions = 300;
+  uint64_t seed = 2301;
+};
+
+/// Neo [38]: a fully learned optimizer that builds plans from scratch with
+/// best-first search guided by a value network predicting final latency,
+/// bootstrapped from the native ("expert") optimizer's executions and
+/// refined from its own.
+class NeoOptimizer : public LearnedQueryOptimizer {
+ public:
+  NeoOptimizer(const E2eContext& context, NeoOptions options = NeoOptions());
+
+  PhysicalPlan ChoosePlan(const Query& query) override;
+  void Observe(const Query& query, const PhysicalPlan& plan,
+               double time_units) override;
+  void Retrain() override;
+  std::string Name() const override { return "neo"; }
+  bool trained() const override { return value_model_.trained(); }
+
+ private:
+  E2eContext context_;
+  NeoOptions options_;
+  ValueSearch search_;
+  ExperienceBuffer experience_;
+  PointwiseRiskModel value_model_;
+};
+
+/// Options for the Balsa-style optimizer.
+struct BalsaOptions {
+  int beam_width = 8;
+  /// Queries used to bootstrap the value model from *analytical cost*
+  /// before any execution — Balsa's "learning without expert
+  /// demonstrations" via its simulation phase.
+  int simulation_plans_per_query = 6;
+  uint64_t seed = 2401;
+};
+
+/// Balsa [69]: learns a query optimizer without expert demonstrations —
+/// the value model is bootstrapped in a cost-model "simulation" phase and
+/// then fine-tuned on real executions; plans are built with beam search.
+class BalsaOptimizer : public LearnedQueryOptimizer {
+ public:
+  BalsaOptimizer(const E2eContext& context,
+                 const std::vector<Query>& simulation_queries,
+                 BalsaOptions options = BalsaOptions());
+
+  PhysicalPlan ChoosePlan(const Query& query) override;
+  void Observe(const Query& query, const PhysicalPlan& plan,
+               double time_units) override;
+  void Retrain() override;
+  std::string Name() const override { return "balsa"; }
+  bool trained() const override { return value_model_.trained(); }
+
+  size_t real_experience_size() const { return real_experience_.size(); }
+
+ private:
+  /// Runs the simulation phase: label sub-plans of diverse candidate plans
+  /// with their *analytical* cost and fit the initial value model.
+  void Simulate(const std::vector<Query>& queries);
+
+  E2eContext context_;
+  BalsaOptions options_;
+  ValueSearch search_;
+  ExperienceBuffer sim_experience_;
+  ExperienceBuffer real_experience_;
+  PointwiseRiskModel value_model_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_E2E_NEO_H_

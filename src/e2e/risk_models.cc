@@ -1,0 +1,135 @@
+#include "e2e/risk_models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+void PointwiseRiskModel::Train(const ExperienceBuffer& buffer) {
+  if (buffer.size() < 4) return;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (const PlanExperience& record : buffer.records()) {
+    x.push_back(record.features);
+    y.push_back(std::log(record.time_units + 1.0));
+  }
+  GbdtOptions options;
+  options.num_trees = 100;
+  options.tree.max_depth = 4;
+  model_ = GradientBoostedTrees(options);
+  model_.Fit(x, y);
+  trained_ = true;
+}
+
+double PointwiseRiskModel::PredictTime(
+    const std::vector<double>& features) const {
+  LQO_CHECK(trained_);
+  double log_time = std::clamp(model_.Predict(features), 0.0, 50.0);
+  return std::exp(log_time) - 1.0;
+}
+
+size_t PointwiseRiskModel::PickBest(
+    const std::vector<std::vector<double>>& candidates) const {
+  LQO_CHECK(!candidates.empty());
+  LQO_CHECK(trained_);
+  size_t best = 0;
+  double best_time = PredictTime(candidates[0]);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    double t = PredictTime(candidates[i]);
+    if (t < best_time) {
+      best_time = t;
+      best = i;
+    }
+  }
+  return best;
+}
+
+PairwiseRiskModel::PairwiseRiskModel(uint64_t seed) : seed_(seed) {}
+
+void PairwiseRiskModel::Train(const ExperienceBuffer& buffer,
+                              double min_gap_ratio, size_t min_pairs) {
+  // Group experiences per logical query; the within-group minimum removes
+  // the per-query latency scale, leaving the pairwise signal.
+  std::map<std::string, std::vector<const PlanExperience*>> groups;
+  for (const PlanExperience& record : buffer.records()) {
+    groups[record.query_key].push_back(&record);
+  }
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  size_t comparable = 0;
+  for (const auto& [key, records] : groups) {
+    double group_min = std::numeric_limits<double>::infinity();
+    std::set<std::string> distinct;
+    for (const PlanExperience* record : records) {
+      group_min = std::min(group_min, record->time_units);
+      distinct.insert(record->plan_signature);
+    }
+    if (group_min <= 0 || distinct.size() < 2) continue;
+    bool spread = false;
+    for (const PlanExperience* record : records) {
+      x.push_back(record->features);
+      y.push_back(std::log(std::max(record->time_units, 1e-9) / group_min));
+      if (record->time_units / group_min >= min_gap_ratio) spread = true;
+    }
+    if (spread) comparable += distinct.size();
+  }
+  if (comparable < min_pairs) return;
+  GbdtOptions options;
+  options.num_trees = 120;
+  options.tree.max_depth = 4;
+  options.seed = seed_;
+  scorer_ = GradientBoostedTrees(options);
+  scorer_.Fit(x, y);
+  trained_ = true;
+}
+
+double PairwiseRiskModel::Score(const std::vector<double>& features) const {
+  LQO_CHECK(trained_);
+  return scorer_.Predict(features);
+}
+
+size_t PairwiseRiskModel::PickBestConservative(
+    const std::vector<std::vector<double>>& candidates, size_t baseline,
+    double confidence) const {
+  LQO_CHECK_LT(baseline, candidates.size());
+  size_t best = PickBest(candidates);
+  if (best == baseline) return baseline;
+  return CompareProba(candidates[best], candidates[baseline]) >= confidence
+             ? best
+             : baseline;
+}
+
+double PairwiseRiskModel::CompareProba(const std::vector<double>& a,
+                                       const std::vector<double>& b) const {
+  // Lower relative-latency score means faster; scale sharpens the
+  // probability so clearly-separated scores saturate.
+  return Sigmoid(3.0 * (Score(b) - Score(a)));
+}
+
+size_t PairwiseRiskModel::PickBest(
+    const std::vector<std::vector<double>>& candidates) const {
+  LQO_CHECK(!candidates.empty());
+  LQO_CHECK(trained_);
+  std::vector<int> wins(candidates.size(), 0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (size_t j = i + 1; j < candidates.size(); ++j) {
+      if (CompareProba(candidates[i], candidates[j]) >= 0.5) {
+        ++wins[i];
+      } else {
+        ++wins[j];
+      }
+    }
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (wins[i] > wins[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace lqo

@@ -1,0 +1,85 @@
+#ifndef LQO_E2E_RISK_MODELS_H_
+#define LQO_E2E_RISK_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "e2e/framework.h"
+#include "ml/gbdt.h"
+#include "ml/mlp.h"
+
+namespace lqo {
+
+/// Accumulates execution experience.
+class ExperienceBuffer {
+ public:
+  void Add(PlanExperience experience) {
+    records_.push_back(std::move(experience));
+  }
+  const std::vector<PlanExperience>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<PlanExperience> records_;
+};
+
+/// Pointwise risk model (Bao/Neo style): regress log latency from plan
+/// features with a GBDT, pick the candidate with minimum prediction.
+class PointwiseRiskModel {
+ public:
+  void Train(const ExperienceBuffer& buffer);
+  double PredictTime(const std::vector<double>& features) const;
+  /// Index of the best candidate (min predicted time).
+  size_t PickBest(const std::vector<std::vector<double>>& candidates) const;
+  bool trained() const { return trained_; }
+
+ private:
+  GradientBoostedTrees model_;
+  bool trained_ = false;
+};
+
+/// Pairwise risk model (Lero/LEON style): learning-to-rank within a
+/// query's candidate set. The per-query latency scale is removed by
+/// training a scorer on log(time / fastest-in-group) — exactly the signal
+/// plan pairs carry — with a tree-ensemble scorer whose bounded leaves make
+/// the comparisons robust off-distribution; the comparator probability is
+/// sigmoid over score differences (RankNet form).
+class PairwiseRiskModel {
+ public:
+  explicit PairwiseRiskModel(uint64_t seed = 2001);
+
+  /// Fits the scorer from within-query groups. No-op (stays untrained) if
+  /// fewer than `min_pairs` comparable plans exist across groups.
+  void Train(const ExperienceBuffer& buffer, double min_gap_ratio = 1.05,
+             size_t min_pairs = 8);
+
+  /// P(candidate a is faster than b).
+  double CompareProba(const std::vector<double>& a,
+                      const std::vector<double>& b) const;
+
+  /// Index of the candidate winning the most pairwise comparisons.
+  size_t PickBest(const std::vector<std::vector<double>>& candidates) const;
+
+  /// Conservative variant: returns PickBest's winner only if the model is
+  /// at least `confidence` sure it beats candidates[baseline]; otherwise
+  /// returns `baseline` (Lero's keep-the-native-plan-unless-confident
+  /// behavior).
+  size_t PickBestConservative(
+      const std::vector<std::vector<double>>& candidates, size_t baseline,
+      double confidence = 0.6) const;
+
+  bool trained() const { return trained_; }
+
+ private:
+  /// Relative-latency score (log time over group minimum); lower is better.
+  double Score(const std::vector<double>& features) const;
+
+  uint64_t seed_;
+  GradientBoostedTrees scorer_;
+  bool trained_ = false;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_E2E_RISK_MODELS_H_

@@ -1,0 +1,172 @@
+#include "e2e/value_search.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+#include "costmodel/plan_featurizer.h"
+
+namespace lqo {
+
+ValueSearch::ValueSearch(const E2eContext& context, int max_expansions,
+                         int beam_width)
+    : context_(context),
+      max_expansions_(max_expansions),
+      beam_width_(beam_width) {}
+
+std::vector<double> ValueSearch::StateFeatures(
+    const Query& query, const PhysicalPlan& partial) const {
+  std::vector<double> features = PlanFeaturizer::Featurize(partial);
+  int joined = PopCount(partial.root->table_set);
+  features.push_back(static_cast<double>(query.num_tables()));
+  features.push_back(static_cast<double>(query.num_tables() - joined));
+  return features;
+}
+
+std::vector<PhysicalPlan> ValueSearch::Expand(
+    const Query& query, const PhysicalPlan& partial) const {
+  std::vector<PhysicalPlan> expansions;
+  TableSet joined = partial.root->table_set;
+  for (int t = 0; t < query.num_tables(); ++t) {
+    if (ContainsTable(joined, t)) continue;
+    // Must share a join edge with the joined set.
+    bool adjacent = false;
+    for (int n : query.Neighbors(t)) {
+      if (ContainsTable(joined, n)) {
+        adjacent = true;
+        break;
+      }
+    }
+    if (!adjacent) continue;
+    for (JoinAlgorithm algo :
+         {JoinAlgorithm::kHashJoin, JoinAlgorithm::kNestedLoopJoin,
+          JoinAlgorithm::kMergeJoin}) {
+      PhysicalPlan next;
+      next.query = &query;
+      next.root = MakeJoinNode(algo, partial.root->Clone(), MakeScanNode(t));
+      AnnotateWithBaseline(context_, &next);
+      expansions.push_back(std::move(next));
+    }
+  }
+  return expansions;
+}
+
+PhysicalPlan ValueSearch::Search(const Query& query,
+                                 const PointwiseRiskModel& value_model,
+                                 Strategy strategy) const {
+  LQO_CHECK(value_model.trained());
+  LQO_CHECK(query.IsConnected(query.AllTables()));
+  TableSet all = query.AllTables();
+
+  // Initial states: every single-table scan.
+  std::vector<SearchState> frontier;
+  for (int t = 0; t < query.num_tables(); ++t) {
+    SearchState state;
+    state.partial.query = &query;
+    state.partial.root = MakeScanNode(t);
+    AnnotateWithBaseline(context_, &state.partial);
+    state.value =
+        value_model.PredictTime(StateFeatures(query, state.partial));
+    frontier.push_back(std::move(state));
+  }
+  if (query.num_tables() == 1) return std::move(frontier[0].partial);
+
+  auto better = [](const SearchState& a, const SearchState& b) {
+    return a.value < b.value;
+  };
+
+  if (strategy == Strategy::kBeam) {
+    // Level-synchronous beam (Balsa).
+    for (int level = 1; level < query.num_tables(); ++level) {
+      std::vector<SearchState> next_level;
+      for (const SearchState& state : frontier) {
+        for (PhysicalPlan& expanded : Expand(query, state.partial)) {
+          SearchState next;
+          next.value =
+              value_model.PredictTime(StateFeatures(query, expanded));
+          next.partial = std::move(expanded);
+          next_level.push_back(std::move(next));
+        }
+      }
+      LQO_CHECK(!next_level.empty());
+      std::sort(next_level.begin(), next_level.end(), better);
+      if (static_cast<int>(next_level.size()) > beam_width_) {
+        next_level.resize(static_cast<size_t>(beam_width_));
+      }
+      frontier = std::move(next_level);
+    }
+    return std::move(frontier[0].partial);
+  }
+
+  // Best-first (Neo): pop the lowest-value state, expand; the first
+  // complete plan popped wins; expansion budget guards runaway searches.
+  auto cmp = [](const SearchState& a, const SearchState& b) {
+    return a.value > b.value;  // front = minimum value
+  };
+  std::vector<SearchState> heap = std::move(frontier);
+  std::make_heap(heap.begin(), heap.end(), cmp);
+  auto pop_min = [&]() {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    SearchState state = std::move(heap.back());
+    heap.pop_back();
+    return state;
+  };
+  int expansions = 0;
+  while (!heap.empty() && expansions < max_expansions_) {
+    SearchState state = pop_min();
+    if (state.partial.root->table_set == all) {
+      return std::move(state.partial);
+    }
+    ++expansions;
+    for (PhysicalPlan& expanded : Expand(query, state.partial)) {
+      SearchState next;
+      next.value = value_model.PredictTime(StateFeatures(query, expanded));
+      next.partial = std::move(expanded);
+      heap.push_back(std::move(next));
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  // Budget exhausted: greedily complete the best remaining state.
+  LQO_CHECK(!heap.empty());
+  SearchState state = pop_min();
+  while (state.partial.root->table_set != all) {
+    std::vector<PhysicalPlan> expansions_list =
+        Expand(query, state.partial);
+    LQO_CHECK(!expansions_list.empty());
+    size_t best = 0;
+    double best_value = value_model.PredictTime(
+        StateFeatures(query, expansions_list[0]));
+    for (size_t i = 1; i < expansions_list.size(); ++i) {
+      double v = value_model.PredictTime(
+          StateFeatures(query, expansions_list[i]));
+      if (v < best_value) {
+        best_value = v;
+        best = i;
+      }
+    }
+    state.partial = std::move(expansions_list[best]);
+  }
+  return std::move(state.partial);
+}
+
+std::vector<PlanExperience> ValueSearch::SubplanExperiences(
+    const Query& query, const PhysicalPlan& plan, double time_units) const {
+  std::vector<PlanExperience> experiences;
+  std::string query_key = Subquery{&query, query.AllTables()}.Key();
+  VisitPlanBottomUp(*plan.root, [&](const PlanNode& node) {
+    // Sub-plans rooted at joins (and the scans, which seed the search).
+    PhysicalPlan partial;
+    partial.query = &query;
+    partial.root = node.Clone();
+    AnnotateWithBaseline(context_, &partial);
+    PlanExperience experience;
+    experience.query_key = query_key;
+    experience.features = StateFeatures(query, partial);
+    experience.time_units = time_units;
+    experience.plan_signature = partial.Signature();
+    experiences.push_back(std::move(experience));
+  });
+  return experiences;
+}
+
+}  // namespace lqo

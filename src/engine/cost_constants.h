@@ -1,0 +1,51 @@
+#ifndef LQO_ENGINE_COST_CONSTANTS_H_
+#define LQO_ENGINE_COST_CONSTANTS_H_
+
+#include <cstdint>
+
+namespace lqo {
+
+/// Per-operation work weights. The executor uses the *full* schedule
+/// (including the skew, cache and spill effects) to compute a query's true
+/// "time units"; the optimizer's analytical cost model deliberately uses
+/// only the simple linear terms — the gap between the two is exactly the
+/// model error that learned cost models and end-to-end learned optimizers
+/// exploit (Section 2.1.2 / 2.2 of the paper).
+struct CostConstants {
+  // Linear terms, shared with the analytical model.
+  double scan_row = 1.0;
+  double predicate_eval = 0.3;   // per predicate per scanned row
+  double hash_build_row = 2.0;
+  double hash_probe_row = 1.2;
+  double nlj_pair = 0.02;        // per (outer,inner) row pair
+  double sort_row_log = 0.4;     // per row per log2(rows)
+  double merge_row = 0.8;
+  double output_row = 0.4;       // per emitted join row
+
+  // Executor-only effects, unknown to the analytical model. These are the
+  // "gap between cost and latency" that hint steering (Bao), cardinality
+  // steering (Lero) and learned cost models exploit; the magnitudes mirror
+  // the real-world cliffs (cache-resident inner relations, hash spills,
+  // skewed build keys) that make native optimizers leave performance on
+  // the table.
+  /// Nested loop is an order of magnitude cheaper per pair when the inner
+  /// side fits the "cache".
+  int64_t nlj_cache_rows = 8192;
+  double nlj_cached_pair = 0.002;
+  /// Hash joins whose build side exceeds memory pay a spill multiplier.
+  int64_t hash_memory_rows = 30000;
+  double hash_spill_factor = 3.0;
+  /// Extra probe cost proportional to build-side key skew
+  /// (max bucket / mean bucket).
+  double skew_probe_factor = 0.15;
+};
+
+/// The canonical schedule used by every experiment.
+inline const CostConstants& DefaultCostConstants() {
+  static const CostConstants kConstants{};
+  return kConstants;
+}
+
+}  // namespace lqo
+
+#endif  // LQO_ENGINE_COST_CONSTANTS_H_

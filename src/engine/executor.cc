@@ -1,0 +1,323 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lqo {
+namespace {
+
+// A materialized intermediate result: selected join-key columns for the
+// covered tables, stored column-wise.
+struct Chunk {
+  // Parallel vectors: col_keys[i] identifies cols[i].
+  std::vector<std::pair<int, std::string>> col_keys;
+  std::vector<std::vector<int64_t>> cols;
+  uint64_t num_rows = 0;
+
+  int FindColumn(int table_index, const std::string& column) const {
+    for (size_t i = 0; i < col_keys.size(); ++i) {
+      if (col_keys[i].first == table_index && col_keys[i].second == column) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+uint64_t HashCombine(uint64_t h, int64_t v) {
+  // FNV-ish mix; good enough for join bucketing (equality is verified).
+  h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+double Log2Rows(uint64_t rows) {
+  return std::log2(static_cast<double>(std::max<uint64_t>(rows, 2)));
+}
+
+class PlanRunner {
+ public:
+  PlanRunner(const Catalog& catalog, const CostConstants& constants,
+             const Query& query)
+      : catalog_(catalog), constants_(constants), query_(query) {}
+
+  StatusOr<ExecutionResult> Run(const PlanNode& root) {
+    auto chunk_or = Evaluate(root);
+    if (!chunk_or.ok()) return chunk_or.status();
+    ExecutionResult result;
+    result.row_count = chunk_or->num_rows;
+    result.node_profiles = std::move(profiles_);
+    for (const NodeProfile& p : result.node_profiles) {
+      result.time_units += p.time_units;
+    }
+    return result;
+  }
+
+ private:
+  // Join-key columns of `table_index` used anywhere in the query; these are
+  // the only columns an intermediate needs to carry.
+  std::vector<std::string> NeededColumns(int table_index) const {
+    std::vector<std::string> cols;
+    auto add = [&](const std::string& c) {
+      if (std::find(cols.begin(), cols.end(), c) == cols.end()) {
+        cols.push_back(c);
+      }
+    };
+    for (const QueryJoin& j : query_.joins()) {
+      if (j.left_table == table_index) add(j.left_column);
+      if (j.right_table == table_index) add(j.right_column);
+    }
+    return cols;
+  }
+
+  StatusOr<Chunk> Evaluate(const PlanNode& node) {
+    if (node.kind == PlanNode::Kind::kScan) return EvaluateScan(node);
+    return EvaluateJoin(node);
+  }
+
+  StatusOr<Chunk> EvaluateScan(const PlanNode& node) {
+    const QueryTable& qt =
+        query_.tables()[static_cast<size_t>(node.table_index)];
+    auto table_or = catalog_.GetTable(qt.table_name);
+    if (!table_or.ok()) return table_or.status();
+    const Table& table = **table_or;
+
+    std::vector<Predicate> predicates = query_.PredicatesOf(node.table_index);
+    // Resolve predicate + needed columns up front.
+    std::vector<const Column*> pred_cols;
+    for (const Predicate& p : predicates) {
+      auto idx = table.ColumnIndex(p.column);
+      if (!idx.ok()) return idx.status();
+      pred_cols.push_back(&table.column(*idx));
+    }
+    std::vector<std::string> needed = NeededColumns(node.table_index);
+    std::vector<const Column*> out_cols;
+    for (const std::string& name : needed) {
+      auto idx = table.ColumnIndex(name);
+      if (!idx.ok()) return idx.status();
+      out_cols.push_back(&table.column(*idx));
+    }
+
+    Chunk chunk;
+    for (const std::string& name : needed) {
+      chunk.col_keys.emplace_back(node.table_index, name);
+      chunk.cols.emplace_back();
+    }
+    size_t n = table.num_rows();
+    for (size_t row = 0; row < n; ++row) {
+      bool pass = true;
+      for (size_t p = 0; p < predicates.size(); ++p) {
+        if (!predicates[p].Matches(pred_cols[p]->data[row])) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      for (size_t c = 0; c < out_cols.size(); ++c) {
+        chunk.cols[c].push_back(out_cols[c]->data[row]);
+      }
+      ++chunk.num_rows;
+    }
+    NodeProfile profile;
+    profile.kind = PlanNode::Kind::kScan;
+    profile.table_index = node.table_index;
+    profile.left_rows = n;
+    profile.output_rows = chunk.num_rows;
+    profile.time_units =
+        static_cast<double>(n) * constants_.scan_row +
+        static_cast<double>(n) * static_cast<double>(predicates.size()) *
+            constants_.predicate_eval;
+    profiles_.push_back(profile);
+    return chunk;
+  }
+
+  StatusOr<Chunk> EvaluateJoin(const PlanNode& node) {
+    auto left_or = Evaluate(*node.left);
+    if (!left_or.ok()) return left_or.status();
+    auto right_or = Evaluate(*node.right);
+    if (!right_or.ok()) return right_or.status();
+    Chunk left = std::move(*left_or);
+    Chunk right = std::move(*right_or);
+
+    // Join conditions crossing the two sides.
+    std::vector<std::pair<int, int>> key_cols;  // (left col idx, right col idx)
+    for (const QueryJoin& j : query_.joins()) {
+      bool l_in_left = ContainsTable(node.left->table_set, j.left_table);
+      bool l_in_right = ContainsTable(node.right->table_set, j.left_table);
+      bool r_in_left = ContainsTable(node.left->table_set, j.right_table);
+      bool r_in_right = ContainsTable(node.right->table_set, j.right_table);
+      int lc = -1, rc = -1;
+      if (l_in_left && r_in_right) {
+        lc = left.FindColumn(j.left_table, j.left_column);
+        rc = right.FindColumn(j.right_table, j.right_column);
+      } else if (l_in_right && r_in_left) {
+        lc = left.FindColumn(j.right_table, j.right_column);
+        rc = right.FindColumn(j.left_table, j.left_column);
+      } else {
+        continue;
+      }
+      if (lc < 0 || rc < 0) {
+        return Status::Internal("join key column missing from intermediate");
+      }
+      key_cols.emplace_back(lc, rc);
+    }
+    if (key_cols.empty()) {
+      return Status::InvalidArgument(
+          "plan joins disconnected components (cross product)");
+    }
+
+    // Build on the right side.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    buckets.reserve(static_cast<size_t>(right.num_rows) * 2 + 16);
+    LQO_CHECK_LT(right.num_rows, (1ULL << 32));
+    for (uint32_t r = 0; r < right.num_rows; ++r) {
+      uint64_t h = 0;
+      for (auto [lc, rc] : key_cols) h = HashCombine(h, right.cols[static_cast<size_t>(rc)][r]);
+      buckets[h].push_back(r);
+    }
+    uint64_t max_bucket = 0;
+    for (const auto& [h, rows] : buckets) {
+      max_bucket = std::max<uint64_t>(max_bucket, rows.size());
+    }
+    double mean_bucket =
+        buckets.empty()
+            ? 1.0
+            : static_cast<double>(right.num_rows) /
+                  static_cast<double>(buckets.size());
+
+    // Output carries all columns from both sides.
+    Chunk out;
+    out.col_keys = left.col_keys;
+    out.col_keys.insert(out.col_keys.end(), right.col_keys.begin(),
+                        right.col_keys.end());
+    out.cols.resize(out.col_keys.size());
+
+    size_t left_width = left.cols.size();
+    for (uint64_t l = 0; l < left.num_rows; ++l) {
+      uint64_t h = 0;
+      for (auto [lc, rc] : key_cols) h = HashCombine(h, left.cols[static_cast<size_t>(lc)][l]);
+      auto it = buckets.find(h);
+      if (it == buckets.end()) continue;
+      for (uint32_t r : it->second) {
+        bool match = true;
+        for (auto [lc, rc] : key_cols) {
+          if (left.cols[static_cast<size_t>(lc)][l] !=
+              right.cols[static_cast<size_t>(rc)][r]) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        for (size_t c = 0; c < left_width; ++c) {
+          out.cols[c].push_back(left.cols[c][l]);
+        }
+        for (size_t c = 0; c < right.cols.size(); ++c) {
+          out.cols[left_width + c].push_back(right.cols[c][r]);
+        }
+        ++out.num_rows;
+      }
+    }
+
+    // Charge the node under its declared algorithm.
+    double l_rows = static_cast<double>(left.num_rows);
+    double r_rows = static_cast<double>(right.num_rows);
+    double out_rows = static_cast<double>(out.num_rows);
+    double time = 0.0;
+    switch (node.algorithm) {
+      case JoinAlgorithm::kHashJoin: {
+        double skew = max_bucket > 0 && mean_bucket > 0
+                          ? static_cast<double>(max_bucket) / mean_bucket - 1.0
+                          : 0.0;
+        time = r_rows * constants_.hash_build_row +
+               l_rows * constants_.hash_probe_row *
+                   (1.0 + constants_.skew_probe_factor * skew) +
+               out_rows * constants_.output_row;
+        if (right.num_rows >
+            static_cast<uint64_t>(constants_.hash_memory_rows)) {
+          time *= constants_.hash_spill_factor;
+        }
+        break;
+      }
+      case JoinAlgorithm::kNestedLoopJoin: {
+        double pair_cost =
+            right.num_rows <= static_cast<uint64_t>(constants_.nlj_cache_rows)
+                ? constants_.nlj_cached_pair
+                : constants_.nlj_pair;
+        time = l_rows * r_rows * pair_cost + out_rows * constants_.output_row;
+        break;
+      }
+      case JoinAlgorithm::kMergeJoin: {
+        time = l_rows * Log2Rows(left.num_rows) * constants_.sort_row_log +
+               r_rows * Log2Rows(right.num_rows) * constants_.sort_row_log +
+               (l_rows + r_rows) * constants_.merge_row +
+               out_rows * constants_.output_row;
+        break;
+      }
+    }
+
+    NodeProfile profile;
+    profile.kind = PlanNode::Kind::kJoin;
+    profile.algorithm = node.algorithm;
+    profile.left_rows = left.num_rows;
+    profile.right_rows = right.num_rows;
+    profile.output_rows = out.num_rows;
+    profile.time_units = time;
+    profiles_.push_back(profile);
+    return out;
+  }
+
+  const Catalog& catalog_;
+  const CostConstants& constants_;
+  const Query& query_;
+  std::vector<NodeProfile> profiles_;
+};
+
+}  // namespace
+
+Executor::Executor(const Catalog* catalog, CostConstants constants)
+    : catalog_(catalog), constants_(constants) {
+  LQO_CHECK(catalog_ != nullptr);
+}
+
+StatusOr<ExecutionResult> Executor::Execute(const PhysicalPlan& plan) const {
+  if (plan.query == nullptr || plan.root == nullptr) {
+    return Status::InvalidArgument("plan missing query or root");
+  }
+  PlanRunner runner(*catalog_, constants_, *plan.query);
+  return runner.Run(*plan.root);
+}
+
+PhysicalPlan MakeLeftDeepPlan(const Query& query, TableSet tables,
+                              JoinAlgorithm algorithm) {
+  LQO_CHECK(tables != 0);
+  LQO_CHECK(query.IsConnected(tables)) << "table set must be connected";
+  int start = __builtin_ctzll(tables);
+  std::unique_ptr<PlanNode> current = MakeScanNode(start);
+  TableSet joined = TableBit(start);
+  while (joined != tables) {
+    // Lowest-index unjoined table adjacent to the joined set.
+    int next = -1;
+    for (int t = 0; t < query.num_tables(); ++t) {
+      if (!ContainsTable(tables, t) || ContainsTable(joined, t)) continue;
+      for (int n : query.Neighbors(t)) {
+        if (ContainsTable(joined, n)) {
+          next = t;
+          break;
+        }
+      }
+      if (next >= 0) break;
+    }
+    LQO_CHECK_GE(next, 0);
+    current = MakeJoinNode(algorithm, std::move(current), MakeScanNode(next));
+    joined |= TableBit(next);
+  }
+  PhysicalPlan plan;
+  plan.query = &query;
+  plan.root = std::move(current);
+  return plan;
+}
+
+}  // namespace lqo

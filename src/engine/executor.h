@@ -1,0 +1,69 @@
+#ifndef LQO_ENGINE_EXECUTOR_H_
+#define LQO_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cost_constants.h"
+#include "engine/plan.h"
+#include "storage/catalog.h"
+
+namespace lqo {
+
+/// Work profile of a single executed plan node.
+struct NodeProfile {
+  PlanNode::Kind kind = PlanNode::Kind::kScan;
+  JoinAlgorithm algorithm = JoinAlgorithm::kHashJoin;
+  /// Scans: table_index is set and left_rows is the raw table size.
+  int table_index = -1;
+  uint64_t left_rows = 0;
+  uint64_t right_rows = 0;
+  uint64_t output_rows = 0;
+  double time_units = 0.0;
+};
+
+/// Result of executing a COUNT(*) plan.
+struct ExecutionResult {
+  uint64_t row_count = 0;
+  /// Deterministic simulated latency: sum of per-node work charged under
+  /// the full CostConstants schedule (including skew/cache/spill effects).
+  double time_units = 0.0;
+  /// Bottom-up per-node profiles (children before parents).
+  std::vector<NodeProfile> node_profiles;
+};
+
+/// Volcano-style executor over the in-memory catalog.
+///
+/// Results are always computed with an efficient hash strategy internally,
+/// but each node is *charged* according to its declared physical algorithm,
+/// so executing a pathological plan (e.g. a huge nested-loop join) reports
+/// its true awful latency without taking quadratic wall-clock time. This is
+/// the deterministic stand-in for running plans on a real PostgreSQL server
+/// (see DESIGN.md, substitutions).
+class Executor {
+ public:
+  explicit Executor(const Catalog* catalog,
+                    CostConstants constants = DefaultCostConstants());
+
+  /// Executes `plan` and returns the count plus the work profile. Fails if
+  /// the plan references unknown tables/columns.
+  StatusOr<ExecutionResult> Execute(const PhysicalPlan& plan) const;
+
+  const CostConstants& constants() const { return constants_; }
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  const Catalog* catalog_;
+  CostConstants constants_;
+};
+
+/// Builds a left-deep plan over the connected table set `tables` of `query`
+/// using `algorithm` for every join. Table order is greedy-BFS from the
+/// lowest-index table, so consecutive joins always share a join edge.
+PhysicalPlan MakeLeftDeepPlan(const Query& query, TableSet tables,
+                              JoinAlgorithm algorithm);
+
+}  // namespace lqo
+
+#endif  // LQO_ENGINE_EXECUTOR_H_

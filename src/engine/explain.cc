@@ -1,0 +1,82 @@
+#include "engine/explain.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace lqo {
+namespace {
+
+// Assigns bottom-up profile indices to nodes (children before parents,
+// left before right — the executor's emission order).
+void IndexNodes(const PlanNode& node, int* counter,
+                std::vector<std::pair<const PlanNode*, int>>* indexed) {
+  if (node.kind == PlanNode::Kind::kJoin) {
+    IndexNodes(*node.left, counter, indexed);
+    IndexNodes(*node.right, counter, indexed);
+  }
+  indexed->emplace_back(&node, (*counter)++);
+}
+
+void Render(const PlanNode& node, const Query* query,
+            const std::vector<std::pair<const PlanNode*, int>>& indexed,
+            const ExecutionResult& result, int depth,
+            std::ostringstream& out) {
+  int profile_index = -1;
+  for (const auto& [candidate, index] : indexed) {
+    if (candidate == &node) {
+      profile_index = index;
+      break;
+    }
+  }
+  LQO_CHECK_GE(profile_index, 0);
+  const NodeProfile& profile =
+      result.node_profiles[static_cast<size_t>(profile_index)];
+
+  out << std::string(static_cast<size_t>(depth) * 2, ' ');
+  if (node.kind == PlanNode::Kind::kScan) {
+    const QueryTable& table =
+        query->tables()[static_cast<size_t>(node.table_index)];
+    out << "Scan " << table.table_name << " " << table.alias;
+  } else {
+    out << JoinAlgorithmName(node.algorithm);
+  }
+  out << "  (est_rows=" << FormatDouble(node.estimated_cardinality, 4)
+      << " actual=" << profile.output_rows
+      << " time=" << FormatDouble(profile.time_units, 4) << ")";
+  if (node.estimated_cardinality >= 1.0 && profile.output_rows > 0) {
+    double q = std::max(
+        node.estimated_cardinality / static_cast<double>(profile.output_rows),
+        static_cast<double>(profile.output_rows) /
+            node.estimated_cardinality);
+    if (q > 2.0) out << "  <-- q-error " << FormatDouble(q, 3);
+  }
+  out << "\n";
+  if (node.kind == PlanNode::Kind::kJoin) {
+    Render(*node.left, query, indexed, result, depth + 1, out);
+    Render(*node.right, query, indexed, result, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainAnalyze(const PhysicalPlan& plan,
+                           const ExecutionResult& result) {
+  LQO_CHECK(plan.root != nullptr);
+  LQO_CHECK(plan.query != nullptr);
+  std::vector<std::pair<const PlanNode*, int>> indexed;
+  int counter = 0;
+  IndexNodes(*plan.root, &counter, &indexed);
+  LQO_CHECK_EQ(indexed.size(), result.node_profiles.size())
+      << "result does not match plan";
+
+  std::ostringstream out;
+  Render(*plan.root, plan.query, indexed, result, 0, out);
+  out << "Total: " << result.row_count << " rows, "
+      << FormatDouble(result.time_units, 6) << " time units\n";
+  return out.str();
+}
+
+}  // namespace lqo

@@ -1,0 +1,25 @@
+#ifndef LQO_ENGINE_EXPLAIN_H_
+#define LQO_ENGINE_EXPLAIN_H_
+
+#include <string>
+
+#include "engine/executor.h"
+
+namespace lqo {
+
+/// EXPLAIN ANALYZE-style rendering: the plan tree annotated with estimated
+/// vs actual rows and per-operator time, the diagnostic view every section
+/// of the paper reasons about (estimation error -> operator blow-up).
+///
+///   HashJoin  (est_rows=2175 actual=2214 time=6481)
+///     Scan comments c  (est_rows=2175 actual=2214 time=10470)
+///     Scan posts p     ...
+///
+/// `result` must come from executing exactly `plan` (node profiles align
+/// with the plan's bottom-up traversal).
+std::string ExplainAnalyze(const PhysicalPlan& plan,
+                           const ExecutionResult& result);
+
+}  // namespace lqo
+
+#endif  // LQO_ENGINE_EXPLAIN_H_

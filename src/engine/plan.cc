@@ -1,0 +1,150 @@
+#include "engine/plan.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace lqo {
+
+const char* JoinAlgorithmName(JoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinAlgorithm::kHashJoin:
+      return "HashJoin";
+    case JoinAlgorithm::kNestedLoopJoin:
+      return "NestedLoopJoin";
+    case JoinAlgorithm::kMergeJoin:
+      return "MergeJoin";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+const char* ShortName(JoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinAlgorithm::kHashJoin:
+      return "HJ";
+    case JoinAlgorithm::kNestedLoopJoin:
+      return "NL";
+    case JoinAlgorithm::kMergeJoin:
+      return "MJ";
+  }
+  return "??";
+}
+
+void RenderNode(const PlanNode& node, const Query* query, int indent,
+                std::ostringstream& out) {
+  out << std::string(static_cast<size_t>(indent) * 2, ' ');
+  if (node.kind == PlanNode::Kind::kScan) {
+    out << "Scan ";
+    if (query != nullptr) {
+      const QueryTable& t =
+          query->tables()[static_cast<size_t>(node.table_index)];
+      out << t.table_name << " " << t.alias;
+    } else {
+      out << "t" << node.table_index;
+    }
+  } else {
+    out << JoinAlgorithmName(node.algorithm);
+  }
+  if (node.estimated_cardinality >= 0) {
+    out << "  (est_rows=" << FormatDouble(node.estimated_cardinality);
+    if (node.estimated_cost >= 0) {
+      out << ", est_cost=" << FormatDouble(node.estimated_cost);
+    }
+    out << ")";
+  }
+  out << "\n";
+  if (node.kind == PlanNode::Kind::kJoin) {
+    RenderNode(*node.left, query, indent + 1, out);
+    RenderNode(*node.right, query, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->kind = kind;
+  copy->table_index = table_index;
+  copy->algorithm = algorithm;
+  copy->table_set = table_set;
+  copy->estimated_cardinality = estimated_cardinality;
+  copy->estimated_cost = estimated_cost;
+  if (left) copy->left = left->Clone();
+  if (right) copy->right = right->Clone();
+  return copy;
+}
+
+std::string PlanNode::Signature(const Query& query) const {
+  if (kind == Kind::kScan) {
+    return "(S " + query.tables()[static_cast<size_t>(table_index)].alias +
+           ")";
+  }
+  return std::string("(") + ShortName(algorithm) + " " +
+         left->Signature(query) + " " + right->Signature(query) + ")";
+}
+
+std::unique_ptr<PlanNode> MakeScanNode(int table_index) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kScan;
+  node->table_index = table_index;
+  node->table_set = TableBit(table_index);
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeJoinNode(JoinAlgorithm algorithm,
+                                       std::unique_ptr<PlanNode> left,
+                                       std::unique_ptr<PlanNode> right) {
+  LQO_CHECK(left != nullptr);
+  LQO_CHECK(right != nullptr);
+  LQO_CHECK_EQ(left->table_set & right->table_set, 0u)
+      << "join sides overlap";
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kJoin;
+  node->algorithm = algorithm;
+  node->table_set = left->table_set | right->table_set;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+PhysicalPlan PhysicalPlan::Clone() const {
+  PhysicalPlan copy;
+  copy.query = query;
+  if (root) copy.root = root->Clone();
+  return copy;
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::ostringstream out;
+  if (root) RenderNode(*root, query, 0, out);
+  return out.str();
+}
+
+std::string PhysicalPlan::Signature() const {
+  LQO_CHECK(query != nullptr);
+  LQO_CHECK(root != nullptr);
+  return root->Signature(*query);
+}
+
+void VisitPlanBottomUp(const PlanNode& node,
+                       const std::function<void(const PlanNode&)>& visit) {
+  if (node.kind == PlanNode::Kind::kJoin) {
+    VisitPlanBottomUp(*node.left, visit);
+    VisitPlanBottomUp(*node.right, visit);
+  }
+  visit(node);
+}
+
+void VisitPlanBottomUpMut(PlanNode& node,
+                          const std::function<void(PlanNode&)>& visit) {
+  if (node.kind == PlanNode::Kind::kJoin) {
+    VisitPlanBottomUpMut(*node.left, visit);
+    VisitPlanBottomUpMut(*node.right, visit);
+  }
+  visit(node);
+}
+
+}  // namespace lqo

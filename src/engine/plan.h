@@ -1,0 +1,81 @@
+#ifndef LQO_ENGINE_PLAN_H_
+#define LQO_ENGINE_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace lqo {
+
+/// Physical join algorithms, mirroring the operator set the Bao-style hint
+/// knobs toggle (hash / nested-loop / sort-merge).
+enum class JoinAlgorithm { kHashJoin, kNestedLoopJoin, kMergeJoin };
+
+const char* JoinAlgorithmName(JoinAlgorithm algorithm);
+
+/// A node in a physical plan tree: either a (filtered) table scan or a
+/// binary join of two subplans.
+struct PlanNode {
+  enum class Kind { kScan, kJoin };
+
+  Kind kind = Kind::kScan;
+
+  /// kScan: index into Query::tables.
+  int table_index = -1;
+
+  /// kJoin payload. The join conditions are implicit: all query join
+  /// conjuncts connecting left->table_set with right->table_set apply.
+  JoinAlgorithm algorithm = JoinAlgorithm::kHashJoin;
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+
+  /// Query tables covered by this subtree.
+  TableSet table_set = 0;
+
+  /// Optimizer annotations (estimated; populated during planning).
+  double estimated_cardinality = -1.0;
+  double estimated_cost = -1.0;
+
+  /// Deep copy.
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Structure-only signature, e.g. "(HJ (S t0) (NL (S t1) (S t2)))".
+  /// Identical signatures mean identical join order + operators.
+  std::string Signature(const Query& query) const;
+};
+
+/// Creates a scan leaf for query table `table_index`.
+std::unique_ptr<PlanNode> MakeScanNode(int table_index);
+
+/// Creates a join node over two subplans.
+std::unique_ptr<PlanNode> MakeJoinNode(JoinAlgorithm algorithm,
+                                       std::unique_ptr<PlanNode> left,
+                                       std::unique_ptr<PlanNode> right);
+
+/// A complete physical plan for a query. Owns the node tree; holds a
+/// non-owning pointer to the query it plans.
+struct PhysicalPlan {
+  const Query* query = nullptr;
+  std::unique_ptr<PlanNode> root;
+
+  PhysicalPlan Clone() const;
+
+  /// Multi-line indented rendering with annotations.
+  std::string ToString() const;
+
+  /// Structure signature (see PlanNode::Signature).
+  std::string Signature() const;
+};
+
+/// Visits nodes bottom-up (children before parents).
+void VisitPlanBottomUp(const PlanNode& node,
+                       const std::function<void(const PlanNode&)>& visit);
+void VisitPlanBottomUpMut(PlanNode& node,
+                          const std::function<void(PlanNode&)>& visit);
+
+}  // namespace lqo
+
+#endif  // LQO_ENGINE_PLAN_H_

@@ -1,0 +1,27 @@
+#include "engine/true_cardinality.h"
+
+#include "common/logging.h"
+
+namespace lqo {
+
+TrueCardinalityService::TrueCardinalityService(const Catalog* catalog)
+    : executor_(catalog) {}
+
+uint64_t TrueCardinalityService::Cardinality(const Subquery& subquery) {
+  std::string key = subquery.Key();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  PhysicalPlan plan = MakeLeftDeepPlan(*subquery.query, subquery.tables,
+                                       JoinAlgorithm::kHashJoin);
+  auto result = executor_.Execute(plan);
+  LQO_CHECK(result.ok()) << result.status().ToString();
+  cache_[key] = result->row_count;
+  return result->row_count;
+}
+
+uint64_t TrueCardinalityService::Cardinality(const Query& query) {
+  return Cardinality(Subquery{&query, query.AllTables()});
+}
+
+}  // namespace lqo

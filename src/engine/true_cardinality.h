@@ -1,0 +1,35 @@
+#ifndef LQO_ENGINE_TRUE_CARDINALITY_H_
+#define LQO_ENGINE_TRUE_CARDINALITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "engine/executor.h"
+#include "query/query.h"
+
+namespace lqo {
+
+/// Computes exact sub-query cardinalities by executing a canonical
+/// left-deep hash plan, memoized by the sub-query's canonical key. This is
+/// the labeling oracle used to (a) train query-driven estimators and
+/// (b) score every estimator's q-error.
+class TrueCardinalityService {
+ public:
+  explicit TrueCardinalityService(const Catalog* catalog);
+
+  /// Exact COUNT(*) of the sub-query. The table set must be connected.
+  uint64_t Cardinality(const Subquery& subquery);
+
+  /// Exact COUNT(*) of a full query.
+  uint64_t Cardinality(const Query& query);
+
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  Executor executor_;
+  std::unordered_map<std::string, uint64_t> cache_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_ENGINE_TRUE_CARDINALITY_H_

@@ -1,0 +1,137 @@
+#include "joinorder/join_env.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace lqo {
+namespace {
+
+bool Crossing(const Query& query, TableSet left, TableSet right) {
+  for (const QueryJoin& j : query.joins()) {
+    bool ll = ContainsTable(left, j.left_table);
+    bool lr = ContainsTable(right, j.left_table);
+    bool rl = ContainsTable(left, j.right_table);
+    bool rr = ContainsTable(right, j.right_table);
+    if ((ll && rr) || (lr && rl)) return true;
+  }
+  return false;
+}
+
+double Log1p(double v) { return std::log(std::max(v, 0.0) + 1.0); }
+
+}  // namespace
+
+JoinOrderEnv::JoinOrderEnv(const Query* query, const StatsCatalog* stats,
+                           const AnalyticalCostModel* cost_model,
+                           CardinalityProvider* cards)
+    : query_(query), stats_(stats), cost_model_(cost_model), cards_(cards) {
+  LQO_CHECK(query_ != nullptr);
+  LQO_CHECK(query_->IsConnected(query_->AllTables()));
+  Reset();
+}
+
+void JoinOrderEnv::Reset() {
+  components_.clear();
+  total_cost_ = 0.0;
+  for (int t = 0; t < query_->num_tables(); ++t) {
+    Component component;
+    component.plan = MakeScanNode(t);
+    component.card = cards_->Cardinality(Subquery{query_, TableBit(t)});
+    const std::string& name =
+        query_->tables()[static_cast<size_t>(t)].table_name;
+    component.cost = cost_model_->ScanCost(
+        static_cast<double>(stats_->Of(name).row_count),
+        static_cast<int>(query_->PredicatesOf(t).size()));
+    component.plan->estimated_cardinality = component.card;
+    component.plan->estimated_cost = component.cost;
+    total_cost_ += component.cost;
+    components_.push_back(std::move(component));
+  }
+}
+
+std::vector<JoinOrderEnv::Action> JoinOrderEnv::LegalActions() const {
+  std::vector<Action> actions;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    for (size_t j = 0; j < components_.size(); ++j) {
+      if (i == j) continue;
+      if (Crossing(*query_, components_[i].plan->table_set,
+                   components_[j].plan->table_set)) {
+        actions.push_back({i, j});
+      }
+    }
+  }
+  return actions;
+}
+
+double JoinOrderEnv::Step(const Action& action) {
+  LQO_CHECK_LT(action.left, components_.size());
+  LQO_CHECK_LT(action.right, components_.size());
+  LQO_CHECK_NE(action.left, action.right);
+  Component& left = components_[action.left];
+  Component& right = components_[action.right];
+  TableSet merged_set = left.plan->table_set | right.plan->table_set;
+  double merged_card = cards_->Cardinality(Subquery{query_, merged_set});
+
+  // Best local algorithm.
+  double best_cost = std::numeric_limits<double>::infinity();
+  JoinAlgorithm best_algo = JoinAlgorithm::kHashJoin;
+  for (JoinAlgorithm algo :
+       {JoinAlgorithm::kHashJoin, JoinAlgorithm::kNestedLoopJoin,
+        JoinAlgorithm::kMergeJoin}) {
+    double cost =
+        cost_model_->JoinCost(algo, left.card, right.card, merged_card);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_algo = algo;
+    }
+  }
+
+  Component merged;
+  merged.card = merged_card;
+  merged.cost = left.cost + right.cost + best_cost;
+  merged.plan =
+      MakeJoinNode(best_algo, std::move(left.plan), std::move(right.plan));
+  merged.plan->estimated_cardinality = merged_card;
+  merged.plan->estimated_cost = best_cost;
+  total_cost_ += best_cost;
+
+  size_t hi = std::max(action.left, action.right);
+  size_t lo = std::min(action.left, action.right);
+  components_.erase(components_.begin() + static_cast<long>(hi));
+  components_.erase(components_.begin() + static_cast<long>(lo));
+  components_.push_back(std::move(merged));
+  return best_cost;
+}
+
+std::vector<double> JoinOrderEnv::ActionFeatures(const Action& action) const {
+  const Component& left = components_[action.left];
+  const Component& right = components_[action.right];
+  TableSet merged = left.plan->table_set | right.plan->table_set;
+  double merged_card = cards_->Cardinality(Subquery{query_, merged});
+  std::vector<double> features = {
+      Log1p(left.card),
+      Log1p(right.card),
+      Log1p(merged_card),
+      static_cast<double>(PopCount(left.plan->table_set)),
+      static_cast<double>(PopCount(right.plan->table_set)),
+      static_cast<double>(components_.size()),
+      Log1p(merged_card) - Log1p(left.card) - Log1p(right.card),
+      static_cast<double>(query_->num_tables()),
+  };
+  LQO_CHECK_EQ(features.size(), kFeatureDim);
+  return features;
+}
+
+PhysicalPlan JoinOrderEnv::ExtractPlan() {
+  LQO_CHECK(Done());
+  PhysicalPlan plan;
+  plan.query = query_;
+  plan.root = std::move(components_[0].plan);
+  components_.clear();
+  return plan;
+}
+
+}  // namespace lqo

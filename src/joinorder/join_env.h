@@ -1,0 +1,71 @@
+#ifndef LQO_JOINORDER_JOIN_ENV_H_
+#define LQO_JOINORDER_JOIN_ENV_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/plan.h"
+#include "optimizer/cardinality_interface.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/table_stats.h"
+
+namespace lqo {
+
+/// The join-order MDP shared by the learned search methods (DQ [15],
+/// ReJoin [24], RTOS [73], SkinnerDB [56]): a state is a forest of joined
+/// components; an action joins two connected components (the physical
+/// algorithm is chosen greedily per join); an episode ends with a complete
+/// plan whose total analytical cost is the (negative) return.
+class JoinOrderEnv {
+ public:
+  JoinOrderEnv(const Query* query, const StatsCatalog* stats,
+               const AnalyticalCostModel* cost_model,
+               CardinalityProvider* cards);
+
+  /// Restarts the episode (components = single-table scans).
+  void Reset();
+
+  bool Done() const { return components_.size() == 1; }
+
+  struct Action {
+    size_t left = 0;
+    size_t right = 0;
+  };
+
+  /// Ordered pairs of component indices sharing a join edge.
+  std::vector<Action> LegalActions() const;
+
+  /// Applies the action; returns the incremental join cost.
+  double Step(const Action& action);
+
+  /// Total accumulated cost (scans + joins so far).
+  double total_cost() const { return total_cost_; }
+
+  /// RTOS-style state+action featurization: cardinalities and structure of
+  /// the two components and the merged result.
+  std::vector<double> ActionFeatures(const Action& action) const;
+  static constexpr size_t kFeatureDim = 8;
+
+  /// Moves the finished plan out (requires Done()).
+  PhysicalPlan ExtractPlan();
+
+  const Query& query() const { return *query_; }
+
+ private:
+  struct Component {
+    std::unique_ptr<PlanNode> plan;
+    double card = 0.0;
+    double cost = 0.0;  // subtree cost
+  };
+
+  const Query* query_;
+  const StatsCatalog* stats_;
+  const AnalyticalCostModel* cost_model_;
+  CardinalityProvider* cards_;
+  std::vector<Component> components_;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_JOINORDER_JOIN_ENV_H_

@@ -1,0 +1,157 @@
+#include "joinorder/mcts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lqo {
+namespace {
+
+struct TreeNode {
+  int visits = 0;
+  double total_reward = 0.0;
+  /// Child index per action (actions identified positionally; the env is
+  /// deterministic so replaying an action sequence reproduces the state).
+  std::map<std::pair<size_t, size_t>, int> children;
+  size_t num_legal = 0;
+};
+
+// Greedy (min incremental cost) episode: the reward-normalization baseline.
+double GreedyCost(JoinOrderEnv* env) {
+  env->Reset();
+  while (!env->Done()) {
+    std::vector<JoinOrderEnv::Action> actions = env->LegalActions();
+    size_t best = 0;
+    double best_card = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < actions.size(); ++a) {
+      // Greedy on resulting cardinality (GOO-style).
+      std::vector<double> f = env->ActionFeatures(actions[a]);
+      if (f[2] < best_card) {
+        best_card = f[2];
+        best = a;
+      }
+    }
+    env->Step(actions[best]);
+  }
+  return env->total_cost();
+}
+
+}  // namespace
+
+MctsJoinOrderer::MctsJoinOrderer(const StatsCatalog* stats,
+                                 const AnalyticalCostModel* cost_model,
+                                 CardinalityProvider* cards,
+                                 MctsOptions options)
+    : stats_(stats),
+      cost_model_(cost_model),
+      cards_(cards),
+      options_(options) {}
+
+PhysicalPlan MctsJoinOrderer::Plan(const Query& query, double* total_cost) {
+  JoinOrderEnv env(&query, stats_, cost_model_, cards_);
+  if (query.num_tables() < 2) {
+    if (total_cost != nullptr) *total_cost = env.total_cost();
+    return env.ExtractPlan();
+  }
+
+  Rng rng(options_.seed);
+  double baseline = GreedyCost(&env);
+
+  std::vector<TreeNode> nodes(1);
+  std::vector<std::pair<size_t, size_t>> best_sequence;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    env.Reset();
+    std::vector<int> path = {0};
+    std::vector<std::pair<size_t, size_t>> sequence;
+
+    // Selection.
+    while (!env.Done()) {
+      std::vector<JoinOrderEnv::Action> actions = env.LegalActions();
+      TreeNode& node = nodes[static_cast<size_t>(path.back())];
+      node.num_legal = actions.size();
+      if (node.children.size() < actions.size()) break;  // expandable.
+      // UCB over children.
+      double best_ucb = -std::numeric_limits<double>::infinity();
+      std::pair<size_t, size_t> best_action{0, 0};
+      int best_child = -1;
+      for (const JoinOrderEnv::Action& action : actions) {
+        auto key = std::make_pair(action.left, action.right);
+        int child = node.children.at(key);
+        const TreeNode& c = nodes[static_cast<size_t>(child)];
+        double mean = c.total_reward / std::max(1, c.visits);
+        double ucb = mean + options_.exploration *
+                                std::sqrt(std::log(std::max(2, node.visits)) /
+                                          std::max(1, c.visits));
+        if (ucb > best_ucb) {
+          best_ucb = ucb;
+          best_action = key;
+          best_child = child;
+        }
+      }
+      env.Step({best_action.first, best_action.second});
+      sequence.push_back(best_action);
+      path.push_back(best_child);
+    }
+
+    // Expansion.
+    if (!env.Done()) {
+      std::vector<JoinOrderEnv::Action> actions = env.LegalActions();
+      TreeNode& node = nodes[static_cast<size_t>(path.back())];
+      std::vector<std::pair<size_t, size_t>> untried;
+      for (const JoinOrderEnv::Action& action : actions) {
+        auto key = std::make_pair(action.left, action.right);
+        if (node.children.find(key) == node.children.end()) {
+          untried.push_back(key);
+        }
+      }
+      LQO_CHECK(!untried.empty());
+      auto key = untried[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(untried.size()) - 1))];
+      nodes.emplace_back();
+      int child = static_cast<int>(nodes.size()) - 1;
+      nodes[static_cast<size_t>(path.back())].children[key] = child;
+      env.Step({key.first, key.second});
+      sequence.push_back(key);
+      path.push_back(child);
+
+      // Rollout: random completion.
+      while (!env.Done()) {
+        std::vector<JoinOrderEnv::Action> rollout = env.LegalActions();
+        const JoinOrderEnv::Action& action = rollout[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(rollout.size()) - 1))];
+        env.Step(action);
+        sequence.push_back({action.left, action.right});
+      }
+    }
+
+    double cost = env.total_cost();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_sequence = sequence;
+    }
+    // Reward: baseline ratio clipped to [0, 2]; higher is better.
+    double reward = std::clamp(baseline / std::max(cost, 1e-9), 0.0, 2.0);
+    for (int node_index : path) {
+      TreeNode& node = nodes[static_cast<size_t>(node_index)];
+      ++node.visits;
+      node.total_reward += reward;
+    }
+  }
+
+  // Replay the best sequence to build the final plan.
+  env.Reset();
+  for (const auto& [left, right] : best_sequence) {
+    env.Step({left, right});
+  }
+  LQO_CHECK(env.Done());
+  if (total_cost != nullptr) *total_cost = env.total_cost();
+  return env.ExtractPlan();
+}
+
+}  // namespace lqo

@@ -1,0 +1,40 @@
+#ifndef LQO_JOINORDER_MCTS_H_
+#define LQO_JOINORDER_MCTS_H_
+
+#include <vector>
+
+#include "joinorder/join_env.h"
+
+namespace lqo {
+
+/// Options for the UCT join orderer.
+struct MctsOptions {
+  int iterations = 300;
+  double exploration = 1.0;
+  uint64_t seed = 1101;
+};
+
+/// SkinnerDB-style Monte-Carlo tree search over join orders [56]: UCT on
+/// the sequential join-pair decision process, rewards normalized by a
+/// greedy baseline cost (the time-sliced execution of SkinnerDB is
+/// simulated by analytical cost evaluation, see DESIGN.md).
+class MctsJoinOrderer {
+ public:
+  MctsJoinOrderer(const StatsCatalog* stats,
+                  const AnalyticalCostModel* cost_model,
+                  CardinalityProvider* cards,
+                  MctsOptions options = MctsOptions());
+
+  /// Searches for a plan; returns it and optionally the analytical cost.
+  PhysicalPlan Plan(const Query& query, double* total_cost = nullptr);
+
+ private:
+  const StatsCatalog* stats_;
+  const AnalyticalCostModel* cost_model_;
+  CardinalityProvider* cards_;
+  MctsOptions options_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_JOINORDER_MCTS_H_

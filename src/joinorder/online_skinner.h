@@ -1,0 +1,57 @@
+#ifndef LQO_JOINORDER_ONLINE_SKINNER_H_
+#define LQO_JOINORDER_ONLINE_SKINNER_H_
+
+#include <vector>
+
+#include "engine/executor.h"
+
+namespace lqo {
+
+/// Options for the online adaptive executor.
+struct OnlineSkinnerOptions {
+  /// Time slices the query execution is divided into.
+  int num_slices = 60;
+  /// Fractional overhead charged per plan switch (state migration).
+  double switch_overhead = 0.01;
+  /// UCB exploration weight.
+  double exploration = 0.6;
+};
+
+/// Outcome of one adaptive execution.
+struct OnlineSkinnerResult {
+  double total_time = 0.0;
+  int switches = 0;
+  /// Arm the algorithm converged on (most-used in the last quarter).
+  size_t preferred_plan = 0;
+  /// Oracle references: executing only the best / worst candidate.
+  double best_plan_time = 0.0;
+  double worst_plan_time = 0.0;
+  uint64_t row_count = 0;
+};
+
+/// SkinnerDB-style online join-order selection [56] (the Section 2.1.3
+/// "online learning" class, with Eddy-RL [58] as the earlier instance):
+/// execution proceeds in fixed work slices; before each slice a UCB1 bandit
+/// picks which candidate plan processes the next slice, learning plan
+/// quality *during* execution with no optimizer estimates at all. The
+/// per-slice progress sharing of SkinnerDB is simulated by charging each
+/// slice 1/num_slices of the chosen plan's true cost (see DESIGN.md,
+/// substitutions); the regret-bounded guarantee — total time close to the
+/// best candidate's, whatever the estimates said — is preserved.
+class OnlineSkinnerExecutor {
+ public:
+  OnlineSkinnerExecutor(const Executor* executor,
+                        OnlineSkinnerOptions options = OnlineSkinnerOptions());
+
+  /// Adaptively executes the query over the candidate plans (all must plan
+  /// the same query). Requires at least one candidate.
+  OnlineSkinnerResult Run(const std::vector<PhysicalPlan>& candidates) const;
+
+ private:
+  const Executor* executor_;
+  OnlineSkinnerOptions options_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_JOINORDER_ONLINE_SKINNER_H_

@@ -1,0 +1,116 @@
+#include "joinorder/qlearning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lqo {
+
+QLearningJoinOrderer::QLearningJoinOrderer(
+    const StatsCatalog* stats, const AnalyticalCostModel* cost_model,
+    CardinalityProvider* cards, QLearningOptions options)
+    : stats_(stats),
+      cost_model_(cost_model),
+      cards_(cards),
+      options_(options) {}
+
+double QLearningJoinOrderer::QValue(const std::vector<double>& features) const {
+  if (!trained_) return 0.0;
+  return q_model_.Predict(features);
+}
+
+void QLearningJoinOrderer::Train(const std::vector<Query>& queries) {
+  Rng rng(options_.seed);
+  int total_episodes = options_.episodes_per_query *
+                       static_cast<int>(queries.size());
+  int refit_interval =
+      std::max(1, total_episodes / std::max(1, options_.num_refits));
+  int episode = 0;
+
+  for (int e = 0; e < options_.episodes_per_query; ++e) {
+    for (const Query& query : queries) {
+      if (query.num_tables() < 2) continue;
+      double epsilon =
+          options_.epsilon_start +
+          (options_.epsilon_end - options_.epsilon_start) *
+              static_cast<double>(episode) /
+              std::max(1, total_episodes - 1);
+
+      JoinOrderEnv env(&query, stats_, cost_model_, cards_);
+      // Transitions of this episode: (features, cost incurred afterwards).
+      std::vector<std::vector<double>> features;
+      std::vector<double> incremental_costs;
+      while (!env.Done()) {
+        std::vector<JoinOrderEnv::Action> actions = env.LegalActions();
+        LQO_CHECK(!actions.empty());
+        size_t chosen;
+        if (rng.Bernoulli(epsilon)) {
+          chosen = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(actions.size()) - 1));
+        } else {
+          chosen = 0;
+          double best = std::numeric_limits<double>::infinity();
+          for (size_t a = 0; a < actions.size(); ++a) {
+            double q = QValue(env.ActionFeatures(actions[a]));
+            if (q < best) {
+              best = q;
+              chosen = a;
+            }
+          }
+        }
+        features.push_back(env.ActionFeatures(actions[chosen]));
+        incremental_costs.push_back(env.Step(actions[chosen]));
+      }
+      // Monte-Carlo returns: cost-to-go from each step, in log space.
+      double to_go = 0.0;
+      for (size_t i = features.size(); i > 0; --i) {
+        to_go += incremental_costs[i - 1];
+        replay_features_.push_back(std::move(features[i - 1]));
+        replay_returns_.push_back(std::log(to_go + 1.0));
+      }
+      ++episode;
+      if (episode % refit_interval == 0 && !replay_features_.empty()) {
+        GbdtOptions gbdt_options;
+        gbdt_options.num_trees = 80;
+        gbdt_options.tree.max_depth = 5;
+        q_model_ = GradientBoostedTrees(gbdt_options);
+        q_model_.Fit(replay_features_, replay_returns_);
+        trained_ = true;
+      }
+    }
+  }
+  if (!replay_features_.empty()) {
+    GbdtOptions gbdt_options;
+    gbdt_options.num_trees = 120;
+    gbdt_options.tree.max_depth = 5;
+    q_model_ = GradientBoostedTrees(gbdt_options);
+    q_model_.Fit(replay_features_, replay_returns_);
+    trained_ = true;
+  }
+}
+
+PhysicalPlan QLearningJoinOrderer::Plan(const Query& query,
+                                        double* total_cost) {
+  JoinOrderEnv env(&query, stats_, cost_model_, cards_);
+  while (!env.Done()) {
+    std::vector<JoinOrderEnv::Action> actions = env.LegalActions();
+    LQO_CHECK(!actions.empty());
+    size_t chosen = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < actions.size(); ++a) {
+      double q = QValue(env.ActionFeatures(actions[a]));
+      if (q < best) {
+        best = q;
+        chosen = a;
+      }
+    }
+    env.Step(actions[chosen]);
+  }
+  if (total_cost != nullptr) *total_cost = env.total_cost();
+  return env.ExtractPlan();
+}
+
+}  // namespace lqo

@@ -1,0 +1,59 @@
+#ifndef LQO_JOINORDER_QLEARNING_H_
+#define LQO_JOINORDER_QLEARNING_H_
+
+#include <vector>
+
+#include "joinorder/join_env.h"
+#include "ml/gbdt.h"
+
+namespace lqo {
+
+/// Options for the fitted-Q join orderer.
+struct QLearningOptions {
+  int episodes_per_query = 30;
+  /// Epsilon-greedy exploration decays linearly from start to end.
+  double epsilon_start = 0.9;
+  double epsilon_end = 0.05;
+  /// Q refits (from all collected transitions) spread across training.
+  int num_refits = 4;
+  uint64_t seed = 1001;
+};
+
+/// DQ/ReJoin-style reinforcement-learned join ordering [15,24]: Q(s, a)
+/// estimates the total remaining plan cost after taking action a; trained
+/// by Monte-Carlo fitted-Q iteration over epsilon-greedy episodes with a
+/// GBDT function approximator on RTOS-style features [73].
+class QLearningJoinOrderer {
+ public:
+  QLearningJoinOrderer(const StatsCatalog* stats,
+                       const AnalyticalCostModel* cost_model,
+                       CardinalityProvider* cards,
+                       QLearningOptions options = QLearningOptions());
+
+  /// Runs training episodes over the workload queries.
+  void Train(const std::vector<Query>& queries);
+
+  /// Greedy rollout under the learned Q; returns the plan and its
+  /// analytical cost. Untrained planners act randomly (tested baseline).
+  PhysicalPlan Plan(const Query& query, double* total_cost = nullptr);
+
+  bool trained() const { return trained_; }
+  size_t transitions_collected() const { return replay_features_.size(); }
+
+ private:
+  /// Predicted cost-to-go of an action (large default when untrained).
+  double QValue(const std::vector<double>& features) const;
+
+  const StatsCatalog* stats_;
+  const AnalyticalCostModel* cost_model_;
+  CardinalityProvider* cards_;
+  QLearningOptions options_;
+  GradientBoostedTrees q_model_;
+  bool trained_ = false;
+  std::vector<std::vector<double>> replay_features_;
+  std::vector<double> replay_returns_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_JOINORDER_QLEARNING_H_

@@ -1,0 +1,100 @@
+#include "ml/chow_liu.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+double MutualInformation(const std::vector<int64_t>& x,
+                         const std::vector<int64_t>& y, int64_t x_domain,
+                         int64_t y_domain) {
+  LQO_CHECK_EQ(x.size(), y.size());
+  LQO_CHECK(!x.empty());
+  double n = static_cast<double>(x.size());
+
+  std::vector<double> px(static_cast<size_t>(x_domain), 0.0);
+  std::vector<double> py(static_cast<size_t>(y_domain), 0.0);
+  std::unordered_map<int64_t, double> pxy;  // key = xv * y_domain + yv
+  for (size_t i = 0; i < x.size(); ++i) {
+    LQO_CHECK_GE(x[i], 0);
+    LQO_CHECK_LT(x[i], x_domain);
+    LQO_CHECK_GE(y[i], 0);
+    LQO_CHECK_LT(y[i], y_domain);
+    px[static_cast<size_t>(x[i])] += 1.0;
+    py[static_cast<size_t>(y[i])] += 1.0;
+    pxy[x[i] * y_domain + y[i]] += 1.0;
+  }
+  double mi = 0.0;
+  for (const auto& [key, count] : pxy) {
+    int64_t xv = key / y_domain;
+    int64_t yv = key % y_domain;
+    double p = count / n;
+    double marginal = (px[static_cast<size_t>(xv)] / n) *
+                      (py[static_cast<size_t>(yv)] / n);
+    mi += p * std::log(p / marginal);
+  }
+  return std::max(0.0, mi);
+}
+
+ChowLiuResult LearnChowLiuTree(
+    const std::vector<std::vector<int64_t>>& columns,
+    const std::vector<int64_t>& domain_sizes) {
+  size_t v = columns.size();
+  LQO_CHECK_EQ(domain_sizes.size(), v);
+  LQO_CHECK_GT(v, 0u);
+
+  ChowLiuResult result;
+  result.parent.assign(v, -1);
+  if (v == 1) {
+    result.topological_order = {0};
+    return result;
+  }
+
+  // Pairwise MI.
+  std::vector<std::vector<double>> mi(v, std::vector<double>(v, 0.0));
+  for (size_t i = 0; i < v; ++i) {
+    for (size_t j = i + 1; j < v; ++j) {
+      mi[i][j] = mi[j][i] =
+          MutualInformation(columns[i], columns[j], domain_sizes[i],
+                            domain_sizes[j]);
+    }
+  }
+
+  // Prim's maximum spanning tree rooted at variable 0.
+  std::vector<bool> in_tree(v, false);
+  std::vector<double> best_weight(v, -1.0);
+  std::vector<int> best_parent(v, -1);
+  in_tree[0] = true;
+  result.topological_order.push_back(0);
+  for (size_t j = 1; j < v; ++j) {
+    best_weight[j] = mi[0][j];
+    best_parent[j] = 0;
+  }
+  for (size_t step = 1; step < v; ++step) {
+    double best = -std::numeric_limits<double>::infinity();
+    int pick = -1;
+    for (size_t j = 0; j < v; ++j) {
+      if (!in_tree[j] && best_weight[j] > best) {
+        best = best_weight[j];
+        pick = static_cast<int>(j);
+      }
+    }
+    LQO_CHECK_GE(pick, 0);
+    in_tree[static_cast<size_t>(pick)] = true;
+    result.parent[static_cast<size_t>(pick)] =
+        best_parent[static_cast<size_t>(pick)];
+    result.topological_order.push_back(pick);
+    for (size_t j = 0; j < v; ++j) {
+      if (!in_tree[j] && mi[static_cast<size_t>(pick)][j] > best_weight[j]) {
+        best_weight[j] = mi[static_cast<size_t>(pick)][j];
+        best_parent[j] = pick;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lqo

@@ -1,0 +1,33 @@
+#ifndef LQO_ML_CHOW_LIU_H_
+#define LQO_ML_CHOW_LIU_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lqo {
+
+/// Learns the Chow-Liu tree over discrete variables: the maximum spanning
+/// tree of the pairwise mutual-information graph. This is the structure
+/// learner behind the BayesNet/BayesCard cardinality estimators [57,65].
+///
+/// `columns[v]` holds the value of variable v for every row; values must be
+/// small non-negative codes (callers compress domains first).
+struct ChowLiuResult {
+  /// parent[v] = parent variable of v in the rooted tree, -1 for the root.
+  std::vector<int> parent;
+  /// Order in which variables appear root-first (parents precede children).
+  std::vector<int> topological_order;
+};
+
+ChowLiuResult LearnChowLiuTree(
+    const std::vector<std::vector<int64_t>>& columns,
+    const std::vector<int64_t>& domain_sizes);
+
+/// Mutual information (nats) between two discrete columns.
+double MutualInformation(const std::vector<int64_t>& x,
+                         const std::vector<int64_t>& y, int64_t x_domain,
+                         int64_t y_domain);
+
+}  // namespace lqo
+
+#endif  // LQO_ML_CHOW_LIU_H_

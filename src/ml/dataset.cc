@@ -1,0 +1,65 @@
+#include "ml/dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lqo {
+
+void TrainTestSplit(const MlDataset& data, double test_fraction,
+                    uint64_t seed, MlDataset* train, MlDataset* test) {
+  LQO_CHECK(train != nullptr);
+  LQO_CHECK(test != nullptr);
+  LQO_CHECK_GT(test_fraction, 0.0);
+  LQO_CHECK_LT(test_fraction, 1.0);
+  train->rows.clear();
+  train->targets.clear();
+  test->rows.clear();
+  test->targets.clear();
+
+  Rng rng(seed);
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  size_t test_count = static_cast<size_t>(
+      static_cast<double>(data.size()) * test_fraction);
+  for (size_t i = 0; i < order.size(); ++i) {
+    MlDataset* target = i < test_count ? test : train;
+    target->Add(data.rows[order[i]], data.targets[order[i]]);
+  }
+}
+
+void Standardizer::Fit(const std::vector<std::vector<double>>& rows) {
+  LQO_CHECK(!rows.empty());
+  size_t f = rows[0].size();
+  means_.assign(f, 0.0);
+  stds_.assign(f, 0.0);
+  for (const auto& row : rows) {
+    LQO_CHECK_EQ(row.size(), f);
+    for (size_t j = 0; j < f; ++j) means_[j] += row[j];
+  }
+  for (double& m : means_) m /= static_cast<double>(rows.size());
+  for (const auto& row : rows) {
+    for (size_t j = 0; j < f; ++j) {
+      double d = row[j] - means_[j];
+      stds_[j] += d * d;
+    }
+  }
+  for (double& s : stds_) {
+    s = std::sqrt(s / static_cast<double>(rows.size()));
+    if (s < 1e-12) s = 1.0;  // constant column: pass through.
+  }
+}
+
+std::vector<double> Standardizer::Transform(
+    const std::vector<double>& row) const {
+  LQO_CHECK_EQ(row.size(), means_.size());
+  std::vector<double> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - means_[j]) / stds_[j];
+  }
+  return out;
+}
+
+}  // namespace lqo

@@ -1,0 +1,44 @@
+#ifndef LQO_ML_DATASET_H_
+#define LQO_ML_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lqo {
+
+/// A dense supervised dataset: rows of features plus one target per row.
+struct MlDataset {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+
+  size_t size() const { return rows.size(); }
+  size_t num_features() const { return rows.empty() ? 0 : rows[0].size(); }
+
+  void Add(std::vector<double> row, double target) {
+    rows.push_back(std::move(row));
+    targets.push_back(target);
+  }
+};
+
+/// Splits `data` into train/test deterministically: every k-th row (by a
+/// seeded shuffle) goes to test. `test_fraction` in (0,1).
+void TrainTestSplit(const MlDataset& data, double test_fraction,
+                    uint64_t seed, MlDataset* train, MlDataset* test);
+
+/// Column-wise standardization (x - mean) / std, fit on one dataset and
+/// applied to any vector. Constant columns pass through unchanged.
+class Standardizer {
+ public:
+  void Fit(const std::vector<std::vector<double>>& rows);
+  std::vector<double> Transform(const std::vector<double>& row) const;
+  bool fitted() const { return !means_.empty(); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_ML_DATASET_H_

@@ -1,0 +1,59 @@
+#include "ml/forest.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lqo {
+
+void RandomForest::Fit(const std::vector<std::vector<double>>& rows,
+                       const std::vector<double>& targets) {
+  LQO_CHECK(!rows.empty());
+  LQO_CHECK_EQ(rows.size(), targets.size());
+  trees_.clear();
+  Rng rng(options_.seed);
+
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.max_features <= 0) {
+    // Default: sqrt(F), the classic forest heuristic.
+    tree_options.max_features = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(rows[0].size()))));
+  }
+
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<size_t> indices(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      indices[i] = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(rows.size()) - 1));
+    }
+    RegressionTree tree;
+    tree.Fit(rows, targets, tree_options, indices, &rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::Predict(const std::vector<double>& row) const {
+  double mean, stddev;
+  PredictWithUncertainty(row, &mean, &stddev);
+  return mean;
+}
+
+void RandomForest::PredictWithUncertainty(const std::vector<double>& row,
+                                          double* mean,
+                                          double* stddev) const {
+  LQO_CHECK(fitted());
+  double sum = 0.0, sum_sq = 0.0;
+  for (const RegressionTree& tree : trees_) {
+    double y = tree.Predict(row);
+    sum += y;
+    sum_sq += y * y;
+  }
+  double n = static_cast<double>(trees_.size());
+  *mean = sum / n;
+  double var = sum_sq / n - (*mean) * (*mean);
+  *stddev = std::sqrt(std::max(0.0, var));
+}
+
+}  // namespace lqo

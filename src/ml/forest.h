@@ -1,0 +1,49 @@
+#ifndef LQO_ML_FOREST_H_
+#define LQO_ML_FOREST_H_
+
+#include <vector>
+
+#include "ml/tree.h"
+
+namespace lqo {
+
+/// Options for the bagged random-forest regressor.
+struct ForestOptions {
+  int num_trees = 40;
+  TreeOptions tree;
+  uint64_t seed = 23;
+
+  ForestOptions() {
+    tree.max_depth = 10;
+    tree.min_samples_leaf = 2;
+  }
+};
+
+/// Random forest regressor (bootstrap rows + random feature subsets). The
+/// "tree-based ensembles" row of Table 1 [10]; its prediction variance also
+/// doubles as an uncertainty signal (Fauce-style [33]).
+class RandomForest {
+ public:
+  explicit RandomForest(ForestOptions options = ForestOptions())
+      : options_(options) {}
+
+  void Fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<double>& targets);
+
+  double Predict(const std::vector<double>& row) const;
+
+  /// Mean and standard deviation across the ensemble's per-tree
+  /// predictions; the std is the Fauce-style epistemic uncertainty proxy.
+  void PredictWithUncertainty(const std::vector<double>& row, double* mean,
+                              double* stddev) const;
+
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  ForestOptions options_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_ML_FOREST_H_

@@ -1,0 +1,55 @@
+#include "ml/gbdt.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lqo {
+
+void GradientBoostedTrees::Fit(const std::vector<std::vector<double>>& rows,
+                               const std::vector<double>& targets) {
+  LQO_CHECK(!rows.empty());
+  LQO_CHECK_EQ(rows.size(), targets.size());
+  trees_.clear();
+
+  base_prediction_ =
+      std::accumulate(targets.begin(), targets.end(), 0.0) /
+      static_cast<double>(targets.size());
+
+  std::vector<double> residuals(targets.size());
+  std::vector<double> current(targets.size(), base_prediction_);
+  Rng rng(options_.seed);
+
+  for (int t = 0; t < options_.num_trees; ++t) {
+    for (size_t i = 0; i < targets.size(); ++i) {
+      residuals[i] = targets[i] - current[i];
+    }
+    // Row subsample.
+    std::vector<size_t> indices;
+    if (options_.subsample < 1.0) {
+      size_t k = std::max<size_t>(
+          1, static_cast<size_t>(options_.subsample *
+                                 static_cast<double>(rows.size())));
+      indices = rng.SampleWithoutReplacement(rows.size(), k);
+    }
+    RegressionTree tree;
+    tree.Fit(rows, residuals, options_.tree, indices, nullptr);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      current[i] += options_.learning_rate * tree.Predict(rows[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double GradientBoostedTrees::Predict(const std::vector<double>& row) const {
+  LQO_CHECK(fitted_);
+  double y = base_prediction_;
+  for (const RegressionTree& tree : trees_) {
+    y += options_.learning_rate * tree.Predict(row);
+  }
+  return y;
+}
+
+}  // namespace lqo

@@ -1,0 +1,47 @@
+#ifndef LQO_ML_GBDT_H_
+#define LQO_ML_GBDT_H_
+
+#include <vector>
+
+#include "ml/tree.h"
+
+namespace lqo {
+
+/// Options for gradient-boosted regression trees.
+struct GbdtOptions {
+  int num_trees = 120;
+  double learning_rate = 0.1;
+  TreeOptions tree;
+  /// Row subsampling per tree (stochastic gradient boosting); 1.0 = all.
+  double subsample = 0.8;
+  uint64_t seed = 17;
+
+  GbdtOptions() { tree.max_depth = 4; }
+};
+
+/// Gradient-boosted trees with squared loss — the XGBoost-style lightweight
+/// model of Dutt et al. [9,10], reused as a plan-cost model and as the
+/// UAE-style hybrid correction model.
+class GradientBoostedTrees {
+ public:
+  explicit GradientBoostedTrees(GbdtOptions options = GbdtOptions())
+      : options_(options) {}
+
+  void Fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<double>& targets);
+
+  double Predict(const std::vector<double>& row) const;
+
+  bool fitted() const { return fitted_; }
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  GbdtOptions options_;
+  double base_prediction_ = 0.0;
+  std::vector<RegressionTree> trees_;
+  bool fitted_ = false;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_ML_GBDT_H_

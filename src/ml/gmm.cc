@@ -1,0 +1,139 @@
+#include "ml/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats_util.h"
+
+namespace lqo {
+namespace {
+
+constexpr double kMinStddev = 1e-3;
+
+double NormalPdf(double x, double mean, double stddev) {
+  double z = (x - mean) / stddev;
+  return std::exp(-0.5 * z * z) / (stddev * std::sqrt(2.0 * M_PI));
+}
+
+double NormalCdf(double x, double mean, double stddev) {
+  return 0.5 * std::erfc(-(x - mean) / (stddev * std::sqrt(2.0)));
+}
+
+}  // namespace
+
+void GaussianMixture1D::Fit(const std::vector<double>& values) {
+  LQO_CHECK(!values.empty());
+  std::set<double> distinct(values.begin(), values.end());
+  size_t k = std::min<size_t>(static_cast<size_t>(options_.num_components),
+                              distinct.size());
+  LQO_CHECK_GE(k, 1u);
+
+  // Initialize on quantiles with a shared spread.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  weights_.assign(k, 1.0 / static_cast<double>(k));
+  means_.resize(k);
+  for (size_t c = 0; c < k; ++c) {
+    size_t idx = (2 * c + 1) * (sorted.size() - 1) / (2 * k);
+    means_[c] = sorted[idx];
+  }
+  double spread = std::max(kMinStddev, StdDev(values));
+  stddevs_.assign(k, spread / static_cast<double>(k));
+
+  size_t n = values.size();
+  std::vector<double> responsibility(n * k);
+  double previous_ll = -std::numeric_limits<double>::infinity();
+  for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    // E step.
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (size_t c = 0; c < k; ++c) {
+        double p = weights_[c] * NormalPdf(values[i], means_[c], stddevs_[c]);
+        responsibility[i * k + c] = p;
+        total += p;
+      }
+      if (total <= 1e-300) {
+        // Point far from every component: assign to the nearest.
+        size_t nearest = 0;
+        for (size_t c = 1; c < k; ++c) {
+          if (std::abs(values[i] - means_[c]) <
+              std::abs(values[i] - means_[nearest])) {
+            nearest = c;
+          }
+        }
+        for (size_t c = 0; c < k; ++c) {
+          responsibility[i * k + c] = c == nearest ? 1.0 : 0.0;
+        }
+        total = 1.0;
+        ll += -700.0;  // log of ~1e-300
+      } else {
+        for (size_t c = 0; c < k; ++c) responsibility[i * k + c] /= total;
+        ll += std::log(total);
+      }
+    }
+    log_likelihood_ = ll;
+
+    // M step.
+    for (size_t c = 0; c < k; ++c) {
+      double mass = 0.0, mean_acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        mass += responsibility[i * k + c];
+        mean_acc += responsibility[i * k + c] * values[i];
+      }
+      if (mass < 1e-9) continue;  // dead component: freeze.
+      weights_[c] = mass / static_cast<double>(n);
+      means_[c] = mean_acc / mass;
+      double var_acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double d = values[i] - means_[c];
+        var_acc += responsibility[i * k + c] * d * d;
+      }
+      stddevs_[c] = std::max(kMinStddev, std::sqrt(var_acc / mass));
+    }
+
+    if (std::abs(ll - previous_ll) <
+        options_.tolerance * (std::abs(ll) + 1.0)) {
+      break;
+    }
+    previous_ll = ll;
+  }
+}
+
+double GaussianMixture1D::Density(double x) const {
+  LQO_CHECK(fitted());
+  double p = 0.0;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    p += weights_[c] * NormalPdf(x, means_[c], stddevs_[c]);
+  }
+  return p;
+}
+
+double GaussianMixture1D::Cdf(double x) const {
+  LQO_CHECK(fitted());
+  double p = 0.0;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    p += weights_[c] * NormalCdf(x, means_[c], stddevs_[c]);
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+size_t GaussianMixture1D::Assign(double x) const {
+  LQO_CHECK(fitted());
+  size_t best = 0;
+  double best_p = -1.0;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    double p = weights_[c] * NormalPdf(x, means_[c], stddevs_[c]);
+    if (p > best_p) {
+      best_p = p;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace lqo

@@ -1,0 +1,114 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lqo {
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+void KMeans::Fit(const std::vector<std::vector<double>>& rows) {
+  LQO_CHECK(!rows.empty());
+  Rng rng(options_.seed);
+  size_t k = std::min<size_t>(static_cast<size_t>(options_.k), rows.size());
+
+  // k-means++ seeding.
+  centroids_.clear();
+  centroids_.push_back(rows[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(rows.size()) - 1))]);
+  std::vector<double> min_dist(rows.size(),
+                               std::numeric_limits<double>::infinity());
+  while (centroids_.size() < k) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      min_dist[i] = std::min(min_dist[i],
+                             SquaredDistance(rows[i], centroids_.back()));
+    }
+    double total = 0.0;
+    for (double d : min_dist) total += d;
+    if (total <= 0.0) break;  // fewer distinct points than k.
+    double u = rng.UniformDouble(0.0, total);
+    double acc = 0.0;
+    size_t pick = rows.size() - 1;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      acc += min_dist[i];
+      if (u < acc) {
+        pick = i;
+        break;
+      }
+    }
+    centroids_.push_back(rows[pick]);
+  }
+
+  labels_.assign(rows.size(), 0);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      size_t best = Assign(rows[i]);
+      if (best != labels_[i]) {
+        labels_[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    std::vector<std::vector<double>> sums(
+        centroids_.size(), std::vector<double>(rows[0].size(), 0.0));
+    std::vector<size_t> counts(centroids_.size(), 0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t j = 0; j < rows[i].size(); ++j) {
+        sums[labels_[i]][j] += rows[i][j];
+      }
+      ++counts[labels_[i]];
+    }
+    for (size_t c = 0; c < centroids_.size(); ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t j = 0; j < sums[c].size(); ++j) {
+        centroids_[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Drop empty clusters and re-map labels.
+  std::vector<size_t> counts(centroids_.size(), 0);
+  for (size_t label : labels_) ++counts[label];
+  std::vector<std::vector<double>> kept;
+  std::vector<size_t> remap(centroids_.size(), 0);
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    if (counts[c] > 0) {
+      remap[c] = kept.size();
+      kept.push_back(centroids_[c]);
+    }
+  }
+  for (size_t& label : labels_) label = remap[label];
+  centroids_ = std::move(kept);
+}
+
+size_t KMeans::Assign(const std::vector<double>& row) const {
+  LQO_CHECK(fitted());
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    double d = SquaredDistance(row, centroids_[c]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace lqo

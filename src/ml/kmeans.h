@@ -1,0 +1,45 @@
+#ifndef LQO_ML_KMEANS_H_
+#define LQO_ML_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lqo {
+
+/// Options for Lloyd's k-means.
+struct KMeansOptions {
+  int k = 4;
+  int max_iterations = 50;
+  uint64_t seed = 29;
+};
+
+/// k-means clustering with k-means++ seeding. Used by the DeepDB-style SPN
+/// row splits and the Eraser-style plan clustering.
+class KMeans {
+ public:
+  explicit KMeans(KMeansOptions options = KMeansOptions())
+      : options_(options) {}
+
+  /// Clusters `rows`; drops empty clusters (k may shrink).
+  void Fit(const std::vector<std::vector<double>>& rows);
+
+  /// Nearest-centroid index.
+  size_t Assign(const std::vector<double>& row) const;
+
+  /// Assignment of each training row.
+  const std::vector<size_t>& labels() const { return labels_; }
+  const std::vector<std::vector<double>>& centroids() const {
+    return centroids_;
+  }
+  bool fitted() const { return !centroids_.empty(); }
+
+ private:
+  KMeansOptions options_;
+  std::vector<std::vector<double>> centroids_;
+  std::vector<size_t> labels_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_ML_KMEANS_H_

@@ -1,0 +1,92 @@
+#include "ml/linear.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+bool CholeskySolve(std::vector<std::vector<double>> a, std::vector<double> b,
+                   std::vector<double>* x) {
+  LQO_CHECK(x != nullptr);
+  size_t n = a.size();
+  LQO_CHECK_EQ(b.size(), n);
+  // In-place Cholesky: a becomes L (lower triangular).
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a[j][j];
+    for (size_t k = 0; k < j; ++k) diag -= a[j][k] * a[j][k];
+    if (diag <= 0.0) {
+      // Tiny jitter for near-singular systems; bail if still not PD.
+      diag += 1e-9;
+      if (diag <= 0.0) return false;
+    }
+    a[j][j] = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = a[i][j];
+      for (size_t k = 0; k < j; ++k) v -= a[i][k] * a[j][k];
+      a[i][j] = v / a[j][j];
+    }
+  }
+  // Forward solve L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (size_t k = 0; k < i; ++k) v -= a[i][k] * b[k];
+    b[i] = v / a[i][i];
+  }
+  // Backward solve L^T x = y.
+  x->assign(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double v = b[i];
+    for (size_t k = i + 1; k < n; ++k) v -= a[k][i] * (*x)[k];
+    (*x)[i] = v / a[i][i];
+  }
+  return true;
+}
+
+Status RidgeRegression::Fit(const std::vector<std::vector<double>>& rows,
+                            const std::vector<double>& targets) {
+  if (rows.empty()) return Status::InvalidArgument("empty training set");
+  if (rows.size() != targets.size()) {
+    return Status::InvalidArgument("rows/targets size mismatch");
+  }
+  size_t f = rows[0].size();
+  size_t d = f + 1;  // +1 intercept, appended as the last feature.
+
+  // Normal equations: (X^T X + lambda I) w = X^T y.
+  std::vector<std::vector<double>> gram(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  std::vector<double> extended(d);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    LQO_CHECK_EQ(rows[r].size(), f);
+    for (size_t j = 0; j < f; ++j) extended[j] = rows[r][j];
+    extended[f] = 1.0;
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i; j < d; ++j) gram[i][j] += extended[i] * extended[j];
+      xty[i] += extended[i] * targets[r];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < i; ++j) gram[i][j] = gram[j][i];
+  }
+  for (size_t i = 0; i < f; ++i) gram[i][i] += lambda_;  // don't penalize bias
+  gram[f][f] += 1e-9;
+
+  std::vector<double> solution;
+  if (!CholeskySolve(std::move(gram), std::move(xty), &solution)) {
+    return Status::Internal("ridge system not positive definite");
+  }
+  weights_.assign(solution.begin(), solution.begin() + static_cast<long>(f));
+  intercept_ = solution[f];
+  return Status::Ok();
+}
+
+double RidgeRegression::Predict(const std::vector<double>& row) const {
+  LQO_CHECK(fitted());
+  LQO_CHECK_EQ(row.size(), weights_.size());
+  double y = intercept_;
+  for (size_t j = 0; j < row.size(); ++j) y += weights_[j] * row[j];
+  return y;
+}
+
+}  // namespace lqo

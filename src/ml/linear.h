@@ -1,0 +1,41 @@
+#ifndef LQO_ML_LINEAR_H_
+#define LQO_ML_LINEAR_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace lqo {
+
+/// Ridge (L2-regularized least squares) regression solved in closed form
+/// via the normal equations with a Cholesky factorization. The first model
+/// family applied to cardinality estimation (Malik et al. [36]).
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(double lambda = 1e-3) : lambda_(lambda) {}
+
+  /// Fits weights (including an intercept) to rows/targets.
+  Status Fit(const std::vector<std::vector<double>>& rows,
+             const std::vector<double>& targets);
+
+  double Predict(const std::vector<double>& row) const;
+
+  bool fitted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Cholesky; returns false if A is not SPD (after jitter). Exposed for the
+/// mixture-model estimator which also solves least-squares systems.
+bool CholeskySolve(std::vector<std::vector<double>> a, std::vector<double> b,
+                   std::vector<double>* x);
+
+}  // namespace lqo
+
+#endif  // LQO_ML_LINEAR_H_

@@ -1,0 +1,65 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats_util.h"
+
+namespace lqo {
+
+double QError(double estimate, double truth) {
+  double e = std::max(estimate, 1.0);
+  double t = std::max(truth, 1.0);
+  return std::max(e / t, t / e);
+}
+
+QErrorSummary SummarizeQErrors(const std::vector<double>& qerrors) {
+  QErrorSummary summary;
+  if (qerrors.empty()) return summary;
+  summary.p50 = Quantile(qerrors, 0.5);
+  summary.p90 = Quantile(qerrors, 0.9);
+  summary.p99 = Quantile(qerrors, 0.99);
+  summary.max = *std::max_element(qerrors.begin(), qerrors.end());
+  summary.geometric_mean = GeometricMean(qerrors);
+  return summary;
+}
+
+double MeanSquaredError(const std::vector<double>& predictions,
+                        const std::vector<double>& targets) {
+  LQO_CHECK_EQ(predictions.size(), targets.size());
+  LQO_CHECK(!predictions.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    double d = predictions[i] - targets[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(predictions.size());
+}
+
+double MeanAbsoluteError(const std::vector<double>& predictions,
+                         const std::vector<double>& targets) {
+  LQO_CHECK_EQ(predictions.size(), targets.size());
+  LQO_CHECK(!predictions.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    acc += std::abs(predictions[i] - targets[i]);
+  }
+  return acc / static_cast<double>(predictions.size());
+}
+
+double R2Score(const std::vector<double>& predictions,
+               const std::vector<double>& targets) {
+  LQO_CHECK_EQ(predictions.size(), targets.size());
+  LQO_CHECK(!predictions.empty());
+  double mean = Mean(targets);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    ss_res += (targets[i] - predictions[i]) * (targets[i] - predictions[i]);
+    ss_tot += (targets[i] - mean) * (targets[i] - mean);
+  }
+  if (ss_tot < 1e-12) return ss_res < 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace lqo

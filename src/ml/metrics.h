@@ -1,0 +1,36 @@
+#ifndef LQO_ML_METRICS_H_
+#define LQO_ML_METRICS_H_
+
+#include <vector>
+
+namespace lqo {
+
+/// q-error of a cardinality estimate: max(est/true, true/est), with both
+/// sides clamped to >= 1 row (the standard convention in the CE literature).
+double QError(double estimate, double truth);
+
+/// Summary of a q-error distribution.
+struct QErrorSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double geometric_mean = 0.0;
+};
+
+QErrorSummary SummarizeQErrors(const std::vector<double>& qerrors);
+
+/// Mean squared / absolute error.
+double MeanSquaredError(const std::vector<double>& predictions,
+                        const std::vector<double>& targets);
+double MeanAbsoluteError(const std::vector<double>& predictions,
+                         const std::vector<double>& targets);
+
+/// Coefficient of determination; 1 is perfect, 0 matches predicting the
+/// mean, negative is worse than the mean.
+double R2Score(const std::vector<double>& predictions,
+               const std::vector<double>& targets);
+
+}  // namespace lqo
+
+#endif  // LQO_ML_METRICS_H_

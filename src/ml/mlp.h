@@ -1,0 +1,93 @@
+#ifndef LQO_ML_MLP_H_
+#define LQO_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace lqo {
+
+/// Options for the multi-layer perceptron.
+struct MlpOptions {
+  std::vector<int> hidden_layers = {64, 32};
+  int epochs = 150;
+  int batch_size = 32;
+  double learning_rate = 1e-3;
+  double l2 = 1e-5;
+  uint64_t seed = 31;
+  /// kSquared: regression on (standardized) targets. kLogistic: binary
+  /// classification with 0/1 targets; Predict returns the logit.
+  enum class Loss { kSquared, kLogistic };
+  Loss loss = Loss::kSquared;
+};
+
+/// A fully connected ReLU network with a scalar linear output, trained with
+/// Adam. Stands in for the DNN components of MSCN [23], Neo's and Bao's
+/// tree-convolution value networks [37,38] and Lero's comparator [79] (via
+/// FitPairwise, a RankNet-style shared-scorer pairwise loss).
+class Mlp {
+ public:
+  explicit Mlp(MlpOptions options = MlpOptions()) : options_(options) {}
+
+  /// Supervised fit. Inputs are standardized internally; squared-loss
+  /// targets are standardized too (undone at prediction time).
+  void Fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<double>& targets);
+
+  /// Pairwise ranking fit: `labels[i]` is 1 if `first[i]` should score
+  /// higher than `second[i]`, else 0. P(first wins) =
+  /// sigmoid(s(first) - s(second)) with a shared scorer s.
+  void FitPairwise(const std::vector<std::vector<double>>& first,
+                   const std::vector<std::vector<double>>& second,
+                   const std::vector<double>& labels);
+
+  /// Regression value / raw score (logit for kLogistic; ranking score after
+  /// FitPairwise).
+  double Predict(const std::vector<double>& row) const;
+
+  /// sigmoid(Predict) — probability for kLogistic models.
+  double PredictProba(const std::vector<double>& row) const;
+
+  /// P(a scores higher than b) under the pairwise model.
+  double CompareProba(const std::vector<double>& a,
+                      const std::vector<double>& b) const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    std::vector<double> w;  // row-major out x in
+    std::vector<double> b;
+    // Adam state.
+    std::vector<double> mw, vw, mb, vb;
+  };
+
+  void InitNetwork(size_t input_dim);
+  /// Forward pass; fills per-layer pre-activations (z) and activations (a).
+  double Forward(const std::vector<double>& x,
+                 std::vector<std::vector<double>>* zs,
+                 std::vector<std::vector<double>>* as) const;
+  /// Backprop of dL/d(output)=g into grad accumulators.
+  void Backward(double g, const std::vector<std::vector<double>>& zs,
+                const std::vector<std::vector<double>>& as,
+                std::vector<Layer>* grads) const;
+  void AdamStep(const std::vector<Layer>& grads, double batch_scale);
+
+  MlpOptions options_;
+  std::vector<Layer> layers_;
+  Standardizer input_standardizer_;
+  double target_mean_ = 0.0;
+  double target_std_ = 1.0;
+  bool fitted_ = false;
+  int adam_t_ = 0;
+};
+
+/// Numerically stable logistic sigmoid.
+double Sigmoid(double x);
+
+}  // namespace lqo
+
+#endif  // LQO_ML_MLP_H_

@@ -1,0 +1,138 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace lqo {
+namespace {
+
+double MeanOf(const std::vector<double>& targets,
+              const std::vector<size_t>& indices, size_t begin, size_t end) {
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += targets[indices[i]];
+  return sum / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+void RegressionTree::Fit(const std::vector<std::vector<double>>& rows,
+                         const std::vector<double>& targets,
+                         const TreeOptions& options,
+                         const std::vector<size_t>& indices, Rng* rng) {
+  LQO_CHECK(!rows.empty());
+  LQO_CHECK_EQ(rows.size(), targets.size());
+  nodes_.clear();
+  std::vector<size_t> work = indices;
+  if (work.empty()) {
+    work.resize(rows.size());
+    std::iota(work.begin(), work.end(), 0);
+  }
+  BuildNode(rows, targets, work, 0, work.size(), 0, options, rng);
+}
+
+int RegressionTree::BuildNode(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& targets,
+                              std::vector<size_t>& indices, size_t begin,
+                              size_t end, int depth,
+                              const TreeOptions& options, Rng* rng) {
+  LQO_CHECK_LT(begin, end);
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<size_t>(node_index)].value =
+      MeanOf(targets, indices, begin, end);
+
+  size_t n = end - begin;
+  if (depth >= options.max_depth ||
+      n < 2 * static_cast<size_t>(options.min_samples_leaf)) {
+    return node_index;
+  }
+
+  size_t num_features = rows[0].size();
+  // Candidate features (random subset for forests).
+  std::vector<size_t> features(num_features);
+  std::iota(features.begin(), features.end(), 0);
+  if (rng != nullptr && options.max_features > 0 &&
+      static_cast<size_t>(options.max_features) < num_features) {
+    rng->Shuffle(features);
+    features.resize(static_cast<size_t>(options.max_features));
+  }
+
+  // Exact best split by variance reduction (equivalently: maximize
+  // sum_left^2/n_left + sum_right^2/n_right).
+  double best_score = -std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> values(n);  // (feature value, target)
+  double total_sum = 0.0;
+  for (size_t i = begin; i < end; ++i) total_sum += targets[indices[i]];
+
+  for (size_t f : features) {
+    for (size_t i = 0; i < n; ++i) {
+      size_t row = indices[begin + i];
+      values[i] = {rows[row][f], targets[row]};
+    }
+    std::sort(values.begin(), values.end());
+    if (values.front().first == values.back().first) continue;  // constant.
+
+    double left_sum = 0.0;
+    size_t left_n = 0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_sum += values[i].second;
+      ++left_n;
+      if (values[i].first == values[i + 1].first) continue;  // mid-run.
+      size_t right_n = n - left_n;
+      if (left_n < static_cast<size_t>(options.min_samples_leaf) ||
+          right_n < static_cast<size_t>(options.min_samples_leaf)) {
+        continue;
+      }
+      double right_sum = total_sum - left_sum;
+      double score = left_sum * left_sum / static_cast<double>(left_n) +
+                     right_sum * right_sum / static_cast<double>(right_n);
+      if (score > best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = (values[i].first + values[i + 1].first) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;
+
+  // Partition indices[begin,end) by the chosen split.
+  auto mid_it = std::partition(
+      indices.begin() + static_cast<long>(begin),
+      indices.begin() + static_cast<long>(end), [&](size_t row) {
+        return rows[row][static_cast<size_t>(best_feature)] <= best_threshold;
+      });
+  size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_index;  // degenerate.
+
+  int left = BuildNode(rows, targets, indices, begin, mid, depth + 1, options,
+                       rng);
+  int right =
+      BuildNode(rows, targets, indices, mid, end, depth + 1, options, rng);
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+double RegressionTree::Predict(const std::vector<double>& row) const {
+  LQO_CHECK(fitted());
+  int index = 0;
+  while (true) {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    if (node.feature < 0) return node.value;
+    index = row[static_cast<size_t>(node.feature)] <= node.threshold
+                ? node.left
+                : node.right;
+  }
+}
+
+}  // namespace lqo

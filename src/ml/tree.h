@@ -1,0 +1,56 @@
+#ifndef LQO_ML_TREE_H_
+#define LQO_ML_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lqo {
+
+/// Options shared by the tree-based regressors.
+struct TreeOptions {
+  int max_depth = 6;
+  int min_samples_leaf = 4;
+  /// Features considered per split; <= 0 means all features.
+  int max_features = -1;
+};
+
+/// A CART regression tree with exact variance-reduction splits. Building
+/// block for the random forest and GBDT, i.e. the "tree-based ensembles /
+/// XGBoost" row of the paper's Table 1 (Dutt et al. [10], [9]).
+class RegressionTree {
+ public:
+  /// Fits on the rows selected by `indices` (all rows if empty). When
+  /// `rng` is non-null and options.max_features > 0, each split considers a
+  /// random feature subset (for forests).
+  void Fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<double>& targets, const TreeOptions& options,
+           const std::vector<size_t>& indices = {}, Rng* rng = nullptr);
+
+  double Predict(const std::vector<double>& row) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Leaf iff feature < 0.
+    int feature = -1;
+    double threshold = 0.0;  // go left if x[feature] <= threshold
+    double value = 0.0;      // leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int BuildNode(const std::vector<std::vector<double>>& rows,
+                const std::vector<double>& targets,
+                std::vector<size_t>& indices, size_t begin, size_t end,
+                int depth, const TreeOptions& options, Rng* rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_ML_TREE_H_

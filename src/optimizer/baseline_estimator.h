@@ -1,0 +1,40 @@
+#ifndef LQO_OPTIMIZER_BASELINE_ESTIMATOR_H_
+#define LQO_OPTIMIZER_BASELINE_ESTIMATOR_H_
+
+#include <string>
+
+#include "optimizer/cardinality_interface.h"
+#include "optimizer/table_stats.h"
+
+namespace lqo {
+
+/// PostgreSQL-style traditional cardinality estimator:
+///  - per-column selectivities from histogram + MCV statistics,
+///  - attribute-value independence within a table (selectivities multiply),
+///  - join selectivity 1 / max(ndv_left, ndv_right) per equi-join conjunct,
+///    applied independently (also for cyclic join graphs, as PostgreSQL
+///    does).
+/// This is the "native optimizer" estimator every learned method is
+/// compared against.
+class BaselineCardinalityEstimator : public CardinalityEstimatorInterface {
+ public:
+  BaselineCardinalityEstimator(const Catalog* catalog,
+                               const StatsCatalog* stats)
+      : catalog_(catalog), stats_(stats) {}
+
+  double EstimateSubquery(const Subquery& subquery) override;
+  std::string Name() const override { return "postgres_baseline"; }
+
+  /// Selectivity of all local predicates of `table_index` in `query`
+  /// (product under independence). Exposed for reuse by learned methods
+  /// that mix in traditional per-table estimates (e.g. GLUE).
+  double TableSelectivity(const Query& query, int table_index) const;
+
+ private:
+  const Catalog* catalog_;
+  const StatsCatalog* stats_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_OPTIMIZER_BASELINE_ESTIMATOR_H_

@@ -1,0 +1,32 @@
+#include "optimizer/cardinality_interface.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+double CardinalityProvider::Cardinality(const Subquery& subquery) {
+  std::string key = subquery.Key();
+  auto cached = cache_.find(key);
+  if (cached != cache_.end()) return cached->second;
+
+  double value;
+  auto it = overrides_.find(key);
+  if (it != overrides_.end()) {
+    value = it->second;
+  } else {
+    LQO_CHECK(estimator_ != nullptr)
+        << "CardinalityProvider has no estimator and no override for " << key;
+    value = estimator_->EstimateSubquery(subquery);
+    if (PopCount(subquery.tables) >= scale_min_tables_ &&
+        scale_min_tables_ > 0) {
+      value *= scale_factor_;
+    }
+  }
+  value = std::max(value, 1.0);
+  cache_[key] = value;
+  return value;
+}
+
+}  // namespace lqo

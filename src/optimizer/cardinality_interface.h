@@ -1,0 +1,74 @@
+#ifndef LQO_OPTIMIZER_CARDINALITY_INTERFACE_H_
+#define LQO_OPTIMIZER_CARDINALITY_INTERFACE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "query/query.h"
+
+namespace lqo {
+
+/// The cardinality-estimator component interface of the volcano optimizer
+/// (paper Section 2): given a connected sub-query, predict its row count.
+/// Every traditional and learned estimator in src/cardinality implements
+/// this.
+class CardinalityEstimatorInterface {
+ public:
+  virtual ~CardinalityEstimatorInterface() = default;
+
+  /// Estimated COUNT(*) of the sub-query; must be >= 0.
+  virtual double EstimateSubquery(const Subquery& subquery) = 0;
+
+  /// Short identifier used in benchmark tables ("postgres", "mscn", ...).
+  virtual std::string Name() const = 0;
+};
+
+/// Wraps an estimator with the two injection knobs PilotScope exposes to
+/// drivers and Lero uses for candidate generation:
+///  - per-sub-query overrides (the learned-CE driver pushes these), and
+///  - a multiplicative scale applied to estimates of sub-queries with at
+///    least `min_tables` tables (Lero's cardinality-scaling knob).
+/// Estimates are memoized per canonical sub-query key.
+class CardinalityProvider {
+ public:
+  explicit CardinalityProvider(CardinalityEstimatorInterface* estimator)
+      : estimator_(estimator) {}
+
+  /// Forces the cardinality of the sub-query identified by `key`
+  /// (Subquery::Key()).
+  void InjectOverride(const std::string& key, double cardinality) {
+    overrides_[key] = cardinality;
+    cache_.clear();
+  }
+
+  /// Applies `factor` to estimates of sub-queries with >= min_tables tables.
+  void SetScale(double factor, int min_tables) {
+    scale_factor_ = factor;
+    scale_min_tables_ = min_tables;
+    cache_.clear();
+  }
+
+  void ClearOverrides() {
+    overrides_.clear();
+    scale_factor_ = 1.0;
+    scale_min_tables_ = 0;
+    cache_.clear();
+  }
+
+  /// Final (possibly overridden/scaled) estimate for the sub-query.
+  double Cardinality(const Subquery& subquery);
+
+  CardinalityEstimatorInterface* estimator() const { return estimator_; }
+
+ private:
+  CardinalityEstimatorInterface* estimator_;
+  std::map<std::string, double> overrides_;
+  double scale_factor_ = 1.0;
+  int scale_min_tables_ = 0;
+  std::unordered_map<std::string, double> cache_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_OPTIMIZER_CARDINALITY_INTERFACE_H_

@@ -1,0 +1,73 @@
+#include "optimizer/cost_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lqo {
+namespace {
+
+double Log2Rows(double rows) { return std::log2(std::max(rows, 2.0)); }
+
+}  // namespace
+
+double AnalyticalCostModel::ScanCost(double table_rows,
+                                     int num_predicates) const {
+  return table_rows * constants_.scan_row +
+         table_rows * static_cast<double>(num_predicates) *
+             constants_.predicate_eval;
+}
+
+double AnalyticalCostModel::JoinCost(JoinAlgorithm algorithm,
+                                     double left_rows, double right_rows,
+                                     double output_rows) const {
+  switch (algorithm) {
+    case JoinAlgorithm::kHashJoin:
+      return right_rows * constants_.hash_build_row +
+             left_rows * constants_.hash_probe_row +
+             output_rows * constants_.output_row;
+    case JoinAlgorithm::kNestedLoopJoin:
+      return left_rows * right_rows * constants_.nlj_pair +
+             output_rows * constants_.output_row;
+    case JoinAlgorithm::kMergeJoin:
+      return left_rows * Log2Rows(left_rows) * constants_.sort_row_log +
+             right_rows * Log2Rows(right_rows) * constants_.sort_row_log +
+             (left_rows + right_rows) * constants_.merge_row +
+             output_rows * constants_.output_row;
+  }
+  return 0.0;
+}
+
+double AnalyticalCostModel::PlanCost(PhysicalPlan* plan,
+                                     CardinalityProvider* cards) const {
+  LQO_CHECK(plan != nullptr);
+  LQO_CHECK(plan->query != nullptr);
+  LQO_CHECK(plan->root != nullptr);
+  const Query& query = *plan->query;
+
+  double total = 0.0;
+  VisitPlanBottomUpMut(*plan->root, [&](PlanNode& node) {
+    if (node.kind == PlanNode::Kind::kScan) {
+      const std::string& table_name =
+          query.tables()[static_cast<size_t>(node.table_index)].table_name;
+      double table_rows =
+          static_cast<double>(stats_->Of(table_name).row_count);
+      int num_predicates =
+          static_cast<int>(query.PredicatesOf(node.table_index).size());
+      node.estimated_cardinality =
+          cards->Cardinality(Subquery{&query, node.table_set});
+      node.estimated_cost = ScanCost(table_rows, num_predicates);
+    } else {
+      double left_rows = node.left->estimated_cardinality;
+      double right_rows = node.right->estimated_cardinality;
+      node.estimated_cardinality =
+          cards->Cardinality(Subquery{&query, node.table_set});
+      node.estimated_cost = JoinCost(node.algorithm, left_rows, right_rows,
+                                     node.estimated_cardinality);
+    }
+    total += node.estimated_cost;
+  });
+  return total;
+}
+
+}  // namespace lqo

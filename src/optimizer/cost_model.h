@@ -1,0 +1,53 @@
+#ifndef LQO_OPTIMIZER_COST_MODEL_H_
+#define LQO_OPTIMIZER_COST_MODEL_H_
+
+#include "engine/cost_constants.h"
+#include "engine/plan.h"
+#include "optimizer/cardinality_interface.h"
+#include "optimizer/table_stats.h"
+
+namespace lqo {
+
+/// The cost-model component interface of the volcano optimizer. Given a
+/// physical plan and a cardinality source, predict its execution time.
+class CostModelInterface {
+ public:
+  virtual ~CostModelInterface() = default;
+
+  /// Total predicted cost. Also annotates every node's
+  /// estimated_cardinality / estimated_cost in place.
+  virtual double PlanCost(PhysicalPlan* plan,
+                          CardinalityProvider* cards) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// The native analytical cost model: linear per-operator formulas using the
+/// shared CostConstants, with *no knowledge* of the executor's skew, cache
+/// and spill effects. Its error relative to true time units is structural,
+/// exactly the gap learned cost models close.
+class AnalyticalCostModel : public CostModelInterface {
+ public:
+  AnalyticalCostModel(const StatsCatalog* stats,
+                      CostConstants constants = DefaultCostConstants())
+      : stats_(stats), constants_(constants) {}
+
+  double PlanCost(PhysicalPlan* plan,
+                  CardinalityProvider* cards) const override;
+  std::string Name() const override { return "analytical"; }
+
+  /// Node-local formulas, exposed for the calibrated (BASE-style) model.
+  double ScanCost(double table_rows, int num_predicates) const;
+  double JoinCost(JoinAlgorithm algorithm, double left_rows,
+                  double right_rows, double output_rows) const;
+
+  const CostConstants& constants() const { return constants_; }
+
+ private:
+  const StatsCatalog* stats_;
+  CostConstants constants_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_OPTIMIZER_COST_MODEL_H_

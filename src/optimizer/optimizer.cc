@@ -1,0 +1,292 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+std::vector<JoinAlgorithm> HintSet::AllowedAlgorithms() const {
+  std::vector<JoinAlgorithm> allowed;
+  if (enable_hash_join) allowed.push_back(JoinAlgorithm::kHashJoin);
+  if (enable_nested_loop) allowed.push_back(JoinAlgorithm::kNestedLoopJoin);
+  if (enable_merge_join) allowed.push_back(JoinAlgorithm::kMergeJoin);
+  if (allowed.empty()) {
+    allowed = {JoinAlgorithm::kHashJoin, JoinAlgorithm::kNestedLoopJoin,
+               JoinAlgorithm::kMergeJoin};
+  }
+  return allowed;
+}
+
+namespace {
+
+struct Entry {
+  double cost = std::numeric_limits<double>::infinity();
+  double card = 0.0;
+  std::unique_ptr<PlanNode> plan;
+};
+
+bool HasCrossingJoin(const Query& query, TableSet left, TableSet right) {
+  for (const QueryJoin& j : query.joins()) {
+    bool l_in_left = ContainsTable(left, j.left_table);
+    bool l_in_right = ContainsTable(right, j.left_table);
+    bool r_in_left = ContainsTable(left, j.right_table);
+    bool r_in_right = ContainsTable(right, j.right_table);
+    if ((l_in_left && r_in_right) || (l_in_right && r_in_left)) return true;
+  }
+  return false;
+}
+
+// The AnalyticalCostModel node formulas are required for enumeration; the
+// optimizer's cost model must be (or derive from) it.
+const AnalyticalCostModel& AsAnalytical(const CostModelInterface& model) {
+  const auto* analytical = dynamic_cast<const AnalyticalCostModel*>(&model);
+  LQO_CHECK(analytical != nullptr)
+      << "Optimizer enumeration requires an AnalyticalCostModel (got "
+      << model.Name() << ")";
+  return *analytical;
+}
+
+}  // namespace
+
+PlannerResult Optimizer::Optimize(const Query& query,
+                                  CardinalityProvider* cards,
+                                  const HintSet& hints) const {
+  LQO_CHECK(query.num_tables() > 0);
+  LQO_CHECK(query.IsConnected(query.AllTables()))
+      << "query join graph must be connected: " << query.ToString();
+  if (!hints.leading.empty()) {
+    return OptimizeWithLeading(query, cards, hints);
+  }
+  const AnalyticalCostModel& model = AsAnalytical(*cost_model_);
+  std::vector<JoinAlgorithm> allowed = hints.AllowedAlgorithms();
+
+  int n = query.num_tables();
+  std::unordered_map<TableSet, Entry> best;
+  best.reserve(1u << n);
+  PlannerResult result;
+
+  // Leaves.
+  for (int t = 0; t < n; ++t) {
+    Entry entry;
+    TableSet set = TableBit(t);
+    entry.card = cards->Cardinality(Subquery{&query, set});
+    const std::string& name = query.tables()[static_cast<size_t>(t)].table_name;
+    double raw_rows = static_cast<double>(stats_->Of(name).row_count);
+    entry.cost = model.ScanCost(
+        raw_rows, static_cast<int>(query.PredicatesOf(t).size()));
+    entry.plan = MakeScanNode(t);
+    entry.plan->estimated_cardinality = entry.card;
+    entry.plan->estimated_cost = entry.cost;
+    best.emplace(set, std::move(entry));
+  }
+
+  // Subsets in increasing size order; iterating S ascending already ensures
+  // all proper subsets precede S.
+  TableSet all = query.AllTables();
+  for (TableSet s = 1; s <= all; ++s) {
+    if (PopCount(s) < 2) continue;
+    if (!query.IsConnected(s)) continue;
+    double card_s = cards->Cardinality(Subquery{&query, s});
+    Entry entry;
+    entry.card = card_s;
+
+    for (TableSet left = (s - 1) & s; left != 0; left = (left - 1) & s) {
+      TableSet right = s & ~left;
+      if (!options_.bushy && PopCount(right) != 1) continue;
+      auto left_it = best.find(left);
+      auto right_it = best.find(right);
+      if (left_it == best.end() || right_it == best.end()) continue;
+      if (!HasCrossingJoin(query, left, right)) continue;
+
+      for (JoinAlgorithm algo : allowed) {
+        ++result.combinations_evaluated;
+        double join_cost = model.JoinCost(algo, left_it->second.card,
+                                          right_it->second.card, card_s);
+        double total =
+            left_it->second.cost + right_it->second.cost + join_cost;
+        if (total < entry.cost) {
+          entry.cost = total;
+          entry.plan = MakeJoinNode(algo, left_it->second.plan->Clone(),
+                                    right_it->second.plan->Clone());
+          entry.plan->estimated_cardinality = card_s;
+          entry.plan->estimated_cost = join_cost;
+        }
+      }
+    }
+    if (entry.plan != nullptr) best.emplace(s, std::move(entry));
+  }
+
+  auto final_it = best.find(all);
+  LQO_CHECK(final_it != best.end()) << "DP failed to cover the query";
+  result.plan.query = &query;
+  result.plan.root = std::move(final_it->second.plan);
+  result.estimated_cost = final_it->second.cost;
+  return result;
+}
+
+PlannerResult Optimizer::OptimizeGreedy(const Query& query,
+                                        CardinalityProvider* cards,
+                                        const HintSet& hints) const {
+  LQO_CHECK(query.num_tables() > 0);
+  LQO_CHECK(query.IsConnected(query.AllTables()));
+  const AnalyticalCostModel& model = AsAnalytical(*cost_model_);
+  std::vector<JoinAlgorithm> allowed = hints.AllowedAlgorithms();
+  PlannerResult result;
+
+  std::vector<Entry> components;
+  for (int t = 0; t < query.num_tables(); ++t) {
+    Entry entry;
+    TableSet set = TableBit(t);
+    entry.card = cards->Cardinality(Subquery{&query, set});
+    const std::string& name = query.tables()[static_cast<size_t>(t)].table_name;
+    entry.cost = model.ScanCost(
+        static_cast<double>(stats_->Of(name).row_count),
+        static_cast<int>(query.PredicatesOf(t).size()));
+    entry.plan = MakeScanNode(t);
+    entry.plan->estimated_cardinality = entry.card;
+    entry.plan->estimated_cost = entry.cost;
+    components.push_back(std::move(entry));
+  }
+
+  while (components.size() > 1) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    size_t best_i = 0, best_j = 0;
+    JoinAlgorithm best_algo = JoinAlgorithm::kHashJoin;
+    double best_card = 0.0;
+
+    for (size_t i = 0; i < components.size(); ++i) {
+      for (size_t j = 0; j < components.size(); ++j) {
+        if (i == j) continue;
+        TableSet li = components[i].plan->table_set;
+        TableSet rj = components[j].plan->table_set;
+        if (!HasCrossingJoin(query, li, rj)) continue;
+        double card =
+            cards->Cardinality(Subquery{&query, li | rj});
+        for (JoinAlgorithm algo : allowed) {
+          ++result.combinations_evaluated;
+          double cost = model.JoinCost(algo, components[i].card,
+                                       components[j].card, card);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_i = i;
+            best_j = j;
+            best_algo = algo;
+            best_card = card;
+          }
+        }
+      }
+    }
+    LQO_CHECK(best_cost < std::numeric_limits<double>::infinity())
+        << "greedy found no joinable pair (disconnected query?)";
+
+    Entry merged;
+    merged.card = best_card;
+    merged.cost =
+        components[best_i].cost + components[best_j].cost + best_cost;
+    merged.plan = MakeJoinNode(best_algo, std::move(components[best_i].plan),
+                               std::move(components[best_j].plan));
+    merged.plan->estimated_cardinality = best_card;
+    merged.plan->estimated_cost = best_cost;
+
+    size_t hi = std::max(best_i, best_j), lo = std::min(best_i, best_j);
+    components.erase(components.begin() + static_cast<long>(hi));
+    components.erase(components.begin() + static_cast<long>(lo));
+    components.push_back(std::move(merged));
+  }
+
+  result.plan.query = &query;
+  result.estimated_cost = components[0].cost;
+  result.plan.root = std::move(components[0].plan);
+  return result;
+}
+
+PlannerResult Optimizer::OptimizeWithLeading(const Query& query,
+                                             CardinalityProvider* cards,
+                                             const HintSet& hints) const {
+  const AnalyticalCostModel& model = AsAnalytical(*cost_model_);
+  std::vector<JoinAlgorithm> allowed = hints.AllowedAlgorithms();
+  PlannerResult result;
+
+  auto scan_entry = [&](int t) {
+    Entry entry;
+    entry.card = cards->Cardinality(Subquery{&query, TableBit(t)});
+    const std::string& name = query.tables()[static_cast<size_t>(t)].table_name;
+    entry.cost = model.ScanCost(
+        static_cast<double>(stats_->Of(name).row_count),
+        static_cast<int>(query.PredicatesOf(t).size()));
+    entry.plan = MakeScanNode(t);
+    entry.plan->estimated_cardinality = entry.card;
+    entry.plan->estimated_cost = entry.cost;
+    return entry;
+  };
+
+  LQO_CHECK(!hints.leading.empty());
+  Entry current = scan_entry(hints.leading[0]);
+
+  auto append_table = [&](Entry current_entry, int table) {
+    TableSet merged_set = current_entry.plan->table_set | TableBit(table);
+    LQO_CHECK(HasCrossingJoin(query, current_entry.plan->table_set,
+                              TableBit(table)))
+        << "leading hint joins unconnected table " << table;
+    Entry next_scan = scan_entry(table);
+    double card = cards->Cardinality(Subquery{&query, merged_set});
+    double best_cost = std::numeric_limits<double>::infinity();
+    JoinAlgorithm best_algo = JoinAlgorithm::kHashJoin;
+    for (JoinAlgorithm algo : allowed) {
+      ++result.combinations_evaluated;
+      double cost =
+          model.JoinCost(algo, current_entry.card, next_scan.card, card);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_algo = algo;
+      }
+    }
+    Entry merged;
+    merged.card = card;
+    merged.cost = current_entry.cost + next_scan.cost + best_cost;
+    merged.plan = MakeJoinNode(best_algo, std::move(current_entry.plan),
+                               std::move(next_scan.plan));
+    merged.plan->estimated_cardinality = card;
+    merged.plan->estimated_cost = best_cost;
+    return merged;
+  };
+
+  for (size_t i = 1; i < hints.leading.size(); ++i) {
+    current = append_table(std::move(current), hints.leading[i]);
+  }
+
+  // Greedy completion over the remaining tables.
+  while (PopCount(current.plan->table_set) < query.num_tables()) {
+    int best_table = -1;
+    double best_incremental = std::numeric_limits<double>::infinity();
+    for (int t = 0; t < query.num_tables(); ++t) {
+      if (ContainsTable(current.plan->table_set, t)) continue;
+      if (!HasCrossingJoin(query, current.plan->table_set, TableBit(t))) {
+        continue;
+      }
+      double card = cards->Cardinality(
+          Subquery{&query, current.plan->table_set | TableBit(t)});
+      double t_card = cards->Cardinality(Subquery{&query, TableBit(t)});
+      for (JoinAlgorithm algo : allowed) {
+        ++result.combinations_evaluated;
+        double cost = model.JoinCost(algo, current.card, t_card, card);
+        if (cost < best_incremental) {
+          best_incremental = cost;
+          best_table = t;
+        }
+      }
+    }
+    LQO_CHECK_GE(best_table, 0);
+    current = append_table(std::move(current), best_table);
+  }
+
+  result.plan.query = &query;
+  result.estimated_cost = current.cost;
+  result.plan.root = std::move(current.plan);
+  return result;
+}
+
+}  // namespace lqo

@@ -1,0 +1,89 @@
+#include "optimizer/reoptimizer.h"
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "ml/metrics.h"
+
+namespace lqo {
+
+ProgressiveReoptimizer::ProgressiveReoptimizer(const Optimizer* optimizer,
+                                               const Executor* executor,
+                                               ReoptimizerOptions options)
+    : optimizer_(optimizer), executor_(executor), options_(options) {
+  LQO_CHECK(optimizer_ != nullptr);
+  LQO_CHECK(executor_ != nullptr);
+}
+
+ReoptimizationResult ProgressiveReoptimizer::Execute(
+    const Query& query, CardinalityProvider* cards) const {
+  LQO_CHECK(cards != nullptr);
+  ReoptimizationResult result;
+  std::set<std::string> observed;
+  // Pilot cost per executed subtree signature; subtrees kept by the final
+  // plan are not charged again (the engine reuses their materialized
+  // output), only abandoned ones count as re-optimization overhead.
+  std::map<std::string, double> pilot_cost;
+
+  PlannerResult current = optimizer_->Optimize(query, cards);
+  while (true) {
+    // Smallest unobserved join subtree of the current plan (bottom-up
+    // visit yields children first; pick the first with <= smallest size).
+    const PlanNode* target = nullptr;
+    VisitPlanBottomUp(*current.plan.root, [&](const PlanNode& node) {
+      if (node.kind != PlanNode::Kind::kJoin) return;
+      if (target != nullptr &&
+          PopCount(node.table_set) >= PopCount(target->table_set)) {
+        return;
+      }
+      Subquery subquery{&query, node.table_set};
+      if (observed.count(subquery.Key()) > 0) return;
+      target = &node;
+    });
+    if (target == nullptr) break;  // every intermediate confirmed.
+
+    Subquery subquery{&query, target->table_set};
+    double estimate = cards->Cardinality(subquery);
+
+    // Pilot-execute the subtree to observe the actual cardinality.
+    PhysicalPlan pilot;
+    pilot.query = &query;
+    pilot.root = target->Clone();
+    auto pilot_result = executor_->Execute(pilot);
+    LQO_CHECK(pilot_result.ok()) << pilot_result.status().ToString();
+    pilot_cost[pilot.Signature()] = pilot_result->time_units;
+    double actual =
+        std::max(1.0, static_cast<double>(pilot_result->row_count));
+    observed.insert(subquery.Key());
+    cards->InjectOverride(subquery.Key(), actual);
+    ++result.observations;
+
+    if (QError(estimate, actual) > options_.qerror_threshold &&
+        result.replans < options_.max_replans) {
+      // The plan was built on a badly wrong estimate: re-plan with the
+      // injected truth (and everything observed so far).
+      current = optimizer_->Optimize(query, cards);
+      ++result.replans;
+    }
+  }
+
+  auto final_result = executor_->Execute(current.plan);
+  LQO_CHECK(final_result.ok()) << final_result.status().ToString();
+  result.time_units += final_result->time_units;
+  result.row_count = final_result->row_count;
+
+  // Charge the pilots whose work the final plan does not reuse.
+  std::set<std::string> kept;
+  VisitPlanBottomUp(*current.plan.root, [&](const PlanNode& node) {
+    if (node.kind == PlanNode::Kind::kJoin) {
+      kept.insert(node.Signature(query));
+    }
+  });
+  for (const auto& [signature, cost] : pilot_cost) {
+    if (kept.count(signature) == 0) result.time_units += cost;
+  }
+  return result;
+}
+
+}  // namespace lqo

@@ -1,0 +1,55 @@
+#ifndef LQO_OPTIMIZER_REOPTIMIZER_H_
+#define LQO_OPTIMIZER_REOPTIMIZER_H_
+
+#include "engine/executor.h"
+#include "optimizer/optimizer.h"
+
+namespace lqo {
+
+/// Options for progressive re-optimization.
+struct ReoptimizerOptions {
+  /// Re-plan when an intermediate's estimate is off by more than this
+  /// q-error factor.
+  double qerror_threshold = 4.0;
+  /// Upper bound on re-planning rounds per query.
+  int max_replans = 4;
+};
+
+/// Outcome of a progressively re-optimized execution.
+struct ReoptimizationResult {
+  uint64_t row_count = 0;
+  /// Total charged time: the final execution plus the pilot executions of
+  /// subtrees the final plan *abandoned* (subtrees it keeps are reused as
+  /// materialized intermediates, as pipelining engines do).
+  double time_units = 0.0;
+  int replans = 0;
+  /// Intermediate cardinalities observed and injected.
+  int observations = 0;
+};
+
+/// LPCE-style progressive re-optimization [59] (also the mechanism behind
+/// mid-query re-optimization in adaptive engines): execute the plan's
+/// smallest unobserved join first, compare the actual intermediate
+/// cardinality against the optimizer's estimate, inject the truth, and
+/// re-plan the remainder whenever the estimate was badly wrong. The
+/// initial model's errors are thereby corrected *during* execution instead
+/// of being paid for in full.
+class ProgressiveReoptimizer {
+ public:
+  ProgressiveReoptimizer(const Optimizer* optimizer, const Executor* executor,
+                         ReoptimizerOptions options = ReoptimizerOptions());
+
+  /// Plans and executes `query`, refining `cards` (whose overrides
+  /// accumulate the observed intermediates) along the way.
+  ReoptimizationResult Execute(const Query& query,
+                               CardinalityProvider* cards) const;
+
+ private:
+  const Optimizer* optimizer_;
+  const Executor* executor_;
+  ReoptimizerOptions options_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_OPTIMIZER_REOPTIMIZER_H_

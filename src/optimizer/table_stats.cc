@@ -1,0 +1,146 @@
+#include "optimizer/table_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lqo {
+namespace {
+
+constexpr double kMinSelectivity = 1e-9;
+
+double Clamp01(double v) {
+  return std::clamp(v, kMinSelectivity, 1.0);
+}
+
+}  // namespace
+
+double ColumnStats::CdfLessEq(int64_t v) const {
+  if (histogram_bounds.size() < 2) return v >= max_value ? 1.0 : 0.0;
+  if (v < histogram_bounds.front()) return 0.0;
+  if (v >= histogram_bounds.back()) return 1.0;
+  // Largest bucket index i with bounds[i] <= v.
+  auto it = std::upper_bound(histogram_bounds.begin(), histogram_bounds.end(),
+                             v);
+  size_t i = static_cast<size_t>(it - histogram_bounds.begin()) - 1;
+  size_t buckets = histogram_bounds.size() - 1;
+  double lo = static_cast<double>(histogram_bounds[i]);
+  double hi = static_cast<double>(histogram_bounds[i + 1]);
+  double within =
+      hi > lo ? (static_cast<double>(v) - lo + 1.0) / (hi - lo + 1.0) : 1.0;
+  within = std::clamp(within, 0.0, 1.0);
+  return (static_cast<double>(i) + within) / static_cast<double>(buckets);
+}
+
+double ColumnStats::SelectivityEquals(int64_t v) const {
+  if (v < min_value || v > max_value) return kMinSelectivity;
+  for (const auto& [value, freq] : mcvs) {
+    if (value == v) return Clamp01(freq);
+  }
+  int64_t remaining_distinct =
+      std::max<int64_t>(1, num_distinct - static_cast<int64_t>(mcvs.size()));
+  return Clamp01((1.0 - mcv_total_freq) /
+                 static_cast<double>(remaining_distinct));
+}
+
+double ColumnStats::SelectivityRange(int64_t lo, int64_t hi) const {
+  if (lo > hi || hi < min_value || lo > max_value) return kMinSelectivity;
+  double cdf_hi = CdfLessEq(hi);
+  double cdf_lo = lo <= min_value ? 0.0 : CdfLessEq(lo - 1);
+  return Clamp01(cdf_hi - cdf_lo);
+}
+
+double ColumnStats::SelectivityIn(const std::vector<int64_t>& values) const {
+  double total = 0.0;
+  for (int64_t v : values) total += SelectivityEquals(v);
+  return Clamp01(total);
+}
+
+double ColumnStats::Selectivity(const Predicate& predicate) const {
+  switch (predicate.kind) {
+    case PredicateKind::kEquals:
+      return SelectivityEquals(predicate.value);
+    case PredicateKind::kRange:
+      return SelectivityRange(predicate.lo, predicate.hi);
+    case PredicateKind::kIn:
+      return SelectivityIn(predicate.in_values);
+  }
+  return kMinSelectivity;
+}
+
+const ColumnStats& TableStatistics::ColumnStatsOf(
+    const std::string& column) const {
+  auto it = columns.find(column);
+  LQO_CHECK(it != columns.end()) << "no stats for column " << column;
+  return it->second;
+}
+
+void StatsCatalog::Build(const Catalog& catalog, const StatsOptions& options) {
+  tables_.clear();
+  Rng rng(options.seed);
+  for (const std::string& name : catalog.table_names()) {
+    const Table& table = **catalog.GetTable(name);
+    TableStatistics stats;
+    stats.row_count = table.num_rows();
+
+    for (const Column& col : table.columns()) {
+      ColumnStats cs;
+      cs.min_value = col.min_value;
+      cs.max_value = col.max_value;
+      cs.num_distinct = col.num_distinct;
+
+      // Frequencies for MCVs.
+      std::unordered_map<int64_t, int64_t> counts;
+      for (int64_t v : col.data) ++counts[v];
+      std::vector<std::pair<int64_t, int64_t>> by_count(counts.begin(),
+                                                        counts.end());
+      std::sort(by_count.begin(), by_count.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      size_t num_mcvs = std::min<size_t>(
+          static_cast<size_t>(options.num_mcvs), by_count.size());
+      // Only keep MCVs if the column is not unique-ish (PostgreSQL skips
+      // MCVs for nearly-unique columns).
+      if (cs.num_distinct <
+          static_cast<int64_t>(table.num_rows()) * 9 / 10) {
+        for (size_t i = 0; i < num_mcvs; ++i) {
+          double freq = static_cast<double>(by_count[i].second) /
+                        static_cast<double>(table.num_rows());
+          cs.mcvs.emplace_back(by_count[i].first, freq);
+          cs.mcv_total_freq += freq;
+        }
+      }
+
+      // Equi-depth histogram over all values.
+      std::vector<int64_t> sorted = col.data;
+      std::sort(sorted.begin(), sorted.end());
+      size_t buckets = std::min<size_t>(
+          static_cast<size_t>(options.histogram_buckets),
+          std::max<size_t>(1, sorted.size()));
+      cs.histogram_bounds.resize(buckets + 1);
+      for (size_t b = 0; b <= buckets; ++b) {
+        size_t idx = b * (sorted.size() - 1) / buckets;
+        cs.histogram_bounds[b] = sorted[idx];
+      }
+      stats.columns.emplace(col.name, std::move(cs));
+    }
+
+    size_t sample_size = std::min(options.sample_size, table.num_rows());
+    stats.sample_rows = rng.SampleWithoutReplacement(table.num_rows(),
+                                                     sample_size);
+    std::sort(stats.sample_rows.begin(), stats.sample_rows.end());
+    tables_.emplace(name, std::move(stats));
+  }
+}
+
+const TableStatistics& StatsCatalog::Of(const std::string& table) const {
+  auto it = tables_.find(table);
+  LQO_CHECK(it != tables_.end()) << "no statistics for table " << table;
+  return it->second;
+}
+
+}  // namespace lqo

@@ -1,0 +1,76 @@
+#ifndef LQO_OPTIMIZER_TABLE_STATS_H_
+#define LQO_OPTIMIZER_TABLE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/catalog.h"
+
+namespace lqo {
+
+/// ANALYZE-style single-column statistics: equi-depth histogram plus a
+/// most-common-values list, mirroring PostgreSQL's pg_stats.
+struct ColumnStats {
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  int64_t num_distinct = 0;
+  /// Equi-depth bucket bounds (size = buckets + 1, first = min, last = max).
+  std::vector<int64_t> histogram_bounds;
+  /// (value, frequency) of the most common values, sorted by frequency
+  /// descending. Frequencies are fractions of the table.
+  std::vector<std::pair<int64_t, double>> mcvs;
+  double mcv_total_freq = 0.0;
+
+  /// Fraction of rows with value <= v, interpolated within buckets.
+  double CdfLessEq(int64_t v) const;
+
+  /// Selectivity of an equality / range / IN predicate under the
+  /// histogram+MCV model (never exactly 0; clamped to [1e-9, 1]).
+  double SelectivityEquals(int64_t v) const;
+  double SelectivityRange(int64_t lo, int64_t hi) const;
+  double SelectivityIn(const std::vector<int64_t>& values) const;
+
+  /// Dispatch on predicate kind.
+  double Selectivity(const Predicate& predicate) const;
+};
+
+/// Statistics for one table, plus a uniform row sample used by the
+/// sampling-based estimators.
+struct TableStatistics {
+  uint64_t row_count = 0;
+  std::map<std::string, ColumnStats> columns;
+  /// Uniform sample of row indices into the base table.
+  std::vector<size_t> sample_rows;
+
+  const ColumnStats& ColumnStatsOf(const std::string& column) const;
+};
+
+/// Options controlling statistics collection.
+struct StatsOptions {
+  int histogram_buckets = 100;
+  int num_mcvs = 20;
+  size_t sample_size = 2000;
+  uint64_t seed = 101;
+};
+
+/// Holds ANALYZE results for every table of a catalog.
+class StatsCatalog {
+ public:
+  StatsCatalog() = default;
+
+  /// Collects statistics for all tables.
+  void Build(const Catalog& catalog, const StatsOptions& options = {});
+
+  const TableStatistics& Of(const std::string& table) const;
+  bool built() const { return !tables_.empty(); }
+
+ private:
+  std::map<std::string, TableStatistics> tables_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_OPTIMIZER_TABLE_STATS_H_

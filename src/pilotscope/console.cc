@@ -1,0 +1,65 @@
+#include "pilotscope/console.h"
+
+#include "common/logging.h"
+#include "query/sql_parser.h"
+
+namespace lqo {
+
+PilotScopeConsole::PilotScopeConsole(const Catalog* catalog,
+                                     DbInteractor* interactor)
+    : catalog_(catalog), interactor_(interactor) {
+  LQO_CHECK(catalog_ != nullptr);
+  LQO_CHECK(interactor_ != nullptr);
+}
+
+Status PilotScopeConsole::RegisterDriver(std::unique_ptr<Driver> driver) {
+  LQO_CHECK(driver != nullptr);
+  std::string name = driver->Name();
+  if (drivers_.count(name) > 0) {
+    return Status::InvalidArgument("driver '" + name + "' already registered");
+  }
+  LQO_RETURN_IF_ERROR(driver->Init(interactor_));
+  drivers_.emplace(std::move(name), std::move(driver));
+  return Status::Ok();
+}
+
+Status PilotScopeConsole::ActivateDriver(const std::string& name) {
+  if (!name.empty() && drivers_.count(name) == 0) {
+    return Status::NotFound("no driver '" + name + "' registered");
+  }
+  active_ = name;
+  return Status::Ok();
+}
+
+std::vector<std::string> PilotScopeConsole::driver_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, driver] : drivers_) names.push_back(name);
+  return names;
+}
+
+StatusOr<ExecutionResult> PilotScopeConsole::ExecuteSql(
+    const std::string& sql) {
+  auto query = ParseSql(*catalog_, sql);
+  if (!query.ok()) return query.status();
+  return ExecuteQuery(*query);
+}
+
+StatusOr<ExecutionResult> PilotScopeConsole::ExecuteQuery(const Query& query) {
+  if (active_.empty()) {
+    // Native path: plan and execute without any driver.
+    LQO_RETURN_IF_ERROR(interactor_->ClearPushes());
+    auto plan = interactor_->PullPlan(query);
+    if (!plan.ok()) return plan.status();
+    return interactor_->PullExecution(*plan);
+  }
+  return drivers_.at(active_)->Algo(query);
+}
+
+Status PilotScopeConsole::TrainActiveDriver(const Workload& workload) {
+  if (active_.empty()) {
+    return Status::FailedPrecondition("no active driver to train");
+  }
+  return drivers_.at(active_)->TrainOnWorkload(workload);
+}
+
+}  // namespace lqo

@@ -1,0 +1,56 @@
+#ifndef LQO_PILOTSCOPE_CONSOLE_H_
+#define LQO_PILOTSCOPE_CONSOLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pilotscope/driver.h"
+#include "pilotscope/interactor.h"
+#include "storage/catalog.h"
+
+namespace lqo {
+
+/// The PilotScope console: the single entry point the database user talks
+/// to. It manages registered drivers and routes queries either to the
+/// active driver (transparently — the user just submits SQL) or straight
+/// to the native engine when no driver is active.
+class PilotScopeConsole {
+ public:
+  /// `catalog` resolves SQL; `interactor` is the attached database.
+  PilotScopeConsole(const Catalog* catalog, DbInteractor* interactor);
+
+  /// Registers a driver under its Name(); initializes it against the
+  /// interactor. Fails on duplicates.
+  Status RegisterDriver(std::unique_ptr<Driver> driver);
+
+  /// Activates one registered driver ("" deactivates: native execution).
+  Status ActivateDriver(const std::string& name);
+
+  const std::string& active_driver() const { return active_; }
+  std::vector<std::string> driver_names() const;
+
+  /// The database-user entry point: SQL in, COUNT(*) result out; whatever
+  /// AI4DB driver is active runs transparently underneath.
+  StatusOr<ExecutionResult> ExecuteSql(const std::string& sql);
+
+  /// Same entry point for an already-built query object.
+  StatusOr<ExecutionResult> ExecuteQuery(const Query& query);
+
+  /// Runs the active driver's background training over a workload (data
+  /// collection + model training phase of the PilotScope workflow).
+  Status TrainActiveDriver(const Workload& workload);
+
+  DbInteractor& interactor() { return *interactor_; }
+
+ private:
+  const Catalog* catalog_;
+  DbInteractor* interactor_;
+  std::map<std::string, std::unique_ptr<Driver>> drivers_;
+  std::string active_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_PILOTSCOPE_CONSOLE_H_

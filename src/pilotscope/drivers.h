@@ -1,0 +1,82 @@
+#ifndef LQO_PILOTSCOPE_DRIVERS_H_
+#define LQO_PILOTSCOPE_DRIVERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "e2e/risk_models.h"
+#include "optimizer/cardinality_interface.h"
+#include "pilotscope/driver.h"
+
+namespace lqo {
+
+/// The learned-cardinality-estimator driver of the paper's demonstration:
+/// for each query it pulls the optimizer's sub-queries, computes estimates
+/// with *any* CardinalityEstimatorInterface, pushes them in one batch, and
+/// pulls plan + execution. The same driver supports every estimator in
+/// src/cardinality.
+class CardinalityDriver : public Driver {
+ public:
+  /// The estimator must be trained/built by the caller and outlive the
+  /// driver.
+  explicit CardinalityDriver(CardinalityEstimatorInterface* estimator);
+
+  Status Init(DbInteractor* interactor) override;
+  StatusOr<ExecutionResult> Algo(const Query& query) override;
+  std::string Name() const override;
+
+ private:
+  CardinalityEstimatorInterface* estimator_;
+  DbInteractor* interactor_ = nullptr;
+};
+
+/// The Bao driver of the demonstration: pushes operator hint sets to
+/// collect candidate plans, scores them with a learned latency model, and
+/// executes the winner; every executed query is also a training sample.
+class BaoDriver : public Driver {
+ public:
+  explicit BaoDriver(int retrain_every = 25);
+
+  Status Init(DbInteractor* interactor) override;
+  StatusOr<ExecutionResult> Algo(const Query& query) override;
+  Status TrainOnWorkload(const Workload& workload) override;
+  std::string Name() const override { return "bao_driver"; }
+
+  bool trained() const { return risk_model_.trained(); }
+
+ private:
+  StatusOr<std::vector<PhysicalPlan>> Candidates(const Query& query);
+
+  DbInteractor* interactor_ = nullptr;
+  int retrain_every_;
+  int since_retrain_ = 0;
+  ExperienceBuffer experience_;
+  PointwiseRiskModel risk_model_;
+};
+
+/// The Lero driver of the demonstration: pushes cardinality scales to
+/// collect candidate plans and picks the pairwise-comparator winner.
+class LeroDriver : public Driver {
+ public:
+  explicit LeroDriver(std::vector<double> scale_factors = {0.01, 0.1, 1.0,
+                                                           10.0, 100.0});
+
+  Status Init(DbInteractor* interactor) override;
+  StatusOr<ExecutionResult> Algo(const Query& query) override;
+  Status TrainOnWorkload(const Workload& workload) override;
+  std::string Name() const override { return "lero_driver"; }
+
+  bool trained() const { return risk_model_.trained(); }
+
+ private:
+  StatusOr<std::vector<PhysicalPlan>> Candidates(const Query& query);
+
+  DbInteractor* interactor_ = nullptr;
+  std::vector<double> scale_factors_;
+  ExperienceBuffer experience_;
+  PairwiseRiskModel risk_model_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_PILOTSCOPE_DRIVERS_H_

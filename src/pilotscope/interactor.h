@@ -1,0 +1,97 @@
+#ifndef LQO_PILOTSCOPE_INTERACTOR_H_
+#define LQO_PILOTSCOPE_INTERACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "optimizer/optimizer.h"
+
+namespace lqo {
+
+/// The DB-interactor interface of PilotScope [80]: a unified bridge that
+/// shields drivers from the underlying database. It abstracts exactly two
+/// operator families — *push* (enforce actions / inject data into the DB)
+/// and *pull* (obtain data from the DB) — so a driver written against this
+/// interface steers any database with an implementation of it.
+class DbInteractor {
+ public:
+  virtual ~DbInteractor() = default;
+
+  // --- push operators -------------------------------------------------
+
+  /// Injects a cardinality for one sub-query (by canonical key).
+  virtual Status PushCardinalityOverride(const std::string& subquery_key,
+                                         double cardinality) = 0;
+  /// Applies a multiplicative scale to sub-queries with >= min_tables.
+  virtual Status PushCardinalityScale(double factor, int min_tables) = 0;
+  /// Constrains the physical operators / join prefix.
+  virtual Status PushHints(const HintSet& hints) = 0;
+  /// Resets all pushed session state.
+  virtual Status ClearPushes() = 0;
+
+  // --- pull operators -------------------------------------------------
+
+  /// Plan the optimizer would run under the current pushed state.
+  virtual StatusOr<PhysicalPlan> PullPlan(const Query& query) = 0;
+  /// Executes a plan and returns count + simulated latency.
+  virtual StatusOr<ExecutionResult> PullExecution(const PhysicalPlan& plan) = 0;
+  /// All connected sub-queries the optimizer will request cardinalities
+  /// for (the batch interface of the learned-CE driver).
+  virtual StatusOr<std::vector<Subquery>> PullSubqueries(
+      const Query& query) = 0;
+  /// The native estimator's cardinality for a sub-query.
+  virtual StatusOr<double> PullEstimatedCardinality(
+      const Subquery& subquery) = 0;
+
+  // --- bookkeeping ----------------------------------------------------
+
+  struct OpCounts {
+    int pushes = 0;
+    int pulls = 0;
+  };
+  const OpCounts& op_counts() const { return op_counts_; }
+  void ResetOpCounts() { op_counts_ = OpCounts{}; }
+
+ protected:
+  void CountPush() { ++op_counts_.pushes; }
+  void CountPull() { ++op_counts_.pulls; }
+
+ private:
+  OpCounts op_counts_;
+};
+
+/// The lqo-engine implementation of the DB interactor (the "lightweight
+/// patch" a real deployment applies to the database kernel). Holds per-
+/// session pushed state in a CardinalityProvider plus a hint slot.
+class EngineInteractor : public DbInteractor {
+ public:
+  EngineInteractor(const Catalog* catalog, const Optimizer* optimizer,
+                   CardinalityEstimatorInterface* estimator,
+                   const Executor* executor);
+
+  Status PushCardinalityOverride(const std::string& subquery_key,
+                                 double cardinality) override;
+  Status PushCardinalityScale(double factor, int min_tables) override;
+  Status PushHints(const HintSet& hints) override;
+  Status ClearPushes() override;
+
+  StatusOr<PhysicalPlan> PullPlan(const Query& query) override;
+  StatusOr<ExecutionResult> PullExecution(const PhysicalPlan& plan) override;
+  StatusOr<std::vector<Subquery>> PullSubqueries(const Query& query) override;
+  StatusOr<double> PullEstimatedCardinality(const Subquery& subquery) override;
+
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  const Catalog* catalog_;
+  const Optimizer* optimizer_;
+  CardinalityEstimatorInterface* estimator_;
+  const Executor* executor_;
+  CardinalityProvider session_cards_;
+  HintSet session_hints_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_PILOTSCOPE_INTERACTOR_H_

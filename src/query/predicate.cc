@@ -1,0 +1,80 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+Predicate Predicate::Equals(int table_index, std::string column,
+                            int64_t value) {
+  Predicate p;
+  p.table_index = table_index;
+  p.column = std::move(column);
+  p.kind = PredicateKind::kEquals;
+  p.value = value;
+  return p;
+}
+
+Predicate Predicate::Range(int table_index, std::string column, int64_t lo,
+                           int64_t hi) {
+  LQO_CHECK_LE(lo, hi);
+  Predicate p;
+  p.table_index = table_index;
+  p.column = std::move(column);
+  p.kind = PredicateKind::kRange;
+  p.lo = lo;
+  p.hi = hi;
+  return p;
+}
+
+Predicate Predicate::In(int table_index, std::string column,
+                        std::vector<int64_t> values) {
+  LQO_CHECK(!values.empty());
+  Predicate p;
+  p.table_index = table_index;
+  p.column = std::move(column);
+  p.kind = PredicateKind::kIn;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  p.in_values = std::move(values);
+  return p;
+}
+
+bool Predicate::Matches(int64_t v) const {
+  switch (kind) {
+    case PredicateKind::kEquals:
+      return v == value;
+    case PredicateKind::kRange:
+      return v >= lo && v <= hi;
+    case PredicateKind::kIn:
+      return std::binary_search(in_values.begin(), in_values.end(), v);
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  std::ostringstream out;
+  out << "t" << table_index << "." << column;
+  switch (kind) {
+    case PredicateKind::kEquals:
+      out << " = " << value;
+      break;
+    case PredicateKind::kRange:
+      out << " in [" << lo << "," << hi << "]";
+      break;
+    case PredicateKind::kIn: {
+      out << " IN (";
+      for (size_t i = 0; i < in_values.size(); ++i) {
+        if (i > 0) out << ",";
+        out << in_values[i];
+      }
+      out << ")";
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace lqo

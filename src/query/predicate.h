@@ -1,0 +1,46 @@
+#ifndef LQO_QUERY_PREDICATE_H_
+#define LQO_QUERY_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lqo {
+
+/// Predicate shapes supported by the SPJ query model. Comparison operators
+/// are normalized at construction: `=` becomes kEquals, `<,<=,>,>=,BETWEEN`
+/// become an inclusive kRange, `IN` stays kIn.
+enum class PredicateKind { kEquals, kRange, kIn };
+
+/// A conjunct over a single column of a single query table.
+struct Predicate {
+  /// Index into Query::tables.
+  int table_index = 0;
+  std::string column;
+  PredicateKind kind = PredicateKind::kEquals;
+
+  /// kEquals payload.
+  int64_t value = 0;
+  /// kRange payload, inclusive on both ends.
+  int64_t lo = 0;
+  int64_t hi = 0;
+  /// kIn payload, sorted ascending.
+  std::vector<int64_t> in_values;
+
+  /// Factory helpers.
+  static Predicate Equals(int table_index, std::string column, int64_t value);
+  static Predicate Range(int table_index, std::string column, int64_t lo,
+                         int64_t hi);
+  static Predicate In(int table_index, std::string column,
+                      std::vector<int64_t> values);
+
+  /// True if `v` satisfies this predicate.
+  bool Matches(int64_t v) const;
+
+  /// Canonical rendering, e.g. "t1.score in [3,8]".
+  std::string ToString() const;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_QUERY_PREDICATE_H_

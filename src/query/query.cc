@@ -1,0 +1,177 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+int Query::AddTable(const std::string& table_name, std::string alias) {
+  LQO_CHECK_LT(tables_.size(), 64u) << "query table limit exceeded";
+  if (alias.empty()) alias = "t" + std::to_string(tables_.size());
+  tables_.push_back({table_name, std::move(alias)});
+  return static_cast<int>(tables_.size()) - 1;
+}
+
+void Query::AddJoin(int left_table, const std::string& left_column,
+                    int right_table, const std::string& right_column) {
+  LQO_CHECK_GE(left_table, 0);
+  LQO_CHECK_LT(left_table, num_tables());
+  LQO_CHECK_GE(right_table, 0);
+  LQO_CHECK_LT(right_table, num_tables());
+  LQO_CHECK_NE(left_table, right_table);
+  joins_.push_back({left_table, left_column, right_table, right_column});
+}
+
+void Query::AddPredicate(Predicate predicate) {
+  LQO_CHECK_GE(predicate.table_index, 0);
+  LQO_CHECK_LT(predicate.table_index, num_tables());
+  predicates_.push_back(std::move(predicate));
+}
+
+TableSet Query::AllTables() const {
+  if (tables_.empty()) return 0;
+  if (tables_.size() == 64) return ~TableSet{0};
+  return (TableSet{1} << tables_.size()) - 1;
+}
+
+std::vector<Predicate> Query::PredicatesOf(int table_index) const {
+  std::vector<Predicate> result;
+  for (const Predicate& p : predicates_) {
+    if (p.table_index == table_index) result.push_back(p);
+  }
+  return result;
+}
+
+std::vector<QueryJoin> Query::JoinsWithin(TableSet set) const {
+  std::vector<QueryJoin> result;
+  for (const QueryJoin& j : joins_) {
+    if (j.WithinSet(set)) result.push_back(j);
+  }
+  return result;
+}
+
+std::vector<int> Query::Neighbors(int table_index) const {
+  std::vector<int> result;
+  for (const QueryJoin& j : joins_) {
+    if (j.left_table == table_index) result.push_back(j.right_table);
+    if (j.right_table == table_index) result.push_back(j.left_table);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+bool Query::IsConnected(TableSet set) const {
+  if (set == 0) return false;
+  // BFS from the lowest set bit over joins restricted to `set`.
+  int start = __builtin_ctzll(set);
+  TableSet visited = TableBit(start);
+  std::vector<int> frontier = {start};
+  while (!frontier.empty()) {
+    int t = frontier.back();
+    frontier.pop_back();
+    for (const QueryJoin& j : joins_) {
+      int other = -1;
+      if (j.left_table == t && ContainsTable(set, j.right_table)) {
+        other = j.right_table;
+      } else if (j.right_table == t && ContainsTable(set, j.left_table)) {
+        other = j.left_table;
+      }
+      if (other >= 0 && !ContainsTable(visited, other)) {
+        visited |= TableBit(other);
+        frontier.push_back(other);
+      }
+    }
+  }
+  return visited == set;
+}
+
+std::string Query::ToString() const {
+  std::ostringstream out;
+  out << "SELECT COUNT(*) FROM ";
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << tables_[i].table_name << " " << tables_[i].alias;
+  }
+  bool first = true;
+  auto conj = [&]() -> std::ostream& {
+    out << (first ? " WHERE " : " AND ");
+    first = false;
+    return out;
+  };
+  for (const QueryJoin& j : joins_) {
+    conj() << tables_[static_cast<size_t>(j.left_table)].alias << "."
+           << j.left_column << " = "
+           << tables_[static_cast<size_t>(j.right_table)].alias << "."
+           << j.right_column;
+  }
+  for (const Predicate& p : predicates_) {
+    const std::string& alias = tables_[static_cast<size_t>(p.table_index)].alias;
+    switch (p.kind) {
+      case PredicateKind::kEquals:
+        conj() << alias << "." << p.column << " = " << p.value;
+        break;
+      case PredicateKind::kRange:
+        conj() << alias << "." << p.column << " BETWEEN " << p.lo << " AND "
+               << p.hi;
+        break;
+      case PredicateKind::kIn: {
+        auto& stream = conj();
+        stream << alias << "." << p.column << " IN (";
+        for (size_t i = 0; i < p.in_values.size(); ++i) {
+          if (i > 0) stream << ",";
+          stream << p.in_values[i];
+        }
+        stream << ")";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string Subquery::Key() const {
+  LQO_CHECK(query != nullptr);
+  // Serialize per-table (name + sorted predicate strings), sorted by table
+  // name then alias index, plus induced joins with endpoints replaced by
+  // table names.
+  std::vector<std::string> table_parts;
+  for (int t = 0; t < query->num_tables(); ++t) {
+    if (!ContainsTable(tables, t)) continue;
+    std::vector<std::string> preds;
+    for (const Predicate& p : query->PredicatesOf(t)) {
+      Predicate copy = p;
+      copy.table_index = 0;  // neutralize index for cross-query identity.
+      preds.push_back(copy.ToString());
+    }
+    std::sort(preds.begin(), preds.end());
+    std::string part = query->tables()[static_cast<size_t>(t)].table_name + "{";
+    for (const std::string& p : preds) part += p + ";";
+    part += "}";
+    table_parts.push_back(part);
+  }
+  std::sort(table_parts.begin(), table_parts.end());
+
+  std::vector<std::string> join_parts;
+  for (const QueryJoin& j : query->JoinsWithin(tables)) {
+    std::string a =
+        query->tables()[static_cast<size_t>(j.left_table)].table_name + "." +
+        j.left_column;
+    std::string b =
+        query->tables()[static_cast<size_t>(j.right_table)].table_name + "." +
+        j.right_column;
+    if (b < a) std::swap(a, b);
+    join_parts.push_back(a + "=" + b);
+  }
+  std::sort(join_parts.begin(), join_parts.end());
+
+  std::string key;
+  for (const std::string& p : table_parts) key += p + "|";
+  key += "/";
+  for (const std::string& p : join_parts) key += p + "|";
+  return key;
+}
+
+}  // namespace lqo

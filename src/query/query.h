@@ -1,0 +1,101 @@
+#ifndef LQO_QUERY_QUERY_H_
+#define LQO_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+
+namespace lqo {
+
+/// Bitmask of query-table indices (bit i = Query::tables[i]). Queries are
+/// limited to 64 tables, far above anything in the workloads.
+using TableSet = uint64_t;
+
+inline TableSet TableBit(int index) { return TableSet{1} << index; }
+inline bool ContainsTable(TableSet set, int index) {
+  return (set & TableBit(index)) != 0;
+}
+inline int PopCount(TableSet set) { return __builtin_popcountll(set); }
+
+/// One FROM-clause entry.
+struct QueryTable {
+  std::string table_name;
+  std::string alias;
+};
+
+/// An equi-join conjunct between two query tables.
+struct QueryJoin {
+  int left_table = 0;
+  std::string left_column;
+  int right_table = 0;
+  std::string right_column;
+
+  /// True if the join connects a table inside `set` with one outside it, or
+  /// both inside.
+  bool WithinSet(TableSet set) const {
+    return ContainsTable(set, left_table) && ContainsTable(set, right_table);
+  }
+};
+
+/// A select-project-join COUNT(*) query: the unit of work throughout the
+/// library, matching the query class used by the cardinality-estimation and
+/// learned-optimizer literature the paper surveys.
+class Query {
+ public:
+  Query() = default;
+
+  /// Adds a FROM entry; returns its index. Alias defaults to t<i>.
+  int AddTable(const std::string& table_name, std::string alias = "");
+
+  void AddJoin(int left_table, const std::string& left_column,
+               int right_table, const std::string& right_column);
+  void AddPredicate(Predicate predicate);
+
+  const std::vector<QueryTable>& tables() const { return tables_; }
+  const std::vector<QueryJoin>& joins() const { return joins_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  /// Mask with all query tables set.
+  TableSet AllTables() const;
+
+  /// Predicates whose table_index == `table_index`.
+  std::vector<Predicate> PredicatesOf(int table_index) const;
+
+  /// Joins with both endpoints inside `set`.
+  std::vector<QueryJoin> JoinsWithin(TableSet set) const;
+
+  /// Adjacency over the join graph: tables (by index) sharing a join with
+  /// `table_index`.
+  std::vector<int> Neighbors(int table_index) const;
+
+  /// True if the join graph restricted to `set` is connected.
+  bool IsConnected(TableSet set) const;
+
+  /// SQL-ish rendering for logs and docs.
+  std::string ToString() const;
+
+ private:
+  std::vector<QueryTable> tables_;
+  std::vector<QueryJoin> joins_;
+  std::vector<Predicate> predicates_;
+};
+
+/// A view of a query restricted to a connected subset of its tables — the
+/// "sub-query Q' of Q" whose cardinality the estimator component predicts.
+struct Subquery {
+  const Query* query = nullptr;
+  TableSet tables = 0;
+
+  /// Canonical cache key: identical logical subqueries (same base tables,
+  /// predicates and join structure) map to the same key even across Query
+  /// objects.
+  std::string Key() const;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_QUERY_QUERY_H_

@@ -1,0 +1,30 @@
+#ifndef LQO_QUERY_SQL_PARSER_H_
+#define LQO_QUERY_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "query/query.h"
+
+namespace lqo {
+
+/// Parses a SQL subset into the SPJ query model, resolving string literals
+/// against column dictionaries. Supported grammar:
+///
+///   SELECT COUNT(*) FROM <table> <alias> [, <table> <alias>]*
+///   [WHERE <cond> [AND <cond>]*] [;]
+///
+///   <cond> := a.col = b.col                  -- equi join
+///           | a.col (=|<|<=|>|>=) <literal>  -- comparison
+///           | a.col BETWEEN <lit> AND <lit>
+///           | a.col IN (<lit> [, <lit>]*)
+///   <literal> := integer | 'string'
+///
+/// Keywords are case-insensitive. Comparisons on categorical columns use
+/// dictionary order (codes are assigned in sorted order).
+StatusOr<Query> ParseSql(const Catalog& catalog, const std::string& sql);
+
+}  // namespace lqo
+
+#endif  // LQO_QUERY_SQL_PARSER_H_

@@ -1,0 +1,173 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lqo {
+namespace {
+
+// Schema-level join edge endpoints as (table -> columns used in joins).
+std::set<std::string> JoinColumnsOf(const Catalog& catalog,
+                                    const std::string& table) {
+  std::set<std::string> cols;
+  for (const JoinEdge& e : catalog.join_edges()) {
+    if (e.left_table == table) cols.insert(e.left_column);
+    if (e.right_table == table) cols.insert(e.right_column);
+  }
+  return cols;
+}
+
+Predicate MakePredicateOn(const Table& table, const std::string& column_name,
+                          int table_index, const WorkloadOptions& options,
+                          Rng& rng) {
+  size_t col_idx = table.ColumnIndex(column_name).value();
+  const Column& col = table.column(col_idx);
+  LQO_CHECK_GT(table.num_rows(), 0u);
+  // Anchor on an existing row so predicates are never trivially empty.
+  int64_t anchor = col.data[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(table.num_rows()) - 1))];
+
+  double r = rng.UniformDouble(0.0, 1.0);
+  if (r < options.equality_prob) {
+    return Predicate::Equals(table_index, column_name, anchor);
+  }
+  if (r < options.equality_prob + options.in_prob) {
+    std::vector<int64_t> values = {anchor};
+    int extra = static_cast<int>(rng.UniformInt(1, 3));
+    for (int i = 0; i < extra; ++i) {
+      values.push_back(col.data[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(table.num_rows()) - 1))]);
+    }
+    return Predicate::In(table_index, column_name, std::move(values));
+  }
+  // Range around the anchor; width scales with the column's span so both
+  // tight and wide ranges occur.
+  int64_t span = std::max<int64_t>(1, col.max_value - col.min_value);
+  int64_t width = std::max<int64_t>(
+      0, static_cast<int64_t>(rng.UniformDouble(0.0, 0.4) *
+                              static_cast<double>(span)));
+  double side = rng.UniformDouble(0.0, 1.0);
+  int64_t lo, hi;
+  if (side < 0.25) {
+    lo = col.min_value;  // one-sided <=
+    hi = anchor;
+  } else if (side < 0.5) {
+    lo = anchor;  // one-sided >=
+    hi = col.max_value;
+  } else {
+    lo = anchor - width / 2;
+    hi = anchor + width / 2;
+  }
+  lo = std::max(lo, col.min_value);
+  hi = std::min(hi, col.max_value);
+  if (lo > hi) std::swap(lo, hi);
+  return Predicate::Range(table_index, column_name, lo, hi);
+}
+
+}  // namespace
+
+std::vector<std::string> PredicateColumns(const Catalog& catalog,
+                                          const std::string& table) {
+  const Table& t = *catalog.GetTable(table).value();
+  std::set<std::string> join_cols = JoinColumnsOf(catalog, table);
+  std::vector<std::string> result;
+  for (const Column& col : t.columns()) {
+    if (join_cols.count(col.name) > 0) continue;
+    if (col.name == "id") continue;  // surrogate keys are join-only.
+    result.push_back(col.name);
+  }
+  return result;
+}
+
+Workload GenerateWorkload(const Catalog& catalog,
+                          const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  Workload workload;
+  const std::vector<std::string>& all_tables = catalog.table_names();
+  LQO_CHECK(!all_tables.empty());
+
+  int schema_size = static_cast<int>(all_tables.size());
+  int min_tables = std::clamp(options.min_tables, 1, schema_size);
+  int max_tables = std::clamp(options.max_tables, min_tables, schema_size);
+
+  while (static_cast<int>(workload.queries.size()) < options.num_queries) {
+    int target = static_cast<int>(rng.UniformInt(min_tables, max_tables));
+
+    // Grow a connected table set by random walk over schema join edges.
+    std::vector<std::string> chosen;
+    std::set<std::string> chosen_set;
+    std::string start = all_tables[static_cast<size_t>(
+        rng.UniformInt(0, schema_size - 1))];
+    chosen.push_back(start);
+    chosen_set.insert(start);
+    while (static_cast<int>(chosen.size()) < target) {
+      // Candidate edges: one end inside, one end outside.
+      std::vector<std::string> candidates;
+      for (const JoinEdge& e : catalog.join_edges()) {
+        bool left_in = chosen_set.count(e.left_table) > 0;
+        bool right_in = chosen_set.count(e.right_table) > 0;
+        if (left_in && !right_in) candidates.push_back(e.right_table);
+        if (right_in && !left_in) candidates.push_back(e.left_table);
+      }
+      if (candidates.empty()) break;  // no way to grow further.
+      const std::string& next = candidates[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(candidates.size()) - 1))];
+      chosen.push_back(next);
+      chosen_set.insert(next);
+    }
+
+    Query query;
+    std::map<std::string, int> index_of;
+    for (const std::string& table : chosen) {
+      index_of[table] = query.AddTable(table);
+    }
+
+    // Join edges induced by the chosen set. Always keep enough to stay
+    // connected (we add them greedily, union-find style), and keep the rest
+    // with probability extra_edge_prob.
+    std::vector<int> parent(chosen.size());
+    for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+    auto find = [&](int x) {
+      while (parent[static_cast<size_t>(x)] != x) x = parent[static_cast<size_t>(x)];
+      return x;
+    };
+    for (const JoinEdge& e : catalog.join_edges()) {
+      auto li = index_of.find(e.left_table);
+      auto ri = index_of.find(e.right_table);
+      if (li == index_of.end() || ri == index_of.end()) continue;
+      int a = find(li->second), b = find(ri->second);
+      bool needed = a != b;
+      if (needed || rng.Bernoulli(options.extra_edge_prob)) {
+        query.AddJoin(li->second, e.left_column, ri->second, e.right_column);
+        if (needed) parent[static_cast<size_t>(a)] = b;
+      }
+    }
+    if (!query.IsConnected(query.AllTables())) continue;  // retry.
+
+    // Predicates.
+    for (const std::string& table : chosen) {
+      std::vector<std::string> cols = PredicateColumns(catalog, table);
+      if (cols.empty()) continue;
+      int count = static_cast<int>(
+          rng.UniformInt(0, options.max_predicates_per_table));
+      rng.Shuffle(cols);
+      count = std::min<int>(count, static_cast<int>(cols.size()));
+      const Table& t = *catalog.GetTable(table).value();
+      for (int i = 0; i < count; ++i) {
+        query.AddPredicate(
+            MakePredicateOn(t, cols[static_cast<size_t>(i)],
+                            index_of[table], options, rng));
+      }
+    }
+
+    workload.queries.push_back(std::move(query));
+  }
+  return workload;
+}
+
+}  // namespace lqo

@@ -1,0 +1,48 @@
+#ifndef LQO_QUERY_WORKLOAD_H_
+#define LQO_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "query/query.h"
+
+namespace lqo {
+
+/// Knobs for the random SPJ workload generator.
+struct WorkloadOptions {
+  uint64_t seed = 7;
+  int num_queries = 100;
+  /// Number of FROM tables per query, clamped to the schema size. Tables
+  /// are chosen as a connected subgraph of the schema join graph.
+  int min_tables = 1;
+  int max_tables = 4;
+  /// Per-table predicate count is uniform in [0, max_predicates_per_table].
+  int max_predicates_per_table = 2;
+  /// Among predicates: probability of equality / IN; the rest are ranges.
+  double equality_prob = 0.45;
+  double in_prob = 0.1;
+  /// Probability of including each induced (non-spanning-tree) join edge,
+  /// producing cyclic join graphs as in JOB.
+  double extra_edge_prob = 0.5;
+};
+
+/// A generated batch of queries over one catalog.
+struct Workload {
+  std::vector<Query> queries;
+};
+
+/// Generates a deterministic random SPJ workload over `catalog`'s schema
+/// join graph. Predicate constants are sampled from actual table rows so
+/// every predicate has non-trivial selectivity.
+Workload GenerateWorkload(const Catalog& catalog,
+                          const WorkloadOptions& options);
+
+/// Columns of `table` that participate in no schema join edge — the columns
+/// the generator places predicates on.
+std::vector<std::string> PredicateColumns(const Catalog& catalog,
+                                          const std::string& table);
+
+}  // namespace lqo
+
+#endif  // LQO_QUERY_WORKLOAD_H_

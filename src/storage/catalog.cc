@@ -1,0 +1,59 @@
+#include "storage/catalog.h"
+
+namespace lqo {
+
+Status Catalog::AddTable(Table table) {
+  if (tables_.count(table.name()) > 0) {
+    return Status::InvalidArgument("duplicate table '" + table.name() + "'");
+  }
+  table_names_.push_back(table.name());
+  std::string name = table.name();
+  tables_.emplace(std::move(name), std::move(table));
+  return Status::Ok();
+}
+
+Status Catalog::AddJoinEdge(const JoinEdge& edge) {
+  auto check_end = [&](const std::string& table,
+                       const std::string& column) -> Status {
+    auto t = GetTable(table);
+    if (!t.ok()) return t.status();
+    if (!(*t)->HasColumn(column)) {
+      return Status::NotFound("no column '" + column + "' in '" + table + "'");
+    }
+    return Status::Ok();
+  };
+  LQO_RETURN_IF_ERROR(check_end(edge.left_table, edge.left_column));
+  LQO_RETURN_IF_ERROR(check_end(edge.right_table, edge.right_column));
+  join_edges_.push_back(edge);
+  return Status::Ok();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+StatusOr<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "' in catalog");
+  }
+  return &it->second;
+}
+
+std::vector<JoinEdge> Catalog::EdgesOf(const std::string& table) const {
+  std::vector<JoinEdge> result;
+  for (const JoinEdge& edge : join_edges_) {
+    if (edge.left_table == table || edge.right_table == table) {
+      result.push_back(edge);
+    }
+  }
+  return result;
+}
+
+size_t Catalog::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table.num_rows();
+  return total;
+}
+
+}  // namespace lqo

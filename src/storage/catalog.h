@@ -1,0 +1,67 @@
+#ifndef LQO_STORAGE_CATALOG_H_
+#define LQO_STORAGE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace lqo {
+
+/// A declared joinable column pair, typically a foreign-key reference.
+/// Workload generators only emit equi-joins along these edges, mirroring how
+/// JOB / STATS-CEB queries join along schema references.
+struct JoinEdge {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+
+  std::string ToString() const {
+    return left_table + "." + left_column + " = " + right_table + "." +
+           right_column;
+  }
+};
+
+/// Owns the tables of a database instance plus its schema join graph.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Movable but not copyable: tables can be large.
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a table; fails on duplicate name.
+  Status AddTable(Table table);
+
+  /// Declares a joinable column pair. Both ends must exist.
+  Status AddJoinEdge(const JoinEdge& edge);
+
+  bool HasTable(const std::string& name) const;
+  StatusOr<const Table*> GetTable(const std::string& name) const;
+
+  /// All table names in registration order.
+  const std::vector<std::string>& table_names() const { return table_names_; }
+
+  const std::vector<JoinEdge>& join_edges() const { return join_edges_; }
+
+  /// Join edges that touch `table`.
+  std::vector<JoinEdge> EdgesOf(const std::string& table) const;
+
+  /// Total rows across all tables (for reporting).
+  size_t TotalRows() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+  std::vector<std::string> table_names_;
+  std::vector<JoinEdge> join_edges_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_STORAGE_CATALOG_H_

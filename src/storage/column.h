@@ -1,0 +1,36 @@
+#ifndef LQO_STORAGE_COLUMN_H_
+#define LQO_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lqo {
+
+/// Physical column types. All columns store int64 values; categorical
+/// columns additionally carry a dictionary mapping codes to strings, with
+/// codes assigned in dictionary sort order so range predicates on strings
+/// reduce to range predicates on codes.
+enum class ColumnType { kInt64, kCategorical };
+
+/// An immutable column of a table. Built via TableBuilder, which fills in
+/// the derived statistics (min/max/distinct).
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  std::vector<int64_t> data;
+  /// Only for kCategorical: dictionary[code] is the string value.
+  std::vector<std::string> dictionary;
+
+  // Derived on build.
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  int64_t num_distinct = 0;
+
+  /// Renders a cell for debugging (dictionary-decoded when categorical).
+  std::string ValueToString(size_t row) const;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_STORAGE_COLUMN_H_

@@ -1,0 +1,204 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace lqo {
+namespace {
+
+constexpr char kSchemaFile[] = "schema.txt";
+constexpr char kTablesFile[] = "tables.txt";
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  std::vector<std::string> names, types;
+  for (const Column& col : table.columns()) {
+    names.push_back(col.name);
+    types.push_back(col.type == ColumnType::kCategorical ? "categorical"
+                                                         : "int64");
+  }
+  out << StrJoin(names, ",") << "\n" << StrJoin(types, ",") << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ",";
+      out << table.column(c).ValueToString(r);
+    }
+    out << "\n";
+  }
+  if (!out.good()) return Status::Internal("write failed for '" + path + "'");
+  return Status::Ok();
+}
+
+StatusOr<Table> ReadCsv(const std::string& path,
+                        const std::string& table_name) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string names_line, types_line;
+  if (!std::getline(in, names_line) || !std::getline(in, types_line)) {
+    return Status::InvalidArgument("'" + path + "' missing header lines");
+  }
+  std::vector<std::string> names = StrSplit(names_line, ',');
+  std::vector<std::string> types = StrSplit(types_line, ',');
+  if (names.size() != types.size() || names.empty()) {
+    return Status::InvalidArgument("'" + path + "' malformed header");
+  }
+  size_t num_columns = names.size();
+  std::vector<bool> categorical(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    if (types[c] == "categorical") {
+      categorical[c] = true;
+    } else if (types[c] == "int64") {
+      categorical[c] = false;
+    } else {
+      return Status::InvalidArgument("unknown column type '" + types[c] +
+                                     "' in '" + path + "'");
+    }
+  }
+
+  // First pass: collect raw cells (bounded by file size; tables here are
+  // laboratory-scale).
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = StrSplit(line, ',');
+    if (cells.size() != num_columns) {
+      return Status::InvalidArgument("row with " +
+                                     std::to_string(cells.size()) +
+                                     " cells, expected " +
+                                     std::to_string(num_columns));
+    }
+    rows.push_back(std::move(cells));
+  }
+
+  // Rebuild dictionaries for categorical columns.
+  std::vector<std::vector<std::string>> dictionaries(num_columns);
+  std::vector<std::map<std::string, int64_t>> code_of(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    if (!categorical[c]) continue;
+    std::vector<std::string> values;
+    for (const auto& row : rows) values.push_back(row[c]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    for (size_t i = 0; i < values.size(); ++i) {
+      code_of[c][values[i]] = static_cast<int64_t>(i);
+    }
+    dictionaries[c] = std::move(values);
+  }
+
+  TableBuilder builder(table_name);
+  for (size_t c = 0; c < num_columns; ++c) {
+    if (categorical[c]) {
+      builder.AddCategoricalColumn(names[c], dictionaries[c]);
+    } else {
+      builder.AddInt64Column(names[c]);
+    }
+  }
+  std::vector<int64_t> values(num_columns);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < num_columns; ++c) {
+      if (categorical[c]) {
+        values[c] = code_of[c].at(row[c]);
+      } else {
+        const char* begin = row[c].c_str();
+        char* end = nullptr;
+        errno = 0;
+        values[c] = std::strtoll(begin, &end, 10);
+        if (errno != 0 || end == begin || *end != '\0') {
+          return Status::InvalidArgument("non-integer cell '" + row[c] +
+                                         "' in int64 column '" + names[c] +
+                                         "'");
+        }
+      }
+    }
+    builder.AppendRow(values);
+  }
+  return builder.Build();
+}
+
+Status WriteCatalogCsv(const Catalog& catalog, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create directory '" + directory +
+                                   "': " + ec.message());
+  }
+  std::ofstream tables(directory + "/" + kTablesFile);
+  for (const std::string& name : catalog.table_names()) {
+    LQO_RETURN_IF_ERROR(
+        WriteCsv(**catalog.GetTable(name), directory + "/" + name + ".csv"));
+    tables << name << "\n";
+  }
+  std::ofstream schema(directory + "/" + kSchemaFile);
+  for (const JoinEdge& edge : catalog.join_edges()) {
+    schema << edge.left_table << "." << edge.left_column << "="
+           << edge.right_table << "." << edge.right_column << "\n";
+  }
+  if (!schema.good() || !tables.good()) {
+    return Status::Internal("failed writing catalog metadata");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Catalog> ReadCatalogCsv(const std::string& directory) {
+  std::ifstream tables(directory + "/" + kTablesFile);
+  if (!tables.is_open()) {
+    return Status::NotFound("no " + std::string(kTablesFile) + " in '" +
+                            directory + "'");
+  }
+  Catalog catalog;
+  std::string name;
+  while (std::getline(tables, name)) {
+    if (name.empty()) continue;
+    auto table = ReadCsv(directory + "/" + name + ".csv", name);
+    if (!table.ok()) return table.status();
+    LQO_RETURN_IF_ERROR(catalog.AddTable(std::move(*table)));
+  }
+
+  std::ifstream schema(directory + "/" + kSchemaFile);
+  if (schema.is_open()) {
+    std::string line;
+    while (std::getline(schema, line)) {
+      line = StripWhitespace(line);
+      if (line.empty()) continue;
+      size_t eq = line.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("malformed schema line '" + line + "'");
+      }
+      auto parse_ref = [](const std::string& ref)
+          -> StatusOr<std::pair<std::string, std::string>> {
+        size_t dot = ref.find('.');
+        if (dot == std::string::npos) {
+          return Status::InvalidArgument("malformed column ref '" + ref + "'");
+        }
+        return std::make_pair(ref.substr(0, dot), ref.substr(dot + 1));
+      };
+      auto left = parse_ref(line.substr(0, eq));
+      if (!left.ok()) return left.status();
+      auto right = parse_ref(line.substr(eq + 1));
+      if (!right.ok()) return right.status();
+      LQO_RETURN_IF_ERROR(catalog.AddJoinEdge({.left_table = left->first,
+                                               .left_column = left->second,
+                                               .right_table = right->first,
+                                               .right_column = right->second}));
+    }
+  }
+  return catalog;
+}
+
+}  // namespace lqo

@@ -1,0 +1,32 @@
+#ifndef LQO_STORAGE_CSV_H_
+#define LQO_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace lqo {
+
+/// Writes a table as CSV with a two-line header:
+///   line 1: column names
+///   line 2: column types ("int64" or "categorical")
+/// Categorical values are written as their dictionary strings.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a table written by WriteCsv. The table name is taken from
+/// `table_name`; categorical dictionaries are rebuilt (sorted) from the
+/// data.
+StatusOr<Table> ReadCsv(const std::string& path,
+                        const std::string& table_name);
+
+/// Dumps every table of a catalog into `directory` as <table>.csv plus a
+/// `schema.txt` listing the join edges ("a.x=b.y" per line).
+Status WriteCatalogCsv(const Catalog& catalog, const std::string& directory);
+
+/// Loads a catalog previously written by WriteCatalogCsv.
+StatusOr<Catalog> ReadCatalogCsv(const std::string& directory);
+
+}  // namespace lqo
+
+#endif  // LQO_STORAGE_CSV_H_

@@ -1,0 +1,459 @@
+#include "storage/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lqo {
+namespace {
+
+int64_t Scaled(double base, double scale) {
+  return std::max<int64_t>(1, static_cast<int64_t>(base * scale));
+}
+
+int64_t Clamp(int64_t v, int64_t lo, int64_t hi) {
+  return std::clamp(v, lo, hi);
+}
+
+// Generates `count` dictionary entries "<prefix>_000".."<prefix>_NNN"; the
+// zero-padded suffix keeps the dictionary sorted so code order == string
+// order.
+std::vector<std::string> MakeDictionary(const std::string& prefix,
+                                        int64_t count) {
+  std::vector<std::string> dict;
+  dict.reserve(static_cast<size_t>(count));
+  int width = 1;
+  for (int64_t c = count - 1; c >= 10; c /= 10) ++width;
+  for (int64_t i = 0; i < count; ++i) {
+    std::string digits = std::to_string(i);
+    dict.push_back(prefix + "_" + std::string(width - digits.size(), '0') +
+                   digits);
+  }
+  return dict;
+}
+
+}  // namespace
+
+Catalog MakeImdbLite(const DatasetOptions& options) {
+  Rng rng(options.seed);
+  Catalog catalog;
+
+  const int64_t num_titles = Scaled(20000, options.scale);
+  const int64_t num_kinds = 7;
+  const int64_t num_companies = 500;
+  const int64_t num_keywords = 1000;
+  const int64_t num_persons = Scaled(8000, options.scale);
+
+  ZipfDistribution kind_dist(num_kinds, 1.1);
+  ZipfDistribution votes_dist(100, 1.3);
+  ZipfDistribution year_offset_dist(74, 0.8);
+  ZipfDistribution company_dist(num_companies, 1.2);
+  ZipfDistribution keyword_dist(400, 1.1);
+  ZipfDistribution role_dist(11, 1.4);
+  ZipfDistribution fanout_dist(8, 1.5);
+  ZipfDistribution person_dist(num_persons, 1.05);
+  ZipfDistribution info_val_dist(40, 1.0);
+
+  // --- title (fact table) ---
+  // Correlations: production_year depends on kind_id (newer kinds skew
+  // recent); rating depends on votes bucket.
+  std::vector<int64_t> title_kind(num_titles), title_year(num_titles),
+      title_votes(num_titles), title_rating(num_titles);
+  {
+    TableBuilder builder("title");
+    builder.AddInt64Column("id");
+    builder.AddCategoricalColumn("kind_id", MakeDictionary("kind", num_kinds));
+    builder.AddInt64Column("production_year");
+    builder.AddInt64Column("votes_bucket");
+    builder.AddInt64Column("rating");
+    for (int64_t i = 0; i < num_titles; ++i) {
+      int64_t kind = kind_dist.Sample(rng);
+      // Newer media kinds (higher kind code) concentrate in recent years.
+      int64_t offset = year_offset_dist.Sample(rng);
+      int64_t year = 2023 - offset - (num_kinds - 1 - kind) * 4;
+      year = Clamp(year, 1930, 2023);
+      int64_t votes = votes_dist.Sample(rng);  // 0 = most votes bucket.
+      int64_t rating =
+          Clamp(9 - votes / 12 + rng.UniformInt(-1, 1), 1, 10);
+      title_kind[static_cast<size_t>(i)] = kind;
+      title_year[static_cast<size_t>(i)] = year;
+      title_votes[static_cast<size_t>(i)] = votes;
+      title_rating[static_cast<size_t>(i)] = rating;
+      builder.AppendRow({i, kind, year, votes, rating});
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  // --- movie_companies ---
+  // Popular (low votes bucket) titles attract more company records; company
+  // id correlates with title kind.
+  {
+    TableBuilder builder("movie_companies");
+    builder.AddInt64Column("movie_id");
+    builder.AddCategoricalColumn("company_id",
+                                 MakeDictionary("co", num_companies));
+    builder.AddCategoricalColumn("company_type",
+                                 MakeDictionary("ctype", 4));
+    for (int64_t m = 0; m < num_titles; ++m) {
+      size_t mi = static_cast<size_t>(m);
+      int64_t fanout = 1 + fanout_dist.Sample(rng);
+      if (title_votes[mi] < 10) fanout += 2;  // popular titles.
+      for (int64_t f = 0; f < fanout; ++f) {
+        int64_t company =
+            (company_dist.Sample(rng) + title_kind[mi] * 60) % num_companies;
+        int64_t ctype = rng.UniformInt(0, 3);
+        builder.AppendRow({m, company, ctype});
+      }
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  // --- movie_keyword ---
+  // Keyword pools are kind-dependent: joins through movie_keyword carry
+  // information about title.kind_id.
+  {
+    TableBuilder builder("movie_keyword");
+    builder.AddInt64Column("movie_id");
+    builder.AddCategoricalColumn("keyword_id",
+                                 MakeDictionary("kw", num_keywords));
+    for (int64_t m = 0; m < num_titles; ++m) {
+      size_t mi = static_cast<size_t>(m);
+      int64_t fanout = 1 + fanout_dist.Sample(rng) +
+                       (title_votes[mi] < 5 ? 3 : 0);
+      for (int64_t f = 0; f < fanout; ++f) {
+        int64_t keyword =
+            (keyword_dist.Sample(rng) + title_kind[mi] * 130) % num_keywords;
+        builder.AppendRow({m, keyword});
+      }
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  // --- cast_info ---
+  {
+    TableBuilder builder("cast_info");
+    builder.AddInt64Column("movie_id");
+    builder.AddInt64Column("person_id");
+    builder.AddCategoricalColumn("role_id", MakeDictionary("role", 11));
+    for (int64_t m = 0; m < num_titles; ++m) {
+      size_t mi = static_cast<size_t>(m);
+      int64_t fanout = 2 + fanout_dist.Sample(rng) +
+                       (title_votes[mi] < 10 ? 4 : 0);
+      for (int64_t f = 0; f < fanout; ++f) {
+        builder.AppendRow({m, person_dist.Sample(rng), role_dist.Sample(rng)});
+      }
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  // --- movie_info ---
+  // info_val is strongly determined by info_type (intra-table correlation).
+  {
+    TableBuilder builder("movie_info");
+    builder.AddInt64Column("movie_id");
+    builder.AddCategoricalColumn("info_type_id", MakeDictionary("it", 21));
+    builder.AddInt64Column("info_val");
+    for (int64_t m = 0; m < num_titles; ++m) {
+      int64_t fanout = 1 + fanout_dist.Sample(rng) % 4;
+      for (int64_t f = 0; f < fanout; ++f) {
+        int64_t info_type = rng.UniformInt(0, 20);
+        int64_t val = info_type * 5 + info_val_dist.Sample(rng) % 20;
+        builder.AppendRow({m, info_type, val});
+      }
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  for (const char* satellite :
+       {"movie_companies", "movie_keyword", "cast_info", "movie_info"}) {
+    LQO_CHECK(catalog
+                  .AddJoinEdge({.left_table = "title",
+                                .left_column = "id",
+                                .right_table = satellite,
+                                .right_column = "movie_id"})
+                  .ok());
+  }
+  return catalog;
+}
+
+Catalog MakeStatsLite(const DatasetOptions& options) {
+  Rng rng(options.seed + 1);
+  Catalog catalog;
+
+  const int64_t num_users = Scaled(5000, options.scale);
+  const int64_t num_posts = Scaled(15000, options.scale);
+
+  ZipfDistribution reputation_dist(1000, 1.2);
+  ZipfDistribution owner_dist(num_users, 1.1);  // low ids post a lot.
+  ZipfDistribution comment_fanout_dist(10, 1.4);
+  ZipfDistribution vote_fanout_dist(14, 1.2);
+  ZipfDistribution badge_fanout_dist(6, 1.3);
+  ZipfDistribution commenter_dist(num_users, 1.05);
+
+  // --- users ---
+  // reputation and up_votes are strongly correlated; creation_year mildly
+  // anti-correlates with reputation (old accounts have more).
+  std::vector<int64_t> user_reputation(num_users);
+  {
+    TableBuilder builder("users");
+    builder.AddInt64Column("id");
+    builder.AddInt64Column("reputation");
+    builder.AddInt64Column("up_votes");
+    builder.AddInt64Column("down_votes");
+    builder.AddInt64Column("creation_year");
+    for (int64_t u = 0; u < num_users; ++u) {
+      // Low ids get high reputation: makes owner_user_id joins correlated.
+      int64_t rank_bonus = (num_users - u) * 1000 / num_users;  // 0..1000
+      int64_t reputation = rank_bonus * 10 + reputation_dist.Sample(rng);
+      int64_t up_votes = reputation / 10 + rng.UniformInt(0, 20);
+      int64_t down_votes = rng.UniformInt(0, 5) + reputation / 500;
+      int64_t creation_year =
+          Clamp(2023 - reputation / 700 - rng.UniformInt(0, 6), 2008, 2023);
+      user_reputation[static_cast<size_t>(u)] = reputation;
+      builder.AppendRow({u, reputation, up_votes, down_votes, creation_year});
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  // --- posts ---
+  // score correlates with owner reputation (cross-table correlation through
+  // the FK); view_count correlates with score.
+  std::vector<int64_t> post_score(num_posts);
+  {
+    TableBuilder builder("posts");
+    builder.AddInt64Column("id");
+    builder.AddInt64Column("owner_user_id");
+    builder.AddInt64Column("score");
+    builder.AddInt64Column("view_count");
+    builder.AddInt64Column("answer_count");
+    builder.AddCategoricalColumn("post_type", MakeDictionary("ptype", 2));
+    for (int64_t p = 0; p < num_posts; ++p) {
+      int64_t owner = owner_dist.Sample(rng);
+      int64_t rep = user_reputation[static_cast<size_t>(owner)];
+      int64_t score = rep / 800 + rng.UniformInt(0, 4);
+      int64_t view_count = score * 50 + rng.UniformInt(0, 100);
+      int64_t answer_count = Clamp(score / 2 + rng.UniformInt(0, 2), 0, 20);
+      int64_t post_type = rng.Bernoulli(0.3) ? 1 : 0;
+      post_score[static_cast<size_t>(p)] = score;
+      builder.AppendRow(
+          {p, owner, score, view_count, answer_count, post_type});
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  // --- comments ---
+  {
+    TableBuilder builder("comments");
+    builder.AddInt64Column("id");
+    builder.AddInt64Column("post_id");
+    builder.AddInt64Column("user_id");
+    builder.AddInt64Column("score");
+    int64_t comment_id = 0;
+    for (int64_t p = 0; p < num_posts; ++p) {
+      size_t pi = static_cast<size_t>(p);
+      int64_t fanout =
+          comment_fanout_dist.Sample(rng) + (post_score[pi] > 8 ? 4 : 0);
+      for (int64_t f = 0; f < fanout; ++f) {
+        int64_t user = commenter_dist.Sample(rng);
+        int64_t score = Clamp(post_score[pi] / 3 + rng.UniformInt(0, 2), 0, 30);
+        builder.AppendRow({comment_id++, p, user, score});
+      }
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  // --- badges ---
+  {
+    TableBuilder builder("badges");
+    builder.AddInt64Column("user_id");
+    builder.AddCategoricalColumn("badge_class", MakeDictionary("bc", 3));
+    builder.AddInt64Column("year");
+    for (int64_t u = 0; u < num_users; ++u) {
+      size_t ui = static_cast<size_t>(u);
+      int64_t fanout = badge_fanout_dist.Sample(rng) +
+                       user_reputation[ui] / 3000;
+      for (int64_t f = 0; f < fanout; ++f) {
+        // High-reputation users earn gold (class 0).
+        int64_t badge_class =
+            user_reputation[ui] > 6000 ? rng.UniformInt(0, 1)
+                                       : rng.UniformInt(1, 2);
+        builder.AppendRow({u, badge_class, rng.UniformInt(2010, 2023)});
+      }
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  // --- votes ---
+  {
+    TableBuilder builder("votes");
+    builder.AddInt64Column("post_id");
+    builder.AddCategoricalColumn("vote_type", MakeDictionary("vt", 5));
+    builder.AddInt64Column("year");
+    for (int64_t p = 0; p < num_posts; ++p) {
+      size_t pi = static_cast<size_t>(p);
+      int64_t fanout =
+          vote_fanout_dist.Sample(rng) + Clamp(post_score[pi], 0, 12);
+      for (int64_t f = 0; f < fanout; ++f) {
+        int64_t vote_type = rng.Bernoulli(0.7) ? 0 : rng.UniformInt(1, 4);
+        builder.AppendRow({p, vote_type, rng.UniformInt(2010, 2023)});
+      }
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  LQO_CHECK(catalog
+                .AddJoinEdge({.left_table = "users",
+                              .left_column = "id",
+                              .right_table = "posts",
+                              .right_column = "owner_user_id"})
+                .ok());
+  LQO_CHECK(catalog
+                .AddJoinEdge({.left_table = "posts",
+                              .left_column = "id",
+                              .right_table = "comments",
+                              .right_column = "post_id"})
+                .ok());
+  LQO_CHECK(catalog
+                .AddJoinEdge({.left_table = "users",
+                              .left_column = "id",
+                              .right_table = "comments",
+                              .right_column = "user_id"})
+                .ok());
+  LQO_CHECK(catalog
+                .AddJoinEdge({.left_table = "users",
+                              .left_column = "id",
+                              .right_table = "badges",
+                              .right_column = "user_id"})
+                .ok());
+  LQO_CHECK(catalog
+                .AddJoinEdge({.left_table = "posts",
+                              .left_column = "id",
+                              .right_table = "votes",
+                              .right_column = "post_id"})
+                .ok());
+  return catalog;
+}
+
+Catalog MakeTpchLite(const DatasetOptions& options) {
+  Rng rng(options.seed + 2);
+  Catalog catalog;
+
+  const int64_t num_customers = Scaled(5000, options.scale);
+  const int64_t num_orders = Scaled(30000, options.scale);
+  const int64_t num_parts = 2000;
+
+  // --- customer: independent, uniform-ish attributes ---
+  {
+    TableBuilder builder("customer");
+    builder.AddInt64Column("id");
+    builder.AddCategoricalColumn("nation", MakeDictionary("nation", 25));
+    builder.AddCategoricalColumn("segment", MakeDictionary("seg", 5));
+    builder.AddInt64Column("acctbal");
+    for (int64_t c = 0; c < num_customers; ++c) {
+      builder.AppendRow({c, rng.UniformInt(0, 24), rng.UniformInt(0, 4),
+                         rng.UniformInt(-999, 9999)});
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  // --- orders ---
+  std::vector<int64_t> order_year(num_orders);
+  {
+    TableBuilder builder("orders");
+    builder.AddInt64Column("id");
+    builder.AddInt64Column("cust_id");
+    builder.AddCategoricalColumn("status", MakeDictionary("st", 3));
+    builder.AddInt64Column("order_year");
+    builder.AddCategoricalColumn("priority", MakeDictionary("prio", 5));
+    for (int64_t o = 0; o < num_orders; ++o) {
+      int64_t year = rng.UniformInt(1992, 1998);
+      order_year[static_cast<size_t>(o)] = year;
+      builder.AppendRow({o, rng.UniformInt(0, num_customers - 1),
+                         rng.UniformInt(0, 2), year, rng.UniformInt(0, 4)});
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  // --- lineitem ---
+  {
+    TableBuilder builder("lineitem");
+    builder.AddInt64Column("order_id");
+    builder.AddInt64Column("part_id");
+    builder.AddInt64Column("quantity");
+    builder.AddInt64Column("discount_pct");
+    builder.AddInt64Column("ship_year");
+    for (int64_t o = 0; o < num_orders; ++o) {
+      int64_t fanout = rng.UniformInt(1, 4);
+      for (int64_t f = 0; f < fanout; ++f) {
+        builder.AppendRow({o, rng.UniformInt(0, num_parts - 1),
+                           rng.UniformInt(1, 50), rng.UniformInt(0, 10),
+                           order_year[static_cast<size_t>(o)] +
+                               rng.UniformInt(0, 1)});
+      }
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  }
+
+  LQO_CHECK(catalog
+                .AddJoinEdge({.left_table = "customer",
+                              .left_column = "id",
+                              .right_table = "orders",
+                              .right_column = "cust_id"})
+                .ok());
+  LQO_CHECK(catalog
+                .AddJoinEdge({.left_table = "orders",
+                              .left_column = "id",
+                              .right_table = "lineitem",
+                              .right_column = "order_id"})
+                .ok());
+  return catalog;
+}
+
+Catalog MakeChainSchema(int num_tables, int64_t rows_per_table,
+                        uint64_t seed) {
+  LQO_CHECK_GE(num_tables, 1);
+  LQO_CHECK_GT(rows_per_table, 0);
+  Rng rng(seed);
+  Catalog catalog;
+  ZipfDistribution fk_dist(rows_per_table, 0.8);
+  ZipfDistribution val_dist(100, 1.2);
+  for (int t = 0; t < num_tables; ++t) {
+    TableBuilder builder("t" + std::to_string(t));
+    builder.AddInt64Column("id");
+    if (t > 0) builder.AddInt64Column("prev_id");
+    builder.AddInt64Column("val");
+    for (int64_t r = 0; r < rows_per_table; ++r) {
+      if (t > 0) {
+        builder.AppendRow({r, fk_dist.Sample(rng), val_dist.Sample(rng)});
+      } else {
+        builder.AppendRow({r, val_dist.Sample(rng)});
+      }
+    }
+    LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+    if (t > 0) {
+      LQO_CHECK(catalog
+                    .AddJoinEdge({.left_table = "t" + std::to_string(t - 1),
+                                  .left_column = "id",
+                                  .right_table = "t" + std::to_string(t),
+                                  .right_column = "prev_id"})
+                    .ok());
+    }
+  }
+  return catalog;
+}
+
+StatusOr<Catalog> MakeDataset(const std::string& name,
+                              const DatasetOptions& options) {
+  if (name == "imdb_lite") return MakeImdbLite(options);
+  if (name == "stats_lite") return MakeStatsLite(options);
+  if (name == "tpch_lite") return MakeTpchLite(options);
+  return Status::InvalidArgument("unknown dataset '" + name + "'");
+}
+
+std::vector<std::string> DatasetNames() {
+  return {"imdb_lite", "stats_lite", "tpch_lite"};
+}
+
+}  // namespace lqo

@@ -1,0 +1,54 @@
+#ifndef LQO_STORAGE_DATASETS_H_
+#define LQO_STORAGE_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace lqo {
+
+/// Options for the synthetic dataset generators.
+struct DatasetOptions {
+  /// Deterministic seed; the same (name, seed, scale) always yields the same
+  /// bytes.
+  uint64_t seed = 42;
+  /// Multiplies all table row counts (1.0 = default laboratory scale).
+  double scale = 1.0;
+};
+
+/// IMDB-like snowflake with *strong* skew and cross-table correlation, the
+/// regime where the paper reports traditional estimators break down (the
+/// JOB/CEB role). Fact table `title`; satellites movie_companies,
+/// movie_keyword, cast_info, movie_info.
+Catalog MakeImdbLite(const DatasetOptions& options);
+
+/// Stack-exchange-like schema with correlated user/post activity, standing
+/// in for the STATS benchmark of Han et al. [12]. Tables users, posts,
+/// comments, badges, votes.
+Catalog MakeStatsLite(const DatasetOptions& options);
+
+/// TPC-H-like schema with mostly-uniform, independent attributes — the
+/// "oversimplified synthetic benchmark" regime the paper contrasts with
+/// real-world data. Tables customer, orders, lineitem.
+Catalog MakeTpchLite(const DatasetOptions& options);
+
+/// Chain schema t0 - t1 - ... - t(n-1) joined on FK edges, used by the
+/// join-order scaling experiments (plans over up to ~14 tables, beyond the
+/// 3-5 tables of the benchmark schemas). Each table has a skewed payload
+/// column `val` for predicates.
+Catalog MakeChainSchema(int num_tables, int64_t rows_per_table,
+                        uint64_t seed = 52);
+
+/// Dispatches by name: "imdb_lite", "stats_lite", or "tpch_lite".
+StatusOr<Catalog> MakeDataset(const std::string& name,
+                              const DatasetOptions& options);
+
+/// Names accepted by MakeDataset.
+std::vector<std::string> DatasetNames();
+
+}  // namespace lqo
+
+#endif  // LQO_STORAGE_DATASETS_H_

@@ -1,0 +1,122 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+std::string Column::ValueToString(size_t row) const {
+  LQO_CHECK_LT(row, data.size());
+  int64_t v = data[row];
+  if (type == ColumnType::kCategorical) {
+    LQO_CHECK_GE(v, 0);
+    LQO_CHECK_LT(static_cast<size_t>(v), dictionary.size());
+    return dictionary[static_cast<size_t>(v)];
+  }
+  return std::to_string(v);
+}
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  num_rows_ = columns_.empty() ? 0 : columns_[0].data.size();
+  for (const Column& col : columns_) {
+    LQO_CHECK_EQ(col.data.size(), num_rows_)
+        << "ragged column " << col.name << " in table " << name_;
+  }
+}
+
+const Column& Table::column(size_t index) const {
+  LQO_CHECK_LT(index, columns_.size());
+  return columns_[index];
+}
+
+StatusOr<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column '" + name + "' in table '" + name_ + "'");
+}
+
+bool Table::HasColumn(const std::string& name) const {
+  return ColumnIndex(name).ok();
+}
+
+int64_t Table::ValueAt(size_t row, size_t col) const {
+  LQO_CHECK_LT(col, columns_.size());
+  LQO_CHECK_LT(row, num_rows_);
+  return columns_[col].data[row];
+}
+
+std::string Table::SchemaString() const {
+  std::ostringstream out;
+  out << name_ << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << columns_[i].name;
+  }
+  out << ") rows=" << num_rows_;
+  return out.str();
+}
+
+TableBuilder::TableBuilder(std::string table_name)
+    : table_name_(std::move(table_name)) {}
+
+size_t TableBuilder::AddInt64Column(const std::string& name) {
+  LQO_CHECK_EQ(num_rows_, 0u) << "add columns before appending rows";
+  Column col;
+  col.name = name;
+  col.type = ColumnType::kInt64;
+  columns_.push_back(std::move(col));
+  return columns_.size() - 1;
+}
+
+size_t TableBuilder::AddCategoricalColumn(const std::string& name,
+                                          std::vector<std::string> dictionary) {
+  LQO_CHECK_EQ(num_rows_, 0u) << "add columns before appending rows";
+  LQO_CHECK(std::is_sorted(dictionary.begin(), dictionary.end()))
+      << "dictionary for " << name << " must be sorted so code order matches "
+      << "string order";
+  Column col;
+  col.name = name;
+  col.type = ColumnType::kCategorical;
+  col.dictionary = std::move(dictionary);
+  columns_.push_back(std::move(col));
+  return columns_.size() - 1;
+}
+
+void TableBuilder::AppendRow(const std::vector<int64_t>& values) {
+  LQO_CHECK_EQ(values.size(), columns_.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (columns_[i].type == ColumnType::kCategorical) {
+      LQO_CHECK_GE(values[i], 0);
+      LQO_CHECK_LT(static_cast<size_t>(values[i]), columns_[i].dictionary.size())
+          << "categorical code out of range for " << columns_[i].name;
+    }
+    columns_[i].data.push_back(values[i]);
+  }
+  ++num_rows_;
+}
+
+Table TableBuilder::Build() {
+  LQO_CHECK(!built_) << "TableBuilder::Build called twice";
+  built_ = true;
+  for (Column& col : columns_) {
+    if (col.data.empty()) {
+      col.min_value = 0;
+      col.max_value = 0;
+      col.num_distinct = 0;
+      continue;
+    }
+    auto [min_it, max_it] = std::minmax_element(col.data.begin(), col.data.end());
+    col.min_value = *min_it;
+    col.max_value = *max_it;
+    std::unordered_set<int64_t> distinct(col.data.begin(), col.data.end());
+    col.num_distinct = static_cast<int64_t>(distinct.size());
+  }
+  return Table(std::move(table_name_), std::move(columns_));
+}
+
+}  // namespace lqo

@@ -1,0 +1,75 @@
+#ifndef LQO_STORAGE_TABLE_H_
+#define LQO_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace lqo {
+
+/// An immutable in-memory columnar table.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t index) const;
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or kNotFound error.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// True if a column named `name` exists.
+  bool HasColumn(const std::string& name) const;
+
+  /// Value at (row, column index).
+  int64_t ValueAt(size_t row, size_t col) const;
+
+  /// One-line schema summary for logs.
+  std::string SchemaString() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// Incrementally builds a Table row by row and computes derived per-column
+/// statistics (min / max / distinct count) on Build().
+class TableBuilder {
+ public:
+  explicit TableBuilder(std::string table_name);
+
+  /// Declares an int64 column; returns its index.
+  size_t AddInt64Column(const std::string& name);
+
+  /// Declares a categorical column with the given dictionary (codes are
+  /// positions in `dictionary`); returns its index.
+  size_t AddCategoricalColumn(const std::string& name,
+                              std::vector<std::string> dictionary);
+
+  /// Appends one row; `values` arity must match the declared columns.
+  void AppendRow(const std::vector<int64_t>& values);
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Finalizes the table. The builder must not be reused afterwards.
+  Table Build();
+
+ private:
+  std::string table_name_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_STORAGE_TABLE_H_

@@ -1,0 +1,94 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/e2e_harness.h"
+#include "benchlib/lab.h"
+
+namespace lqo {
+namespace {
+
+/// Deterministic stub optimizer for harness bookkeeping tests: always the
+/// native plan, counts calls.
+class StubOptimizer : public LearnedQueryOptimizer {
+ public:
+  explicit StubOptimizer(const E2eContext& context) : context_(context) {}
+
+  PhysicalPlan ChoosePlan(const Query& query) override {
+    ++choose_calls;
+    return NativePlan(context_, query);
+  }
+  void Observe(const Query&, const PhysicalPlan&, double) override {
+    ++observe_calls;
+  }
+  void Retrain() override { ++retrain_calls; }
+  std::string Name() const override { return "stub"; }
+  bool trained() const override { return retrain_calls > 0; }
+
+  int choose_calls = 0;
+  int observe_calls = 0;
+  int retrain_calls = 0;
+
+ private:
+  E2eContext context_;
+};
+
+class BenchlibTest : public ::testing::Test {
+ protected:
+  BenchlibTest() {
+    lab_ = MakeLab("tpch_lite", 0.05);
+    WorkloadOptions wopts;
+    wopts.num_queries = 10;
+    wopts.min_tables = 2;
+    wopts.max_tables = 3;
+    wopts.seed = 1401;
+    workload_ = GenerateWorkload(lab_->catalog, wopts);
+  }
+
+  std::unique_ptr<Lab> lab_;
+  Workload workload_;
+};
+
+TEST_F(BenchlibTest, MakeLabBundlesAConsistentStack) {
+  EXPECT_TRUE(lab_->stats.built());
+  EXPECT_EQ(lab_->Context().catalog, &lab_->catalog);
+  EXPECT_EQ(lab_->Context().estimator, lab_->estimator.get());
+  // The bundle plans and executes out of the box.
+  CardinalityProvider cards(lab_->estimator.get());
+  PhysicalPlan plan = lab_->optimizer->Optimize(workload_.queries[0], &cards)
+                          .plan;
+  EXPECT_TRUE(lab_->executor->Execute(plan).ok());
+  EXPECT_DEATH(MakeLab("no_such_dataset", 0.1), "unknown dataset");
+}
+
+TEST_F(BenchlibTest, TrainHarnessDrivesObserveAndRetrain) {
+  StubOptimizer stub(lab_->Context());
+  HarnessOptions options;
+  options.retrain_every = 4;
+  options.training_passes = 2;
+  double cost = TrainLearnedOptimizer(&stub, workload_, *lab_->executor,
+                                      options);
+  EXPECT_GT(cost, 0.0);
+  // One candidate per query per pass.
+  EXPECT_EQ(stub.observe_calls, 20);
+  // ceil(20 / 4) periodic retrains + the final one.
+  EXPECT_EQ(stub.retrain_calls, 6);
+}
+
+TEST_F(BenchlibTest, EvaluationBookkeepingConsistent) {
+  StubOptimizer stub(lab_->Context());
+  E2eEvalResult result = EvaluateLearnedOptimizer(&stub, lab_->Context(),
+                                                  workload_, *lab_->executor);
+  EXPECT_EQ(result.name, "stub");
+  EXPECT_EQ(result.native_times.size(), workload_.queries.size());
+  EXPECT_EQ(result.learned_times.size(), workload_.queries.size());
+  // The stub IS the native optimizer: perfect parity.
+  EXPECT_DOUBLE_EQ(result.total_learned, result.total_native);
+  EXPECT_DOUBLE_EQ(result.Speedup(), 1.0);
+  EXPECT_EQ(result.wins, 0);
+  EXPECT_EQ(result.losses, 0);
+  EXPECT_DOUBLE_EQ(result.worst_regression_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace lqo

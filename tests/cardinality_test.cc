@@ -1,0 +1,414 @@
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cardinality/ar_model.h"
+#include "cardinality/bayes_net_model.h"
+#include "cardinality/data_driven.h"
+#include "cardinality/discretize.h"
+#include "cardinality/evaluation.h"
+#include "cardinality/featurizer.h"
+#include "cardinality/hybrid.h"
+#include "cardinality/kde_model.h"
+#include "cardinality/query_driven.h"
+#include "cardinality/registry.h"
+#include "cardinality/sample_model.h"
+#include "cardinality/sketch_model.h"
+#include "cardinality/spn_model.h"
+#include "cardinality/traditional.h"
+#include "cardinality/training_data.h"
+#include "common/stats_util.h"
+#include "engine/true_cardinality.h"
+#include "storage/datasets.h"
+
+namespace lqo {
+namespace {
+
+TEST(ColumnBinningTest, SmallDomainOneBinPerValue) {
+  std::vector<int64_t> values = {3, 1, 2, 1, 3, 3};
+  ColumnBinning binning = ColumnBinning::BuildEquiDepth(values, 10);
+  EXPECT_EQ(binning.num_bins(), 3);
+  EXPECT_EQ(binning.BinOf(1), 0);
+  EXPECT_EQ(binning.BinOf(2), 1);
+  EXPECT_EQ(binning.BinOf(3), 2);
+  EXPECT_DOUBLE_EQ(binning.OverlapFraction(0, 1, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binning.OverlapFraction(0, 2, 5), 0.0);
+}
+
+TEST(ColumnBinningTest, LargeDomainEquiDepth) {
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 10000; ++v) values.push_back(v);
+  ColumnBinning binning = ColumnBinning::BuildEquiDepth(values, 16);
+  EXPECT_LE(binning.num_bins(), 16);
+  EXPECT_GE(binning.num_bins(), 8);
+  // Bins tile the domain contiguously.
+  EXPECT_EQ(binning.BinLow(0), 0);
+  EXPECT_EQ(binning.BinHigh(binning.num_bins() - 1), 9999);
+  for (int b = 1; b < binning.num_bins(); ++b) {
+    EXPECT_EQ(binning.BinLow(b), binning.BinHigh(b - 1) + 1);
+  }
+  // BinOf is consistent with ranges.
+  for (int64_t v : {0L, 777L, 5000L, 9999L}) {
+    int b = binning.BinOf(v);
+    EXPECT_GE(v, binning.BinLow(b));
+    EXPECT_LE(v, binning.BinHigh(b));
+  }
+}
+
+TEST(KeyBucketsTest, CoversDomain) {
+  KeyBuckets buckets(0, 999, 10);
+  EXPECT_EQ(buckets.num_buckets(), 10);
+  EXPECT_EQ(buckets.BucketOf(0), 0);
+  EXPECT_EQ(buckets.BucketOf(999), 9);
+  EXPECT_EQ(buckets.BucketOf(-5), 0);
+  EXPECT_EQ(buckets.BucketOf(5000), 9);
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_EQ(buckets.BucketOf(buckets.BucketLow(b)), b);
+    EXPECT_EQ(buckets.BucketOf(buckets.BucketHigh(b)), b);
+  }
+  EXPECT_EQ(buckets.BucketLow(0), 0);
+  EXPECT_EQ(buckets.BucketHigh(9), 999);
+}
+
+class CardinalityTest : public ::testing::Test {
+ protected:
+  CardinalityTest() {
+    DatasetOptions options;
+    options.scale = 0.08;
+    catalog_ = MakeStatsLite(options);
+    stats_.Build(catalog_);
+    truth_ = std::make_unique<TrueCardinalityService>(&catalog_);
+
+    WorkloadOptions wopts;
+    wopts.num_queries = 60;
+    wopts.min_tables = 1;
+    wopts.max_tables = 3;
+    wopts.seed = 501;
+    train_workload_ = GenerateWorkload(catalog_, wopts);
+    wopts.seed = 502;
+    wopts.num_queries = 25;
+    test_workload_ = GenerateWorkload(catalog_, wopts);
+
+    training_data_ =
+        BuildCeTrainingData(catalog_, stats_, train_workload_, truth_.get());
+    test_data_ =
+        BuildCeTrainingData(catalog_, stats_, test_workload_, truth_.get());
+  }
+
+  const Table& TableOf(const std::string& name) {
+    return **catalog_.GetTable(name);
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+  std::unique_ptr<TrueCardinalityService> truth_;
+  Workload train_workload_, test_workload_;
+  CeTrainingData training_data_, test_data_;
+};
+
+TEST_F(CardinalityTest, ConnectedSubsetsEnumeration) {
+  Query q;
+  q.AddTable("users");
+  q.AddTable("posts");
+  q.AddTable("comments");
+  q.AddJoin(0, "id", 1, "owner_user_id");
+  q.AddJoin(1, "id", 2, "post_id");
+  std::vector<TableSet> subsets = ConnectedSubsets(q);
+  // Chain of 3: {0},{1},{2},{01},{12},{012} = 6 connected subsets.
+  EXPECT_EQ(subsets.size(), 6u);
+  for (TableSet s : subsets) EXPECT_TRUE(q.IsConnected(s));
+}
+
+TEST_F(CardinalityTest, TrainingDataLabelsAreExact) {
+  ASSERT_FALSE(training_data_.labeled.empty());
+  for (size_t i = 0; i < 10; ++i) {
+    const LabeledSubquery& labeled = training_data_.labeled[i];
+    EXPECT_EQ(labeled.cardinality,
+              static_cast<double>(truth_->Cardinality(labeled.AsSubquery())));
+  }
+}
+
+TEST_F(CardinalityTest, FeaturizerFixedDimAndDeterministic) {
+  QueryFeaturizer featurizer(&catalog_, &stats_);
+  EXPECT_GT(featurizer.dim(), 10u);
+  for (const LabeledSubquery& labeled : training_data_.labeled) {
+    std::vector<double> f1 = featurizer.Featurize(labeled.AsSubquery());
+    std::vector<double> f2 = featurizer.Featurize(labeled.AsSubquery());
+    ASSERT_EQ(f1.size(), featurizer.dim());
+    EXPECT_EQ(f1, f2);
+  }
+}
+
+TEST_F(CardinalityTest, FeaturizerDistinguishesPredicates) {
+  QueryFeaturizer featurizer(&catalog_, &stats_);
+  Query a, b;
+  a.AddTable("users");
+  a.AddPredicate(Predicate::Range(0, "reputation", 0, 100));
+  b.AddTable("users");
+  b.AddPredicate(Predicate::Range(0, "reputation", 0, 5000));
+  EXPECT_NE(featurizer.Featurize(Subquery{&a, 1}),
+            featurizer.Featurize(Subquery{&b, 1}));
+}
+
+// ---- Per-table models ------------------------------------------------------
+
+class TableModelTest : public CardinalityTest,
+                       public ::testing::WithParamInterface<std::string> {
+ protected:
+  std::unique_ptr<SingleTableDistribution> MakeModel(
+      const std::string& table) {
+    const Table* t = &TableOf(table);
+    const std::string& kind = GetParam();
+    if (kind == "sample") {
+      return std::make_unique<SampleTableModel>(
+          t, stats_.Of(table).sample_rows);
+    }
+    if (kind == "kde") {
+      return std::make_unique<KdeTableModel>(t,
+                                             stats_.Of(table).sample_rows);
+    }
+    if (kind == "bayesnet") return std::make_unique<BayesNetTableModel>(t);
+    if (kind == "spn") return std::make_unique<SpnTableModel>(t);
+    if (kind == "ar") return std::make_unique<ArTableModel>(t);
+    if (kind == "sketch") return std::make_unique<SketchTableModel>(t);
+    LQO_LOG(Fatal) << "unknown model " << kind;
+    return nullptr;
+  }
+};
+
+TEST_P(TableModelTest, SelectivityMatchesTruthOnCorrelatedPredicates) {
+  // users.reputation and users.up_votes are strongly correlated; the
+  // histogram+independence baseline misestimates conjunctions, data-driven
+  // per-table models should stay within a modest q-error.
+  auto model = MakeModel("users");
+  Query q;
+  q.AddTable("users");
+  q.AddPredicate(Predicate::Range(0, "reputation", 5000, 12000));
+  q.AddPredicate(Predicate::Range(0, "up_votes", 500, 1300));
+
+  double truth_rows = static_cast<double>(truth_->Cardinality(q));
+  double est_rows = model->Selectivity(q, 0) *
+                    static_cast<double>(TableOf("users").num_rows());
+  double q_err = QError(est_rows, truth_rows);
+  EXPECT_LT(q_err, 4.0) << GetParam() << ": est=" << est_rows
+                        << " truth=" << truth_rows;
+}
+
+TEST_P(TableModelTest, SelectivityBounds) {
+  auto model = MakeModel("posts");
+  Query q;
+  q.AddTable("posts");
+  q.AddPredicate(Predicate::Range(0, "score", -100000, 100000));
+  double sel = model->Selectivity(q, 0);
+  EXPECT_GE(sel, 0.9);  // everything passes.
+  EXPECT_LE(sel, 1.0 + 1e-9);
+
+  Query empty_q;
+  empty_q.AddTable("posts");
+  empty_q.AddPredicate(Predicate::Equals(0, "score", -999999));
+  EXPECT_LT(model->Selectivity(empty_q, 0), 0.05);
+}
+
+TEST_P(TableModelTest, FilteredKeyHistogramMassConsistent) {
+  auto model = MakeModel("posts");
+  Query q;
+  q.AddTable("posts");
+  q.AddPredicate(Predicate::Range(0, "score", 2, 50));
+  const ColumnStats& key_stats = stats_.Of("posts").ColumnStatsOf("id");
+  KeyBuckets buckets(key_stats.min_value, key_stats.max_value, 32);
+  std::vector<double> masses =
+      model->FilteredKeyHistogram(q, 0, "id", buckets);
+  ASSERT_EQ(masses.size(), 32u);
+  double total = 0.0;
+  for (double m : masses) {
+    EXPECT_GE(m, 0.0);
+    total += m;
+  }
+  double expected = model->Selectivity(q, 0) *
+                    static_cast<double>(TableOf("posts").num_rows());
+  EXPECT_GT(total, expected * 0.5);
+  EXPECT_LT(total, expected * 2.0 + 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTableModels, TableModelTest,
+                         ::testing::Values("sample", "kde", "bayesnet", "spn",
+                                           "ar", "sketch"));
+
+TEST_F(CardinalityTest, IamGmmBinningShrinksWideDomains) {
+  // users.up_votes is wide; the IAM variant discretizes it with far fewer
+  // bins than the equi-depth default while staying usable.
+  ArTableModel equi(&TableOf("users"), 40, 200, 601, /*gmm_binning=*/false);
+  ArTableModel iam(&TableOf("users"), 40, 200, 601, /*gmm_binning=*/true);
+  EXPECT_LT(iam.NumBinsOf("up_votes"), equi.NumBinsOf("up_votes"));
+
+  Query q;
+  q.AddTable("users");
+  q.AddPredicate(Predicate::Range(0, "reputation", 5000, 12000));
+  double truth_rows = static_cast<double>(truth_->Cardinality(q));
+  double est = iam.Selectivity(q, 0) *
+               static_cast<double>(TableOf("users").num_rows());
+  EXPECT_LT(QError(est, truth_rows), 4.0);
+}
+
+TEST_F(CardinalityTest, SketchModelPairsCorrelatedColumns) {
+  // users.reputation and users.up_votes are constructed to co-vary; the
+  // Iris-style budget allocation must pair them.
+  SketchTableModel sketch(&TableOf("users"));
+  EXPECT_GE(sketch.num_pairs(), 1u);
+  EXPECT_EQ(sketch.Kind(), "sketch");
+}
+
+// ---- Full estimators -------------------------------------------------------
+
+TEST_F(CardinalityTest, HistogramEstimatorMatchesBaselineName) {
+  HistogramEstimator histogram(&catalog_, &stats_);
+  EXPECT_EQ(histogram.Name(), "histogram");
+  Query q;
+  q.AddTable("users");
+  double est = histogram.EstimateSubquery(Subquery{&q, 1});
+  EXPECT_NEAR(est, static_cast<double>(TableOf("users").num_rows()),
+              static_cast<double>(TableOf("users").num_rows()) * 0.01);
+}
+
+TEST_F(CardinalityTest, SamplingEstimatorAccurateOnSingleTable) {
+  SamplingEstimator sampling(&catalog_, 0.1);
+  std::vector<LabeledSubquery> single, multi;
+  SplitBySize(test_data_.labeled, &single, &multi);
+  ASSERT_FALSE(single.empty());
+  QErrorSummary summary = EvaluateEstimator(&sampling, single);
+  EXPECT_LT(summary.p50, 2.0);
+}
+
+TEST_F(CardinalityTest, QueryDrivenModelsFitTrainingWorkload) {
+  for (auto type : {QueryDrivenEstimator::ModelType::kLinear,
+                    QueryDrivenEstimator::ModelType::kGbdt}) {
+    QueryDrivenEstimator estimator(type, &catalog_, &stats_);
+    estimator.Train(training_data_);
+    QErrorSummary summary =
+        EvaluateEstimator(&estimator, training_data_.labeled);
+    EXPECT_LT(summary.p50, 6.0) << estimator.Name();
+  }
+}
+
+TEST_F(CardinalityTest, GbdtGeneralizesToTestWorkload) {
+  QueryDrivenEstimator estimator(QueryDrivenEstimator::ModelType::kGbdt,
+                                 &catalog_, &stats_);
+  estimator.Train(training_data_);
+  QErrorSummary summary = EvaluateEstimator(&estimator, test_data_.labeled);
+  EXPECT_LT(summary.p50, 12.0);
+}
+
+TEST_F(CardinalityTest, QuickSelLearnsSingleTableSelectivities) {
+  QuickSelEstimator quicksel(&catalog_, &stats_);
+  quicksel.Train(training_data_);
+  std::vector<LabeledSubquery> single, multi;
+  SplitBySize(test_data_.labeled, &single, &multi);
+  ASSERT_FALSE(single.empty());
+  QErrorSummary summary = EvaluateEstimator(&quicksel, single);
+  EXPECT_LT(summary.p50, 4.0);
+}
+
+TEST_F(CardinalityTest, DataDrivenEstimatorsReasonableOnJoins) {
+  std::vector<LabeledSubquery> single, multi;
+  SplitBySize(test_data_.labeled, &single, &multi);
+  ASSERT_FALSE(multi.empty());
+
+  for (auto [kind, mode] :
+       {std::pair{TableModelKind::kSpn, JoinCombineMode::kIndependence},
+        std::pair{TableModelKind::kBayesNet, JoinCombineMode::kKeyBuckets},
+        std::pair{TableModelKind::kSample, JoinCombineMode::kKeyBuckets}}) {
+    DataDrivenEstimator estimator("dd_test", &catalog_, &stats_, mode);
+    estimator.SetUniformModelKind(kind);
+    estimator.Build();
+    QErrorSummary summary = EvaluateEstimator(&estimator, multi);
+    EXPECT_LT(summary.p50, 25.0) << TableModelKindName(kind);
+    EXPECT_GE(summary.p50, 1.0);
+  }
+}
+
+TEST_F(CardinalityTest, KeyBucketCombineBeatsIndependenceOnSkewedJoin) {
+  // posts.owner_user_id is Zipf-skewed toward high-reputation users; with a
+  // predicate on users.reputation the key-bucket combine should capture the
+  // correlation that the independence combine misses.
+  Query q;
+  q.AddTable("users");
+  q.AddTable("posts");
+  q.AddJoin(0, "id", 1, "owner_user_id");
+  q.AddPredicate(Predicate::Range(0, "reputation", 8000, 1000000));
+  double truth_rows = static_cast<double>(truth_->Cardinality(q));
+
+  DataDrivenEstimator buckets("buckets", &catalog_, &stats_,
+                              JoinCombineMode::kKeyBuckets);
+  buckets.SetUniformModelKind(TableModelKind::kSample);
+  buckets.Build();
+  DataDrivenEstimator indep("indep", &catalog_, &stats_,
+                            JoinCombineMode::kIndependence);
+  indep.SetUniformModelKind(TableModelKind::kSample);
+  indep.Build();
+
+  double q_buckets =
+      QError(buckets.EstimateSubquery(Subquery{&q, 0b11}), truth_rows);
+  double q_indep =
+      QError(indep.EstimateSubquery(Subquery{&q, 0b11}), truth_rows);
+  EXPECT_LT(q_buckets, q_indep * 1.5)
+      << "buckets=" << q_buckets << " indep=" << q_indep;
+}
+
+TEST_F(CardinalityTest, UaeCorrectionImprovesOverDataOnly) {
+  UaeEstimator uae(&catalog_, &stats_);
+  uae.Train(training_data_);
+  // On the training workload the corrected estimates must beat raw data
+  // estimates in aggregate.
+  std::vector<double> corrected, data_only;
+  for (const LabeledSubquery& labeled : training_data_.labeled) {
+    corrected.push_back(QError(uae.EstimateSubquery(labeled.AsSubquery()),
+                               labeled.cardinality));
+    data_only.push_back(QError(uae.DataOnlyEstimate(labeled.AsSubquery()),
+                               labeled.cardinality));
+  }
+  EXPECT_LE(GeometricMean(corrected), GeometricMean(data_only) * 1.05);
+}
+
+TEST_F(CardinalityTest, GlueSelectsPerTableModels) {
+  auto glue = MakeGlueEstimator(&catalog_, &stats_, training_data_);
+  ASSERT_TRUE(glue->built());
+  EXPECT_EQ(glue->Name(), "glue");
+  QErrorSummary summary = EvaluateEstimator(glue.get(), test_data_.labeled);
+  EXPECT_LT(summary.p50, 20.0);
+}
+
+TEST_F(CardinalityTest, RegistryBuildsFullSuiteWithUniqueNames) {
+  EstimatorSuiteOptions options;
+  options.include_mlp = false;  // keep unit test fast; MLP covered elsewhere.
+  std::vector<RegisteredEstimator> suite =
+      MakeEstimatorSuite(catalog_, stats_, training_data_, options);
+  EXPECT_GE(suite.size(), 10u);
+  std::set<std::string> names;
+  std::set<CeCategory> categories;
+  for (const RegisteredEstimator& entry : suite) {
+    EXPECT_TRUE(names.insert(entry.estimator->Name()).second)
+        << "duplicate estimator " << entry.estimator->Name();
+    categories.insert(entry.category);
+    EXPECT_FALSE(entry.represents.empty());
+    // Every estimator answers a simple query.
+    Query q;
+    q.AddTable("users");
+    double est = entry.estimator->EstimateSubquery(Subquery{&q, 1});
+    EXPECT_GT(est, 0.0) << entry.estimator->Name();
+  }
+  // All Table-1 categories except the skipped DNN row are populated.
+  EXPECT_GE(categories.size(), 4u);
+}
+
+TEST_F(CardinalityTest, EvaluationSplitsPartitionLabeledSet) {
+  std::vector<LabeledSubquery> single, multi;
+  SplitBySize(test_data_.labeled, &single, &multi);
+  EXPECT_EQ(single.size() + multi.size(), test_data_.labeled.size());
+  for (const LabeledSubquery& s : single) EXPECT_EQ(PopCount(s.tables), 1);
+  for (const LabeledSubquery& m : multi) EXPECT_GT(PopCount(m.tables), 1);
+}
+
+}  // namespace
+}  // namespace lqo

@@ -1,0 +1,82 @@
+// Failure-injection tests: API contract violations must fail fast and
+// loudly (LQO_CHECK aborts), never corrupt state silently. gtest death
+// tests pin the contracts down.
+
+#include <gtest/gtest.h>
+
+#include "benchlib/lab.h"
+#include "common/logging.h"
+#include "engine/plan.h"
+#include "ml/gbdt.h"
+#include "optimizer/table_stats.h"
+#include "storage/table.h"
+
+namespace lqo {
+namespace {
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH({ LQO_CHECK(false) << "boom"; }, "Check failed");
+  EXPECT_DEATH({ LQO_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+TEST(ContractsDeathTest, TableBuilderArityMismatchAborts) {
+  TableBuilder builder("t");
+  builder.AddInt64Column("a");
+  builder.AddInt64Column("b");
+  EXPECT_DEATH(builder.AppendRow({1}), "Check failed");
+}
+
+TEST(ContractsDeathTest, TableBuilderDoubleBuildAborts) {
+  TableBuilder builder("t");
+  builder.AddInt64Column("a");
+  builder.AppendRow({1});
+  builder.Build();
+  EXPECT_DEATH(builder.Build(), "twice");
+}
+
+TEST(ContractsDeathTest, CategoricalCodeOutOfRangeAborts) {
+  TableBuilder builder("t");
+  builder.AddCategoricalColumn("c", {"x", "y"});
+  EXPECT_DEATH(builder.AppendRow({5}), "out of range");
+}
+
+TEST(ContractsDeathTest, UnsortedDictionaryAborts) {
+  TableBuilder builder("t");
+  EXPECT_DEATH(builder.AddCategoricalColumn("c", {"zz", "aa"}), "sorted");
+}
+
+TEST(ContractsDeathTest, JoinNodeWithOverlappingSidesAborts) {
+  EXPECT_DEATH(MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                            MakeScanNode(0)),
+               "overlap");
+}
+
+TEST(ContractsDeathTest, StatsLookupOfUnknownTableAborts) {
+  StatsCatalog stats;
+  Catalog catalog;
+  TableBuilder builder("known");
+  builder.AddInt64Column("a");
+  builder.AppendRow({1});
+  LQO_CHECK(catalog.AddTable(builder.Build()).ok());
+  stats.Build(catalog);
+  EXPECT_DEATH(stats.Of("unknown"), "no statistics");
+  EXPECT_DEATH(stats.Of("known").ColumnStatsOf("nope"), "no stats");
+}
+
+TEST(ContractsDeathTest, UntrainedModelsAbortOnPredict) {
+  GradientBoostedTrees gbdt;
+  EXPECT_DEATH(gbdt.Predict({1.0}), "Check failed");
+}
+
+TEST(ContractsDeathTest, ConnectedSetRequiredForLeftDeepPlan) {
+  Query q;
+  q.AddTable("a");
+  q.AddTable("b");  // no join edge: disconnected.
+  EXPECT_DEATH(MakeLeftDeepPlan(q, q.AllTables(), JoinAlgorithm::kHashJoin),
+               "connected");
+}
+
+}  // namespace
+}  // namespace lqo

@@ -1,0 +1,205 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/stats_util.h"
+#include "costmodel/learned_cost_model.h"
+#include "costmodel/plan_featurizer.h"
+#include "costmodel/sample_collection.h"
+#include "engine/executor.h"
+#include "engine/true_cardinality.h"
+#include "optimizer/baseline_estimator.h"
+#include "optimizer/optimizer.h"
+#include "query/workload.h"
+#include "storage/datasets.h"
+
+namespace lqo {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest() {
+    DatasetOptions options;
+    options.scale = 0.08;
+    catalog_ = MakeStatsLite(options);
+    stats_.Build(catalog_);
+    estimator_ =
+        std::make_unique<BaselineCardinalityEstimator>(&catalog_, &stats_);
+    cards_ = std::make_unique<CardinalityProvider>(estimator_.get());
+    cost_model_ = std::make_unique<AnalyticalCostModel>(&stats_);
+    optimizer_ = std::make_unique<Optimizer>(&stats_, cost_model_.get());
+    executor_ = std::make_unique<Executor>(&catalog_);
+
+    WorkloadOptions wopts;
+    wopts.num_queries = 30;
+    wopts.min_tables = 2;
+    wopts.max_tables = 4;
+    wopts.seed = 601;
+    workload_ = GenerateWorkload(catalog_, wopts);
+    corpus_ = CollectCostSamples(workload_, *optimizer_, cards_.get(),
+                                 *executor_);
+  }
+
+  std::vector<CostSample> Samples() const {
+    std::vector<CostSample> samples;
+    for (const CollectedPlan& entry : corpus_) samples.push_back(entry.sample);
+    return samples;
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+  std::unique_ptr<BaselineCardinalityEstimator> estimator_;
+  std::unique_ptr<CardinalityProvider> cards_;
+  std::unique_ptr<AnalyticalCostModel> cost_model_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<Executor> executor_;
+  Workload workload_;
+  std::vector<CollectedPlan> corpus_;
+};
+
+TEST_F(CostModelTest, CorpusIsDiverseAndConsistent) {
+  EXPECT_GT(corpus_.size(), workload_.queries.size());
+  for (const CollectedPlan& entry : corpus_) {
+    EXPECT_EQ(entry.sample.plan_features.size(), PlanFeaturizer::kDim);
+    EXPECT_GT(entry.sample.time_units, 0.0);
+    EXPECT_EQ(entry.sample.node_features.size(),
+              entry.sample.node_times.size());
+  }
+}
+
+TEST_F(CostModelTest, FeaturizerDistinguishesOperators) {
+  Query& q = workload_.queries[0];
+  CardinalityProvider cards(estimator_.get());
+  HintSet hash_only;
+  hash_only.enable_nested_loop = false;
+  hash_only.enable_merge_join = false;
+  HintSet nlj_only;
+  nlj_only.enable_hash_join = false;
+  nlj_only.enable_merge_join = false;
+  PhysicalPlan hash_plan = optimizer_->Optimize(q, &cards, hash_only).plan;
+  PhysicalPlan nlj_plan = optimizer_->Optimize(q, &cards, nlj_only).plan;
+  EXPECT_NE(PlanFeaturizer::Featurize(hash_plan),
+            PlanFeaturizer::Featurize(nlj_plan));
+}
+
+TEST_F(CostModelTest, NodeFeatureDimensions) {
+  std::vector<double> f = PlanFeaturizer::NodeFeatures(
+      PlanNode::Kind::kJoin, JoinAlgorithm::kHashJoin, 10, 20, 30, 2);
+  EXPECT_EQ(f.size(), PlanFeaturizer::kNodeDim);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+}
+
+// The analytical model misranks plans because it ignores skew/cache/spill;
+// learned models trained on executions should correlate better with truth.
+TEST_F(CostModelTest, LearnedModelsBeatAnalyticalCorrelation) {
+  std::vector<CostSample> samples = Samples();
+  // Split: even index train, odd test (plans of interleaved queries).
+  std::vector<CostSample> train, test;
+  std::vector<const PhysicalPlan*> test_plans;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (i % 2 == 0) {
+      train.push_back(samples[i]);
+    } else {
+      test.push_back(samples[i]);
+      test_plans.push_back(&corpus_[i].plan);
+    }
+  }
+
+  std::vector<double> truth;
+  std::vector<double> analytical_pred;
+  for (size_t i = 0; i < test.size(); ++i) {
+    truth.push_back(std::log(test[i].time_units + 1));
+    PhysicalPlan clone = test_plans[i]->Clone();
+    analytical_pred.push_back(
+        std::log(cost_model_->PlanCost(&clone, cards_.get()) + 1));
+  }
+
+  LearnedPlanCostModel gbdt(LearnedPlanCostModel::ModelType::kGbdt);
+  gbdt.Train(train);
+  std::vector<double> gbdt_pred;
+  for (const PhysicalPlan* plan : test_plans) {
+    gbdt_pred.push_back(std::log(gbdt.PredictTime(*plan) + 1));
+  }
+
+  double spearman_analytical = SpearmanCorrelation(analytical_pred, truth);
+  double spearman_gbdt = SpearmanCorrelation(gbdt_pred, truth);
+  EXPECT_GT(spearman_gbdt, 0.6);
+  EXPECT_GT(spearman_gbdt, spearman_analytical - 0.1)
+      << "learned=" << spearman_gbdt << " analytical=" << spearman_analytical;
+}
+
+TEST_F(CostModelTest, CalibratedModelFitsLatencyScale) {
+  std::vector<CostSample> samples = Samples();
+  CalibratedCostModel calibrated;
+  calibrated.Train(samples);
+  ASSERT_TRUE(calibrated.trained());
+  // Predictions should be on the right order of magnitude.
+  std::vector<double> ratios;
+  for (const CollectedPlan& entry : corpus_) {
+    double predicted = calibrated.PredictTime(entry.plan);
+    if (predicted <= 0) continue;
+    ratios.push_back(predicted / entry.sample.time_units);
+  }
+  ASSERT_FALSE(ratios.empty());
+  double median_ratio = Quantile(ratios, 0.5);
+  EXPECT_GT(median_ratio, 0.2);
+  EXPECT_LT(median_ratio, 5.0);
+}
+
+TEST_F(CostModelTest, ZeroShotModelPredictsAndTransfers) {
+  std::vector<CostSample> samples = Samples();
+  ZeroShotCostModel zero_shot;
+  zero_shot.Train(samples);
+
+  // In-schema sanity: rank correlation with truth.
+  std::vector<double> pred, truth;
+  for (const CollectedPlan& entry : corpus_) {
+    pred.push_back(std::log(zero_shot.PredictTime(entry.plan, stats_) + 1));
+    truth.push_back(std::log(entry.sample.time_units + 1));
+  }
+  EXPECT_GT(SpearmanCorrelation(pred, truth), 0.7);
+
+  // Transfer: evaluate on a *different* schema without retraining.
+  DatasetOptions options;
+  options.scale = 0.05;
+  Catalog other = MakeTpchLite(options);
+  StatsCatalog other_stats;
+  other_stats.Build(other);
+  BaselineCardinalityEstimator other_estimator(&other, &other_stats);
+  CardinalityProvider other_cards(&other_estimator);
+  AnalyticalCostModel other_model(&other_stats);
+  Optimizer other_optimizer(&other_stats, &other_model);
+  Executor other_executor(&other);
+  WorkloadOptions wopts;
+  wopts.num_queries = 10;
+  wopts.min_tables = 2;
+  wopts.max_tables = 3;
+  Workload other_workload = GenerateWorkload(other, wopts);
+  std::vector<CollectedPlan> other_corpus = CollectCostSamples(
+      other_workload, other_optimizer, &other_cards, other_executor);
+  std::vector<double> t_pred, t_truth;
+  for (const CollectedPlan& entry : other_corpus) {
+    t_pred.push_back(
+        std::log(zero_shot.PredictTime(entry.plan, other_stats) + 1));
+    t_truth.push_back(std::log(entry.sample.time_units + 1));
+  }
+  EXPECT_GT(SpearmanCorrelation(t_pred, t_truth), 0.5)
+      << "zero-shot transfer failed";
+}
+
+TEST_F(CostModelTest, MlpCostModelTrains) {
+  std::vector<CostSample> samples = Samples();
+  LearnedPlanCostModel mlp(LearnedPlanCostModel::ModelType::kMlp);
+  mlp.Train(samples);
+  std::vector<double> pred, truth;
+  for (const CollectedPlan& entry : corpus_) {
+    pred.push_back(std::log(mlp.PredictTime(entry.plan) + 1));
+    truth.push_back(std::log(entry.sample.time_units + 1));
+  }
+  EXPECT_GT(SpearmanCorrelation(pred, truth), 0.6);
+}
+
+}  // namespace
+}  // namespace lqo

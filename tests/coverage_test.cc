@@ -1,0 +1,134 @@
+// Edge-path coverage: small behaviors not exercised by the module suites.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/e2e_harness.h"
+#include "benchlib/lab.h"
+#include "common/table_printer.h"
+#include "costmodel/learned_cost_model.h"
+#include "costmodel/plan_featurizer.h"
+#include "e2e/neo.h"
+#include "e2e/value_search.h"
+#include "optimizer/optimizer.h"
+
+namespace lqo {
+namespace {
+
+TEST(HintSetTest, AllDisabledFallsBackToAllAlgorithms) {
+  HintSet hints;
+  hints.enable_hash_join = false;
+  hints.enable_nested_loop = false;
+  hints.enable_merge_join = false;
+  EXPECT_EQ(hints.AllowedAlgorithms().size(), 3u);
+  HintSet one;
+  one.enable_hash_join = false;
+  one.enable_merge_join = false;
+  ASSERT_EQ(one.AllowedAlgorithms().size(), 1u);
+  EXPECT_EQ(one.AllowedAlgorithms()[0], JoinAlgorithm::kNestedLoopJoin);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRenders) {
+  TablePrinter printer({"a"});
+  std::string out = printer.ToString();
+  EXPECT_NE(out.find("| a |"), std::string::npos);
+  EXPECT_EQ(printer.num_rows(), 0u);
+}
+
+class CoverageTest : public ::testing::Test {
+ protected:
+  CoverageTest() : lab_(MakeLab("stats_lite", 0.05)) {}
+  std::unique_ptr<Lab> lab_;
+};
+
+TEST_F(CoverageTest, ProviderOverrideInvalidatesCache) {
+  Query q;
+  q.AddTable("users");
+  Subquery sub{&q, 1};
+  CardinalityProvider provider(lab_->estimator.get());
+  double before = provider.Cardinality(sub);  // caches.
+  provider.InjectOverride(sub.Key(), before * 7);
+  EXPECT_DOUBLE_EQ(provider.Cardinality(sub), before * 7);
+  provider.ClearOverrides();
+  EXPECT_DOUBLE_EQ(provider.Cardinality(sub), before);
+}
+
+TEST_F(CoverageTest, SubqueryKeyEncodesInPredicates) {
+  Query a, b;
+  a.AddTable("users");
+  a.AddPredicate(Predicate::In(0, "reputation", {1, 2, 3}));
+  b.AddTable("users");
+  b.AddPredicate(Predicate::In(0, "reputation", {1, 2, 4}));
+  EXPECT_NE((Subquery{&a, 1}).Key(), (Subquery{&b, 1}).Key());
+}
+
+TEST_F(CoverageTest, LeadingHintRespectsFullOrder) {
+  Query q;
+  q.AddTable("users");
+  q.AddTable("posts");
+  q.AddTable("comments");
+  q.AddJoin(0, "id", 1, "owner_user_id");
+  q.AddJoin(1, "id", 2, "post_id");
+  CardinalityProvider cards(lab_->estimator.get());
+  HintSet hints;
+  hints.leading = {2, 1, 0};  // complete forced order.
+  PlannerResult result = lab_->optimizer->Optimize(q, &cards, hints);
+  // Left-deep spine must be comments, posts, users bottom-up.
+  const PlanNode* node = result.plan.root.get();
+  ASSERT_EQ(node->kind, PlanNode::Kind::kJoin);
+  EXPECT_EQ(node->right->table_index, 0);
+  node = node->left.get();
+  ASSERT_EQ(node->kind, PlanNode::Kind::kJoin);
+  EXPECT_EQ(node->right->table_index, 1);
+  EXPECT_EQ(node->left->table_index, 2);
+}
+
+TEST_F(CoverageTest, NeoSearchSurvivesTinyExpansionBudget) {
+  WorkloadOptions wopts;
+  wopts.num_queries = 10;
+  wopts.min_tables = 3;
+  wopts.max_tables = 4;
+  wopts.seed = 1501;
+  Workload workload = GenerateWorkload(lab_->catalog, wopts);
+
+  NeoOptions options;
+  options.max_expansions = 1;  // forces the greedy-completion fallback.
+  NeoOptimizer neo(lab_->Context(), options);
+  HarnessOptions train_options;
+  train_options.training_passes = 1;
+  TrainLearnedOptimizer(&neo, workload, *lab_->executor, train_options);
+  ASSERT_TRUE(neo.trained());
+  for (const Query& q : workload.queries) {
+    PhysicalPlan plan = neo.ChoosePlan(q);
+    EXPECT_EQ(plan.root->table_set, q.AllTables());
+  }
+}
+
+TEST_F(CoverageTest, FeaturizerDimsStable) {
+  CardinalityProvider cards(lab_->estimator.get());
+  Query q;
+  q.AddTable("users");
+  q.AddTable("posts");
+  q.AddJoin(0, "id", 1, "owner_user_id");
+  PhysicalPlan plan = lab_->optimizer->Optimize(q, &cards).plan;
+  EXPECT_EQ(PlanFeaturizer::Featurize(plan).size(), PlanFeaturizer::kDim);
+  EXPECT_EQ(PlanNodeFeatures(plan, lab_->stats).size(), 3u);
+  for (const auto& f : PlanNodeFeatures(plan, lab_->stats)) {
+    EXPECT_EQ(f.size(), PlanFeaturizer::kNodeDim);
+  }
+}
+
+TEST_F(CoverageTest, GreedySingleTableQuery) {
+  Query q;
+  q.AddTable("users");
+  q.AddPredicate(Predicate::Range(0, "reputation", 0, 100));
+  CardinalityProvider cards(lab_->estimator.get());
+  PlannerResult dp = lab_->optimizer->Optimize(q, &cards);
+  PlannerResult greedy = lab_->optimizer->OptimizeGreedy(q, &cards);
+  EXPECT_EQ(dp.plan.Signature(), greedy.plan.Signature());
+  EXPECT_DOUBLE_EQ(dp.estimated_cost, greedy.estimated_cost);
+}
+
+}  // namespace
+}  // namespace lqo

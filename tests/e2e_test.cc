@@ -1,0 +1,235 @@
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/e2e_harness.h"
+#include "benchlib/lab.h"
+#include "e2e/bao.h"
+#include "e2e/hyperqo.h"
+#include "e2e/leon.h"
+#include "e2e/lero.h"
+#include "e2e/neo.h"
+#include "e2e/risk_models.h"
+#include "e2e/value_search.h"
+
+namespace lqo {
+namespace {
+
+class E2eTest : public ::testing::Test {
+ protected:
+  E2eTest() {
+    lab_ = MakeLab("stats_lite", 0.08);
+    WorkloadOptions wopts;
+    wopts.num_queries = 40;
+    wopts.min_tables = 2;
+    wopts.max_tables = 4;
+    wopts.seed = 801;
+    train_ = GenerateWorkload(lab_->catalog, wopts);
+    wopts.seed = 802;
+    wopts.num_queries = 15;
+    test_ = GenerateWorkload(lab_->catalog, wopts);
+  }
+
+  std::unique_ptr<Lab> lab_;
+  Workload train_, test_;
+};
+
+TEST_F(E2eTest, RiskModelPointwisePicksFaster) {
+  ExperienceBuffer buffer;
+  // Feature[0] linearly determines time.
+  for (int i = 0; i < 50; ++i) {
+    PlanExperience e;
+    e.query_key = "q" + std::to_string(i % 10);
+    e.features = {static_cast<double>(i % 7), 1.0};
+    e.time_units = 100.0 * static_cast<double>(i % 7) + 10.0;
+    e.plan_signature = "p" + std::to_string(i);
+    buffer.Add(e);
+  }
+  PointwiseRiskModel model;
+  model.Train(buffer);
+  ASSERT_TRUE(model.trained());
+  EXPECT_EQ(model.PickBest({{6.0, 1.0}, {0.0, 1.0}, {3.0, 1.0}}), 1u);
+  EXPECT_LT(model.PredictTime({0.0, 1.0}), model.PredictTime({6.0, 1.0}));
+}
+
+TEST_F(E2eTest, RiskModelPairwisePicksWinner) {
+  ExperienceBuffer buffer;
+  for (int q = 0; q < 30; ++q) {
+    for (int p = 0; p < 3; ++p) {
+      PlanExperience e;
+      e.query_key = "q" + std::to_string(q);
+      e.features = {static_cast<double>(p), static_cast<double>(q % 5)};
+      e.time_units = 50.0 + 100.0 * p;
+      e.plan_signature = "p" + std::to_string(p);
+      buffer.Add(e);
+    }
+  }
+  PairwiseRiskModel model;
+  model.Train(buffer);
+  ASSERT_TRUE(model.trained());
+  EXPECT_EQ(model.PickBest({{2.0, 1.0}, {0.0, 1.0}, {1.0, 1.0}}), 1u);
+  // Antisymmetry of the comparator.
+  double p_ab = model.CompareProba({0.0, 1.0}, {2.0, 1.0});
+  double p_ba = model.CompareProba({2.0, 1.0}, {0.0, 1.0});
+  EXPECT_NEAR(p_ab + p_ba, 1.0, 1e-9);
+  EXPECT_GT(p_ab, 0.5);
+}
+
+TEST_F(E2eTest, BaoArmsCoverHintSpaceAndChoosesNativeUntrained) {
+  BaoOptimizer bao(lab_->Context());
+  EXPECT_EQ(bao.arms().size(), 7u);
+  // Untrained with epsilon 0 behaves natively.
+  BaoOptions options;
+  options.initial_epsilon = 0.0;
+  BaoOptimizer greedy_bao(lab_->Context(), options);
+  const Query& q = test_.queries[0];
+  PhysicalPlan plan = greedy_bao.ChoosePlan(q);
+  PhysicalPlan native = NativePlan(lab_->Context(), q);
+  EXPECT_EQ(plan.Signature(), native.Signature());
+}
+
+TEST_F(E2eTest, BaoLearnsAndDiscoverUsefulArmsShrinks) {
+  BaoOptimizer bao(lab_->Context());
+  TrainLearnedOptimizer(&bao, train_, *lab_->executor);
+  EXPECT_TRUE(bao.trained());
+  auto useful = bao.DiscoverUsefulArms();
+  EXPECT_GE(useful.size(), 1u);
+  EXPECT_LE(useful.size(), 7u);
+  // Trained Bao never crashes on unseen queries and returns full plans.
+  for (const Query& q : test_.queries) {
+    PhysicalPlan plan = bao.ChoosePlan(q);
+    EXPECT_EQ(plan.root->table_set, q.AllTables());
+  }
+}
+
+TEST_F(E2eTest, LeroCandidatesComeFromScaledCards) {
+  LeroOptimizer lero(lab_->Context());
+  int multi = 0;
+  for (const Query& q : test_.queries) {
+    auto candidates = lero.Candidates(q);
+    ASSERT_GE(candidates.size(), 1u);
+    std::set<std::string> signatures;
+    for (const PhysicalPlan& plan : candidates) {
+      signatures.insert(plan.Signature());
+      EXPECT_EQ(plan.root->table_set, q.AllTables());
+    }
+    EXPECT_EQ(signatures.size(), candidates.size()) << "dup candidates";
+    if (candidates.size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, 0) << "cardinality scaling never changed any plan";
+}
+
+TEST_F(E2eTest, LeroTrainsPairwiseAndEvaluates) {
+  LeroOptimizer lero(lab_->Context());
+  TrainLearnedOptimizer(&lero, train_, *lab_->executor);
+  EXPECT_TRUE(lero.trained());
+  E2eEvalResult result = EvaluateLearnedOptimizer(&lero, lab_->Context(),
+                                                  test_, *lab_->executor);
+  EXPECT_EQ(result.learned_times.size(), test_.queries.size());
+  EXPECT_GT(result.total_learned, 0.0);
+  // Lero should not catastrophically regress the workload.
+  EXPECT_LT(result.total_learned, result.total_native * 1.5);
+}
+
+TEST_F(E2eTest, NeoBootstrapsFromExpertThenSearches) {
+  NeoOptimizer neo(lab_->Context());
+  const Query& q = test_.queries[0];
+  PhysicalPlan bootstrap = neo.ChoosePlan(q);
+  PhysicalPlan native = NativePlan(lab_->Context(), q);
+  EXPECT_EQ(bootstrap.Signature(), native.Signature());
+
+  TrainLearnedOptimizer(&neo, train_, *lab_->executor);
+  ASSERT_TRUE(neo.trained());
+  for (const Query& query : test_.queries) {
+    PhysicalPlan plan = neo.ChoosePlan(query);
+    EXPECT_EQ(plan.root->table_set, query.AllTables()) << query.ToString();
+    // Neo searches left-deep plans.
+    VisitPlanBottomUp(*plan.root, [](const PlanNode& node) {
+      if (node.kind == PlanNode::Kind::kJoin) {
+        EXPECT_EQ(node.right->kind, PlanNode::Kind::kScan);
+      }
+    });
+  }
+}
+
+TEST_F(E2eTest, BalsaSimulationPhaseTrainsWithoutExecutions) {
+  BalsaOptimizer balsa(lab_->Context(), train_.queries);
+  EXPECT_TRUE(balsa.trained()) << "simulation phase should train the model";
+  EXPECT_EQ(balsa.real_experience_size(), 0u);
+  for (const Query& q : test_.queries) {
+    PhysicalPlan plan = balsa.ChoosePlan(q);
+    EXPECT_EQ(plan.root->table_set, q.AllTables());
+  }
+}
+
+TEST_F(E2eTest, HyperQoFiltersAndFallsBack) {
+  HyperQoOptimizer hyperqo(lab_->Context());
+  // Untrained: native plan.
+  const Query& q = test_.queries[0];
+  EXPECT_EQ(hyperqo.ChoosePlan(q).Signature(),
+            NativePlan(lab_->Context(), q).Signature());
+
+  TrainLearnedOptimizer(&hyperqo, train_, *lab_->executor);
+  ASSERT_TRUE(hyperqo.trained());
+  double mean, stddev;
+  PhysicalPlan plan = hyperqo.ChoosePlan(q);
+  AnnotateWithBaseline(lab_->Context(), &plan);
+  hyperqo.Predict(PlanFeaturizer::Featurize(plan), &mean, &stddev);
+  EXPECT_GE(stddev, 0.0);
+  EXPECT_GT(mean, 0.0);
+}
+
+TEST_F(E2eTest, LeonUsesDpCandidates) {
+  LeonOptimizer leon(lab_->Context());
+  TrainLearnedOptimizer(&leon, train_, *lab_->executor);
+  EXPECT_TRUE(leon.trained());
+  E2eEvalResult result = EvaluateLearnedOptimizer(&leon, lab_->Context(),
+                                                  test_, *lab_->executor);
+  EXPECT_LT(result.total_learned, result.total_native * 1.5);
+}
+
+TEST_F(E2eTest, ValueSearchProducesValidPlansUnderBothStrategies) {
+  // Train a tiny value model on native executions.
+  NeoOptimizer neo(lab_->Context());
+  TrainLearnedOptimizer(&neo, train_, *lab_->executor);
+
+  ValueSearch search(lab_->Context(), 200, 4);
+  ExperienceBuffer buffer;
+  for (int i = 0; i < 5; ++i) {
+    const Query& q = train_.queries[static_cast<size_t>(i)];
+    PhysicalPlan plan = NativePlan(lab_->Context(), q);
+    auto result = lab_->executor->Execute(plan);
+    ASSERT_TRUE(result.ok());
+    for (PlanExperience& e :
+         search.SubplanExperiences(q, plan, result->time_units)) {
+      buffer.Add(std::move(e));
+    }
+  }
+  PointwiseRiskModel value_model;
+  value_model.Train(buffer);
+  ASSERT_TRUE(value_model.trained());
+
+  for (const Query& q : test_.queries) {
+    PhysicalPlan best_first =
+        search.Search(q, value_model, ValueSearch::Strategy::kBestFirst);
+    PhysicalPlan beam =
+        search.Search(q, value_model, ValueSearch::Strategy::kBeam);
+    EXPECT_EQ(best_first.root->table_set, q.AllTables());
+    EXPECT_EQ(beam.root->table_set, q.AllTables());
+  }
+}
+
+TEST_F(E2eTest, TrainingImprovesOrMatchesNativeInAggregate) {
+  // The headline claim (paper Section 2.2): learned optimizers match or
+  // beat the native optimizer on the training distribution.
+  LeroOptimizer lero(lab_->Context());
+  TrainLearnedOptimizer(&lero, train_, *lab_->executor);
+  E2eEvalResult on_train = EvaluateLearnedOptimizer(&lero, lab_->Context(),
+                                                    train_, *lab_->executor);
+  EXPECT_LE(on_train.total_learned, on_train.total_native * 1.1)
+      << "speedup=" << on_train.Speedup();
+}
+
+}  // namespace
+}  // namespace lqo

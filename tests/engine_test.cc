@@ -1,0 +1,269 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "engine/explain.h"
+#include "engine/true_cardinality.h"
+#include "query/workload.h"
+#include "storage/datasets.h"
+
+namespace lqo {
+namespace {
+
+// Tiny hand-checkable database:
+//   r(k, v):  (1,10) (1,20) (2,30) (3,40)
+//   s(k, w):  (1,100) (2,200) (2,300) (4,400)
+// r join s on k: k=1 -> 2*1, k=2 -> 1*2  => 4 rows.
+Catalog MakeToyCatalog() {
+  Catalog catalog;
+  {
+    TableBuilder b("r");
+    b.AddInt64Column("k");
+    b.AddInt64Column("v");
+    b.AppendRow({1, 10});
+    b.AppendRow({1, 20});
+    b.AppendRow({2, 30});
+    b.AppendRow({3, 40});
+    LQO_CHECK(catalog.AddTable(b.Build()).ok());
+  }
+  {
+    TableBuilder b("s");
+    b.AddInt64Column("k");
+    b.AddInt64Column("w");
+    b.AppendRow({1, 100});
+    b.AppendRow({2, 200});
+    b.AppendRow({2, 300});
+    b.AppendRow({4, 400});
+    LQO_CHECK(catalog.AddTable(b.Build()).ok());
+  }
+  LQO_CHECK(catalog
+                .AddJoinEdge({.left_table = "r",
+                              .left_column = "k",
+                              .right_table = "s",
+                              .right_column = "k"})
+                .ok());
+  return catalog;
+}
+
+Query MakeJoinQuery() {
+  Query q;
+  q.AddTable("r");
+  q.AddTable("s");
+  q.AddJoin(0, "k", 1, "k");
+  return q;
+}
+
+TEST(PlanTest, MakeScanAndJoinNodes) {
+  auto scan0 = MakeScanNode(0);
+  EXPECT_EQ(scan0->kind, PlanNode::Kind::kScan);
+  EXPECT_EQ(scan0->table_set, TableSet{1});
+  auto join = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  EXPECT_EQ(join->table_set, TableSet{0b11});
+  EXPECT_EQ(join->kind, PlanNode::Kind::kJoin);
+}
+
+TEST(PlanTest, CloneIsDeep) {
+  auto join = MakeJoinNode(JoinAlgorithm::kMergeJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  auto copy = join->Clone();
+  EXPECT_EQ(copy->algorithm, JoinAlgorithm::kMergeJoin);
+  EXPECT_NE(copy->left.get(), join->left.get());
+  copy->algorithm = JoinAlgorithm::kHashJoin;
+  EXPECT_EQ(join->algorithm, JoinAlgorithm::kMergeJoin);
+}
+
+TEST(PlanTest, SignatureEncodesShapeAndOperators) {
+  Query q = MakeJoinQuery();
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kNestedLoopJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  EXPECT_EQ(plan.Signature(), "(NL (S t0) (S t1))");
+}
+
+TEST(ExecutorTest, SingleTableScanCounts) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q;
+  q.AddTable("r");
+  q.AddPredicate(Predicate::Range(0, "v", 15, 35));
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeScanNode(0);
+  auto result = executor.Execute(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->row_count, 2u);  // v=20, v=30
+  EXPECT_GT(result->time_units, 0.0);
+  ASSERT_EQ(result->node_profiles.size(), 1u);
+  EXPECT_EQ(result->node_profiles[0].left_rows, 4u);
+  EXPECT_EQ(result->node_profiles[0].output_rows, 2u);
+}
+
+TEST(ExecutorTest, HashJoinCountsMatchHandComputation) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q = MakeJoinQuery();
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  auto result = executor.Execute(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->row_count, 4u);
+}
+
+TEST(ExecutorTest, JoinResultInvariantToAlgorithmAndOrder) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q = MakeJoinQuery();
+  for (JoinAlgorithm algo :
+       {JoinAlgorithm::kHashJoin, JoinAlgorithm::kNestedLoopJoin,
+        JoinAlgorithm::kMergeJoin}) {
+    for (bool swap : {false, true}) {
+      PhysicalPlan plan;
+      plan.query = &q;
+      plan.root = swap ? MakeJoinNode(algo, MakeScanNode(1), MakeScanNode(0))
+                       : MakeJoinNode(algo, MakeScanNode(0), MakeScanNode(1));
+      auto result = executor.Execute(plan);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->row_count, 4u)
+          << JoinAlgorithmName(algo) << " swap=" << swap;
+    }
+  }
+}
+
+TEST(ExecutorTest, PredicatePushdownAffectsJoin) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q = MakeJoinQuery();
+  q.AddPredicate(Predicate::Equals(1, "w", 300));
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  auto result = executor.Execute(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_count, 1u);  // only s(2,300) joins r(2,30).
+}
+
+TEST(ExecutorTest, ChargesDeclaredAlgorithm) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q = MakeJoinQuery();
+
+  auto run = [&](JoinAlgorithm algo) {
+    PhysicalPlan plan;
+    plan.query = &q;
+    plan.root = MakeJoinNode(algo, MakeScanNode(0), MakeScanNode(1));
+    auto result = executor.Execute(plan);
+    LQO_CHECK(result.ok());
+    return result->time_units;
+  };
+  double hash = run(JoinAlgorithm::kHashJoin);
+  double nlj = run(JoinAlgorithm::kNestedLoopJoin);
+  double merge = run(JoinAlgorithm::kMergeJoin);
+  EXPECT_NE(hash, nlj);
+  EXPECT_NE(hash, merge);
+  // On a tiny cached inner, NLJ is the cheapest algorithm — the cliff the
+  // analytical model does not know about.
+  EXPECT_LT(nlj, hash);
+}
+
+TEST(ExecutorTest, RejectsCrossProduct) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q;
+  q.AddTable("r");
+  q.AddTable("s");  // no join edge
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  auto result = executor.Execute(plan);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ExecutorTest, RejectsEmptyPlan) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  PhysicalPlan plan;
+  EXPECT_FALSE(executor.Execute(plan).ok());
+}
+
+TEST(MakeLeftDeepPlanTest, CoversAllTablesConnected) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  Catalog catalog = MakeStatsLite(options);
+  WorkloadOptions wopts;
+  wopts.num_queries = 15;
+  wopts.min_tables = 2;
+  wopts.max_tables = 5;
+  Workload workload = GenerateWorkload(catalog, wopts);
+  Executor executor(&catalog);
+  for (const Query& q : workload.queries) {
+    PhysicalPlan plan =
+        MakeLeftDeepPlan(q, q.AllTables(), JoinAlgorithm::kHashJoin);
+    EXPECT_EQ(plan.root->table_set, q.AllTables());
+    auto result = executor.Execute(plan);
+    ASSERT_TRUE(result.ok()) << q.ToString() << "\n"
+                             << result.status().ToString();
+  }
+}
+
+TEST(TrueCardinalityTest, MatchesDirectExecutionAndCaches) {
+  Catalog catalog = MakeToyCatalog();
+  TrueCardinalityService service(&catalog);
+  Query q = MakeJoinQuery();
+  EXPECT_EQ(service.Cardinality(q), 4u);
+  size_t after_first = service.cache_size();
+  EXPECT_EQ(service.Cardinality(q), 4u);
+  EXPECT_EQ(service.cache_size(), after_first) << "second call should hit cache";
+
+  // Single-table subquery.
+  Subquery sub{&q, TableBit(0)};
+  EXPECT_EQ(service.Cardinality(sub), 4u);
+}
+
+TEST(ExplainAnalyzeTest, RendersEstimatesActualsAndFlagsErrors) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q = MakeJoinQuery();
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  plan.root->estimated_cardinality = 100.0;  // wildly wrong on purpose.
+  plan.root->left->estimated_cardinality = 4.0;
+  plan.root->right->estimated_cardinality = 4.0;
+  auto result = executor.Execute(plan);
+  ASSERT_TRUE(result.ok());
+  std::string text = ExplainAnalyze(plan, *result);
+  EXPECT_NE(text.find("HashJoin"), std::string::npos);
+  EXPECT_NE(text.find("Scan r t0"), std::string::npos);
+  EXPECT_NE(text.find("actual=4"), std::string::npos);
+  EXPECT_NE(text.find("q-error 25"), std::string::npos)
+      << text;  // 100 est vs 4 actual.
+  EXPECT_NE(text.find("Total: 4 rows"), std::string::npos);
+}
+
+TEST(TrueCardinalityTest, SubqueryMonotoneUnderPredicates) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  Catalog catalog = MakeStatsLite(options);
+  TrueCardinalityService service(&catalog);
+
+  Query wide;
+  wide.AddTable("users");
+  wide.AddPredicate(Predicate::Range(0, "reputation", 0, 1000000));
+  Query narrow;
+  narrow.AddTable("users");
+  narrow.AddPredicate(Predicate::Range(0, "reputation", 0, 100));
+  EXPECT_GE(service.Cardinality(wide), service.Cardinality(narrow));
+}
+
+}  // namespace
+}  // namespace lqo

@@ -1,0 +1,366 @@
+// Tests for the survey's extension topics: P-error [12,44], prediction
+// intervals [33,55], Robust-MSCN masking [45], the AutoCE advisor [74] and
+// the concurrent-query cost models [78,20,31].
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/lab.h"
+#include "cardinality/advisor.h"
+#include "cardinality/evaluation.h"
+#include "cardinality/perror.h"
+#include "cardinality/query_driven.h"
+#include "cardinality/registry.h"
+#include "common/stats_util.h"
+#include "costmodel/concurrent.h"
+#include "optimizer/reoptimizer.h"
+#include "costmodel/sample_collection.h"
+
+namespace lqo {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  ExtensionsTest() {
+    lab_ = MakeLab("stats_lite", 0.08);
+    WorkloadOptions wopts;
+    wopts.num_queries = 50;
+    wopts.min_tables = 1;
+    wopts.max_tables = 4;
+    wopts.seed = 1101;
+    train_ = GenerateWorkload(lab_->catalog, wopts);
+    wopts.seed = 1102;
+    wopts.num_queries = 20;
+    wopts.min_tables = 2;
+    test_ = GenerateWorkload(lab_->catalog, wopts);
+    training_ = BuildCeTrainingData(lab_->catalog, lab_->stats, train_,
+                                    lab_->truth.get());
+  }
+
+  std::unique_ptr<Lab> lab_;
+  Workload train_, test_;
+  CeTrainingData training_;
+};
+
+// ---- P-error ---------------------------------------------------------------
+
+TEST_F(ExtensionsTest, PErrorIsOneForOracleLikeEstimates) {
+  PErrorEvaluator evaluator(lab_->optimizer.get(), lab_->cost_model.get(),
+                            lab_->truth.get());
+  // The baseline estimator induces the same plan as itself -> well-defined;
+  // an estimator that IS the oracle must have P-error exactly 1 everywhere.
+  class Oracle : public CardinalityEstimatorInterface {
+   public:
+    explicit Oracle(TrueCardinalityService* truth) : truth_(truth) {}
+    double EstimateSubquery(const Subquery& s) override {
+      return static_cast<double>(truth_->Cardinality(s));
+    }
+    std::string Name() const override { return "oracle"; }
+    TrueCardinalityService* truth_;
+  } oracle(lab_->truth.get());
+
+  for (const Query& q : test_.queries) {
+    EXPECT_DOUBLE_EQ(evaluator.PError(q, &oracle), 1.0) << q.ToString();
+  }
+}
+
+TEST_F(ExtensionsTest, PErrorAtLeastOneAndSensitiveToBadEstimates) {
+  PErrorEvaluator evaluator(lab_->optimizer.get(), lab_->cost_model.get(),
+                            lab_->truth.get());
+
+  std::vector<double> baseline_perrors =
+      evaluator.Evaluate(test_, lab_->estimator.get());
+  for (double p : baseline_perrors) EXPECT_GE(p, 1.0);
+
+  // A deliberately nonsense estimator (everything = 1 row) must have a
+  // strictly worse P-error profile than the baseline.
+  class OneRow : public CardinalityEstimatorInterface {
+   public:
+    double EstimateSubquery(const Subquery&) override { return 1.0; }
+    std::string Name() const override { return "one_row"; }
+  } nonsense;
+  std::vector<double> nonsense_perrors = evaluator.Evaluate(test_, &nonsense);
+  EXPECT_GT(GeometricMean(nonsense_perrors),
+            GeometricMean(baseline_perrors) * 0.999);
+  EXPECT_GT(*std::max_element(nonsense_perrors.begin(),
+                              nonsense_perrors.end()),
+            1.5);
+}
+
+// ---- Prediction intervals --------------------------------------------------
+
+TEST_F(ExtensionsTest, ForestEstimatorIntervalsCoverTruth) {
+  QueryDrivenEstimator forest(QueryDrivenEstimator::ModelType::kForest,
+                              &lab_->catalog, &lab_->stats);
+  forest.Train(training_);
+  EXPECT_EQ(forest.Name(), "forest_qd");
+
+  CeTrainingData evaluation = BuildCeTrainingData(
+      lab_->catalog, lab_->stats, test_, lab_->truth.get());
+  int covered = 0;
+  for (const LabeledSubquery& labeled : evaluation.labeled) {
+    double lo = 0, hi = 0;
+    double estimate =
+        forest.EstimateWithInterval(labeled.AsSubquery(), 2.0, &lo, &hi);
+    EXPECT_LE(lo, estimate * (1 + 1e-9));
+    EXPECT_GE(hi, estimate * (1 - 1e-9));
+    if (labeled.cardinality >= lo * 0.999 &&
+        labeled.cardinality <= hi * 1.001) {
+      ++covered;
+    }
+  }
+  // z=2 intervals should cover a majority (not necessarily 95% — ensemble
+  // spread underestimates total uncertainty, as [55] reports).
+  EXPECT_GT(covered, static_cast<int>(evaluation.labeled.size() / 2));
+}
+
+// ---- Robust-MSCN masking ---------------------------------------------------
+
+TEST_F(ExtensionsTest, MaskedTrainingKeepsAccuracyAndHelpsOnUnseenShapes) {
+  QueryDrivenOptions robust_options;
+  robust_options.mask_training = true;
+  QueryDrivenEstimator robust(QueryDrivenEstimator::ModelType::kGbdt,
+                              &lab_->catalog, &lab_->stats, robust_options);
+  robust.Train(training_);
+  EXPECT_EQ(robust.Name(), "gbdt_qd_robust");
+
+  QueryDrivenEstimator plain(QueryDrivenEstimator::ModelType::kGbdt,
+                             &lab_->catalog, &lab_->stats);
+  plain.Train(training_);
+
+  // In-distribution: robust training must not destroy accuracy.
+  CeTrainingData evaluation = BuildCeTrainingData(
+      lab_->catalog, lab_->stats, test_, lab_->truth.get());
+  double robust_geo =
+      EvaluateEstimator(&robust, evaluation.labeled).geometric_mean;
+  double plain_geo =
+      EvaluateEstimator(&plain, evaluation.labeled).geometric_mean;
+  EXPECT_LT(robust_geo, plain_geo * 2.0);
+
+  // Serving-time masking (out-of-distribution predicates detected): the
+  // robust model has learned a calibrated fallback for the mask token; the
+  // plain model sees inputs it has never encountered.
+  std::vector<double> robust_masked, plain_masked;
+  for (const LabeledSubquery& labeled : evaluation.labeled) {
+    if (labeled.query->PredicatesOf(__builtin_ctzll(labeled.tables)).empty() &&
+        PopCount(labeled.tables) == 1) {
+      continue;  // nothing to mask.
+    }
+    robust_masked.push_back(
+        QError(robust.EstimateMasked(labeled.AsSubquery()),
+               labeled.cardinality));
+    plain_masked.push_back(QError(plain.EstimateMasked(labeled.AsSubquery()),
+                                  labeled.cardinality));
+  }
+  ASSERT_FALSE(robust_masked.empty());
+  EXPECT_LE(GeometricMean(robust_masked), GeometricMean(plain_masked) * 1.05)
+      << "masking-trained model should degrade more gracefully";
+}
+
+TEST_F(ExtensionsTest, RobustMscnNameAndTraining) {
+  QueryDrivenOptions robust_options;
+  robust_options.mask_training = true;
+  QueryDrivenEstimator robust(QueryDrivenEstimator::ModelType::kMlp,
+                              &lab_->catalog, &lab_->stats, robust_options);
+  EXPECT_EQ(robust.Name(), "robust_mscn");
+  robust.Train(training_);
+  Query q;
+  q.AddTable("users");
+  EXPECT_GT(robust.EstimateSubquery(Subquery{&q, 1}), 0.0);
+}
+
+// ---- AutoCE advisor --------------------------------------------------------
+
+TEST_F(ExtensionsTest, AdvisorRanksByValidationError) {
+  EstimatorSuiteOptions options;
+  options.include_mlp = false;
+  std::vector<RegisteredEstimator> suite =
+      MakeEstimatorSuite(lab_->catalog, lab_->stats, training_, options);
+  CeTrainingData evaluation = BuildCeTrainingData(
+      lab_->catalog, lab_->stats, test_, lab_->truth.get());
+  std::vector<AdvisorEntry> ranking =
+      ModelAdvisor::Rank(suite, evaluation.labeled);
+  ASSERT_EQ(ranking.size(), suite.size());
+  for (size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_LE(ranking[i - 1].geo_mean_qerror, ranking[i].geo_mean_qerror);
+  }
+  EXPECT_GE(ranking.front().geo_mean_qerror, 1.0);
+}
+
+TEST_F(ExtensionsTest, AdvisorMetaFeaturesSeparateSchemas) {
+  auto tpch = MakeLab("tpch_lite", 0.05);
+  std::vector<double> stats_features =
+      ModelAdvisor::MetaFeatures(lab_->catalog, lab_->stats);
+  std::vector<double> tpch_features =
+      ModelAdvisor::MetaFeatures(tpch->catalog, tpch->stats);
+  ASSERT_EQ(stats_features.size(), tpch_features.size());
+  // The correlated schema must show higher mean column correlation.
+  EXPECT_GT(stats_features[2], tpch_features[2]);
+}
+
+TEST_F(ExtensionsTest, AdvisorNearestProfileRecommendation) {
+  ModelAdvisor advisor;
+  auto tpch = MakeLab("tpch_lite", 0.05);
+  advisor.Profile(lab_->catalog, lab_->stats, "factorjoin");
+  advisor.Profile(tpch->catalog, tpch->stats, "histogram");
+  EXPECT_EQ(advisor.num_profiles(), 2u);
+
+  // A second instance of the same generator family should map to its own
+  // profile's winner.
+  auto stats2 = MakeLab("stats_lite", 0.06, /*seed=*/99);
+  EXPECT_EQ(advisor.Advise(stats2->catalog, stats2->stats), "factorjoin");
+  auto tpch2 = MakeLab("tpch_lite", 0.06, /*seed=*/99);
+  EXPECT_EQ(advisor.Advise(tpch2->catalog, tpch2->stats), "histogram");
+}
+
+// ---- Progressive re-optimization (LPCE [59]) -------------------------------
+
+TEST_F(ExtensionsTest, ReoptimizerCorrectAndNoReplansUnderGoodEstimates) {
+  ProgressiveReoptimizer reoptimizer(lab_->optimizer.get(),
+                                     lab_->executor.get());
+  for (size_t i = 0; i < 5; ++i) {
+    const Query& q = test_.queries[i];
+    CardinalityProvider cards(lab_->estimator.get());
+    ReoptimizationResult result = reoptimizer.Execute(q, &cards);
+    EXPECT_EQ(result.row_count, lab_->truth->Cardinality(q)) << q.ToString();
+    EXPECT_GE(result.observations, q.num_tables() - 1);
+    EXPECT_GE(result.time_units, 0.0);
+  }
+}
+
+TEST_F(ExtensionsTest, ReoptimizerRescuesBadEstimates) {
+  // An estimator whose multi-table estimates are wrong by 300x in a
+  // direction that depends (deterministically) on the sub-query — the
+  // regime that scrambles join orders, the costliest failure mode.
+  class Scrambling : public CardinalityEstimatorInterface {
+   public:
+    explicit Scrambling(CardinalityEstimatorInterface* base) : base_(base) {}
+    double EstimateSubquery(const Subquery& s) override {
+      double e = base_->EstimateSubquery(s);
+      if (PopCount(s.tables) <= 1) return e;
+      size_t h = std::hash<std::string>{}(s.Key());
+      return h % 2 == 0 ? e * 300.0 : std::max(1.0, e / 300.0);
+    }
+    std::string Name() const override { return "scrambling"; }
+    CardinalityEstimatorInterface* base_;
+  } bad(lab_->estimator.get());
+
+  ProgressiveReoptimizer reoptimizer(lab_->optimizer.get(),
+                                     lab_->executor.get());
+  int total_replans = 0;
+  double static_total = 0.0, reopt_total = 0.0, oracle_total = 0.0;
+  for (size_t i = 0; i < 8; ++i) {
+    const Query& q = test_.queries[i];
+    if (q.num_tables() < 3) continue;
+
+    CardinalityProvider bad_cards(&bad);
+    auto static_exec = lab_->executor->Execute(
+        lab_->optimizer->Optimize(q, &bad_cards).plan);
+    ASSERT_TRUE(static_exec.ok());
+    static_total += static_exec->time_units;
+
+    CardinalityProvider reopt_cards(&bad);
+    ReoptimizationResult reopt = reoptimizer.Execute(q, &reopt_cards);
+    reopt_total += reopt.time_units;
+    total_replans += reopt.replans;
+    EXPECT_EQ(reopt.row_count, lab_->truth->Cardinality(q));
+
+    class Oracle : public CardinalityEstimatorInterface {
+     public:
+      explicit Oracle(TrueCardinalityService* truth) : truth_(truth) {}
+      double EstimateSubquery(const Subquery& s) override {
+        return static_cast<double>(truth_->Cardinality(s));
+      }
+      std::string Name() const override { return "oracle"; }
+      TrueCardinalityService* truth_;
+    } oracle(lab_->truth.get());
+    CardinalityProvider oracle_cards(&oracle);
+    auto oracle_exec = lab_->executor->Execute(
+        lab_->optimizer->Optimize(q, &oracle_cards).plan);
+    ASSERT_TRUE(oracle_exec.ok());
+    oracle_total += oracle_exec->time_units;
+  }
+  EXPECT_GT(total_replans, 0) << "bad estimates should trigger re-planning";
+  // Re-optimization (including its pilot overhead) must substantially
+  // repair the damage of the static mis-estimated plans.
+  EXPECT_LT(reopt_total, static_total);
+  EXPECT_GE(reopt_total, oracle_total);
+}
+
+// ---- Concurrent cost models ------------------------------------------------
+
+class ConcurrentTest : public ExtensionsTest {
+ protected:
+  std::vector<PlanResourceProfile> MakeProfiles() {
+    CardinalityProvider cards(lab_->estimator.get());
+    std::vector<CollectedPlan> corpus = CollectCostSamples(
+        test_, *lab_->optimizer, &cards, *lab_->executor);
+    std::vector<PlanResourceProfile> profiles;
+    for (const CollectedPlan& entry : corpus) {
+      auto result = lab_->executor->Execute(entry.plan);
+      profiles.push_back(MakeResourceProfile(entry.plan, *result));
+    }
+    return profiles;
+  }
+};
+
+TEST_F(ConcurrentTest, SimulatorSoloEqualsBaseAndInterferenceInflates) {
+  std::vector<PlanResourceProfile> profiles = MakeProfiles();
+  ASSERT_GE(profiles.size(), 3u);
+  ConcurrencySimulator simulator;
+
+  std::vector<const PlanResourceProfile*> solo = {&profiles[0]};
+  EXPECT_DOUBLE_EQ(simulator.BatchLatencies(solo)[0], profiles[0].solo_time);
+
+  std::vector<const PlanResourceProfile*> batch = {&profiles[0], &profiles[1],
+                                                   &profiles[2]};
+  std::vector<double> latencies = simulator.BatchLatencies(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_GE(latencies[i], batch[i]->solo_time);
+  }
+}
+
+TEST_F(ConcurrentTest, LearnedMixModelBeatsSoloBaseline) {
+  std::vector<PlanResourceProfile> profiles = MakeProfiles();
+  ASSERT_GE(profiles.size(), 8u);
+  ConcurrencySimulator simulator;
+  Rng rng(1201);
+
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  std::vector<double> solo_prediction;
+  for (int b = 0; b < 120; ++b) {
+    int k = static_cast<int>(rng.UniformInt(2, 4));
+    std::vector<const PlanResourceProfile*> batch;
+    for (int i = 0; i < k; ++i) {
+      batch.push_back(&profiles[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(profiles.size()) - 1))]);
+    }
+    std::vector<double> latencies = simulator.BatchLatencies(batch);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      x.push_back(ConcurrentCostModel::MixFeatures(*batch[i], batch));
+      y.push_back(latencies[i]);
+      solo_prediction.push_back(batch[i]->solo_time);
+    }
+  }
+  // Train/test split by batch order (last quarter held out).
+  size_t split = x.size() * 3 / 4;
+  ConcurrentCostModel model;
+  model.Train({x.begin(), x.begin() + static_cast<long>(split)},
+              {y.begin(), y.begin() + static_cast<long>(split)});
+
+  std::vector<double> learned_pred, truth, solo_pred;
+  for (size_t i = split; i < x.size(); ++i) {
+    learned_pred.push_back(model.Predict(x[i]));
+    truth.push_back(y[i]);
+    solo_pred.push_back(solo_prediction[i]);
+  }
+  double learned_mae = MeanAbsoluteError(learned_pred, truth);
+  double solo_mae = MeanAbsoluteError(solo_pred, truth);
+  EXPECT_LT(learned_mae, solo_mae)
+      << "interference-aware model should beat the solo baseline";
+}
+
+}  // namespace
+}  // namespace lqo

@@ -1,0 +1,263 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "joinorder/join_env.h"
+#include "joinorder/mcts.h"
+#include "joinorder/online_skinner.h"
+#include "joinorder/qlearning.h"
+#include "optimizer/baseline_estimator.h"
+#include "optimizer/optimizer.h"
+#include "query/workload.h"
+#include "storage/datasets.h"
+
+namespace lqo {
+namespace {
+
+class JoinOrderTest : public ::testing::Test {
+ protected:
+  JoinOrderTest() {
+    catalog_ = MakeChainSchema(8, 2000, 71);
+    stats_.Build(catalog_);
+    estimator_ =
+        std::make_unique<BaselineCardinalityEstimator>(&catalog_, &stats_);
+    cards_ = std::make_unique<CardinalityProvider>(estimator_.get());
+    cost_model_ = std::make_unique<AnalyticalCostModel>(&stats_);
+    optimizer_ = std::make_unique<Optimizer>(&stats_, cost_model_.get());
+
+    WorkloadOptions wopts;
+    wopts.num_queries = 12;
+    wopts.min_tables = 4;
+    wopts.max_tables = 7;
+    wopts.seed = 702;
+    workload_ = GenerateWorkload(catalog_, wopts);
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+  std::unique_ptr<BaselineCardinalityEstimator> estimator_;
+  std::unique_ptr<CardinalityProvider> cards_;
+  std::unique_ptr<AnalyticalCostModel> cost_model_;
+  std::unique_ptr<Optimizer> optimizer_;
+  Workload workload_;
+};
+
+TEST_F(JoinOrderTest, ChainSchemaShape) {
+  EXPECT_EQ(catalog_.table_names().size(), 8u);
+  EXPECT_EQ(catalog_.join_edges().size(), 7u);
+  EXPECT_TRUE((*catalog_.GetTable("t3"))->HasColumn("prev_id"));
+  EXPECT_FALSE((*catalog_.GetTable("t0"))->HasColumn("prev_id"));
+}
+
+TEST_F(JoinOrderTest, EnvEpisodeProducesCompletePlan) {
+  const Query& q = workload_.queries[0];
+  JoinOrderEnv env(&q, &stats_, cost_model_.get(), cards_.get());
+  int steps = 0;
+  while (!env.Done()) {
+    std::vector<JoinOrderEnv::Action> actions = env.LegalActions();
+    ASSERT_FALSE(actions.empty());
+    for (const auto& action : actions) {
+      std::vector<double> f = env.ActionFeatures(action);
+      EXPECT_EQ(f.size(), JoinOrderEnv::kFeatureDim);
+    }
+    env.Step(actions[0]);
+    ++steps;
+  }
+  EXPECT_EQ(steps, q.num_tables() - 1);
+  EXPECT_GT(env.total_cost(), 0.0);
+  PhysicalPlan plan = env.ExtractPlan();
+  EXPECT_EQ(plan.root->table_set, q.AllTables());
+}
+
+TEST_F(JoinOrderTest, EnvResetIsIdempotent) {
+  const Query& q = workload_.queries[0];
+  JoinOrderEnv env(&q, &stats_, cost_model_.get(), cards_.get());
+  std::vector<JoinOrderEnv::Action> first = env.LegalActions();
+  env.Step(first[0]);
+  double cost_after = env.total_cost();
+  env.Reset();
+  EXPECT_LT(env.total_cost(), cost_after);
+  EXPECT_EQ(env.LegalActions().size(), first.size());
+}
+
+TEST_F(JoinOrderTest, DpIsLowerBoundForAllSearchers) {
+  // DP cost (bushy, exhaustive) lower-bounds any env episode cost under the
+  // same cost model and cards.
+  for (const Query& q : workload_.queries) {
+    double dp_cost = optimizer_->Optimize(q, cards_.get()).estimated_cost;
+
+    MctsJoinOrderer mcts(&stats_, cost_model_.get(), cards_.get());
+    double mcts_cost = 0;
+    mcts.Plan(q, &mcts_cost);
+    EXPECT_GE(mcts_cost, dp_cost * (1 - 1e-9)) << q.ToString();
+  }
+}
+
+TEST_F(JoinOrderTest, MctsImprovesWithMoreIterations) {
+  double few_total = 0, many_total = 0;
+  for (const Query& q : workload_.queries) {
+    MctsOptions few_options;
+    few_options.iterations = 4;
+    few_options.seed = 3;
+    MctsJoinOrderer few(&stats_, cost_model_.get(), cards_.get(),
+                        few_options);
+    MctsOptions many_options;
+    many_options.iterations = 400;
+    many_options.seed = 3;
+    MctsJoinOrderer many(&stats_, cost_model_.get(), cards_.get(),
+                         many_options);
+    double few_cost = 0, many_cost = 0;
+    few.Plan(q, &few_cost);
+    many.Plan(q, &many_cost);
+    few_total += few_cost;
+    many_total += many_cost;
+  }
+  EXPECT_LE(many_total, few_total * 1.001);
+}
+
+TEST_F(JoinOrderTest, MctsNearOptimal) {
+  double mcts_total = 0, dp_total = 0;
+  for (const Query& q : workload_.queries) {
+    MctsOptions options;
+    options.iterations = 500;
+    MctsJoinOrderer mcts(&stats_, cost_model_.get(), cards_.get(), options);
+    double mcts_cost = 0;
+    mcts.Plan(q, &mcts_cost);
+    mcts_total += mcts_cost;
+    dp_total += optimizer_->Optimize(q, cards_.get()).estimated_cost;
+  }
+  EXPECT_LT(mcts_total, dp_total * 1.5);
+}
+
+TEST_F(JoinOrderTest, QLearningImprovesOverUntrained) {
+  QLearningOptions untrained_options;
+  QLearningJoinOrderer untrained(&stats_, cost_model_.get(), cards_.get(),
+                                 untrained_options);
+  // Untrained Q ties everywhere -> picks the first legal action.
+  double untrained_total = 0;
+  for (const Query& q : workload_.queries) {
+    double cost = 0;
+    untrained.Plan(q, &cost);
+    untrained_total += cost;
+  }
+
+  QLearningOptions options;
+  options.episodes_per_query = 25;
+  QLearningJoinOrderer learner(&stats_, cost_model_.get(), cards_.get(),
+                               options);
+  learner.Train(workload_.queries);
+  ASSERT_TRUE(learner.trained());
+  EXPECT_GT(learner.transitions_collected(), 100u);
+
+  double trained_total = 0;
+  for (const Query& q : workload_.queries) {
+    double cost = 0;
+    learner.Plan(q, &cost);
+    trained_total += cost;
+  }
+  EXPECT_LT(trained_total, untrained_total);
+}
+
+TEST_F(JoinOrderTest, QLearningGeneralizesToUnseenQueries) {
+  QLearningOptions options;
+  options.episodes_per_query = 25;
+  QLearningJoinOrderer learner(&stats_, cost_model_.get(), cards_.get(),
+                               options);
+  learner.Train(workload_.queries);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 8;
+  wopts.min_tables = 4;
+  wopts.max_tables = 7;
+  wopts.seed = 999;  // unseen
+  Workload test = GenerateWorkload(catalog_, wopts);
+
+  double learned_total = 0, dp_total = 0, first_action_total = 0;
+  QLearningJoinOrderer untrained(&stats_, cost_model_.get(), cards_.get());
+  for (const Query& q : test.queries) {
+    double cost = 0;
+    learner.Plan(q, &cost);
+    learned_total += cost;
+    untrained.Plan(q, &cost);
+    first_action_total += cost;
+    dp_total += optimizer_->Optimize(q, cards_.get()).estimated_cost;
+  }
+  EXPECT_LT(learned_total, first_action_total);
+  EXPECT_LT(learned_total, dp_total * 10);
+}
+
+class OnlineSkinnerTest : public JoinOrderTest {
+ protected:
+  std::vector<PhysicalPlan> Candidates(const Query& q) {
+    std::vector<PhysicalPlan> candidates;
+    CardinalityProvider cards(estimator_.get());
+    Executor executor(&catalog_);
+    for (int mask : {7, 1, 2, 4}) {
+      HintSet hints;
+      hints.enable_hash_join = (mask & 1) != 0;
+      hints.enable_nested_loop = (mask & 2) != 0;
+      hints.enable_merge_join = (mask & 4) != 0;
+      candidates.push_back(optimizer_->Optimize(q, &cards, hints).plan);
+    }
+    return candidates;
+  }
+};
+
+TEST_F(OnlineSkinnerTest, SingleCandidateMatchesDirectExecution) {
+  Executor executor(&catalog_);
+  const Query& q = workload_.queries[0];
+  CardinalityProvider cards(estimator_.get());
+  PhysicalPlan plan = optimizer_->Optimize(q, &cards).plan;
+  auto direct = executor.Execute(plan);
+  ASSERT_TRUE(direct.ok());
+
+  std::vector<PhysicalPlan> one;
+  one.push_back(std::move(plan));
+  OnlineSkinnerExecutor online(&executor);
+  OnlineSkinnerResult result = online.Run(one);
+  EXPECT_EQ(result.switches, 0);
+  EXPECT_NEAR(result.total_time, direct->time_units,
+              direct->time_units * 1e-9);
+  EXPECT_EQ(result.row_count, direct->row_count);
+}
+
+TEST_F(OnlineSkinnerTest, RegretBoundedBetweenBestAndWorst) {
+  Executor executor(&catalog_);
+  OnlineSkinnerExecutor online(&executor);
+  for (size_t i = 0; i < 6; ++i) {
+    const Query& q = workload_.queries[i];
+    OnlineSkinnerResult result = online.Run(Candidates(q));
+    EXPECT_GE(result.total_time, result.best_plan_time * (1 - 1e-9));
+    // Regret bound: well below the worst plan whenever plans differ, and
+    // within a moderate factor of the best.
+    if (result.worst_plan_time > result.best_plan_time * 2) {
+      EXPECT_LT(result.total_time, result.worst_plan_time * 0.8);
+    }
+    EXPECT_LT(result.total_time, result.best_plan_time * 2.5);
+    EXPECT_LT(result.preferred_plan, 4u);
+  }
+}
+
+TEST_F(OnlineSkinnerTest, ConvergesToPreferringTheBestArm) {
+  Executor executor(&catalog_);
+  // Low exploration: after trying everything once it should settle on the
+  // cheapest plan for the remaining slices.
+  OnlineSkinnerOptions options;
+  options.exploration = 0.05;
+  options.num_slices = 100;
+  OnlineSkinnerExecutor online(&executor, options);
+  const Query& q = workload_.queries[1];
+  std::vector<PhysicalPlan> candidates = Candidates(q);
+  std::vector<double> times;
+  for (const PhysicalPlan& plan : candidates) {
+    times.push_back(executor.Execute(plan)->time_units);
+  }
+  size_t best = static_cast<size_t>(
+      std::min_element(times.begin(), times.end()) - times.begin());
+  OnlineSkinnerResult result = online.Run(candidates);
+  EXPECT_EQ(result.preferred_plan, best);
+}
+
+}  // namespace
+}  // namespace lqo

@@ -1,0 +1,370 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/chow_liu.h"
+#include "ml/dataset.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "ml/gmm.h"
+#include "ml/kmeans.h"
+#include "ml/linear.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/tree.h"
+
+namespace lqo {
+namespace {
+
+// y = 3x0 - 2x1 + 1 with small noise.
+MlDataset MakeLinearData(size_t n, uint64_t seed, double noise = 0.0) {
+  Rng rng(seed);
+  MlDataset data;
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.UniformDouble(-2, 2);
+    double x1 = rng.UniformDouble(-2, 2);
+    double y = 3 * x0 - 2 * x1 + 1 + (noise > 0 ? rng.Gaussian(0, noise) : 0);
+    data.Add({x0, x1}, y);
+  }
+  return data;
+}
+
+// Nonlinear target: y = x0^2 + sign(x1).
+MlDataset MakeNonlinearData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  MlDataset data;
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.UniformDouble(-2, 2);
+    double x1 = rng.UniformDouble(-2, 2);
+    data.Add({x0, x1}, x0 * x0 + (x1 > 0 ? 1.0 : -1.0));
+  }
+  return data;
+}
+
+TEST(DatasetTest, TrainTestSplitPartitions) {
+  MlDataset data = MakeLinearData(100, 1);
+  MlDataset train, test;
+  TrainTestSplit(data, 0.25, 7, &train, &test);
+  EXPECT_EQ(train.size(), 75u);
+  EXPECT_EQ(test.size(), 25u);
+  EXPECT_EQ(train.num_features(), 2u);
+}
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  MlDataset data = MakeLinearData(500, 2);
+  Standardizer standardizer;
+  standardizer.Fit(data.rows);
+  double sum = 0;
+  for (const auto& row : data.rows) sum += standardizer.Transform(row)[0];
+  EXPECT_NEAR(sum / 500.0, 0.0, 1e-9);
+}
+
+TEST(RidgeTest, RecoversLinearFunction) {
+  MlDataset data = MakeLinearData(200, 3);
+  RidgeRegression model(1e-6);
+  ASSERT_TRUE(model.Fit(data.rows, data.targets).ok());
+  EXPECT_NEAR(model.weights()[0], 3.0, 1e-3);
+  EXPECT_NEAR(model.weights()[1], -2.0, 1e-3);
+  EXPECT_NEAR(model.intercept(), 1.0, 1e-3);
+  EXPECT_NEAR(model.Predict({1.0, 1.0}), 2.0, 1e-2);
+}
+
+TEST(RidgeTest, RejectsEmptyAndMismatched) {
+  RidgeRegression model;
+  EXPECT_FALSE(model.Fit({}, {}).ok());
+  EXPECT_FALSE(model.Fit({{1.0}}, {1.0, 2.0}).ok());
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9]  =>  x = [1.5, 2].
+  std::vector<double> x;
+  ASSERT_TRUE(CholeskySolve({{4, 2}, {2, 3}}, {10, 9}, &x));
+  EXPECT_NEAR(x[0], 1.5, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, FitsPiecewiseConstant) {
+  // y = 10 for x<0, y = -10 otherwise: one split suffices.
+  MlDataset data;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.UniformDouble(-1, 1);
+    data.Add({x}, x < 0 ? 10.0 : -10.0);
+  }
+  RegressionTree tree;
+  TreeOptions options;
+  options.max_depth = 2;
+  tree.Fit(data.rows, data.targets, options);
+  EXPECT_NEAR(tree.Predict({-0.5}), 10.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({0.5}), -10.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, RespectsMaxDepth) {
+  MlDataset data = MakeNonlinearData(300, 5);
+  RegressionTree stump, deep;
+  TreeOptions shallow_options;
+  shallow_options.max_depth = 1;
+  TreeOptions deep_options;
+  deep_options.max_depth = 8;
+  stump.Fit(data.rows, data.targets, shallow_options);
+  deep.Fit(data.rows, data.targets, deep_options);
+  EXPECT_LE(stump.num_nodes(), 3u);
+  EXPECT_GT(deep.num_nodes(), stump.num_nodes());
+}
+
+TEST(GbdtTest, BeatsConstantOnNonlinear) {
+  MlDataset data = MakeNonlinearData(500, 6);
+  MlDataset train, test;
+  TrainTestSplit(data, 0.2, 11, &train, &test);
+  GradientBoostedTrees model;
+  model.Fit(train.rows, train.targets);
+  std::vector<double> predictions;
+  for (const auto& row : test.rows) predictions.push_back(model.Predict(row));
+  EXPECT_GT(R2Score(predictions, test.targets), 0.9);
+}
+
+TEST(ForestTest, FitsAndQuantifiesUncertainty) {
+  MlDataset data = MakeNonlinearData(400, 7);
+  RandomForest forest;
+  forest.Fit(data.rows, data.targets);
+  std::vector<double> predictions;
+  for (const auto& row : data.rows) predictions.push_back(forest.Predict(row));
+  EXPECT_GT(R2Score(predictions, data.targets), 0.8);
+  double mean, stddev;
+  forest.PredictWithUncertainty({0.0, 1.0}, &mean, &stddev);
+  EXPECT_GE(stddev, 0.0);
+  // Far outside the training domain the ensemble should disagree more than
+  // deep inside it... at minimum the call must be well-formed.
+  forest.PredictWithUncertainty({100.0, -100.0}, &mean, &stddev);
+  EXPECT_GE(stddev, 0.0);
+}
+
+TEST(MlpTest, LearnsLinearRegression) {
+  MlDataset data = MakeLinearData(400, 8, 0.01);
+  MlpOptions options;
+  options.hidden_layers = {16};
+  options.epochs = 200;
+  Mlp mlp(options);
+  mlp.Fit(data.rows, data.targets);
+  std::vector<double> predictions;
+  for (const auto& row : data.rows) predictions.push_back(mlp.Predict(row));
+  EXPECT_GT(R2Score(predictions, data.targets), 0.95);
+}
+
+TEST(MlpTest, LearnsNonlinearRegression) {
+  MlDataset data = MakeNonlinearData(600, 9);
+  MlpOptions options;
+  options.hidden_layers = {32, 16};
+  options.epochs = 250;
+  Mlp mlp(options);
+  mlp.Fit(data.rows, data.targets);
+  std::vector<double> predictions;
+  for (const auto& row : data.rows) predictions.push_back(mlp.Predict(row));
+  EXPECT_GT(R2Score(predictions, data.targets), 0.85);
+}
+
+TEST(MlpTest, LearnsLogisticClassification) {
+  Rng rng(10);
+  MlDataset data;
+  for (int i = 0; i < 400; ++i) {
+    double x0 = rng.UniformDouble(-2, 2);
+    double x1 = rng.UniformDouble(-2, 2);
+    data.Add({x0, x1}, x0 + x1 > 0 ? 1.0 : 0.0);
+  }
+  MlpOptions options;
+  options.loss = MlpOptions::Loss::kLogistic;
+  options.hidden_layers = {16};
+  options.epochs = 150;
+  Mlp mlp(options);
+  mlp.Fit(data.rows, data.targets);
+  int correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    double p = mlp.PredictProba(data.rows[i]);
+    if ((p > 0.5) == (data.targets[i] > 0.5)) ++correct;
+  }
+  EXPECT_GT(correct, 360);  // > 90% train accuracy.
+}
+
+TEST(MlpTest, PairwiseRankingIsAntisymmetricAndAccurate) {
+  // Items have a latent quality = 2*x0 - x1; pairs labeled by quality.
+  Rng rng(11);
+  std::vector<std::vector<double>> first, second;
+  std::vector<double> labels;
+  auto quality = [](const std::vector<double>& x) {
+    return 2 * x[0] - x[1];
+  };
+  for (int i = 0; i < 600; ++i) {
+    std::vector<double> a = {rng.UniformDouble(-1, 1), rng.UniformDouble(-1, 1)};
+    std::vector<double> b = {rng.UniformDouble(-1, 1), rng.UniformDouble(-1, 1)};
+    first.push_back(a);
+    second.push_back(b);
+    labels.push_back(quality(a) > quality(b) ? 1.0 : 0.0);
+  }
+  MlpOptions options;
+  options.hidden_layers = {16};
+  options.epochs = 120;
+  Mlp mlp(options);
+  mlp.FitPairwise(first, second, labels);
+
+  int correct = 0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    double p = mlp.CompareProba(first[i], second[i]);
+    if ((p > 0.5) == (labels[i] > 0.5)) ++correct;
+    // Antisymmetry: P(a>b) + P(b>a) == 1 by construction.
+    EXPECT_NEAR(p + mlp.CompareProba(second[i], first[i]), 1.0, 1e-9);
+  }
+  EXPECT_GT(correct, 540);  // > 90%
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Rng rng(12);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({rng.Gaussian(0, 0.1), rng.Gaussian(0, 0.1)});
+    rows.push_back({rng.Gaussian(10, 0.1), rng.Gaussian(10, 0.1)});
+  }
+  KMeansOptions options;
+  options.k = 2;
+  KMeans kmeans(options);
+  kmeans.Fit(rows);
+  ASSERT_EQ(kmeans.centroids().size(), 2u);
+  size_t c0 = kmeans.Assign({0.0, 0.0});
+  size_t c1 = kmeans.Assign({10.0, 10.0});
+  EXPECT_NE(c0, c1);
+  // All near-origin points share a cluster.
+  for (size_t i = 0; i < rows.size(); i += 2) {
+    EXPECT_EQ(kmeans.labels()[i], c0);
+  }
+}
+
+TEST(KMeansTest, HandlesFewerDistinctPointsThanK) {
+  std::vector<std::vector<double>> rows = {{1, 1}, {1, 1}, {1, 1}};
+  KMeansOptions options;
+  options.k = 5;
+  KMeans kmeans(options);
+  kmeans.Fit(rows);
+  EXPECT_GE(kmeans.centroids().size(), 1u);
+  EXPECT_LE(kmeans.centroids().size(), 3u);
+}
+
+TEST(GmmTest, RecoversWellSeparatedComponents) {
+  Rng rng(21);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.Gaussian(0, 1));
+    values.push_back(rng.Gaussian(50, 2));
+  }
+  GmmOptions options;
+  options.num_components = 2;
+  GaussianMixture1D gmm(options);
+  gmm.Fit(values);
+  ASSERT_EQ(gmm.num_components(), 2u);
+  std::vector<double> means = gmm.means();
+  std::sort(means.begin(), means.end());
+  EXPECT_NEAR(means[0], 0.0, 1.0);
+  EXPECT_NEAR(means[1], 50.0, 1.0);
+  EXPECT_NEAR(gmm.weights()[0] + gmm.weights()[1], 1.0, 1e-9);
+  // CDF monotone, 0 at -inf side, 1 at +inf side.
+  EXPECT_LT(gmm.Cdf(-20), 0.01);
+  EXPECT_GT(gmm.Cdf(80), 0.99);
+  EXPECT_NEAR(gmm.Cdf(25), 0.5, 0.05);
+  // Assignment separates the clusters.
+  EXPECT_NE(gmm.Assign(0.0), gmm.Assign(50.0));
+}
+
+TEST(GmmTest, DegenerateSingleValue) {
+  GaussianMixture1D gmm;
+  gmm.Fit({5.0, 5.0, 5.0});
+  EXPECT_EQ(gmm.num_components(), 1u);
+  EXPECT_NEAR(gmm.means()[0], 5.0, 1e-6);
+  EXPECT_GT(gmm.Density(5.0), gmm.Density(100.0));
+}
+
+TEST(GmmTest, MoreComponentsImproveLikelihoodOnMultimodalData) {
+  Rng rng(22);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(rng.Gaussian(0, 1));
+    values.push_back(rng.Gaussian(30, 1));
+    values.push_back(rng.Gaussian(60, 1));
+  }
+  GmmOptions one;
+  one.num_components = 1;
+  GaussianMixture1D gmm1(one);
+  gmm1.Fit(values);
+  GmmOptions three;
+  three.num_components = 3;
+  GaussianMixture1D gmm3(three);
+  gmm3.Fit(values);
+  EXPECT_GT(gmm3.log_likelihood(), gmm1.log_likelihood());
+}
+
+TEST(MutualInformationTest, IndependentVsDependent) {
+  Rng rng(13);
+  std::vector<int64_t> x, y_dep, y_ind;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(0, 3);
+    x.push_back(v);
+    y_dep.push_back(v);  // fully dependent
+    y_ind.push_back(rng.UniformInt(0, 3));
+  }
+  double mi_dep = MutualInformation(x, y_dep, 4, 4);
+  double mi_ind = MutualInformation(x, y_ind, 4, 4);
+  EXPECT_GT(mi_dep, 1.0);  // ~log(4) = 1.386 nats.
+  EXPECT_LT(mi_ind, 0.05);
+  EXPECT_GT(mi_dep, mi_ind * 10);
+}
+
+TEST(ChowLiuTest, RecoversChainStructure) {
+  // v0 -> v1 -> v2: v1 = v0 with noise; v2 = v1 with noise; MI(v0,v2) is
+  // lower than adjacent pairs, so the MST must be the chain.
+  Rng rng(14);
+  std::vector<int64_t> v0, v1, v2;
+  for (int i = 0; i < 4000; ++i) {
+    int64_t a = rng.UniformInt(0, 3);
+    int64_t b = rng.Bernoulli(0.85) ? a : rng.UniformInt(0, 3);
+    int64_t c = rng.Bernoulli(0.85) ? b : rng.UniformInt(0, 3);
+    v0.push_back(a);
+    v1.push_back(b);
+    v2.push_back(c);
+  }
+  ChowLiuResult tree = LearnChowLiuTree({v0, v1, v2}, {4, 4, 4});
+  EXPECT_EQ(tree.parent[0], -1);
+  EXPECT_EQ(tree.parent[1], 0);
+  EXPECT_EQ(tree.parent[2], 1);
+  EXPECT_EQ(tree.topological_order.size(), 3u);
+  EXPECT_EQ(tree.topological_order[0], 0);
+}
+
+TEST(MetricsTest, QErrorSymmetricAndClamped) {
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(QError(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);   // clamped to 1 row each.
+  EXPECT_DOUBLE_EQ(QError(0, 50), 50.0);
+}
+
+TEST(MetricsTest, SummaryQuantiles) {
+  std::vector<double> qerrors;
+  for (int i = 1; i <= 100; ++i) qerrors.push_back(static_cast<double>(i));
+  QErrorSummary s = SummarizeQErrors(qerrors);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_GT(s.geometric_mean, 1.0);
+}
+
+TEST(MetricsTest, R2PerfectAndMeanBaseline) {
+  std::vector<double> targets = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(R2Score(targets, targets), 1.0);
+  std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(R2Score(mean_pred, targets), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2}, {2, 4}), 1.5);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1, 2}, {2, 4}), 2.5);
+}
+
+}  // namespace
+}  // namespace lqo

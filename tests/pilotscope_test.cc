@@ -1,0 +1,183 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/lab.h"
+#include "cardinality/data_driven.h"
+#include "cardinality/training_data.h"
+#include "pilotscope/console.h"
+#include "pilotscope/drivers.h"
+#include "pilotscope/interactor.h"
+
+namespace lqo {
+namespace {
+
+class PilotScopeTest : public ::testing::Test {
+ protected:
+  PilotScopeTest() {
+    lab_ = MakeLab("stats_lite", 0.08);
+    interactor_ = std::make_unique<EngineInteractor>(
+        &lab_->catalog, lab_->optimizer.get(), lab_->estimator.get(),
+        lab_->executor.get());
+    WorkloadOptions wopts;
+    wopts.num_queries = 20;
+    wopts.min_tables = 2;
+    wopts.max_tables = 4;
+    wopts.seed = 1001;
+    workload_ = GenerateWorkload(lab_->catalog, wopts);
+  }
+
+  std::unique_ptr<Lab> lab_;
+  std::unique_ptr<EngineInteractor> interactor_;
+  Workload workload_;
+};
+
+TEST_F(PilotScopeTest, InteractorPushPullRoundTrip) {
+  const Query& q = workload_.queries[0];
+  auto native = interactor_->PullPlan(q);
+  ASSERT_TRUE(native.ok());
+
+  // Pushing hints changes the planned operators.
+  HintSet nlj_only;
+  nlj_only.enable_hash_join = false;
+  nlj_only.enable_merge_join = false;
+  ASSERT_TRUE(interactor_->PushHints(nlj_only).ok());
+  auto hinted = interactor_->PullPlan(q);
+  ASSERT_TRUE(hinted.ok());
+  VisitPlanBottomUp(*hinted->root, [](const PlanNode& node) {
+    if (node.kind == PlanNode::Kind::kJoin) {
+      EXPECT_EQ(node.algorithm, JoinAlgorithm::kNestedLoopJoin);
+    }
+  });
+  ASSERT_TRUE(interactor_->ClearPushes().ok());
+
+  // Execution returns the same count for both plans.
+  auto native_result = interactor_->PullExecution(*native);
+  auto hinted_result = interactor_->PullExecution(*hinted);
+  ASSERT_TRUE(native_result.ok());
+  ASSERT_TRUE(hinted_result.ok());
+  EXPECT_EQ(native_result->row_count, hinted_result->row_count);
+  EXPECT_GT(interactor_->op_counts().pushes, 0);
+  EXPECT_GT(interactor_->op_counts().pulls, 0);
+}
+
+TEST_F(PilotScopeTest, InteractorCardinalityInjectionChangesEstimates) {
+  const Query& q = workload_.queries[0];
+  Subquery full{&q, q.AllTables()};
+  auto base = interactor_->PullEstimatedCardinality(full);
+  ASSERT_TRUE(base.ok());
+  EXPECT_GT(*base, 0.0);
+
+  // Injection affects planning (the pushed value flows into PullPlan's
+  // provider, which we verify indirectly via plan annotation).
+  ASSERT_TRUE(interactor_->PushCardinalityOverride(full.Key(), 1.0).ok());
+  auto plan = interactor_->PullPlan(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->root->estimated_cardinality, 1.0);
+  ASSERT_TRUE(interactor_->ClearPushes().ok());
+}
+
+TEST_F(PilotScopeTest, InteractorValidatesInput) {
+  EXPECT_FALSE(interactor_->PushCardinalityOverride("key", -5.0).ok());
+  EXPECT_FALSE(interactor_->PushCardinalityScale(-1.0, 2).ok());
+}
+
+TEST_F(PilotScopeTest, SubqueriesPulledMatchConnectedSubsets) {
+  const Query& q = workload_.queries[0];
+  auto subqueries = interactor_->PullSubqueries(q);
+  ASSERT_TRUE(subqueries.ok());
+  EXPECT_EQ(subqueries->size(), ConnectedSubsets(q).size());
+}
+
+TEST_F(PilotScopeTest, ConsoleNativeExecutionMatchesTruth) {
+  PilotScopeConsole console(&lab_->catalog, interactor_.get());
+  const Query& q = workload_.queries[0];
+  auto result = console.ExecuteQuery(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_count, lab_->truth->Cardinality(q));
+}
+
+TEST_F(PilotScopeTest, ConsoleExecutesSql) {
+  PilotScopeConsole console(&lab_->catalog, interactor_.get());
+  auto result = console.ExecuteSql(
+      "SELECT COUNT(*) FROM users u, posts p "
+      "WHERE u.id = p.owner_user_id AND u.reputation >= 500");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->row_count, 0u);
+  EXPECT_FALSE(console.ExecuteSql("SELECT garbage").ok());
+}
+
+TEST_F(PilotScopeTest, CardinalityDriverInjectsLearnedEstimates) {
+  // Build a data-driven estimator and deploy it through the driver.
+  DataDrivenEstimator estimator("factorjoin", &lab_->catalog, &lab_->stats,
+                                JoinCombineMode::kKeyBuckets);
+  estimator.SetUniformModelKind(TableModelKind::kSample);
+  estimator.Build();
+
+  PilotScopeConsole console(&lab_->catalog, interactor_.get());
+  ASSERT_TRUE(console
+                  .RegisterDriver(
+                      std::make_unique<CardinalityDriver>(&estimator))
+                  .ok());
+  ASSERT_TRUE(console.ActivateDriver("ce_driver(factorjoin)").ok());
+
+  for (size_t i = 0; i < 5; ++i) {
+    const Query& q = workload_.queries[i];
+    auto result = console.ExecuteQuery(q);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // The driver must preserve result correctness regardless of estimates.
+    EXPECT_EQ(result->row_count, lab_->truth->Cardinality(q));
+  }
+}
+
+TEST_F(PilotScopeTest, ConsoleRejectsDuplicateAndUnknownDrivers) {
+  PilotScopeConsole console(&lab_->catalog, interactor_.get());
+  ASSERT_TRUE(console.RegisterDriver(std::make_unique<BaoDriver>()).ok());
+  EXPECT_FALSE(console.RegisterDriver(std::make_unique<BaoDriver>()).ok());
+  EXPECT_FALSE(console.ActivateDriver("nope").ok());
+  EXPECT_TRUE(console.ActivateDriver("bao_driver").ok());
+  EXPECT_EQ(console.driver_names().size(), 1u);
+}
+
+TEST_F(PilotScopeTest, BaoDriverTrainsAndServes) {
+  PilotScopeConsole console(&lab_->catalog, interactor_.get());
+  auto driver = std::make_unique<BaoDriver>();
+  BaoDriver* bao = driver.get();
+  ASSERT_TRUE(console.RegisterDriver(std::move(driver)).ok());
+  ASSERT_TRUE(console.ActivateDriver("bao_driver").ok());
+  ASSERT_TRUE(console.TrainActiveDriver(workload_).ok());
+  EXPECT_TRUE(bao->trained());
+  auto result = console.ExecuteQuery(workload_.queries[0]);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_count, lab_->truth->Cardinality(workload_.queries[0]));
+}
+
+TEST_F(PilotScopeTest, LeroDriverTrainsAndServes) {
+  PilotScopeConsole console(&lab_->catalog, interactor_.get());
+  auto driver = std::make_unique<LeroDriver>();
+  LeroDriver* lero = driver.get();
+  ASSERT_TRUE(console.RegisterDriver(std::move(driver)).ok());
+  ASSERT_TRUE(console.ActivateDriver("lero_driver").ok());
+  ASSERT_TRUE(console.TrainActiveDriver(workload_).ok());
+  EXPECT_TRUE(lero->trained());
+  auto result = console.ExecuteQuery(workload_.queries[1]);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_count, lab_->truth->Cardinality(workload_.queries[1]));
+}
+
+TEST_F(PilotScopeTest, DriverTransparencyPreservesAllResults) {
+  // Whatever driver runs, the user sees correct COUNT(*) values.
+  PilotScopeConsole console(&lab_->catalog, interactor_.get());
+  ASSERT_TRUE(console.RegisterDriver(std::make_unique<LeroDriver>()).ok());
+  ASSERT_TRUE(console.ActivateDriver("lero_driver").ok());
+  for (size_t i = 0; i < 8; ++i) {
+    const Query& q = workload_.queries[i];
+    auto with_driver = console.ExecuteQuery(q);
+    ASSERT_TRUE(with_driver.ok());
+    EXPECT_EQ(with_driver->row_count, lab_->truth->Cardinality(q))
+        << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace lqo

@@ -1,0 +1,193 @@
+// Property-based tests: randomized sweeps over datasets, queries and plans
+// checking the library's core invariants rather than point examples.
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/lab.h"
+#include "cardinality/registry.h"
+#include "common/rng.h"
+#include "joinorder/join_env.h"
+#include "query/sql_parser.h"
+
+namespace lqo {
+namespace {
+
+class PropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  PropertyTest() : lab_(MakeLab(GetParam(), 0.06)) {
+    WorkloadOptions wopts;
+    wopts.num_queries = 12;
+    wopts.min_tables = 2;
+    wopts.max_tables = 5;
+    wopts.seed = 1301;
+    workload_ = GenerateWorkload(lab_->catalog, wopts);
+  }
+
+  /// A uniformly random valid (connected, possibly bushy) plan via random
+  /// env actions.
+  PhysicalPlan RandomPlan(const Query& query, CardinalityProvider* cards,
+                          Rng* rng) {
+    JoinOrderEnv env(&query, &lab_->stats, lab_->cost_model.get(), cards);
+    while (!env.Done()) {
+      std::vector<JoinOrderEnv::Action> actions = env.LegalActions();
+      env.Step(actions[static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(actions.size()) - 1))]);
+    }
+    return env.ExtractPlan();
+  }
+
+  std::unique_ptr<Lab> lab_;
+  Workload workload_;
+};
+
+// Invariant: every valid plan for a query returns the same COUNT(*) — join
+// order, bushiness and operator choice never change results.
+TEST_P(PropertyTest, AllRandomPlansAgreeOnResult) {
+  Rng rng(1);
+  CardinalityProvider cards(lab_->estimator.get());
+  for (const Query& q : workload_.queries) {
+    uint64_t expected = lab_->truth->Cardinality(q);
+    for (int trial = 0; trial < 5; ++trial) {
+      PhysicalPlan plan = RandomPlan(q, &cards, &rng);
+      auto result = lab_->executor->Execute(plan);
+      ASSERT_TRUE(result.ok()) << q.ToString();
+      EXPECT_EQ(result->row_count, expected)
+          << q.ToString() << "\n" << plan.ToString();
+    }
+  }
+}
+
+// Invariant: the DP plan's estimated cost lower-bounds every random plan's
+// cost under the same cardinalities and cost model.
+TEST_P(PropertyTest, DpIsOptimalAmongRandomPlans) {
+  Rng rng(2);
+  CardinalityProvider cards(lab_->estimator.get());
+  for (const Query& q : workload_.queries) {
+    double dp_cost = lab_->optimizer->Optimize(q, &cards).estimated_cost;
+    for (int trial = 0; trial < 5; ++trial) {
+      PhysicalPlan plan = RandomPlan(q, &cards, &rng);
+      double cost = lab_->cost_model->PlanCost(&plan, &cards);
+      EXPECT_GE(cost, dp_cost * (1 - 1e-9)) << q.ToString();
+    }
+  }
+}
+
+// Invariant: estimates are deterministic, >= 1, and bounded by the join
+// domain product; they never crash on any connected sub-query.
+TEST_P(PropertyTest, EstimatorSanitySweep) {
+  WorkloadOptions wopts;
+  wopts.num_queries = 25;
+  wopts.min_tables = 1;
+  wopts.max_tables = 4;
+  wopts.seed = 1302;
+  Workload train = GenerateWorkload(lab_->catalog, wopts);
+  CeTrainingData training = BuildCeTrainingData(lab_->catalog, lab_->stats,
+                                                train, lab_->truth.get());
+  EstimatorSuiteOptions options;
+  options.include_mlp = false;  // runtime; MLP covered in cardinality_test.
+  std::vector<RegisteredEstimator> suite =
+      MakeEstimatorSuite(lab_->catalog, lab_->stats, training, options);
+
+  for (const Query& q : workload_.queries) {
+    double domain_product = 1.0;
+    for (const QueryTable& t : q.tables()) {
+      domain_product *= static_cast<double>(
+          (*lab_->catalog.GetTable(t.table_name))->num_rows());
+    }
+    Subquery full{&q, q.AllTables()};
+    for (RegisteredEstimator& entry : suite) {
+      double e1 = entry.estimator->EstimateSubquery(full);
+      double e2 = entry.estimator->EstimateSubquery(full);
+      EXPECT_EQ(e1, e2) << entry.estimator->Name() << " nondeterministic";
+      EXPECT_GE(e1, 1.0) << entry.estimator->Name();
+      EXPECT_LE(e1, domain_product * 1.001)
+          << entry.estimator->Name() << " exceeded the join domain on "
+          << q.ToString();
+    }
+  }
+}
+
+// Invariant: per-column CDFs are monotone over every column of the schema.
+TEST_P(PropertyTest, HistogramCdfMonotoneEverywhere) {
+  for (const std::string& name : lab_->catalog.table_names()) {
+    const Table& table = **lab_->catalog.GetTable(name);
+    for (const Column& col : table.columns()) {
+      const ColumnStats& cs = lab_->stats.Of(name).ColumnStatsOf(col.name);
+      double prev = -1.0;
+      int64_t step = std::max<int64_t>(
+          1, (cs.max_value - cs.min_value) / 37);
+      for (int64_t v = cs.min_value; v <= cs.max_value; v += step) {
+        double cdf = cs.CdfLessEq(v);
+        EXPECT_GE(cdf, prev - 1e-12) << name << "." << col.name;
+        prev = cdf;
+      }
+    }
+  }
+}
+
+// Invariant: the canonical sub-query key is injective over the distinct
+// connected subsets of one query.
+TEST_P(PropertyTest, SubqueryKeysDistinctWithinQuery) {
+  for (const Query& q : workload_.queries) {
+    std::set<std::string> keys;
+    for (TableSet set : ConnectedSubsets(q)) {
+      EXPECT_TRUE(keys.insert(Subquery{&q, set}.Key()).second)
+          << "key collision in " << q.ToString();
+    }
+  }
+}
+
+// Robustness: the SQL parser never crashes on garbage, and it round-trips
+// every generated query on this schema.
+TEST_P(PropertyTest, ParserRobustToGarbageAndRoundTrips) {
+  Rng rng(3);
+  const std::string kAlphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789_.,()*'<>= \t";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    int len = static_cast<int>(rng.UniformInt(0, 60));
+    for (int i = 0; i < len; ++i) {
+      garbage.push_back(kAlphabet[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(kAlphabet.size()) - 1))]);
+    }
+    // Must not crash; nearly always an error (a random string that parses
+    // is fine too — we only check no aborts / UB).
+    ParseSql(lab_->catalog, garbage);
+  }
+  for (const Query& q : workload_.queries) {
+    auto parsed = ParseSql(lab_->catalog, q.ToString());
+    ASSERT_TRUE(parsed.ok()) << q.ToString();
+    EXPECT_EQ(lab_->truth->Cardinality(*parsed), lab_->truth->Cardinality(q));
+  }
+}
+
+// Invariant: executor latency accounting is additive over node profiles
+// and strictly positive.
+TEST_P(PropertyTest, ExecutorTimeIsSumOfNodeProfiles) {
+  CardinalityProvider cards(lab_->estimator.get());
+  for (const Query& q : workload_.queries) {
+    PhysicalPlan plan = lab_->optimizer->Optimize(q, &cards).plan;
+    auto result = lab_->executor->Execute(plan);
+    ASSERT_TRUE(result.ok());
+    double sum = 0.0;
+    for (const NodeProfile& node : result->node_profiles) {
+      // Zero is legal for operators over empty intermediates; negative
+      // work is not.
+      EXPECT_GE(node.time_units, 0.0);
+      sum += node.time_units;
+    }
+    EXPECT_GT(result->time_units, 0.0);
+    EXPECT_NEAR(result->time_units, sum, sum * 1e-12);
+    EXPECT_EQ(result->node_profiles.size(),
+              static_cast<size_t>(2 * q.num_tables() - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, PropertyTest,
+                         ::testing::ValuesIn(DatasetNames()));
+
+}  // namespace
+}  // namespace lqo

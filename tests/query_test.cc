@@ -1,0 +1,247 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "query/predicate.h"
+#include "query/query.h"
+#include "query/sql_parser.h"
+#include "query/workload.h"
+#include "storage/datasets.h"
+
+namespace lqo {
+namespace {
+
+TEST(PredicateTest, EqualsMatches) {
+  Predicate p = Predicate::Equals(0, "x", 5);
+  EXPECT_TRUE(p.Matches(5));
+  EXPECT_FALSE(p.Matches(4));
+}
+
+TEST(PredicateTest, RangeMatchesInclusive) {
+  Predicate p = Predicate::Range(0, "x", 2, 4);
+  EXPECT_FALSE(p.Matches(1));
+  EXPECT_TRUE(p.Matches(2));
+  EXPECT_TRUE(p.Matches(3));
+  EXPECT_TRUE(p.Matches(4));
+  EXPECT_FALSE(p.Matches(5));
+}
+
+TEST(PredicateTest, InDeduplicatesAndSorts) {
+  Predicate p = Predicate::In(0, "x", {7, 3, 7, 1});
+  EXPECT_EQ(p.in_values, (std::vector<int64_t>{1, 3, 7}));
+  EXPECT_TRUE(p.Matches(3));
+  EXPECT_FALSE(p.Matches(5));
+}
+
+Query MakeTriangleQuery() {
+  // t0 -- t1 -- t2 with an extra edge t0 -- t2 (cycle).
+  Query q;
+  q.AddTable("a");
+  q.AddTable("b");
+  q.AddTable("c");
+  q.AddJoin(0, "x", 1, "x");
+  q.AddJoin(1, "y", 2, "y");
+  q.AddJoin(0, "z", 2, "z");
+  q.AddPredicate(Predicate::Equals(1, "v", 9));
+  return q;
+}
+
+TEST(QueryTest, BasicAccessors) {
+  Query q = MakeTriangleQuery();
+  EXPECT_EQ(q.num_tables(), 3);
+  EXPECT_EQ(q.AllTables(), TableSet{0b111});
+  EXPECT_EQ(q.PredicatesOf(1).size(), 1u);
+  EXPECT_TRUE(q.PredicatesOf(0).empty());
+  EXPECT_EQ(q.Neighbors(0), (std::vector<int>{1, 2}));
+}
+
+TEST(QueryTest, JoinsWithinSubset) {
+  Query q = MakeTriangleQuery();
+  EXPECT_EQ(q.JoinsWithin(0b011).size(), 1u);
+  EXPECT_EQ(q.JoinsWithin(0b111).size(), 3u);
+  EXPECT_TRUE(q.JoinsWithin(0b001).empty());
+}
+
+TEST(QueryTest, Connectivity) {
+  Query q;
+  q.AddTable("a");
+  q.AddTable("b");
+  q.AddTable("c");
+  q.AddJoin(0, "x", 1, "x");
+  EXPECT_TRUE(q.IsConnected(0b011));
+  EXPECT_FALSE(q.IsConnected(0b101));
+  EXPECT_FALSE(q.IsConnected(0b111));
+  EXPECT_TRUE(q.IsConnected(0b001));
+}
+
+TEST(QueryTest, ToStringRendersSql) {
+  Query q = MakeTriangleQuery();
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("SELECT COUNT(*) FROM a t0, b t1, c t2"),
+            std::string::npos);
+  EXPECT_NE(s.find("t0.x = t1.x"), std::string::npos);
+  EXPECT_NE(s.find("t1.v = 9"), std::string::npos);
+}
+
+TEST(SubqueryTest, KeyCanonicalAcrossTableOrder) {
+  // Same logical subquery expressed with different table indices must yield
+  // the same key.
+  Query q1;
+  q1.AddTable("posts");
+  q1.AddTable("users");
+  q1.AddJoin(0, "owner_user_id", 1, "id");
+  q1.AddPredicate(Predicate::Range(1, "reputation", 0, 10));
+
+  Query q2;
+  q2.AddTable("users");
+  q2.AddTable("posts");
+  q2.AddJoin(1, "owner_user_id", 0, "id");
+  q2.AddPredicate(Predicate::Range(0, "reputation", 0, 10));
+
+  Subquery s1{&q1, q1.AllTables()};
+  Subquery s2{&q2, q2.AllTables()};
+  EXPECT_EQ(s1.Key(), s2.Key());
+}
+
+TEST(SubqueryTest, KeyDistinguishesPredicates) {
+  Query q1;
+  q1.AddTable("users");
+  q1.AddPredicate(Predicate::Range(0, "reputation", 0, 10));
+  Query q2;
+  q2.AddTable("users");
+  q2.AddPredicate(Predicate::Range(0, "reputation", 0, 11));
+  EXPECT_NE((Subquery{&q1, 1}).Key(), (Subquery{&q2, 1}).Key());
+}
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static DatasetOptions SmallOptions() {
+    DatasetOptions options;
+    options.scale = 0.1;
+    return options;
+  }
+};
+
+TEST_P(WorkloadTest, GeneratesConnectedQueriesWithValidPredicates) {
+  Catalog catalog = *MakeDataset(GetParam(), SmallOptions());
+  WorkloadOptions options;
+  options.num_queries = 40;
+  options.min_tables = 1;
+  options.max_tables = 4;
+  Workload workload = GenerateWorkload(catalog, options);
+  ASSERT_EQ(workload.queries.size(), 40u);
+  for (const Query& q : workload.queries) {
+    EXPECT_TRUE(q.IsConnected(q.AllTables())) << q.ToString();
+    EXPECT_GE(q.num_tables(), 1);
+    EXPECT_LE(q.num_tables(), 4);
+    for (const Predicate& p : q.predicates()) {
+      const Table& t = **catalog.GetTable(
+          q.tables()[static_cast<size_t>(p.table_index)].table_name);
+      EXPECT_TRUE(t.HasColumn(p.column)) << p.ToString();
+    }
+    for (const QueryJoin& j : q.joins()) {
+      EXPECT_NE(j.left_table, j.right_table);
+    }
+  }
+}
+
+TEST_P(WorkloadTest, Deterministic) {
+  Catalog catalog = *MakeDataset(GetParam(), SmallOptions());
+  WorkloadOptions options;
+  options.num_queries = 10;
+  Workload w1 = GenerateWorkload(catalog, options);
+  Workload w2 = GenerateWorkload(catalog, options);
+  for (size_t i = 0; i < w1.queries.size(); ++i) {
+    EXPECT_EQ(w1.queries[i].ToString(), w2.queries[i].ToString());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, WorkloadTest,
+                         ::testing::ValuesIn(DatasetNames()));
+
+TEST(PredicateColumnsTest, ExcludesJoinAndIdColumns) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  Catalog catalog = MakeStatsLite(options);
+  auto cols = PredicateColumns(catalog, "posts");
+  std::set<std::string> col_set(cols.begin(), cols.end());
+  EXPECT_EQ(col_set.count("id"), 0u);
+  EXPECT_EQ(col_set.count("owner_user_id"), 0u);
+  EXPECT_EQ(col_set.count("score"), 1u);
+}
+
+class SqlParserTest : public ::testing::Test {
+ protected:
+  SqlParserTest() {
+    DatasetOptions options;
+    options.scale = 0.05;
+    catalog_ = MakeStatsLite(options);
+  }
+  Catalog catalog_;
+};
+
+TEST_F(SqlParserTest, ParsesJoinQuery) {
+  auto q = ParseSql(catalog_,
+                    "SELECT COUNT(*) FROM users u, posts p "
+                    "WHERE u.id = p.owner_user_id AND u.reputation >= 100 "
+                    "AND p.score BETWEEN 1 AND 5;");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_tables(), 2);
+  EXPECT_EQ(q->joins().size(), 1u);
+  ASSERT_EQ(q->predicates().size(), 2u);
+  EXPECT_EQ(q->predicates()[1].kind, PredicateKind::kRange);
+  EXPECT_EQ(q->predicates()[1].lo, 1);
+  EXPECT_EQ(q->predicates()[1].hi, 5);
+}
+
+TEST_F(SqlParserTest, ParsesInListAndStringLiteral) {
+  auto q = ParseSql(catalog_,
+                    "select count(*) from posts p where "
+                    "p.post_type = 'ptype_1' and p.answer_count in (1, 2, 3)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->predicates().size(), 2u);
+  EXPECT_EQ(q->predicates()[0].kind, PredicateKind::kEquals);
+  EXPECT_EQ(q->predicates()[0].value, 1);  // dictionary code of 'ptype_1'
+  EXPECT_EQ(q->predicates()[1].in_values.size(), 3u);
+}
+
+TEST_F(SqlParserTest, NormalizesInequalities) {
+  auto q = ParseSql(catalog_,
+                    "SELECT COUNT(*) FROM users u WHERE u.reputation < 50");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->predicates().size(), 1u);
+  const Predicate& p = q->predicates()[0];
+  EXPECT_EQ(p.kind, PredicateKind::kRange);
+  EXPECT_EQ(p.hi, 49);
+}
+
+TEST_F(SqlParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseSql(catalog_, "SELECT * FROM users").ok());
+  EXPECT_FALSE(ParseSql(catalog_, "SELECT COUNT(*) FROM nosuch").ok());
+  EXPECT_FALSE(
+      ParseSql(catalog_, "SELECT COUNT(*) FROM users u WHERE u.nope = 1").ok());
+  EXPECT_FALSE(
+      ParseSql(catalog_,
+               "SELECT COUNT(*) FROM users u, posts p WHERE u.reputation = 1")
+          .ok())
+      << "cross product should be rejected";
+  EXPECT_FALSE(ParseSql(catalog_, "").ok());
+}
+
+TEST_F(SqlParserTest, RoundTripsGeneratedQueries) {
+  WorkloadOptions options;
+  options.num_queries = 20;
+  options.max_tables = 3;
+  Workload workload = GenerateWorkload(catalog_, options);
+  for (const Query& q : workload.queries) {
+    auto parsed = ParseSql(catalog_, q.ToString());
+    ASSERT_TRUE(parsed.ok())
+        << q.ToString() << " -> " << parsed.status().ToString();
+    EXPECT_EQ(parsed->num_tables(), q.num_tables());
+    EXPECT_EQ(parsed->joins().size(), q.joins().size());
+    EXPECT_EQ(parsed->predicates().size(), q.predicates().size());
+  }
+}
+
+}  // namespace
+}  // namespace lqo

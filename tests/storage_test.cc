@@ -1,0 +1,214 @@
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/csv.h"
+#include "storage/datasets.h"
+#include "storage/table.h"
+
+namespace lqo {
+namespace {
+
+Table MakeToyTable() {
+  TableBuilder builder("toy");
+  builder.AddInt64Column("a");
+  builder.AddCategoricalColumn("color", {"blue", "green", "red"});
+  builder.AppendRow({10, 0});
+  builder.AppendRow({20, 2});
+  builder.AppendRow({20, 1});
+  return builder.Build();
+}
+
+TEST(TableBuilderTest, BuildsWithDerivedStats) {
+  Table t = MakeToyTable();
+  EXPECT_EQ(t.name(), "toy");
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  const Column& a = t.column(0);
+  EXPECT_EQ(a.min_value, 10);
+  EXPECT_EQ(a.max_value, 20);
+  EXPECT_EQ(a.num_distinct, 2);
+  const Column& color = t.column(1);
+  EXPECT_EQ(color.num_distinct, 3);
+  EXPECT_EQ(color.ValueToString(1), "red");
+}
+
+TEST(TableTest, ColumnLookup) {
+  Table t = MakeToyTable();
+  ASSERT_TRUE(t.ColumnIndex("color").ok());
+  EXPECT_EQ(t.ColumnIndex("color").value(), 1u);
+  EXPECT_FALSE(t.ColumnIndex("missing").ok());
+  EXPECT_TRUE(t.HasColumn("a"));
+  EXPECT_FALSE(t.HasColumn("b"));
+  EXPECT_EQ(t.ValueAt(2, 0), 20);
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeToyTable()).ok());
+  EXPECT_FALSE(catalog.AddTable(MakeToyTable()).ok()) << "duplicate allowed";
+  EXPECT_TRUE(catalog.HasTable("toy"));
+  EXPECT_FALSE(catalog.HasTable("other"));
+  ASSERT_TRUE(catalog.GetTable("toy").ok());
+  EXPECT_EQ((*catalog.GetTable("toy"))->num_rows(), 3u);
+}
+
+TEST(CatalogTest, JoinEdgeValidation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeToyTable()).ok());
+  TableBuilder other("other");
+  other.AddInt64Column("toy_a");
+  other.AppendRow({10});
+  ASSERT_TRUE(catalog.AddTable(other.Build()).ok());
+
+  JoinEdge good{.left_table = "toy",
+                .left_column = "a",
+                .right_table = "other",
+                .right_column = "toy_a"};
+  EXPECT_TRUE(catalog.AddJoinEdge(good).ok());
+  JoinEdge bad = good;
+  bad.right_column = "nope";
+  EXPECT_FALSE(catalog.AddJoinEdge(bad).ok());
+  EXPECT_EQ(catalog.EdgesOf("toy").size(), 1u);
+  EXPECT_EQ(catalog.EdgesOf("other").size(), 1u);
+}
+
+class DatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetTest, GeneratesValidCatalog) {
+  DatasetOptions options;
+  options.scale = 0.1;
+  auto catalog_or = MakeDataset(GetParam(), options);
+  ASSERT_TRUE(catalog_or.ok());
+  const Catalog& catalog = *catalog_or;
+  EXPECT_GE(catalog.table_names().size(), 3u);
+  EXPECT_GE(catalog.join_edges().size(), 2u);
+  for (const std::string& name : catalog.table_names()) {
+    const Table& t = **catalog.GetTable(name);
+    EXPECT_GT(t.num_rows(), 0u) << name;
+    for (const Column& col : t.columns()) {
+      EXPECT_GE(col.num_distinct, 1) << name << "." << col.name;
+      EXPECT_LE(col.min_value, col.max_value);
+    }
+  }
+  // Every join edge references valid table/columns (AddJoinEdge validated).
+  for (const JoinEdge& edge : catalog.join_edges()) {
+    EXPECT_TRUE(catalog.HasTable(edge.left_table));
+    EXPECT_TRUE(catalog.HasTable(edge.right_table));
+  }
+}
+
+TEST_P(DatasetTest, DeterministicAcrossCalls) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  options.seed = 99;
+  Catalog a = *MakeDataset(GetParam(), options);
+  Catalog b = *MakeDataset(GetParam(), options);
+  for (const std::string& name : a.table_names()) {
+    const Table& ta = **a.GetTable(name);
+    const Table& tb = **b.GetTable(name);
+    ASSERT_EQ(ta.num_rows(), tb.num_rows()) << name;
+    for (size_t c = 0; c < ta.num_columns(); ++c) {
+      EXPECT_EQ(ta.column(c).data, tb.column(c).data) << name;
+    }
+  }
+}
+
+TEST_P(DatasetTest, ScaleChangesSize) {
+  DatasetOptions small, large;
+  small.scale = 0.05;
+  large.scale = 0.2;
+  Catalog cs = *MakeDataset(GetParam(), small);
+  Catalog cl = *MakeDataset(GetParam(), large);
+  EXPECT_GT(cl.TotalRows(), cs.TotalRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetTest,
+                         ::testing::ValuesIn(DatasetNames()));
+
+TEST(DatasetTest, UnknownNameFails) {
+  EXPECT_FALSE(MakeDataset("bogus", DatasetOptions{}).ok());
+}
+
+TEST(DatasetTest, ImdbCorrelationPresent) {
+  // production_year should correlate with kind_id by construction: compute
+  // mean year for kind 0 vs the highest kind and expect a visible gap.
+  DatasetOptions options;
+  options.scale = 0.25;
+  Catalog catalog = MakeImdbLite(options);
+  const Table& title = **catalog.GetTable("title");
+  size_t kind_idx = title.ColumnIndex("kind_id").value();
+  size_t year_idx = title.ColumnIndex("production_year").value();
+  double sum_low = 0, n_low = 0, sum_high = 0, n_high = 0;
+  int64_t max_kind = title.column(kind_idx).max_value;
+  for (size_t r = 0; r < title.num_rows(); ++r) {
+    int64_t kind = title.ValueAt(r, kind_idx);
+    int64_t year = title.ValueAt(r, year_idx);
+    if (kind == 0) {
+      sum_low += static_cast<double>(year);
+      n_low += 1;
+    } else if (kind == max_kind) {
+      sum_high += static_cast<double>(year);
+      n_high += 1;
+    }
+  }
+  ASSERT_GT(n_low, 0);
+  ASSERT_GT(n_high, 0);
+  // Kind 0 titles skew older than max-kind titles.
+  EXPECT_LT(sum_low / n_low + 3.0, sum_high / n_high);
+}
+
+TEST(CsvTest, TableRoundTrip) {
+  Table original = MakeToyTable();
+  std::string path = ::testing::TempDir() + "/toy.csv";
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  auto loaded = ReadCsv(path, "toy");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), original.num_rows());
+  ASSERT_EQ(loaded->num_columns(), original.num_columns());
+  for (size_t c = 0; c < original.num_columns(); ++c) {
+    EXPECT_EQ(loaded->column(c).name, original.column(c).name);
+    EXPECT_EQ(loaded->column(c).type, original.column(c).type);
+    for (size_t r = 0; r < original.num_rows(); ++r) {
+      EXPECT_EQ(loaded->column(c).ValueToString(r),
+                original.column(c).ValueToString(r));
+    }
+  }
+}
+
+TEST(CsvTest, CatalogRoundTripPreservesDataAndEdges) {
+  DatasetOptions options;
+  options.scale = 0.03;
+  Catalog original = MakeStatsLite(options);
+  std::string dir = ::testing::TempDir() + "/catalog_csv";
+  ASSERT_TRUE(WriteCatalogCsv(original, dir).ok());
+  auto loaded = ReadCatalogCsv(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->table_names(), original.table_names());
+  EXPECT_EQ(loaded->join_edges().size(), original.join_edges().size());
+  for (const std::string& name : original.table_names()) {
+    const Table& a = **original.GetTable(name);
+    const Table& b = **loaded->GetTable(name);
+    ASSERT_EQ(a.num_rows(), b.num_rows()) << name;
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.column(c).data, b.column(c).data) << name;
+    }
+  }
+}
+
+TEST(CsvTest, ErrorsSurfaceAsStatuses) {
+  EXPECT_FALSE(ReadCsv("/no/such/file.csv", "x").ok());
+  EXPECT_FALSE(ReadCatalogCsv("/no/such/dir").ok());
+  // Malformed content.
+  std::string path = ::testing::TempDir() + "/bad.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\nint64,int64\n1,notanint\n";
+  }
+  EXPECT_FALSE(ReadCsv(path, "bad").ok());
+}
+
+}  // namespace
+}  // namespace lqo
