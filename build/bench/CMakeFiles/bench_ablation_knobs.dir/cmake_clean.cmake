@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_knobs.dir/bench_ablation_knobs.cc.o"
+  "CMakeFiles/bench_ablation_knobs.dir/bench_ablation_knobs.cc.o.d"
+  "bench_ablation_knobs"
+  "bench_ablation_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

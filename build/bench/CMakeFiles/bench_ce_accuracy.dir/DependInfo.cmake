@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ce_accuracy.cc" "bench/CMakeFiles/bench_ce_accuracy.dir/bench_ce_accuracy.cc.o" "gcc" "bench/CMakeFiles/bench_ce_accuracy.dir/bench_ce_accuracy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/lqo_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/pilotscope/CMakeFiles/lqo_pilotscope.dir/DependInfo.cmake"
+  "/root/repo/build/src/regression/CMakeFiles/lqo_regression.dir/DependInfo.cmake"
+  "/root/repo/build/src/joinorder/CMakeFiles/lqo_joinorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/e2e/CMakeFiles/lqo_e2e.dir/DependInfo.cmake"
+  "/root/repo/build/src/cardinality/CMakeFiles/lqo_cardinality.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/lqo_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/lqo_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lqo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lqo_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/lqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ce_accuracy.dir/bench_ce_accuracy.cc.o"
+  "CMakeFiles/bench_ce_accuracy.dir/bench_ce_accuracy.cc.o.d"
+  "bench_ce_accuracy"
+  "bench_ce_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ce_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ce_e2e.dir/bench_ce_e2e.cc.o"
+  "CMakeFiles/bench_ce_e2e.dir/bench_ce_e2e.cc.o.d"
+  "bench_ce_e2e"
+  "bench_ce_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ce_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_cost.dir/bench_concurrent_cost.cc.o"
+  "CMakeFiles/bench_concurrent_cost.dir/bench_concurrent_cost.cc.o.d"
+  "bench_concurrent_cost"
+  "bench_concurrent_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

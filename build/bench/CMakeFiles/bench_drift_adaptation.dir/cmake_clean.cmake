@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drift_adaptation.dir/bench_drift_adaptation.cc.o"
+  "CMakeFiles/bench_drift_adaptation.dir/bench_drift_adaptation.cc.o.d"
+  "bench_drift_adaptation"
+  "bench_drift_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drift_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_optimizers.dir/bench_e2e_optimizers.cc.o"
+  "CMakeFiles/bench_e2e_optimizers.dir/bench_e2e_optimizers.cc.o.d"
+  "bench_e2e_optimizers"
+  "bench_e2e_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

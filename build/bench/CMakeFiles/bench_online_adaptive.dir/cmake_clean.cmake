@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_adaptive.dir/bench_online_adaptive.cc.o"
+  "CMakeFiles/bench_online_adaptive.dir/bench_online_adaptive.cc.o.d"
+  "bench_online_adaptive"
+  "bench_online_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pilotscope.dir/bench_pilotscope.cc.o"
+  "CMakeFiles/bench_pilotscope.dir/bench_pilotscope.cc.o.d"
+  "bench_pilotscope"
+  "bench_pilotscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pilotscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regression_eraser.dir/bench_regression_eraser.cc.o"
+  "CMakeFiles/bench_regression_eraser.dir/bench_regression_eraser.cc.o.d"
+  "bench_regression_eraser"
+  "bench_regression_eraser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regression_eraser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

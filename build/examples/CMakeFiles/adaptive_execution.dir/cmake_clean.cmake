@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_execution.dir/adaptive_execution.cpp.o"
+  "CMakeFiles/adaptive_execution.dir/adaptive_execution.cpp.o.d"
+  "adaptive_execution"
+  "adaptive_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_tour.dir/estimator_tour.cpp.o"
+  "CMakeFiles/estimator_tour.dir/estimator_tour.cpp.o.d"
+  "estimator_tour"
+  "estimator_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_optimizer_loop.dir/learned_optimizer_loop.cpp.o"
+  "CMakeFiles/learned_optimizer_loop.dir/learned_optimizer_loop.cpp.o.d"
+  "learned_optimizer_loop"
+  "learned_optimizer_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_optimizer_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilotscope_demo.dir/pilotscope_demo.cpp.o"
+  "CMakeFiles/pilotscope_demo.dir/pilotscope_demo.cpp.o.d"
+  "pilotscope_demo"
+  "pilotscope_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilotscope_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("query")
+subdirs("engine")
+subdirs("ml")
+subdirs("optimizer")
+subdirs("cardinality")
+subdirs("costmodel")
+subdirs("joinorder")
+subdirs("e2e")
+subdirs("regression")
+subdirs("benchlib")
+subdirs("pilotscope")

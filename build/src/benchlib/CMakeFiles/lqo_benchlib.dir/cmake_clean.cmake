@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_benchlib.dir/e2e_harness.cc.o"
+  "CMakeFiles/lqo_benchlib.dir/e2e_harness.cc.o.d"
+  "CMakeFiles/lqo_benchlib.dir/lab.cc.o"
+  "CMakeFiles/lqo_benchlib.dir/lab.cc.o.d"
+  "liblqo_benchlib.a"
+  "liblqo_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lqo_benchlib.
+# This may be replaced when dependencies are built.

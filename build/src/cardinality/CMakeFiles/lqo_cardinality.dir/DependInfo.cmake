@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cardinality/advisor.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/advisor.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/advisor.cc.o.d"
+  "/root/repo/src/cardinality/ar_model.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/ar_model.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/ar_model.cc.o.d"
+  "/root/repo/src/cardinality/bayes_net_model.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/bayes_net_model.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/bayes_net_model.cc.o.d"
+  "/root/repo/src/cardinality/data_driven.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/data_driven.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/data_driven.cc.o.d"
+  "/root/repo/src/cardinality/discretize.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/discretize.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/discretize.cc.o.d"
+  "/root/repo/src/cardinality/evaluation.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/evaluation.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/evaluation.cc.o.d"
+  "/root/repo/src/cardinality/featurizer.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/featurizer.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/featurizer.cc.o.d"
+  "/root/repo/src/cardinality/hybrid.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/hybrid.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/hybrid.cc.o.d"
+  "/root/repo/src/cardinality/kde_model.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/kde_model.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/kde_model.cc.o.d"
+  "/root/repo/src/cardinality/perror.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/perror.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/perror.cc.o.d"
+  "/root/repo/src/cardinality/query_driven.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/query_driven.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/query_driven.cc.o.d"
+  "/root/repo/src/cardinality/registry.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/registry.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/registry.cc.o.d"
+  "/root/repo/src/cardinality/sample_model.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/sample_model.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/sample_model.cc.o.d"
+  "/root/repo/src/cardinality/sketch_model.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/sketch_model.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/sketch_model.cc.o.d"
+  "/root/repo/src/cardinality/spn_model.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/spn_model.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/spn_model.cc.o.d"
+  "/root/repo/src/cardinality/traditional.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/traditional.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/traditional.cc.o.d"
+  "/root/repo/src/cardinality/training_data.cc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/training_data.cc.o" "gcc" "src/cardinality/CMakeFiles/lqo_cardinality.dir/training_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/lqo_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lqo_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lqo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/lqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_common.dir/rng.cc.o"
+  "CMakeFiles/lqo_common.dir/rng.cc.o.d"
+  "CMakeFiles/lqo_common.dir/stats_util.cc.o"
+  "CMakeFiles/lqo_common.dir/stats_util.cc.o.d"
+  "CMakeFiles/lqo_common.dir/str_util.cc.o"
+  "CMakeFiles/lqo_common.dir/str_util.cc.o.d"
+  "CMakeFiles/lqo_common.dir/table_printer.cc.o"
+  "CMakeFiles/lqo_common.dir/table_printer.cc.o.d"
+  "liblqo_common.a"
+  "liblqo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_costmodel.dir/concurrent.cc.o"
+  "CMakeFiles/lqo_costmodel.dir/concurrent.cc.o.d"
+  "CMakeFiles/lqo_costmodel.dir/learned_cost_model.cc.o"
+  "CMakeFiles/lqo_costmodel.dir/learned_cost_model.cc.o.d"
+  "CMakeFiles/lqo_costmodel.dir/plan_featurizer.cc.o"
+  "CMakeFiles/lqo_costmodel.dir/plan_featurizer.cc.o.d"
+  "CMakeFiles/lqo_costmodel.dir/sample_collection.cc.o"
+  "CMakeFiles/lqo_costmodel.dir/sample_collection.cc.o.d"
+  "liblqo_costmodel.a"
+  "liblqo_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

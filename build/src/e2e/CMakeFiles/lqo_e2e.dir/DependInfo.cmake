@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/e2e/bao.cc" "src/e2e/CMakeFiles/lqo_e2e.dir/bao.cc.o" "gcc" "src/e2e/CMakeFiles/lqo_e2e.dir/bao.cc.o.d"
+  "/root/repo/src/e2e/framework.cc" "src/e2e/CMakeFiles/lqo_e2e.dir/framework.cc.o" "gcc" "src/e2e/CMakeFiles/lqo_e2e.dir/framework.cc.o.d"
+  "/root/repo/src/e2e/hyperqo.cc" "src/e2e/CMakeFiles/lqo_e2e.dir/hyperqo.cc.o" "gcc" "src/e2e/CMakeFiles/lqo_e2e.dir/hyperqo.cc.o.d"
+  "/root/repo/src/e2e/leon.cc" "src/e2e/CMakeFiles/lqo_e2e.dir/leon.cc.o" "gcc" "src/e2e/CMakeFiles/lqo_e2e.dir/leon.cc.o.d"
+  "/root/repo/src/e2e/lero.cc" "src/e2e/CMakeFiles/lqo_e2e.dir/lero.cc.o" "gcc" "src/e2e/CMakeFiles/lqo_e2e.dir/lero.cc.o.d"
+  "/root/repo/src/e2e/neo.cc" "src/e2e/CMakeFiles/lqo_e2e.dir/neo.cc.o" "gcc" "src/e2e/CMakeFiles/lqo_e2e.dir/neo.cc.o.d"
+  "/root/repo/src/e2e/risk_models.cc" "src/e2e/CMakeFiles/lqo_e2e.dir/risk_models.cc.o" "gcc" "src/e2e/CMakeFiles/lqo_e2e.dir/risk_models.cc.o.d"
+  "/root/repo/src/e2e/value_search.cc" "src/e2e/CMakeFiles/lqo_e2e.dir/value_search.cc.o" "gcc" "src/e2e/CMakeFiles/lqo_e2e.dir/value_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/costmodel/CMakeFiles/lqo_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/lqo_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lqo_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lqo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/lqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_e2e.dir/bao.cc.o"
+  "CMakeFiles/lqo_e2e.dir/bao.cc.o.d"
+  "CMakeFiles/lqo_e2e.dir/framework.cc.o"
+  "CMakeFiles/lqo_e2e.dir/framework.cc.o.d"
+  "CMakeFiles/lqo_e2e.dir/hyperqo.cc.o"
+  "CMakeFiles/lqo_e2e.dir/hyperqo.cc.o.d"
+  "CMakeFiles/lqo_e2e.dir/leon.cc.o"
+  "CMakeFiles/lqo_e2e.dir/leon.cc.o.d"
+  "CMakeFiles/lqo_e2e.dir/lero.cc.o"
+  "CMakeFiles/lqo_e2e.dir/lero.cc.o.d"
+  "CMakeFiles/lqo_e2e.dir/neo.cc.o"
+  "CMakeFiles/lqo_e2e.dir/neo.cc.o.d"
+  "CMakeFiles/lqo_e2e.dir/risk_models.cc.o"
+  "CMakeFiles/lqo_e2e.dir/risk_models.cc.o.d"
+  "CMakeFiles/lqo_e2e.dir/value_search.cc.o"
+  "CMakeFiles/lqo_e2e.dir/value_search.cc.o.d"
+  "liblqo_e2e.a"
+  "liblqo_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_engine.dir/executor.cc.o"
+  "CMakeFiles/lqo_engine.dir/executor.cc.o.d"
+  "CMakeFiles/lqo_engine.dir/explain.cc.o"
+  "CMakeFiles/lqo_engine.dir/explain.cc.o.d"
+  "CMakeFiles/lqo_engine.dir/plan.cc.o"
+  "CMakeFiles/lqo_engine.dir/plan.cc.o.d"
+  "CMakeFiles/lqo_engine.dir/true_cardinality.cc.o"
+  "CMakeFiles/lqo_engine.dir/true_cardinality.cc.o.d"
+  "liblqo_engine.a"
+  "liblqo_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

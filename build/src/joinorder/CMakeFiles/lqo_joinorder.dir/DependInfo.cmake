@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/joinorder/join_env.cc" "src/joinorder/CMakeFiles/lqo_joinorder.dir/join_env.cc.o" "gcc" "src/joinorder/CMakeFiles/lqo_joinorder.dir/join_env.cc.o.d"
+  "/root/repo/src/joinorder/mcts.cc" "src/joinorder/CMakeFiles/lqo_joinorder.dir/mcts.cc.o" "gcc" "src/joinorder/CMakeFiles/lqo_joinorder.dir/mcts.cc.o.d"
+  "/root/repo/src/joinorder/online_skinner.cc" "src/joinorder/CMakeFiles/lqo_joinorder.dir/online_skinner.cc.o" "gcc" "src/joinorder/CMakeFiles/lqo_joinorder.dir/online_skinner.cc.o.d"
+  "/root/repo/src/joinorder/qlearning.cc" "src/joinorder/CMakeFiles/lqo_joinorder.dir/qlearning.cc.o" "gcc" "src/joinorder/CMakeFiles/lqo_joinorder.dir/qlearning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/lqo_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lqo_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lqo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/lqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_joinorder.dir/join_env.cc.o"
+  "CMakeFiles/lqo_joinorder.dir/join_env.cc.o.d"
+  "CMakeFiles/lqo_joinorder.dir/mcts.cc.o"
+  "CMakeFiles/lqo_joinorder.dir/mcts.cc.o.d"
+  "CMakeFiles/lqo_joinorder.dir/online_skinner.cc.o"
+  "CMakeFiles/lqo_joinorder.dir/online_skinner.cc.o.d"
+  "CMakeFiles/lqo_joinorder.dir/qlearning.cc.o"
+  "CMakeFiles/lqo_joinorder.dir/qlearning.cc.o.d"
+  "liblqo_joinorder.a"
+  "liblqo_joinorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_joinorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/chow_liu.cc" "src/ml/CMakeFiles/lqo_ml.dir/chow_liu.cc.o" "gcc" "src/ml/CMakeFiles/lqo_ml.dir/chow_liu.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/lqo_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/lqo_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "src/ml/CMakeFiles/lqo_ml.dir/forest.cc.o" "gcc" "src/ml/CMakeFiles/lqo_ml.dir/forest.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/lqo_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/lqo_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/gmm.cc" "src/ml/CMakeFiles/lqo_ml.dir/gmm.cc.o" "gcc" "src/ml/CMakeFiles/lqo_ml.dir/gmm.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/lqo_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/lqo_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/lqo_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/lqo_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/lqo_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/lqo_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/lqo_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/lqo_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/ml/CMakeFiles/lqo_ml.dir/tree.cc.o" "gcc" "src/ml/CMakeFiles/lqo_ml.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_ml.dir/chow_liu.cc.o"
+  "CMakeFiles/lqo_ml.dir/chow_liu.cc.o.d"
+  "CMakeFiles/lqo_ml.dir/dataset.cc.o"
+  "CMakeFiles/lqo_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/lqo_ml.dir/forest.cc.o"
+  "CMakeFiles/lqo_ml.dir/forest.cc.o.d"
+  "CMakeFiles/lqo_ml.dir/gbdt.cc.o"
+  "CMakeFiles/lqo_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/lqo_ml.dir/gmm.cc.o"
+  "CMakeFiles/lqo_ml.dir/gmm.cc.o.d"
+  "CMakeFiles/lqo_ml.dir/kmeans.cc.o"
+  "CMakeFiles/lqo_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/lqo_ml.dir/linear.cc.o"
+  "CMakeFiles/lqo_ml.dir/linear.cc.o.d"
+  "CMakeFiles/lqo_ml.dir/metrics.cc.o"
+  "CMakeFiles/lqo_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/lqo_ml.dir/mlp.cc.o"
+  "CMakeFiles/lqo_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/lqo_ml.dir/tree.cc.o"
+  "CMakeFiles/lqo_ml.dir/tree.cc.o.d"
+  "liblqo_ml.a"
+  "liblqo_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblqo_ml.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/baseline_estimator.cc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/baseline_estimator.cc.o" "gcc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/baseline_estimator.cc.o.d"
+  "/root/repo/src/optimizer/cardinality_interface.cc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/cardinality_interface.cc.o" "gcc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/cardinality_interface.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/cost_model.cc.o" "gcc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/reoptimizer.cc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/reoptimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/reoptimizer.cc.o.d"
+  "/root/repo/src/optimizer/table_stats.cc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/table_stats.cc.o" "gcc" "src/optimizer/CMakeFiles/lqo_optimizer.dir/table_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/lqo_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lqo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/lqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_optimizer.dir/baseline_estimator.cc.o"
+  "CMakeFiles/lqo_optimizer.dir/baseline_estimator.cc.o.d"
+  "CMakeFiles/lqo_optimizer.dir/cardinality_interface.cc.o"
+  "CMakeFiles/lqo_optimizer.dir/cardinality_interface.cc.o.d"
+  "CMakeFiles/lqo_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/lqo_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/lqo_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/lqo_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/lqo_optimizer.dir/reoptimizer.cc.o"
+  "CMakeFiles/lqo_optimizer.dir/reoptimizer.cc.o.d"
+  "CMakeFiles/lqo_optimizer.dir/table_stats.cc.o"
+  "CMakeFiles/lqo_optimizer.dir/table_stats.cc.o.d"
+  "liblqo_optimizer.a"
+  "liblqo_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pilotscope/console.cc" "src/pilotscope/CMakeFiles/lqo_pilotscope.dir/console.cc.o" "gcc" "src/pilotscope/CMakeFiles/lqo_pilotscope.dir/console.cc.o.d"
+  "/root/repo/src/pilotscope/drivers.cc" "src/pilotscope/CMakeFiles/lqo_pilotscope.dir/drivers.cc.o" "gcc" "src/pilotscope/CMakeFiles/lqo_pilotscope.dir/drivers.cc.o.d"
+  "/root/repo/src/pilotscope/interactor.cc" "src/pilotscope/CMakeFiles/lqo_pilotscope.dir/interactor.cc.o" "gcc" "src/pilotscope/CMakeFiles/lqo_pilotscope.dir/interactor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/e2e/CMakeFiles/lqo_e2e.dir/DependInfo.cmake"
+  "/root/repo/build/src/cardinality/CMakeFiles/lqo_cardinality.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/lqo_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/lqo_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lqo_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/lqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lqo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lqo_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

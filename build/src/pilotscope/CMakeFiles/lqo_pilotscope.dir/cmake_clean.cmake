@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_pilotscope.dir/console.cc.o"
+  "CMakeFiles/lqo_pilotscope.dir/console.cc.o.d"
+  "CMakeFiles/lqo_pilotscope.dir/drivers.cc.o"
+  "CMakeFiles/lqo_pilotscope.dir/drivers.cc.o.d"
+  "CMakeFiles/lqo_pilotscope.dir/interactor.cc.o"
+  "CMakeFiles/lqo_pilotscope.dir/interactor.cc.o.d"
+  "liblqo_pilotscope.a"
+  "liblqo_pilotscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_pilotscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/predicate.cc" "src/query/CMakeFiles/lqo_query.dir/predicate.cc.o" "gcc" "src/query/CMakeFiles/lqo_query.dir/predicate.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/lqo_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/lqo_query.dir/query.cc.o.d"
+  "/root/repo/src/query/sql_parser.cc" "src/query/CMakeFiles/lqo_query.dir/sql_parser.cc.o" "gcc" "src/query/CMakeFiles/lqo_query.dir/sql_parser.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/query/CMakeFiles/lqo_query.dir/workload.cc.o" "gcc" "src/query/CMakeFiles/lqo_query.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/lqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

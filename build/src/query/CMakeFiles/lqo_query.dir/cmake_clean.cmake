@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_query.dir/predicate.cc.o"
+  "CMakeFiles/lqo_query.dir/predicate.cc.o.d"
+  "CMakeFiles/lqo_query.dir/query.cc.o"
+  "CMakeFiles/lqo_query.dir/query.cc.o.d"
+  "CMakeFiles/lqo_query.dir/sql_parser.cc.o"
+  "CMakeFiles/lqo_query.dir/sql_parser.cc.o.d"
+  "CMakeFiles/lqo_query.dir/workload.cc.o"
+  "CMakeFiles/lqo_query.dir/workload.cc.o.d"
+  "liblqo_query.a"
+  "liblqo_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_regression.dir/eraser.cc.o"
+  "CMakeFiles/lqo_regression.dir/eraser.cc.o.d"
+  "liblqo_regression.a"
+  "liblqo_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqo_storage.dir/catalog.cc.o"
+  "CMakeFiles/lqo_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/lqo_storage.dir/csv.cc.o"
+  "CMakeFiles/lqo_storage.dir/csv.cc.o.d"
+  "CMakeFiles/lqo_storage.dir/datasets.cc.o"
+  "CMakeFiles/lqo_storage.dir/datasets.cc.o.d"
+  "CMakeFiles/lqo_storage.dir/table.cc.o"
+  "CMakeFiles/lqo_storage.dir/table.cc.o.d"
+  "liblqo_storage.a"
+  "liblqo_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

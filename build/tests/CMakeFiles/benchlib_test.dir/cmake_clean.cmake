@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchlib_test.dir/benchlib_test.cc.o"
+  "CMakeFiles/benchlib_test.dir/benchlib_test.cc.o.d"
+  "benchlib_test"
+  "benchlib_test.pdb"
+  "benchlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardinality_test.dir/cardinality_test.cc.o"
+  "CMakeFiles/cardinality_test.dir/cardinality_test.cc.o.d"
+  "cardinality_test"
+  "cardinality_test.pdb"
+  "cardinality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardinality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

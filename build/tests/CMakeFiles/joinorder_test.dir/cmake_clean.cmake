@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinorder_test.dir/joinorder_test.cc.o"
+  "CMakeFiles/joinorder_test.dir/joinorder_test.cc.o.d"
+  "joinorder_test"
+  "joinorder_test.pdb"
+  "joinorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

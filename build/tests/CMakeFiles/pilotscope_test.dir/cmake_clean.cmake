@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilotscope_test.dir/pilotscope_test.cc.o"
+  "CMakeFiles/pilotscope_test.dir/pilotscope_test.cc.o.d"
+  "pilotscope_test"
+  "pilotscope_test.pdb"
+  "pilotscope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilotscope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_test.dir/regression_test.cc.o"
+  "CMakeFiles/regression_test.dir/regression_test.cc.o.d"
+  "regression_test"
+  "regression_test.pdb"
+  "regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
