@@ -1,6 +1,8 @@
 // Microbenchmarks (google-benchmark): per-component latencies that frame
 // the system-level experiments — estimator inference cost, DP planning
-// cost, executor throughput and plan featurization.
+// cost, executor throughput and plan featurization. Every benchmark also
+// reports items/sec (one query/plan per iteration), so parallel speedups
+// read directly as throughput deltas in the output table.
 
 #include <benchmark/benchmark.h>
 
@@ -45,6 +47,7 @@ void BM_BaselineEstimate(benchmark::State& state) {
     benchmark::DoNotOptimize(
         f.lab->estimator->EstimateSubquery(Subquery{&q, q.AllTables()}));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BaselineEstimate);
 
@@ -56,6 +59,7 @@ void BM_SpnEstimate(benchmark::State& state) {
     benchmark::DoNotOptimize(
         f.spn->EstimateSubquery(Subquery{&q, q.AllTables()}));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpnEstimate);
 
@@ -67,6 +71,7 @@ void BM_DpPlanning(benchmark::State& state) {
     const Query& q = f.workload.queries[i++ % f.workload.queries.size()];
     benchmark::DoNotOptimize(f.lab->optimizer->Optimize(q, &cards));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DpPlanning);
 
@@ -82,6 +87,7 @@ void BM_ExecuteNativePlan(benchmark::State& state) {
     benchmark::DoNotOptimize(
         f.lab->executor->Execute(plans[i++ % plans.size()]));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExecuteNativePlan);
 
@@ -93,6 +99,7 @@ void BM_PlanFeaturize(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(PlanFeaturizer::Featurize(plan));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PlanFeaturize);
 

@@ -1,0 +1,213 @@
+// Parallel-scaling microbenchmark: wall-clock of each parallelized site at
+// 1/2/4/N threads, emitted as BENCH_parallel.json so the perf trajectory of
+// the execution substrate is tracked PR over PR. Each site also re-checks
+// that its parallel result equals its serial result (the determinism
+// contract), so a scaling regression can never hide a correctness one.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "benchlib/e2e_harness.h"
+#include "benchlib/lab.h"
+#include "cardinality/data_driven.h"
+#include "cardinality/evaluation.h"
+#include "cardinality/training_data.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "query/workload.h"
+
+namespace lqo {
+namespace {
+
+double SecondsOf(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+struct SiteReport {
+  std::string name;
+  std::vector<std::pair<int, double>> seconds_at;  // (threads, seconds)
+  bool deterministic = true;
+
+  double SpeedupAt(int threads) const {
+    double t1 = 0.0, tn = 0.0;
+    for (const auto& [t, s] : seconds_at) {
+      if (t == 1) t1 = s;
+      if (t == threads) tn = s;
+    }
+    return (t1 > 0.0 && tn > 0.0) ? t1 / tn : 0.0;
+  }
+};
+
+/// Runs `work` (returning a comparable fingerprint) at each thread count.
+template <typename Fn>
+SiteReport RunSite(const std::string& name, const std::vector<int>& counts,
+                   Fn&& work) {
+  SiteReport report;
+  report.name = name;
+  decltype(work()) serial_result{};
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ThreadPool::SetGlobalThreads(counts[i]);
+    decltype(work()) result{};
+    double secs = SecondsOf([&] { result = work(); });
+    report.seconds_at.emplace_back(counts[i], secs);
+    if (i == 0) {
+      serial_result = result;
+    } else if (result != serial_result) {
+      report.deterministic = false;
+    }
+    std::fprintf(stderr, "  %-18s %2d threads  %8.3fs%s\n", name.c_str(),
+                 counts[i], secs,
+                 (i > 0 && result != serial_result) ? "  NONDETERMINISTIC!"
+                                                    : "");
+  }
+  return report;
+}
+
+std::vector<std::vector<double>> MakeMlRows(size_t n, size_t features,
+                                            std::vector<double>* targets) {
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
+  targets->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(features);
+    double y = 0.0;
+    for (size_t f = 0; f < features; ++f) {
+      row[f] = rng.UniformDouble(-2.0, 2.0);
+      y += (f % 2 == 0 ? 1.0 : -0.5) * row[f] * row[f];
+    }
+    rows.push_back(std::move(row));
+    targets->push_back(y);
+  }
+  return rows;
+}
+
+}  // namespace
+}  // namespace lqo
+
+int main() {
+  using namespace lqo;
+
+  int hw = ThreadPool::ParseThreadCount(nullptr);
+  std::set<int> count_set = {1, 2, 4, hw};
+  std::vector<int> counts(count_set.begin(), count_set.end());
+
+  std::fprintf(stderr, "bench_parallel_scaling (hardware_concurrency=%d)\n",
+               hw);
+
+  auto lab = MakeLab("stats_lite", 0.05);
+  WorkloadOptions wopts;
+  wopts.num_queries = 48;
+  wopts.min_tables = 3;
+  wopts.max_tables = 6;
+  wopts.seed = 2024;
+  Workload workload = GenerateWorkload(lab->catalog, wopts);
+
+  // A wider sweep for the planning-only site: DP per query is microseconds,
+  // so the site needs volume to produce a trackable wall-clock.
+  WorkloadOptions dp_opts = wopts;
+  dp_opts.num_queries = 400;
+  dp_opts.min_tables = 4;
+  dp_opts.seed = 4242;
+  Workload dp_workload = GenerateWorkload(lab->catalog, dp_opts);
+
+  std::vector<SiteReport> reports;
+
+  // Site 1: benchmark-harness fan-out — plan + execute every workload query.
+  reports.push_back(RunSite("harness_sweep", counts, [&] {
+    double total = 0.0;
+    for (const SweepResult& r : SweepWorkload(*lab, workload)) {
+      total += r.time_units + r.estimated_cost;
+    }
+    return total;
+  }));
+
+  // Site 2: ensemble training — random forest (per-tree) and GBDT
+  // (per-feature split search).
+  {
+    std::vector<double> targets;
+    std::vector<std::vector<double>> rows = MakeMlRows(3000, 12, &targets);
+    reports.push_back(RunSite("forest_train", counts, [&] {
+      ForestOptions options;
+      options.num_trees = 48;
+      RandomForest forest(options);
+      forest.Fit(rows, targets);
+      double fingerprint = 0.0;
+      for (const auto& row : rows) fingerprint += forest.Predict(row);
+      return fingerprint;
+    }));
+    reports.push_back(RunSite("gbdt_train", counts, [&] {
+      GbdtOptions options;
+      options.num_trees = 40;
+      options.subsample = 1.0;
+      GradientBoostedTrees gbdt(options);
+      gbdt.Fit(rows, targets);
+      double fingerprint = 0.0;
+      for (const auto& row : rows) fingerprint += gbdt.Predict(row);
+      return fingerprint;
+    }));
+  }
+
+  // Site 3: DP join enumeration, level-parallel.
+  reports.push_back(RunSite("dp_join_enum", counts, [&] {
+    double total_cost = 0.0;
+    uint64_t combos = 0;
+    for (const Query& q : dp_workload.queries) {
+      CardinalityProvider cards(lab->estimator.get());
+      PlannerResult planned = lab->optimizer->Optimize(q, &cards);
+      total_cost += planned.estimated_cost;
+      combos += planned.combinations_evaluated;
+    }
+    return total_cost + static_cast<double>(combos);
+  }));
+
+  // Site 4: workload-wide estimator evaluation (SPN inference per subquery).
+  {
+    CeTrainingData data = BuildCeTrainingData(lab->catalog, lab->stats,
+                                              workload, lab->truth.get());
+    DataDrivenEstimator spn("deepdb_spn", &lab->catalog, &lab->stats,
+                            JoinCombineMode::kIndependence);
+    spn.Build();
+    reports.push_back(RunSite("ce_evaluation", counts, [&] {
+      double total = 0.0;
+      for (double q : EstimatorQErrors(&spn, data.labeled)) total += q;
+      return total;
+    }));
+  }
+
+  ThreadPool::SetGlobalThreads(hw);
+
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n  \"hardware_concurrency\": " << hw << ",\n  \"sites\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const SiteReport& r = reports[i];
+    json << "    {\"name\": \"" << r.name << "\", \"deterministic\": "
+         << (r.deterministic ? "true" : "false") << ", \"timings\": [";
+    for (size_t j = 0; j < r.seconds_at.size(); ++j) {
+      json << (j ? ", " : "") << "{\"threads\": " << r.seconds_at[j].first
+           << ", \"seconds\": " << r.seconds_at[j].second << "}";
+    }
+    json << "], \"speedup_4v1\": " << r.SpeedupAt(4) << "}"
+         << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+
+  bool all_deterministic = true;
+  for (const SiteReport& r : reports) all_deterministic &= r.deterministic;
+  std::fprintf(stderr, "wrote BENCH_parallel.json (%s)\n",
+               all_deterministic ? "all sites deterministic"
+                                 : "DETERMINISM VIOLATION");
+  return all_deterministic ? 0 : 1;
+}

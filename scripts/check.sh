@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Race-hunting gate for the parallel execution substrate: builds the suite
+# under ThreadSanitizer and runs every test with a 4-thread global pool, so
+# any unsynchronized access introduced by a new parallel site fails CI even
+# on single-core runners.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DLQO_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+export LQO_THREADS=4
+# second_deadlock_stack aids diagnosing lock-order reports from the pool.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo "check.sh: TSan suite passed with LQO_THREADS=4"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
 
@@ -14,11 +15,21 @@ double TrainLearnedOptimizer(LearnedQueryOptimizer* optimizer,
   int since_retrain = 0;
   for (int pass = 0; pass < options.training_passes; ++pass) {
     for (const Query& query : train.queries) {
-      for (const PhysicalPlan& plan : optimizer->TrainingCandidates(query)) {
-        auto result = executor.Execute(plan);
-        LQO_CHECK(result.ok()) << result.status().ToString();
-        optimizer->Observe(query, plan, result->time_units);
-        total_time += result->time_units;
+      // Candidate generation and feedback stay sequential (the optimizer is
+      // stateful); the candidate executions in between are independent pure
+      // functions of the plan, so they fan out across the pool and are
+      // observed back in candidate order.
+      std::vector<PhysicalPlan> candidates =
+          optimizer->TrainingCandidates(query);
+      std::vector<double> times =
+          ParallelMap(candidates.size(), [&](size_t i) {
+            auto result = executor.Execute(candidates[i]);
+            LQO_CHECK(result.ok()) << result.status().ToString();
+            return result->time_units;
+          });
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        optimizer->Observe(query, candidates[i], times[i]);
+        total_time += times[i];
       }
       if (++since_retrain >= options.retrain_every) {
         optimizer->Retrain();
@@ -36,24 +47,43 @@ E2eEvalResult EvaluateLearnedOptimizer(LearnedQueryOptimizer* optimizer,
                                        const Executor& executor) {
   E2eEvalResult result;
   result.name = optimizer->Name();
+  size_t q = test.queries.size();
+
+  // Native planning is a pure function of (context, query) — each task gets
+  // its own CardinalityProvider — so it fans out. Learned plan choice may
+  // mutate the optimizer and stays serial.
+  std::vector<PhysicalPlan> native_plans = ParallelMap(
+      q, [&](size_t i) { return NativePlan(context, test.queries[i]); });
+  std::vector<PhysicalPlan> learned_plans;
+  learned_plans.reserve(q);
   for (const Query& query : test.queries) {
-    PhysicalPlan native = NativePlan(context, query);
-    PhysicalPlan learned = optimizer->ChoosePlan(query);
-    auto native_exec = executor.Execute(native);
-    auto learned_exec = executor.Execute(learned);
+    learned_plans.push_back(optimizer->ChoosePlan(query));
+  }
+
+  // Per-query fan-out of both executions; the reduction below walks queries
+  // in workload order, so wins/losses/totals match the serial harness.
+  struct Timing {
+    double native = 0.0;
+    double learned = 0.0;
+  };
+  std::vector<Timing> timings = ParallelMap(q, [&](size_t i) {
+    auto native_exec = executor.Execute(native_plans[i]);
+    auto learned_exec = executor.Execute(learned_plans[i]);
     LQO_CHECK(native_exec.ok()) << native_exec.status().ToString();
     LQO_CHECK(learned_exec.ok()) << learned_exec.status().ToString();
-    double native_time = native_exec->time_units;
-    double learned_time = learned_exec->time_units;
-    result.native_times.push_back(native_time);
-    result.learned_times.push_back(learned_time);
-    result.total_native += native_time;
-    result.total_learned += learned_time;
-    if (learned_time < native_time / 1.1) ++result.wins;
-    if (learned_time > native_time * 1.1) ++result.losses;
-    if (native_time > 0) {
+    return Timing{native_exec->time_units, learned_exec->time_units};
+  });
+
+  for (const Timing& t : timings) {
+    result.native_times.push_back(t.native);
+    result.learned_times.push_back(t.learned);
+    result.total_native += t.native;
+    result.total_learned += t.learned;
+    if (t.learned < t.native / 1.1) ++result.wins;
+    if (t.learned > t.native * 1.1) ++result.losses;
+    if (t.native > 0) {
       result.worst_regression_ratio =
-          std::max(result.worst_regression_ratio, learned_time / native_time);
+          std::max(result.worst_regression_ratio, t.learned / t.native);
     }
   }
   return result;

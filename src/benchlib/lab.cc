@@ -1,8 +1,25 @@
 #include "benchlib/lab.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
+
+std::vector<SweepResult> SweepWorkload(const Lab& lab,
+                                       const Workload& workload) {
+  return ParallelMap(workload.queries.size(), [&](size_t i) {
+    const Query& query = workload.queries[i];
+    CardinalityProvider cards(lab.estimator.get());
+    PlannerResult planned = lab.optimizer->Optimize(query, &cards);
+    auto executed = lab.executor->Execute(planned.plan);
+    LQO_CHECK(executed.ok()) << executed.status().ToString();
+    SweepResult out;
+    out.estimated_cost = planned.estimated_cost;
+    out.time_units = executed->time_units;
+    out.row_count = executed->row_count;
+    return out;
+  });
+}
 
 std::unique_ptr<Lab> MakeLabFromCatalog(Catalog catalog) {
   auto lab = std::make_unique<Lab>();

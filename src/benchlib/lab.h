@@ -3,12 +3,14 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "e2e/framework.h"
 #include "engine/executor.h"
 #include "engine/true_cardinality.h"
 #include "optimizer/baseline_estimator.h"
 #include "optimizer/optimizer.h"
+#include "query/workload.h"
 #include "storage/datasets.h"
 
 namespace lqo {
@@ -36,6 +38,20 @@ struct Lab {
     return context;
   }
 };
+
+/// Per-query outcome of a native plan-and-execute sweep.
+struct SweepResult {
+  double estimated_cost = 0.0;
+  double time_units = 0.0;
+  uint64_t row_count = 0;
+};
+
+/// Plans (DP + baseline cards) and executes every workload query, fanned out
+/// across the thread pool — the lab-wide sweep underneath most benches. Each
+/// query gets a private CardinalityProvider, and results are returned in
+/// workload order, so the sweep is deterministic at any thread count.
+std::vector<SweepResult> SweepWorkload(const Lab& lab,
+                                       const Workload& workload);
 
 /// Builds a Lab from an already-generated catalog.
 std::unique_ptr<Lab> MakeLabFromCatalog(Catalog catalog);

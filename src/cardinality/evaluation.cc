@@ -1,6 +1,7 @@
 #include "cardinality/evaluation.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
 
@@ -8,13 +9,13 @@ std::vector<double> EstimatorQErrors(
     CardinalityEstimatorInterface* estimator,
     const std::vector<LabeledSubquery>& evaluation) {
   LQO_CHECK(estimator != nullptr);
-  std::vector<double> qerrors;
-  qerrors.reserve(evaluation.size());
-  for (const LabeledSubquery& labeled : evaluation) {
-    double estimate = estimator->EstimateSubquery(labeled.AsSubquery());
-    qerrors.push_back(QError(estimate, labeled.cardinality));
-  }
-  return qerrors;
+  // Workload-wide fan-out: estimators are re-entrant per the interface
+  // contract (no per-call mutable state), and each q-error lands in its own
+  // index slot, so the vector is identical at any thread count.
+  return ParallelMap(evaluation.size(), [&](size_t i) {
+    double estimate = estimator->EstimateSubquery(evaluation[i].AsSubquery());
+    return QError(estimate, evaluation[i].cardinality);
+  });
 }
 
 QErrorSummary EvaluateEstimator(

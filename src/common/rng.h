@@ -7,6 +7,17 @@
 
 namespace lqo {
 
+/// Derives an independent stream seed from (seed, stream) via splitmix64
+/// finalization. Parallel loops give task i the stream `DeriveSeed(seed, i)`
+/// so random draws are per-task, not per-iteration-order — the foundation of
+/// thread-count-independent training (see DESIGN.md "Concurrency model").
+inline uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic random number source. Every stochastic component in the
 /// library draws from an explicitly seeded Rng so experiments are exactly
 /// reproducible run to run.

@@ -1,0 +1,162 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+
+namespace lqo {
+namespace {
+
+// Set for the lifetime of each worker thread; lets ParallelFor detect
+// nesting and degrade to inline execution instead of deadlocking on a full
+// pool.
+thread_local bool t_in_worker = false;
+
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool>* slot = new std::unique_ptr<ThreadPool>();
+  return *slot;
+}
+
+std::mutex& GlobalMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Serial pool: run immediately on the caller.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+int ThreadPool::ParseThreadCount(const char* value) {
+  int fallback = static_cast<int>(std::thread::hardware_concurrency());
+  if (fallback <= 0) fallback = 1;
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) return fallback;
+  return static_cast<int>(std::min<long>(parsed, 256));
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  std::unique_ptr<ThreadPool>& slot = GlobalSlot();
+  if (slot == nullptr) {
+    slot = std::make_unique<ThreadPool>(
+        ParseThreadCount(std::getenv("LQO_THREADS")));
+  }
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  GlobalSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 ThreadPool* pool) {
+  if (n == 0) return;
+  if (pool == nullptr) pool = &ThreadPool::Global();
+  // Serial fast paths: one-thread pool, tiny loops, or nested calls from a
+  // worker (running inline keeps the pool deadlock-free). All paths visit
+  // indices 0..n-1, so results never depend on which path ran.
+  if (pool->num_threads() <= 1 || n == 1 || ThreadPool::InWorker()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  size_t num_chunks =
+      std::min(n, static_cast<size_t>(pool->num_threads()) * 4);
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t remaining;
+    std::vector<std::exception_ptr> errors;
+  };
+  State state;
+  state.remaining = num_chunks;
+  state.errors.assign(num_chunks, nullptr);
+
+  auto run_chunk = [&](size_t chunk) {
+    size_t begin = chunk * n / num_chunks;
+    size_t end = (chunk + 1) * n / num_chunks;
+    try {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      state.errors[chunk] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      --state.remaining;
+      // Notify while holding the lock: the waiting caller destroys `state`
+      // as soon as it observes remaining == 0, so notifying after unlock
+      // could touch a dead condition variable.
+      state.done.notify_one();
+    }
+  };
+
+  // The calling thread takes chunk 0 itself so an N-thread pool really uses
+  // N threads (N-1 workers + caller).
+  for (size_t c = 1; c < num_chunks; ++c) {
+    pool->Submit([&, c] { run_chunk(c); });
+  }
+  run_chunk(0);
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done.wait(lock, [&] { return state.remaining == 0; });
+  }
+  // Deterministic error choice: first failing chunk wins, independent of
+  // scheduling order.
+  for (const std::exception_ptr& error : state.errors) {
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace lqo

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
 
@@ -12,7 +13,6 @@ void RandomForest::Fit(const std::vector<std::vector<double>>& rows,
   LQO_CHECK(!rows.empty());
   LQO_CHECK_EQ(rows.size(), targets.size());
   trees_.clear();
-  Rng rng(options_.seed);
 
   TreeOptions tree_options = options_.tree;
   if (tree_options.max_features <= 0) {
@@ -21,17 +21,21 @@ void RandomForest::Fit(const std::vector<std::vector<double>>& rows,
         1, static_cast<int>(std::sqrt(static_cast<double>(rows[0].size()))));
   }
 
-  for (int t = 0; t < options_.num_trees; ++t) {
-    // Bootstrap sample.
-    std::vector<size_t> indices(rows.size());
-    for (size_t i = 0; i < rows.size(); ++i) {
-      indices[i] = static_cast<size_t>(
-          rng.UniformInt(0, static_cast<int64_t>(rows.size()) - 1));
-    }
-    RegressionTree tree;
-    tree.Fit(rows, targets, tree_options, indices, &rng);
-    trees_.push_back(std::move(tree));
-  }
+  // Trees are independent given per-tree RNG streams: tree t draws its
+  // bootstrap and feature subsets from DeriveSeed(seed, t), so the ensemble
+  // is identical at any thread count (and ParallelMap keeps tree order).
+  trees_ = ParallelMap(
+      static_cast<size_t>(options_.num_trees), [&](size_t t) {
+        Rng rng(DeriveSeed(options_.seed, t));
+        std::vector<size_t> indices(rows.size());
+        for (size_t i = 0; i < rows.size(); ++i) {
+          indices[i] = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(rows.size()) - 1));
+        }
+        RegressionTree tree;
+        tree.Fit(rows, targets, tree_options, indices, &rng);
+        return tree;
+      });
 }
 
 double RandomForest::Predict(const std::vector<double>& row) const {

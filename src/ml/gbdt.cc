@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
 
@@ -33,11 +34,14 @@ void GradientBoostedTrees::Fit(const std::vector<std::vector<double>>& rows,
                                  static_cast<double>(rows.size())));
       indices = rng.SampleWithoutReplacement(rows.size(), k);
     }
+    // Boosting is inherently sequential across trees; the parallelism here
+    // is inside Fit (per-feature split search) and in the per-row update
+    // below, both of which write index-addressed slots.
     RegressionTree tree;
     tree.Fit(rows, residuals, options_.tree, indices, nullptr);
-    for (size_t i = 0; i < rows.size(); ++i) {
+    ParallelFor(rows.size(), [&](size_t i) {
       current[i] += options_.learning_rate * tree.Predict(rows[i]);
-    }
+    });
     trees_.push_back(std::move(tree));
   }
   fitted_ = true;

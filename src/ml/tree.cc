@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
 namespace {
@@ -61,22 +62,26 @@ int RegressionTree::BuildNode(const std::vector<std::vector<double>>& rows,
   }
 
   // Exact best split by variance reduction (equivalently: maximize
-  // sum_left^2/n_left + sum_right^2/n_right).
-  double best_score = -std::numeric_limits<double>::infinity();
-  int best_feature = -1;
-  double best_threshold = 0.0;
-
-  std::vector<std::pair<double, double>> values(n);  // (feature value, target)
+  // sum_left^2/n_left + sum_right^2/n_right). Features are scored
+  // independently (parallel when the node is large enough) and reduced
+  // serially in candidate order, which reproduces the serial loop's
+  // first-wins tie-breaking bit for bit.
   double total_sum = 0.0;
   for (size_t i = begin; i < end; ++i) total_sum += targets[indices[i]];
 
-  for (size_t f : features) {
+  struct FeatureSplit {
+    double score = -std::numeric_limits<double>::infinity();
+    double threshold = 0.0;
+  };
+  auto eval_feature = [&](size_t f) {
+    FeatureSplit split;
+    std::vector<std::pair<double, double>> values(n);  // (feature, target)
     for (size_t i = 0; i < n; ++i) {
       size_t row = indices[begin + i];
       values[i] = {rows[row][f], targets[row]};
     }
     std::sort(values.begin(), values.end());
-    if (values.front().first == values.back().first) continue;  // constant.
+    if (values.front().first == values.back().first) return split;  // const.
 
     double left_sum = 0.0;
     size_t left_n = 0;
@@ -92,11 +97,34 @@ int RegressionTree::BuildNode(const std::vector<std::vector<double>>& rows,
       double right_sum = total_sum - left_sum;
       double score = left_sum * left_sum / static_cast<double>(left_n) +
                      right_sum * right_sum / static_cast<double>(right_n);
-      if (score > best_score) {
-        best_score = score;
-        best_feature = static_cast<int>(f);
-        best_threshold = (values[i].first + values[i + 1].first) / 2.0;
+      if (score > split.score) {
+        split.score = score;
+        split.threshold = (values[i].first + values[i + 1].first) / 2.0;
       }
+    }
+    return split;
+  };
+
+  // Fanning out pays only when this node sorts enough (row, feature) cells;
+  // the cutoff depends on sizes alone, so it cannot affect results.
+  constexpr size_t kParallelCells = 8192;
+  std::vector<FeatureSplit> splits;
+  if (features.size() > 1 && n * features.size() >= kParallelCells) {
+    splits = ParallelMap(features.size(),
+                         [&](size_t i) { return eval_feature(features[i]); });
+  } else {
+    splits.reserve(features.size());
+    for (size_t f : features) splits.push_back(eval_feature(f));
+  }
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (splits[i].score > best_score) {
+      best_score = splits[i].score;
+      best_feature = static_cast<int>(features[i]);
+      best_threshold = splits[i].threshold;
     }
   }
 

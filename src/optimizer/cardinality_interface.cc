@@ -7,17 +7,23 @@
 namespace lqo {
 
 double CardinalityProvider::Cardinality(const Subquery& subquery) {
-  std::string key = subquery.Key();
-  auto cached = cache_.find(key);
-  if (cached != cache_.end()) return cached->second;
+  uint64_t hash = subquery.KeyHash();
+  auto cached = cache_.find(hash);
+  if (cached != cache_.end()) {
+    ++stats_.hits;
+    return cached->second;
+  }
+  ++stats_.misses;
 
   double value;
-  auto it = overrides_.find(key);
+  auto it = overrides_.empty() ? overrides_.end()
+                               : overrides_.find(subquery.Key());
   if (it != overrides_.end()) {
     value = it->second;
   } else {
     LQO_CHECK(estimator_ != nullptr)
-        << "CardinalityProvider has no estimator and no override for " << key;
+        << "CardinalityProvider has no estimator and no override for "
+        << subquery.Key();
     value = estimator_->EstimateSubquery(subquery);
     if (PopCount(subquery.tables) >= scale_min_tables_ &&
         scale_min_tables_ > 0) {
@@ -25,7 +31,7 @@ double CardinalityProvider::Cardinality(const Subquery& subquery) {
     }
   }
   value = std::max(value, 1.0);
-  cache_[key] = value;
+  cache_[hash] = value;
   return value;
 }
 

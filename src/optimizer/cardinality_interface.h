@@ -18,10 +18,21 @@ class CardinalityEstimatorInterface {
   virtual ~CardinalityEstimatorInterface() = default;
 
   /// Estimated COUNT(*) of the sub-query; must be >= 0.
+  ///
+  /// Contract: implementations must be re-entrant — no mutable per-call
+  /// state after Build()/training, and any randomness seeded per call from
+  /// construction-time seeds. The parallel evaluation harness
+  /// (EstimatorQErrors) calls this concurrently from worker threads.
   virtual double EstimateSubquery(const Subquery& subquery) = 0;
 
   /// Short identifier used in benchmark tables ("postgres", "mscn", ...).
   virtual std::string Name() const = 0;
+};
+
+/// Hit/miss counters of the provider's memo cache (Stats() below).
+struct CardinalityCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
 };
 
 /// Wraps an estimator with the two injection knobs PilotScope exposes to
@@ -29,7 +40,11 @@ class CardinalityEstimatorInterface {
 ///  - per-sub-query overrides (the learned-CE driver pushes these), and
 ///  - a multiplicative scale applied to estimates of sub-queries with at
 ///    least `min_tables` tables (Lero's cardinality-scaling knob).
-/// Estimates are memoized per canonical sub-query key.
+/// Estimates are memoized under the precomputed structural hash
+/// Subquery::KeyHash(), so repeat lookups (the DP probes every connected
+/// subset many times across candidate splits) never rebuild the canonical
+/// string key; the string is only materialized once per miss, to consult
+/// the override table.
 class CardinalityProvider {
  public:
   explicit CardinalityProvider(CardinalityEstimatorInterface* estimator)
@@ -59,6 +74,9 @@ class CardinalityProvider {
   /// Final (possibly overridden/scaled) estimate for the sub-query.
   double Cardinality(const Subquery& subquery);
 
+  /// Memo-cache counters since construction (not reset by ClearOverrides).
+  const CardinalityCacheStats& Stats() const { return stats_; }
+
   CardinalityEstimatorInterface* estimator() const { return estimator_; }
 
  private:
@@ -66,7 +84,13 @@ class CardinalityProvider {
   std::map<std::string, double> overrides_;
   double scale_factor_ = 1.0;
   int scale_min_tables_ = 0;
-  std::unordered_map<std::string, double> cache_;
+  /// KeyHash() is already well mixed; identity-hashing it avoids a second
+  /// mixing pass inside the map.
+  struct IdentityHash {
+    size_t operator()(uint64_t h) const { return static_cast<size_t>(h); }
+  };
+  std::unordered_map<uint64_t, double, IdentityHash> cache_;
+  CardinalityCacheStats stats_;
 };
 
 }  // namespace lqo

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
 
@@ -83,40 +84,84 @@ PlannerResult Optimizer::Optimize(const Query& query,
     best.emplace(set, std::move(entry));
   }
 
-  // Subsets in increasing size order; iterating S ascending already ensures
-  // all proper subsets precede S.
+  // Connected subsets grouped by size. Cardinalities are resolved serially
+  // up front (the provider's cache is not concurrency-safe and estimator
+  // call order stays identical to the serial planner); the DP itself then
+  // runs level-synchronously: subsets of size k only split into strictly
+  // smaller subsets, so all of level k can be solved in parallel against
+  // the read-only `best` table of levels < k. Entries are committed in
+  // ascending-subset order afterwards, keeping the walk bit-for-bit equal
+  // to the serial one.
   TableSet all = query.AllTables();
+  std::vector<std::vector<TableSet>> levels(static_cast<size_t>(n) + 1);
+  std::unordered_map<TableSet, double> subset_card;
   for (TableSet s = 1; s <= all; ++s) {
-    if (PopCount(s) < 2) continue;
+    int size = PopCount(s);
+    if (size < 2) continue;
     if (!query.IsConnected(s)) continue;
-    double card_s = cards->Cardinality(Subquery{&query, s});
+    levels[static_cast<size_t>(size)].push_back(s);
+    subset_card.emplace(s, cards->Cardinality(Subquery{&query, s}));
+  }
+
+  struct SubsetResult {
     Entry entry;
-    entry.card = card_s;
+    uint64_t combinations = 0;
+  };
+  for (size_t k = 2; k <= static_cast<size_t>(n); ++k) {
+    const std::vector<TableSet>& level = levels[k];
+    auto solve_subset = [&](size_t idx) {
+      TableSet s = level[idx];
+      double card_s = subset_card.at(s);
+      SubsetResult out;
+      out.entry.card = card_s;
 
-    for (TableSet left = (s - 1) & s; left != 0; left = (left - 1) & s) {
-      TableSet right = s & ~left;
-      if (!options_.bushy && PopCount(right) != 1) continue;
-      auto left_it = best.find(left);
-      auto right_it = best.find(right);
-      if (left_it == best.end() || right_it == best.end()) continue;
-      if (!HasCrossingJoin(query, left, right)) continue;
+      for (TableSet left = (s - 1) & s; left != 0;
+           left = (left - 1) & s) {
+        TableSet right = s & ~left;
+        if (!options_.bushy && PopCount(right) != 1) continue;
+        auto left_it = best.find(left);
+        auto right_it = best.find(right);
+        if (left_it == best.end() || right_it == best.end()) continue;
+        if (!HasCrossingJoin(query, left, right)) continue;
 
-      for (JoinAlgorithm algo : allowed) {
-        ++result.combinations_evaluated;
-        double join_cost = model.JoinCost(algo, left_it->second.card,
-                                          right_it->second.card, card_s);
-        double total =
-            left_it->second.cost + right_it->second.cost + join_cost;
-        if (total < entry.cost) {
-          entry.cost = total;
-          entry.plan = MakeJoinNode(algo, left_it->second.plan->Clone(),
-                                    right_it->second.plan->Clone());
-          entry.plan->estimated_cardinality = card_s;
-          entry.plan->estimated_cost = join_cost;
+        for (JoinAlgorithm algo : allowed) {
+          ++out.combinations;
+          double join_cost = model.JoinCost(algo, left_it->second.card,
+                                            right_it->second.card,
+                                            card_s);
+          double total =
+              left_it->second.cost + right_it->second.cost + join_cost;
+          if (total < out.entry.cost) {
+            out.entry.cost = total;
+            out.entry.plan =
+                MakeJoinNode(algo, left_it->second.plan->Clone(),
+                             right_it->second.plan->Clone());
+            out.entry.plan->estimated_cardinality = card_s;
+            out.entry.plan->estimated_cost = join_cost;
+          }
         }
       }
+      return out;
+    };
+    // Small levels are solved inline: a handful of subsets costs less to
+    // compute than to schedule. The cutoff depends only on the level size,
+    // so both paths yield identical entries.
+    constexpr size_t kParallelLevelSize = 16;
+    std::vector<SubsetResult> solved;
+    if (level.size() >= kParallelLevelSize) {
+      solved = ParallelMap(level.size(), solve_subset);
+    } else {
+      solved.reserve(level.size());
+      for (size_t idx = 0; idx < level.size(); ++idx) {
+        solved.push_back(solve_subset(idx));
+      }
     }
-    if (entry.plan != nullptr) best.emplace(s, std::move(entry));
+    for (size_t idx = 0; idx < level.size(); ++idx) {
+      result.combinations_evaluated += solved[idx].combinations;
+      if (solved[idx].entry.plan != nullptr) {
+        best.emplace(level[idx], std::move(solved[idx].entry));
+      }
+    }
   }
 
   auto final_it = best.find(all);

@@ -174,4 +174,81 @@ std::string Subquery::Key() const {
   return key;
 }
 
+namespace {
+
+uint64_t MixHash(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashBytes(const std::string& s, uint64_t h) {
+  for (char c : s) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ull;  // FNV-1a prime.
+  }
+  return h;
+}
+
+// Structural stand-in for Predicate::ToString() with a neutralized table
+// index: same column, kind and payload hash equal.
+uint64_t HashPredicate(const Predicate& p) {
+  uint64_t h = HashBytes(p.column, 0xcbf29ce484222325ull);
+  h = MixHash(h ^ (static_cast<uint64_t>(p.kind) + 0x9e37u));
+  switch (p.kind) {
+    case PredicateKind::kEquals:
+      h = MixHash(h ^ static_cast<uint64_t>(p.value));
+      break;
+    case PredicateKind::kRange:
+      h = MixHash(h ^ static_cast<uint64_t>(p.lo));
+      h = MixHash(h ^ static_cast<uint64_t>(p.hi));
+      break;
+    case PredicateKind::kIn:
+      // in_values is sorted ascending at construction, so sequential
+      // chaining is canonical.
+      for (int64_t v : p.in_values) h = MixHash(h ^ static_cast<uint64_t>(v));
+      break;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t Subquery::KeyHash() const {
+  LQO_CHECK(query != nullptr);
+  // Mirrors Key(): where Key() sorts serialized parts, the hash combines
+  // per-part hashes commutatively (addition), which is order-independent
+  // without ever sorting or allocating.
+  uint64_t tables_hash = 0;
+  for (int t = 0; t < query->num_tables(); ++t) {
+    if (!ContainsTable(tables, t)) continue;
+    const std::string& name =
+        query->tables()[static_cast<size_t>(t)].table_name;
+    uint64_t preds_hash = 0;
+    for (const Predicate& p : query->PredicatesOf(t)) {
+      preds_hash += MixHash(HashPredicate(p));
+    }
+    uint64_t part = HashBytes(name, 0xcbf29ce484222325ull);
+    tables_hash += MixHash(part ^ MixHash(preds_hash + 0x517cc1b7u));
+  }
+
+  uint64_t joins_hash = 0;
+  for (const QueryJoin& j : query->JoinsWithin(tables)) {
+    uint64_t a = HashBytes(
+        j.left_column,
+        HashBytes(query->tables()[static_cast<size_t>(j.left_table)].table_name,
+                  0xcbf29ce484222325ull) ^
+            0x2eu);
+    uint64_t b = HashBytes(
+        j.right_column,
+        HashBytes(
+            query->tables()[static_cast<size_t>(j.right_table)].table_name,
+            0xcbf29ce484222325ull) ^
+            0x2eu);
+    // Endpoint-symmetric, like the sorted "a=b" rendering in Key().
+    joins_hash += MixHash((a ^ b) + MixHash(a + b));
+  }
+  return MixHash(tables_hash ^ MixHash(joins_hash + 0x85ebca6bu));
+}
+
 }  // namespace lqo

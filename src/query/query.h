@@ -94,6 +94,13 @@ struct Subquery {
   /// predicates and join structure) map to the same key even across Query
   /// objects.
   std::string Key() const;
+
+  /// 64-bit structural hash of Key() — same canonicalization (neutralized
+  /// table indices, order-independent predicate/join combination) without
+  /// materializing any strings, so hot cache lookups stay allocation-free.
+  /// Equal Key() implies equal KeyHash(); collisions between distinct keys
+  /// are possible in principle but vanishingly rare at 64 bits.
+  uint64_t KeyHash() const;
 };
 
 }  // namespace lqo

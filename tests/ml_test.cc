@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ml/chow_liu.h"
 #include "ml/dataset.h"
 #include "ml/forest.h"
@@ -355,6 +356,42 @@ TEST(MetricsTest, SummaryQuantiles) {
   EXPECT_NEAR(s.p90, 90.1, 1e-9);
   EXPECT_DOUBLE_EQ(s.max, 100.0);
   EXPECT_GT(s.geometric_mean, 1.0);
+}
+
+// Fits `model` at both thread counts and returns predictions over a grid;
+// training must be bit-for-bit identical (per-task RNG streams + ordered
+// reductions), not merely statistically close.
+template <typename Model>
+std::vector<double> FitAndPredictAtThreads(int threads, const MlDataset& data) {
+  ThreadPool::SetGlobalThreads(threads);
+  Model model;
+  model.Fit(data.rows, data.targets);
+  std::vector<double> predictions;
+  for (double x0 = -2.0; x0 <= 2.0; x0 += 0.25) {
+    for (double x1 = -2.0; x1 <= 2.0; x1 += 0.25) {
+      predictions.push_back(model.Predict({x0, x1}));
+    }
+  }
+  ThreadPool::SetGlobalThreads(ThreadPool::ParseThreadCount(nullptr));
+  return predictions;
+}
+
+TEST(ForestTest, TrainingIsDeterministicAcrossThreadCounts) {
+  MlDataset data = MakeNonlinearData(600, 8);
+  std::vector<double> serial = FitAndPredictAtThreads<RandomForest>(1, data);
+  std::vector<double> two = FitAndPredictAtThreads<RandomForest>(2, data);
+  std::vector<double> four = FitAndPredictAtThreads<RandomForest>(4, data);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, four);
+}
+
+TEST(GbdtTest, TrainingIsDeterministicAcrossThreadCounts) {
+  MlDataset data = MakeNonlinearData(600, 9);
+  std::vector<double> serial =
+      FitAndPredictAtThreads<GradientBoostedTrees>(1, data);
+  std::vector<double> four =
+      FitAndPredictAtThreads<GradientBoostedTrees>(4, data);
+  EXPECT_EQ(serial, four);
 }
 
 TEST(MetricsTest, R2PerfectAndMeanBaseline) {

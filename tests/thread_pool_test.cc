@@ -1,0 +1,318 @@
+// ThreadPool unit tests plus the serial == parallel determinism contract
+// for every parallelized site: DP join enumeration, estimator evaluation,
+// the e2e harness and the lab sweep (forest/GBDT live in ml_test.cc).
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/e2e_harness.h"
+#include "benchlib/lab.h"
+#include "cardinality/evaluation.h"
+#include "cardinality/training_data.h"
+#include "common/rng.h"
+#include "engine/explain.h"
+#include "query/workload.h"
+
+namespace lqo {
+namespace {
+
+// Restores the global pool to its default size after each test so thread
+// sweeps cannot leak into other suites.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  ~ThreadPoolTest() override {
+    ThreadPool::SetGlobalThreads(ThreadPool::ParseThreadCount(nullptr));
+  }
+};
+
+TEST_F(ThreadPoolTest, ParseThreadCountHonorsOverrideAndFallsBack) {
+  int fallback = ThreadPool::ParseThreadCount(nullptr);
+  EXPECT_GE(fallback, 1);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("4"), 4);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("1"), 1);
+  EXPECT_EQ(ThreadPool::ParseThreadCount(""), fallback);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("abc"), fallback);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("0"), fallback);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("-3"), fallback);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("12abc"), fallback);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("100000"), 256);  // clamped.
+}
+
+TEST_F(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> visits(257);
+    for (auto& v : visits) v = 0;
+    ParallelFor(visits.size(), [&](size_t i) { ++visits[i]; }, &pool);
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST_F(ThreadPoolTest, ParallelMapKeepsIndexOrder) {
+  ThreadPool pool(4);
+  std::vector<int> out =
+      ParallelMap(100, [](size_t i) { return static_cast<int>(i * i); },
+                  &pool);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST_F(ThreadPoolTest, ExceptionPropagatesFromWorkerTask) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(
+          64,
+          [](size_t i) {
+            if (i == 13) throw std::runtime_error("boom at 13");
+          },
+          &pool),
+      std::runtime_error);
+  // The pool survives a throwing batch and keeps executing.
+  std::atomic<int> count{0};
+  ParallelFor(32, [&](size_t) { ++count; }, &pool);
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST_F(ThreadPoolTest, ExceptionAlsoPropagatesInSerialMode) {
+  ThreadPool pool(1);
+  EXPECT_THROW(ParallelFor(
+                   4,
+                   [](size_t i) {
+                     if (i == 2) throw std::logic_error("serial boom");
+                   },
+                   &pool),
+               std::logic_error);
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForIsSafeAndCorrect) {
+  ThreadPool pool(4);
+  std::vector<long> sums(16, 0);
+  ParallelFor(
+      sums.size(),
+      [&](size_t outer) {
+        // Inner loop runs inline on whichever thread owns `outer`; it must
+        // neither deadlock nor skip work.
+        std::vector<long> partial(100);
+        ParallelFor(partial.size(), [&](size_t inner) {
+          partial[inner] = static_cast<long>(outer * inner);
+        }, &pool);
+        sums[outer] = std::accumulate(partial.begin(), partial.end(), 0L);
+      },
+      &pool);
+  for (size_t outer = 0; outer < sums.size(); ++outer) {
+    EXPECT_EQ(sums[outer], static_cast<long>(outer) * 4950);
+  }
+}
+
+TEST_F(ThreadPoolTest, OneThreadPoolRunsInlineWithoutWorkers) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  ParallelFor(seen.size(), [&](size_t i) {
+    seen[i] = std::this_thread::get_id();
+  }, &pool);
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST_F(ThreadPoolTest, DerivedSeedStreamsMatchAcrossThreadCounts) {
+  // The per-task RNG pattern used by every stochastic parallel site.
+  auto draw = [](ThreadPool* pool) {
+    return ParallelMap(64, [](size_t i) {
+      Rng rng(DeriveSeed(99, i));
+      return rng.UniformDouble(0.0, 1.0) + rng.Gaussian(0.0, 1.0);
+    }, pool);
+  };
+  ThreadPool serial(1), parallel(4);
+  EXPECT_EQ(draw(&serial), draw(&parallel));
+}
+
+// ---------------------------------------------------------------------------
+// Site determinism: serial pool vs 4-thread pool must agree bit for bit.
+// ---------------------------------------------------------------------------
+
+struct SiteFixture {
+  std::unique_ptr<Lab> lab;
+  Workload workload;
+
+  SiteFixture() {
+    lab = MakeLab("stats_lite", 0.03);
+    WorkloadOptions wopts;
+    wopts.num_queries = 12;
+    wopts.min_tables = 2;
+    wopts.max_tables = 5;
+    wopts.seed = 321;
+    workload = GenerateWorkload(lab->catalog, wopts);
+  }
+};
+
+TEST_F(ThreadPoolTest, DpJoinEnumerationIsThreadCountInvariant) {
+  SiteFixture f;
+  auto plan_all = [&] {
+    std::vector<std::string> rendered;
+    std::vector<double> costs;
+    std::vector<uint64_t> combos;
+    for (const Query& q : f.workload.queries) {
+      CardinalityProvider cards(f.lab->estimator.get());
+      PlannerResult planned = f.lab->optimizer->Optimize(q, &cards);
+      rendered.push_back(planned.plan.Signature());
+      costs.push_back(planned.estimated_cost);
+      combos.push_back(planned.combinations_evaluated);
+    }
+    return std::make_tuple(rendered, costs, combos);
+  };
+  ThreadPool::SetGlobalThreads(1);
+  auto serial = plan_all();
+  ThreadPool::SetGlobalThreads(4);
+  auto parallel = plan_all();
+  EXPECT_EQ(std::get<0>(serial), std::get<0>(parallel));
+  EXPECT_EQ(std::get<1>(serial), std::get<1>(parallel));
+  EXPECT_EQ(std::get<2>(serial), std::get<2>(parallel));
+}
+
+TEST_F(ThreadPoolTest, EstimatorEvaluationIsThreadCountInvariant) {
+  SiteFixture f;
+  CeTrainingData data = BuildCeTrainingData(f.lab->catalog, f.lab->stats,
+                                            f.workload, f.lab->truth.get());
+  ASSERT_FALSE(data.labeled.empty());
+  ThreadPool::SetGlobalThreads(1);
+  std::vector<double> serial =
+      EstimatorQErrors(f.lab->estimator.get(), data.labeled);
+  ThreadPool::SetGlobalThreads(4);
+  std::vector<double> parallel =
+      EstimatorQErrors(f.lab->estimator.get(), data.labeled);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ThreadPoolTest, LabSweepIsThreadCountInvariant) {
+  SiteFixture f;
+  ThreadPool::SetGlobalThreads(1);
+  std::vector<SweepResult> serial = SweepWorkload(*f.lab, f.workload);
+  ThreadPool::SetGlobalThreads(4);
+  std::vector<SweepResult> parallel = SweepWorkload(*f.lab, f.workload);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].estimated_cost, parallel[i].estimated_cost);
+    EXPECT_EQ(serial[i].time_units, parallel[i].time_units);
+    EXPECT_EQ(serial[i].row_count, parallel[i].row_count);
+  }
+}
+
+// Minimal deterministic learned optimizer: native plan plus two hint-set
+// candidates. Exercises the harness's candidate fan-out and per-query
+// evaluation fan-out without training noise.
+class HintProbeOptimizer : public LearnedQueryOptimizer {
+ public:
+  explicit HintProbeOptimizer(const E2eContext& context)
+      : context_(context) {}
+
+  PhysicalPlan ChoosePlan(const Query& query) override {
+    return NativePlan(context_, query);
+  }
+
+  std::vector<PhysicalPlan> TrainingCandidates(const Query& query) override {
+    std::vector<PhysicalPlan> plans;
+    plans.push_back(ChoosePlan(query));
+    for (bool hash_only : {true, false}) {
+      HintSet hints;
+      hints.enable_hash_join = hash_only;
+      hints.enable_merge_join = !hash_only;
+      hints.enable_nested_loop = false;
+      CardinalityProvider cards(context_.estimator);
+      plans.push_back(
+          context_.optimizer->Optimize(query, &cards, hints).plan);
+    }
+    return plans;
+  }
+
+  void Observe(const Query& query, const PhysicalPlan& plan,
+               double time_units) override {
+    (void)query;
+    (void)plan;
+    observed_.push_back(time_units);
+  }
+
+  void Retrain() override { ++retrains_; }
+  std::string Name() const override { return "hint_probe"; }
+  bool trained() const override { return retrains_ > 0; }
+
+  const std::vector<double>& observed() const { return observed_; }
+
+ private:
+  E2eContext context_;
+  std::vector<double> observed_;
+  int retrains_ = 0;
+};
+
+TEST_F(ThreadPoolTest, E2eHarnessIsThreadCountInvariant) {
+  SiteFixture f;
+  auto run = [&] {
+    HintProbeOptimizer opt(f.lab->Context());
+    double train_time =
+        TrainLearnedOptimizer(&opt, f.workload, *f.lab->executor);
+    E2eEvalResult eval = EvaluateLearnedOptimizer(&opt, f.lab->Context(),
+                                                  f.workload,
+                                                  *f.lab->executor);
+    return std::make_tuple(train_time, opt.observed(), eval.native_times,
+                           eval.learned_times, eval.wins, eval.losses,
+                           eval.worst_regression_ratio);
+  };
+  ThreadPool::SetGlobalThreads(1);
+  auto serial = run();
+  ThreadPool::SetGlobalThreads(4);
+  auto parallel = run();
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ThreadPoolTest, CardinalityProviderCountsHitsAndMisses) {
+  SiteFixture f;
+  CardinalityProvider cards(f.lab->estimator.get());
+  const Query& q = f.workload.queries[0];
+  Subquery all{&q, q.AllTables()};
+  EXPECT_EQ(cards.Stats().hits, 0u);
+  EXPECT_EQ(cards.Stats().misses, 0u);
+  double first = cards.Cardinality(all);
+  EXPECT_EQ(cards.Stats().misses, 1u);
+  double second = cards.Cardinality(all);
+  EXPECT_EQ(cards.Stats().hits, 1u);
+  EXPECT_EQ(first, second);
+
+  // DP planning over the cache: every connected subset probed once, hit on
+  // every re-probe across candidate splits.
+  CardinalityProvider dp_cards(f.lab->estimator.get());
+  f.lab->optimizer->Optimize(q, &dp_cards);
+  EXPECT_GT(dp_cards.Stats().misses, 0u);
+}
+
+TEST_F(ThreadPoolTest, SubqueryKeyHashIsCanonicalAcrossQueryObjects) {
+  SiteFixture f;
+  const Query& q = f.workload.queries[0];
+  Query copy = q;  // same logical query, distinct object.
+  Subquery a{&q, q.AllTables()};
+  Subquery b{&copy, copy.AllTables()};
+  EXPECT_EQ(a.Key(), b.Key());
+  EXPECT_EQ(a.KeyHash(), b.KeyHash());
+
+  // Distinct subsets should (overwhelmingly) hash apart.
+  std::vector<uint64_t> hashes;
+  for (const Query& query : f.workload.queries) {
+    for (TableSet s : ConnectedSubsets(query)) {
+      hashes.push_back(Subquery{&query, s}.KeyHash());
+    }
+  }
+  std::sort(hashes.begin(), hashes.end());
+  size_t distinct =
+      static_cast<size_t>(std::unique(hashes.begin(), hashes.end()) -
+                          hashes.begin());
+  // Some subqueries are legitimately identical across generated queries;
+  // just assert hashing is not degenerate.
+  EXPECT_GT(distinct, hashes.size() / 2);
+}
+
+}  // namespace
+}  // namespace lqo
