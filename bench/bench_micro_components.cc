@@ -8,8 +8,10 @@
 
 #include "benchlib/lab.h"
 #include "cardinality/data_driven.h"
+#include "common/logging.h"
 #include "costmodel/plan_featurizer.h"
 #include "query/workload.h"
+#include "storage/datasets.h"
 
 namespace lqo {
 namespace {
@@ -90,6 +92,40 @@ void BM_ExecuteNativePlan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExecuteNativePlan);
+
+// Per-phase wall-clock of the partitioned hash join (build / probe /
+// ordered concat), reported as counters alongside whole-plan latency. Uses
+// a chain catalog large enough to take the 16-partition parallel path.
+void BM_JoinPhases(benchmark::State& state) {
+  static Catalog* chain = new Catalog(MakeChainSchema(3, 20000));
+  static Executor* executor = new Executor(chain);
+  Query q;
+  q.AddTable("t0");
+  q.AddTable("t1");
+  q.AddTable("t2");
+  q.AddJoin(0, "id", 1, "prev_id");
+  q.AddJoin(1, "id", 2, "prev_id");
+  PhysicalPlan plan =
+      MakeLeftDeepPlan(q, q.AllTables(), JoinAlgorithm::kHashJoin);
+  double build = 0.0, probe = 0.0, concat = 0.0;
+  for (auto _ : state) {
+    auto result = executor->Execute(plan);
+    LQO_CHECK(result.ok());
+    for (const NodeProfile& p : result->node_profiles) {
+      if (p.kind != PlanNode::Kind::kJoin) continue;
+      build += p.build_seconds;
+      probe += p.probe_seconds;
+      concat += p.concat_seconds;
+    }
+    benchmark::DoNotOptimize(result->row_count);
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["build_s"] = build / iters;
+  state.counters["probe_s"] = probe / iters;
+  state.counters["concat_s"] = concat / iters;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JoinPhases);
 
 void BM_PlanFeaturize(benchmark::State& state) {
   MicroFixture& f = Fixture();

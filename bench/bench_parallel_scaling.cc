@@ -16,12 +16,18 @@
 #include "benchlib/lab.h"
 #include "cardinality/data_driven.h"
 #include "cardinality/evaluation.h"
+#include "cardinality/spn_model.h"
 #include "cardinality/training_data.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
+#include "e2e/lero.h"
+#include "engine/executor.h"
+#include "ml/chow_liu.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "query/workload.h"
+#include "storage/datasets.h"
 
 namespace lqo {
 namespace {
@@ -185,6 +191,88 @@ int main() {
       return total;
     }));
   }
+
+  // Sites 5-8 ride on a chain catalog big enough to clear the executor's
+  // and SPN's input-size gates (20k rows/table >> the 8192/512 thresholds).
+  Catalog chain = MakeChainSchema(5, 20000);
+
+  // Site 5: radix-partitioned hash-join execution. Queries execute one at a
+  // time at top level, so the per-join build/probe fan-out is what scales.
+  {
+    Executor chain_executor(&chain);
+    WorkloadOptions jopts;
+    jopts.num_queries = 12;
+    jopts.min_tables = 3;
+    jopts.max_tables = 5;
+    jopts.seed = 777;
+    Workload join_workload = GenerateWorkload(chain, jopts);
+    reports.push_back(RunSite("partitioned_join", counts, [&] {
+      double fingerprint = 0.0;
+      for (const Query& q : join_workload.queries) {
+        PhysicalPlan plan =
+            MakeLeftDeepPlan(q, q.AllTables(), JoinAlgorithm::kHashJoin);
+        auto result = chain_executor.Execute(plan);
+        LQO_CHECK(result.ok());
+        fingerprint +=
+            static_cast<double>(result->row_count) + result->time_units;
+        for (const NodeProfile& p : result->node_profiles) {
+          fingerprint += static_cast<double>(p.build_collisions +
+                                             p.probe_collisions);
+        }
+      }
+      return fingerprint;
+    }));
+  }
+
+  // Site 6: SPN training — parallel child regions after each split.
+  reports.push_back(RunSite("spn_train", counts, [&] {
+    const Table* t1 = *chain.GetTable("t1");
+    SpnTableModel model(t1);
+    Query probe;
+    probe.AddTable("t1");
+    probe.AddPredicate(Predicate::Range(0, "val", 2, 40));
+    return static_cast<double>(model.num_nodes()) +
+           model.Selectivity(probe, 0);
+  }));
+
+  // Site 7: Chow-Liu pairwise mutual-information triangle (16 variables ->
+  // 120 independent MI tasks over 20k rows each).
+  {
+    Rng rng(99);
+    const size_t kRows = 20000, kVars = 16;
+    const int64_t kDomain = 24;
+    std::vector<std::vector<int64_t>> columns(kVars);
+    std::vector<int64_t> domains(kVars, kDomain);
+    for (size_t v = 0; v < kVars; ++v) {
+      columns[v].reserve(kRows);
+      for (size_t r = 0; r < kRows; ++r) {
+        columns[v].push_back(rng.UniformInt(0, kDomain - 1));
+      }
+    }
+    reports.push_back(RunSite("chow_liu_mi", counts, [&] {
+      ChowLiuResult tree = LearnChowLiuTree(columns, domains);
+      double fingerprint = 0.0;
+      for (size_t i = 0; i < tree.parent.size(); ++i) {
+        fingerprint += static_cast<double>(tree.parent[i]) * 31.0 +
+                       static_cast<double>(tree.topological_order[i]);
+      }
+      return fingerprint;
+    }));
+  }
+
+  // Site 8: batched candidate costing — Lero plans every scale factor
+  // against per-factor views of one frozen provider.
+  reports.push_back(RunSite("lero_costing", counts, [&] {
+    LeroOptimizer lero(lab->Context());
+    std::string fingerprint;
+    for (const Query& q : workload.queries) {
+      for (const PhysicalPlan& plan : lero.Candidates(q)) {
+        fingerprint += plan.Signature();
+        fingerprint += ';';
+      }
+    }
+    return fingerprint;
+  }));
 
   ThreadPool::SetGlobalThreads(hw);
 

@@ -18,4 +18,8 @@ export LQO_THREADS=4
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
+# The scaling bench sweeps every parallel site at 1/2/4/N threads under
+# TSan and exits nonzero if any site diverges from its serial result.
+"$BUILD_DIR"/bench/bench_parallel_scaling
+
 echo "check.sh: TSan suite passed with LQO_THREADS=4"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "ml/chow_liu.h"
 
 namespace lqo {
@@ -12,50 +13,64 @@ BayesNetTableModel::BayesNetTableModel(const Table* table, int max_bins)
   LQO_CHECK(table_ != nullptr);
   LQO_CHECK_GT(table_->num_rows(), 0u);
 
-  // Discretize every column.
+  // Discretize every column: independent per column, index-addressed.
+  const std::vector<Column>& columns = table_->columns();
+  for (const Column& col : columns) {
+    column_names_.push_back(col.name);
+    var_of_column_[col.name] = var_of_column_.size();
+  }
+  struct BinnedColumn {
+    ColumnBinning binning;
+    std::vector<int64_t> codes;
+  };
+  std::vector<BinnedColumn> discretized =
+      ParallelMap(columns.size(), [&](size_t c) {
+        BinnedColumn out;
+        out.binning = ColumnBinning::BuildEquiDepth(columns[c].data, max_bins);
+        out.codes.resize(columns[c].data.size());
+        for (size_t r = 0; r < columns[c].data.size(); ++r) {
+          out.codes[r] = out.binning.BinOf(columns[c].data[r]);
+        }
+        return out;
+      });
   std::vector<std::vector<int64_t>> binned;
   std::vector<int64_t> domains;
-  for (const Column& col : table_->columns()) {
-    column_names_.push_back(col.name);
-    var_of_column_[col.name] = binnings_.size();
-    ColumnBinning binning = ColumnBinning::BuildEquiDepth(col.data, max_bins);
-    std::vector<int64_t> codes(col.data.size());
-    for (size_t r = 0; r < col.data.size(); ++r) {
-      codes[r] = binning.BinOf(col.data[r]);
-    }
-    domains.push_back(binning.num_bins());
-    binnings_.push_back(std::move(binning));
-    binned.push_back(std::move(codes));
+  for (BinnedColumn& col : discretized) {
+    domains.push_back(col.binning.num_bins());
+    binnings_.push_back(std::move(col.binning));
+    binned.push_back(std::move(col.codes));
   }
 
   ChowLiuResult structure = LearnChowLiuTree(binned, domains);
   parent_ = structure.parent;
   order_ = structure.topological_order;
 
-  // CPTs with Laplace smoothing.
+  // CPTs with Laplace smoothing: each variable's table depends only on its
+  // own codes and its parent's, so the fits are independent.
   size_t v = column_names_.size();
-  cpt_.resize(v);
-  for (size_t i = 0; i < v; ++i) {
+  cpt_ = ParallelMap(v, [&](size_t i) {
     int64_t bins = domains[i];
     int64_t parent_bins = parent_[i] < 0
                               ? 1
                               : domains[static_cast<size_t>(parent_[i])];
-    cpt_[i].assign(static_cast<size_t>(parent_bins),
-                   std::vector<double>(static_cast<size_t>(bins), 1.0));
+    std::vector<std::vector<double>> table(
+        static_cast<size_t>(parent_bins),
+        std::vector<double>(static_cast<size_t>(bins), 1.0));
     const std::vector<int64_t>& child = binned[i];
     for (size_t r = 0; r < child.size(); ++r) {
       size_t pb = parent_[i] < 0
                       ? 0
                       : static_cast<size_t>(
                             binned[static_cast<size_t>(parent_[i])][r]);
-      cpt_[i][pb][static_cast<size_t>(child[r])] += 1.0;
+      table[pb][static_cast<size_t>(child[r])] += 1.0;
     }
-    for (auto& row : cpt_[i]) {
+    for (auto& row : table) {
       double total = 0.0;
       for (double c : row) total += c;
       for (double& c : row) c /= total;
     }
-  }
+    return table;
+  });
 }
 
 std::vector<std::vector<double>> BayesNetTableModel::EvidenceOf(

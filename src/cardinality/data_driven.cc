@@ -14,6 +14,7 @@
 #include "cardinality/spn_model.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
 
@@ -170,8 +171,15 @@ void DataDrivenEstimator::BuildSchemaKeyGroups() {
 
 void DataDrivenEstimator::Build() {
   LQO_CHECK(!built_);
-  for (const std::string& table : catalog_->table_names()) {
-    models_[table] = MakeModel(table, kind_of_table_.at(table));
+  // Per-table models are independent fits; train them as index-addressed
+  // tasks and insert in table order so the map is built deterministically.
+  std::vector<std::string> tables = catalog_->table_names();
+  std::vector<std::unique_ptr<SingleTableDistribution>> built =
+      ParallelMap(tables.size(), [&](size_t i) {
+        return MakeModel(tables[i], kind_of_table_.at(tables[i]));
+      });
+  for (size_t i = 0; i < tables.size(); ++i) {
+    models_[tables[i]] = std::move(built[i]);
   }
   BuildSchemaKeyGroups();
   built_ = true;

@@ -6,34 +6,59 @@
 
 #include "common/logging.h"
 #include "common/stats_util.h"
+#include "common/thread_pool.h"
 #include "ml/kmeans.h"
 
 namespace lqo {
+namespace {
+
+// Child regions with fewer rows build serially inside their parent's task:
+// the fit is too cheap to amortize a fan-out. The gate reads only the data,
+// so the structure is identical at every thread count.
+constexpr size_t kSpnParallelMinRows = 512;
+
+}  // namespace
 
 SpnTableModel::SpnTableModel(const Table* table, SpnOptions options)
     : table_(table), options_(options) {
   LQO_CHECK(table_ != nullptr);
   LQO_CHECK_GT(table_->num_rows(), 0u);
-  for (const Column& col : table_->columns()) {
-    var_of_column_[col.name] = binnings_.size();
-    ColumnBinning binning =
-        ColumnBinning::BuildEquiDepth(col.data, options_.max_bins);
-    std::vector<int64_t> codes(col.data.size());
-    for (size_t r = 0; r < col.data.size(); ++r) {
-      codes[r] = binning.BinOf(col.data[r]);
-    }
-    binnings_.push_back(std::move(binning));
-    binned_.push_back(std::move(codes));
+  const std::vector<Column>& columns = table_->columns();
+  for (const Column& col : columns) {
+    var_of_column_[col.name] = var_of_column_.size();
+  }
+  // Per-column discretization is independent; fan it out index-addressed.
+  struct BinnedColumn {
+    ColumnBinning binning;
+    std::vector<int64_t> codes;
+  };
+  std::vector<BinnedColumn> discretized =
+      ParallelMap(columns.size(), [&](size_t c) {
+        BinnedColumn out;
+        out.binning =
+            ColumnBinning::BuildEquiDepth(columns[c].data, options_.max_bins);
+        out.codes.resize(columns[c].data.size());
+        for (size_t r = 0; r < columns[c].data.size(); ++r) {
+          out.codes[r] = out.binning.BinOf(columns[c].data[r]);
+        }
+        return out;
+      });
+  for (BinnedColumn& col : discretized) {
+    binnings_.push_back(std::move(col.binning));
+    binned_.push_back(std::move(col.codes));
   }
 
   std::vector<size_t> all_rows(table_->num_rows());
   std::iota(all_rows.begin(), all_rows.end(), 0);
   std::vector<size_t> all_vars(binnings_.size());
   std::iota(all_vars.begin(), all_vars.end(), 0);
-  root_ = Build(all_rows, all_vars, 0);
+  Subtree tree = Build(all_rows, all_vars, 0);
+  nodes_ = std::move(tree.nodes);
+  root_ = tree.root;
 }
 
-int SpnTableModel::BuildLeaf(const std::vector<size_t>& rows, size_t var) {
+SpnTableModel::Node SpnTableModel::MakeLeaf(const std::vector<size_t>& rows,
+                                            size_t var) const {
   Node leaf;
   leaf.type = Node::Type::kLeaf;
   leaf.var = var;
@@ -45,17 +70,61 @@ int SpnTableModel::BuildLeaf(const std::vector<size_t>& rows, size_t var) {
   double total = 0.0;
   for (double c : leaf.distribution) total += c;
   for (double& c : leaf.distribution) c /= total;
-  nodes_.push_back(std::move(leaf));
-  return static_cast<int>(nodes_.size()) - 1;
+  return leaf;
 }
 
-int SpnTableModel::Build(const std::vector<size_t>& rows,
-                         const std::vector<size_t>& vars, int depth) {
+int SpnTableModel::Splice(Subtree&& sub, std::vector<Node>* nodes) {
+  int offset = static_cast<int>(nodes->size());
+  for (Node& node : sub.nodes) {
+    for (int& child : node.children) child += offset;
+    nodes->push_back(std::move(node));
+  }
+  return sub.root + offset;
+}
+
+SpnTableModel::Subtree SpnTableModel::Build(const std::vector<size_t>& rows,
+                                            const std::vector<size_t>& vars,
+                                            int depth) const {
   LQO_CHECK(!vars.empty());
-  if (vars.size() == 1) return BuildLeaf(rows, vars[0]);
+  Subtree tree;
+  if (vars.size() == 1) {
+    tree.nodes.push_back(MakeLeaf(rows, vars[0]));
+    tree.root = 0;
+    return tree;
+  }
 
   bool stop_splitting =
       rows.size() < options_.min_rows || depth >= options_.max_depth;
+
+  // Builds the children (independent regions) in parallel when the region
+  // is large enough and splices them in child order after the parent node.
+  auto assemble = [&](Node parent,
+                      const std::vector<std::pair<std::vector<size_t>,
+                                                  std::vector<size_t>>>&
+                          regions) {
+    Subtree out;
+    size_t parent_index = out.nodes.size();
+    out.nodes.push_back(std::move(parent));
+    auto build_child = [&](size_t c) {
+      return Build(regions[c].first, regions[c].second, depth + 1);
+    };
+    std::vector<Subtree> children;
+    if (rows.size() >= kSpnParallelMinRows) {
+      children = ParallelMap(regions.size(), build_child);
+    } else {
+      children.reserve(regions.size());
+      for (size_t c = 0; c < regions.size(); ++c) {
+        children.push_back(build_child(c));
+      }
+    }
+    std::vector<int> child_indices;
+    for (Subtree& child : children) {
+      child_indices.push_back(Splice(std::move(child), &out.nodes));
+    }
+    out.nodes[parent_index].children = std::move(child_indices);
+    out.root = static_cast<int>(parent_index);
+    return out;
+  };
 
   if (!stop_splitting) {
     // Try a product split: connected components of the "correlated" graph.
@@ -89,18 +158,15 @@ int SpnTableModel::Build(const std::vector<size_t>& rows,
     if (num_components > 1) {
       Node product;
       product.type = Node::Type::kProduct;
-      nodes_.push_back(product);
-      int index = static_cast<int>(nodes_.size()) - 1;
-      std::vector<int> children;
+      std::vector<std::pair<std::vector<size_t>, std::vector<size_t>>> regions;
       for (int c = 0; c < num_components; ++c) {
         std::vector<size_t> group;
         for (size_t i = 0; i < vars.size(); ++i) {
           if (component[i] == c) group.push_back(vars[i]);
         }
-        children.push_back(Build(rows, group, depth + 1));
+        regions.emplace_back(rows, std::move(group));
       }
-      nodes_[static_cast<size_t>(index)].children = std::move(children);
-      return index;
+      return assemble(std::move(product), regions);
     }
 
     // Sum split: k-means over normalized bin codes.
@@ -123,43 +189,36 @@ int SpnTableModel::Build(const std::vector<size_t>& rows,
       for (size_t ri = 0; ri < rows.size(); ++ri) {
         cluster_rows[kmeans.labels()[ri]].push_back(rows[ri]);
       }
-      Node sum;
-      sum.type = Node::Type::kSum;
-      nodes_.push_back(sum);
-      int index = static_cast<int>(nodes_.size()) - 1;
-      std::vector<int> children;
+      std::vector<std::pair<std::vector<size_t>, std::vector<size_t>>> regions;
       std::vector<double> weights;
-      for (const auto& cluster : cluster_rows) {
+      for (auto& cluster : cluster_rows) {
         if (cluster.empty()) continue;
         weights.push_back(static_cast<double>(cluster.size()) /
                           static_cast<double>(rows.size()));
-        children.push_back(Build(cluster, vars, depth + 1));
+        regions.emplace_back(std::move(cluster), vars);
       }
-      if (children.size() > 1) {
-        nodes_[static_cast<size_t>(index)].children = std::move(children);
-        nodes_[static_cast<size_t>(index)].weights = std::move(weights);
-        return index;
+      if (regions.size() > 1) {
+        Node sum;
+        sum.type = Node::Type::kSum;
+        sum.weights = std::move(weights);
+        return assemble(std::move(sum), regions);
       }
-      // Degenerate clustering: fall through to independence fallback, using
-      // the placeholder node as the product node.
-      Node& node = nodes_[static_cast<size_t>(index)];
-      node.type = Node::Type::kProduct;
-      std::vector<int> leaf_children;
-      for (size_t var : vars) leaf_children.push_back(BuildLeaf(rows, var));
-      node.children = std::move(leaf_children);
-      return index;
+      // Degenerate clustering: fall through to the independence fallback.
     }
   }
 
   // Fallback: independence product of leaves.
   Node product;
   product.type = Node::Type::kProduct;
-  nodes_.push_back(product);
-  int index = static_cast<int>(nodes_.size()) - 1;
+  tree.nodes.push_back(std::move(product));
   std::vector<int> children;
-  for (size_t var : vars) children.push_back(BuildLeaf(rows, var));
-  nodes_[static_cast<size_t>(index)].children = std::move(children);
-  return index;
+  for (size_t var : vars) {
+    tree.nodes.push_back(MakeLeaf(rows, var));
+    children.push_back(static_cast<int>(tree.nodes.size()) - 1);
+  }
+  tree.nodes[0].children = std::move(children);
+  tree.root = 0;
+  return tree;
 }
 
 double SpnTableModel::Evaluate(int node_index,

@@ -31,6 +31,10 @@ struct SpnOptions {
 ///  - histogram leaves over single columns.
 /// FLAT's FSPN [81] refinement (factorize highly-correlated columns first)
 /// is approximated by the correlation-driven product splits.
+///
+/// Training parallelizes over the independent child regions created by each
+/// product/sum split (and over columns during discretization) on the shared
+/// ThreadPool; results are bit-for-bit identical at any thread count.
 class SpnTableModel : public SingleTableDistribution {
  public:
   SpnTableModel(const Table* table, SpnOptions options = SpnOptions());
@@ -59,9 +63,22 @@ class SpnTableModel : public SingleTableDistribution {
   /// A per-variable box constraint: allowed fraction per bin.
   using BinConstraints = std::vector<std::vector<double>>;
 
-  int Build(const std::vector<size_t>& rows, const std::vector<size_t>& vars,
-            int depth);
-  int BuildLeaf(const std::vector<size_t>& rows, size_t var);
+  /// A locally-built SPN fragment with node indices relative to `nodes`;
+  /// independent child regions build fragments in parallel tasks and the
+  /// parent splices them in child order (see DESIGN.md "Concurrency
+  /// model"), so the final node layout is a function of the data only,
+  /// never of the thread count.
+  struct Subtree {
+    std::vector<Node> nodes;
+    int root = -1;
+  };
+
+  Subtree Build(const std::vector<size_t>& rows,
+                const std::vector<size_t>& vars, int depth) const;
+  Node MakeLeaf(const std::vector<size_t>& rows, size_t var) const;
+  /// Appends `sub`'s nodes to `*nodes` (offsetting child indices) and
+  /// returns the new index of its root.
+  static int Splice(Subtree&& sub, std::vector<Node>* nodes);
   double Evaluate(int node, const BinConstraints& constraints) const;
   BinConstraints ConstraintsOf(const Query& query, int table_index) const;
 

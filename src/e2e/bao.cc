@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
 
@@ -26,14 +27,26 @@ BaoOptimizer::BaoOptimizer(const E2eContext& context, BaoOptions options)
 }
 
 std::vector<PhysicalPlan> BaoOptimizer::Candidates(const Query& query) {
+  // Batched candidate costing: every arm plans against one frozen provider,
+  // so the per-subquery estimates are derived once and shared concurrently
+  // across arms instead of re-planned serially behind a private cache.
+  CardinalityProvider cards(context_.estimator);
+  cards.Freeze();
+  std::vector<PhysicalPlan> plans =
+      ParallelMap(arms_.size(), [&](size_t a) {
+        PhysicalPlan plan =
+            context_.optimizer->Optimize(query, &cards, arms_[a]).plan;
+        AnnotateWithProvider(context_, &plan, &cards);
+        return plan;
+      });
+  // Serial reduction in arm order: arm-usefulness bookkeeping and signature
+  // dedup are order-dependent, so they stay a serial pass over the
+  // index-addressed results (identical to the old one-arm-at-a-time walk).
   std::vector<PhysicalPlan> candidates;
   std::set<std::string> seen;
-  CardinalityProvider cards(context_.estimator);
   std::string default_signature;
   for (size_t a = 0; a < arms_.size(); ++a) {
-    PhysicalPlan plan = context_.optimizer->Optimize(query, &cards,
-                                                     arms_[a]).plan;
-    std::string signature = plan.Signature();
+    std::string signature = plans[a].Signature();
     if (arms_[a].enable_hash_join && arms_[a].enable_nested_loop &&
         arms_[a].enable_merge_join) {
       default_signature = signature;
@@ -42,8 +55,7 @@ std::vector<PhysicalPlan> BaoOptimizer::Candidates(const Query& query) {
       arm_useful_[a] = true;
     }
     if (!seen.insert(signature).second) continue;
-    AnnotateWithBaseline(context_, &plan);
-    candidates.push_back(std::move(plan));
+    candidates.push_back(std::move(plans[a]));
   }
   return candidates;
 }

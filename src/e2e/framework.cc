@@ -16,4 +16,11 @@ void AnnotateWithBaseline(const E2eContext& context, PhysicalPlan* plan) {
   context.cost_model->PlanCost(plan, &cards);
 }
 
+void AnnotateWithProvider(const E2eContext& context, PhysicalPlan* plan,
+                          CardinalityProvider* cards) {
+  LQO_CHECK(plan != nullptr);
+  LQO_CHECK(cards != nullptr);
+  context.cost_model->PlanCost(plan, cards);
+}
+
 }  // namespace lqo

@@ -72,6 +72,13 @@ PhysicalPlan NativePlan(const E2eContext& context, const Query& query);
 /// risk-model features are computed consistently across candidates.
 void AnnotateWithBaseline(const E2eContext& context, PhysicalPlan* plan);
 
+/// As AnnotateWithBaseline, but against a caller-supplied provider. Pass a
+/// *frozen* provider when annotating a batch of candidates from parallel
+/// tasks: they then share one concurrent-read cache instead of re-deriving
+/// every estimate per plan (see CardinalityProvider's freeze contract).
+void AnnotateWithProvider(const E2eContext& context, PhysicalPlan* plan,
+                          CardinalityProvider* cards);
+
 }  // namespace lqo
 
 #endif  // LQO_E2E_FRAMEWORK_H_

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/stats_util.h"
+#include "common/thread_pool.h"
 #include "costmodel/plan_featurizer.h"
 
 namespace lqo {
@@ -16,23 +17,28 @@ HyperQoOptimizer::HyperQoOptimizer(const E2eContext& context,
     : context_(context), options_(options) {}
 
 std::vector<PhysicalPlan> HyperQoOptimizer::Candidates(const Query& query) {
+  // Batched candidate costing: the native plan plus one leading hint per
+  // driving table, all planned concurrently against one frozen provider so
+  // every candidate shares the same estimate cache.
+  CardinalityProvider cards(context_.estimator);
+  cards.Freeze();
+  size_t n = static_cast<size_t>(query.num_tables());
+  std::vector<PhysicalPlan> plans =
+      ParallelMap(n + 1, [&](size_t i) {
+        HintSet hints;
+        if (i > 0) hints.leading = {static_cast<int>(i) - 1};
+        PhysicalPlan plan =
+            context_.optimizer->Optimize(query, &cards, hints).plan;
+        AnnotateWithProvider(context_, &plan, &cards);
+        return plan;
+      });
+
+  // Serial signature dedup in the old emission order (native first, then
+  // driving tables in index order).
   std::vector<PhysicalPlan> candidates;
   std::set<std::string> seen;
-  CardinalityProvider cards(context_.estimator);
-
-  PhysicalPlan native = context_.optimizer->Optimize(query, &cards).plan;
-  seen.insert(native.Signature());
-  AnnotateWithBaseline(context_, &native);
-  candidates.push_back(std::move(native));
-
-  // Leading hints: force each table as the driving table.
-  for (int t = 0; t < query.num_tables(); ++t) {
-    HintSet hints;
-    hints.leading = {t};
-    PhysicalPlan plan =
-        context_.optimizer->Optimize(query, &cards, hints).plan;
+  for (PhysicalPlan& plan : plans) {
     if (!seen.insert(plan.Signature()).second) continue;
-    AnnotateWithBaseline(context_, &plan);
     candidates.push_back(std::move(plan));
   }
   return candidates;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "costmodel/plan_featurizer.h"
 
 namespace lqo {
@@ -24,9 +26,13 @@ std::vector<double> ValueSearch::StateFeatures(
 }
 
 std::vector<PhysicalPlan> ValueSearch::Expand(
-    const Query& query, const PhysicalPlan& partial) const {
-  std::vector<PhysicalPlan> expansions;
+    const Query& query, const PhysicalPlan& partial,
+    CardinalityProvider* cards) const {
   TableSet joined = partial.root->table_set;
+  // Enumerate the (table, algorithm) extensions first, then annotate them as
+  // index-addressed tasks: annotation dominates (it walks the cost model and
+  // estimator), construction is a clone.
+  std::vector<std::pair<int, JoinAlgorithm>> combos;
   for (int t = 0; t < query.num_tables(); ++t) {
     if (ContainsTable(joined, t)) continue;
     // Must share a join edge with the joined set.
@@ -41,14 +47,17 @@ std::vector<PhysicalPlan> ValueSearch::Expand(
     for (JoinAlgorithm algo :
          {JoinAlgorithm::kHashJoin, JoinAlgorithm::kNestedLoopJoin,
           JoinAlgorithm::kMergeJoin}) {
-      PhysicalPlan next;
-      next.query = &query;
-      next.root = MakeJoinNode(algo, partial.root->Clone(), MakeScanNode(t));
-      AnnotateWithBaseline(context_, &next);
-      expansions.push_back(std::move(next));
+      combos.emplace_back(t, algo);
     }
   }
-  return expansions;
+  return ParallelMap(combos.size(), [&](size_t c) {
+    PhysicalPlan next;
+    next.query = &query;
+    next.root = MakeJoinNode(combos[c].second, partial.root->Clone(),
+                             MakeScanNode(combos[c].first));
+    AnnotateWithProvider(context_, &next, cards);
+    return next;
+  });
 }
 
 PhysicalPlan ValueSearch::Search(const Query& query,
@@ -58,17 +67,36 @@ PhysicalPlan ValueSearch::Search(const Query& query,
   LQO_CHECK(query.IsConnected(query.AllTables()));
   TableSet all = query.AllTables();
 
+  // One frozen provider for the whole search: every expansion across every
+  // level/pop shares the same concurrently-read estimate cache instead of
+  // re-deriving baseline cards per candidate.
+  CardinalityProvider cards(context_.estimator);
+  cards.Freeze();
+
+  // Values the batch of candidate states in parallel (PredictTime is a
+  // const, re-entrant model read) and moves the plans in index order.
+  auto value_batch = [&](std::vector<PhysicalPlan> plans) {
+    std::vector<double> values = ParallelMap(plans.size(), [&](size_t i) {
+      return value_model.PredictTime(StateFeatures(query, plans[i]));
+    });
+    std::vector<SearchState> states(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      states[i].partial = std::move(plans[i]);
+      states[i].value = values[i];
+    }
+    return states;
+  };
+
   // Initial states: every single-table scan.
-  std::vector<SearchState> frontier;
-  for (int t = 0; t < query.num_tables(); ++t) {
-    SearchState state;
-    state.partial.query = &query;
-    state.partial.root = MakeScanNode(t);
-    AnnotateWithBaseline(context_, &state.partial);
-    state.value =
-        value_model.PredictTime(StateFeatures(query, state.partial));
-    frontier.push_back(std::move(state));
-  }
+  std::vector<PhysicalPlan> scans =
+      ParallelMap(static_cast<size_t>(query.num_tables()), [&](size_t t) {
+        PhysicalPlan plan;
+        plan.query = &query;
+        plan.root = MakeScanNode(static_cast<int>(t));
+        AnnotateWithProvider(context_, &plan, &cards);
+        return plan;
+      });
+  std::vector<SearchState> frontier = value_batch(std::move(scans));
   if (query.num_tables() == 1) return std::move(frontier[0].partial);
 
   auto better = [](const SearchState& a, const SearchState& b) {
@@ -76,16 +104,19 @@ PhysicalPlan ValueSearch::Search(const Query& query,
   };
 
   if (strategy == Strategy::kBeam) {
-    // Level-synchronous beam (Balsa).
+    // Level-synchronous beam (Balsa): expand every frontier state in
+    // parallel, then flatten in state order so the pre-sort sequence is
+    // identical to the serial walk (std::sort on the same sequence yields
+    // the same order, ties included).
     for (int level = 1; level < query.num_tables(); ++level) {
+      std::vector<std::vector<SearchState>> expanded_per_state =
+          ParallelMap(frontier.size(), [&](size_t s) {
+            return value_batch(Expand(query, frontier[s].partial, &cards));
+          });
       std::vector<SearchState> next_level;
-      for (const SearchState& state : frontier) {
-        for (PhysicalPlan& expanded : Expand(query, state.partial)) {
-          SearchState next;
-          next.value =
-              value_model.PredictTime(StateFeatures(query, expanded));
-          next.partial = std::move(expanded);
-          next_level.push_back(std::move(next));
+      for (std::vector<SearchState>& expanded : expanded_per_state) {
+        for (SearchState& state : expanded) {
+          next_level.push_back(std::move(state));
         }
       }
       LQO_CHECK(!next_level.empty());
@@ -100,6 +131,9 @@ PhysicalPlan ValueSearch::Search(const Query& query,
 
   // Best-first (Neo): pop the lowest-value state, expand; the first
   // complete plan popped wins; expansion budget guards runaway searches.
+  // Each pop's expansion batch annotates and values in parallel; heap
+  // pushes stay serial in batch order, so the heap evolves exactly as in
+  // the serial search.
   auto cmp = [](const SearchState& a, const SearchState& b) {
     return a.value > b.value;  // front = minimum value
   };
@@ -118,10 +152,8 @@ PhysicalPlan ValueSearch::Search(const Query& query,
       return std::move(state.partial);
     }
     ++expansions;
-    for (PhysicalPlan& expanded : Expand(query, state.partial)) {
-      SearchState next;
-      next.value = value_model.PredictTime(StateFeatures(query, expanded));
-      next.partial = std::move(expanded);
+    for (SearchState& next :
+         value_batch(Expand(query, state.partial, &cards))) {
       heap.push_back(std::move(next));
       std::push_heap(heap.begin(), heap.end(), cmp);
     }
@@ -130,43 +162,42 @@ PhysicalPlan ValueSearch::Search(const Query& query,
   LQO_CHECK(!heap.empty());
   SearchState state = pop_min();
   while (state.partial.root->table_set != all) {
-    std::vector<PhysicalPlan> expansions_list =
-        Expand(query, state.partial);
-    LQO_CHECK(!expansions_list.empty());
+    std::vector<SearchState> expanded =
+        value_batch(Expand(query, state.partial, &cards));
+    LQO_CHECK(!expanded.empty());
     size_t best = 0;
-    double best_value = value_model.PredictTime(
-        StateFeatures(query, expansions_list[0]));
-    for (size_t i = 1; i < expansions_list.size(); ++i) {
-      double v = value_model.PredictTime(
-          StateFeatures(query, expansions_list[i]));
-      if (v < best_value) {
-        best_value = v;
-        best = i;
-      }
+    for (size_t i = 1; i < expanded.size(); ++i) {
+      if (expanded[i].value < expanded[best].value) best = i;
     }
-    state.partial = std::move(expansions_list[best]);
+    state.partial = std::move(expanded[best].partial);
   }
   return std::move(state.partial);
 }
 
 std::vector<PlanExperience> ValueSearch::SubplanExperiences(
     const Query& query, const PhysicalPlan& plan, double time_units) const {
-  std::vector<PlanExperience> experiences;
   std::string query_key = Subquery{&query, query.AllTables()}.Key();
+  // Collect the sub-plan roots bottom-up (cheap clones), then featurize
+  // them in parallel against one shared frozen provider.
+  std::vector<PhysicalPlan> partials;
   VisitPlanBottomUp(*plan.root, [&](const PlanNode& node) {
     // Sub-plans rooted at joins (and the scans, which seed the search).
     PhysicalPlan partial;
     partial.query = &query;
     partial.root = node.Clone();
-    AnnotateWithBaseline(context_, &partial);
+    partials.push_back(std::move(partial));
+  });
+  CardinalityProvider cards(context_.estimator);
+  cards.Freeze();
+  return ParallelMap(partials.size(), [&](size_t i) {
+    AnnotateWithProvider(context_, &partials[i], &cards);
     PlanExperience experience;
     experience.query_key = query_key;
-    experience.features = StateFeatures(query, partial);
+    experience.features = StateFeatures(query, partials[i]);
     experience.time_units = time_units;
-    experience.plan_signature = partial.Signature();
-    experiences.push_back(std::move(experience));
+    experience.plan_signature = partials[i].Signature();
+    return experience;
   });
-  return experiences;
 }
 
 }  // namespace lqo

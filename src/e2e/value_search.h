@@ -41,9 +41,11 @@ class ValueSearch {
   };
 
   /// All one-table left-deep extensions of a partial plan (3 algorithms per
-  /// adjacent table), baseline-annotated.
+  /// adjacent table), annotated in parallel against the shared frozen
+  /// `cards` provider (one per Search call), in (table, algorithm) order.
   std::vector<PhysicalPlan> Expand(const Query& query,
-                                   const PhysicalPlan& partial) const;
+                                   const PhysicalPlan& partial,
+                                   CardinalityProvider* cards) const;
 
   E2eContext context_;
   int max_expansions_;

@@ -1,14 +1,32 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
 namespace {
+
+// Morsel/partition geometry. All values are input-size gated only — never
+// thread-count gated — so the execution structure (and therefore every
+// output bit) is identical at any LQO_THREADS setting.
+constexpr size_t kScanMorselRows = 4096;
+// Below this many input rows a scan runs as one morsel.
+constexpr uint64_t kParallelScanMinRows = 8192;
+// Radix partitions for large joins; must be a power of two.
+constexpr size_t kJoinPartitions = 16;
+// Below this many build+probe rows a join uses a single partition.
+constexpr uint64_t kParallelJoinMinRows = 8192;
+
+double WallSeconds(const std::chrono::steady_clock::time_point& start) {
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
 
 // A materialized intermediate result: selected join-key columns for the
 // covered tables, stored column-wise.
@@ -34,9 +52,74 @@ uint64_t HashCombine(uint64_t h, int64_t v) {
   return h;
 }
 
+// Murmur3-style finalizer. HashCombine alone leaves the top bits of small
+// keys nearly constant; radix partitioning reads the top 32 bits and slot
+// addressing the low bits, so both need full avalanche. Bijective, so
+// distinct-hash counts (the skew statistic) are unchanged.
+uint64_t FinalizeHash(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
 double Log2Rows(uint64_t rows) {
   return std::log2(static_cast<double>(std::max<uint64_t>(rows, 2)));
 }
+
+// The partition of a hash uses its top bits; open-addressing slots use the
+// low bits, so the two never alias.
+size_t PartitionOf(uint64_t h, size_t num_partitions) {
+  return static_cast<size_t>(h >> 32) & (num_partitions - 1);
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Open-addressing (linear-probing) hash table over one join partition.
+/// Stores one slot per build row, sized for load factor <= 0.5 from the
+/// exact build count — "sized from the estimate" with the executor's
+/// perfect estimate; no per-row rehashing, no node allocations.
+struct JoinHashTable {
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+
+  std::vector<uint64_t> hashes;
+  std::vector<uint32_t> rows;
+  size_t mask = 0;
+
+  uint64_t build_collisions = 0;
+  uint64_t distinct_hashes = 0;
+  uint64_t max_chain = 0;
+
+  explicit JoinHashTable(size_t build_rows) {
+    size_t capacity = NextPowerOfTwo(std::max<size_t>(16, build_rows * 2));
+    hashes.assign(capacity, 0);
+    rows.assign(capacity, kEmpty);
+    mask = capacity - 1;
+  }
+
+  void Insert(uint64_t h, uint32_t row) {
+    size_t slot = static_cast<size_t>(h) & mask;
+    uint64_t same_hash_before = 0;
+    while (rows[slot] != kEmpty) {
+      if (hashes[slot] == h) {
+        ++same_hash_before;
+      } else {
+        ++build_collisions;
+      }
+      slot = (slot + 1) & mask;
+    }
+    hashes[slot] = h;
+    rows[slot] = row;
+    if (same_hash_before == 0) ++distinct_hashes;
+    max_chain = std::max(max_chain, same_hash_before + 1);
+  }
+};
 
 class PlanRunner {
  public:
@@ -101,26 +184,55 @@ class PlanRunner {
       out_cols.push_back(&table.column(*idx));
     }
 
+    size_t n = table.num_rows();
+    size_t num_morsels =
+        n >= kParallelScanMinRows ? (n + kScanMorselRows - 1) / kScanMorselRows
+                                  : 1;
+
+    // Each morsel filters its row range into a private column set; morsels
+    // are then concatenated in index order, reproducing the serial row
+    // order exactly.
+    struct MorselOut {
+      std::vector<std::vector<int64_t>> cols;
+      uint64_t num_rows = 0;
+    };
+    auto run_morsel = [&](size_t m) {
+      MorselOut out;
+      out.cols.resize(out_cols.size());
+      size_t begin = m * n / num_morsels;
+      size_t end = (m + 1) * n / num_morsels;
+      for (size_t row = begin; row < end; ++row) {
+        bool pass = true;
+        for (size_t p = 0; p < predicates.size(); ++p) {
+          if (!predicates[p].Matches(pred_cols[p]->data[row])) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        for (size_t c = 0; c < out_cols.size(); ++c) {
+          out.cols[c].push_back(out_cols[c]->data[row]);
+        }
+        ++out.num_rows;
+      }
+      return out;
+    };
+    std::vector<MorselOut> morsels = ParallelMap(num_morsels, run_morsel);
+
     Chunk chunk;
     for (const std::string& name : needed) {
       chunk.col_keys.emplace_back(node.table_index, name);
       chunk.cols.emplace_back();
     }
-    size_t n = table.num_rows();
-    for (size_t row = 0; row < n; ++row) {
-      bool pass = true;
-      for (size_t p = 0; p < predicates.size(); ++p) {
-        if (!predicates[p].Matches(pred_cols[p]->data[row])) {
-          pass = false;
-          break;
-        }
+    for (const MorselOut& m : morsels) chunk.num_rows += m.num_rows;
+    for (size_t c = 0; c < chunk.cols.size(); ++c) {
+      chunk.cols[c].reserve(static_cast<size_t>(chunk.num_rows));
+      for (const MorselOut& m : morsels) {
+        chunk.cols[c].insert(chunk.cols[c].end(), m.cols[c].begin(),
+                             m.cols[c].end());
       }
-      if (!pass) continue;
-      for (size_t c = 0; c < out_cols.size(); ++c) {
-        chunk.cols[c].push_back(out_cols[c]->data[row]);
-      }
-      ++chunk.num_rows;
     }
+
     NodeProfile profile;
     profile.kind = PlanNode::Kind::kScan;
     profile.table_index = node.table_index;
@@ -168,58 +280,148 @@ class PlanRunner {
       return Status::InvalidArgument(
           "plan joins disconnected components (cross product)");
     }
-
-    // Build on the right side.
-    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
-    buckets.reserve(static_cast<size_t>(right.num_rows) * 2 + 16);
     LQO_CHECK_LT(right.num_rows, (1ULL << 32));
-    for (uint32_t r = 0; r < right.num_rows; ++r) {
+
+    // Input-size gate: small joins run the identical code with a single
+    // partition (which ParallelFor executes inline).
+    size_t num_partitions =
+        left.num_rows + right.num_rows >= kParallelJoinMinRows
+            ? kJoinPartitions
+            : 1;
+
+    auto key_hash = [&](const Chunk& side, bool use_left_col, size_t row) {
       uint64_t h = 0;
-      for (auto [lc, rc] : key_cols) h = HashCombine(h, right.cols[static_cast<size_t>(rc)][r]);
-      buckets[h].push_back(r);
+      for (auto [lc, rc] : key_cols) {
+        int col = use_left_col ? lc : rc;
+        h = HashCombine(h, side.cols[static_cast<size_t>(col)][row]);
+      }
+      return FinalizeHash(h);
+    };
+
+    // ---- Build phase: hash, scatter, per-partition open addressing. ----
+    auto build_start = std::chrono::steady_clock::now();
+
+    std::vector<uint64_t> right_hashes(static_cast<size_t>(right.num_rows));
+    ParallelFor(HashMorsels(right.num_rows), [&](size_t m) {
+      auto [begin, end] = MorselRange(m, right.num_rows);
+      for (size_t r = begin; r < end; ++r) {
+        right_hashes[r] = key_hash(right, /*use_left_col=*/false, r);
+      }
+    });
+    // Serial scatter in row order: partition row lists preserve build-side
+    // row order, making table layout independent of thread count.
+    std::vector<std::vector<uint32_t>> build_rows(num_partitions);
+    for (uint32_t r = 0; r < right.num_rows; ++r) {
+      build_rows[PartitionOf(right_hashes[r], num_partitions)].push_back(r);
     }
+    std::vector<JoinHashTable> tables;
+    tables.reserve(num_partitions);
+    for (size_t p = 0; p < num_partitions; ++p) {
+      tables.emplace_back(build_rows[p].size());
+    }
+    ParallelFor(num_partitions, [&](size_t p) {
+      for (uint32_t r : build_rows[p]) {
+        tables[p].Insert(right_hashes[r], r);
+      }
+    });
+
+    uint64_t build_collisions = 0;
+    uint64_t distinct_hashes = 0;
     uint64_t max_bucket = 0;
-    for (const auto& [h, rows] : buckets) {
-      max_bucket = std::max<uint64_t>(max_bucket, rows.size());
+    for (const JoinHashTable& t : tables) {
+      build_collisions += t.build_collisions;
+      distinct_hashes += t.distinct_hashes;
+      max_bucket = std::max(max_bucket, t.max_chain);
     }
     double mean_bucket =
-        buckets.empty()
+        distinct_hashes == 0
             ? 1.0
             : static_cast<double>(right.num_rows) /
-                  static_cast<double>(buckets.size());
+                  static_cast<double>(distinct_hashes);
+    double build_seconds = WallSeconds(build_start);
 
-    // Output carries all columns from both sides.
+    // ---- Probe phase: hash, scatter, per-partition probe. ----
+    auto probe_start = std::chrono::steady_clock::now();
+
+    std::vector<uint64_t> left_hashes(static_cast<size_t>(left.num_rows));
+    ParallelFor(HashMorsels(left.num_rows), [&](size_t m) {
+      auto [begin, end] = MorselRange(m, left.num_rows);
+      for (size_t l = begin; l < end; ++l) {
+        left_hashes[l] = key_hash(left, /*use_left_col=*/true, l);
+      }
+    });
+    std::vector<std::vector<uint64_t>> probe_rows(num_partitions);
+    for (uint64_t l = 0; l < left.num_rows; ++l) {
+      probe_rows[PartitionOf(left_hashes[l], num_partitions)].push_back(l);
+    }
+
+    size_t left_width = left.cols.size();
+    size_t out_width = left_width + right.cols.size();
+    struct PartitionOut {
+      std::vector<std::vector<int64_t>> cols;
+      uint64_t num_rows = 0;
+      uint64_t probe_collisions = 0;
+    };
+    // Each partition probes its left rows in (preserved) row order against
+    // its private table, emitting into an index-addressed slot.
+    std::vector<PartitionOut> outs = ParallelMap(num_partitions, [&](size_t p) {
+      PartitionOut out;
+      out.cols.resize(out_width);
+      const JoinHashTable& table = tables[p];
+      for (uint64_t l : probe_rows[p]) {
+        uint64_t h = left_hashes[l];
+        size_t slot = static_cast<size_t>(h) & table.mask;
+        while (table.rows[slot] != JoinHashTable::kEmpty) {
+          if (table.hashes[slot] != h) {
+            ++out.probe_collisions;
+            slot = (slot + 1) & table.mask;
+            continue;
+          }
+          uint32_t r = table.rows[slot];
+          bool match = true;
+          for (auto [lc, rc] : key_cols) {
+            if (left.cols[static_cast<size_t>(lc)][l] !=
+                right.cols[static_cast<size_t>(rc)][r]) {
+              match = false;
+              break;
+            }
+          }
+          if (match) {
+            for (size_t c = 0; c < left_width; ++c) {
+              out.cols[c].push_back(left.cols[c][l]);
+            }
+            for (size_t c = 0; c < right.cols.size(); ++c) {
+              out.cols[left_width + c].push_back(right.cols[c][r]);
+            }
+            ++out.num_rows;
+          }
+          slot = (slot + 1) & table.mask;
+        }
+      }
+      return out;
+    });
+    double probe_seconds = WallSeconds(probe_start);
+
+    // ---- Concat phase: ordered reduction over partition outputs. ----
+    auto concat_start = std::chrono::steady_clock::now();
     Chunk out;
     out.col_keys = left.col_keys;
     out.col_keys.insert(out.col_keys.end(), right.col_keys.begin(),
                         right.col_keys.end());
-    out.cols.resize(out.col_keys.size());
-
-    size_t left_width = left.cols.size();
-    for (uint64_t l = 0; l < left.num_rows; ++l) {
-      uint64_t h = 0;
-      for (auto [lc, rc] : key_cols) h = HashCombine(h, left.cols[static_cast<size_t>(lc)][l]);
-      auto it = buckets.find(h);
-      if (it == buckets.end()) continue;
-      for (uint32_t r : it->second) {
-        bool match = true;
-        for (auto [lc, rc] : key_cols) {
-          if (left.cols[static_cast<size_t>(lc)][l] !=
-              right.cols[static_cast<size_t>(rc)][r]) {
-            match = false;
-            break;
-          }
-        }
-        if (!match) continue;
-        for (size_t c = 0; c < left_width; ++c) {
-          out.cols[c].push_back(left.cols[c][l]);
-        }
-        for (size_t c = 0; c < right.cols.size(); ++c) {
-          out.cols[left_width + c].push_back(right.cols[c][r]);
-        }
-        ++out.num_rows;
-      }
+    out.cols.resize(out_width);
+    uint64_t probe_collisions = 0;
+    for (const PartitionOut& p : outs) {
+      out.num_rows += p.num_rows;
+      probe_collisions += p.probe_collisions;
     }
+    ParallelFor(out_width, [&](size_t c) {
+      out.cols[c].reserve(static_cast<size_t>(out.num_rows));
+      for (const PartitionOut& p : outs) {
+        out.cols[c].insert(out.cols[c].end(), p.cols[c].begin(),
+                           p.cols[c].end());
+      }
+    });
+    double concat_seconds = WallSeconds(concat_start);
 
     // Charge the node under its declared algorithm.
     double l_rows = static_cast<double>(left.num_rows);
@@ -265,8 +467,27 @@ class PlanRunner {
     profile.right_rows = right.num_rows;
     profile.output_rows = out.num_rows;
     profile.time_units = time;
+    profile.build_collisions = build_collisions;
+    profile.probe_collisions = probe_collisions;
+    profile.partitions = static_cast<int>(num_partitions);
+    profile.build_seconds = build_seconds;
+    profile.probe_seconds = probe_seconds;
+    profile.concat_seconds = concat_seconds;
     profiles_.push_back(profile);
     return out;
+  }
+
+  // Morsel geometry for the hash-computation loops: one morsel below the
+  // parallel threshold, fixed-size morsels above it.
+  static size_t HashMorsels(uint64_t rows) {
+    if (rows == 0) return 0;
+    if (rows < kParallelScanMinRows) return 1;
+    return (static_cast<size_t>(rows) + kScanMorselRows - 1) / kScanMorselRows;
+  }
+  static std::pair<size_t, size_t> MorselRange(size_t m, uint64_t rows) {
+    size_t n = static_cast<size_t>(rows);
+    size_t num = HashMorsels(rows);
+    return {m * n / num, (m + 1) * n / num};
   }
 
   const Catalog& catalog_;

@@ -21,6 +21,23 @@ struct NodeProfile {
   uint64_t right_rows = 0;
   uint64_t output_rows = 0;
   double time_units = 0.0;
+
+  /// Join nodes: physical hash-join counters from the partitioned
+  /// open-addressing table (deterministic and thread-count invariant —
+  /// partitioning depends only on the input, never on the pool size).
+  /// A "collision" is a probe-sequence step over a slot holding a
+  /// different hash; rows sharing a hash are chain entries, not collisions.
+  uint64_t build_collisions = 0;
+  uint64_t probe_collisions = 0;
+  /// Radix partitions used (1 = serial small-input fallback).
+  int partitions = 0;
+
+  /// Wall-clock seconds per join phase (build / probe / ordered concat).
+  /// Diagnostics only: real time, NOT deterministic, excluded from every
+  /// determinism contract; consumed by bench_micro_components.
+  double build_seconds = 0.0;
+  double probe_seconds = 0.0;
+  double concat_seconds = 0.0;
 };
 
 /// Result of executing a COUNT(*) plan.
@@ -41,6 +58,16 @@ struct ExecutionResult {
 /// its true awful latency without taking quadratic wall-clock time. This is
 /// the deterministic stand-in for running plans on a real PostgreSQL server
 /// (see DESIGN.md, substitutions).
+///
+/// Execution is morsel-driven (HyPer-style) on the shared lqo::ThreadPool:
+/// scans filter fixed-size row morsels in parallel and concatenate their
+/// outputs in morsel order; joins radix-partition build and probe by hash
+/// into index-addressed partitions, each with a private open-addressing
+/// table, and concatenate partition outputs in partition order. Inputs
+/// below a fixed tuple threshold run the identical code serially with one
+/// partition/morsel. All boundaries depend only on the input, so results
+/// are bit-for-bit identical across LQO_THREADS settings (DESIGN.md
+/// "Concurrency model").
 class Executor {
  public:
   explicit Executor(const Catalog* catalog,

@@ -45,7 +45,14 @@ void Render(const PlanNode& node, const Query* query,
   }
   out << "  (est_rows=" << FormatDouble(node.estimated_cardinality, 4)
       << " actual=" << profile.output_rows
-      << " time=" << FormatDouble(profile.time_units, 4) << ")";
+      << " time=" << FormatDouble(profile.time_units, 4);
+  if (node.kind == PlanNode::Kind::kJoin) {
+    // Physical hash-table health of the partitioned join: probe-sequence
+    // collisions on build/probe plus the radix partition count.
+    out << " collisions=" << profile.build_collisions << "/"
+        << profile.probe_collisions << " partitions=" << profile.partitions;
+  }
+  out << ")";
   if (node.estimated_cardinality >= 1.0 && profile.output_rows > 0) {
     double q = std::max(
         node.estimated_cardinality / static_cast<double>(profile.output_rows),

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
 
@@ -53,14 +54,22 @@ ChowLiuResult LearnChowLiuTree(
     return result;
   }
 
-  // Pairwise MI.
-  std::vector<std::vector<double>> mi(v, std::vector<double>(v, 0.0));
+  // Pairwise MI triangle: flatten the i<j pairs and score them as
+  // independent index-addressed tasks, then fill the matrix in pair order.
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(v * (v - 1) / 2);
   for (size_t i = 0; i < v; ++i) {
-    for (size_t j = i + 1; j < v; ++j) {
-      mi[i][j] = mi[j][i] =
-          MutualInformation(columns[i], columns[j], domain_sizes[i],
-                            domain_sizes[j]);
-    }
+    for (size_t j = i + 1; j < v; ++j) pairs.emplace_back(i, j);
+  }
+  std::vector<double> pair_mi = ParallelMap(pairs.size(), [&](size_t p) {
+    auto [i, j] = pairs[p];
+    return MutualInformation(columns[i], columns[j], domain_sizes[i],
+                             domain_sizes[j]);
+  });
+  std::vector<std::vector<double>> mi(v, std::vector<double>(v, 0.0));
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    auto [i, j] = pairs[p];
+    mi[i][j] = mi[j][i] = pair_mi[p];
   }
 
   // Prim's maximum spanning tree rooted at variable 0.

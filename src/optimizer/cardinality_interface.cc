@@ -1,38 +1,121 @@
 #include "optimizer/cardinality_interface.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/logging.h"
 
 namespace lqo {
 
-double CardinalityProvider::Cardinality(const Subquery& subquery) {
-  uint64_t hash = subquery.KeyHash();
-  auto cached = cache_.find(hash);
-  if (cached != cache_.end()) {
-    ++stats_.hits;
-    return cached->second;
-  }
-  ++stats_.misses;
+CardinalityProvider::CardinalityProvider(const CardinalityProvider* frozen_base,
+                                         double scale_factor,
+                                         int scale_min_tables)
+    : estimator_(frozen_base == nullptr ? nullptr : frozen_base->estimator_),
+      base_(frozen_base),
+      scale_factor_(scale_factor),
+      scale_min_tables_(scale_min_tables) {
+  LQO_CHECK(base_ != nullptr);
+  LQO_CHECK(base_->frozen())
+      << "scaled views require a frozen base (shared across costing tasks)";
+}
 
-  double value;
+void CardinalityProvider::InjectOverride(const std::string& key,
+                                         double cardinality) {
+  LQO_CHECK(!frozen()) << "InjectOverride on a frozen CardinalityProvider";
+  overrides_[key] = cardinality;
+  cache_.clear();
+}
+
+void CardinalityProvider::SetScale(double factor, int min_tables) {
+  LQO_CHECK(!frozen()) << "SetScale on a frozen CardinalityProvider";
+  scale_factor_ = factor;
+  scale_min_tables_ = min_tables;
+  cache_.clear();
+}
+
+void CardinalityProvider::ClearOverrides() {
+  LQO_CHECK(!frozen()) << "ClearOverrides on a frozen CardinalityProvider";
+  overrides_.clear();
+  scale_factor_ = 1.0;
+  scale_min_tables_ = 0;
+  cache_.clear();
+}
+
+CardinalityCacheStats CardinalityProvider::Stats() const {
+  CardinalityCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.concurrent_hits = concurrent_hits_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+double CardinalityProvider::Compute(const Subquery& subquery) const {
   auto it = overrides_.empty() ? overrides_.end()
                                : overrides_.find(subquery.Key());
-  if (it != overrides_.end()) {
-    value = it->second;
+  if (it != overrides_.end()) return it->second;
+
+  double value;
+  if (base_ != nullptr) {
+    // const_cast is sound: the base is frozen, so Raw() only mutates its
+    // cache under the frozen (locked) protocol.
+    value = const_cast<CardinalityProvider*>(base_)->Raw(subquery);
   } else {
     LQO_CHECK(estimator_ != nullptr)
         << "CardinalityProvider has no estimator and no override for "
         << subquery.Key();
     value = estimator_->EstimateSubquery(subquery);
-    if (PopCount(subquery.tables) >= scale_min_tables_ &&
-        scale_min_tables_ > 0) {
-      value *= scale_factor_;
-    }
   }
-  value = std::max(value, 1.0);
+  if (PopCount(subquery.tables) >= scale_min_tables_ &&
+      scale_min_tables_ > 0) {
+    value *= scale_factor_;
+  }
+  return value;
+}
+
+double CardinalityProvider::Raw(const Subquery& subquery) {
+  uint64_t hash = subquery.KeyHash();
+  if (frozen()) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      auto cached = cache_.find(hash);
+      if (cached != cache_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        concurrent_hits_.fetch_add(1, std::memory_order_relaxed);
+        return cached->second;
+      }
+    }
+    // Estimates are pure functions of the sub-query, so computing outside
+    // the lock and letting the first writer win keeps results bit-for-bit
+    // identical regardless of which racing thread commits.
+    double value = Compute(subquery);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto [it, inserted] = cache_.emplace(hash, value);
+    if (inserted) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // A racing thread populated the entry between our shared-lock miss
+      // and this exclusive lock; that is still a hit served under the
+      // frozen protocol, so both counters advance and misses_ stays equal
+      // to the number of distinct keys.
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      concurrent_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return it->second;
+  }
+
+  auto cached = cache_.find(hash);
+  if (cached != cache_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return cached->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  double value = Compute(subquery);
   cache_[hash] = value;
   return value;
+}
+
+double CardinalityProvider::Cardinality(const Subquery& subquery) {
+  return std::max(Raw(subquery), 1.0);
 }
 
 }  // namespace lqo

@@ -85,8 +85,9 @@ PlannerResult Optimizer::Optimize(const Query& query,
   }
 
   // Connected subsets grouped by size. Cardinalities are resolved serially
-  // up front (the provider's cache is not concurrency-safe and estimator
-  // call order stays identical to the serial planner); the DP itself then
+  // up front (an *unfrozen* provider is single-threaded by contract —
+  // frozen ones allow concurrent reads, see cardinality_interface.h — and
+  // estimator call order stays identical to the serial planner); the DP then
   // runs level-synchronously: subsets of size k only split into strictly
   // smaller subsets, so all of level k can be solved in parallel against
   // the read-only `best` table of levels < k. Entries are committed in

@@ -248,6 +248,11 @@ TEST(ExplainAnalyzeTest, RendersEstimatesActualsAndFlagsErrors) {
   EXPECT_NE(text.find("q-error 25"), std::string::npos)
       << text;  // 100 est vs 4 actual.
   EXPECT_NE(text.find("Total: 4 rows"), std::string::npos);
+  // Hash joins report open-addressing collision counts and the radix
+  // partition fan-out; a 4-row toy join stays on the serial single
+  // partition path.
+  EXPECT_NE(text.find("collisions="), std::string::npos) << text;
+  EXPECT_NE(text.find("partitions=1"), std::string::npos) << text;
 }
 
 TEST(TrueCardinalityTest, SubqueryMonotoneUnderPredicates) {

@@ -12,11 +12,16 @@
 
 #include "benchlib/e2e_harness.h"
 #include "benchlib/lab.h"
+#include "cardinality/bayes_net_model.h"
 #include "cardinality/evaluation.h"
+#include "cardinality/spn_model.h"
 #include "cardinality/training_data.h"
 #include "common/rng.h"
+#include "e2e/lero.h"
 #include "engine/explain.h"
+#include "ml/chow_liu.h"
 #include "query/workload.h"
+#include "storage/datasets.h"
 
 namespace lqo {
 namespace {
@@ -287,6 +292,164 @@ TEST_F(ThreadPoolTest, CardinalityProviderCountsHitsAndMisses) {
   CardinalityProvider dp_cards(f.lab->estimator.get());
   f.lab->optimizer->Optimize(q, &dp_cards);
   EXPECT_GT(dp_cards.Stats().misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PR 2 sites: partitioned join, model training, batched candidate costing.
+// Each must be bit-for-bit identical at LQO_THREADS = 1, 2 and 8.
+// ---------------------------------------------------------------------------
+
+// Sweeps the global pool over 1/2/8 threads and requires `work()` to return
+// an identical (operator==) result at every count.
+template <typename Fn>
+void ExpectThreadCountInvariant(Fn&& work) {
+  ThreadPool::SetGlobalThreads(1);
+  auto serial = work();
+  for (int threads : {2, 8}) {
+    ThreadPool::SetGlobalThreads(threads);
+    EXPECT_EQ(work(), serial) << "diverged at " << threads << " threads";
+  }
+}
+
+TEST_F(ThreadPoolTest, PartitionedHashJoinIsThreadCountInvariant) {
+  // 6000 + 6000 input rows clear the 8192-tuple gate, so the join takes the
+  // 16-partition parallel path at every thread count.
+  Catalog chain = MakeChainSchema(3, 6000);
+  Executor executor(&chain);
+  WorkloadOptions wopts;
+  wopts.num_queries = 6;
+  wopts.min_tables = 2;
+  wopts.max_tables = 3;
+  wopts.seed = 88;
+  Workload workload = GenerateWorkload(chain, wopts);
+  ExpectThreadCountInvariant([&] {
+    std::vector<std::tuple<uint64_t, double, uint64_t, uint64_t, int>> out;
+    for (const Query& q : workload.queries) {
+      PhysicalPlan plan =
+          MakeLeftDeepPlan(q, q.AllTables(), JoinAlgorithm::kHashJoin);
+      auto result = executor.Execute(plan);
+      LQO_CHECK(result.ok());
+      for (const NodeProfile& p : result->node_profiles) {
+        out.emplace_back(p.output_rows, p.time_units, p.build_collisions,
+                         p.probe_collisions, p.partitions);
+      }
+      out.emplace_back(result->row_count, result->time_units, 0u, 0u, 0);
+    }
+    return out;
+  });
+}
+
+TEST_F(ThreadPoolTest, SpnTrainingIsThreadCountInvariant) {
+  Catalog chain = MakeChainSchema(2, 4000);
+  const Table* t1 = *chain.GetTable("t1");
+  Query probe;
+  probe.AddTable("t1");
+  probe.AddPredicate(Predicate::Range(0, "val", 2, 30));
+  ExpectThreadCountInvariant([&] {
+    SpnTableModel model(t1);
+    return std::make_pair(model.num_nodes(), model.Selectivity(probe, 0));
+  });
+}
+
+TEST_F(ThreadPoolTest, ChowLiuTreeIsThreadCountInvariant) {
+  Rng rng(7);
+  std::vector<std::vector<int64_t>> columns(10);
+  std::vector<int64_t> domains(10, 12);
+  for (auto& col : columns) {
+    col.reserve(2000);
+    for (int r = 0; r < 2000; ++r) col.push_back(rng.UniformInt(0, 11));
+  }
+  ExpectThreadCountInvariant([&] {
+    ChowLiuResult tree = LearnChowLiuTree(columns, domains);
+    return std::make_pair(tree.parent, tree.topological_order);
+  });
+}
+
+TEST_F(ThreadPoolTest, BayesNetTrainingIsThreadCountInvariant) {
+  Catalog chain = MakeChainSchema(2, 3000);
+  const Table* t1 = *chain.GetTable("t1");
+  Query probe;
+  probe.AddTable("t1");
+  probe.AddPredicate(Predicate::Range(0, "val", 1, 20));
+  ExpectThreadCountInvariant([&] {
+    BayesNetTableModel model(t1, /*max_bins=*/16);
+    return model.Selectivity(probe, 0);
+  });
+}
+
+TEST_F(ThreadPoolTest, LeroCandidateRankingIsThreadCountInvariant) {
+  SiteFixture f;
+  ExpectThreadCountInvariant([&] {
+    LeroOptimizer lero(f.lab->Context());
+    std::vector<std::string> signatures;
+    std::vector<double> costs;
+    for (const Query& q : f.workload.queries) {
+      for (const PhysicalPlan& plan : lero.Candidates(q)) {
+        signatures.push_back(plan.Signature());
+        costs.push_back(plan.root->estimated_cost);
+      }
+    }
+    return std::make_pair(signatures, costs);
+  });
+}
+
+TEST_F(ThreadPoolTest, FrozenProviderServesConcurrentReadsDeterministically) {
+  SiteFixture f;
+  // Serial reference values, one per query.
+  std::vector<double> reference;
+  for (const Query& q : f.workload.queries) {
+    CardinalityProvider fresh(f.lab->estimator.get());
+    reference.push_back(fresh.Cardinality(Subquery{&q, q.AllTables()}));
+  }
+
+  ThreadPool::SetGlobalThreads(8);
+  CardinalityProvider cards(f.lab->estimator.get());
+  cards.Freeze();
+  EXPECT_TRUE(cards.frozen());
+  // Hammer the frozen cache: many tasks per query, all racing on the same
+  // handful of keys.
+  const size_t kTasks = 256;
+  std::vector<double> got = ParallelMap(kTasks, [&](size_t i) {
+    const Query& q = f.workload.queries[i % f.workload.queries.size()];
+    return cards.Cardinality(Subquery{&q, q.AllTables()});
+  });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(got[i], reference[i % reference.size()]);
+  }
+
+  CardinalityCacheStats stats = cards.Stats();
+  // hits + misses always equals the number of lookups, and racing threads
+  // that lose the insert count as hits, so misses == distinct keys exactly.
+  EXPECT_EQ(stats.hits + stats.misses, kTasks);
+  EXPECT_EQ(stats.misses, f.workload.queries.size());
+  // Every hit was served under the shared (frozen) lock.
+  EXPECT_EQ(stats.concurrent_hits, stats.hits);
+  EXPECT_GT(stats.concurrent_hits, 0u);
+}
+
+TEST_F(ThreadPoolTest, FrozenProviderRejectsKnobMutations) {
+  SiteFixture f;
+  CardinalityProvider cards(f.lab->estimator.get());
+  cards.SetScale(2.0, 2);  // mutable before freeze.
+  cards.ClearOverrides();
+  cards.Freeze();
+  EXPECT_DEATH(cards.SetScale(2.0, 2), "frozen");
+  EXPECT_DEATH(cards.InjectOverride("k", 5.0), "frozen");
+  EXPECT_DEATH(cards.ClearOverrides(), "frozen");
+}
+
+TEST_F(ThreadPoolTest, ScaledViewMatchesDirectScaling) {
+  SiteFixture f;
+  CardinalityProvider base(f.lab->estimator.get());
+  base.Freeze();
+  const double kFactor = 10.0;
+  CardinalityProvider view(&base, kFactor, /*scale_min_tables=*/2);
+  for (const Query& q : f.workload.queries) {
+    Subquery all{&q, q.AllTables()};
+    double expected = f.lab->estimator->EstimateSubquery(all);
+    if (PopCount(all.tables) >= 2) expected *= kFactor;
+    EXPECT_EQ(view.Cardinality(all), std::max(expected, 1.0));
+  }
 }
 
 TEST_F(ThreadPoolTest, SubqueryKeyHashIsCanonicalAcrossQueryObjects) {
