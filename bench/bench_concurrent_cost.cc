@@ -72,14 +72,19 @@ void Run() {
   TablePrinter table({"mix size", "solo-model MAE%", "learned MAE%",
                       "solo Spearman", "learned Spearman"});
   for (int k = 2; k <= 5; ++k) {
-    std::vector<double> t, solo, learned;
+    std::vector<double> t, solo;
+    // Batch the held-out predictions for this mix size: one feature
+    // matrix, one PredictBatch pass (bit-identical to per-row Predict).
+    FeatureMatrix features(x.empty() ? 0 : x[0].size());
     for (size_t i = split; i < x.size(); ++i) {
       if (batch_sizes[i] != k) continue;
       t.push_back(truth[i]);
       solo.push_back(solo_baseline[i]);
-      learned.push_back(model.Predict(x[i]));
+      features.AddRow(x[i]);
     }
     if (t.size() < 4) continue;
+    std::vector<double> learned(features.rows());
+    model.PredictBatch(features, learned);
     auto mae_pct = [&](const std::vector<double>& pred) {
       double total = 0;
       for (size_t i = 0; i < pred.size(); ++i) {

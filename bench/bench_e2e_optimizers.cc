@@ -53,7 +53,8 @@ void RunDataset(const std::string& dataset) {
   optimizers.push_back(std::make_unique<LeonOptimizer>(lab->Context()));
 
   TablePrinter table({"Optimizer", "speedup", "GMRL", "wins", "losses",
-                      "worst regr", "train cost"});
+                      "worst regr", "train cost", "infer rows",
+                      "infer rows/s"});
   for (auto& optimizer : optimizers) {
     double train_cost =
         TrainLearnedOptimizer(optimizer.get(), train, *lab->executor);
@@ -63,7 +64,9 @@ void RunDataset(const std::string& dataset) {
                   FormatDouble(Gmrl(result), 4), std::to_string(result.wins),
                   std::to_string(result.losses),
                   FormatDouble(result.worst_regression_ratio, 4),
-                  FormatDouble(train_cost, 4)});
+                  FormatDouble(train_cost, 4),
+                  std::to_string(result.inference.rows),
+                  FormatDouble(result.inference.RowsPerSec(), 0)});
   }
   std::printf("%s\n", table.ToString("-- dataset: " + dataset +
                                      " (speedup>1 & GMRL<1 beat native) --")

@@ -6,10 +6,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "benchlib/lab.h"
 #include "cardinality/data_driven.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "costmodel/plan_featurizer.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "ml/mlp.h"
+#include "ml/tree.h"
 #include "query/workload.h"
 #include "storage/datasets.h"
 
@@ -126,6 +133,147 @@ void BM_JoinPhases(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_JoinPhases);
+
+// Batched-inference substrate: scalar Predict loops vs PredictBatch over
+// the SoA tree kernels and the blocked MLP forward, on one shared fitted
+// model set. The fixture CHECK-fails if batch and scalar predictions ever
+// diverge, so any run of this binary (including scripts/check.sh's) doubles
+// as a bit-identity gate.
+struct InferenceFixture {
+  static constexpr size_t kRows = 2048;
+  static constexpr size_t kDim = 12;
+
+  std::vector<std::vector<double>> rows;
+  FeatureMatrix matrix{kDim};
+  RegressionTree tree;
+  RandomForest forest;
+  GradientBoostedTrees gbdt;
+  Mlp mlp;
+
+  InferenceFixture() {
+    Rng rng(4242);
+    std::vector<double> targets;
+    matrix.Reserve(kRows);
+    for (size_t r = 0; r < kRows; ++r) {
+      std::vector<double> row(kDim);
+      for (double& v : row) v = rng.UniformDouble(-2.0, 2.0);
+      double y = row[0] * 3.0 - row[1] * row[1] + std::sin(row[2]) +
+                 rng.Gaussian(0.0, 0.1);
+      targets.push_back(y);
+      matrix.AddRow(row);
+      rows.push_back(std::move(row));
+    }
+    TreeOptions tree_options;
+    tree.Fit(rows, targets, tree_options);
+    ForestOptions forest_options;
+    forest_options.num_trees = 20;
+    forest = RandomForest(forest_options);
+    forest.Fit(rows, targets);
+    GbdtOptions gbdt_options;
+    gbdt_options.num_trees = 40;
+    gbdt = GradientBoostedTrees(gbdt_options);
+    gbdt.Fit(rows, targets);
+    MlpOptions mlp_options;
+    mlp_options.hidden_layers = {32, 16};
+    mlp_options.epochs = 10;
+    mlp = Mlp(mlp_options);
+    mlp.Fit(rows, targets);
+
+    CheckBatchMatchesScalar();
+  }
+
+  /// Divergence gate: batch output must be bit-for-bit the scalar loop's.
+  void CheckBatchMatchesScalar() const {
+    std::vector<double> batch(kRows);
+    auto check = [&](const char* name, auto&& scalar) {
+      for (size_t r = 0; r < kRows; ++r) {
+        LQO_CHECK_EQ(batch[r], scalar(rows[r]))
+            << name << ": batch diverges from scalar at row " << r;
+      }
+    };
+    tree.PredictBatch(matrix, batch);
+    check("tree", [&](const std::vector<double>& row) {
+      return tree.Predict(row);
+    });
+    forest.PredictBatch(matrix, batch);
+    check("forest", [&](const std::vector<double>& row) {
+      return forest.Predict(row);
+    });
+    gbdt.PredictBatch(matrix, batch);
+    check("gbdt", [&](const std::vector<double>& row) {
+      return gbdt.Predict(row);
+    });
+    mlp.PredictBatch(matrix, batch);
+    check("mlp", [&](const std::vector<double>& row) {
+      return mlp.Predict(row);
+    });
+  }
+};
+
+InferenceFixture& Inference() {
+  static InferenceFixture* fixture = new InferenceFixture();
+  return *fixture;
+}
+
+template <typename Model>
+void RunInferenceScalar(benchmark::State& state, const Model& model) {
+  InferenceFixture& f = Inference();
+  for (auto _ : state) {
+    double sink = 0.0;
+    for (const std::vector<double>& row : f.rows) sink += model.Predict(row);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(InferenceFixture::kRows));
+}
+
+template <typename Model>
+void RunInferenceBatch(benchmark::State& state, const Model& model) {
+  InferenceFixture& f = Inference();
+  std::vector<double> out(InferenceFixture::kRows);
+  for (auto _ : state) {
+    model.PredictBatch(f.matrix, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(InferenceFixture::kRows));
+}
+
+void BM_InferenceScalarTree(benchmark::State& state) {
+  RunInferenceScalar(state, Inference().tree);
+}
+BENCHMARK(BM_InferenceScalarTree);
+void BM_InferenceBatchTree(benchmark::State& state) {
+  RunInferenceBatch(state, Inference().tree);
+}
+BENCHMARK(BM_InferenceBatchTree);
+
+void BM_InferenceScalarForest(benchmark::State& state) {
+  RunInferenceScalar(state, Inference().forest);
+}
+BENCHMARK(BM_InferenceScalarForest);
+void BM_InferenceBatchForest(benchmark::State& state) {
+  RunInferenceBatch(state, Inference().forest);
+}
+BENCHMARK(BM_InferenceBatchForest);
+
+void BM_InferenceScalarGbdt(benchmark::State& state) {
+  RunInferenceScalar(state, Inference().gbdt);
+}
+BENCHMARK(BM_InferenceScalarGbdt);
+void BM_InferenceBatchGbdt(benchmark::State& state) {
+  RunInferenceBatch(state, Inference().gbdt);
+}
+BENCHMARK(BM_InferenceBatchGbdt);
+
+void BM_InferenceScalarMlp(benchmark::State& state) {
+  RunInferenceScalar(state, Inference().mlp);
+}
+BENCHMARK(BM_InferenceScalarMlp);
+void BM_InferenceBatchMlp(benchmark::State& state) {
+  RunInferenceBatch(state, Inference().mlp);
+}
+BENCHMARK(BM_InferenceBatchMlp);
 
 void BM_PlanFeaturize(benchmark::State& state) {
   MicroFixture& f = Fixture();

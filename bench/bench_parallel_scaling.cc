@@ -24,8 +24,11 @@
 #include "e2e/lero.h"
 #include "engine/executor.h"
 #include "ml/chow_liu.h"
+#include "ml/dataset.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
+#include "ml/mlp.h"
+#include "ml/tree.h"
 #include "query/workload.h"
 #include "storage/datasets.h"
 
@@ -274,7 +277,113 @@ int main() {
     return fingerprint;
   }));
 
+  // Site 9: batched model inference — one PredictBatch pass over a shared
+  // feature matrix for every model family (SoA tree kernels, blocked MLP
+  // forward), morsel-chunked across the pool. The fingerprint sums every
+  // prediction, so any thread-count-dependent reordering of the batch path
+  // shows up as a determinism violation.
+  struct InferenceThroughput {
+    std::string name;
+    double scalar_rows_per_sec = 0.0;
+    double batch_rows_per_sec = 0.0;
+  };
+  std::vector<InferenceThroughput> inference;
+  size_t inference_rows = 0;
+  {
+    std::vector<double> targets;
+    std::vector<std::vector<double>> rows = MakeMlRows(4096, 12, &targets);
+    inference_rows = rows.size();
+    FeatureMatrix matrix(12);
+    matrix.Reserve(rows.size());
+    for (const auto& row : rows) matrix.AddRow(row);
+
+    RegressionTree tree;
+    tree.Fit(rows, targets, TreeOptions());
+    ForestOptions fopts;
+    fopts.num_trees = 24;
+    RandomForest forest(fopts);
+    forest.Fit(rows, targets);
+    GbdtOptions gopts;
+    gopts.num_trees = 40;
+    gopts.subsample = 1.0;
+    GradientBoostedTrees gbdt(gopts);
+    gbdt.Fit(rows, targets);
+    MlpOptions mopts;
+    mopts.hidden_layers = {32, 16};
+    mopts.epochs = 10;
+    Mlp mlp(mopts);
+    mlp.Fit(rows, targets);
+
+    reports.push_back(RunSite("inference_batch", counts, [&] {
+      std::vector<double> out(matrix.rows());
+      double fingerprint = 0.0;
+      tree.PredictBatch(matrix, out);
+      for (double v : out) fingerprint += v;
+      forest.PredictBatch(matrix, out);
+      for (double v : out) fingerprint += v;
+      gbdt.PredictBatch(matrix, out);
+      for (double v : out) fingerprint += v;
+      mlp.PredictBatch(matrix, out);
+      for (double v : out) fingerprint += v;
+      return fingerprint;
+    }));
+
+    // Scalar-vs-batch throughput at full thread count, best-of-3 over
+    // repeated passes, for BENCH_inference.json.
+    ThreadPool::SetGlobalThreads(hw);
+    static volatile double sink = 0.0;
+    std::vector<double> out(matrix.rows());
+    auto rows_per_sec = [&](const std::function<void()>& pass) {
+      const int kPasses = 20;
+      double best = 1e100;
+      for (int rep = 0; rep < 5; ++rep) {
+        double secs = SecondsOf([&] {
+          for (int p = 0; p < kPasses; ++p) pass();
+        });
+        if (secs < best) best = secs;
+      }
+      return static_cast<double>(matrix.rows()) * kPasses / best;
+    };
+    auto measure = [&](const std::string& name, auto& model) {
+      InferenceThroughput t;
+      t.name = name;
+      t.scalar_rows_per_sec = rows_per_sec([&] {
+        double total = 0.0;
+        for (const auto& row : rows) total += model.Predict(row);
+        sink = sink + total;
+      });
+      t.batch_rows_per_sec = rows_per_sec([&] {
+        model.PredictBatch(matrix, out);
+        sink = sink + out[0];
+      });
+      std::fprintf(stderr,
+                   "  inference %-8s scalar %12.0f rows/s  batch %12.0f "
+                   "rows/s  (%.2fx)\n",
+                   name.c_str(), t.scalar_rows_per_sec, t.batch_rows_per_sec,
+                   t.batch_rows_per_sec / t.scalar_rows_per_sec);
+      inference.push_back(t);
+    };
+    measure("tree", tree);
+    measure("forest", forest);
+    measure("gbdt", gbdt);
+    measure("mlp", mlp);
+  }
+
   ThreadPool::SetGlobalThreads(hw);
+
+  std::ofstream ijson("BENCH_inference.json");
+  ijson << "{\n  \"rows\": " << inference_rows << ",\n  \"models\": [\n";
+  for (size_t i = 0; i < inference.size(); ++i) {
+    const InferenceThroughput& t = inference[i];
+    ijson << "    {\"name\": \"" << t.name << "\", \"scalar_rows_per_sec\": "
+          << t.scalar_rows_per_sec << ", \"batch_rows_per_sec\": "
+          << t.batch_rows_per_sec << ", \"batch_speedup\": "
+          << t.batch_rows_per_sec / t.scalar_rows_per_sec << "}"
+          << (i + 1 < inference.size() ? "," : "") << "\n";
+  }
+  ijson << "  ]\n}\n";
+  ijson.close();
+  std::fprintf(stderr, "wrote BENCH_inference.json\n");
 
   std::ofstream json("BENCH_parallel.json");
   json << "{\n  \"hardware_concurrency\": " << hw << ",\n  \"sites\": [\n";

@@ -22,4 +22,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 # TSan and exits nonzero if any site diverges from its serial result.
 "$BUILD_DIR"/bench/bench_parallel_scaling
 
+# Batched-inference gates, still under TSan + 4 threads: the bit-identity
+# and thread-invariance tests, then the inference microbenchmarks (whose
+# fixture CHECK-fails if PredictBatch diverges from per-row Predict).
+"$BUILD_DIR"/tests/ml_test --gtest_filter='BatchInference*'
+"$BUILD_DIR"/tests/thread_pool_test \
+  --gtest_filter='*BatchedCandidateScoring*:*EstimateSubqueryBatch*'
+"$BUILD_DIR"/bench/bench_micro_components \
+  --benchmark_filter='Inference' --benchmark_min_time=0.05
+
 echo "check.sh: TSan suite passed with LQO_THREADS=4"

@@ -48,6 +48,7 @@ E2eEvalResult EvaluateLearnedOptimizer(LearnedQueryOptimizer* optimizer,
   E2eEvalResult result;
   result.name = optimizer->Name();
   size_t q = test.queries.size();
+  InferenceStatsSnapshot inference_before = optimizer->InferenceStats();
 
   // Native planning is a pure function of (context, query) — each task gets
   // its own CardinalityProvider — so it fans out. Learned plan choice may
@@ -59,6 +60,7 @@ E2eEvalResult EvaluateLearnedOptimizer(LearnedQueryOptimizer* optimizer,
   for (const Query& query : test.queries) {
     learned_plans.push_back(optimizer->ChoosePlan(query));
   }
+  result.inference = optimizer->InferenceStats() - inference_before;
 
   // Per-query fan-out of both executions; the reduction below walks queries
   // in workload order, so wins/losses/totals match the serial harness.

@@ -36,6 +36,9 @@ struct E2eEvalResult {
   int wins = 0;
   int losses = 0;
   double worst_regression_ratio = 1.0;  // max over queries learned/native
+  /// Batched model inference performed during this evaluation's planning
+  /// (delta of the optimizer's counters across EvaluateLearnedOptimizer).
+  InferenceStatsSnapshot inference;
 
   double Speedup() const {
     return total_learned > 0 ? total_native / total_learned : 0.0;

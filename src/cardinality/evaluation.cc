@@ -9,13 +9,23 @@ std::vector<double> EstimatorQErrors(
     CardinalityEstimatorInterface* estimator,
     const std::vector<LabeledSubquery>& evaluation) {
   LQO_CHECK(estimator != nullptr);
-  // Workload-wide fan-out: estimators are re-entrant per the interface
-  // contract (no per-call mutable state), and each q-error lands in its own
-  // index slot, so the vector is identical at any thread count.
-  return ParallelMap(evaluation.size(), [&](size_t i) {
-    double estimate = estimator->EstimateSubquery(evaluation[i].AsSubquery());
-    return QError(estimate, evaluation[i].cardinality);
-  });
+  // Workload-wide batch: learned estimators featurize the whole workload
+  // into one matrix and run a single batched model pass; the default
+  // implementation fans the re-entrant scalar path out over the pool.
+  // Either way estimates land in index-addressed slots, so the vector is
+  // identical at any thread count.
+  std::vector<Subquery> subqueries;
+  subqueries.reserve(evaluation.size());
+  for (const LabeledSubquery& labeled : evaluation) {
+    subqueries.push_back(labeled.AsSubquery());
+  }
+  std::vector<double> estimates = estimator->EstimateSubqueryBatch(subqueries);
+  LQO_CHECK_EQ(estimates.size(), evaluation.size());
+  std::vector<double> qerrors(evaluation.size());
+  for (size_t i = 0; i < evaluation.size(); ++i) {
+    qerrors[i] = QError(estimates[i], evaluation[i].cardinality);
+  }
+  return qerrors;
 }
 
 QErrorSummary EvaluateEstimator(

@@ -55,8 +55,15 @@ std::vector<std::pair<size_t, size_t>> QueryFeaturizer::PredicateSlotRanges()
 }
 
 std::vector<double> QueryFeaturizer::Featurize(const Subquery& subquery) const {
+  std::vector<double> features(dim_);
+  FeaturizeInto(subquery, features.data());
+  return features;
+}
+
+void QueryFeaturizer::FeaturizeInto(const Subquery& subquery,
+                                    double* features) const {
   const Query& query = *subquery.query;
-  std::vector<double> features(dim_, 0.0);
+  for (size_t i = 0; i < dim_; ++i) features[i] = 0.0;
 
   size_t edge_base = table_slot_.size();
   size_t column_base = edge_base + edge_keys_.size();
@@ -135,7 +142,6 @@ std::vector<double> QueryFeaturizer::Featurize(const Subquery& subquery) const {
 
   features[global_base] = static_cast<double>(num_tables);
   features[global_base + 1] = log_domain;
-  return features;
 }
 
 }  // namespace lqo

@@ -27,6 +27,10 @@ class QueryFeaturizer {
 
   std::vector<double> Featurize(const Subquery& subquery) const;
 
+  /// As Featurize, into a caller-owned dim()-sized buffer (e.g. a
+  /// FeatureMatrix row) — no per-sub-query vector allocation.
+  void FeaturizeInto(const Subquery& subquery, double* out) const;
+
   /// Feature ranges [start, start+4) of each (table, column) predicate
   /// slot — the units Robust-MSCN-style training masks out.
   std::vector<std::pair<size_t, size_t>> PredicateSlotRanges() const;

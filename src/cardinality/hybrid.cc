@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/stats_util.h"
+#include "common/thread_pool.h"
 #include "ml/metrics.h"
 
 namespace lqo {
@@ -47,6 +48,33 @@ double UaeEstimator::EstimateSubquery(const Subquery& subquery) {
   double correction = corrector_.Predict(featurizer_.Featurize(subquery));
   correction = std::clamp(correction, -20.0, 20.0);
   return std::max(1.0, data_estimate * std::exp(correction));
+}
+
+std::vector<double> UaeEstimator::EstimateSubqueryBatch(
+    const std::vector<Subquery>& subqueries) {
+  LQO_CHECK(trained_) << "uae_hybrid used before Train()";
+  if (subqueries.empty()) return {};
+  // Data-model estimates and featurization are both per-row and
+  // re-entrant, so they share one index-addressed parallel sweep; the
+  // corrector then scores the whole matrix in one batched pass. Uses
+  // member scratch: one batch call at a time (concurrent callers use the
+  // scalar EstimateSubquery).
+  batch_scratch_.Reset(featurizer_.dim());
+  batch_scratch_.Reserve(subqueries.size());
+  for (size_t i = 0; i < subqueries.size(); ++i) batch_scratch_.AppendRow();
+  std::vector<double> data_estimates(subqueries.size());
+  ParallelFor(subqueries.size(), [&](size_t i) {
+    data_estimates[i] = data_model_.EstimateSubquery(subqueries[i]);
+    featurizer_.FeaturizeInto(subqueries[i], batch_scratch_.MutableRow(i));
+  });
+  std::vector<double> corrections(subqueries.size());
+  corrector_.PredictBatch(batch_scratch_, corrections);
+  std::vector<double> estimates(subqueries.size());
+  for (size_t i = 0; i < subqueries.size(); ++i) {
+    double correction = std::clamp(corrections[i], -20.0, 20.0);
+    estimates[i] = std::max(1.0, data_estimates[i] * std::exp(correction));
+  }
+  return estimates;
 }
 
 std::unique_ptr<DataDrivenEstimator> MakeGlueEstimator(

@@ -25,7 +25,17 @@ class UaeEstimator : public CardinalityEstimatorInterface {
   void Train(const CeTrainingData& data);
 
   double EstimateSubquery(const Subquery& subquery) override;
+
+  /// Batched estimation: data-model estimates fan out over the pool while
+  /// the corrector runs one batched GBDT pass over a reusable feature
+  /// matrix — element i bit-identical to EstimateSubquery(subqueries[i]).
+  std::vector<double> EstimateSubqueryBatch(
+      const std::vector<Subquery>& subqueries) override;
+
   std::string Name() const override { return "uae_hybrid"; }
+
+  /// Batched-inference counters of the residual corrector.
+  InferenceStatsSnapshot InferenceStats() const { return corrector_.Stats(); }
 
   /// The uncorrected data-model estimate (for the ablation bench).
   double DataOnlyEstimate(const Subquery& subquery);
@@ -35,6 +45,8 @@ class UaeEstimator : public CardinalityEstimatorInterface {
   QueryFeaturizer featurizer_;
   GradientBoostedTrees corrector_;
   bool trained_ = false;
+  /// Reused across EstimateSubqueryBatch calls (capacity persists).
+  FeatureMatrix batch_scratch_;
 };
 
 /// GLUE-style estimator [82]: picks the best per-table model family by

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "query/workload.h"
 
 namespace lqo {
@@ -118,6 +119,54 @@ double QueryDrivenEstimator::EstimateInternal(const Subquery& subquery,
   // Guard against wild extrapolation in log space.
   log_card = std::clamp(log_card, 0.0, 60.0);
   return std::exp(log_card);
+}
+
+std::vector<double> QueryDrivenEstimator::EstimateSubqueryBatch(
+    const std::vector<Subquery>& subqueries) {
+  LQO_CHECK(trained_) << Name() << " used before Train()";
+  if (subqueries.empty()) return {};
+  // Featurize the whole batch into one reusable matrix (parallel,
+  // index-addressed rows), run one batched model pass, then apply the
+  // scalar path's clamp/exp per row. Uses member scratch: one batch call
+  // at a time (the concurrent frozen-provider path uses the scalar
+  // EstimateSubquery, which stays re-entrant).
+  batch_scratch_.Reset(featurizer_.dim());
+  batch_scratch_.Reserve(subqueries.size());
+  for (size_t i = 0; i < subqueries.size(); ++i) batch_scratch_.AppendRow();
+  ParallelFor(subqueries.size(), [&](size_t i) {
+    featurizer_.FeaturizeInto(subqueries[i], batch_scratch_.MutableRow(i));
+  });
+  std::vector<double> estimates(subqueries.size());
+  switch (type_) {
+    case ModelType::kLinear:
+      linear_.PredictBatch(batch_scratch_, estimates);
+      break;
+    case ModelType::kGbdt:
+      gbdt_.PredictBatch(batch_scratch_, estimates);
+      break;
+    case ModelType::kMlp:
+      mlp_.PredictBatch(batch_scratch_, estimates);
+      break;
+    case ModelType::kForest:
+      forest_.PredictBatch(batch_scratch_, estimates);
+      break;
+  }
+  for (double& e : estimates) e = std::exp(std::clamp(e, 0.0, 60.0));
+  return estimates;
+}
+
+InferenceStatsSnapshot QueryDrivenEstimator::InferenceStats() const {
+  switch (type_) {
+    case ModelType::kLinear:
+      return linear_.Stats();
+    case ModelType::kGbdt:
+      return gbdt_.Stats();
+    case ModelType::kMlp:
+      return mlp_.Stats();
+    case ModelType::kForest:
+      return forest_.Stats();
+  }
+  return {};
 }
 
 double QueryDrivenEstimator::EstimateWithInterval(const Subquery& subquery,

@@ -47,6 +47,15 @@ class QueryDrivenEstimator : public CardinalityEstimatorInterface {
 
   double EstimateSubquery(const Subquery& subquery) override;
 
+  /// Batched estimation: all sub-queries featurize into one reusable
+  /// feature matrix and the underlying model runs a single PredictBatch
+  /// pass — element i bit-identical to EstimateSubquery(subqueries[i]).
+  std::vector<double> EstimateSubqueryBatch(
+      const std::vector<Subquery>& subqueries) override;
+
+  /// Batched-inference counters of the underlying model.
+  InferenceStatsSnapshot InferenceStats() const;
+
   /// Estimate with every predicate slot replaced by the Robust-MSCN
   /// "unknown predicate" token — the serving-time behavior when a
   /// predicate is detected as out-of-distribution. Meaningful for models
@@ -75,6 +84,8 @@ class QueryDrivenEstimator : public CardinalityEstimatorInterface {
   Mlp mlp_;
   RandomForest forest_;
   bool trained_ = false;
+  /// Reused across EstimateSubqueryBatch calls (capacity persists).
+  FeatureMatrix batch_scratch_;
 };
 
 /// QuickSel-style mixture model [47]: per table, selectivity is modeled as

@@ -90,4 +90,15 @@ double ConcurrentCostModel::Predict(
   return std::exp(log_latency) - 1.0;
 }
 
+void ConcurrentCostModel::PredictBatch(const FeatureMatrix& x,
+                                       std::span<double> out) const {
+  LQO_CHECK(trained_);
+  LQO_CHECK_EQ(x.rows(), out.size());
+  model_.PredictBatch(x, out);
+  for (size_t i = 0; i < out.size(); ++i) {
+    double log_latency = std::clamp(out[i], 0.0, 50.0);
+    out[i] = std::exp(log_latency) - 1.0;
+  }
+}
+
 }  // namespace lqo

@@ -1,6 +1,7 @@
 #ifndef LQO_COSTMODEL_CONCURRENT_H_
 #define LQO_COSTMODEL_CONCURRENT_H_
 
+#include <span>
 #include <vector>
 
 #include "costmodel/learned_cost_model.h"
@@ -74,6 +75,14 @@ class ConcurrentCostModel {
              const std::vector<double>& latencies);
 
   double Predict(const std::vector<double>& features) const;
+
+  /// Batch Predict over all rows of `x`: one batched GBDT pass plus the
+  /// scalar clamp/exp per row — bit-identical results.
+  void PredictBatch(const FeatureMatrix& x, std::span<double> out) const;
+
+  /// Batched-inference counters of the underlying model.
+  InferenceStatsSnapshot InferenceStats() const { return model_.Stats(); }
+
   bool trained() const { return trained_; }
 
  private:

@@ -47,6 +47,31 @@ std::vector<std::vector<double>> PlanNodeFeatures(const PhysicalPlan& plan,
   return features;
 }
 
+void AppendPlanNodeFeatures(const PhysicalPlan& plan,
+                            const StatsCatalog& stats, FeatureMatrix* out) {
+  LQO_CHECK(out != nullptr);
+  LQO_CHECK_EQ(out->cols(), PlanFeaturizer::kNodeDim);
+  std::vector<std::pair<const PlanNode*, int>> nodes;
+  CollectBottomUp(*plan.root, 0, &nodes);
+  out->Reserve(out->rows() + nodes.size());
+  for (const auto& [node, depth] : nodes) {
+    double left = 0, right = 0;
+    if (node->kind == PlanNode::Kind::kJoin) {
+      left = std::max(node->left->estimated_cardinality, 0.0);
+      right = std::max(node->right->estimated_cardinality, 0.0);
+    } else {
+      const std::string& table =
+          plan.query->tables()[static_cast<size_t>(node->table_index)]
+              .table_name;
+      left = static_cast<double>(stats.Of(table).row_count);
+    }
+    PlanFeaturizer::NodeFeaturesInto(
+        node->kind, node->algorithm, left, right,
+        std::max(node->estimated_cardinality, 0.0), depth,
+        out->AppendRow());
+  }
+}
+
 CostSample MakeCostSample(const PhysicalPlan& plan,
                           const ExecutionResult& result,
                           const StatsCatalog& stats) {
@@ -93,6 +118,21 @@ double LearnedPlanCostModel::PredictFromFeatures(
                                               : mlp_.Predict(features);
   log_time = std::clamp(log_time, 0.0, 50.0);
   return std::exp(log_time) - 1.0;
+}
+
+void LearnedPlanCostModel::PredictTimeBatch(const FeatureMatrix& x,
+                                            std::span<double> out) const {
+  LQO_CHECK(trained_);
+  LQO_CHECK_EQ(x.rows(), out.size());
+  if (type_ == ModelType::kGbdt) {
+    gbdt_.PredictBatch(x, out);
+  } else {
+    mlp_.PredictBatch(x, out);
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    double log_time = std::clamp(out[i], 0.0, 50.0);
+    out[i] = std::exp(log_time) - 1.0;
+  }
 }
 
 double LearnedPlanCostModel::PredictTime(const PhysicalPlan& plan) const {
@@ -203,10 +243,16 @@ void ZeroShotCostModel::Train(const std::vector<CostSample>& samples) {
 double ZeroShotCostModel::PredictTime(const PhysicalPlan& plan,
                                       const StatsCatalog& stats) const {
   LQO_CHECK(trained_);
+  // One node-feature matrix and one batched GBDT pass over every plan
+  // node; the serial clamp/exp/sum follows the scalar loop's bottom-up
+  // node order, so the total is bit-identical.
+  FeatureMatrix features(PlanFeaturizer::kNodeDim);
+  AppendPlanNodeFeatures(plan, stats, &features);
+  std::vector<double> node_log_times(features.rows());
+  node_model_.PredictBatch(features, node_log_times);
   double total = 0.0;
-  for (const std::vector<double>& f : PlanNodeFeatures(plan, stats)) {
-    double log_time = std::clamp(node_model_.Predict(f), 0.0, 50.0);
-    total += std::exp(log_time) - 1.0;
+  for (double log_time : node_log_times) {
+    total += std::exp(std::clamp(log_time, 0.0, 50.0)) - 1.0;
   }
   return total;
 }

@@ -2,6 +2,7 @@
 #define LQO_COSTMODEL_LEARNED_COST_MODEL_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,15 @@ class LearnedPlanCostModel {
   /// Predicted time units for an annotated plan.
   double PredictTime(const PhysicalPlan& plan) const;
   double PredictFromFeatures(const std::vector<double>& features) const;
+
+  /// Batch PredictFromFeatures over all rows of `x`: one batched model
+  /// pass plus the scalar clamp/exp per row — bit-identical results.
+  void PredictTimeBatch(const FeatureMatrix& x, std::span<double> out) const;
+
+  /// Batched-inference counters of the underlying model.
+  InferenceStatsSnapshot InferenceStats() const {
+    return type_ == ModelType::kGbdt ? gbdt_.Stats() : mlp_.Stats();
+  }
 
   std::string Name() const;
   bool trained() const { return trained_; }
@@ -89,6 +99,9 @@ class ZeroShotCostModel {
   double PredictTime(const PhysicalPlan& plan,
                      const StatsCatalog& stats) const;
 
+  /// Batched-inference counters of the shared node model.
+  InferenceStatsSnapshot InferenceStats() const { return node_model_.Stats(); }
+
   bool trained() const { return trained_; }
 
  private:
@@ -102,6 +115,11 @@ class ZeroShotCostModel {
 /// estimated cardinality as output.
 std::vector<std::vector<double>> PlanNodeFeatures(const PhysicalPlan& plan,
                                                   const StatsCatalog& stats);
+
+/// As PlanNodeFeatures, appending one kNodeDim row per node to `out`
+/// (which must have kNodeDim columns) — no per-node vector allocation.
+void AppendPlanNodeFeatures(const PhysicalPlan& plan,
+                            const StatsCatalog& stats, FeatureMatrix* out);
 
 }  // namespace lqo
 

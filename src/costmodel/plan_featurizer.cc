@@ -59,43 +59,47 @@ void Walk(const PlanNode& node, int depth, Aggregates* agg) {
 }  // namespace
 
 std::vector<double> PlanFeaturizer::Featurize(const PhysicalPlan& plan) {
+  std::vector<double> features(kDim);
+  FeaturizeInto(plan, features.data());
+  return features;
+}
+
+void PlanFeaturizer::FeaturizeInto(const PhysicalPlan& plan, double* out) {
   LQO_CHECK(plan.root != nullptr);
   Aggregates agg;
   Walk(*plan.root, 0, &agg);
   agg.root_log_card = Log1p(std::max(plan.root->estimated_cardinality, 0.0));
 
   double num_joins = agg.count_hash + agg.count_nlj + agg.count_merge;
-  std::vector<double> features = {
-      agg.count_scan,
-      agg.count_hash,
-      agg.count_nlj,
-      agg.count_merge,
-      num_joins,
-      agg.max_depth,
-      agg.root_log_card,
-      agg.sum_log_card,
-      agg.max_log_card,
-      Log1p(agg.sum_scan_card),
-      agg.sum_log_hash_build,
-      agg.sum_log_nlj_inner,
-      Log1p(agg.nlj_pairs),
-      // Shape indicators.
-      num_joins > 0 ? agg.count_hash / num_joins : 0.0,
-      num_joins > 0 ? agg.count_nlj / num_joins : 0.0,
-      num_joins > 0 ? agg.count_merge / num_joins : 0.0,
-      agg.max_depth - num_joins,  // 0 for left-deep, negative for bushy
-      // Cardinality-derived interactions.
-      agg.root_log_card * num_joins,
-      agg.max_log_card * agg.count_nlj,
-      agg.max_log_card * agg.count_hash,
-      agg.sum_log_card / std::max(1.0, num_joins + agg.count_scan),
-      agg.max_log_nlj_inner,
-      agg.max_log_hash_build,
-      agg.max_log_nlj_pairs,
-      1.0,  // bias
-  };
-  LQO_CHECK_EQ(features.size(), kDim);
-  return features;
+  size_t k = 0;
+  out[k++] = agg.count_scan;
+  out[k++] = agg.count_hash;
+  out[k++] = agg.count_nlj;
+  out[k++] = agg.count_merge;
+  out[k++] = num_joins;
+  out[k++] = agg.max_depth;
+  out[k++] = agg.root_log_card;
+  out[k++] = agg.sum_log_card;
+  out[k++] = agg.max_log_card;
+  out[k++] = Log1p(agg.sum_scan_card);
+  out[k++] = agg.sum_log_hash_build;
+  out[k++] = agg.sum_log_nlj_inner;
+  out[k++] = Log1p(agg.nlj_pairs);
+  // Shape indicators.
+  out[k++] = num_joins > 0 ? agg.count_hash / num_joins : 0.0;
+  out[k++] = num_joins > 0 ? agg.count_nlj / num_joins : 0.0;
+  out[k++] = num_joins > 0 ? agg.count_merge / num_joins : 0.0;
+  out[k++] = agg.max_depth - num_joins;  // 0 for left-deep, neg for bushy
+  // Cardinality-derived interactions.
+  out[k++] = agg.root_log_card * num_joins;
+  out[k++] = agg.max_log_card * agg.count_nlj;
+  out[k++] = agg.max_log_card * agg.count_hash;
+  out[k++] = agg.sum_log_card / std::max(1.0, num_joins + agg.count_scan);
+  out[k++] = agg.max_log_nlj_inner;
+  out[k++] = agg.max_log_hash_build;
+  out[k++] = agg.max_log_nlj_pairs;
+  out[k++] = 1.0;  // bias
+  LQO_CHECK_EQ(k, kDim);
 }
 
 std::vector<double> PlanFeaturizer::NodeFeatures(PlanNode::Kind kind,
@@ -105,27 +109,37 @@ std::vector<double> PlanFeaturizer::NodeFeatures(PlanNode::Kind kind,
                                                  double output_rows,
                                                  int depth) {
   std::vector<double> features(kNodeDim, 0.0);
+  NodeFeaturesInto(kind, algorithm, left_rows, right_rows, output_rows, depth,
+                   features.data());
+  return features;
+}
+
+void PlanFeaturizer::NodeFeaturesInto(PlanNode::Kind kind,
+                                      JoinAlgorithm algorithm,
+                                      double left_rows, double right_rows,
+                                      double output_rows, int depth,
+                                      double* out) {
+  for (size_t i = 0; i < kNodeDim; ++i) out[i] = 0.0;
   if (kind == PlanNode::Kind::kScan) {
-    features[0] = 1.0;
+    out[0] = 1.0;
   } else {
     switch (algorithm) {
       case JoinAlgorithm::kHashJoin:
-        features[1] = 1.0;
+        out[1] = 1.0;
         break;
       case JoinAlgorithm::kNestedLoopJoin:
-        features[2] = 1.0;
+        out[2] = 1.0;
         break;
       case JoinAlgorithm::kMergeJoin:
-        features[3] = 1.0;
+        out[3] = 1.0;
         break;
     }
   }
-  features[4] = Log1p(left_rows);
-  features[5] = Log1p(right_rows);
-  features[6] = Log1p(output_rows);
-  features[7] = Log1p(left_rows) + Log1p(right_rows);
-  features[8] = static_cast<double>(depth);
-  return features;
+  out[4] = Log1p(left_rows);
+  out[5] = Log1p(right_rows);
+  out[6] = Log1p(output_rows);
+  out[7] = Log1p(left_rows) + Log1p(right_rows);
+  out[8] = static_cast<double>(depth);
 }
 
 }  // namespace lqo

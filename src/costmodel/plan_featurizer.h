@@ -21,6 +21,11 @@ class PlanFeaturizer {
   /// Featurizes an annotated plan.
   static std::vector<double> Featurize(const PhysicalPlan& plan);
 
+  /// Writes the kDim features of `plan` into `out` (caller owns the
+  /// buffer — e.g. a FeatureMatrix::AppendRow() slot). Identical values to
+  /// Featurize without the per-plan vector allocation.
+  static void FeaturizeInto(const PhysicalPlan& plan, double* out);
+
   /// Node-local features for per-operator (zero-shot style) models:
   /// [scan, hash, nlj, merge one-hot; log left rows; log right rows;
   ///  log output rows; left*right interaction (log); depth].
@@ -29,6 +34,11 @@ class PlanFeaturizer {
                                           JoinAlgorithm algorithm,
                                           double left_rows, double right_rows,
                                           double output_rows, int depth);
+
+  /// As NodeFeatures, into a caller-owned kNodeDim buffer.
+  static void NodeFeaturesInto(PlanNode::Kind kind, JoinAlgorithm algorithm,
+                               double left_rows, double right_rows,
+                               double output_rows, int depth, double* out);
 };
 
 }  // namespace lqo

@@ -78,11 +78,15 @@ PhysicalPlan BaoOptimizer::ChoosePlan(const Query& query) {
         0, static_cast<int64_t>(candidates.size()) - 1));
     return std::move(candidates[pick]);
   }
-  std::vector<std::vector<double>> features;
+  // One reusable feature matrix for the candidate set; a single batched
+  // inference pass scores every arm's plan (no per-candidate feature
+  // vector or per-row Predict call).
+  feature_scratch_.Reset(PlanFeaturizer::kDim);
+  feature_scratch_.Reserve(candidates.size());
   for (const PhysicalPlan& plan : candidates) {
-    features.push_back(PlanFeaturizer::Featurize(plan));
+    PlanFeaturizer::FeaturizeInto(plan, feature_scratch_.AppendRow());
   }
-  size_t best = risk_model_.PickBest(features);
+  size_t best = risk_model_.PickBest(feature_scratch_);
   return std::move(candidates[best]);
 }
 

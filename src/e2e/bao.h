@@ -38,6 +38,9 @@ class BaoOptimizer : public LearnedQueryOptimizer {
   void Retrain() override;
   std::string Name() const override { return "bao"; }
   bool trained() const override { return risk_model_.trained(); }
+  InferenceStatsSnapshot InferenceStats() const override {
+    return risk_model_.InferenceStats();
+  }
 
   /// Arms whose plans differed from the default on at least one observed
   /// query (AutoSteer-style pruning); all arms before any observation.
@@ -58,6 +61,8 @@ class BaoOptimizer : public LearnedQueryOptimizer {
   int observations_ = 0;
   /// Arm indices that produced a plan different from the default arm.
   std::vector<bool> arm_useful_;
+  /// Reused across ChoosePlan calls (capacity persists).
+  FeatureMatrix feature_scratch_;
 };
 
 }  // namespace lqo

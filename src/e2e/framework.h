@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engine/plan.h"
+#include "ml/inference_stats.h"
 #include "optimizer/baseline_estimator.h"
 #include "optimizer/optimizer.h"
 
@@ -61,6 +62,11 @@ class LearnedQueryOptimizer {
   virtual std::string Name() const = 0;
 
   virtual bool trained() const = 0;
+
+  /// Cumulative batched-inference counters across this optimizer's learned
+  /// models (rows scored, batches, wall-clock). Default: empty snapshot for
+  /// optimizers without batch-scored models.
+  virtual InferenceStatsSnapshot InferenceStats() const { return {}; }
 };
 
 /// The native plan for a query (DP + analytical model + baseline cards) —

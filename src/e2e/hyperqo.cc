@@ -55,17 +55,61 @@ void HyperQoOptimizer::Predict(const std::vector<double>& features,
   *stddev = StdDev(predictions);
 }
 
+void HyperQoOptimizer::PredictBatch(const FeatureMatrix& x,
+                                    std::span<double> means,
+                                    std::span<double> stddevs) const {
+  LQO_CHECK(trained_);
+  LQO_CHECK_EQ(x.rows(), means.size());
+  LQO_CHECK_EQ(x.rows(), stddevs.size());
+  if (x.empty()) return;
+  size_t n = x.rows();
+  // Member-major: each MLP runs one blocked forward pass over the whole
+  // batch. The per-row reduction then gathers that row's predictions in
+  // ensemble order, so Mean/StdDev see the exact vector the scalar path
+  // builds.
+  std::vector<double> member_out(ensemble_.size() * n);
+  for (size_t k = 0; k < ensemble_.size(); ++k) {
+    ensemble_[k].PredictBatch(x,
+                              std::span<double>(&member_out[k * n], n));
+  }
+  std::vector<double> row_predictions(ensemble_.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < ensemble_.size(); ++k) {
+      row_predictions[k] = member_out[k * n + i];
+    }
+    means[i] = Mean(row_predictions);
+    stddevs[i] = StdDev(row_predictions);
+  }
+}
+
+InferenceStatsSnapshot HyperQoOptimizer::InferenceStats() const {
+  InferenceStatsSnapshot total;
+  for (const Mlp& model : ensemble_) total += model.Stats();
+  return total;
+}
+
 PhysicalPlan HyperQoOptimizer::ChoosePlan(const Query& query) {
   std::vector<PhysicalPlan> candidates = Candidates(query);
   LQO_CHECK(!candidates.empty());
   if (!trained_ || candidates.size() == 1) {
     return std::move(candidates[0]);  // cost-based fallback.
   }
+  // One reusable feature matrix for the candidate set; the ensemble scores
+  // it in a handful of batched forward passes instead of one scalar
+  // Predict per model per candidate.
+  feature_scratch_.Reset(PlanFeaturizer::kDim);
+  feature_scratch_.Reserve(candidates.size());
+  for (const PhysicalPlan& plan : candidates) {
+    PlanFeaturizer::FeaturizeInto(plan, feature_scratch_.AppendRow());
+  }
+  mean_scratch_.resize(candidates.size());
+  stddev_scratch_.resize(candidates.size());
+  PredictBatch(feature_scratch_, mean_scratch_, stddev_scratch_);
   size_t best = 0;  // native fallback survives any filtering.
   double best_mean = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < candidates.size(); ++i) {
-    double mean, stddev;
-    Predict(PlanFeaturizer::Featurize(candidates[i]), &mean, &stddev);
+    double mean = mean_scratch_[i];
+    double stddev = stddev_scratch_[i];
     // Variance filter: skip risky candidates (never filters the native
     // plan out of existence — if everything is filtered, native wins).
     if (stddev > options_.max_relative_std * std::max(std::abs(mean), 1e-3)) {

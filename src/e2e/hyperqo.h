@@ -2,6 +2,7 @@
 #define LQO_E2E_HYPERQO_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "e2e/framework.h"
@@ -36,10 +37,18 @@ class HyperQoOptimizer : public LearnedQueryOptimizer {
   void Retrain() override;
   std::string Name() const override { return "hyperqo"; }
   bool trained() const override { return trained_; }
+  InferenceStatsSnapshot InferenceStats() const override;
 
   /// Ensemble mean/std of predicted log latency for a feature vector.
   void Predict(const std::vector<double>& features, double* mean,
                double* stddev) const;
+
+  /// Batch variant over all rows of `x`: each ensemble member scores the
+  /// whole batch with one PredictBatch pass, then per-row mean/stddev
+  /// reduce over the members in ensemble order — bit-identical to calling
+  /// Predict row by row.
+  void PredictBatch(const FeatureMatrix& x, std::span<double> means,
+                    std::span<double> stddevs) const;
 
  private:
   /// Native plan first, then distinct leading-hint plans.
@@ -50,6 +59,10 @@ class HyperQoOptimizer : public LearnedQueryOptimizer {
   ExperienceBuffer experience_;
   std::vector<Mlp> ensemble_;
   bool trained_ = false;
+  /// Reused across ChoosePlan calls (capacity persists).
+  FeatureMatrix feature_scratch_;
+  std::vector<double> mean_scratch_;
+  std::vector<double> stddev_scratch_;
 };
 
 }  // namespace lqo

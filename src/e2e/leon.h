@@ -29,6 +29,9 @@ class LeonOptimizer : public LearnedQueryOptimizer {
   void Retrain() override;
   std::string Name() const override { return "leon"; }
   bool trained() const override { return risk_model_.trained(); }
+  InferenceStatsSnapshot InferenceStats() const override {
+    return risk_model_.InferenceStats();
+  }
 
  private:
   /// Native DP plan first, then distinct alternates from other enumeration
@@ -40,6 +43,8 @@ class LeonOptimizer : public LearnedQueryOptimizer {
   Optimizer left_deep_optimizer_;
   ExperienceBuffer experience_;
   PairwiseRiskModel risk_model_;
+  /// Reused across ChoosePlan calls (capacity persists).
+  FeatureMatrix feature_scratch_;
 };
 
 }  // namespace lqo

@@ -50,11 +50,15 @@ PhysicalPlan LeroOptimizer::ChoosePlan(const Query& query) {
   if (!risk_model_.trained() || candidates.size() == 1) {
     return std::move(candidates[0]);  // native fallback.
   }
-  std::vector<std::vector<double>> features;
+  // One reusable feature matrix, one batched comparator pass: the scorer
+  // evaluates each candidate exactly once instead of once per pairwise
+  // comparison.
+  feature_scratch_.Reset(PlanFeaturizer::kDim);
+  feature_scratch_.Reserve(candidates.size());
   for (const PhysicalPlan& plan : candidates) {
-    features.push_back(PlanFeaturizer::Featurize(plan));
+    PlanFeaturizer::FeaturizeInto(plan, feature_scratch_.AppendRow());
   }
-  size_t best = risk_model_.PickBestConservative(features, 0);
+  size_t best = risk_model_.PickBestConservative(feature_scratch_, 0);
   return std::move(candidates[best]);
 }
 

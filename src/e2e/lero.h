@@ -33,6 +33,9 @@ class LeroOptimizer : public LearnedQueryOptimizer {
   void Retrain() override;
   std::string Name() const override { return "lero"; }
   bool trained() const override { return risk_model_.trained(); }
+  InferenceStatsSnapshot InferenceStats() const override {
+    return risk_model_.InferenceStats();
+  }
 
   /// Distinct candidate plans (baseline-annotated); index 0 is the native
   /// (scale = 1) plan.
@@ -43,6 +46,8 @@ class LeroOptimizer : public LearnedQueryOptimizer {
   LeroOptions options_;
   ExperienceBuffer experience_;
   PairwiseRiskModel risk_model_;
+  /// Reused across ChoosePlan calls (capacity persists).
+  FeatureMatrix feature_scratch_;
 };
 
 }  // namespace lqo

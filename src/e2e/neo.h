@@ -27,6 +27,9 @@ class NeoOptimizer : public LearnedQueryOptimizer {
   void Retrain() override;
   std::string Name() const override { return "neo"; }
   bool trained() const override { return value_model_.trained(); }
+  InferenceStatsSnapshot InferenceStats() const override {
+    return value_model_.InferenceStats();
+  }
 
  private:
   E2eContext context_;
@@ -61,6 +64,9 @@ class BalsaOptimizer : public LearnedQueryOptimizer {
   void Retrain() override;
   std::string Name() const override { return "balsa"; }
   bool trained() const override { return value_model_.trained(); }
+  InferenceStatsSnapshot InferenceStats() const override {
+    return value_model_.InferenceStats();
+  }
 
   size_t real_experience_size() const { return real_experience_.size(); }
 

@@ -33,6 +33,17 @@ double PointwiseRiskModel::PredictTime(
   return std::exp(log_time) - 1.0;
 }
 
+void PointwiseRiskModel::PredictTimeBatch(const FeatureMatrix& x,
+                                          std::span<double> out) const {
+  LQO_CHECK(trained_);
+  LQO_CHECK_EQ(x.rows(), out.size());
+  model_.PredictBatch(x, out);
+  for (size_t i = 0; i < out.size(); ++i) {
+    double log_time = std::clamp(out[i], 0.0, 50.0);
+    out[i] = std::exp(log_time) - 1.0;
+  }
+}
+
 size_t PointwiseRiskModel::PickBest(
     const std::vector<std::vector<double>>& candidates) const {
   LQO_CHECK(!candidates.empty());
@@ -45,6 +56,18 @@ size_t PointwiseRiskModel::PickBest(
       best_time = t;
       best = i;
     }
+  }
+  return best;
+}
+
+size_t PointwiseRiskModel::PickBest(const FeatureMatrix& candidates) const {
+  LQO_CHECK(!candidates.empty());
+  LQO_CHECK(trained_);
+  std::vector<double> times(candidates.rows());
+  PredictTimeBatch(candidates, times);
+  size_t best = 0;
+  for (size_t i = 1; i < times.size(); ++i) {
+    if (times[i] < times[best]) best = i;
   }
   return best;
 }
@@ -91,6 +114,53 @@ void PairwiseRiskModel::Train(const ExperienceBuffer& buffer,
 double PairwiseRiskModel::Score(const std::vector<double>& features) const {
   LQO_CHECK(trained_);
   return scorer_.Predict(features);
+}
+
+void PairwiseRiskModel::ScoreBatch(const FeatureMatrix& x,
+                                   std::span<double> out) const {
+  LQO_CHECK(trained_);
+  scorer_.PredictBatch(x, out);
+}
+
+size_t PairwiseRiskModel::PickBestFromScores(
+    std::span<const double> scores) const {
+  std::vector<int> wins(scores.size(), 0);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    for (size_t j = i + 1; j < scores.size(); ++j) {
+      if (Sigmoid(3.0 * (scores[j] - scores[i])) >= 0.5) {
+        ++wins[i];
+      } else {
+        ++wins[j];
+      }
+    }
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (wins[i] > wins[best]) best = i;
+  }
+  return best;
+}
+
+size_t PairwiseRiskModel::PickBest(const FeatureMatrix& candidates) const {
+  LQO_CHECK(!candidates.empty());
+  LQO_CHECK(trained_);
+  std::vector<double> scores(candidates.rows());
+  ScoreBatch(candidates, scores);
+  return PickBestFromScores(scores);
+}
+
+size_t PairwiseRiskModel::PickBestConservative(const FeatureMatrix& candidates,
+                                               size_t baseline,
+                                               double confidence) const {
+  LQO_CHECK_LT(baseline, candidates.rows());
+  LQO_CHECK(trained_);
+  std::vector<double> scores(candidates.rows());
+  ScoreBatch(candidates, scores);
+  size_t best = PickBestFromScores(scores);
+  if (best == baseline) return baseline;
+  return Sigmoid(3.0 * (scores[baseline] - scores[best])) >= confidence
+             ? best
+             : baseline;
 }
 
 size_t PairwiseRiskModel::PickBestConservative(

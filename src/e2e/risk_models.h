@@ -1,6 +1,7 @@
 #ifndef LQO_E2E_RISK_MODELS_H_
 #define LQO_E2E_RISK_MODELS_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,8 +31,16 @@ class PointwiseRiskModel {
  public:
   void Train(const ExperienceBuffer& buffer);
   double PredictTime(const std::vector<double>& features) const;
+  /// Batch PredictTime over all rows of `x`; one GBDT PredictBatch pass
+  /// followed by the scalar clamp/exp per row — bit-identical results.
+  void PredictTimeBatch(const FeatureMatrix& x, std::span<double> out) const;
   /// Index of the best candidate (min predicted time).
   size_t PickBest(const std::vector<std::vector<double>>& candidates) const;
+  /// Matrix variant: one batched inference pass over the candidate set,
+  /// same argmin decision as the row-vector overload.
+  size_t PickBest(const FeatureMatrix& candidates) const;
+  /// Batched-inference counters of the underlying model.
+  InferenceStatsSnapshot InferenceStats() const { return model_.Stats(); }
   bool trained() const { return trained_; }
 
  private:
@@ -61,6 +70,12 @@ class PairwiseRiskModel {
   /// Index of the candidate winning the most pairwise comparisons.
   size_t PickBest(const std::vector<std::vector<double>>& candidates) const;
 
+  /// Matrix variant: scores every candidate once with a single batched
+  /// inference pass (O(n) scorer rows instead of the O(n^2) per-comparison
+  /// Score calls of the row-vector overload), then replays the identical
+  /// sigmoid-over-score-difference tournament.
+  size_t PickBest(const FeatureMatrix& candidates) const;
+
   /// Conservative variant: returns PickBest's winner only if the model is
   /// at least `confidence` sure it beats candidates[baseline]; otherwise
   /// returns `baseline` (Lero's keep-the-native-plan-unless-confident
@@ -69,11 +84,23 @@ class PairwiseRiskModel {
       const std::vector<std::vector<double>>& candidates, size_t baseline,
       double confidence = 0.6) const;
 
+  /// Matrix variant of PickBestConservative over a batched score pass.
+  size_t PickBestConservative(const FeatureMatrix& candidates,
+                              size_t baseline, double confidence = 0.6) const;
+
+  /// Relative-latency scores for all rows of `x` (lower is better).
+  void ScoreBatch(const FeatureMatrix& x, std::span<double> out) const;
+
+  /// Batched-inference counters of the underlying scorer.
+  InferenceStatsSnapshot InferenceStats() const { return scorer_.Stats(); }
+
   bool trained() const { return trained_; }
 
  private:
   /// Relative-latency score (log time over group minimum); lower is better.
   double Score(const std::vector<double>& features) const;
+  /// Tournament winner given precomputed per-candidate scores.
+  size_t PickBestFromScores(std::span<const double> scores) const;
 
   uint64_t seed_;
   GradientBoostedTrees scorer_;

@@ -18,11 +18,19 @@ ValueSearch::ValueSearch(const E2eContext& context, int max_expansions,
 
 std::vector<double> ValueSearch::StateFeatures(
     const Query& query, const PhysicalPlan& partial) const {
-  std::vector<double> features = PlanFeaturizer::Featurize(partial);
-  int joined = PopCount(partial.root->table_set);
-  features.push_back(static_cast<double>(query.num_tables()));
-  features.push_back(static_cast<double>(query.num_tables() - joined));
+  std::vector<double> features(kStateDim);
+  StateFeaturesInto(query, partial, features.data());
   return features;
+}
+
+void ValueSearch::StateFeaturesInto(const Query& query,
+                                    const PhysicalPlan& partial,
+                                    double* out) const {
+  PlanFeaturizer::FeaturizeInto(partial, out);
+  int joined = PopCount(partial.root->table_set);
+  out[PlanFeaturizer::kDim] = static_cast<double>(query.num_tables());
+  out[PlanFeaturizer::kDim + 1] =
+      static_cast<double>(query.num_tables() - joined);
 }
 
 std::vector<PhysicalPlan> ValueSearch::Expand(
@@ -73,16 +81,27 @@ PhysicalPlan ValueSearch::Search(const Query& query,
   CardinalityProvider cards(context_.estimator);
   cards.Freeze();
 
-  // Values the batch of candidate states in parallel (PredictTime is a
-  // const, re-entrant model read) and moves the plans in index order.
+  // Values a batch of candidate states with one batched value-model pass:
+  // the states featurize into one feature matrix (index-addressed rows, so
+  // the parallel featurize is deterministic), then a single
+  // PredictTimeBatch scores every row — bit-identical to per-state
+  // PredictTime. Buffers are per-invocation: value_batch runs concurrently
+  // from the per-frontier-state ParallelMap below, so they must not be
+  // shared across calls.
   auto value_batch = [&](std::vector<PhysicalPlan> plans) {
-    std::vector<double> values = ParallelMap(plans.size(), [&](size_t i) {
-      return value_model.PredictTime(StateFeatures(query, plans[i]));
+    FeatureMatrix state_features(kStateDim);
+    std::vector<double> state_values;
+    state_features.Reserve(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) state_features.AppendRow();
+    ParallelFor(plans.size(), [&](size_t i) {
+      StateFeaturesInto(query, plans[i], state_features.MutableRow(i));
     });
+    state_values.resize(plans.size());
+    value_model.PredictTimeBatch(state_features, state_values);
     std::vector<SearchState> states(plans.size());
     for (size_t i = 0; i < plans.size(); ++i) {
       states[i].partial = std::move(plans[i]);
-      states[i].value = values[i];
+      states[i].value = state_values[i];
     }
     return states;
   };

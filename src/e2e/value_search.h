@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "costmodel/plan_featurizer.h"
 #include "e2e/framework.h"
 #include "e2e/risk_models.h"
 
@@ -19,6 +20,14 @@ class ValueSearch {
   /// features plus query-context slots (total tables, tables remaining).
   std::vector<double> StateFeatures(const Query& query,
                                     const PhysicalPlan& partial) const;
+
+  /// Number of state features (plan features + 2 query-context slots).
+  static constexpr size_t kStateDim = PlanFeaturizer::kDim + 2;
+
+  /// As StateFeatures, into a caller-owned kStateDim buffer (e.g. a
+  /// FeatureMatrix row) — no per-state vector allocation.
+  void StateFeaturesInto(const Query& query, const PhysicalPlan& partial,
+                         double* out) const;
 
   /// Runs the search under `value_model`; kBestFirst caps expansions
   /// (Neo), kBeam keeps beam_width states per level (Balsa).

@@ -7,6 +7,22 @@
 
 namespace lqo {
 
+void FeatureMatrix::AddRow(const std::vector<double>& row) {
+  AddRow(std::span<const double>(row));
+}
+
+void FeatureMatrix::AddRow(std::span<const double> row) {
+  LQO_CHECK_EQ(row.size(), cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+double* FeatureMatrix::AppendRow() {
+  data_.resize(data_.size() + cols_, 0.0);
+  ++rows_;
+  return data_.data() + (rows_ - 1) * cols_;
+}
+
 void TrainTestSplit(const MlDataset& data, double test_fraction,
                     uint64_t seed, MlDataset* train, MlDataset* test) {
   LQO_CHECK(train != nullptr);
@@ -56,10 +72,14 @@ std::vector<double> Standardizer::Transform(
     const std::vector<double>& row) const {
   LQO_CHECK_EQ(row.size(), means_.size());
   std::vector<double> out(row.size());
-  for (size_t j = 0; j < row.size(); ++j) {
+  TransformInto(row.data(), out.data());
+  return out;
+}
+
+void Standardizer::TransformInto(const double* row, double* out) const {
+  for (size_t j = 0; j < means_.size(); ++j) {
     out[j] = (row[j] - means_[j]) / stds_[j];
   }
-  return out;
 }
 
 }  // namespace lqo

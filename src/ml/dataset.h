@@ -3,9 +3,54 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace lqo {
+
+/// Row-major dense feature matrix — the unit of batched model inference.
+/// One contiguous buffer holds all rows, so tree/MLP batch kernels stream
+/// it cache-line by cache-line instead of chasing a vector-of-vectors.
+/// Reset() keeps the allocation, making one matrix reusable across many
+/// candidate sets (the per-candidate allocation-churn fix in src/e2e).
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  explicit FeatureMatrix(size_t cols) : cols_(cols) {}
+
+  /// Drops all rows (capacity retained) and sets the row width.
+  void Reset(size_t cols) {
+    cols_ = cols;
+    rows_ = 0;
+    data_.clear();
+  }
+
+  void Reserve(size_t rows) { data_.reserve(rows * cols_); }
+
+  /// Appends a copy of `row` (must have exactly cols() values).
+  void AddRow(const std::vector<double>& row);
+  void AddRow(std::span<const double> row);
+
+  /// Appends a zero-initialized row and returns a pointer to fill in place.
+  double* AppendRow();
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  const double* Row(size_t i) const { return data_.data() + i * cols_; }
+  double* MutableRow(size_t i) { return data_.data() + i * cols_; }
+  std::span<const double> RowSpan(size_t i) const {
+    return {Row(i), cols_};
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t cols_ = 0;
+  size_t rows_ = 0;
+  std::vector<double> data_;  // rows_ x cols_, row-major
+};
 
 /// A dense supervised dataset: rows of features plus one target per row.
 struct MlDataset {
@@ -32,6 +77,10 @@ class Standardizer {
  public:
   void Fit(const std::vector<std::vector<double>>& rows);
   std::vector<double> Transform(const std::vector<double>& row) const;
+  /// Allocation-free variant for batch kernels: writes the standardized row
+  /// into `out` (both of length num_features()).
+  void TransformInto(const double* row, double* out) const;
+  size_t num_features() const { return means_.size(); }
   bool fitted() const { return !means_.empty(); }
 
  private:

@@ -1,5 +1,6 @@
 #include "ml/forest.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -58,6 +59,59 @@ void RandomForest::PredictWithUncertainty(const std::vector<double>& row,
   *mean = sum / n;
   double var = sum_sq / n - (*mean) * (*mean);
   *stddev = std::sqrt(std::max(0.0, var));
+}
+
+void RandomForest::PredictBatch(const FeatureMatrix& x,
+                                std::span<double> out) const {
+  PredictBatchWithUncertainty(x, out, {});
+}
+
+void RandomForest::PredictBatchWithUncertainty(
+    const FeatureMatrix& x, std::span<double> means,
+    std::span<double> stddevs) const {
+  LQO_CHECK(fitted());
+  LQO_CHECK_EQ(x.rows(), means.size());
+  if (!stddevs.empty()) LQO_CHECK_EQ(x.rows(), stddevs.size());
+  if (x.empty()) return;
+  ScopedInferenceTimer timer(&inference_, x.rows());
+
+  // Morsel-chunked over rows; each morsel owns index-addressed slices of
+  // the outputs. Within a morsel, trees run tree-major over the whole
+  // morsel (SoA buffers stay hot across rows) while each row's sum and
+  // sum-of-squares accumulate in ensemble order — the exact additions of
+  // the scalar loop, so results match at any thread count.
+  constexpr size_t kMorselRows = 256;
+  size_t morsels = (x.rows() + kMorselRows - 1) / kMorselRows;
+  auto run_morsel = [&](size_t m) {
+    size_t begin = m * kMorselRows;
+    size_t end = std::min(x.rows(), begin + kMorselRows);
+    size_t n = end - begin;
+    std::vector<double> tree_out(n);
+    std::vector<double> sum(n, 0.0);
+    std::vector<double> sum_sq(n, 0.0);
+    for (const RegressionTree& tree : trees_) {
+      tree.PredictRange(x, begin, end, tree_out.data());
+      for (size_t i = 0; i < n; ++i) {
+        double y = tree_out[i];
+        sum[i] += y;
+        sum_sq[i] += y * y;
+      }
+    }
+    double num_trees = static_cast<double>(trees_.size());
+    for (size_t i = 0; i < n; ++i) {
+      double mean = sum[i] / num_trees;
+      means[begin + i] = mean;
+      if (!stddevs.empty()) {
+        double var = sum_sq[i] / num_trees - mean * mean;
+        stddevs[begin + i] = std::sqrt(std::max(0.0, var));
+      }
+    }
+  };
+  if (morsels <= 1) {
+    run_morsel(0);
+  } else {
+    ParallelFor(morsels, run_morsel);
+  }
 }
 
 }  // namespace lqo

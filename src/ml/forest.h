@@ -1,6 +1,7 @@
 #ifndef LQO_ML_FOREST_H_
 #define LQO_ML_FOREST_H_
 
+#include <span>
 #include <vector>
 
 #include "ml/tree.h"
@@ -37,11 +38,27 @@ class RandomForest {
   void PredictWithUncertainty(const std::vector<double>& row, double* mean,
                               double* stddev) const;
 
+  /// Batch ensemble mean over all rows of `x`, bit-for-bit identical to
+  /// per-row Predict. Morsel-parallel; within a morsel trees are visited
+  /// in ensemble order (tree-major), so each row's accumulation order
+  /// matches the scalar loop exactly at any LQO_THREADS.
+  void PredictBatch(const FeatureMatrix& x, std::span<double> out) const;
+
+  /// Batch mean + stddev, identical to per-row PredictWithUncertainty.
+  /// `stddevs` may be empty to skip the uncertainty output.
+  void PredictBatchWithUncertainty(const FeatureMatrix& x,
+                                   std::span<double> means,
+                                   std::span<double> stddevs) const;
+
+  /// Batched-inference counters (rows scored via PredictBatch).
+  InferenceStatsSnapshot Stats() const { return inference_.Snapshot(); }
+
   bool fitted() const { return !trees_.empty(); }
 
  private:
   ForestOptions options_;
   std::vector<RegressionTree> trees_;
+  mutable InferenceCounters inference_;
 };
 
 }  // namespace lqo

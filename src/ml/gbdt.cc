@@ -1,5 +1,6 @@
 #include "ml/gbdt.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/logging.h"
@@ -54,6 +55,55 @@ double GradientBoostedTrees::Predict(const std::vector<double>& row) const {
     y += options_.learning_rate * tree.Predict(row);
   }
   return y;
+}
+
+void GradientBoostedTrees::PredictBatch(const FeatureMatrix& x,
+                                        std::span<double> out) const {
+  LQO_CHECK(fitted_);
+  LQO_CHECK_EQ(x.rows(), out.size());
+  if (x.empty()) return;
+  ScopedInferenceTimer timer(&inference_, x.rows());
+
+  constexpr size_t kMorselRows = 256;
+  size_t morsels = (x.rows() + kMorselRows - 1) / kMorselRows;
+  // Boosted trees are shallow; when the whole ensemble's SoA node arrays
+  // are cache-resident, a row-major walk (scalar Predict's exact FP order,
+  // no tree_out scratch traffic) is fastest. Huge ensembles fall back to
+  // tree-major blocks so each tree's nodes stay hot across the morsel.
+  // Either kernel accumulates per row in boosting order — identical
+  // results; the cutoff depends on the model alone, never the input.
+  constexpr size_t kCacheResidentTotalNodes = 1u << 15;
+  size_t total_nodes = 0;
+  for (const RegressionTree& tree : trees_) total_nodes += tree.num_nodes();
+  auto run_morsel = [&](size_t m) {
+    size_t begin = m * kMorselRows;
+    size_t end = std::min(x.rows(), begin + kMorselRows);
+    size_t n = end - begin;
+    if (total_nodes <= kCacheResidentTotalNodes) {
+      for (size_t r = begin; r < end; ++r) {
+        const double* row = x.Row(r);
+        double y = base_prediction_;
+        for (const RegressionTree& tree : trees_) {
+          y += options_.learning_rate * tree.PredictRow(row);
+        }
+        out[r] = y;
+      }
+      return;
+    }
+    std::vector<double> tree_out(n);
+    for (size_t i = 0; i < n; ++i) out[begin + i] = base_prediction_;
+    for (const RegressionTree& tree : trees_) {
+      tree.PredictRange(x, begin, end, tree_out.data());
+      for (size_t i = 0; i < n; ++i) {
+        out[begin + i] += options_.learning_rate * tree_out[i];
+      }
+    }
+  };
+  if (morsels <= 1) {
+    run_morsel(0);
+  } else {
+    ParallelFor(morsels, run_morsel);
+  }
 }
 
 }  // namespace lqo

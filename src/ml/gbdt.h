@@ -1,6 +1,7 @@
 #ifndef LQO_ML_GBDT_H_
 #define LQO_ML_GBDT_H_
 
+#include <span>
 #include <vector>
 
 #include "ml/tree.h"
@@ -32,6 +33,15 @@ class GradientBoostedTrees {
 
   double Predict(const std::vector<double>& row) const;
 
+  /// Batch prediction over all rows of `x`, bit-for-bit identical to
+  /// per-row Predict. Morsel-parallel; within a morsel the boosted trees
+  /// run tree-major, each row accumulating base + lr * tree_t in boosting
+  /// order — the scalar loop's additions — at any LQO_THREADS.
+  void PredictBatch(const FeatureMatrix& x, std::span<double> out) const;
+
+  /// Batched-inference counters (rows scored via PredictBatch).
+  InferenceStatsSnapshot Stats() const { return inference_.Snapshot(); }
+
   bool fitted() const { return fitted_; }
   size_t num_trees() const { return trees_.size(); }
 
@@ -40,6 +50,7 @@ class GradientBoostedTrees {
   double base_prediction_ = 0.0;
   std::vector<RegressionTree> trees_;
   bool fitted_ = false;
+  mutable InferenceCounters inference_;
 };
 
 }  // namespace lqo

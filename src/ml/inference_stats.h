@@ -1,0 +1,109 @@
+#ifndef LQO_ML_INFERENCE_STATS_H_
+#define LQO_ML_INFERENCE_STATS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace lqo {
+
+/// Point-in-time view of a model's batched-inference counters: how many
+/// rows it scored through PredictBatch, in how many batches, and how long
+/// the batch kernels spent. The benchlib harness reads these to report
+/// planning-time inference throughput per learned component.
+struct InferenceStatsSnapshot {
+  uint64_t rows = 0;
+  uint64_t batches = 0;
+  double seconds = 0.0;
+
+  double RowsPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(rows) / seconds : 0.0;
+  }
+
+  InferenceStatsSnapshot operator-(const InferenceStatsSnapshot& o) const {
+    return {rows - o.rows, batches - o.batches, seconds - o.seconds};
+  }
+  InferenceStatsSnapshot& operator+=(const InferenceStatsSnapshot& o) {
+    rows += o.rows;
+    batches += o.batches;
+    seconds += o.seconds;
+    return *this;
+  }
+};
+
+/// Thread-safe accumulator behind every model's Stats(). PredictBatch may
+/// be called concurrently from pool workers, so the counters are atomics;
+/// they are recorded once per batch (never per row or per morsel), keeping
+/// the hot kernels free of shared writes. Copyable so models that own one
+/// keep their value semantics (the counters copy by value).
+class InferenceCounters {
+ public:
+  InferenceCounters() = default;
+  InferenceCounters(const InferenceCounters& other) { CopyFrom(other); }
+  InferenceCounters& operator=(const InferenceCounters& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  void Record(uint64_t rows, double seconds) {
+    rows_.fetch_add(rows, std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                     std::memory_order_relaxed);
+  }
+
+  InferenceStatsSnapshot Snapshot() const {
+    InferenceStatsSnapshot snapshot;
+    snapshot.rows = rows_.load(std::memory_order_relaxed);
+    snapshot.batches = batches_.load(std::memory_order_relaxed);
+    snapshot.seconds =
+        static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
+    return snapshot;
+  }
+
+  void Reset() {
+    rows_.store(0, std::memory_order_relaxed);
+    batches_.store(0, std::memory_order_relaxed);
+    nanos_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void CopyFrom(const InferenceCounters& other) {
+    rows_.store(other.rows_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    batches_.store(other.batches_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    nanos_.store(other.nanos_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> nanos_{0};
+};
+
+/// RAII timer feeding an InferenceCounters from a PredictBatch scope.
+class ScopedInferenceTimer {
+ public:
+  ScopedInferenceTimer(InferenceCounters* counters, uint64_t rows)
+      : counters_(counters),
+        rows_(rows),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedInferenceTimer() {
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    counters_->Record(rows_, elapsed.count());
+  }
+
+  ScopedInferenceTimer(const ScopedInferenceTimer&) = delete;
+  ScopedInferenceTimer& operator=(const ScopedInferenceTimer&) = delete;
+
+ private:
+  InferenceCounters* counters_;
+  uint64_t rows_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lqo
+
+#endif  // LQO_ML_INFERENCE_STATS_H_

@@ -89,4 +89,19 @@ double RidgeRegression::Predict(const std::vector<double>& row) const {
   return y;
 }
 
+void RidgeRegression::PredictBatch(const FeatureMatrix& x,
+                                   std::span<double> out) const {
+  LQO_CHECK(fitted());
+  LQO_CHECK_EQ(x.rows(), out.size());
+  if (x.empty()) return;
+  LQO_CHECK_EQ(x.cols(), weights_.size());
+  ScopedInferenceTimer timer(&inference_, x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.Row(r);
+    double y = intercept_;
+    for (size_t j = 0; j < weights_.size(); ++j) y += weights_[j] * row[j];
+    out[r] = y;
+  }
+}
+
 }  // namespace lqo

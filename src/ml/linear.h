@@ -1,9 +1,12 @@
 #ifndef LQO_ML_LINEAR_H_
 #define LQO_ML_LINEAR_H_
 
+#include <span>
 #include <vector>
 
 #include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/inference_stats.h"
 
 namespace lqo {
 
@@ -20,6 +23,13 @@ class RidgeRegression {
 
   double Predict(const std::vector<double>& row) const;
 
+  /// Batch prediction over all rows of `x`, bit-for-bit identical to
+  /// per-row Predict (same j-ascending dot product per row).
+  void PredictBatch(const FeatureMatrix& x, std::span<double> out) const;
+
+  /// Batched-inference counters (rows scored via PredictBatch).
+  InferenceStatsSnapshot Stats() const { return inference_.Snapshot(); }
+
   bool fitted() const { return !weights_.empty(); }
   const std::vector<double>& weights() const { return weights_; }
   double intercept() const { return intercept_; }
@@ -28,6 +38,7 @@ class RidgeRegression {
   double lambda_;
   std::vector<double> weights_;
   double intercept_ = 0.0;
+  mutable InferenceCounters inference_;
 };
 
 /// Solves the symmetric positive-definite system A x = b in place via

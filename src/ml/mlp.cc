@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats_util.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
 
@@ -254,6 +255,84 @@ void Mlp::FitPairwise(const std::vector<std::vector<double>>& first,
     }
   }
   fitted_ = true;
+}
+
+void Mlp::ForwardBlock(const FeatureMatrix& x, size_t begin, size_t end,
+                       double* out) const {
+  size_t n = end - begin;
+  size_t max_dim = input_standardizer_.num_features();
+  for (const Layer& layer : layers_) {
+    max_dim = std::max(max_dim, static_cast<size_t>(layer.out));
+  }
+
+  // Two ping-pong activation buffers in COLUMN-major block layout:
+  // cur[i * n + r] is feature i of block row r. Each weight w[o][i] then
+  // multiplies a contiguous run of n rows, which the compiler turns into
+  // SIMD fma over the block — while each row's dot product still
+  // accumulates in ascending input order, exactly the scalar Forward's
+  // floating-point order, so batch == scalar bit for bit.
+  std::vector<double> buf_a(n * max_dim);
+  std::vector<double> buf_b(n * max_dim);
+  double* cur = buf_a.data();
+  double* next = buf_b.data();
+
+  // Standardize + clamp each input row (the same extrapolation guard
+  // Predict applies), scattered into the column-major block.
+  size_t in_dim = input_standardizer_.num_features();
+  std::vector<double> row_scratch(in_dim);
+  for (size_t r = 0; r < n; ++r) {
+    input_standardizer_.TransformInto(x.Row(begin + r), row_scratch.data());
+    for (size_t j = 0; j < in_dim; ++j) {
+      cur[j * n + r] = std::clamp(row_scratch[j], -5.0, 5.0);
+    }
+  }
+
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    bool last = (l + 1 == layers_.size());
+    for (int o = 0; o < layer.out; ++o) {
+      double* z = next + static_cast<size_t>(o) * n;
+      double bias = layer.b[static_cast<size_t>(o)];
+      for (size_t r = 0; r < n; ++r) z[r] = bias;
+      const double* wrow = &layer.w[static_cast<size_t>(o) *
+                                    static_cast<size_t>(layer.in)];
+      for (int i = 0; i < layer.in; ++i) {
+        double w = wrow[i];
+        const double* act = cur + static_cast<size_t>(i) * n;
+        for (size_t r = 0; r < n; ++r) z[r] += w * act[r];
+      }
+      if (!last) {
+        for (size_t r = 0; r < n; ++r) z[r] = std::max(0.0, z[r]);  // ReLU
+      }
+    }
+    std::swap(cur, next);
+  }
+
+  // The output layer has a single unit, so its column is the block's
+  // prediction vector.
+  for (size_t r = 0; r < n; ++r) {
+    out[r] = cur[r] * target_std_ + target_mean_;
+  }
+}
+
+void Mlp::PredictBatch(const FeatureMatrix& x, std::span<double> out) const {
+  LQO_CHECK(fitted_);
+  LQO_CHECK_EQ(x.rows(), out.size());
+  if (x.empty()) return;
+  ScopedInferenceTimer timer(&inference_, x.rows());
+
+  constexpr size_t kMorselRows = 128;
+  size_t morsels = (x.rows() + kMorselRows - 1) / kMorselRows;
+  auto run_morsel = [&](size_t m) {
+    size_t begin = m * kMorselRows;
+    size_t end = std::min(x.rows(), begin + kMorselRows);
+    ForwardBlock(x, begin, end, out.data() + begin);
+  };
+  if (morsels <= 1) {
+    run_morsel(0);
+  } else {
+    ParallelFor(morsels, run_morsel);
+  }
 }
 
 double Mlp::Predict(const std::vector<double>& row) const {

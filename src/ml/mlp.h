@@ -2,9 +2,11 @@
 #define LQO_ML_MLP_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ml/dataset.h"
+#include "ml/inference_stats.h"
 
 namespace lqo {
 
@@ -53,6 +55,16 @@ class Mlp {
   double CompareProba(const std::vector<double>& a,
                       const std::vector<double>& b) const;
 
+  /// Batch prediction over all rows of `x`, bit-for-bit identical to
+  /// per-row Predict. Morsel-parallel; each morsel runs a blocked
+  /// row-major forward pass that reuses two preallocated activation
+  /// buffers across its rows (no per-row allocation), with every row's
+  /// dot products in the scalar loop's i-ascending order.
+  void PredictBatch(const FeatureMatrix& x, std::span<double> out) const;
+
+  /// Batched-inference counters (rows scored via PredictBatch).
+  InferenceStatsSnapshot Stats() const { return inference_.Snapshot(); }
+
   bool fitted() const { return fitted_; }
 
  private:
@@ -75,6 +87,9 @@ class Mlp {
                 const std::vector<std::vector<double>>& as,
                 std::vector<Layer>* grads) const;
   void AdamStep(const std::vector<Layer>& grads, double batch_scale);
+  /// Blocked forward kernel over rows [begin, end), writing out[i - begin].
+  void ForwardBlock(const FeatureMatrix& x, size_t begin, size_t end,
+                    double* out) const;
 
   MlpOptions options_;
   std::vector<Layer> layers_;
@@ -83,6 +98,7 @@ class Mlp {
   double target_std_ = 1.0;
   bool fitted_ = false;
   int adam_t_ = 0;
+  mutable InferenceCounters inference_;
 };
 
 /// Numerically stable logistic sigmoid.

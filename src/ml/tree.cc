@@ -17,6 +17,21 @@ double MeanOf(const std::vector<double>& targets,
   return sum / static_cast<double>(end - begin);
 }
 
+// Rows per batch-traversal block: small enough that the block's feature
+// values and node cursors stay in L1, large enough to amortize the level
+// loop. Affects layout of work only, never results.
+constexpr size_t kTraversalBlock = 64;
+
+// Rows per parallel morsel in PredictBatch (a multiple of the traversal
+// block). Size-derived, so the parallel split cannot affect results.
+constexpr size_t kMorselRows = 512;
+
+// Node-count cutoff between the two batch kernels: below it the SoA node
+// arrays (~28 bytes/node) fit comfortably in L2, so a tight per-row walk
+// wins; above it the level-synchronous sweep keeps each level's nodes hot
+// across the row block. Depends on the tree alone, never on the input.
+constexpr size_t kCacheResidentNodes = 1u << 15;
+
 }  // namespace
 
 void RegressionTree::Fit(const std::vector<std::vector<double>>& rows,
@@ -25,7 +40,11 @@ void RegressionTree::Fit(const std::vector<std::vector<double>>& rows,
                          const std::vector<size_t>& indices, Rng* rng) {
   LQO_CHECK(!rows.empty());
   LQO_CHECK_EQ(rows.size(), targets.size());
-  nodes_.clear();
+  feature_.clear();
+  threshold_.clear();
+  value_.clear();
+  left_.clear();
+  right_.clear();
   std::vector<size_t> work = indices;
   if (work.empty()) {
     work.resize(rows.size());
@@ -34,16 +53,23 @@ void RegressionTree::Fit(const std::vector<std::vector<double>>& rows,
   BuildNode(rows, targets, work, 0, work.size(), 0, options, rng);
 }
 
+int RegressionTree::AddNode(double value) {
+  int index = static_cast<int>(feature_.size());
+  feature_.push_back(-1);
+  threshold_.push_back(0.0);
+  value_.push_back(value);
+  left_.push_back(-1);
+  right_.push_back(-1);
+  return index;
+}
+
 int RegressionTree::BuildNode(const std::vector<std::vector<double>>& rows,
                               const std::vector<double>& targets,
                               std::vector<size_t>& indices, size_t begin,
                               size_t end, int depth,
                               const TreeOptions& options, Rng* rng) {
   LQO_CHECK_LT(begin, end);
-  int node_index = static_cast<int>(nodes_.size());
-  nodes_.emplace_back();
-  nodes_[static_cast<size_t>(node_index)].value =
-      MeanOf(targets, indices, begin, end);
+  int node_index = AddNode(MeanOf(targets, indices, begin, end));
 
   size_t n = end - begin;
   if (depth >= options.max_depth ||
@@ -143,24 +169,87 @@ int RegressionTree::BuildNode(const std::vector<std::vector<double>>& rows,
                        rng);
   int right =
       BuildNode(rows, targets, indices, mid, end, depth + 1, options, rng);
-  Node& node = nodes_[static_cast<size_t>(node_index)];
-  node.feature = best_feature;
-  node.threshold = best_threshold;
-  node.left = left;
-  node.right = right;
+  size_t node = static_cast<size_t>(node_index);
+  feature_[node] = best_feature;
+  threshold_[node] = best_threshold;
+  left_[node] = left;
+  right_[node] = right;
   return node_index;
 }
 
 double RegressionTree::Predict(const std::vector<double>& row) const {
   LQO_CHECK(fitted());
-  int index = 0;
+  return PredictRow(row.data());
+}
+
+double RegressionTree::PredictRow(const double* row) const {
+  int32_t index = 0;
   while (true) {
-    const Node& node = nodes_[static_cast<size_t>(index)];
-    if (node.feature < 0) return node.value;
-    index = row[static_cast<size_t>(node.feature)] <= node.threshold
-                ? node.left
-                : node.right;
+    int32_t f = feature_[static_cast<size_t>(index)];
+    if (f < 0) return value_[static_cast<size_t>(index)];
+    index = row[f] <= threshold_[static_cast<size_t>(index)]
+                ? left_[static_cast<size_t>(index)]
+                : right_[static_cast<size_t>(index)];
   }
+}
+
+void RegressionTree::PredictRange(const FeatureMatrix& x, size_t begin,
+                                  size_t end, double* out) const {
+  // Cache-resident trees: the whole SoA layout stays hot, so per-row
+  // traversal with zero bookkeeping is fastest. Identical comparisons to
+  // Predict either way.
+  if (feature_.size() <= kCacheResidentNodes) {
+    for (size_t r = begin; r < end; ++r) {
+      out[r - begin] = PredictRow(x.Row(r));
+    }
+    return;
+  }
+  // Level-synchronous traversal over row blocks: every live row in the
+  // block advances one level per sweep, so the SoA node buffers are
+  // revisited while hot instead of once per row. Each row still takes
+  // exactly the comparisons Predict takes — identical results.
+  int32_t cursor[kTraversalBlock];
+  for (size_t block = begin; block < end; block += kTraversalBlock) {
+    size_t block_rows = std::min(kTraversalBlock, end - block);
+    for (size_t i = 0; i < block_rows; ++i) cursor[i] = 0;
+    size_t live = block_rows;
+    while (live > 0) {
+      live = 0;
+      for (size_t i = 0; i < block_rows; ++i) {
+        int32_t node = cursor[i];
+        if (node < 0) continue;
+        int32_t f = feature_[static_cast<size_t>(node)];
+        if (f < 0) {
+          out[block - begin + i] = value_[static_cast<size_t>(node)];
+          cursor[i] = -1;
+          continue;
+        }
+        const double* row = x.Row(block + i);
+        cursor[i] = row[f] <= threshold_[static_cast<size_t>(node)]
+                        ? left_[static_cast<size_t>(node)]
+                        : right_[static_cast<size_t>(node)];
+        ++live;
+      }
+    }
+  }
+}
+
+void RegressionTree::PredictBatch(const FeatureMatrix& x,
+                                  std::span<double> out) const {
+  LQO_CHECK(fitted());
+  LQO_CHECK_EQ(x.rows(), out.size());
+  if (x.empty()) return;
+  ScopedInferenceTimer timer(&inference_, x.rows());
+  size_t morsels = (x.rows() + kMorselRows - 1) / kMorselRows;
+  if (morsels <= 1) {
+    PredictRange(x, 0, x.rows(), out.data());
+    return;
+  }
+  ParallelFor(morsels, [&](size_t m) {
+    size_t begin = m * kMorselRows;
+    size_t end = std::min(x.rows(), begin + kMorselRows);
+    PredictRange(x, begin, end, out.data() + begin);
+  });
 }
 
 }  // namespace lqo

@@ -2,9 +2,12 @@
 #define LQO_ML_TREE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/inference_stats.h"
 
 namespace lqo {
 
@@ -19,6 +22,10 @@ struct TreeOptions {
 /// A CART regression tree with exact variance-reduction splits. Building
 /// block for the random forest and GBDT, i.e. the "tree-based ensembles /
 /// XGBoost" row of the paper's Table 1 (Dutt et al. [10], [9]).
+///
+/// Nodes are stored structure-of-arrays (parallel feature / threshold /
+/// value / left / right buffers) so batch traversal streams four small
+/// contiguous arrays instead of striding over an array of node structs.
 class RegressionTree {
  public:
   /// Fits on the rows selected by `indices` (all rows if empty). When
@@ -29,26 +36,45 @@ class RegressionTree {
            const std::vector<size_t>& indices = {}, Rng* rng = nullptr);
 
   double Predict(const std::vector<double>& row) const;
+  /// Raw-pointer variant used by the batch kernels (no length check).
+  double PredictRow(const double* row) const;
 
-  bool fitted() const { return !nodes_.empty(); }
-  size_t num_nodes() const { return nodes_.size(); }
+  /// Batch prediction over all rows of `x`, bit-for-bit identical to
+  /// per-row Predict. Morsel-parallel over the global pool; each morsel
+  /// writes its own index-addressed slice of `out`, so results are the
+  /// same at any LQO_THREADS. Records inference counters.
+  void PredictBatch(const FeatureMatrix& x, std::span<double> out) const;
+
+  /// Serial block-traversal kernel over rows [begin, end), writing
+  /// out[i - begin]. Ensemble batch kernels call this per morsel (their
+  /// own counters then cover the whole ensemble batch).
+  void PredictRange(const FeatureMatrix& x, size_t begin, size_t end,
+                    double* out) const;
+
+  /// Batched-inference counters (rows scored via PredictBatch).
+  InferenceStatsSnapshot Stats() const { return inference_.Snapshot(); }
+
+  bool fitted() const { return !feature_.empty(); }
+  size_t num_nodes() const { return feature_.size(); }
 
  private:
-  struct Node {
-    // Leaf iff feature < 0.
-    int feature = -1;
-    double threshold = 0.0;  // go left if x[feature] <= threshold
-    double value = 0.0;      // leaf prediction
-    int left = -1;
-    int right = -1;
-  };
+  /// Appends a leaf node with `value` and returns its index.
+  int AddNode(double value);
 
   int BuildNode(const std::vector<std::vector<double>>& rows,
                 const std::vector<double>& targets,
                 std::vector<size_t>& indices, size_t begin, size_t end,
                 int depth, const TreeOptions& options, Rng* rng);
 
-  std::vector<Node> nodes_;
+  // Structure-of-arrays node storage. A node is a leaf iff feature < 0;
+  // interior nodes route row[feature] <= threshold to left, else right.
+  std::vector<int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<double> value_;
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+
+  mutable InferenceCounters inference_;
 };
 
 }  // namespace lqo

@@ -4,8 +4,19 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace lqo {
+
+std::vector<double> CardinalityEstimatorInterface::EstimateSubqueryBatch(
+    const std::vector<Subquery>& subqueries) {
+  // Scalar fallback, morsel-parallel: EstimateSubquery is re-entrant by
+  // contract, and ParallelMap writes index-addressed slots, so the result
+  // vector is identical at any thread count.
+  return ParallelMap(subqueries.size(), [&](size_t i) {
+    return EstimateSubquery(subqueries[i]);
+  });
+}
 
 CardinalityProvider::CardinalityProvider(const CardinalityProvider* frozen_base,
                                          double scale_factor,

@@ -6,6 +6,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "query/query.h"
 
@@ -27,6 +28,14 @@ class CardinalityEstimatorInterface {
   /// (EstimatorQErrors) and frozen CardinalityProviders call this
   /// concurrently from worker threads.
   virtual double EstimateSubquery(const Subquery& subquery) = 0;
+
+  /// Estimates for a whole batch of sub-queries, element i matching
+  /// EstimateSubquery(subqueries[i]) bit-for-bit. The default fans the
+  /// scalar path out over the thread pool (index-addressed slots); learned
+  /// estimators override it to featurize the batch into one matrix and run
+  /// a single batched model pass.
+  virtual std::vector<double> EstimateSubqueryBatch(
+      const std::vector<Subquery>& subqueries);
 
   /// Short identifier used in benchmark tables ("postgres", "mscn", ...).
   virtual std::string Name() const = 0;

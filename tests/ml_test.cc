@@ -1,5 +1,6 @@
 #include <cmath>
 #include <set>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "ml/gmm.h"
+#include "ml/inference_stats.h"
 #include "ml/kmeans.h"
 #include "ml/linear.h"
 #include "ml/metrics.h"
@@ -392,6 +394,133 @@ TEST(GbdtTest, TrainingIsDeterministicAcrossThreadCounts) {
   std::vector<double> four =
       FitAndPredictAtThreads<GradientBoostedTrees>(4, data);
   EXPECT_EQ(serial, four);
+}
+
+// -- Batched inference: PredictBatch must be bit-for-bit identical to the
+// per-row Predict loop, at every thread count, for every model family. --
+
+FeatureMatrix ToMatrix(const std::vector<std::vector<double>>& rows) {
+  FeatureMatrix matrix(rows.empty() ? 0 : rows[0].size());
+  matrix.Reserve(rows.size());
+  for (const auto& row : rows) matrix.AddRow(row);
+  return matrix;
+}
+
+TEST(BatchInferenceTest, TreeMatchesScalarBitForBit) {
+  MlDataset data = MakeNonlinearData(500, 31);
+  RegressionTree tree;
+  tree.Fit(data.rows, data.targets, TreeOptions());
+  FeatureMatrix matrix = ToMatrix(data.rows);
+  std::vector<double> batch(matrix.rows());
+  tree.PredictBatch(matrix, batch);
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    EXPECT_EQ(batch[i], tree.Predict(data.rows[i])) << "row " << i;
+  }
+}
+
+TEST(BatchInferenceTest, ForestMatchesScalarIncludingUncertainty) {
+  MlDataset data = MakeNonlinearData(400, 32);
+  RandomForest forest;
+  forest.Fit(data.rows, data.targets);
+  FeatureMatrix matrix = ToMatrix(data.rows);
+  std::vector<double> batch(matrix.rows());
+  forest.PredictBatch(matrix, batch);
+  std::vector<double> means(matrix.rows()), stddevs(matrix.rows());
+  forest.PredictBatchWithUncertainty(matrix, means, stddevs);
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    EXPECT_EQ(batch[i], forest.Predict(data.rows[i])) << "row " << i;
+    double mean = 0.0, stddev = 0.0;
+    forest.PredictWithUncertainty(data.rows[i], &mean, &stddev);
+    EXPECT_EQ(means[i], mean) << "row " << i;
+    EXPECT_EQ(stddevs[i], stddev) << "row " << i;
+  }
+}
+
+TEST(BatchInferenceTest, GbdtMatchesScalarBitForBit) {
+  MlDataset data = MakeNonlinearData(500, 33);
+  GradientBoostedTrees gbdt;
+  gbdt.Fit(data.rows, data.targets);
+  FeatureMatrix matrix = ToMatrix(data.rows);
+  std::vector<double> batch(matrix.rows());
+  gbdt.PredictBatch(matrix, batch);
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    EXPECT_EQ(batch[i], gbdt.Predict(data.rows[i])) << "row " << i;
+  }
+}
+
+TEST(BatchInferenceTest, MlpMatchesScalarBitForBit) {
+  MlDataset data = MakeNonlinearData(400, 34);
+  MlpOptions options;
+  options.hidden_layers = {24, 12};
+  options.epochs = 20;
+  Mlp mlp(options);
+  mlp.Fit(data.rows, data.targets);
+  FeatureMatrix matrix = ToMatrix(data.rows);
+  std::vector<double> batch(matrix.rows());
+  mlp.PredictBatch(matrix, batch);
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    EXPECT_EQ(batch[i], mlp.Predict(data.rows[i])) << "row " << i;
+  }
+}
+
+TEST(BatchInferenceTest, RidgeMatchesScalarBitForBit) {
+  MlDataset data = MakeLinearData(300, 35, 0.05);
+  RidgeRegression model(1e-6);
+  ASSERT_TRUE(model.Fit(data.rows, data.targets).ok());
+  FeatureMatrix matrix = ToMatrix(data.rows);
+  std::vector<double> batch(matrix.rows());
+  model.PredictBatch(matrix, batch);
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    EXPECT_EQ(batch[i], model.Predict(data.rows[i])) << "row " << i;
+  }
+}
+
+// PredictBatch parallelizes over morsels; the outputs must not depend on
+// the thread count (disjoint output slices, no cross-morsel reductions).
+TEST(BatchInferenceTest, BatchIsThreadCountInvariant) {
+  MlDataset data = MakeNonlinearData(1200, 36);
+  RandomForest forest;
+  forest.Fit(data.rows, data.targets);
+  GradientBoostedTrees gbdt;
+  gbdt.Fit(data.rows, data.targets);
+  MlpOptions options;
+  options.hidden_layers = {16};
+  options.epochs = 10;
+  Mlp mlp(options);
+  mlp.Fit(data.rows, data.targets);
+  FeatureMatrix matrix = ToMatrix(data.rows);
+
+  auto predict_all = [&](int threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    std::vector<double> out(3 * matrix.rows());
+    std::span<double> all(out);
+    forest.PredictBatch(matrix, all.subspan(0, matrix.rows()));
+    gbdt.PredictBatch(matrix, all.subspan(matrix.rows(), matrix.rows()));
+    mlp.PredictBatch(matrix, all.subspan(2 * matrix.rows(), matrix.rows()));
+    return out;
+  };
+  std::vector<double> serial = predict_all(1);
+  std::vector<double> two = predict_all(2);
+  std::vector<double> eight = predict_all(8);
+  ThreadPool::SetGlobalThreads(ThreadPool::ParseThreadCount(nullptr));
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+TEST(BatchInferenceTest, StatsCountRowsAndBatches) {
+  MlDataset data = MakeNonlinearData(300, 37);
+  GradientBoostedTrees gbdt;
+  gbdt.Fit(data.rows, data.targets);
+  FeatureMatrix matrix = ToMatrix(data.rows);
+  std::vector<double> out(matrix.rows());
+  InferenceStatsSnapshot before = gbdt.Stats();
+  gbdt.PredictBatch(matrix, out);
+  gbdt.PredictBatch(matrix, out);
+  InferenceStatsSnapshot delta = gbdt.Stats() - before;
+  EXPECT_EQ(delta.rows, 2 * matrix.rows());
+  EXPECT_EQ(delta.batches, 2u);
+  EXPECT_GE(delta.seconds, 0.0);
+  EXPECT_GE(delta.RowsPerSec(), 0.0);
 }
 
 TEST(MetricsTest, R2PerfectAndMeanBaseline) {

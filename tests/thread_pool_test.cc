@@ -17,6 +17,8 @@
 #include "cardinality/spn_model.h"
 #include "cardinality/training_data.h"
 #include "common/rng.h"
+#include "e2e/bao.h"
+#include "e2e/hyperqo.h"
 #include "e2e/lero.h"
 #include "engine/explain.h"
 #include "ml/chow_liu.h"
@@ -391,6 +393,52 @@ TEST_F(ThreadPoolTest, LeroCandidateRankingIsThreadCountInvariant) {
     }
     return std::make_pair(signatures, costs);
   });
+}
+
+// ---------------------------------------------------------------------------
+// PR 3 sites: batched model inference through the e2e candidate scorers.
+// PredictBatch is morsel-parallel, so plan choice (and the number of rows
+// scored) must be bit-for-bit identical at LQO_THREADS = 1, 2 and 8.
+// ---------------------------------------------------------------------------
+
+TEST_F(ThreadPoolTest, BatchedCandidateScoringIsThreadCountInvariant) {
+  SiteFixture f;
+  // Exploration off: every ChoosePlan must take the batched scoring path,
+  // so any thread-count dependence in PredictBatch shows up as a different
+  // plan signature (not as bandit noise).
+  BaoOptions bao_options;
+  bao_options.initial_epsilon = 0.0;
+  BaoOptimizer bao(f.lab->Context(), bao_options);
+  HyperQoOptimizer hyperqo(f.lab->Context());
+  HarnessOptions hopts;
+  hopts.training_passes = 1;
+  TrainLearnedOptimizer(&bao, f.workload, *f.lab->executor, hopts);
+  TrainLearnedOptimizer(&hyperqo, f.workload, *f.lab->executor, hopts);
+  ASSERT_TRUE(bao.trained());
+  ExpectThreadCountInvariant([&] {
+    std::vector<std::string> signatures;
+    uint64_t rows_before = bao.InferenceStats().rows +
+                           hyperqo.InferenceStats().rows;
+    for (const Query& q : f.workload.queries) {
+      signatures.push_back(bao.ChoosePlan(q).Signature());
+      signatures.push_back(hyperqo.ChoosePlan(q).Signature());
+    }
+    uint64_t rows_scored = bao.InferenceStats().rows +
+                           hyperqo.InferenceStats().rows - rows_before;
+    return std::make_pair(signatures, rows_scored);
+  });
+}
+
+TEST_F(ThreadPoolTest, EstimateSubqueryBatchIsThreadCountInvariant) {
+  SiteFixture f;
+  // Batch estimation over every query's full-table subquery, through the
+  // default ParallelMap path of the base estimator.
+  std::vector<Subquery> subqueries;
+  for (const Query& q : f.workload.queries) {
+    subqueries.push_back(Subquery{&q, q.AllTables()});
+  }
+  ExpectThreadCountInvariant(
+      [&] { return f.lab->estimator->EstimateSubqueryBatch(subqueries); });
 }
 
 TEST_F(ThreadPoolTest, FrozenProviderServesConcurrentReadsDeterministically) {
