@@ -1,22 +1,48 @@
 #!/usr/bin/env bash
-# Race-hunting gate for the parallel execution substrate: builds the suite
-# under ThreadSanitizer and runs every test with a 4-thread global pool, so
-# any unsynchronized access introduced by a new parallel site fails CI even
-# on single-core runners.
+# CI gate, three stages ordered cheapest-first so hazards fail fast:
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-tsan)
+#   1. lqo-lint       — static determinism/concurrency/hygiene analysis over
+#                       src/, tests/, bench/ and examples/ (tools/lqo-lint).
+#                       Rejects
+#                       banned nondeterminism sources, undocumented mutexes,
+#                       raw threading outside the pool, etc. before any
+#                       build of the full suite.
+#   2. TSan suite     — builds under ThreadSanitizer and runs every test
+#                       with a 4-thread global pool, so unsynchronized
+#                       accesses introduced by a new parallel site fail even
+#                       on single-core runners.
+#   3. UBSan suite    — rebuilds under UndefinedBehaviorSanitizer with
+#                       -fno-sanitize-recover=all (any UB aborts) and runs
+#                       ctest again.
+#
+# Both sanitizer builds compile with LQO_WERROR=ON, so the hardened warning
+# set (-Wshadow -Wnon-virtual-dtor -Wimplicit-fallthrough -Wcast-qual) is
+# enforced as errors.
+#
+# Usage: scripts/check.sh [tsan-build-dir] [ubsan-build-dir]
+#        (defaults: build-tsan build-ubsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
+UBSAN_DIR="${2:-build-ubsan}"
+JOBS="$(nproc)"
 
-cmake -B "$BUILD_DIR" -S . -DLQO_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j"$(nproc)"
+# --- Stage 1: static analysis (fail-fast, before the expensive builds) -----
+cmake -B "$BUILD_DIR" -S . -DLQO_SANITIZE=thread -DLQO_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$JOBS" --target lqo-lint
+# lqo-lint prints file:line diagnostics plus a per-rule violation summary
+# and exits nonzero on any unwaived finding.
+"$BUILD_DIR"/tools/lqo-lint/lqo-lint --root . src tests bench examples
+echo "check.sh: stage 1 (lqo-lint) passed"
+
+# --- Stage 2: ThreadSanitizer suite ----------------------------------------
+cmake --build "$BUILD_DIR" -j"$JOBS"
 
 export LQO_THREADS=4
 # second_deadlock_stack aids diagnosing lock-order reports from the pool.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
 # The scaling bench sweeps every parallel site at 1/2/4/N threads under
 # TSan and exits nonzero if any site diverges from its serial result.
@@ -30,5 +56,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
   --gtest_filter='*BatchedCandidateScoring*:*EstimateSubqueryBatch*'
 "$BUILD_DIR"/bench/bench_micro_components \
   --benchmark_filter='Inference' --benchmark_min_time=0.05
+echo "check.sh: stage 2 (TSan suite) passed with LQO_THREADS=4"
 
-echo "check.sh: TSan suite passed with LQO_THREADS=4"
+# --- Stage 3: UndefinedBehaviorSanitizer suite -----------------------------
+cmake -B "$UBSAN_DIR" -S . -DLQO_SANITIZE=undefined -DLQO_WERROR=ON
+cmake --build "$UBSAN_DIR" -j"$JOBS"
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  ctest --test-dir "$UBSAN_DIR" --output-on-failure -j"$JOBS"
+echo "check.sh: stage 3 (UBSan suite) passed"
+
+echo "check.sh: all stages passed (lint, TSan, UBSan)"

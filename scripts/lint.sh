@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build and run the lqo-lint determinism/concurrency gate by itself.
+#
+# Usage: scripts/lint.sh [build-dir] [dirs...]
+#   build-dir  cmake build tree to (re)use for the linter binary
+#              (default: build)
+#   dirs       directories to scan relative to the repo root
+#              (default: src tests bench examples)
+#
+# This is the fast local loop for the gate scripts/check.sh runs first;
+# see DESIGN.md "Static analysis & correctness gates" and
+# `lqo-lint --list-rules` / `lqo-lint --explain <id>` for the rules.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+DIRS=("$@")
+if [ "${#DIRS[@]}" -eq 0 ]; then
+  DIRS=(src tests bench examples)
+fi
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" --target lqo-lint -j
+
+exec "$BUILD_DIR"/tools/lqo-lint/lqo-lint --root . "${DIRS[@]}"

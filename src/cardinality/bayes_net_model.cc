@@ -53,7 +53,7 @@ BayesNetTableModel::BayesNetTableModel(const Table* table, int max_bins)
     int64_t parent_bins = parent_[i] < 0
                               ? 1
                               : domains[static_cast<size_t>(parent_[i])];
-    std::vector<std::vector<double>> table(
+    std::vector<std::vector<double>> cpt(
         static_cast<size_t>(parent_bins),
         std::vector<double>(static_cast<size_t>(bins), 1.0));
     const std::vector<int64_t>& child = binned[i];
@@ -62,14 +62,14 @@ BayesNetTableModel::BayesNetTableModel(const Table* table, int max_bins)
                       ? 0
                       : static_cast<size_t>(
                             binned[static_cast<size_t>(parent_[i])][r]);
-      table[pb][static_cast<size_t>(child[r])] += 1.0;
+      cpt[pb][static_cast<size_t>(child[r])] += 1.0;
     }
-    for (auto& row : table) {
+    for (auto& row : cpt) {
       double total = 0.0;
       for (double c : row) total += c;
       for (double& c : row) c /= total;
     }
-    return table;
+    return cpt;
   });
 }
 

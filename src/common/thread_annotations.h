@@ -1,0 +1,37 @@
+#ifndef LQO_COMMON_THREAD_ANNOTATIONS_H_
+#define LQO_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis macros, no-ops under GCC (the baked-in CI
+// toolchain). Every `// guards:` comment that lqo-lint enforces has a
+// machine-checkable twin here: annotate the guarded field with
+// LQO_GUARDED_BY(mutex) and the locking protocol becomes verifiable with
+//   clang++ -Wthread-safety
+// the day clang joins CI. See DESIGN.md "Static analysis & correctness
+// gates".
+#if defined(__clang__)
+#define LQO_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LQO_THREAD_ANNOTATION_(x)
+#endif
+
+// Declares that a field may only be read or written while holding `x`.
+#define LQO_GUARDED_BY(x) LQO_THREAD_ANNOTATION_(guarded_by(x))
+// As above for the pointee of a pointer field.
+#define LQO_PT_GUARDED_BY(x) LQO_THREAD_ANNOTATION_(pt_guarded_by(x))
+// Function precondition: caller must hold the capability (exclusively).
+#define LQO_REQUIRES(...) \
+  LQO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+// Function precondition: caller must hold the capability at least shared.
+#define LQO_REQUIRES_SHARED(...) \
+  LQO_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+// Function precondition: caller must NOT hold the capability (the function
+// acquires it itself; calling with it held would deadlock).
+#define LQO_EXCLUDES(...) LQO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+// Function acquires/releases the capability (lock/unlock wrappers).
+#define LQO_ACQUIRE(...) LQO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define LQO_RELEASE(...) LQO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+// Escape hatch for functions the analysis cannot see through.
+#define LQO_NO_THREAD_SAFETY_ANALYSIS \
+  LQO_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // LQO_COMMON_THREAD_ANNOTATIONS_H_

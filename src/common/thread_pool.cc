@@ -115,7 +115,7 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   size_t num_chunks =
       std::min(n, static_cast<size_t>(pool->num_threads()) * 4);
   struct State {
-    std::mutex mutex;
+    std::mutex mutex;  // guards: remaining (chunk-completion handshake)
     std::condition_variable done;
     size_t remaining;
     std::vector<std::exception_ptr> errors;

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace lqo {
 
 /// Fixed-size worker pool behind every parallel loop in the library.
@@ -39,7 +41,7 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not block on other tasks in this pool
   /// (ParallelFor handles that by running inline when nested).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) LQO_EXCLUDES(mutex_);
 
   /// The process-wide pool used by ParallelFor/ParallelMap when no explicit
   /// pool is given. Sized from LQO_THREADS, else hardware concurrency.
@@ -62,10 +64,10 @@ class ThreadPool {
 
   int num_threads_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::deque<std::function<void()>> queue_ LQO_GUARDED_BY(mutex_);
+  std::mutex mutex_;  // guards: queue_, stop_
   std::condition_variable ready_;
-  bool stop_ = false;
+  bool stop_ LQO_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(0), ..., fn(n-1), partitioned over the pool, and blocks until all

@@ -1,8 +1,10 @@
 #include "ml/chow_liu.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -28,8 +30,14 @@ double MutualInformation(const std::vector<int64_t>& x,
     py[static_cast<size_t>(y[i])] += 1.0;
     pxy[x[i] * y_domain + y[i]] += 1.0;
   }
+  // The MI sum is a float reduction, so fold the joint counts in sorted key
+  // order rather than unspecified hash-bucket order (lqo-lint:
+  // unordered-iter) — the result must not depend on the standard library's
+  // bucket layout.
+  std::vector<std::pair<int64_t, double>> joint(pxy.begin(), pxy.end());
+  std::sort(joint.begin(), joint.end());
   double mi = 0.0;
-  for (const auto& [key, count] : pxy) {
+  for (const auto& [key, count] : joint) {
     int64_t xv = key / y_domain;
     int64_t yv = key % y_domain;
     double p = count / n;

@@ -77,9 +77,11 @@ class InferenceCounters {
                  std::memory_order_relaxed);
   }
 
+  // Relaxed throughout: independent monotonic counters bumped from worker
+  // threads, read via Stats() snapshots; no ordering with model state.
   std::atomic<uint64_t> rows_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> nanos_{0};
+  std::atomic<uint64_t> batches_{0};  // relaxed: monotonic stat only
+  std::atomic<uint64_t> nanos_{0};    // relaxed: monotonic stat only
 };
 
 /// RAII timer feeding an InferenceCounters from a PredictBatch scope.

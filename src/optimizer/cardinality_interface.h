@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "query/query.h"
 
 namespace lqo {
@@ -131,12 +132,17 @@ class CardinalityProvider {
   struct IdentityHash {
     size_t operator()(uint64_t h) const { return static_cast<size_t>(h); }
   };
-  std::unordered_map<uint64_t, double, IdentityHash> cache_;
-  mutable std::shared_mutex mutex_;  // guards cache_ only while frozen
+  std::unordered_map<uint64_t, double, IdentityHash> cache_
+      LQO_GUARDED_BY(mutex_);
+  // guards: cache_ — shared-lock reads, exclusive-lock inserts; engaged only
+  // while frozen (the mutable single-threaded phase touches cache_ bare).
+  mutable std::shared_mutex mutex_;
+  // Release-store in Freeze(), acquire-load in Cardinality(): publishes the
+  // single-threaded-phase cache/override contents to concurrent readers.
   std::atomic<bool> frozen_{false};
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> concurrent_hits_{0};
+  std::atomic<uint64_t> hits_{0};             // relaxed: monotonic stat only
+  std::atomic<uint64_t> misses_{0};           // relaxed: monotonic stat only
+  std::atomic<uint64_t> concurrent_hits_{0};  // relaxed: monotonic stat only
 };
 
 }  // namespace lqo

@@ -1,0 +1,352 @@
+// Tests for the lqo-lint rule engine (tools/lqo-lint): every rule is
+// exercised with one violating and one conforming fixture, plus waiver
+// parsing, allowlist handling, and the comment/string-aware lexer. Fixtures
+// live in string literals, which is itself a regression test: the repo-wide
+// lint gate scans this file, so the engine must not see into literals.
+#include "lqo-lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace lqo::lint {
+namespace {
+
+int Count(const std::vector<Finding>& findings, std::string_view rule_id,
+          bool waived = false) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(), [&](const Finding& f) {
+        return f.rule_id == rule_id && f.waived == waived;
+      }));
+}
+
+TEST(LintCatalog, RulesAreWellFormed) {
+  ASSERT_FALSE(Rules().empty());
+  for (const Rule& rule : Rules()) {
+    EXPECT_FALSE(rule.id.empty());
+    EXPECT_TRUE(rule.family == "determinism" || rule.family == "concurrency" ||
+                rule.family == "hygiene")
+        << rule.id;
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+    EXPECT_FALSE(rule.explain.empty()) << rule.id;
+    // Waiver syntax embeds the rule id so --explain is self-describing.
+    EXPECT_NE(rule.waiver.find(std::string(rule.id) + "-ok("),
+              std::string_view::npos)
+        << rule.id;
+    EXPECT_EQ(FindRule(rule.id), &rule);
+  }
+  EXPECT_EQ(FindRule("no-such-rule"), nullptr);
+}
+
+TEST(LintScrub, BlanksCommentsAndLiterals) {
+  ScrubResult s = Scrub("int a; // rand()\nconst char* b = \"rand()\";\n");
+  EXPECT_EQ(s.code.find("rand"), std::string::npos);
+  ASSERT_GT(s.line_comments.size(), 1u);
+  EXPECT_NE(s.line_comments[1].find("rand()"), std::string::npos);
+}
+
+TEST(LintScrub, RawStringsAreOpaque) {
+  ScrubResult s = Scrub("auto fixture = R\"(std::thread t; rand();)\";\n");
+  EXPECT_EQ(s.code.find("thread"), std::string::npos);
+  EXPECT_EQ(s.code.find("rand"), std::string::npos);
+}
+
+TEST(LintScrub, DigitSeparatorIsNotACharLiteral) {
+  ScrubResult s = Scrub("int n = 1'000'000; srand(n);\n");
+  EXPECT_NE(s.code.find("srand"), std::string::npos);
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(LintRules, RandViolatingAndConforming) {
+  EXPECT_EQ(Count(LintText("a.cc", "int x = rand();\n"), "rand"), 1);
+  EXPECT_EQ(Count(LintText("a.cc", "void f() { srand(7); }\n"), "rand"), 1);
+  // `rand` as a plain identifier (no call) and rng.Rand() are fine.
+  EXPECT_EQ(Count(LintText("a.cc", "int rand = 3; int y = rng.Rand();\n"),
+                  "rand"),
+            0);
+}
+
+TEST(LintRules, RandomDeviceViolatingAndConforming) {
+  EXPECT_EQ(Count(LintText("a.cc", "std::random_device rd;\n"),
+                  "random-device"),
+            1);
+  EXPECT_EQ(Count(LintText("a.cc", "lqo::Rng rng(42);\n"), "random-device"),
+            0);
+}
+
+TEST(LintRules, WallClockViolatingAndConforming) {
+  EXPECT_EQ(Count(LintText("a.cc", "long t = time(nullptr);\n"), "wall-clock"),
+            1);
+  EXPECT_EQ(
+      Count(LintText("a.cc", "auto n = std::chrono::system_clock::now();\n"),
+            "wall-clock"),
+      1);
+  // steady_clock durations and identifiers containing `time` are fine.
+  EXPECT_EQ(
+      Count(LintText("a.cc",
+                     "auto t0 = std::chrono::steady_clock::now();\n"
+                     "double exec_time(int x);\n"),
+            "wall-clock"),
+      0);
+}
+
+TEST(LintRules, ExecPolicyViolatingAndConforming) {
+  EXPECT_EQ(Count(LintText("a.cc",
+                           "std::sort(std::execution::par, v.begin(), "
+                           "v.end());\n"),
+                  "exec-policy"),
+            1);
+  EXPECT_EQ(Count(LintText("a.cc", "ParallelFor(n, fn);\n"), "exec-policy"),
+            0);
+}
+
+TEST(LintRules, UnorderedIterViolatingAndConforming) {
+  std::string violating = R"cpp(
+    void f() {
+      std::unordered_map<int, double> counts;
+      for (const auto& [k, v] : counts) Use(k, v);
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("a.cc", violating), "unordered-iter"), 1);
+
+  std::string conforming = R"cpp(
+    void f() {
+      std::map<int, double> counts;
+      std::unordered_map<int, double> lookup;
+      for (const auto& [k, v] : counts) Use(k, v);
+      Use(lookup.at(3), 0);
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("a.cc", conforming), "unordered-iter"), 0);
+}
+
+TEST(LintRules, UnorderedIterSeesAliasesAndSets) {
+  std::string via_alias = R"cpp(
+    using Index = std::unordered_set<uint64_t>;
+    void f() {
+      Index seen;
+      for (uint64_t h : seen) Use(h);
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("a.cc", via_alias), "unordered-iter"), 1);
+}
+
+TEST(LintRules, UnorderedIterSeesPairedHeaderMembers) {
+  FileInput input;
+  input.path = "m.cc";
+  input.paired_header = R"cpp(
+    class Memo {
+      std::unordered_map<uint64_t, double> cache_;
+      void Dump();
+    };
+  )cpp";
+  input.content = R"cpp(
+    void Memo::Dump() {
+      for (const auto& [k, v] : cache_) Print(k, v);
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintFile(input), "unordered-iter"), 1);
+  input.paired_header.clear();  // without the header the member is unknown
+  EXPECT_EQ(Count(LintFile(input), "unordered-iter"), 0);
+}
+
+// --- concurrency -----------------------------------------------------------
+
+TEST(LintRules, RawThreadViolatingAndConforming) {
+  std::string spawn = "void f() { std::thread t([] {}); t.join(); }\n";
+  EXPECT_EQ(Count(LintText("src/e2e/bao.cc", spawn), "raw-thread"), 1);
+  std::string detach = "void f(Worker* w) { w->handle().detach(); }\n";
+  EXPECT_EQ(Count(LintText("a.cc", detach), "raw-thread"), 1);
+  std::string tls = "thread_local int scratch = 0;\n";
+  EXPECT_EQ(Count(LintText("a.cc", tls), "raw-thread"), 1);
+  // std::thread::id and std::this_thread never spawn; the pool API is the
+  // sanctioned route.
+  std::string conforming =
+      "void f() {\n"
+      "  std::thread::id me = std::this_thread::get_id();\n"
+      "  ParallelFor(8, [&](size_t i) { Use(i, me); });\n"
+      "}\n";
+  EXPECT_EQ(Count(LintText("a.cc", conforming), "raw-thread"), 0);
+}
+
+TEST(LintRules, RawThreadAllowlistsTheThreadPool) {
+  std::string spawn = "std::thread worker([] { Loop(); });\n";
+  EXPECT_EQ(Count(LintText("src/common/thread_pool.cc", spawn), "raw-thread"),
+            0);
+  EXPECT_EQ(Count(LintText("src/common/thread_pool.h", spawn), "raw-thread"),
+            0);
+  EXPECT_EQ(Count(LintText("src/engine/executor.cc", spawn), "raw-thread"), 1);
+}
+
+TEST(LintRules, MutexGuardsViolatingAndConforming) {
+  std::string bare = R"cpp(
+    class Pool {
+      std::mutex mutex_;
+    };
+  )cpp";
+  EXPECT_EQ(Count(LintText("a.h", bare), "mutex-guards"), 1);
+
+  std::string commented = R"cpp(
+    class Pool {
+      std::mutex mutex_;  // guards: queue_, stop_
+      // guards: cache_ — reads shared, inserts exclusive (spans two
+      // comment lines right above the declaration).
+      mutable std::shared_mutex cache_mutex_;
+    };
+  )cpp";
+  EXPECT_EQ(Count(LintText("a.h", commented), "mutex-guards"), 0);
+
+  // Lock instantiations mentioning std::mutex as a template argument are
+  // not declarations.
+  std::string lock = "void f() { std::lock_guard<std::mutex> lock(m_); }\n";
+  EXPECT_EQ(Count(LintText("a.cc", lock), "mutex-guards"), 0);
+}
+
+TEST(LintRules, AtomicCommentViolatingAndConforming) {
+  std::string bare = R"cpp(
+    class Counters {
+      std::atomic<uint64_t> hits_{0};
+    };
+  )cpp";
+  EXPECT_EQ(Count(LintText("a.h", bare), "atomic-comment"), 1);
+
+  std::string commented = R"cpp(
+    class Counters {
+      std::atomic<uint64_t> hits_{0};  // relaxed: monotonic stat only
+      // Release-store in Freeze(), acquire-load in readers: publishes the
+      // single-threaded-phase contents (comment block above also counts).
+      std::atomic<bool> frozen_{false};
+    };
+  )cpp";
+  EXPECT_EQ(Count(LintText("a.h", commented), "atomic-comment"), 0);
+
+  // std::atomic as a nested template argument is a use, not a declaration.
+  std::string nested = "std::vector<std::atomic<int>> slots(n);\n";
+  EXPECT_EQ(Count(LintText("a.cc", nested), "atomic-comment"), 0);
+}
+
+TEST(LintRules, HeaderMutableStateViolatingAndConforming) {
+  std::string violating =
+      "#ifndef G_H_\n#define G_H_\n"
+      "namespace lqo {\n"
+      "inline int g_calls = 0;\n"
+      "}\n#endif\n";
+  EXPECT_EQ(Count(LintText("g.h", violating), "header-mutable-state"), 1);
+
+  std::string conforming =
+      "#ifndef G_H_\n#define G_H_\n"
+      "namespace lqo {\n"
+      "inline constexpr int kLimit = 64;\n"
+      "class Counter { static int count_; };\n"
+      "inline int Twice(int x) { static const int kTwo = 2; return kTwo * x; }\n"
+      "}\n#endif\n";
+  EXPECT_EQ(Count(LintText("g.h", conforming), "header-mutable-state"), 0);
+
+  // The rule is header-only: function-local statics in a .cc are the
+  // sanctioned lazy-init pattern (cf. ThreadPool::Global()).
+  EXPECT_EQ(Count(LintText("g.cc", "static int g_calls = 0;\n"),
+                  "header-mutable-state"),
+            0);
+}
+
+// --- hygiene ---------------------------------------------------------------
+
+TEST(LintRules, HeaderGuardViolatingAndConforming) {
+  EXPECT_EQ(Count(LintText("a.h", "int F();\n"), "header-guard"), 1);
+  // Mismatched #ifndef/#define is as broken as no guard.
+  EXPECT_EQ(Count(LintText("a.h", "#ifndef A_H_\n#define B_H_\n#endif\n"),
+                  "header-guard"),
+            1);
+  EXPECT_EQ(Count(LintText("a.h",
+                           "// banner comment\n"
+                           "#ifndef A_H_\n#define A_H_\nint F();\n#endif\n"),
+                  "header-guard"),
+            0);
+  EXPECT_EQ(Count(LintText("a.h", "#pragma once\nint F();\n"), "header-guard"),
+            0);
+  // .cc files need no guard.
+  EXPECT_EQ(Count(LintText("a.cc", "int F() { return 1; }\n"), "header-guard"),
+            0);
+}
+
+TEST(LintRules, UsingNamespaceHeaderViolatingAndConforming) {
+  std::string with_using =
+      "#pragma once\nusing namespace std;\nint F();\n";
+  EXPECT_EQ(Count(LintText("a.h", with_using), "using-namespace-header"), 1);
+  std::string qualified = "#pragma once\nusing lqo::ThreadPool;\nint F();\n";
+  EXPECT_EQ(Count(LintText("a.h", qualified), "using-namespace-header"), 0);
+  // The rule is header-only by design.
+  EXPECT_EQ(Count(LintText("a.cc", "using namespace std;\n"),
+                  "using-namespace-header"),
+            0);
+}
+
+// --- waivers ---------------------------------------------------------------
+
+TEST(LintWaivers, SameLineAndPrecedingLineWaive) {
+  std::string same_line = R"cpp(
+    void f() {
+      std::unordered_map<int, long> counts;
+      long total = 0;
+      for (const auto& [k, v] : counts) total += v;  // lint: unordered-iter-ok(integer sum is order-free)
+      Use(total);
+    }
+  )cpp";
+  std::vector<Finding> findings = LintText("a.cc", same_line);
+  EXPECT_EQ(Count(findings, "unordered-iter", /*waived=*/true), 1);
+  EXPECT_EQ(Count(findings, "unordered-iter", /*waived=*/false), 0);
+
+  std::string prev_line = R"cpp(
+    void f() {
+      std::unordered_map<int, long> counts;
+      long total = 0;
+      // lint: unordered-iter-ok(integer sum is order-free)
+      for (const auto& [k, v] : counts) total += v;
+      Use(total);
+    }
+  )cpp";
+  findings = LintText("a.cc", prev_line);
+  EXPECT_EQ(Count(findings, "unordered-iter", /*waived=*/true), 1);
+  EXPECT_EQ(Count(findings, "unordered-iter", /*waived=*/false), 0);
+}
+
+TEST(LintWaivers, ReasonIsMandatoryAndRuleIdMustMatch) {
+  std::string no_reason =
+      "int x = rand();  // lint: rand-ok()\n";
+  EXPECT_EQ(Count(LintText("a.cc", no_reason), "rand", /*waived=*/false), 1);
+  std::string wrong_rule =
+      "int x = rand();  // lint: wall-clock-ok(not the right rule)\n";
+  EXPECT_EQ(Count(LintText("a.cc", wrong_rule), "rand", /*waived=*/false), 1);
+  std::string ok = "int x = rand();  // lint: rand-ok(fixture noise source)\n";
+  std::vector<Finding> findings = LintText("a.cc", ok);
+  EXPECT_EQ(Count(findings, "rand", /*waived=*/true), 1);
+  EXPECT_EQ(Count(findings, "rand", /*waived=*/false), 0);
+}
+
+// --- aggregation -----------------------------------------------------------
+
+TEST(LintTally, SplitsErrorsAndWaived) {
+  std::string source =
+      "int a = rand();\n"
+      "int b = rand();  // lint: rand-ok(fixture)\n"
+      "std::random_device rd;\n";
+  auto tally = Tally(LintText("a.cc", source));
+  EXPECT_EQ(tally["rand"].errors, 1);
+  EXPECT_EQ(tally["rand"].waived, 1);
+  EXPECT_EQ(tally["random-device"].errors, 1);
+  EXPECT_EQ(tally["random-device"].waived, 0);
+}
+
+TEST(LintFindings, CarryFileLineAndSortOrder) {
+  std::string source = "int a = 1;\nint b = rand();\n";
+  std::vector<Finding> findings = LintText("dir/f.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "dir/f.cc");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+}  // namespace
+}  // namespace lqo::lint

@@ -1,0 +1,855 @@
+#include "lqo-lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace lqo::lint {
+namespace {
+
+// The rule catalog lives in rules.cc; this file holds the lexer and the
+// check implementations.
+
+// ---------------------------------------------------------------------------
+// Lexer: blank out comments and string/char literal contents
+// ---------------------------------------------------------------------------
+
+bool IdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool HexChar(char c) { return std::isxdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+ScrubResult Scrub(std::string_view src) {
+  ScrubResult out;
+  out.code.reserve(src.size());
+  out.line_comments.assign(2, "");
+  size_t line = 1;
+  auto comment_char = [&](char c) {
+    if (out.line_comments.size() <= line) out.line_comments.resize(line + 1);
+    out.line_comments[line].push_back(c);
+  };
+  auto emit_blank = [&](char c) { out.code.push_back(c == '\n' ? '\n' : ' '); };
+
+  size_t i = 0;
+  size_t n = src.size();
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      out.code.push_back('\n');
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      emit_blank(c);
+      emit_blank(src[i + 1]);
+      i += 2;
+      while (i < n && src[i] != '\n') {
+        comment_char(src[i]);
+        emit_blank(src[i]);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      emit_blank(c);
+      emit_blank(src[i + 1]);
+      i += 2;
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          out.code.push_back('\n');
+          ++line;
+        } else {
+          comment_char(src[i]);
+          out.code.push_back(' ');
+        }
+        ++i;
+      }
+      if (i + 1 < n) {
+        emit_blank('*');
+        emit_blank('/');
+        i += 2;
+      }
+      continue;
+    }
+    if (c == '"') {
+      // Raw string? Look back over the prefix (R, u8R, uR, UR, LR) ensuring
+      // it is not the tail of a longer identifier.
+      bool raw = false;
+      if (!out.code.empty() && out.code.back() == 'R') {
+        size_t k = out.code.size() - 1;  // position of 'R'
+        size_t pre = k;
+        while (pre > 0 && IdentChar(out.code[pre - 1])) --pre;
+        std::string_view prefix(out.code.data() + pre, k - pre);
+        raw = prefix.empty() || prefix == "u8" || prefix == "u" ||
+              prefix == "U" || prefix == "L";
+      }
+      out.code.push_back('"');
+      ++i;
+      if (raw) {
+        std::string delim;
+        while (i < n && src[i] != '(' && src[i] != '\n') {
+          delim.push_back(src[i]);
+          out.code.push_back(' ');
+          ++i;
+        }
+        if (i < n && src[i] == '(') {
+          out.code.push_back(' ');
+          ++i;
+        }
+        std::string close = ")" + delim + "\"";
+        while (i < n) {
+          if (src.compare(i, close.size(), close) == 0) {
+            for (size_t k = 0; k + 1 < close.size(); ++k) out.code.push_back(' ');
+            out.code.push_back('"');
+            i += close.size();
+            break;
+          }
+          if (src[i] == '\n') {
+            out.code.push_back('\n');
+            ++line;
+          } else {
+            out.code.push_back(' ');
+          }
+          ++i;
+        }
+      } else {
+        while (i < n && src[i] != '"' && src[i] != '\n') {
+          if (src[i] == '\\' && i + 1 < n) {
+            out.code.push_back(' ');
+            out.code.push_back(' ');
+            i += 2;
+            continue;
+          }
+          out.code.push_back(' ');
+          ++i;
+        }
+        if (i < n && src[i] == '"') {
+          out.code.push_back('"');
+          ++i;
+        }
+      }
+      continue;
+    }
+    if (c == '\'') {
+      // C++14 digit separator (1'000'000): keep as code, not a char literal.
+      bool separator = !out.code.empty() && HexChar(out.code.back()) &&
+                       i + 1 < n && HexChar(src[i + 1]);
+      out.code.push_back('\'');
+      ++i;
+      if (separator) continue;
+      while (i < n && src[i] != '\'' && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n) {
+          out.code.push_back(' ');
+          out.code.push_back(' ');
+          i += 2;
+          continue;
+        }
+        out.code.push_back(' ');
+        ++i;
+      }
+      if (i < n && src[i] == '\'') {
+        out.code.push_back('\'');
+        ++i;
+      }
+      continue;
+    }
+    out.code.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Token helpers over scrubbed code
+// ---------------------------------------------------------------------------
+
+// 1-based line number of a byte offset, via precomputed line starts.
+struct LineIndex {
+  std::vector<size_t> starts;  // starts[k] = offset of line k+1
+  explicit LineIndex(std::string_view code) {
+    starts.push_back(0);
+    for (size_t i = 0; i < code.size(); ++i) {
+      if (code[i] == '\n') starts.push_back(i + 1);
+    }
+  }
+  int LineAt(size_t pos) const {
+    auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+    return static_cast<int>(it - starts.begin());
+  }
+};
+
+size_t SkipSpace(std::string_view s, size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+// All positions where `token` occurs with non-identifier characters on both
+// sides.
+std::vector<size_t> FindTokens(std::string_view code, std::string_view token) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string_view::npos) {
+    bool left_ok = pos == 0 || !IdentChar(code[pos - 1]);
+    size_t end = pos + token.size();
+    bool right_ok = end >= code.size() || !IdentChar(code[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+bool PrecededByStd(std::string_view code, size_t pos) {
+  // Accept `std::tok` and `::std::tok`, with optional internal spaces.
+  size_t i = pos;
+  auto skip_back_space = [&](size_t j) {
+    while (j > 0 && (code[j - 1] == ' ' || code[j - 1] == '\t')) --j;
+    return j;
+  };
+  i = skip_back_space(i);
+  if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':') return false;
+  i = skip_back_space(i - 2);
+  return i >= 3 && code.compare(i - 3, 3, "std") == 0 &&
+         (i == 3 || !IdentChar(code[i - 4]));
+}
+
+std::string_view StatementAt(std::string_view code, size_t start,
+                             size_t max_len = 600) {
+  size_t end = start;
+  while (end < code.size() && end - start < max_len && code[end] != ';' &&
+         code[end] != '{') {
+    ++end;
+  }
+  return code.substr(start, end - start);
+}
+
+bool HasToken(std::string_view text, std::string_view token) {
+  return !FindTokens(text, token).empty();
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+// True when `comment` contains `lint: <id>-ok(<nonempty reason>)`.
+bool CommentWaives(std::string_view comment, std::string_view id) {
+  size_t pos = 0;
+  while ((pos = comment.find("lint:", pos)) != std::string_view::npos) {
+    size_t i = SkipSpace(comment, pos + 5);
+    std::string want = std::string(id) + "-ok(";
+    if (comment.compare(i, want.size(), want) == 0) {
+      size_t close = comment.find(')', i + want.size());
+      if (close != std::string_view::npos) {
+        std::string_view reason =
+            comment.substr(i + want.size(), close - i - want.size());
+        if (reason.find_first_not_of(" \t") != std::string_view::npos) {
+          return true;
+        }
+      }
+    }
+    pos += 5;
+  }
+  return false;
+}
+
+class Linter {
+ public:
+  Linter(const FileInput& input, const ScrubResult& scrub)
+      : input_(input),
+        code_(scrub.code),
+        comments_(scrub.line_comments),
+        lines_(code_) {}
+
+  std::vector<Finding> Run() {
+    const bool is_header = IsHeader(input_.path);
+    CheckBannedTokens();
+    CheckUnorderedIter();
+    CheckRawThread();
+    CheckMutexGuards();
+    CheckAtomicComment();
+    if (is_header) {
+      CheckHeaderGuard();
+      CheckUsingNamespace();
+      CheckHeaderMutableState();
+    }
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.line, a.rule_id) < std::tie(b.line, b.rule_id);
+              });
+    return std::move(findings_);
+  }
+
+  static bool IsHeader(std::string_view path) {
+    return path.ends_with(".h") || path.ends_with(".hpp");
+  }
+
+ private:
+  std::string_view CommentOn(int line) const {
+    if (line < 1 || static_cast<size_t>(line) >= comments_.size()) return {};
+    return comments_[static_cast<size_t>(line)];
+  }
+
+  // True when the scrubbed code of `line` is blank, i.e. the line holds only
+  // comments/whitespace.
+  bool LineCodeBlank(int line) const {
+    if (line < 1 || static_cast<size_t>(line) > lines_.starts.size()) {
+      return false;
+    }
+    size_t begin = lines_.starts[static_cast<size_t>(line) - 1];
+    size_t end = static_cast<size_t>(line) < lines_.starts.size()
+                     ? lines_.starts[static_cast<size_t>(line)]
+                     : code_.size();
+    for (size_t i = begin; i < end; ++i) {
+      if (!std::isspace(static_cast<unsigned char>(code_[i]))) return false;
+    }
+    return true;
+  }
+
+  // Searches the comment on `line` and the contiguous comment-only block
+  // above it for `needle` (used by mutex-guards: a multi-line // guards:
+  // comment naturally sits right above the declaration).
+  bool CommentBlockContains(int line, std::string_view needle) const {
+    if (CommentOn(line).find(needle) != std::string_view::npos) return true;
+    for (int l = line - 1; l >= 1; --l) {
+      if (CommentOn(l).empty() || !LineCodeBlank(l)) break;
+      if (CommentOn(l).find(needle) != std::string_view::npos) return true;
+    }
+    return false;
+  }
+
+  void Report(std::string_view rule_id, size_t pos, std::string message) {
+    int line = lines_.LineAt(pos);
+    ReportLine(rule_id, line, std::move(message));
+  }
+
+  void ReportLine(std::string_view rule_id, int line, std::string message) {
+    Finding f;
+    f.rule_id = rule_id;
+    f.file = input_.path;
+    f.line = line;
+    f.message = std::move(message);
+    f.waived = CommentWaives(CommentOn(line), rule_id) ||
+               CommentWaives(CommentOn(line - 1), rule_id);
+    findings_.push_back(std::move(f));
+  }
+
+  bool NextIs(size_t pos, char want) const {
+    size_t i = SkipSpace(code_, pos);
+    return i < code_.size() && code_[i] == want;
+  }
+
+  // --- determinism: rand / random-device / wall-clock / exec-policy --------
+
+  void CheckBannedTokens() {
+    for (std::string_view tok : {"rand", "srand", "rand_r"}) {
+      for (size_t pos : FindTokens(code_, tok)) {
+        if (!NextIs(pos + tok.size(), '(')) continue;
+        Report("rand", pos,
+               std::string(tok) + "() draws from hidden global state; use "
+               "lqo::Rng with an explicit seed");
+      }
+    }
+    for (size_t pos : FindTokens(code_, "random_device")) {
+      Report("random-device", pos,
+             "std::random_device is nondeterministic entropy; seed lqo::Rng "
+             "explicitly");
+    }
+    for (std::string_view tok : {"time", "gettimeofday", "localtime", "gmtime"}) {
+      for (size_t pos : FindTokens(code_, tok)) {
+        if (!NextIs(pos + tok.size(), '(')) continue;
+        Report("wall-clock", pos,
+               std::string(tok) + "() reads the wall clock; results must not "
+               "depend on when the process runs");
+      }
+    }
+    for (size_t pos : FindTokens(code_, "system_clock")) {
+      Report("wall-clock", pos,
+             "std::chrono::system_clock is wall-clock time; use steady_clock "
+             "for durations, constants for seeds");
+    }
+    for (size_t pos : FindTokens(code_, "execution")) {
+      if (!PrecededByStd(code_, pos)) continue;
+      Report("exec-policy", pos - 5,
+             "std::execution policies bypass the deterministic ThreadPool; "
+             "use ParallelFor/ParallelMap");
+    }
+  }
+
+  // --- determinism: unordered-iter -----------------------------------------
+
+  // Names declared (in this file or the paired header) with an unordered
+  // container type, plus alias names introduced by `using X = unordered_*`.
+  static void CollectUnorderedNames(std::string_view code,
+                                    std::vector<std::string>& names,
+                                    std::vector<std::string>& aliases) {
+    for (std::string_view tok :
+         {"unordered_map", "unordered_set", "unordered_multimap",
+          "unordered_multiset"}) {
+      for (size_t pos : FindTokens(code, tok)) {
+        size_t i = SkipSpace(code, pos + tok.size());
+        if (i >= code.size() || code[i] != '<') continue;
+        // Balance template angles; `>>` closes two.
+        int depth = 0;
+        while (i < code.size()) {
+          if (code[i] == '<') ++depth;
+          if (code[i] == '>') {
+            --depth;
+            if (depth == 0) break;
+          }
+          if (code[i] == ';') break;  // malformed / multi-line; give up
+          ++i;
+        }
+        if (i >= code.size() || code[i] != '>') continue;
+        ++i;
+        // `using Alias = std::unordered_map<...>;` — record the alias.
+        size_t stmt_begin = code.find_last_of(";{}", pos);
+        stmt_begin = stmt_begin == std::string_view::npos ? 0 : stmt_begin + 1;
+        std::string_view head = code.substr(stmt_begin, pos - stmt_begin);
+        if (HasToken(head, "using") && head.find('=') != std::string_view::npos) {
+          size_t u = FindTokens(head, "using").front() + 5;
+          u = SkipSpace(head, u);
+          size_t e = u;
+          while (e < head.size() && IdentChar(head[e])) ++e;
+          if (e > u) aliases.push_back(std::string(head.substr(u, e - u)));
+          continue;
+        }
+        // Skip qualifiers between the type and the declared name.
+        while (true) {
+          i = SkipSpace(code, i);
+          if (i < code.size() && (code[i] == '&' || code[i] == '*')) {
+            ++i;
+            continue;
+          }
+          if (code.compare(i, 5, "const") == 0 &&
+              (i + 5 >= code.size() || !IdentChar(code[i + 5]))) {
+            i += 5;
+            continue;
+          }
+          break;
+        }
+        size_t e = i;
+        while (e < code.size() && IdentChar(code[e])) ++e;
+        if (e == i) continue;  // no declared name (temporary, return type...)
+        size_t after = SkipSpace(code, e);
+        // `name(` is a function returning the container, not a variable.
+        if (after < code.size() && code[after] == '(') continue;
+        names.push_back(std::string(code.substr(i, e - i)));
+      }
+    }
+    // Declarations through aliases: `CacheMap cache_;`
+    for (const std::string& alias : aliases) {
+      for (size_t pos : FindTokens(code, alias)) {
+        size_t i = SkipSpace(code, pos + alias.size());
+        size_t e = i;
+        while (e < code.size() && IdentChar(code[e])) ++e;
+        if (e == i) continue;
+        size_t after = SkipSpace(code, e);
+        if (after < code.size() && code[after] == '(') continue;
+        names.push_back(std::string(code.substr(i, e - i)));
+      }
+    }
+  }
+
+  void CheckUnorderedIter() {
+    std::vector<std::string> names;
+    std::vector<std::string> aliases;
+    CollectUnorderedNames(code_, names, aliases);
+    if (!input_.paired_header.empty()) {
+      ScrubResult header = Scrub(input_.paired_header);
+      CollectUnorderedNames(header.code, names, aliases);
+    }
+    if (names.empty()) return;
+
+    for (size_t pos : FindTokens(code_, "for")) {
+      size_t open = SkipSpace(code_, pos + 3);
+      if (open >= code_.size() || code_[open] != '(') continue;
+      // Find the top-level `:` (range-for) and the closing paren.
+      int depth = 0;
+      size_t colon = std::string_view::npos;
+      size_t close = std::string_view::npos;
+      for (size_t i = open; i < code_.size() && i < open + 600; ++i) {
+        char ch = code_[i];
+        if (ch == '(' || ch == '[' || ch == '{') ++depth;
+        if (ch == ')' || ch == ']' || ch == '}') {
+          --depth;
+          if (depth == 0) {
+            close = i;
+            break;
+          }
+        }
+        if (ch == ';' && depth == 1) break;  // classic for-loop
+        if (ch == ':' && depth == 1 && colon == std::string_view::npos) {
+          bool scope = (i > 0 && code_[i - 1] == ':') ||
+                       (i + 1 < code_.size() && code_[i + 1] == ':');
+          if (!scope) colon = i;
+        }
+      }
+      if (colon == std::string_view::npos || close == std::string_view::npos)
+        continue;
+      std::string_view range = code_.substr(colon + 1, close - colon - 1);
+      for (const std::string& name : names) {
+        if (!HasToken(range, name)) continue;
+        Report("unordered-iter", pos,
+               "range-for over unordered container '" + name +
+                   "': iteration order is unspecified; iterate sorted keys or "
+                   "waive with // lint: unordered-iter-ok(<reason>)");
+        break;
+      }
+    }
+  }
+
+  // --- concurrency: raw-thread ---------------------------------------------
+
+  void CheckRawThread() {
+    if (input_.path.find("common/thread_pool.") != std::string::npos) return;
+    for (size_t pos : FindTokens(code_, "thread")) {
+      if (!PrecededByStd(code_, pos)) continue;
+      // std::thread::id / std::thread::hardware_concurrency are harmless.
+      size_t after = SkipSpace(code_, pos + 6);
+      if (after + 1 < code_.size() && code_[after] == ':' &&
+          code_[after + 1] == ':') {
+        continue;
+      }
+      Report("raw-thread", pos,
+             "raw std::thread bypasses the deterministic ThreadPool; use "
+             "ParallelFor/ParallelMap or ThreadPool::Submit");
+    }
+    for (std::string_view tok : {"jthread", "async"}) {
+      for (size_t pos : FindTokens(code_, tok)) {
+        if (!PrecededByStd(code_, pos)) continue;
+        Report("raw-thread", pos,
+               "std::" + std::string(tok) +
+                   " spawns threads outside the deterministic ThreadPool");
+      }
+    }
+    for (size_t pos : FindTokens(code_, "detach")) {
+      if (!NextIs(pos + 6, '(')) continue;
+      bool member = pos > 0 && (code_[pos - 1] == '.' ||
+                                (pos > 1 && code_[pos - 2] == '-' &&
+                                 code_[pos - 1] == '>'));
+      if (!member) continue;
+      Report("raw-thread", pos,
+             "detach()ed threads outlive their owner and race teardown");
+    }
+    for (size_t pos : FindTokens(code_, "thread_local")) {
+      Report("raw-thread", pos,
+             "mutable thread_local state makes results depend on which "
+             "worker ran the task");
+    }
+  }
+
+  // --- concurrency: mutex-guards -------------------------------------------
+
+  void CheckMutexGuards() {
+    for (std::string_view tok : {"mutex", "shared_mutex"}) {
+      for (size_t pos : FindTokens(code_, tok)) {
+        if (!PrecededByStd(code_, pos)) continue;
+        // Skip template arguments: lock_guard<std::mutex>, ...
+        size_t before = pos;
+        while (before > 0 && (code_[before - 1] == ' ' || code_[before - 1] == ':'))
+          --before;
+        if (before >= 4 && code_.compare(before - 3, 3, "std") == 0) before -= 3;
+        while (before > 0 && std::isspace(static_cast<unsigned char>(
+                                  code_[before - 1])))
+          --before;
+        if (before > 0 && (code_[before - 1] == '<' || code_[before - 1] == ','))
+          continue;
+        // Declaration shape: identifier then `;` (or `{...};`).
+        size_t i = SkipSpace(code_, pos + tok.size());
+        size_t e = i;
+        while (e < code_.size() && IdentChar(code_[e])) ++e;
+        if (e == i) continue;  // `std::mutex&`, return types, ...
+        size_t after = SkipSpace(code_, e);
+        if (after >= code_.size() ||
+            (code_[after] != ';' && code_[after] != '{')) {
+          continue;
+        }
+        int line = lines_.LineAt(pos);
+        if (CommentBlockContains(line, "guards:")) continue;
+        ReportLine("mutex-guards", line,
+                   "std::" + std::string(tok) + " '" +
+                       std::string(code_.substr(i, e - i)) +
+                       "' needs a // guards: comment naming the fields it "
+                       "protects");
+      }
+    }
+  }
+
+  // --- concurrency: atomic-comment -----------------------------------------
+
+  // Every direct `std::atomic<...> name;` declaration must carry a comment
+  // (same line or the contiguous comment block above) stating its protocol.
+  // Atomics nested in template arguments (vector<atomic<int>>) are the
+  // container's concern, not a declaration here.
+  void CheckAtomicComment() {
+    for (size_t pos : FindTokens(code_, "atomic")) {
+      if (!PrecededByStd(code_, pos)) continue;
+      size_t i = SkipSpace(code_, pos + 6);
+      if (i >= code_.size() || code_[i] != '<') continue;
+      int depth = 0;
+      while (i < code_.size()) {
+        if (code_[i] == '<') ++depth;
+        if (code_[i] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (code_[i] == ';') break;
+        ++i;
+      }
+      if (i >= code_.size() || code_[i] != '>') continue;
+      i = SkipSpace(code_, i + 1);
+      size_t e = i;
+      while (e < code_.size() && IdentChar(code_[e])) ++e;
+      if (e == i) continue;  // template argument / return type / cast
+      size_t after = SkipSpace(code_, e);
+      if (after >= code_.size() ||
+          (code_[after] != ';' && code_[after] != '{' && code_[after] != '=')) {
+        continue;
+      }
+      int line = lines_.LineAt(pos);
+      if (!CommentOn(line).empty()) continue;
+      bool documented = false;
+      for (int l = line - 1; l >= 1; --l) {
+        if (CommentOn(l).empty() || !LineCodeBlank(l)) break;
+        documented = true;
+        break;
+      }
+      if (documented) continue;
+      ReportLine("atomic-comment", line,
+                 "std::atomic '" + std::string(code_.substr(i, e - i)) +
+                     "' needs a comment stating its protocol (what it "
+                     "counts/signals and why the ordering is sound)");
+    }
+  }
+
+  // --- hygiene + concurrency rules for headers -----------------------------
+
+  void CheckHeaderGuard() {
+    // First two non-blank scrubbed lines must form a guard (comment-only
+    // license banners scrub to blank lines and are skipped).
+    std::vector<std::pair<int, std::string>> head;
+    std::istringstream in{std::string(code_)};
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw) && head.size() < 2) {
+      ++line_no;
+      size_t b = raw.find_first_not_of(" \t\r");
+      if (b == std::string::npos) continue;
+      size_t e = raw.find_last_not_of(" \t\r");
+      head.emplace_back(line_no, raw.substr(b, e - b + 1));
+    }
+    auto fail = [&](int line) {
+      ReportLine("header-guard", line,
+                 "header must start with #pragma once or a matching "
+                 "#ifndef/#define include guard");
+    };
+    if (head.empty()) return;  // empty header: nothing to protect
+    if (head[0].second.rfind("#pragma once", 0) == 0) return;
+    if (head[0].second.rfind("#ifndef ", 0) != 0 || head.size() < 2 ||
+        head[1].second.rfind("#define ", 0) != 0) {
+      fail(head[0].first);
+      return;
+    }
+    std::string ifndef_macro = head[0].second.substr(8);
+    std::string define_macro = head[1].second.substr(8);
+    auto trim = [](std::string& s) {
+      size_t b = s.find_first_not_of(" \t");
+      size_t e = s.find_last_not_of(" \t");
+      s = b == std::string::npos ? "" : s.substr(b, e - b + 1);
+    };
+    trim(ifndef_macro);
+    trim(define_macro);
+    if (ifndef_macro.empty() || ifndef_macro != define_macro) {
+      fail(head[1].first);
+    }
+  }
+
+  void CheckUsingNamespace() {
+    for (size_t pos : FindTokens(code_, "using")) {
+      size_t i = SkipSpace(code_, pos + 5);
+      if (code_.compare(i, 9, "namespace") == 0 &&
+          (i + 9 >= code_.size() || !IdentChar(code_[i + 9]))) {
+        Report("using-namespace-header", pos,
+               "using namespace in a header leaks into every includer; "
+               "qualify names instead");
+      }
+    }
+  }
+
+  // Tracks brace scopes well enough to know whether we are at pure
+  // namespace scope (every enclosing `{` belongs to a namespace or extern
+  // block). Preprocessor lines are skipped wholesale.
+  void CheckHeaderMutableState() {
+    std::vector<char> scopes;  // 'n' = namespace-ish, 'o' = anything else
+    size_t stmt_start = 0;
+    size_t i = 0;
+    bool at_line_start = true;
+    while (i < code_.size()) {
+      char c = code_[i];
+      if (at_line_start) {
+        size_t j = SkipSpace(code_, i);
+        if (j < code_.size() && code_[j] == '#') {
+          // Skip the directive (with continuations) for scope purposes.
+          while (j < code_.size() && code_[j] != '\n') {
+            if (code_[j] == '\\' && j + 1 < code_.size() &&
+                code_[j + 1] == '\n') {
+              ++j;
+            }
+            ++j;
+          }
+          i = j;
+          stmt_start = i;
+          continue;
+        }
+      }
+      at_line_start = c == '\n';
+      if (c == '{') {
+        std::string_view head = code_.substr(stmt_start, i - stmt_start);
+        bool ns = HasToken(head, "namespace") || HasToken(head, "extern");
+        scopes.push_back(ns ? 'n' : 'o');
+        stmt_start = i + 1;
+      } else if (c == '}') {
+        if (!scopes.empty()) scopes.pop_back();
+        stmt_start = i + 1;
+      } else if (c == ';') {
+        stmt_start = i + 1;
+      } else if (IdentChar(c) && (i == 0 || !IdentChar(code_[i - 1]))) {
+        bool ns_pure =
+            std::all_of(scopes.begin(), scopes.end(),
+                        [](char s) { return s == 'n'; });
+        size_t lead = SkipSpace(code_, stmt_start);
+        if (ns_pure && lead == i) {
+          for (std::string_view kw : {"static", "inline", "constinit"}) {
+            if (code_.compare(i, kw.size(), kw) == 0 &&
+                (i + kw.size() >= code_.size() ||
+                 !IdentChar(code_[i + kw.size()]))) {
+              std::string_view stmt = StatementAt(code_, i);
+              if (IsMutableVariableDecl(stmt)) {
+                Report("header-mutable-state", i,
+                       "mutable namespace-scope state in a header; move it "
+                       "behind a function in a .cc or make it constexpr");
+              }
+              break;
+            }
+          }
+        }
+      }
+      ++i;
+    }
+  }
+
+  // `stmt` starts at static/inline/constinit. A mutable variable if it is
+  // not const/constexpr and the statement reads as a variable declaration
+  // (an `=` before any `(`, or neither present).
+  static bool IsMutableVariableDecl(std::string_view stmt) {
+    if (HasToken(stmt, "const") || HasToken(stmt, "constexpr") ||
+        HasToken(stmt, "consteval") || HasToken(stmt, "namespace") ||
+        HasToken(stmt, "using") || HasToken(stmt, "typedef")) {
+      return false;
+    }
+    size_t eq = stmt.find('=');
+    size_t paren = stmt.find('(');
+    size_t brace = stmt.find('{');
+    if (eq != std::string_view::npos &&
+        (paren == std::string_view::npos || eq < paren)) {
+      return true;
+    }
+    // `static std::atomic<int> x;` / `inline int x{0};`
+    if (paren == std::string_view::npos) {
+      if (brace != std::string_view::npos) return true;
+      // Plain `static T name;` — at least two identifier tokens after the
+      // keyword, no parens: a variable without initializer.
+      return stmt.find('<') != std::string_view::npos ||
+             std::count_if(stmt.begin(), stmt.end(), [](char ch) {
+               return ch == ' ';
+             }) >= 2;
+    }
+    return false;
+  }
+
+  const FileInput& input_;
+  // A view (not a reference to the std::string) so every code_.substr(...)
+  // below is itself a view — substr on a std::string would return a
+  // temporary whose lifetime ends at the statement.
+  std::string_view code_;
+  const std::vector<std::string>& comments_;
+  LineIndex lines_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<Finding> LintFile(const FileInput& input) {
+  ScrubResult scrub = Scrub(input.content);
+  Linter linter(input, scrub);
+  return linter.Run();
+}
+
+std::vector<Finding> LintText(std::string_view path, std::string_view content) {
+  FileInput input;
+  input.path = std::string(path);
+  input.content = std::string(content);
+  return LintFile(input);
+}
+
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& dir : dirs) {
+    fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp") {
+        files.push_back(fs::relative(entry.path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+
+  std::vector<Finding> all;
+  for (const std::string& rel : files) {
+    FileInput input;
+    input.path = rel;
+    input.content = slurp(fs::path(root) / rel);
+    if (rel.ends_with(".cc") || rel.ends_with(".cpp")) {
+      fs::path header = fs::path(root) / rel;
+      header.replace_extension(".h");
+      if (fs::exists(header)) input.paired_header = slurp(header);
+    }
+    std::vector<Finding> found = LintFile(input);
+    all.insert(all.end(), found.begin(), found.end());
+  }
+  return all;
+}
+
+std::map<std::string_view, RuleTally> Tally(const std::vector<Finding>& all) {
+  std::map<std::string_view, RuleTally> tally;
+  for (const Finding& f : all) {
+    RuleTally& t = tally[f.rule_id];
+    if (f.waived) {
+      ++t.waived;
+    } else {
+      ++t.errors;
+    }
+  }
+  return tally;
+}
+
+}  // namespace lqo::lint

@@ -1,0 +1,84 @@
+#ifndef LQO_TOOLS_LQO_LINT_LINT_H_
+#define LQO_TOOLS_LQO_LINT_LINT_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// lqo-lint: a from-scratch determinism & concurrency static-analysis pass
+// for this repository (no full C++ parse — a comment/string-aware lexer plus
+// token-level rules). The rule catalog is table-driven; every rule has an id,
+// a severity, a waiver syntax, and an --explain entry. See DESIGN.md
+// "Static analysis & correctness gates" for the policy.
+namespace lqo::lint {
+
+enum class Severity { kError, kWarning };
+
+// One entry of the table-driven rule catalog.
+struct Rule {
+  std::string_view id;       // stable id used in waivers and --explain
+  std::string_view family;   // "determinism" | "concurrency" | "hygiene"
+  Severity severity;
+  std::string_view summary;  // one-line description for the summary table
+  std::string_view waiver;   // the exact comment syntax that waives a finding
+  std::string_view explain;  // rationale shown by --explain <id>
+};
+
+// The full rule catalog, in reporting order.
+const std::vector<Rule>& Rules();
+
+// Catalog lookup; nullptr when no rule has that id.
+const Rule* FindRule(std::string_view id);
+
+struct Finding {
+  std::string_view rule_id;
+  std::string file;
+  int line = 0;  // 1-based
+  std::string message;
+  bool waived = false;  // an in-source waiver comment covers this finding
+};
+
+// A single file to lint. `paired_header` carries the contents of the
+// matching .h when linting a .cc so member containers declared in the header
+// are visible to the unordered-iter rule (empty when there is none).
+struct FileInput {
+  std::string path;  // used for diagnostics and path-based allowlists
+  std::string content;
+  std::string paired_header;
+};
+
+// Lexer output: `code` is the input with comment bodies and string/char
+// literal contents blanked out (newlines preserved, so offsets and line
+// numbers survive); `line_comments[i]` holds the concatenated comment text
+// seen on 1-based line i. Exposed for tests.
+struct ScrubResult {
+  std::string code;
+  std::vector<std::string> line_comments;  // index 0 unused
+};
+ScrubResult Scrub(std::string_view source);
+
+// Runs every rule over one file. Findings covered by a waiver comment are
+// returned with `waived = true` rather than dropped, so callers can report
+// waiver counts.
+std::vector<Finding> LintFile(const FileInput& input);
+
+// Convenience overload for tests and single-file use.
+std::vector<Finding> LintText(std::string_view path, std::string_view content);
+
+// Recursively lints every C++ source file (.h/.hpp/.cc/.cpp) under
+// `root/<dir>` for each dir, in sorted path order. Paths in findings are
+// relative to `root`.
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& dirs);
+
+// Per-rule {errors, waived} counts for the summary table.
+struct RuleTally {
+  int errors = 0;
+  int waived = 0;
+};
+std::map<std::string_view, RuleTally> Tally(const std::vector<Finding>& all);
+
+}  // namespace lqo::lint
+
+#endif  // LQO_TOOLS_LQO_LINT_LINT_H_

@@ -1,0 +1,103 @@
+// lqo-lint CLI: scans the repo's C++ sources for determinism, concurrency
+// and hygiene hazards (see lint.h for the rule catalog) and exits nonzero on
+// any unwaived finding. Registered as a ctest test and run first by
+// scripts/check.sh, so hazards fail CI before any dynamic test executes.
+//
+// Usage:
+//   lqo-lint [--root <dir>] [dirs...]    lint dirs
+//                                        (default: src tests bench examples)
+//   lqo-lint --explain <rule-id>         print a rule's rationale and waiver
+//   lqo-lint --list-rules                print the rule catalog
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lqo-lint/lint.h"
+
+namespace {
+
+const char* SeverityName(lqo::lint::Severity s) {
+  return s == lqo::lint::Severity::kError ? "error" : "warning";
+}
+
+int Explain(const std::string& id) {
+  const lqo::lint::Rule* rule = lqo::lint::FindRule(id);
+  if (rule == nullptr) {
+    std::cerr << "lqo-lint: unknown rule '" << id << "' (try --list-rules)\n";
+    return 2;
+  }
+  std::cout << rule->id << " [" << rule->family << ", "
+            << SeverityName(rule->severity) << "]\n"
+            << "  " << rule->summary << "\n"
+            << "  waiver: " << rule->waiver << "\n\n"
+            << rule->explain << "\n";
+  return 0;
+}
+
+int ListRules() {
+  for (const lqo::lint::Rule& rule : lqo::lint::Rules()) {
+    std::cout << rule.id << "\t" << rule.family << "\t"
+              << SeverityName(rule.severity) << "\t" << rule.summary << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--explain") == 0 && i + 1 < argc) {
+      return Explain(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      return ListRules();
+    }
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+      continue;
+    }
+    if (argv[i][0] == '-') {
+      std::cerr << "lqo-lint: unknown flag " << argv[i] << "\n";
+      return 2;
+    }
+    dirs.push_back(argv[i]);
+  }
+  if (dirs.empty()) dirs = {"src", "tests", "bench", "examples"};
+
+  std::vector<lqo::lint::Finding> findings = lqo::lint::LintTree(root, dirs);
+
+  int errors = 0;
+  int waived = 0;
+  for (const lqo::lint::Finding& f : findings) {
+    if (f.waived) {
+      ++waived;
+      continue;
+    }
+    ++errors;
+    const lqo::lint::Rule* rule = lqo::lint::FindRule(f.rule_id);
+    std::cout << f.file << ":" << f.line << ": "
+              << SeverityName(rule ? rule->severity
+                                   : lqo::lint::Severity::kError)
+              << ": [" << f.rule_id << "] " << f.message << "\n";
+  }
+
+  // Per-rule summary (check.sh surfaces this after the diagnostics).
+  std::cout << "lqo-lint: " << errors << " error(s), " << waived
+            << " waived finding(s)\n";
+  if (!findings.empty()) {
+    std::cout << "  rule                     errors  waived\n";
+    for (const auto& [rule_id, tally] : lqo::lint::Tally(findings)) {
+      std::printf("  %-24.*s %6d  %6d\n", static_cast<int>(rule_id.size()),
+                  rule_id.data(), tally.errors, tally.waived);
+    }
+  }
+  if (errors > 0) {
+    std::cout << "lqo-lint: run with --explain <rule-id> for rationale and "
+                 "waiver syntax\n";
+  }
+  return errors > 0 ? 1 : 0;
+}

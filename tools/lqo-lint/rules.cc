@@ -1,0 +1,123 @@
+// The rule catalog: one table entry per rule — id, family, severity, the
+// one-line summary printed with findings, the waiver spelling, and the
+// --explain paragraph. Adding a rule means adding an entry here and a
+// Check* function in lint.cc.
+#include "lqo-lint/lint.h"
+
+namespace lqo::lint {
+namespace {
+
+const std::vector<Rule>& Catalog() {
+  static const std::vector<Rule>* rules = new std::vector<Rule>{
+      {"rand", "determinism", Severity::kError,
+       "libc rand()/srand()/rand_r() is banned",
+       "// lint: rand-ok(<reason>)",
+       "The repo's core contract is bit-for-bit reproducibility across\n"
+       "LQO_THREADS and across runs. libc rand() draws from hidden global\n"
+       "state that is shared across threads and seeded out-of-band, so any\n"
+       "call site silently couples results to scheduling and link order.\n"
+       "Use lqo::Rng (src/common/rng.h), seeded explicitly at construction."},
+      {"random-device", "determinism", Severity::kError,
+       "std::random_device is banned (nondeterministic entropy)",
+       "// lint: random-device-ok(<reason>)",
+       "std::random_device reads hardware/OS entropy: two runs of the same\n"
+       "binary produce different streams, which breaks the thread-invariance\n"
+       "tests and makes benchmark numbers unreproducible. Seed lqo::Rng with\n"
+       "an explicit constant (or a value plumbed through configuration)."},
+      {"wall-clock", "determinism", Severity::kError,
+       "wall-clock reads (time(), system_clock, localtime, ...) are banned",
+       "// lint: wall-clock-ok(<reason>)",
+       "time(), gettimeofday(), localtime()/gmtime() and\n"
+       "std::chrono::system_clock observe the wall clock, so results depend\n"
+       "on when the process runs. Seeding or branching on them is exactly\n"
+       "the non-reproducibility Lehmann et al. catalog in learned-optimizer\n"
+       "evaluations. steady_clock is fine for duration measurement; for\n"
+       "seeds use explicit constants."},
+      {"exec-policy", "determinism", Severity::kError,
+       "std::execution parallel policies are banned outside the allowlist",
+       "// lint: exec-policy-ok(<reason>)",
+       "std::execution::par / par_unseq hand scheduling to the standard\n"
+       "library, outside the deterministic ThreadPool substrate: reductions\n"
+       "reassociate, worker counts ignore LQO_THREADS, and TSan sees a\n"
+       "foreign thread pool. All parallelism must go through ParallelFor /\n"
+       "ParallelMap (src/common/thread_pool.h), which are index-addressed\n"
+       "and bit-for-bit identical at any thread count."},
+      {"unordered-iter", "determinism", Severity::kError,
+       "range-for over std::unordered_{map,set} without a waiver",
+       "// lint: unordered-iter-ok(<reason>)",
+       "Hash-container iteration order is unspecified: it varies across\n"
+       "standard libraries, hash seeds, and insertion histories, so any\n"
+       "result that folds over it (float accumulation, first-wins picks,\n"
+       "output ordering) silently depends on bucket layout. This is the\n"
+       "static twin of the dynamic thread-invariance tests. Either iterate\n"
+       "in sorted key order, or — when the fold is provably order-free\n"
+       "(e.g. exact integer counting) — waive the site with\n"
+       "// lint: unordered-iter-ok(<reason>) on the for-line or the line\n"
+       "above. The pass sees declarations in the same file and in the\n"
+       "paired header of a .cc."},
+      {"raw-thread", "concurrency", Severity::kError,
+       "raw std::thread/std::async/detach()/thread_local outside the pool",
+       "// lint: raw-thread-ok(<reason>)",
+       "Every parallel site must run on the deterministic ThreadPool\n"
+       "(src/common/thread_pool.*): raw std::thread, std::jthread,\n"
+       "std::async, detach()ed threads and mutable thread_local state\n"
+       "bypass LQO_THREADS, the nesting protocol, and the index-addressed\n"
+       "result discipline that makes N-thread runs bit-identical to serial\n"
+       "runs. std::thread::id / std::this_thread are fine (no spawning)."},
+      {"mutex-guards", "concurrency", Severity::kError,
+       "std::mutex/std::shared_mutex member lacks a // guards: comment",
+       "// lint: mutex-guards-ok(<reason>)",
+       "Every mutex declaration must carry a // guards: comment (same line\n"
+       "or the line above) naming the fields it protects, e.g.\n"
+       "  std::mutex mutex_;  // guards: queue_, stop_\n"
+       "This keeps the locking protocol reviewable and gives the Clang\n"
+       "Thread Safety annotations (src/common/thread_annotations.h) a\n"
+       "human-readable mirror. cf. CardinalityProvider::mutex_ in\n"
+       "src/optimizer/cardinality_interface.h."},
+      {"atomic-comment", "concurrency", Severity::kError,
+       "std::atomic declaration lacks a comment stating its protocol",
+       "// lint: atomic-comment-ok(<reason>)",
+       "Atomics are lock-free shared state: without a stated protocol\n"
+       "(what the counter means, why relaxed ordering is sound, who\n"
+       "publishes / who observes) the next reader cannot tell a benign\n"
+       "statistics counter from a synchronization flag. Put a comment on\n"
+       "the declaration line or in the comment block directly above it,\n"
+       "e.g.\n"
+       "  std::atomic<uint64_t> hits_{0};  // relaxed: monotonic stat\n"
+       "cf. InferenceCounters (src/ml/inference_stats.h)."},
+      {"header-mutable-state", "concurrency", Severity::kError,
+       "mutable namespace-scope state declared in a header",
+       "// lint: header-mutable-state-ok(<reason>)",
+       "A non-const static/inline variable at namespace scope in a header\n"
+       "is shared mutable state with no owner and no lock: every includer\n"
+       "can race on it, and its value makes results depend on call history.\n"
+       "Move it behind a function in a .cc (cf. ThreadPool::Global()) or\n"
+       "make it constexpr."},
+      {"header-guard", "hygiene", Severity::kError,
+       "header missing #ifndef/#define guard or #pragma once",
+       "// lint: header-guard-ok(<reason>) (on line 1)",
+       "Headers must open with an include guard (#ifndef X / #define X,\n"
+       "matching macro) or #pragma once before any code. The repo\n"
+       "convention is LQO_<PATH>_H_ guards."},
+      {"using-namespace-header", "hygiene", Severity::kError,
+       "using namespace at header scope",
+       "// lint: using-namespace-header-ok(<reason>)",
+       "`using namespace` in a header leaks the namespace into every\n"
+       "translation unit that includes it, producing spooky overload\n"
+       "changes at a distance. Qualify names instead."},
+  };
+  return *rules;
+}
+
+}  // namespace
+
+const std::vector<Rule>& Rules() { return Catalog(); }
+
+const Rule* FindRule(std::string_view id) {
+  for (const Rule& r : Catalog()) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace lqo::lint
