@@ -54,19 +54,26 @@ void RunDataset(const std::string& dataset) {
 
   TablePrinter table({"Optimizer", "speedup", "GMRL", "wins", "losses",
                       "worst regr", "train cost", "infer rows",
-                      "infer rows/s"});
+                      "infer rows/s", "cache hits", "cache miss"});
   for (auto& optimizer : optimizers) {
+    // Per-optimizer delta of the lab-wide plan-feature cache: candidates
+    // re-featurized across retrain epochs (and signatures shared across
+    // optimizers) show up as hits instead of recomputation.
+    FeatureCacheStats cache_before = lab->feature_cache->Stats();
     double train_cost =
         TrainLearnedOptimizer(optimizer.get(), train, *lab->executor);
     E2eEvalResult result = EvaluateLearnedOptimizer(
         optimizer.get(), lab->Context(), test, *lab->executor);
+    FeatureCacheStats cache_after = lab->feature_cache->Stats();
     table.AddRow({result.name, FormatDouble(result.Speedup(), 4),
                   FormatDouble(Gmrl(result), 4), std::to_string(result.wins),
                   std::to_string(result.losses),
                   FormatDouble(result.worst_regression_ratio, 4),
                   FormatDouble(train_cost, 4),
                   std::to_string(result.inference.rows),
-                  FormatDouble(result.inference.RowsPerSec(), 0)});
+                  FormatDouble(result.inference.RowsPerSec(), 0),
+                  std::to_string(cache_after.hits - cache_before.hits),
+                  std::to_string(cache_after.misses - cache_before.misses)});
   }
   std::printf("%s\n", table.ToString("-- dataset: " + dataset +
                                      " (speedup>1 & GMRL<1 beat native) --")

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "benchlib/lab.h"
 #include "cardinality/data_driven.h"
@@ -207,6 +208,23 @@ struct InferenceFixture {
     check("mlp", [&](const std::vector<double>& row) {
       return mlp.Predict(row);
     });
+
+    // Compact quantized layouts, forced via ConfigureCompact(0) on copies,
+    // must reproduce the same bits as the scalar traversal of the SoA
+    // originals: thresholds are quantized at build time, so the layout
+    // never changes a comparison outcome.
+    RandomForest forest_compact = forest;
+    forest_compact.ConfigureCompact(0);
+    forest_compact.PredictBatch(matrix, batch);
+    check("compact-forest", [&](const std::vector<double>& row) {
+      return forest.Predict(row);
+    });
+    GradientBoostedTrees gbdt_compact = gbdt;
+    gbdt_compact.ConfigureCompact(0);
+    gbdt_compact.PredictBatch(matrix, batch);
+    check("compact-gbdt", [&](const std::vector<double>& row) {
+      return gbdt.Predict(row);
+    });
   }
 };
 
@@ -274,6 +292,105 @@ void BM_InferenceBatchMlp(benchmark::State& state) {
   RunInferenceBatch(state, Inference().mlp);
 }
 BENCHMARK(BM_InferenceBatchMlp);
+
+// Large-ensemble fixture, past the compact_min_total_nodes L2 gate, shared
+// by the *Large layout benchmarks below. Like the other fixtures it is
+// built lazily on first use, so filtered runs that never touch these
+// benchmarks (scripts/check.sh's --benchmark_filter='Inference' TSan pass
+// in particular) start fast and never pay the multi-second ensemble fits.
+struct LargeEnsembleFixture {
+  static constexpr size_t kRows = 4096;
+  static constexpr size_t kDim = 12;
+
+  std::vector<std::vector<double>> rows;
+  FeatureMatrix matrix{kDim};
+  RandomForest soa_forest;      // ConfigureCompact(SIZE_MAX): SoA arrays
+  RandomForest compact_forest;  // ConfigureCompact(0): quantized arenas
+  GradientBoostedTrees soa_gbdt;
+  GradientBoostedTrees compact_gbdt;
+
+  LargeEnsembleFixture() {
+    Rng rng(515);
+    std::vector<double> targets;
+    matrix.Reserve(kRows);
+    for (size_t r = 0; r < kRows; ++r) {
+      std::vector<double> row(kDim);
+      for (double& v : row) v = rng.UniformDouble(-2.0, 2.0);
+      double y = row[0] * 2.0 - row[3] * row[1] + std::sin(row[4]) +
+                 rng.Gaussian(0.0, 0.1);
+      targets.push_back(y);
+      matrix.AddRow(row);
+      rows.push_back(std::move(row));
+    }
+    ForestOptions forest_options;
+    forest_options.num_trees = 64;
+    soa_forest = RandomForest(forest_options);
+    soa_forest.Fit(rows, targets);
+    compact_forest = soa_forest;
+    soa_forest.ConfigureCompact(SIZE_MAX);
+    compact_forest.ConfigureCompact(0);
+
+    GbdtOptions gbdt_options;
+    gbdt_options.num_trees = 96;
+    gbdt_options.tree.max_depth = 8;  // past the cache-resident node gate
+    soa_gbdt = GradientBoostedTrees(gbdt_options);
+    soa_gbdt.Fit(rows, targets);
+    compact_gbdt = soa_gbdt;
+    soa_gbdt.ConfigureCompact(SIZE_MAX);
+    compact_gbdt.ConfigureCompact(0);
+
+    // Layout-identity gate: the two layouts of the same fitted model must
+    // produce the same bits on every row.
+    std::vector<double> a(kRows), b(kRows);
+    soa_forest.PredictBatch(matrix, a);
+    compact_forest.PredictBatch(matrix, b);
+    for (size_t r = 0; r < kRows; ++r) {
+      LQO_CHECK_EQ(a[r], b[r]) << "forest: compact layout diverges at row "
+                               << r;
+    }
+    soa_gbdt.PredictBatch(matrix, a);
+    compact_gbdt.PredictBatch(matrix, b);
+    for (size_t r = 0; r < kRows; ++r) {
+      LQO_CHECK_EQ(a[r], b[r]) << "gbdt: compact layout diverges at row "
+                               << r;
+    }
+  }
+};
+
+LargeEnsembleFixture& LargeEnsemble() {
+  static LargeEnsembleFixture* fixture = new LargeEnsembleFixture();
+  return *fixture;
+}
+
+template <typename Model>
+void RunLayoutBatch(benchmark::State& state, const Model& model) {
+  LargeEnsembleFixture& f = LargeEnsemble();
+  std::vector<double> out(LargeEnsembleFixture::kRows);
+  for (auto _ : state) {
+    model.PredictBatch(f.matrix, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(LargeEnsembleFixture::kRows));
+}
+
+void BM_SoaForestLarge(benchmark::State& state) {
+  RunLayoutBatch(state, LargeEnsemble().soa_forest);
+}
+BENCHMARK(BM_SoaForestLarge);
+void BM_CompactForestLarge(benchmark::State& state) {
+  RunLayoutBatch(state, LargeEnsemble().compact_forest);
+}
+BENCHMARK(BM_CompactForestLarge);
+
+void BM_SoaGbdtLarge(benchmark::State& state) {
+  RunLayoutBatch(state, LargeEnsemble().soa_gbdt);
+}
+BENCHMARK(BM_SoaGbdtLarge);
+void BM_CompactGbdtLarge(benchmark::State& state) {
+  RunLayoutBatch(state, LargeEnsemble().compact_gbdt);
+}
+BENCHMARK(BM_CompactGbdtLarge);
 
 void BM_PlanFeaturize(benchmark::State& state) {
   MicroFixture& f = Fixture();

@@ -5,6 +5,7 @@
 // contract), so a scaling regression can never hide a correctness one.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -14,6 +15,9 @@
 
 #include "benchlib/e2e_harness.h"
 #include "benchlib/lab.h"
+#include "costmodel/plan_featurizer.h"
+#include "e2e/framework.h"
+#include "ml/feature_cache.h"
 #include "cardinality/data_driven.h"
 #include "cardinality/evaluation.h"
 #include "cardinality/spn_model.h"
@@ -369,7 +373,163 @@ int main() {
     measure("mlp", mlp);
   }
 
+  // Site 10: plan-signature feature cache — a cold epoch of concurrent
+  // inserts then a warm epoch of concurrent hits. The fingerprint sums the
+  // served feature values, so a cache bug (wrong row for a key, torn
+  // write, stale serve) breaks determinism rather than just throughput.
+  std::vector<const Query*> cache_queries;
+  std::vector<PhysicalPlan> cache_plans;
+  for (const Query& q : workload.queries) {
+    for (JoinAlgorithm algorithm :
+         {JoinAlgorithm::kHashJoin, JoinAlgorithm::kMergeJoin,
+          JoinAlgorithm::kNestedLoopJoin}) {
+      cache_plans.push_back(MakeLeftDeepPlan(q, q.AllTables(), algorithm));
+      cache_queries.push_back(&q);
+    }
+  }
+  reports.push_back(RunSite("feature_cache", counts, [&] {
+    FeatureCache cache(PlanFeaturizer::kDim);
+    E2eContext context = lab->Context();
+    context.feature_cache = &cache;
+    double fingerprint = 0.0;
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      std::vector<double> sums =
+          ParallelMap(cache_plans.size(), [&](size_t i) {
+            std::vector<double> f = FeaturizePlanCachedVec(
+                context, *cache_queries[i], cache_plans[i],
+                /*annotated=*/false);
+            double s = 0.0;
+            for (double v : f) s += v;
+            return s;
+          });
+      for (double s : sums) fingerprint += s;
+    }
+    return fingerprint;
+  }));
+
+  // Cold-vs-warm featurization throughput at full thread count for
+  // BENCH_cache.json: the cold pass pays clone + baseline annotation +
+  // featurization per candidate, warm passes serve the same rows from the
+  // cache by key.
+  double cache_cold_rps = 0.0;
+  double cache_warm_rps = 0.0;
+  FeatureCacheStats cache_stats;
+  {
+    ThreadPool::SetGlobalThreads(hw);
+    static volatile double cache_sink = 0.0;
+    double cold_best = 1e100, warm_best = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      FeatureCache cache(PlanFeaturizer::kDim);
+      E2eContext context = lab->Context();
+      context.feature_cache = &cache;
+      auto pass = [&] {
+        std::vector<double> firsts =
+            ParallelMap(cache_plans.size(), [&](size_t i) {
+              return FeaturizePlanCachedVec(context, *cache_queries[i],
+                                            cache_plans[i],
+                                            /*annotated=*/false)[0];
+            });
+        cache_sink = cache_sink + firsts[0];
+      };
+      double cold = SecondsOf(pass);
+      if (cold < cold_best) cold_best = cold;
+      for (int p = 0; p < 5; ++p) {
+        double warm = SecondsOf(pass);
+        if (warm < warm_best) warm_best = warm;
+      }
+      cache_stats = cache.Stats();
+    }
+    cache_cold_rps = static_cast<double>(cache_plans.size()) / cold_best;
+    cache_warm_rps = static_cast<double>(cache_plans.size()) / warm_best;
+    std::fprintf(stderr,
+                 "  feature_cache cold %10.0f rows/s  warm %10.0f rows/s  "
+                 "(%.2fx; %llu hits / %llu misses)\n",
+                 cache_cold_rps, cache_warm_rps,
+                 cache_warm_rps / cache_cold_rps,
+                 static_cast<unsigned long long>(cache_stats.hits),
+                 static_cast<unsigned long long>(cache_stats.misses));
+  }
+
+  // Site 11: compact quantized forest layout vs the SoA arrays on an
+  // ensemble far past L2 residence. ConfigureCompact flips layouts on the
+  // same fitted model; the RunSite fingerprint must be identical at every
+  // thread count because thresholds are quantized at build time.
+  double soa_rps = 0.0;
+  double compact_rps = 0.0;
+  size_t compact_total_nodes = 0, compact_bytes = 0, compact_rows = 0;
+  {
+    std::vector<double> targets;
+    std::vector<std::vector<double>> rows = MakeMlRows(6000, 12, &targets);
+    ForestOptions fopts;
+    fopts.num_trees = 64;
+    RandomForest forest(fopts);
+    forest.Fit(rows, targets);
+    compact_total_nodes = forest.total_nodes();
+
+    FeatureMatrix matrix(12);
+    const size_t kPredictRows = 16384;
+    matrix.Reserve(kPredictRows);
+    for (size_t i = 0; i < kPredictRows; ++i) {
+      matrix.AddRow(rows[i % rows.size()]);
+    }
+    compact_rows = matrix.rows();
+
+    reports.push_back(RunSite("compact_forest", counts, [&] {
+      forest.ConfigureCompact(0);  // force the compact layout
+      std::vector<double> out(matrix.rows());
+      forest.PredictBatch(matrix, out);
+      double fingerprint = 0.0;
+      for (double v : out) fingerprint += v;
+      return fingerprint;
+    }));
+
+    ThreadPool::SetGlobalThreads(hw);
+    static volatile double forest_sink = 0.0;
+    std::vector<double> out(matrix.rows());
+    auto layout_rows_per_sec = [&] {
+      const int kPasses = 5;
+      double best = 1e100;
+      for (int rep = 0; rep < 5; ++rep) {
+        double secs = SecondsOf([&] {
+          for (int p = 0; p < kPasses; ++p) {
+            forest.PredictBatch(matrix, out);
+            forest_sink = forest_sink + out[0];
+          }
+        });
+        if (secs < best) best = secs;
+      }
+      return static_cast<double>(matrix.rows()) * kPasses / best;
+    };
+    forest.ConfigureCompact(SIZE_MAX);  // plain SoA arrays
+    soa_rps = layout_rows_per_sec();
+    forest.ConfigureCompact(0);  // compact quantized arenas
+    compact_rps = layout_rows_per_sec();
+    compact_bytes = forest.compact_bytes();
+    std::fprintf(stderr,
+                 "  compact_forest soa %11.0f rows/s  compact %11.0f rows/s  "
+                 "(%.2fx; %zu nodes, %zu compact bytes)\n",
+                 soa_rps, compact_rps, compact_rps / soa_rps,
+                 compact_total_nodes, compact_bytes);
+  }
+
   ThreadPool::SetGlobalThreads(hw);
+
+  std::ofstream cjson("BENCH_cache.json");
+  cjson << "{\n  \"feature_cache\": {\"rows\": " << cache_plans.size()
+        << ", \"cold_rows_per_sec\": " << cache_cold_rps
+        << ", \"warm_rows_per_sec\": " << cache_warm_rps
+        << ", \"warm_speedup\": " << cache_warm_rps / cache_cold_rps
+        << ", \"hits\": " << cache_stats.hits
+        << ", \"misses\": " << cache_stats.misses
+        << ", \"evictions\": " << cache_stats.evictions << "},\n"
+        << "  \"compact_forest\": {\"rows\": " << compact_rows
+        << ", \"total_nodes\": " << compact_total_nodes
+        << ", \"compact_bytes\": " << compact_bytes
+        << ", \"soa_rows_per_sec\": " << soa_rps
+        << ", \"compact_rows_per_sec\": " << compact_rps
+        << ", \"compact_speedup\": " << compact_rps / soa_rps << "}\n}\n";
+  cjson.close();
+  std::fprintf(stderr, "wrote BENCH_cache.json\n");
 
   std::ofstream ijson("BENCH_inference.json");
   ijson << "{\n  \"rows\": " << inference_rows << ",\n  \"models\": [\n";

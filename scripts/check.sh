@@ -19,8 +19,13 @@
 # set (-Wshadow -Wnon-virtual-dtor -Wimplicit-fallthrough -Wcast-qual) is
 # enforced as errors.
 #
-# Usage: scripts/check.sh [tsan-build-dir] [ubsan-build-dir]
-#        (defaults: build-tsan build-ubsan)
+# With LQO_CLANG_TSA=1 a fourth, opt-in stage rebuilds the tree with
+# clang++ and -Werror=thread-safety, statically checking the
+# LQO_GUARDED_BY/LQO_REQUIRES annotations. It errors out early if clang++
+# is not installed (the default image ships GCC only).
+#
+# Usage: scripts/check.sh [tsan-build-dir] [ubsan-build-dir] [tsa-build-dir]
+#        (defaults: build-tsan build-ubsan build-tsa)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -64,5 +69,25 @@ cmake --build "$UBSAN_DIR" -j"$JOBS"
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
   ctest --test-dir "$UBSAN_DIR" --output-on-failure -j"$JOBS"
 echo "check.sh: stage 3 (UBSan suite) passed"
+
+# --- Stage 4 (opt-in): Clang Thread Safety Analysis ------------------------
+# LQO_CLANG_TSA=1 compiles the tree with clang++ and -Wthread-safety as
+# errors, statically checking the LQO_GUARDED_BY/LQO_REQUIRES annotations
+# (src/common/thread_annotations.h). Opt-in because the default toolchain
+# image ships GCC only; the annotations are no-ops there.
+if [[ "${LQO_CLANG_TSA:-0}" == "1" ]]; then
+  TSA_DIR="${3:-build-tsa}"
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "check.sh: LQO_CLANG_TSA=1 but clang++ is not installed." >&2
+    echo "  Thread Safety Analysis needs Clang; install clang or unset" >&2
+    echo "  LQO_CLANG_TSA to run the GCC-only stages." >&2
+    exit 1
+  fi
+  # Compile-only gate: any -Wthread-safety finding fails the build.
+  cmake -B "$TSA_DIR" -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DLQO_THREAD_SAFETY=ON -DCMAKE_CXX_FLAGS=-Werror=thread-safety
+  cmake --build "$TSA_DIR" -j"$JOBS"
+  echo "check.sh: stage 4 (clang -Wthread-safety) passed"
+fi
 
 echo "check.sh: all stages passed (lint, TSan, UBSan)"

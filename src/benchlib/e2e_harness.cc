@@ -18,9 +18,11 @@ double TrainLearnedOptimizer(LearnedQueryOptimizer* optimizer,
       // Candidate generation and feedback stay sequential (the optimizer is
       // stateful); the candidate executions in between are independent pure
       // functions of the plan, so they fan out across the pool and are
-      // observed back in candidate order.
-      std::vector<PhysicalPlan> candidates =
-          optimizer->TrainingCandidates(query);
+      // observed back in candidate order. TrainingCandidateSet featurizes
+      // and scores the whole set in one batched pass (warming the shared
+      // feature cache the Observe calls then hit).
+      CandidateSet set = optimizer->TrainingCandidateSet(query);
+      std::vector<PhysicalPlan>& candidates = set.plans;
       std::vector<double> times =
           ParallelMap(candidates.size(), [&](size_t i) {
             auto result = executor.Execute(candidates[i]);

@@ -32,6 +32,7 @@ std::unique_ptr<Lab> MakeLabFromCatalog(Catalog catalog) {
       std::make_unique<Optimizer>(&lab->stats, lab->cost_model.get());
   lab->executor = std::make_unique<Executor>(&lab->catalog);
   lab->truth = std::make_unique<TrueCardinalityService>(&lab->catalog);
+  lab->feature_cache = std::make_unique<FeatureCache>(PlanFeaturizer::kDim);
   return lab;
 }
 

@@ -26,6 +26,11 @@ struct Lab {
   std::unique_ptr<Optimizer> optimizer;
   std::unique_ptr<Executor> executor;
   std::unique_ptr<TrueCardinalityService> truth;
+  /// Plan-signature feature cache shared by every learned optimizer built
+  /// from this lab's Context(): plan features are pure functions of
+  /// (query, plan signature) for a fixed baseline estimator, so rows
+  /// survive across retrain epochs and across optimizers.
+  std::unique_ptr<FeatureCache> feature_cache;
 
   /// Non-owning view for the e2e learned optimizers.
   E2eContext Context() const {
@@ -35,6 +40,7 @@ struct Lab {
     context.optimizer = optimizer.get();
     context.cost_model = cost_model.get();
     context.estimator = estimator.get();
+    context.feature_cache = feature_cache.get();
     return context;
   }
 };

@@ -21,6 +21,11 @@ namespace lqo {
 ///  - two global slots: number of tables and log of the joined domain size.
 class QueryFeaturizer {
  public:
+  /// Version stamp for feature caches (ml/feature_cache.h): bump whenever
+  /// the feature definition changes so cached rows from older featurizers
+  /// are invalidated instead of served.
+  static constexpr uint32_t kVersion = 1;
+
   QueryFeaturizer(const Catalog* catalog, const StatsCatalog* stats);
 
   size_t dim() const { return dim_; }

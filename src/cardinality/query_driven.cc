@@ -14,7 +14,10 @@ QueryDrivenEstimator::QueryDrivenEstimator(ModelType type,
                                            const Catalog* catalog,
                                            const StatsCatalog* stats,
                                            QueryDrivenOptions options)
-    : type_(type), options_(options), featurizer_(catalog, stats) {
+    : type_(type),
+      options_(options),
+      featurizer_(catalog, stats),
+      train_cache_(featurizer_.dim()) {
   MlpOptions mlp_options;
   mlp_options.hidden_layers = {128, 64};
   mlp_options.epochs = 60;
@@ -28,7 +31,18 @@ void QueryDrivenEstimator::Train(const CeTrainingData& data) {
   std::vector<double> y;
   x.reserve(data.labeled.size());
   for (const LabeledSubquery& labeled : data.labeled) {
-    x.push_back(featurizer_.Featurize(labeled.AsSubquery()));
+    // Served from the train-time cache when this labeled sub-query was
+    // already featurized in an earlier retrain epoch (bit-identical rows
+    // either way — the featurizer is pure for this catalog/stats snapshot).
+    Subquery subquery = labeled.AsSubquery();
+    uint64_t key = subquery.KeyHash();
+    std::vector<double> features(featurizer_.dim());
+    if (!train_cache_.Lookup(key, QueryFeaturizer::kVersion,
+                             features.data())) {
+      featurizer_.FeaturizeInto(subquery, features.data());
+      train_cache_.Insert(key, QueryFeaturizer::kVersion, features.data());
+    }
+    x.push_back(std::move(features));
     y.push_back(std::log(std::max(labeled.cardinality, 1.0)));
   }
   if (options_.mask_training) {

@@ -7,6 +7,7 @@
 
 #include "cardinality/featurizer.h"
 #include "cardinality/training_data.h"
+#include "ml/feature_cache.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "ml/linear.h"
@@ -79,6 +80,13 @@ class QueryDrivenEstimator : public CardinalityEstimatorInterface {
   ModelType type_;
   QueryDrivenOptions options_;
   QueryFeaturizer featurizer_;
+  /// Train-time featurization cache keyed by Subquery::KeyHash(): labeled
+  /// sub-queries repeat across retrain epochs (the harness retrains on a
+  /// growing window of one workload), so their feature rows are computed
+  /// once and served warm afterwards. Sound because the featurizer is a
+  /// pure function of the sub-query for the catalog/stats snapshot this
+  /// estimator holds for its lifetime.
+  FeatureCache train_cache_;
   RidgeRegression linear_;
   GradientBoostedTrees gbdt_;
   Mlp mlp_;

@@ -18,6 +18,11 @@ class PlanFeaturizer {
   /// Number of features produced.
   static constexpr size_t kDim = 25;
 
+  /// Version stamp for feature caches (ml/feature_cache.h): bump whenever
+  /// the feature definition changes so cached rows from older featurizers
+  /// are invalidated instead of served.
+  static constexpr uint32_t kVersion = 1;
+
   /// Featurizes an annotated plan.
   static std::vector<double> Featurize(const PhysicalPlan& plan);
 

@@ -5,7 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "costmodel/plan_featurizer.h"
 #include "engine/plan.h"
+#include "ml/dataset.h"
+#include "ml/feature_cache.h"
 #include "ml/inference_stats.h"
 #include "optimizer/baseline_estimator.h"
 #include "optimizer/optimizer.h"
@@ -22,6 +25,11 @@ struct E2eContext {
   const Optimizer* optimizer = nullptr;
   const AnalyticalCostModel* cost_model = nullptr;
   CardinalityEstimatorInterface* estimator = nullptr;
+  /// Optional plan-signature feature cache shared by every optimizer that
+  /// featurizes candidates with PlanFeaturizer against this context's
+  /// estimator (see FeaturizePlanCached). Null disables caching; features
+  /// are identical either way.
+  FeatureCache* feature_cache = nullptr;
 };
 
 /// One observed execution, the unit of experience for risk models.
@@ -31,6 +39,22 @@ struct PlanExperience {
   std::vector<double> features;
   double time_units = 0.0;
   std::string plan_signature;
+};
+
+/// One training step's candidate plans with their batched scoring
+/// artifacts: the plans, the feature matrix they were scored from (one row
+/// per plan; empty when the optimizer does not score candidates), per-plan
+/// model scores/uncertainty (empty likewise), and the index of the plan the
+/// optimizer would pick right now. Produced by TrainingCandidateSet so the
+/// harness executes exactly the plans the optimizer scored — one featurize
+/// pass and one PredictBatch per retrain step instead of per plan.
+struct CandidateSet {
+  std::vector<PhysicalPlan> plans;
+  FeatureMatrix features;
+  std::vector<double> scores;
+  std::vector<double> uncertainty;
+  /// Index into plans of the optimizer's current choice.
+  size_t chosen = 0;
 };
 
 /// The paper's Section 2.2 unified framework: a learned query optimizer
@@ -50,6 +74,19 @@ class LearnedQueryOptimizer {
     std::vector<PhysicalPlan> plans;
     plans.push_back(ChoosePlan(query));
     return plans;
+  }
+
+  /// Candidates plus batched scoring artifacts for one training step. The
+  /// batch-scoring optimizers (Lero, LEON, HyperQO, Eraser) override this
+  /// to featurize the whole candidate set into one FeatureMatrix (through
+  /// the context's FeatureCache when present) and score it with a single
+  /// PredictBatch call; their ChoosePlan is then `plans[chosen]` of this
+  /// set. Default: wraps TrainingCandidates with empty scoring artifacts so
+  /// ablation/probing subclasses keep working unchanged.
+  virtual CandidateSet TrainingCandidateSet(const Query& query) {
+    CandidateSet set;
+    set.plans = TrainingCandidates(query);
+    return set;
   }
 
   /// Execution feedback for one (query, plan) pair.
@@ -84,6 +121,33 @@ void AnnotateWithBaseline(const E2eContext& context, PhysicalPlan* plan);
 /// every estimate per plan (see CardinalityProvider's freeze contract).
 void AnnotateWithProvider(const E2eContext& context, PhysicalPlan* plan,
                           CardinalityProvider* cards);
+
+/// Cache key of `plan`'s PlanFeaturizer row: the query's structural
+/// Subquery::KeyHash (over all tables) mixed with a 64-bit FNV-1a of the
+/// plan's structure signature. Features are pure functions of this key for
+/// a fixed context (baseline estimator + cost model), which is what makes
+/// caching them sound.
+uint64_t PlanFeatureKey(const Query& query, const PhysicalPlan& plan);
+
+/// Writes `plan`'s PlanFeaturizer::kDim features into `out`, serving from
+/// `context.feature_cache` when present. On a hit the whole featurization
+/// (and any annotation walk) is skipped; cached rows are bit-identical to
+/// recomputation because features are pure functions of the plan key for a
+/// fixed context. On a miss (or with no cache) the features are computed
+/// and the row committed: pass `annotated` = true when the plan already
+/// carries clean baseline cardinality annotations (candidate-generation
+/// paths) so the miss featurizes it directly; with false the miss path
+/// clones the plan and runs AnnotateWithBaseline first. `plan` itself is
+/// never mutated either way.
+void FeaturizePlanCached(const E2eContext& context, const Query& query,
+                         const PhysicalPlan& plan, bool annotated,
+                         double* out);
+
+/// As FeaturizePlanCached, returning a fresh kDim vector (Observe paths).
+std::vector<double> FeaturizePlanCachedVec(const E2eContext& context,
+                                           const Query& query,
+                                           const PhysicalPlan& plan,
+                                           bool annotated);
 
 }  // namespace lqo
 

@@ -89,27 +89,41 @@ InferenceStatsSnapshot HyperQoOptimizer::InferenceStats() const {
 }
 
 PhysicalPlan HyperQoOptimizer::ChoosePlan(const Query& query) {
-  std::vector<PhysicalPlan> candidates = Candidates(query);
-  LQO_CHECK(!candidates.empty());
-  if (!trained_ || candidates.size() == 1) {
-    return std::move(candidates[0]);  // cost-based fallback.
+  CandidateSet set = TrainingCandidateSet(query);
+  return std::move(set.plans[set.chosen]);
+}
+
+std::vector<PhysicalPlan> HyperQoOptimizer::TrainingCandidates(
+    const Query& query) {
+  return Candidates(query);
+}
+
+CandidateSet HyperQoOptimizer::TrainingCandidateSet(const Query& query) {
+  CandidateSet set;
+  set.plans = Candidates(query);
+  LQO_CHECK(!set.plans.empty());
+  // One featurize pass over the candidate set (served from the shared
+  // plan-signature cache when present); the ensemble then scores it in a
+  // handful of batched forward passes instead of one scalar Predict per
+  // model per candidate.
+  set.features.Reset(PlanFeaturizer::kDim);
+  set.features.Reserve(set.plans.size());
+  for (const PhysicalPlan& plan : set.plans) {
+    FeaturizePlanCached(context_, query, plan, /*annotated=*/true,
+                        set.features.AppendRow());
   }
-  // One reusable feature matrix for the candidate set; the ensemble scores
-  // it in a handful of batched forward passes instead of one scalar
-  // Predict per model per candidate.
-  feature_scratch_.Reset(PlanFeaturizer::kDim);
-  feature_scratch_.Reserve(candidates.size());
-  for (const PhysicalPlan& plan : candidates) {
-    PlanFeaturizer::FeaturizeInto(plan, feature_scratch_.AppendRow());
+  if (!trained_ || set.plans.size() == 1) {
+    set.chosen = 0;  // cost-based fallback.
+    return set;
   }
-  mean_scratch_.resize(candidates.size());
-  stddev_scratch_.resize(candidates.size());
-  PredictBatch(feature_scratch_, mean_scratch_, stddev_scratch_);
+  set.scores.resize(set.plans.size());
+  set.uncertainty.resize(set.plans.size());
+  PredictBatch(set.features, set.scores, set.uncertainty);
   size_t best = 0;  // native fallback survives any filtering.
   double best_mean = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    double mean = mean_scratch_[i];
-    double stddev = stddev_scratch_[i];
+  for (size_t i = 0; i < set.plans.size(); ++i) {
+    double mean = set.scores[i];
+    double stddev = set.uncertainty[i];
     // Variance filter: skip risky candidates (never filters the native
     // plan out of existence — if everything is filtered, native wins).
     if (stddev > options_.max_relative_std * std::max(std::abs(mean), 1e-3)) {
@@ -120,19 +134,16 @@ PhysicalPlan HyperQoOptimizer::ChoosePlan(const Query& query) {
       best = i;
     }
   }
-  return std::move(candidates[best]);
-}
-
-std::vector<PhysicalPlan> HyperQoOptimizer::TrainingCandidates(
-    const Query& query) {
-  return Candidates(query);
+  set.chosen = best;
+  return set;
 }
 
 void HyperQoOptimizer::Observe(const Query& query, const PhysicalPlan& plan,
                                double time_units) {
   PlanExperience experience;
   experience.query_key = Subquery{&query, query.AllTables()}.Key();
-  experience.features = PlanFeaturizer::Featurize(plan);
+  experience.features =
+      FeaturizePlanCachedVec(context_, query, plan, /*annotated=*/true);
   experience.time_units = time_units;
   experience.plan_signature = plan.Signature();
   experience_.Add(std::move(experience));

@@ -32,6 +32,7 @@ class HyperQoOptimizer : public LearnedQueryOptimizer {
 
   PhysicalPlan ChoosePlan(const Query& query) override;
   std::vector<PhysicalPlan> TrainingCandidates(const Query& query) override;
+  CandidateSet TrainingCandidateSet(const Query& query) override;
   void Observe(const Query& query, const PhysicalPlan& plan,
                double time_units) override;
   void Retrain() override;
@@ -59,10 +60,6 @@ class HyperQoOptimizer : public LearnedQueryOptimizer {
   ExperienceBuffer experience_;
   std::vector<Mlp> ensemble_;
   bool trained_ = false;
-  /// Reused across ChoosePlan calls (capacity persists).
-  FeatureMatrix feature_scratch_;
-  std::vector<double> mean_scratch_;
-  std::vector<double> stddev_scratch_;
 };
 
 }  // namespace lqo

@@ -49,20 +49,8 @@ std::vector<PhysicalPlan> LeonOptimizer::Candidates(const Query& query) {
 }
 
 PhysicalPlan LeonOptimizer::ChoosePlan(const Query& query) {
-  std::vector<PhysicalPlan> candidates = Candidates(query);
-  LQO_CHECK(!candidates.empty());
-  if (!risk_model_.trained() || candidates.size() == 1) {
-    return std::move(candidates[0]);
-  }
-  // Reusable feature matrix + one batched comparator pass over the
-  // candidate set (scores computed once, not per pairwise comparison).
-  feature_scratch_.Reset(PlanFeaturizer::kDim);
-  feature_scratch_.Reserve(candidates.size());
-  for (const PhysicalPlan& plan : candidates) {
-    PlanFeaturizer::FeaturizeInto(plan, feature_scratch_.AppendRow());
-  }
-  size_t best = risk_model_.PickBestConservative(feature_scratch_, 0);
-  return std::move(candidates[best]);
+  CandidateSet set = TrainingCandidateSet(query);
+  return std::move(set.plans[set.chosen]);
 }
 
 std::vector<PhysicalPlan> LeonOptimizer::TrainingCandidates(
@@ -70,11 +58,34 @@ std::vector<PhysicalPlan> LeonOptimizer::TrainingCandidates(
   return Candidates(query);
 }
 
+CandidateSet LeonOptimizer::TrainingCandidateSet(const Query& query) {
+  CandidateSet set;
+  set.plans = Candidates(query);
+  LQO_CHECK(!set.plans.empty());
+  // One featurize pass over the candidate set (served from the shared
+  // plan-signature cache when present) and one batched comparator call.
+  set.features.Reset(PlanFeaturizer::kDim);
+  set.features.Reserve(set.plans.size());
+  for (const PhysicalPlan& plan : set.plans) {
+    FeaturizePlanCached(context_, query, plan, /*annotated=*/true,
+                        set.features.AppendRow());
+  }
+  if (!risk_model_.trained() || set.plans.size() == 1) {
+    set.chosen = 0;  // native DP choice.
+    return set;
+  }
+  set.scores.resize(set.plans.size());
+  risk_model_.ScoreBatch(set.features, set.scores);
+  set.chosen = risk_model_.PickBestConservativeFromScores(set.scores, 0);
+  return set;
+}
+
 void LeonOptimizer::Observe(const Query& query, const PhysicalPlan& plan,
                             double time_units) {
   PlanExperience experience;
   experience.query_key = Subquery{&query, query.AllTables()}.Key();
-  experience.features = PlanFeaturizer::Featurize(plan);
+  experience.features =
+      FeaturizePlanCachedVec(context_, query, plan, /*annotated=*/true);
   experience.time_units = time_units;
   experience.plan_signature = plan.Signature();
   experience_.Add(std::move(experience));

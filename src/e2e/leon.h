@@ -24,6 +24,7 @@ class LeonOptimizer : public LearnedQueryOptimizer {
 
   PhysicalPlan ChoosePlan(const Query& query) override;
   std::vector<PhysicalPlan> TrainingCandidates(const Query& query) override;
+  CandidateSet TrainingCandidateSet(const Query& query) override;
   void Observe(const Query& query, const PhysicalPlan& plan,
                double time_units) override;
   void Retrain() override;
@@ -43,8 +44,6 @@ class LeonOptimizer : public LearnedQueryOptimizer {
   Optimizer left_deep_optimizer_;
   ExperienceBuffer experience_;
   PairwiseRiskModel risk_model_;
-  /// Reused across ChoosePlan calls (capacity persists).
-  FeatureMatrix feature_scratch_;
 };
 
 }  // namespace lqo

@@ -45,21 +45,8 @@ std::vector<PhysicalPlan> LeroOptimizer::Candidates(const Query& query) {
 }
 
 PhysicalPlan LeroOptimizer::ChoosePlan(const Query& query) {
-  std::vector<PhysicalPlan> candidates = Candidates(query);
-  LQO_CHECK(!candidates.empty());
-  if (!risk_model_.trained() || candidates.size() == 1) {
-    return std::move(candidates[0]);  // native fallback.
-  }
-  // One reusable feature matrix, one batched comparator pass: the scorer
-  // evaluates each candidate exactly once instead of once per pairwise
-  // comparison.
-  feature_scratch_.Reset(PlanFeaturizer::kDim);
-  feature_scratch_.Reserve(candidates.size());
-  for (const PhysicalPlan& plan : candidates) {
-    PlanFeaturizer::FeaturizeInto(plan, feature_scratch_.AppendRow());
-  }
-  size_t best = risk_model_.PickBestConservative(feature_scratch_, 0);
-  return std::move(candidates[best]);
+  CandidateSet set = TrainingCandidateSet(query);
+  return std::move(set.plans[set.chosen]);
 }
 
 std::vector<PhysicalPlan> LeroOptimizer::TrainingCandidates(
@@ -67,11 +54,36 @@ std::vector<PhysicalPlan> LeroOptimizer::TrainingCandidates(
   return Candidates(query);
 }
 
+CandidateSet LeroOptimizer::TrainingCandidateSet(const Query& query) {
+  CandidateSet set;
+  set.plans = Candidates(query);
+  LQO_CHECK(!set.plans.empty());
+  // The whole candidate set is featurized in one pass — through the shared
+  // plan-signature feature cache when the context provides one (the rows
+  // also warm the cache for Observe) — then scored with a single batched
+  // comparator call.
+  set.features.Reset(PlanFeaturizer::kDim);
+  set.features.Reserve(set.plans.size());
+  for (const PhysicalPlan& plan : set.plans) {
+    FeaturizePlanCached(context_, query, plan, /*annotated=*/true,
+                        set.features.AppendRow());
+  }
+  if (!risk_model_.trained() || set.plans.size() == 1) {
+    set.chosen = 0;  // native fallback.
+    return set;
+  }
+  set.scores.resize(set.plans.size());
+  risk_model_.ScoreBatch(set.features, set.scores);
+  set.chosen = risk_model_.PickBestConservativeFromScores(set.scores, 0);
+  return set;
+}
+
 void LeroOptimizer::Observe(const Query& query, const PhysicalPlan& plan,
                             double time_units) {
   PlanExperience experience;
   experience.query_key = Subquery{&query, query.AllTables()}.Key();
-  experience.features = PlanFeaturizer::Featurize(plan);
+  experience.features =
+      FeaturizePlanCachedVec(context_, query, plan, /*annotated=*/true);
   experience.time_units = time_units;
   experience.plan_signature = plan.Signature();
   experience_.Add(std::move(experience));

@@ -28,6 +28,7 @@ class LeroOptimizer : public LearnedQueryOptimizer {
 
   PhysicalPlan ChoosePlan(const Query& query) override;
   std::vector<PhysicalPlan> TrainingCandidates(const Query& query) override;
+  CandidateSet TrainingCandidateSet(const Query& query) override;
   void Observe(const Query& query, const PhysicalPlan& plan,
                double time_units) override;
   void Retrain() override;
@@ -46,8 +47,6 @@ class LeroOptimizer : public LearnedQueryOptimizer {
   LeroOptions options_;
   ExperienceBuffer experience_;
   PairwiseRiskModel risk_model_;
-  /// Reused across ChoosePlan calls (capacity persists).
-  FeatureMatrix feature_scratch_;
 };
 
 }  // namespace lqo

@@ -124,6 +124,8 @@ void PairwiseRiskModel::ScoreBatch(const FeatureMatrix& x,
 
 size_t PairwiseRiskModel::PickBestFromScores(
     std::span<const double> scores) const {
+  LQO_CHECK(trained_);
+  LQO_CHECK(!scores.empty());
   std::vector<int> wins(scores.size(), 0);
   for (size_t i = 0; i < scores.size(); ++i) {
     for (size_t j = i + 1; j < scores.size(); ++j) {
@@ -149,6 +151,17 @@ size_t PairwiseRiskModel::PickBest(const FeatureMatrix& candidates) const {
   return PickBestFromScores(scores);
 }
 
+size_t PairwiseRiskModel::PickBestConservativeFromScores(
+    std::span<const double> scores, size_t baseline, double confidence) const {
+  LQO_CHECK_LT(baseline, scores.size());
+  LQO_CHECK(trained_);
+  size_t best = PickBestFromScores(scores);
+  if (best == baseline) return baseline;
+  return Sigmoid(3.0 * (scores[baseline] - scores[best])) >= confidence
+             ? best
+             : baseline;
+}
+
 size_t PairwiseRiskModel::PickBestConservative(const FeatureMatrix& candidates,
                                                size_t baseline,
                                                double confidence) const {
@@ -156,11 +169,7 @@ size_t PairwiseRiskModel::PickBestConservative(const FeatureMatrix& candidates,
   LQO_CHECK(trained_);
   std::vector<double> scores(candidates.rows());
   ScoreBatch(candidates, scores);
-  size_t best = PickBestFromScores(scores);
-  if (best == baseline) return baseline;
-  return Sigmoid(3.0 * (scores[baseline] - scores[best])) >= confidence
-             ? best
-             : baseline;
+  return PickBestConservativeFromScores(scores, baseline, confidence);
 }
 
 size_t PairwiseRiskModel::PickBestConservative(

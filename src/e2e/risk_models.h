@@ -91,6 +91,17 @@ class PairwiseRiskModel {
   /// Relative-latency scores for all rows of `x` (lower is better).
   void ScoreBatch(const FeatureMatrix& x, std::span<double> out) const;
 
+  /// Tournament winner given precomputed per-candidate scores (one
+  /// ScoreBatch row each). Callers that already hold the batch's scores
+  /// (TrainingCandidateSet) replay the PickBest decision from them without
+  /// a second inference pass.
+  size_t PickBestFromScores(std::span<const double> scores) const;
+
+  /// As PickBestConservative, from precomputed scores.
+  size_t PickBestConservativeFromScores(std::span<const double> scores,
+                                        size_t baseline,
+                                        double confidence = 0.6) const;
+
   /// Batched-inference counters of the underlying scorer.
   InferenceStatsSnapshot InferenceStats() const { return scorer_.Stats(); }
 
@@ -99,8 +110,6 @@ class PairwiseRiskModel {
  private:
   /// Relative-latency score (log time over group minimum); lower is better.
   double Score(const std::vector<double>& features) const;
-  /// Tournament winner given precomputed per-candidate scores.
-  size_t PickBestFromScores(std::span<const double> scores) const;
 
   uint64_t seed_;
   GradientBoostedTrees scorer_;

@@ -1,0 +1,85 @@
+#include "ml/feature_cache.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace lqo {
+
+FeatureCache::FeatureCache(size_t dim, size_t max_rows)
+    : dim_(dim), max_rows_(max_rows) {
+  LQO_CHECK_GT(dim, 0u);
+  LQO_CHECK_GT(max_rows, 0u);
+  rows_.Reset(dim_);
+}
+
+bool FeatureCache::Lookup(uint64_t key, uint32_t version, double* out) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (version == version_) {
+      auto it = slots_.find(key);
+      if (it != slots_.end()) {
+        std::memcpy(out, rows_.Row(it->second), dim_ * sizeof(double));
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  // Version changed: drop every resident row before reporting the miss so a
+  // stale-featurizer row can never be served. Re-check under the exclusive
+  // lock — another thread may have already adopted the new version.
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (version != version_) {
+      ClearLocked();
+      version_ = version;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      std::memcpy(out, rows_.Row(it->second), dim_ * sizeof(double));
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void FeatureCache::Insert(uint64_t key, uint32_t version, const double* row) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Insert must run under the same version its row was computed under; a
+  // mismatch means the caller bumped the featurizer mid-flight and the row
+  // may be stale — refuse loudly rather than poison the cache.
+  LQO_CHECK_EQ(version, version_)
+      << "FeatureCache::Insert under a stale featurizer version";
+  if (slots_.find(key) != slots_.end()) return;  // first writer wins
+  if (slots_.size() >= max_rows_) {
+    ClearLocked();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  slots_.emplace(key, rows_.rows());
+  rows_.AddRow(std::span<const double>(row, dim_));
+}
+
+void FeatureCache::ClearLocked() {
+  slots_.clear();
+  rows_.Reset(dim_);
+}
+
+FeatureCacheStats FeatureCache::Stats() const {
+  FeatureCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    stats.rows = slots_.size();
+  }
+  return stats;
+}
+
+}  // namespace lqo

@@ -1,0 +1,97 @@
+#ifndef LQO_ML_FEATURE_CACHE_H_
+#define LQO_ML_FEATURE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/thread_annotations.h"
+#include "ml/dataset.h"
+
+namespace lqo {
+
+/// Counters of one FeatureCache since construction. Under concurrent access
+/// the hit/miss split may vary run to run (two threads can miss the same key
+/// simultaneously); hits + misses == number of Lookup() calls always holds.
+struct FeatureCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Rows currently resident.
+  uint64_t rows = 0;
+};
+
+/// Plan-signature feature cache — the inference-substrate phase-2 cache (see
+/// DESIGN.md "Inference path"). Featurizing a plan walks the whole operator
+/// tree and consults the cardinality estimator at every node; across retrain
+/// epochs the harness re-featurizes the same (query, candidate plan) pairs
+/// over and over. Feature rows are pure functions of the structural key
+/// (query KeyHash mixed with the plan signature) given a fixed featurizer
+/// version, so they can be computed once and served from here on every later
+/// epoch — and shared across optimizers that use the same featurizer.
+///
+/// Locking protocol mirrors the frozen CardinalityProvider: Lookup() copies
+/// the row out under a shared lock (a span would dangle across eviction);
+/// a miss computes the row outside any lock and commits it via Insert()
+/// under an exclusive lock, first writer wins. Because rows are pure
+/// functions of the key, racing writers always carry identical rows, so
+/// cached results are bit-for-bit identical at any thread count.
+///
+/// Invalidation: every call carries the featurizer's version stamp. A lookup
+/// with a version other than the resident one wholesale-clears the cache
+/// (counted in evictions) and adopts the new version — rows from an older
+/// featurizer can never be served. Inserting under a stale version is a
+/// programming error and CHECK-fails: compute-then-insert must happen under
+/// one version, i.e. bump versions only between epochs, not mid-flight.
+class FeatureCache {
+ public:
+  /// `dim` is the width every row must have; `max_rows` bounds residency
+  /// (reaching it wholesale-clears — plan populations are epoch-periodic, so
+  /// LRU bookkeeping would cost more than the rare full rebuild).
+  explicit FeatureCache(size_t dim, size_t max_rows = 1u << 18);
+
+  size_t dim() const { return dim_; }
+
+  /// Copies the cached row for `key` into `out` (dim() doubles) and returns
+  /// true, or returns false on a miss. A `version` differing from the
+  /// resident one clears the cache first (see invalidation above), which
+  /// always misses.
+  bool Lookup(uint64_t key, uint32_t version, double* out);
+
+  /// Commits the row for `key` (dim() doubles). First writer wins: a key
+  /// that is already resident keeps its existing row (identical by purity).
+  /// CHECK-fails if `version` is not the resident version.
+  void Insert(uint64_t key, uint32_t version, const double* row);
+
+  FeatureCacheStats Stats() const;
+
+ private:
+  /// Wholesale-clears rows (not counters). Caller holds mutex_ exclusively.
+  void ClearLocked() LQO_REQUIRES(mutex_);
+
+  const size_t dim_;
+  const size_t max_rows_;
+  /// Featurizer version the resident rows were computed under.
+  uint32_t version_ LQO_GUARDED_BY(mutex_) = 0;
+  /// Row storage; slots_ maps key -> row index. Rows are append-only
+  /// between clears, so an index handed out under the lock stays valid
+  /// until the next exclusive-lock clear.
+  FeatureMatrix rows_ LQO_GUARDED_BY(mutex_);
+  /// Keys are pre-mixed hashes; identity-hashing avoids a second pass.
+  struct IdentityHash {
+    size_t operator()(uint64_t h) const { return static_cast<size_t>(h); }
+  };
+  std::unordered_map<uint64_t, size_t, IdentityHash> slots_
+      LQO_GUARDED_BY(mutex_);
+  // guards: version_, rows_, slots_ — shared-lock reads (Lookup hit path),
+  // exclusive-lock inserts/clears; rows are computed outside any lock.
+  mutable std::shared_mutex mutex_;
+  std::atomic<uint64_t> hits_{0};       // relaxed: monotonic stat only
+  std::atomic<uint64_t> misses_{0};     // relaxed: monotonic stat only
+  std::atomic<uint64_t> evictions_{0};  // relaxed: monotonic stat only
+};
+
+}  // namespace lqo
+
+#endif  // LQO_ML_FEATURE_CACHE_H_

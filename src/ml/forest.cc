@@ -37,6 +37,22 @@ void RandomForest::Fit(const std::vector<std::vector<double>>& rows,
         tree.Fit(rows, targets, tree_options, indices, &rng);
         return tree;
       });
+  ConfigureCompact(options_.compact_min_total_nodes);
+}
+
+size_t RandomForest::total_nodes() const {
+  size_t total = 0;
+  for (const RegressionTree& tree : trees_) total += tree.num_nodes();
+  return total;
+}
+
+void RandomForest::ConfigureCompact(size_t min_total_nodes) {
+  options_.compact_min_total_nodes = min_total_nodes;
+  if (fitted() && total_nodes() > min_total_nodes) {
+    compact_.Pack(trees_);
+  } else {
+    compact_.Clear();
+  }
 }
 
 double RandomForest::Predict(const std::vector<double>& row) const {
@@ -77,9 +93,13 @@ void RandomForest::PredictBatchWithUncertainty(
 
   // Morsel-chunked over rows; each morsel owns index-addressed slices of
   // the outputs. Within a morsel, trees run tree-major over the whole
-  // morsel (SoA buffers stay hot across rows) while each row's sum and
+  // morsel (node buffers stay hot across rows) while each row's sum and
   // sum-of-squares accumulate in ensemble order — the exact additions of
-  // the scalar loop, so results match at any thread count.
+  // the scalar loop, so results match at any thread count. When the size
+  // gate packed the compact quantized layout, the per-tree kernel reads
+  // the float/uint16 arenas instead of the SoA arrays; the comparisons
+  // (and therefore the outputs) are identical by the build-time
+  // quantization contract.
   constexpr size_t kMorselRows = 256;
   size_t morsels = (x.rows() + kMorselRows - 1) / kMorselRows;
   auto run_morsel = [&](size_t m) {
@@ -89,8 +109,12 @@ void RandomForest::PredictBatchWithUncertainty(
     std::vector<double> tree_out(n);
     std::vector<double> sum(n, 0.0);
     std::vector<double> sum_sq(n, 0.0);
-    for (const RegressionTree& tree : trees_) {
-      tree.PredictRange(x, begin, end, tree_out.data());
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      if (compact_.empty()) {
+        trees_[t].PredictRange(x, begin, end, tree_out.data());
+      } else {
+        compact_.PredictRangeTree(t, x, begin, end, tree_out.data());
+      }
       for (size_t i = 0; i < n; ++i) {
         double y = tree_out[i];
         sum[i] += y;

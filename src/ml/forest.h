@@ -1,9 +1,11 @@
 #ifndef LQO_ML_FOREST_H_
 #define LQO_ML_FOREST_H_
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
+#include "ml/compact_forest.h"
 #include "ml/tree.h"
 
 namespace lqo {
@@ -13,6 +15,12 @@ struct ForestOptions {
   int num_trees = 40;
   TreeOptions tree;
   uint64_t seed = 23;
+  /// Ensembles with more than this many total nodes leave L2 residence, so
+  /// Fit() additionally packs the compact quantized layout
+  /// (ml/compact_forest.h) and the batch kernels serve from it. 0 forces
+  /// the compact layout; SIZE_MAX disables it. Predictions are identical
+  /// either way (build-time threshold quantization).
+  size_t compact_min_total_nodes = 1u << 15;
 
   ForestOptions() {
     tree.max_depth = 10;
@@ -55,9 +63,22 @@ class RandomForest {
 
   bool fitted() const { return !trees_.empty(); }
 
+  /// Re-applies the compact-layout size gate with a new threshold (packs or
+  /// drops the compact arenas to match). Benches/tests use this to compare
+  /// both layouts on one fitted ensemble without refitting.
+  void ConfigureCompact(size_t min_total_nodes);
+
+  /// True when batch predictions are served from the compact layout.
+  bool compact() const { return !compact_.empty(); }
+  size_t total_nodes() const;
+  /// Arena bytes of the active compact layout (0 when on the SoA path).
+  size_t compact_bytes() const { return compact_.bytes(); }
+
  private:
   ForestOptions options_;
   std::vector<RegressionTree> trees_;
+  /// Packed mirror of trees_; non-empty iff the size gate selected it.
+  CompactForest compact_;
   mutable InferenceCounters inference_;
 };
 

@@ -46,6 +46,22 @@ void GradientBoostedTrees::Fit(const std::vector<std::vector<double>>& rows,
     trees_.push_back(std::move(tree));
   }
   fitted_ = true;
+  ConfigureCompact(options_.compact_min_total_nodes);
+}
+
+size_t GradientBoostedTrees::total_nodes() const {
+  size_t total = 0;
+  for (const RegressionTree& tree : trees_) total += tree.num_nodes();
+  return total;
+}
+
+void GradientBoostedTrees::ConfigureCompact(size_t min_total_nodes) {
+  options_.compact_min_total_nodes = min_total_nodes;
+  if (fitted_ && total_nodes() > min_total_nodes) {
+    compact_.Pack(trees_);
+  } else {
+    compact_.Clear();
+  }
 }
 
 double GradientBoostedTrees::Predict(const std::vector<double>& row) const {
@@ -69,17 +85,19 @@ void GradientBoostedTrees::PredictBatch(const FeatureMatrix& x,
   // Boosted trees are shallow; when the whole ensemble's SoA node arrays
   // are cache-resident, a row-major walk (scalar Predict's exact FP order,
   // no tree_out scratch traffic) is fastest. Huge ensembles fall back to
-  // tree-major blocks so each tree's nodes stay hot across the morsel.
-  // Either kernel accumulates per row in boosting order — identical
-  // results; the cutoff depends on the model alone, never the input.
+  // tree-major blocks so each tree's nodes stay hot across the morsel, and
+  // when the size gate packed the compact quantized layout that kernel
+  // reads the float/uint16 arenas instead of the SoA arrays. Every kernel
+  // accumulates per row in boosting order — identical results (the compact
+  // comparisons match by the build-time quantization contract); the cutoff
+  // depends on the model alone, never the input.
   constexpr size_t kCacheResidentTotalNodes = 1u << 15;
-  size_t total_nodes = 0;
-  for (const RegressionTree& tree : trees_) total_nodes += tree.num_nodes();
+  size_t soa_nodes = total_nodes();
   auto run_morsel = [&](size_t m) {
     size_t begin = m * kMorselRows;
     size_t end = std::min(x.rows(), begin + kMorselRows);
     size_t n = end - begin;
-    if (total_nodes <= kCacheResidentTotalNodes) {
+    if (compact_.empty() && soa_nodes <= kCacheResidentTotalNodes) {
       for (size_t r = begin; r < end; ++r) {
         const double* row = x.Row(r);
         double y = base_prediction_;
@@ -92,8 +110,12 @@ void GradientBoostedTrees::PredictBatch(const FeatureMatrix& x,
     }
     std::vector<double> tree_out(n);
     for (size_t i = 0; i < n; ++i) out[begin + i] = base_prediction_;
-    for (const RegressionTree& tree : trees_) {
-      tree.PredictRange(x, begin, end, tree_out.data());
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      if (compact_.empty()) {
+        trees_[t].PredictRange(x, begin, end, tree_out.data());
+      } else {
+        compact_.PredictRangeTree(t, x, begin, end, tree_out.data());
+      }
       for (size_t i = 0; i < n; ++i) {
         out[begin + i] += options_.learning_rate * tree_out[i];
       }

@@ -156,6 +156,15 @@ int RegressionTree::BuildNode(const std::vector<std::vector<double>>& rows,
 
   if (best_feature < 0) return node_index;
 
+  // Quantize the threshold to float *before* partitioning, so the split the
+  // tree trains on is exactly the split the compact quantized layout
+  // (ml/compact_forest.h) serves: every stored double threshold is float
+  // representable, making `row[f] <= threshold` bitwise identical whether
+  // the comparison reads the double SoA array or the float compact array.
+  // Degenerate quantized splits (all rows on one side) fall into the
+  // existing mid == begin/end guard below.
+  best_threshold = static_cast<double>(static_cast<float>(best_threshold));
+
   // Partition indices[begin,end) by the chosen split.
   auto mid_it = std::partition(
       indices.begin() + static_cast<long>(begin),

@@ -57,6 +57,16 @@ class RegressionTree {
   bool fitted() const { return !feature_.empty(); }
   size_t num_nodes() const { return feature_.size(); }
 
+  /// Read-only views of the SoA node arrays, for packing into the compact
+  /// quantized layout (ml/compact_forest.h). Thresholds are quantized to
+  /// float at build time, so every stored double is exactly float
+  /// representable (see BuildNode).
+  std::span<const int32_t> node_features() const { return feature_; }
+  std::span<const double> node_thresholds() const { return threshold_; }
+  std::span<const double> node_values() const { return value_; }
+  std::span<const int32_t> node_left() const { return left_; }
+  std::span<const int32_t> node_right() const { return right_; }
+
  private:
   /// Appends a leaf node with `value` and returns its index.
   int AddNode(double value);

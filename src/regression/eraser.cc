@@ -33,8 +33,8 @@ PhysicalPlan EraserGuard::ChoosePlan(const Query& query) {
 
   PhysicalPlan native = NativePlan(context_, query);
   if (learned.Signature() == native.Signature()) return learned;
-  AnnotateWithBaseline(context_, &learned);
-  std::vector<double> features = PlanFeaturizer::Featurize(learned);
+  std::vector<double> features =
+      FeaturizePlanCachedVec(context_, query, learned, /*annotated=*/false);
 
   // Stage 1: coarse filter on unseen feature values.
   if (!WithinSeenRanges(features)) {
@@ -63,6 +63,22 @@ std::vector<PhysicalPlan> EraserGuard::TrainingCandidates(const Query& query) {
   return candidates;
 }
 
+CandidateSet EraserGuard::TrainingCandidateSet(const Query& query) {
+  CandidateSet set;
+  set.plans = TrainingCandidates(query);
+  // The guard itself does not score candidates (the inner optimizer already
+  // picked plans[0]); featurizing the pair here still pays off by warming
+  // the shared plan-signature cache so Observe's per-plan clone+annotate
+  // walk becomes a cache hit.
+  set.features.Reset(PlanFeaturizer::kDim);
+  set.features.Reserve(set.plans.size());
+  for (const PhysicalPlan& plan : set.plans) {
+    FeaturizePlanCached(context_, query, plan, /*annotated=*/false,
+                        set.features.AppendRow());
+  }
+  return set;
+}
+
 void EraserGuard::Observe(const Query& query, const PhysicalPlan& plan,
                           double time_units) {
   inner_->Observe(query, plan, time_units);
@@ -77,15 +93,13 @@ void EraserGuard::Observe(const Query& query, const PhysicalPlan& plan,
     // The native plan may also *be* the learned choice; record features if
     // none yet so singleton pairs still complete.
     if (pending.learned_time < 0) {
-      PhysicalPlan annotated = plan.Clone();
-      AnnotateWithBaseline(context_, &annotated);
-      pending.learned_features = PlanFeaturizer::Featurize(annotated);
+      pending.learned_features =
+          FeaturizePlanCachedVec(context_, query, plan, /*annotated=*/false);
       pending.learned_time = time_units;
     }
   } else {
-    PhysicalPlan annotated = plan.Clone();
-    AnnotateWithBaseline(context_, &annotated);
-    pending.learned_features = PlanFeaturizer::Featurize(annotated);
+    pending.learned_features =
+        FeaturizePlanCachedVec(context_, query, plan, /*annotated=*/false);
     pending.learned_time = time_units;
   }
   if (pending.learned_time >= 0 && pending.native_time >= 0) {

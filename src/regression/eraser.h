@@ -38,6 +38,7 @@ class EraserGuard : public LearnedQueryOptimizer {
 
   PhysicalPlan ChoosePlan(const Query& query) override;
   std::vector<PhysicalPlan> TrainingCandidates(const Query& query) override;
+  CandidateSet TrainingCandidateSet(const Query& query) override;
   void Observe(const Query& query, const PhysicalPlan& plan,
                double time_units) override;
   void Retrain() override;

@@ -153,6 +153,88 @@ TEST(LintRules, UnorderedIterSeesPairedHeaderMembers) {
   EXPECT_EQ(Count(LintFile(input), "unordered-iter"), 0);
 }
 
+TEST(LintRules, ParallelReductionViolatingAndConforming) {
+  std::string violating = R"cpp(
+    double Sum(const std::vector<double>& x) {
+      double total = 0;
+      ParallelFor(x.size(), [&](size_t i) { total += x[i]; });
+      return total;
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("a.cc", violating), "parallel-reduction"), 1);
+
+  // Index-addressed slots with a serial fold — the sanctioned pattern —
+  // and accumulators declared inside the lambda body are both exempt.
+  std::string conforming = R"cpp(
+    double Sum(const std::vector<double>& x) {
+      std::vector<double> out(x.size());
+      ParallelFor(x.size(), [&](size_t i) { out[i] += x[i]; });
+      ParallelFor(x.size(), [&](size_t i) {
+        double local = 0;
+        local += x[i];
+        out[i] = local;
+      });
+      double total = 0;
+      for (double v : out) total += v;
+      return total;
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("a.cc", conforming), "parallel-reduction"), 0);
+}
+
+TEST(LintRules, ParallelReductionSeesPairedHeaderMembers) {
+  FileInput input;
+  input.path = "m.cc";
+  input.paired_header = R"cpp(
+    class Stats {
+      double running_sum_ = 0;
+      void Accumulate(const std::vector<double>& x);
+    };
+  )cpp";
+  input.content = R"cpp(
+    void Stats::Accumulate(const std::vector<double>& x) {
+      ParallelFor(x.size(), [&](size_t i) { running_sum_ += x[i]; });
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintFile(input), "parallel-reduction"), 1);
+  input.paired_header.clear();  // without the header the member is unknown
+  EXPECT_EQ(Count(LintFile(input), "parallel-reduction"), 0);
+}
+
+TEST(LintRules, ParallelReductionRespectsOrderedComment) {
+  // A stated determinism argument on the site (or the comment block right
+  // above it) downgrades the site to sanctioned.
+  std::string ordered = R"cpp(
+    void f(std::vector<double>& x, double& total) {
+      ParallelFor(1, [&](size_t chunk) {
+        // ordered-reduction: single chunk, serial within the task
+        total += x[chunk];
+      });
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("a.cc", ordered), "parallel-reduction"), 0);
+
+  std::string waived = R"cpp(
+    void f(std::vector<double>& x, double& total) {
+      ParallelFor(1, [&](size_t chunk) {
+        total += x[chunk];  // lint: parallel-reduction-ok(fixture)
+      });
+    }
+  )cpp";
+  std::vector<Finding> findings = LintText("a.cc", waived);
+  EXPECT_EQ(Count(findings, "parallel-reduction", /*waived=*/true), 1);
+  EXPECT_EQ(Count(findings, "parallel-reduction", /*waived=*/false), 0);
+
+  // A by-value capture holds a task-private copy: no aliasing, no race.
+  std::string by_value = R"cpp(
+    void f() {
+      double total = 0;
+      ParallelFor(4, [total](size_t i) mutable { total += Noop(i); });
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("a.cc", by_value), "parallel-reduction"), 0);
+}
+
 // --- concurrency -----------------------------------------------------------
 
 TEST(LintRules, RawThreadViolatingAndConforming) {

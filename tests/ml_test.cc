@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <span>
 #include <vector>
@@ -8,7 +9,9 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "ml/chow_liu.h"
+#include "ml/compact_forest.h"
 #include "ml/dataset.h"
+#include "ml/feature_cache.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "ml/gmm.h"
@@ -521,6 +524,212 @@ TEST(BatchInferenceTest, StatsCountRowsAndBatches) {
   EXPECT_EQ(delta.batches, 2u);
   EXPECT_GE(delta.seconds, 0.0);
   EXPECT_GE(delta.RowsPerSec(), 0.0);
+}
+
+// -- Compact quantized layouts: ConfigureCompact(0) forces the packed
+// arenas; predictions must be bit-for-bit the SoA traversal's, because
+// thresholds are quantized to float at build time. --
+
+TEST(BatchInferenceTest, CompactForestMatchesScalarBitForBit) {
+  MlDataset data = MakeNonlinearData(500, 38);
+  RandomForest forest;
+  forest.Fit(data.rows, data.targets);
+  forest.ConfigureCompact(0);  // force the compact layout
+  ASSERT_TRUE(forest.compact());
+  EXPECT_GT(forest.compact_bytes(), 0u);
+  FeatureMatrix matrix = ToMatrix(data.rows);
+  std::vector<double> batch(matrix.rows());
+  forest.PredictBatch(matrix, batch);
+  std::vector<double> means(matrix.rows()), stddevs(matrix.rows());
+  forest.PredictBatchWithUncertainty(matrix, means, stddevs);
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    EXPECT_EQ(batch[i], forest.Predict(data.rows[i])) << "row " << i;
+    double mean = 0.0, stddev = 0.0;
+    forest.PredictWithUncertainty(data.rows[i], &mean, &stddev);
+    EXPECT_EQ(means[i], mean) << "row " << i;
+    EXPECT_EQ(stddevs[i], stddev) << "row " << i;
+  }
+}
+
+TEST(BatchInferenceTest, CompactGbdtMatchesScalarBitForBit) {
+  MlDataset data = MakeNonlinearData(500, 39);
+  GradientBoostedTrees gbdt;
+  gbdt.Fit(data.rows, data.targets);
+  gbdt.ConfigureCompact(0);  // force the compact layout
+  ASSERT_TRUE(gbdt.compact());
+  FeatureMatrix matrix = ToMatrix(data.rows);
+  std::vector<double> batch(matrix.rows());
+  gbdt.PredictBatch(matrix, batch);
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    EXPECT_EQ(batch[i], gbdt.Predict(data.rows[i])) << "row " << i;
+  }
+  // Flipping back to the SoA layout must not change a single bit either.
+  std::vector<double> soa(matrix.rows());
+  gbdt.ConfigureCompact(SIZE_MAX);
+  EXPECT_FALSE(gbdt.compact());
+  gbdt.PredictBatch(matrix, soa);
+  EXPECT_EQ(batch, soa);
+}
+
+TEST(BatchInferenceTest, CompactLayoutIsThreadCountInvariant) {
+  MlDataset data = MakeNonlinearData(1200, 40);
+  RandomForest forest;
+  forest.Fit(data.rows, data.targets);
+  forest.ConfigureCompact(0);
+  GradientBoostedTrees gbdt;
+  gbdt.Fit(data.rows, data.targets);
+  gbdt.ConfigureCompact(0);
+  FeatureMatrix matrix = ToMatrix(data.rows);
+
+  auto predict_all = [&](int threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    std::vector<double> out(2 * matrix.rows());
+    std::span<double> all(out);
+    forest.PredictBatch(matrix, all.subspan(0, matrix.rows()));
+    gbdt.PredictBatch(matrix, all.subspan(matrix.rows(), matrix.rows()));
+    return out;
+  };
+  std::vector<double> serial = predict_all(1);
+  std::vector<double> two = predict_all(2);
+  std::vector<double> eight = predict_all(8);
+  ThreadPool::SetGlobalThreads(ThreadPool::ParseThreadCount(nullptr));
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+// The compact layout narrows thresholds to float, which is only lossless
+// because BuildNode snaps every chosen split threshold to a
+// float-representable double before partitioning. This pins that build
+// contract directly (CompactForest::Pack also CHECKs it when packing).
+TEST(CompactForestTest, FitThresholdsAreFloatRepresentable) {
+  MlDataset data = MakeNonlinearData(800, 41);
+  RegressionTree tree;
+  tree.Fit(data.rows, data.targets, TreeOptions());
+  std::span<const int32_t> features = tree.node_features();
+  std::span<const double> thresholds = tree.node_thresholds();
+  size_t interior = 0;
+  for (size_t n = 0; n < features.size(); ++n) {
+    if (features[n] < 0) continue;  // leaf
+    ++interior;
+    EXPECT_EQ(static_cast<double>(static_cast<float>(thresholds[n])),
+              thresholds[n])
+        << "node " << n;
+  }
+  EXPECT_GT(interior, 0u);
+}
+
+TEST(CompactForestTest, CompactBytesAreSmallerThanSoa) {
+  MlDataset data = MakeNonlinearData(800, 42);
+  RandomForest forest;
+  forest.Fit(data.rows, data.targets);
+  forest.ConfigureCompact(0);
+  // SoA per node: int32 feature + double threshold + double value +
+  // 2x int32 children = 28 bytes. Compact: uint16 + float + int32 = 10 per
+  // node, plus an 8-byte leaf value per leaf (roughly half the nodes) and
+  // a root index per tree — about half the SoA footprint for leafy trees.
+  size_t soa_bytes = forest.total_nodes() * 28;
+  EXPECT_GT(forest.compact_bytes(), 0u);
+  EXPECT_LT(forest.compact_bytes(), (soa_bytes * 3) / 5);
+}
+
+// -- Plan-feature cache: keyed rows, first-writer-wins inserts, versioned
+// wholesale invalidation. --
+
+TEST(FeatureCacheTest, MissThenHitServesIdenticalRow) {
+  FeatureCache cache(3);
+  std::vector<double> row = {1.5, -2.0, 0.25};
+  std::vector<double> out(3, 0.0);
+  EXPECT_FALSE(cache.Lookup(42, /*version=*/1, out.data()));
+  cache.Insert(42, 1, row.data());
+  EXPECT_TRUE(cache.Lookup(42, 1, out.data()));
+  EXPECT_EQ(out, row);
+  EXPECT_FALSE(cache.Lookup(43, 1, out.data()));
+  FeatureCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.rows, 1u);
+}
+
+TEST(FeatureCacheTest, FirstWriterWins) {
+  FeatureCache cache(2);
+  std::vector<double> first = {1.0, 2.0};
+  std::vector<double> second = {9.0, 9.0};
+  std::vector<double> scratch(2, 0.0);
+  EXPECT_FALSE(cache.Lookup(7, 1, scratch.data()));
+  cache.Insert(7, 1, first.data());
+  cache.Insert(7, 1, second.data());  // duplicate insert: ignored
+  std::vector<double> out(2, 0.0);
+  ASSERT_TRUE(cache.Lookup(7, 1, out.data()));
+  EXPECT_EQ(out, first);
+  EXPECT_EQ(cache.Stats().rows, 1u);
+}
+
+TEST(FeatureCacheTest, VersionBumpClearsWholesale) {
+  FeatureCache cache(1);
+  double v1 = 11.0, v2 = 22.0;
+  double scratch = 0.0;
+  EXPECT_FALSE(cache.Lookup(1, 1, &scratch));  // syncs the cache to v1
+  cache.Insert(1, 1, &v1);
+  cache.Insert(2, 1, &v2);
+  EXPECT_EQ(cache.Stats().rows, 2u);
+  double out = 0.0;
+  // A lookup under a newer featurizer version invalidates every row.
+  EXPECT_FALSE(cache.Lookup(1, 2, &out));
+  EXPECT_EQ(cache.Stats().rows, 0u);
+  EXPECT_GE(cache.Stats().evictions, 1u);
+  cache.Insert(1, 2, &v1);
+  EXPECT_TRUE(cache.Lookup(1, 2, &out));
+  EXPECT_EQ(out, v1);
+}
+
+TEST(FeatureCacheTest, EvictsWholesaleAtCapacity) {
+  FeatureCache cache(1, /*max_rows=*/4);
+  double value = 1.0;
+  double scratch = 0.0;
+  EXPECT_FALSE(cache.Lookup(0, 1, &scratch));  // syncs the cache to v1
+  for (uint64_t key = 0; key < 4; ++key) cache.Insert(key, 1, &value);
+  EXPECT_EQ(cache.Stats().rows, 4u);
+  cache.Insert(99, 1, &value);  // fifth insert clears, then admits
+  FeatureCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.rows, 1u);
+  EXPECT_GE(stats.evictions, 1u);
+  double out = 0.0;
+  EXPECT_TRUE(cache.Lookup(99, 1, &out));
+  EXPECT_FALSE(cache.Lookup(0, 1, &out));
+}
+
+TEST(FeatureCacheTest, ConcurrentMixedLookupInsertIsConsistent) {
+  FeatureCache cache(2);
+  const size_t kKeys = 256;
+  ThreadPool::SetGlobalThreads(8);
+  // Every task lookup-or-computes its key's row twice; with first-writer-
+  // wins semantics every served row must equal the key's canonical row.
+  std::vector<double> errors = ParallelMap(kKeys * 2, [&](size_t i) {
+    uint64_t key = i % kKeys;
+    std::vector<double> want = {static_cast<double>(key),
+                                static_cast<double>(key) * 0.5};
+    std::vector<double> got(2, 0.0);
+    if (!cache.Lookup(key, 1, got.data())) {
+      cache.Insert(key, 1, want.data());
+      if (!cache.Lookup(key, 1, got.data())) return 1.0;
+    }
+    return got == want ? 0.0 : 1.0;
+  });
+  ThreadPool::SetGlobalThreads(ThreadPool::ParseThreadCount(nullptr));
+  for (double e : errors) EXPECT_EQ(e, 0.0);
+  EXPECT_EQ(cache.Stats().rows, kKeys);
+}
+
+TEST(FeatureCacheDeathTest, InsertUnderStaleVersionDies) {
+  FeatureCache cache(1);
+  double value = 3.0;
+  double scratch = 0.0;
+  EXPECT_FALSE(cache.Lookup(5, /*version=*/2, &scratch));
+  cache.Insert(5, /*version=*/2, &value);
+  // Inserting a row computed under an older featurizer version would poison
+  // the cache with mixed-version rows; the protocol CHECK-fails instead.
+  EXPECT_DEATH(cache.Insert(6, /*version=*/1, &value),
+               "stale featurizer version");
 }
 
 TEST(MetricsTest, R2PerfectAndMeanBaseline) {

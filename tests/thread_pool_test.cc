@@ -14,6 +14,7 @@
 #include "benchlib/lab.h"
 #include "cardinality/bayes_net_model.h"
 #include "cardinality/evaluation.h"
+#include "cardinality/query_driven.h"
 #include "cardinality/spn_model.h"
 #include "cardinality/training_data.h"
 #include "common/rng.h"
@@ -439,6 +440,54 @@ TEST_F(ThreadPoolTest, EstimateSubqueryBatchIsThreadCountInvariant) {
   }
   ExpectThreadCountInvariant(
       [&] { return f.lab->estimator->EstimateSubqueryBatch(subqueries); });
+}
+
+// ---------------------------------------------------------------------------
+// PR 5 sites: plan-feature cache and compact layouts in the retrain loop.
+// The lab-wide FeatureCache is cold on the first sweep and warm afterwards,
+// so the 1-thread reference runs mostly cold while the 2/8-thread runs are
+// served from the cache: the sweep checks warm-vs-cold identity as well as
+// thread-count invariance. Fingerprints cover plan signatures and simulated
+// times only — never cache hit/miss deltas, which legitimately differ
+// between the cold and warm passes.
+// ---------------------------------------------------------------------------
+
+TEST_F(ThreadPoolTest, CachedRetrainIsThreadCountInvariant) {
+  SiteFixture f;
+  ASSERT_NE(f.lab->feature_cache, nullptr);
+  HarnessOptions hopts;
+  hopts.training_passes = 2;  // second pass re-featurizes cached candidates
+  ExpectThreadCountInvariant([&] {
+    LeroOptimizer lero(f.lab->Context());
+    HyperQoOptimizer hyperqo(f.lab->Context());
+    double train_cost =
+        TrainLearnedOptimizer(&lero, f.workload, *f.lab->executor, hopts) +
+        TrainLearnedOptimizer(&hyperqo, f.workload, *f.lab->executor, hopts);
+    std::vector<std::string> signatures;
+    for (const Query& q : f.workload.queries) {
+      signatures.push_back(lero.ChoosePlan(q).Signature());
+      signatures.push_back(hyperqo.ChoosePlan(q).Signature());
+    }
+    return std::make_pair(signatures, train_cost);
+  });
+}
+
+TEST_F(ThreadPoolTest, CachedEstimatorRetrainIsThreadCountInvariant) {
+  SiteFixture f;
+  CeTrainingData data = BuildCeTrainingData(f.lab->catalog, f.lab->stats,
+                                            f.workload, f.lab->truth.get());
+  // One estimator across the sweep: its training-featurization cache is
+  // cold on the serial pass and warm on every retrain after it.
+  QueryDrivenEstimator forest(QueryDrivenEstimator::ModelType::kForest,
+                              &f.lab->catalog, &f.lab->stats);
+  ExpectThreadCountInvariant([&] {
+    forest.Train(data);
+    std::vector<double> estimates;
+    for (const Query& q : f.workload.queries) {
+      estimates.push_back(forest.EstimateSubquery(Subquery{&q, q.AllTables()}));
+    }
+    return estimates;
+  });
 }
 
 TEST_F(ThreadPoolTest, FrozenProviderServesConcurrentReadsDeterministically) {

@@ -271,6 +271,7 @@ class Linter {
     const bool is_header = IsHeader(input_.path);
     CheckBannedTokens();
     CheckUnorderedIter();
+    CheckParallelReduction();
     CheckRawThread();
     CheckMutexGuards();
     CheckAtomicComment();
@@ -501,6 +502,114 @@ class Linter {
                    "': iteration order is unspecified; iterate sorted keys or "
                    "waive with // lint: unordered-iter-ok(<reason>)");
         break;
+      }
+    }
+  }
+
+  // --- determinism: parallel-reduction -------------------------------------
+
+  // Names declared (anywhere in `code`) with scalar double/float type —
+  // locals, members and parameters alike. Template arguments
+  // (`vector<double>`) and function declarations (`double Predict(`) never
+  // match: the token after them is not a plain declared identifier.
+  static void CollectFloatScalarNames(std::string_view code,
+                                      std::vector<std::string>& names) {
+    for (std::string_view tok : {"double", "float"}) {
+      for (size_t pos : FindTokens(code, tok)) {
+        size_t i = SkipSpace(code, pos + tok.size());
+        if (i < code.size() && code[i] == '&') i = SkipSpace(code, i + 1);
+        size_t e = i;
+        while (e < code.size() && IdentChar(code[e])) ++e;
+        if (e == i) continue;  // `double>` / `double*` / `double(...)` cast
+        size_t after = SkipSpace(code, e);
+        // `double Name(` declares a function, not an accumulator.
+        if (after < code.size() && code[after] == '(') continue;
+        names.push_back(std::string(code.substr(i, e - i)));
+      }
+    }
+  }
+
+  // `sum += x` on a by-reference-captured double/float inside a
+  // ParallelFor/ParallelMap body is a cross-task reduction: a data race,
+  // and a scheduling-dependent reassociation of float additions even if it
+  // were locked. Index-addressed writes (`out[i] += ...`) and accumulators
+  // declared inside the lambda body are the sanctioned patterns and are
+  // exempt; a deliberate deterministic fold is stated with an
+  // // ordered-reduction: comment on the site.
+  void CheckParallelReduction() {
+    std::vector<std::string> names;
+    CollectFloatScalarNames(code_, names);
+    if (!input_.paired_header.empty()) {
+      ScrubResult header = Scrub(input_.paired_header);
+      CollectFloatScalarNames(header.code, names);
+    }
+    if (names.empty()) return;
+
+    for (std::string_view tok : {"ParallelFor", "ParallelMap"}) {
+      for (size_t pos : FindTokens(code_, tok)) {
+        // Locate the lambda: the `[` capture list shortly after the call,
+        // then the `{...}` body by brace balance.
+        size_t open = code_.find('[', pos);
+        if (open == std::string_view::npos || open > pos + 300) continue;
+        size_t close = code_.find(']', open);
+        if (close == std::string_view::npos) continue;
+        std::string_view capture = code_.substr(open + 1, close - open - 1);
+        // Only by-reference captures can alias an outer accumulator.
+        if (capture.find('&') == std::string_view::npos) continue;
+        size_t body_open = code_.find('{', close);
+        if (body_open == std::string_view::npos) continue;
+        int depth = 0;
+        size_t body_close = body_open;
+        while (body_close < code_.size()) {
+          if (code_[body_close] == '{') ++depth;
+          if (code_[body_close] == '}') {
+            --depth;
+            if (depth == 0) break;
+          }
+          ++body_close;
+        }
+        if (body_close >= code_.size()) continue;
+        std::string_view body =
+            code_.substr(body_open, body_close - body_open + 1);
+        // Accumulators declared inside the body are task-local: exempt.
+        std::vector<std::string> locals;
+        CollectFloatScalarNames(body, locals);
+
+        size_t p = 0;
+        while ((p = body.find("+=", p)) != std::string_view::npos) {
+          size_t global = body_open + p;
+          p += 2;
+          // Scan back over the lhs.
+          size_t j = global;
+          while (j > 0 && (code_[j - 1] == ' ' || code_[j - 1] == '\t')) --j;
+          if (j == 0) continue;
+          // `out[i] +=` / `f(x) +=`: index-addressed slot, the sanctioned
+          // pattern — every task owns a distinct element.
+          if (code_[j - 1] == ']' || code_[j - 1] == ')') continue;
+          size_t e = j;
+          size_t s = j;
+          while (s > 0 && IdentChar(code_[s - 1])) --s;
+          if (s == e) continue;
+          // Member access (`obj.x +=`): the object expression decides
+          // ownership; out of scope for this textual pass.
+          if (s > 0 && (code_[s - 1] == '.' ||
+                        (s > 1 && code_[s - 2] == '-' && code_[s - 1] == '>'))) {
+            continue;
+          }
+          std::string name(code_.substr(s, e - s));
+          if (std::find(locals.begin(), locals.end(), name) != locals.end())
+            continue;
+          if (std::find(names.begin(), names.end(), name) == names.end())
+            continue;
+          int line = lines_.LineAt(global);
+          if (CommentBlockContains(line, "ordered-reduction:")) continue;
+          ReportLine("parallel-reduction", line,
+                     "float accumulation '" + name + " +=' through a "
+                     "by-reference capture in a " + std::string(tok) +
+                     " body races and reassociates; reduce into "
+                     "index-addressed slots and fold serially, or state the "
+                     "determinism argument with // ordered-reduction:");
+        }
       }
     }
   }

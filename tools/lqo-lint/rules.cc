@@ -64,6 +64,22 @@ const std::vector<Rule>& Catalog() {
        "bypass LQO_THREADS, the nesting protocol, and the index-addressed\n"
        "result discipline that makes N-thread runs bit-identical to serial\n"
        "runs. std::thread::id / std::this_thread are fine (no spawning)."},
+      {"parallel-reduction", "determinism", Severity::kError,
+       "float/double += through a by-reference capture inside a ParallelFor/"
+       "ParallelMap body",
+       "// lint: parallel-reduction-ok(<reason>)",
+       "Accumulating a captured double/float with += from inside a\n"
+       "ParallelFor/ParallelMap body is a cross-task reduction: it is both a\n"
+       "data race and — even if locked — a reassociation of floating-point\n"
+       "additions whose result depends on scheduling, breaking the\n"
+       "bit-for-bit thread-invariance contract. Reduce into index-addressed\n"
+       "slots (out[i] = ...) and fold serially after the parallel region\n"
+       "(cf. RandomForest::PredictBatchWithUncertainty), or — when the\n"
+       "accumulation order is deterministic by construction — state it with\n"
+       "a // ordered-reduction: comment on the site, or waive with\n"
+       "// lint: parallel-reduction-ok(<reason>). The pass sees\n"
+       "declarations in the same file and in the paired header of a .cc;\n"
+       "locals declared inside the lambda body are exempt."},
       {"mutex-guards", "concurrency", Severity::kError,
        "std::mutex/std::shared_mutex member lacks a // guards: comment",
        "// lint: mutex-guards-ok(<reason>)",
