@@ -14,6 +14,8 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "costmodel/plan_featurizer.h"
+#include "engine/filter_kernels.h"
+#include "engine/vec_batch.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "ml/mlp.h"
@@ -225,6 +227,29 @@ struct InferenceFixture {
     check("compact-gbdt", [&](const std::vector<double>& row) {
       return gbdt.Predict(row);
     });
+
+    // Odd-size batch (not a multiple of the interleaved kernels' lane
+    // width, nor of the morsel size): exercises the remainder rows of the
+    // lockstep tree descent, which must still be bit-identical to scalar.
+    constexpr size_t kOddRows = 1021;
+    FeatureMatrix odd(kDim);
+    odd.Reserve(kOddRows);
+    for (size_t r = 0; r < kOddRows; ++r) odd.AddRow(rows[r]);
+    std::vector<double> odd_batch(kOddRows);
+    auto odd_check = [&](const char* name, auto&& scalar) {
+      for (size_t r = 0; r < kOddRows; ++r) {
+        LQO_CHECK_EQ(odd_batch[r], scalar(rows[r]))
+            << name << ": odd-size batch diverges from scalar at row " << r;
+      }
+    };
+    gbdt.PredictBatch(odd, odd_batch);
+    odd_check("gbdt-odd", [&](const std::vector<double>& row) {
+      return gbdt.Predict(row);
+    });
+    forest.PredictBatch(odd, odd_batch);
+    odd_check("forest-odd", [&](const std::vector<double>& row) {
+      return forest.Predict(row);
+    });
   }
 };
 
@@ -391,6 +416,138 @@ void BM_CompactGbdtLarge(benchmark::State& state) {
   RunLayoutBatch(state, LargeEnsemble().compact_gbdt);
 }
 BENCHMARK(BM_CompactGbdtLarge);
+
+// Selection-vector kernel fixture: one 64k-row int64 column plus a
+// half-density input selection. The constructor CHECK-fails if any kernel
+// disagrees with per-row Predicate::Matches, so every run of this binary
+// (including scripts/check.sh's filtered TSan pass) doubles as a kernel
+// correctness gate.
+struct KernelFixture {
+  static constexpr uint32_t kRows = 1u << 16;
+
+  std::vector<int64_t> col;
+  std::vector<uint32_t> half_sel;             // every other row
+  std::vector<int64_t> in_values;             // sorted-unique IN list
+  std::vector<uint32_t> out =
+      std::vector<uint32_t>(kRows);           // kernel output scratch
+
+  KernelFixture() {
+    Rng rng(77);
+    col.reserve(kRows);
+    for (uint32_t r = 0; r < kRows; ++r) col.push_back(rng.UniformInt(0, 999));
+    for (uint32_t r = 0; r < kRows; r += 2) half_sel.push_back(r);
+    in_values = {3, 17, 96, 204, 305, 401, 477, 508};
+
+    Predicate range = Predicate::Range(0, "c", 100, 600);
+    Predicate eq = Predicate::Equals(0, "c", 42);
+    Predicate in = Predicate::In(0, "c", in_values);
+    auto reference = [&](const Predicate& p, const uint32_t* sel,
+                         size_t count) {
+      std::vector<uint32_t> survivors;
+      for (size_t i = 0; i < count; ++i) {
+        uint32_t r = sel == nullptr ? static_cast<uint32_t>(i)
+                                    : sel[i];
+        if (p.Matches(col[r])) survivors.push_back(r);
+      }
+      return survivors;
+    };
+    auto check = [&](const char* name, const Predicate& p) {
+      size_t n = FilterDense(p, col.data(), 0, kRows, out.data());
+      std::vector<uint32_t> expect = reference(p, nullptr, kRows);
+      LQO_CHECK_EQ(n, expect.size()) << name << " dense count";
+      for (size_t i = 0; i < n; ++i) {
+        LQO_CHECK_EQ(out[i], expect[i]) << name << " dense row " << i;
+      }
+      n = FilterSel(p, col.data(), half_sel.data(), half_sel.size(),
+                    out.data());
+      expect = reference(p, half_sel.data(), half_sel.size());
+      LQO_CHECK_EQ(n, expect.size()) << name << " sel count";
+      for (size_t i = 0; i < n; ++i) {
+        LQO_CHECK_EQ(out[i], expect[i]) << name << " sel row " << i;
+      }
+    };
+    check("range", range);
+    check("eq", eq);
+    check("in", in);
+  }
+};
+
+KernelFixture& Kernels() {
+  static KernelFixture* fixture = new KernelFixture();
+  return *fixture;
+}
+
+void BM_KernelFilterRangeDense(benchmark::State& state) {
+  KernelFixture& f = Kernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FilterRangeDense(
+        f.col.data(), 0, KernelFixture::kRows, 100, 600, f.out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * KernelFixture::kRows);
+}
+BENCHMARK(BM_KernelFilterRangeDense);
+
+// Branchy tuple-at-a-time reference for the range kernel: what the scalar
+// executor path pays per row, for a direct rows/s comparison in the table.
+void BM_KernelFilterRangeScalarRef(benchmark::State& state) {
+  KernelFixture& f = Kernels();
+  for (auto _ : state) {
+    size_t n = 0;
+    for (uint32_t r = 0; r < KernelFixture::kRows; ++r) {
+      if (f.col[r] >= 100 && f.col[r] <= 600) f.out[n++] = r;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * KernelFixture::kRows);
+}
+BENCHMARK(BM_KernelFilterRangeScalarRef);
+
+void BM_KernelFilterEqDense(benchmark::State& state) {
+  KernelFixture& f = Kernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FilterEqDense(
+        f.col.data(), 0, KernelFixture::kRows, 42, f.out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * KernelFixture::kRows);
+}
+BENCHMARK(BM_KernelFilterEqDense);
+
+void BM_KernelFilterInDense(benchmark::State& state) {
+  KernelFixture& f = Kernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FilterInDense(f.col.data(), 0,
+                                           KernelFixture::kRows, f.in_values,
+                                           f.out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * KernelFixture::kRows);
+}
+BENCHMARK(BM_KernelFilterInDense);
+
+void BM_KernelFilterRangeSel(benchmark::State& state) {
+  KernelFixture& f = Kernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FilterRangeSel(f.col.data(), f.half_sel.data(),
+                                            f.half_sel.size(), 100, 600,
+                                            f.out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.half_sel.size()));
+}
+BENCHMARK(BM_KernelFilterRangeSel);
+
+void BM_KernelGatherAppend(benchmark::State& state) {
+  KernelFixture& f = Kernels();
+  size_t n = FilterRangeDense(f.col.data(), 0, KernelFixture::kRows, 100, 600,
+                              f.out.data());
+  std::vector<int64_t> gathered;
+  for (auto _ : state) {
+    gathered.clear();
+    GatherAppend(f.col.data(), f.out.data(), n, &gathered);
+    benchmark::DoNotOptimize(gathered.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelGatherAppend);
 
 void BM_PlanFeaturize(benchmark::State& state) {
   MicroFixture& f = Fixture();

@@ -50,8 +50,20 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
 # The scaling bench sweeps every parallel site at 1/2/4/N threads under
-# TSan and exits nonzero if any site diverges from its serial result.
+# TSan and exits nonzero if any site diverges from its serial result. Its
+# vectorized_exec site additionally folds the scalar and batch executor
+# paths into one fingerprint, so a scalar/vectorized divergence fails here
+# too (the >=1.5x throughput floor is compiled out under sanitizers).
 "$BUILD_DIR"/bench/bench_parallel_scaling
+
+# Vectorized-executor gates, under TSan + 4 threads: selection-vector
+# kernel reference checks, scan/join edge-case batches, and bit-equality
+# of scalar vs vectorized results at 1/2/8 threads.
+"$BUILD_DIR"/tests/engine_test --gtest_filter='Vectorized*'
+# The kernel microbenchmarks' fixture CHECK-fails if any filter kernel
+# disagrees with per-row Predicate::Matches.
+"$BUILD_DIR"/bench/bench_micro_components \
+  --benchmark_filter='Kernel' --benchmark_min_time=0.05
 
 # Batched-inference gates, still under TSan + 4 threads: the bit-identity
 # and thread-invariance tests, then the inference microbenchmarks (whose

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "engine/filter_kernels.h"
+#include "engine/vec_batch.h"
 
 namespace lqo {
 namespace {
@@ -121,11 +125,20 @@ struct JoinHashTable {
   }
 };
 
+// Process-wide default for the vectorized executor: on unless LQO_VECTORIZED=0.
+bool DefaultVectorized() {
+  const char* v = std::getenv("LQO_VECTORIZED");
+  return v == nullptr || std::string_view(v) != "0";
+}
+
 class PlanRunner {
  public:
   PlanRunner(const Catalog& catalog, const CostConstants& constants,
-             const Query& query)
-      : catalog_(catalog), constants_(constants), query_(query) {}
+             const Query& query, bool vectorized)
+      : catalog_(catalog),
+        constants_(constants),
+        query_(query),
+        vectorized_(vectorized) {}
 
   StatusOr<ExecutionResult> Run(const PlanNode& root) {
     auto chunk_or = Evaluate(root);
@@ -196,7 +209,9 @@ class PlanRunner {
       std::vector<std::vector<int64_t>> cols;
       uint64_t num_rows = 0;
     };
-    auto run_morsel = [&](size_t m) {
+    // Tuple-at-a-time reference path, kept byte-for-byte equivalent to the
+    // vectorized twin below for the LQO_VECTORIZED=0 A/B contract.
+    auto run_morsel_scalar = [&](size_t m) {
       MorselOut out;
       out.cols.resize(out_cols.size());
       size_t begin = m * n / num_morsels;
@@ -211,13 +226,61 @@ class PlanRunner {
         }
         if (!pass) continue;
         for (size_t c = 0; c < out_cols.size(); ++c) {
+          // lint: hot-loop-growth-ok(scalar reference path, not the hot kernel)
           out.cols[c].push_back(out_cols[c]->data[row]);
         }
         ++out.num_rows;
       }
       return out;
     };
-    std::vector<MorselOut> morsels = ParallelMap(num_morsels, run_morsel);
+    // Batch-at-a-time twin: same morsel boundaries, batches of kVecBatchRows
+    // flow through the branch-free filter kernels into bulk column gathers.
+    // Selection vectors stay ascending and predicates are applied in query
+    // order, so surviving rows (and their order) match the scalar loop
+    // exactly; evaluating later predicates only on survivors is equivalent
+    // to the scalar short-circuit.
+    auto run_morsel_vectorized = [&](size_t m) {
+      MorselOut out;
+      out.cols.resize(out_cols.size());
+      size_t begin = m * n / num_morsels;
+      size_t end = (m + 1) * n / num_morsels;
+      SelVector sel_a;
+      SelVector sel_b;
+      for (size_t batch = begin; batch < end; batch += kVecBatchRows) {
+        uint32_t b = static_cast<uint32_t>(batch);
+        uint32_t e =
+            static_cast<uint32_t>(std::min(end, batch + kVecBatchRows));
+        size_t count = e - b;
+        const uint32_t* sel = nullptr;
+        if (!predicates.empty()) {
+          uint32_t* cur = sel_a.row;
+          uint32_t* next = sel_b.row;
+          count =
+              FilterDense(predicates[0], pred_cols[0]->data.data(), b, e, cur);
+          for (size_t p = 1; p < predicates.size() && count > 0; ++p) {
+            count = FilterSel(predicates[p], pred_cols[p]->data.data(), cur,
+                              count, next);
+            std::swap(cur, next);
+          }
+          sel = cur;
+        }
+        if (count == 0) continue;
+        for (size_t c = 0; c < out_cols.size(); ++c) {
+          const int64_t* col = out_cols[c]->data.data();
+          if (sel == nullptr) {
+            AppendContiguous(col, b, count, &out.cols[c]);
+          } else {
+            GatherAppend(col, sel, count, &out.cols[c]);
+          }
+        }
+        out.num_rows += count;
+      }
+      return out;
+    };
+    if (vectorized_) LQO_CHECK_LT(n, (1ULL << 32));
+    std::vector<MorselOut> morsels =
+        vectorized_ ? ParallelMap(num_morsels, run_morsel_vectorized)
+                    : ParallelMap(num_morsels, run_morsel_scalar);
 
     Chunk chunk;
     for (const std::string& name : needed) {
@@ -297,6 +360,23 @@ class PlanRunner {
       }
       return FinalizeHash(h);
     };
+    // Column-wise batched hash kernel: one tight loop per key column over
+    // the morsel range, then one finalize loop. Per row it combines the key
+    // columns in the same key_cols order as key_hash, so every hash value
+    // is bit-identical to the row-at-a-time computation.
+    auto hash_range_columnwise = [&](const Chunk& side, bool use_left_col,
+                                     size_t begin, size_t end,
+                                     uint64_t* hashes) {
+      for (size_t r = begin; r < end; ++r) hashes[r] = 0;
+      for (auto [lc, rc] : key_cols) {
+        int col = use_left_col ? lc : rc;
+        const int64_t* data = side.cols[static_cast<size_t>(col)].data();
+        for (size_t r = begin; r < end; ++r) {
+          hashes[r] = HashCombine(hashes[r], data[r]);
+        }
+      }
+      for (size_t r = begin; r < end; ++r) hashes[r] = FinalizeHash(hashes[r]);
+    };
 
     // ---- Build phase: hash, scatter, per-partition open addressing. ----
     auto build_start = std::chrono::steady_clock::now();
@@ -304,6 +384,11 @@ class PlanRunner {
     std::vector<uint64_t> right_hashes(static_cast<size_t>(right.num_rows));
     ParallelFor(HashMorsels(right.num_rows), [&](size_t m) {
       auto [begin, end] = MorselRange(m, right.num_rows);
+      if (vectorized_) {
+        hash_range_columnwise(right, /*use_left_col=*/false, begin, end,
+                              right_hashes.data());
+        return;
+      }
       for (size_t r = begin; r < end; ++r) {
         right_hashes[r] = key_hash(right, /*use_left_col=*/false, r);
       }
@@ -346,6 +431,11 @@ class PlanRunner {
     std::vector<uint64_t> left_hashes(static_cast<size_t>(left.num_rows));
     ParallelFor(HashMorsels(left.num_rows), [&](size_t m) {
       auto [begin, end] = MorselRange(m, left.num_rows);
+      if (vectorized_) {
+        hash_range_columnwise(left, /*use_left_col=*/true, begin, end,
+                              left_hashes.data());
+        return;
+      }
       for (size_t l = begin; l < end; ++l) {
         left_hashes[l] = key_hash(left, /*use_left_col=*/true, l);
       }
@@ -368,6 +458,55 @@ class PlanRunner {
       PartitionOut out;
       out.cols.resize(out_width);
       const JoinHashTable& table = tables[p];
+      if (vectorized_) {
+        // Batched probe: the slot walk (and its collision counting) is
+        // identical to the scalar path, but surviving (l, r) pairs land in
+        // fixed-size match buffers and materialize in bulk per output
+        // column. Flush boundaries never reorder matches, so the output is
+        // bit-identical.
+        uint64_t match_l[kVecBatchRows];
+        uint32_t match_r[kVecBatchRows];
+        size_t n_match = 0;
+        auto flush = [&] {
+          for (size_t c = 0; c < left_width; ++c) {
+            GatherAppend(left.cols[c].data(), match_l, n_match, &out.cols[c]);
+          }
+          for (size_t c = 0; c < right.cols.size(); ++c) {
+            GatherAppend(right.cols[c].data(), match_r, n_match,
+                         &out.cols[left_width + c]);
+          }
+          out.num_rows += n_match;
+          n_match = 0;
+        };
+        for (uint64_t l : probe_rows[p]) {
+          uint64_t h = left_hashes[l];
+          size_t slot = static_cast<size_t>(h) & table.mask;
+          while (table.rows[slot] != JoinHashTable::kEmpty) {
+            if (table.hashes[slot] != h) {
+              ++out.probe_collisions;
+              slot = (slot + 1) & table.mask;
+              continue;
+            }
+            uint32_t r = table.rows[slot];
+            bool match = true;
+            for (auto [lc, rc] : key_cols) {
+              if (left.cols[static_cast<size_t>(lc)][l] !=
+                  right.cols[static_cast<size_t>(rc)][r]) {
+                match = false;
+                break;
+              }
+            }
+            if (match) {
+              match_l[n_match] = l;
+              match_r[n_match] = r;
+              if (++n_match == kVecBatchRows) flush();
+            }
+            slot = (slot + 1) & table.mask;
+          }
+        }
+        flush();
+        return out;
+      }
       for (uint64_t l : probe_rows[p]) {
         uint64_t h = left_hashes[l];
         size_t slot = static_cast<size_t>(h) & table.mask;
@@ -388,9 +527,11 @@ class PlanRunner {
           }
           if (match) {
             for (size_t c = 0; c < left_width; ++c) {
+              // lint: hot-loop-growth-ok(scalar reference path, LQO_VECTORIZED=0)
               out.cols[c].push_back(left.cols[c][l]);
             }
             for (size_t c = 0; c < right.cols.size(); ++c) {
+              // lint: hot-loop-growth-ok(scalar reference path, LQO_VECTORIZED=0)
               out.cols[left_width + c].push_back(right.cols[c][r]);
             }
             ++out.num_rows;
@@ -493,13 +634,16 @@ class PlanRunner {
   const Catalog& catalog_;
   const CostConstants& constants_;
   const Query& query_;
+  const bool vectorized_;
   std::vector<NodeProfile> profiles_;
 };
 
 }  // namespace
 
 Executor::Executor(const Catalog* catalog, CostConstants constants)
-    : catalog_(catalog), constants_(constants) {
+    : catalog_(catalog),
+      constants_(constants),
+      vectorized_(DefaultVectorized()) {
   LQO_CHECK(catalog_ != nullptr);
 }
 
@@ -507,7 +651,7 @@ StatusOr<ExecutionResult> Executor::Execute(const PhysicalPlan& plan) const {
   if (plan.query == nullptr || plan.root == nullptr) {
     return Status::InvalidArgument("plan missing query or root");
   }
-  PlanRunner runner(*catalog_, constants_, *plan.query);
+  PlanRunner runner(*catalog_, constants_, *plan.query, vectorized_);
   return runner.Run(*plan.root);
 }
 

@@ -68,6 +68,16 @@ struct ExecutionResult {
 /// partition/morsel. All boundaries depend only on the input, so results
 /// are bit-for-bit identical across LQO_THREADS settings (DESIGN.md
 /// "Concurrency model").
+///
+/// Within each morsel, rows flow batch-at-a-time by default: scans run
+/// branch-free selection-vector kernels (engine/filter_kernels.h) over
+/// kVecBatchRows-row batches and materialize survivors with bulk column
+/// gathers; joins hash key columns column-wise and buffer probe matches for
+/// bulk materialization. Setting env LQO_VECTORIZED=0 flips the process
+/// default to the tuple-at-a-time reference path; both paths share every
+/// morsel/partition boundary and emit rows in the same order, so
+/// ExecutionResult (row_count, time_units, NodeProfile counters) is
+/// bit-for-bit identical between them (DESIGN.md "Vectorized execution").
 class Executor {
  public:
   explicit Executor(const Catalog* catalog,
@@ -80,9 +90,16 @@ class Executor {
   const CostConstants& constants() const { return constants_; }
   const Catalog& catalog() const { return *catalog_; }
 
+  /// Batch-at-a-time execution toggle. Defaults from env LQO_VECTORIZED at
+  /// construction ("0" = scalar reference path); the setter exists for
+  /// scalar-vs-vectorized A/B in tests and benches.
+  bool vectorized() const { return vectorized_; }
+  void set_vectorized(bool v) { vectorized_ = v; }
+
  private:
   const Catalog* catalog_;
   CostConstants constants_;
+  bool vectorized_ = true;
 };
 
 /// Builds a left-deep plan over the connected table set `tables` of `query`

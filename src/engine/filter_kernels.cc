@@ -1,0 +1,119 @@
+#include "engine/filter_kernels.h"
+
+namespace lqo {
+namespace {
+
+// Branchless membership test against a sorted-unique IN list: a lower-bound
+// descent whose step is selected by comparison, not control flow. Agrees
+// with std::binary_search (Predicate::Matches) on every input because the
+// list is sorted and duplicate-free.
+inline bool InListContains(const int64_t* base, size_t n, int64_t v) {
+  while (n > 1) {
+    size_t half = n / 2;
+    base += (base[half - 1] < v) ? half : 0;
+    n -= half;
+  }
+  return *base == v;
+}
+
+}  // namespace
+
+size_t FilterEqDense(const int64_t* col, uint32_t row_begin, uint32_t row_end,
+                     int64_t value, uint32_t* out_sel) {
+  size_t k = 0;
+  for (uint32_t r = row_begin; r < row_end; ++r) {
+    out_sel[k] = r;
+    k += static_cast<size_t>(col[r] == value);
+  }
+  return k;
+}
+
+size_t FilterEqSel(const int64_t* col, const uint32_t* sel, size_t count,
+                   int64_t value, uint32_t* out_sel) {
+  size_t k = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t r = sel[i];
+    out_sel[k] = r;
+    k += static_cast<size_t>(col[r] == value);
+  }
+  return k;
+}
+
+size_t FilterRangeDense(const int64_t* col, uint32_t row_begin,
+                        uint32_t row_end, int64_t lo, int64_t hi,
+                        uint32_t* out_sel) {
+  size_t k = 0;
+  for (uint32_t r = row_begin; r < row_end; ++r) {
+    int64_t v = col[r];
+    out_sel[k] = r;
+    // Bitwise & of the two bool outcomes: no short-circuit branch.
+    k += static_cast<size_t>((v >= lo) & (v <= hi));
+  }
+  return k;
+}
+
+size_t FilterRangeSel(const int64_t* col, const uint32_t* sel, size_t count,
+                      int64_t lo, int64_t hi, uint32_t* out_sel) {
+  size_t k = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t r = sel[i];
+    int64_t v = col[r];
+    out_sel[k] = r;
+    k += static_cast<size_t>((v >= lo) & (v <= hi));
+  }
+  return k;
+}
+
+size_t FilterInDense(const int64_t* col, uint32_t row_begin, uint32_t row_end,
+                     std::span<const int64_t> sorted_values,
+                     uint32_t* out_sel) {
+  const int64_t* base = sorted_values.data();
+  size_t n = sorted_values.size();
+  size_t k = 0;
+  for (uint32_t r = row_begin; r < row_end; ++r) {
+    out_sel[k] = r;
+    k += static_cast<size_t>(InListContains(base, n, col[r]));
+  }
+  return k;
+}
+
+size_t FilterInSel(const int64_t* col, const uint32_t* sel, size_t count,
+                   std::span<const int64_t> sorted_values, uint32_t* out_sel) {
+  const int64_t* base = sorted_values.data();
+  size_t n = sorted_values.size();
+  size_t k = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t r = sel[i];
+    out_sel[k] = r;
+    k += static_cast<size_t>(InListContains(base, n, col[r]));
+  }
+  return k;
+}
+
+size_t FilterDense(const Predicate& p, const int64_t* col, uint32_t row_begin,
+                   uint32_t row_end, uint32_t* out_sel) {
+  switch (p.kind) {
+    case PredicateKind::kEquals:
+      return FilterEqDense(col, row_begin, row_end, p.value, out_sel);
+    case PredicateKind::kRange:
+      return FilterRangeDense(col, row_begin, row_end, p.lo, p.hi, out_sel);
+    case PredicateKind::kIn:
+      return FilterInDense(col, row_begin, row_end, p.in_values, out_sel);
+  }
+  return 0;
+}
+
+size_t FilterSel(const Predicate& p, const int64_t* col, const uint32_t* sel,
+                 size_t count, uint32_t* out_sel) {
+  switch (p.kind) {
+    case PredicateKind::kEquals:
+      return FilterEqSel(col, sel, count, p.value, out_sel);
+    case PredicateKind::kRange:
+      return FilterRangeSel(col, sel, count, p.lo, p.hi, out_sel);
+    case PredicateKind::kIn:
+      return FilterInSel(col, sel, count, p.in_values, out_sel);
+  }
+  return 0;
+}
+
+}  // namespace lqo

@@ -1,0 +1,55 @@
+#ifndef LQO_ENGINE_VEC_BATCH_H_
+#define LQO_ENGINE_VEC_BATCH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace lqo {
+
+/// Batch format of the vectorized executor (DESIGN.md "Vectorized
+/// execution").
+///
+/// The executor processes rows in fixed-size batches of `kVecBatchRows`
+/// consecutive rows. Qualifying rows are described by a *selection vector*:
+/// an ascending array of absolute row ids (uint32 — the executor CHECKs
+/// inputs below 2^32 rows). Predicate kernels (engine/filter_kernels.h)
+/// consume one selection vector and produce the next without branching on
+/// the predicate outcome; materialization gathers surviving rows
+/// column-by-column in bulk. Because selection vectors are always ascending
+/// and batches are walked in row order, the vectorized pipeline emits rows
+/// in exactly the order the tuple-at-a-time loop does — the basis of the
+/// scalar/vectorized bit-equality contract.
+constexpr size_t kVecBatchRows = 1024;
+
+/// Fixed-capacity selection vector: ascending absolute row ids plus a
+/// count. Sized for one batch; kernels write it without bounds branches.
+struct SelVector {
+  uint32_t row[kVecBatchRows];
+  size_t count = 0;
+};
+
+/// Appends `col[sel[0..count)]` to `*out` in one resize plus a tight gather
+/// loop — the batched twin of per-row `out->push_back(col[row])`. Index is
+/// uint32 for scan selection vectors and uint64 for join probe-side rows.
+template <typename Index>
+inline void GatherAppend(const int64_t* col, const Index* sel, size_t count,
+                         std::vector<int64_t>* out) {
+  size_t offset = out->size();
+  out->resize(offset + count);
+  int64_t* dst = out->data() + offset;
+  for (size_t i = 0; i < count; ++i) dst[i] = col[sel[i]];
+}
+
+/// Appends the contiguous rows `[row_begin, row_begin + count)` of `col` —
+/// the fully-selected fast path (no selection vector needed).
+inline void AppendContiguous(const int64_t* col, uint32_t row_begin,
+                             size_t count, std::vector<int64_t>* out) {
+  size_t offset = out->size();
+  out->resize(offset + count);
+  std::memcpy(out->data() + offset, col + row_begin, count * sizeof(int64_t));
+}
+
+}  // namespace lqo
+
+#endif  // LQO_ENGINE_VEC_BATCH_H_

@@ -24,6 +24,15 @@ bool FeatureCache::Lookup(uint64_t key, uint32_t version, double* out) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
+      // Fall through to the previous generation. No promotion: moving the
+      // row would need the exclusive lock, and rotated-out rows are served
+      // read-only until the next rotation drops them.
+      auto prev = slots_prev_.find(key);
+      if (prev != slots_prev_.end()) {
+        std::memcpy(out, rows_prev_.Row(prev->second), dim_ * sizeof(double));
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
       misses_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -44,6 +53,12 @@ bool FeatureCache::Lookup(uint64_t key, uint32_t version, double* out) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+    auto prev = slots_prev_.find(key);
+    if (prev != slots_prev_.end()) {
+      std::memcpy(out, rows_prev_.Row(prev->second), dim_ * sizeof(double));
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   return false;
@@ -58,8 +73,14 @@ void FeatureCache::Insert(uint64_t key, uint32_t version, const double* row) {
       << "FeatureCache::Insert under a stale featurizer version";
   if (slots_.find(key) != slots_.end()) return;  // first writer wins
   if (slots_.size() >= max_rows_) {
-    ClearLocked();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    // Rotate generations: current becomes previous (still servable), the
+    // old previous is dropped. Working sets up to 2 * max_rows keep
+    // hitting instead of thrashing through wholesale clears.
+    rows_prev_ = std::move(rows_);
+    slots_prev_ = std::move(slots_);
+    rows_.Reset(dim_);
+    slots_.clear();
+    generation_evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   slots_.emplace(key, rows_.rows());
   rows_.AddRow(std::span<const double>(row, dim_));
@@ -67,7 +88,9 @@ void FeatureCache::Insert(uint64_t key, uint32_t version, const double* row) {
 
 void FeatureCache::ClearLocked() {
   slots_.clear();
+  slots_prev_.clear();
   rows_.Reset(dim_);
+  rows_prev_.Reset(dim_);
 }
 
 FeatureCacheStats FeatureCache::Stats() const {
@@ -75,9 +98,11 @@ FeatureCacheStats FeatureCache::Stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.generation_evictions =
+      generation_evictions_.load(std::memory_order_relaxed);
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
-    stats.rows = slots_.size();
+    stats.rows = slots_.size() + slots_prev_.size();
   }
   return stats;
 }

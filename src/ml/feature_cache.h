@@ -17,8 +17,12 @@ namespace lqo {
 struct FeatureCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
+  /// Version-mismatch wholesale clears (both generations dropped).
   uint64_t evictions = 0;
-  /// Rows currently resident.
+  /// Capacity rotations: the current generation filled and became the
+  /// previous generation (whose rows stay servable until the next rotation).
+  uint64_t generation_evictions = 0;
+  /// Rows currently resident (both generations).
   uint64_t rows = 0;
 };
 
@@ -44,11 +48,20 @@ struct FeatureCacheStats {
 /// featurizer can never be served. Inserting under a stale version is a
 /// programming error and CHECK-fails: compute-then-insert must happen under
 /// one version, i.e. bump versions only between epochs, not mid-flight.
+/// Capacity policy: two generations (current + previous). When the current
+/// generation reaches `max_rows` it *rotates* — current becomes previous,
+/// the old previous is dropped, and a fresh current starts filling. Lookups
+/// fall through to the previous generation (no promotion, so hits stay on
+/// the shared-lock path), which means a retrain working set larger than
+/// max_rows keeps serving recent rows instead of thrashing through
+/// wholesale clears; total residency is bounded by 2 * max_rows. Rotations
+/// are counted in generation_evictions, version-mismatch wholesale clears
+/// (which drop both generations) in evictions.
 class FeatureCache {
  public:
-  /// `dim` is the width every row must have; `max_rows` bounds residency
-  /// (reaching it wholesale-clears — plan populations are epoch-periodic, so
-  /// LRU bookkeeping would cost more than the rare full rebuild).
+  /// `dim` is the width every row must have; `max_rows` bounds each
+  /// generation (see the two-generation capacity policy above — LRU
+  /// bookkeeping would cost more than the occasional rotation).
   explicit FeatureCache(size_t dim, size_t max_rows = 1u << 18);
 
   size_t dim() const { return dim_; }
@@ -67,29 +80,36 @@ class FeatureCache {
   FeatureCacheStats Stats() const;
 
  private:
-  /// Wholesale-clears rows (not counters). Caller holds mutex_ exclusively.
+  /// Wholesale-clears both generations (not counters). Caller holds mutex_
+  /// exclusively.
   void ClearLocked() LQO_REQUIRES(mutex_);
 
   const size_t dim_;
   const size_t max_rows_;
   /// Featurizer version the resident rows were computed under.
   uint32_t version_ LQO_GUARDED_BY(mutex_) = 0;
-  /// Row storage; slots_ maps key -> row index. Rows are append-only
-  /// between clears, so an index handed out under the lock stays valid
-  /// until the next exclusive-lock clear.
+  /// Current-generation row storage; slots_ maps key -> row index. Rows are
+  /// append-only between rotations/clears, so an index handed out under the
+  /// lock stays valid until the next exclusive-lock rotation or clear.
   FeatureMatrix rows_ LQO_GUARDED_BY(mutex_);
+  /// Previous generation: the last rotated-out row set, still servable.
+  FeatureMatrix rows_prev_ LQO_GUARDED_BY(mutex_);
   /// Keys are pre-mixed hashes; identity-hashing avoids a second pass.
   struct IdentityHash {
     size_t operator()(uint64_t h) const { return static_cast<size_t>(h); }
   };
   std::unordered_map<uint64_t, size_t, IdentityHash> slots_
       LQO_GUARDED_BY(mutex_);
-  // guards: version_, rows_, slots_ — shared-lock reads (Lookup hit path),
-  // exclusive-lock inserts/clears; rows are computed outside any lock.
+  std::unordered_map<uint64_t, size_t, IdentityHash> slots_prev_
+      LQO_GUARDED_BY(mutex_);
+  // guards: version_, rows_, rows_prev_, slots_, slots_prev_ — shared-lock
+  // reads (Lookup hit path), exclusive-lock inserts/rotations/clears; rows
+  // are computed outside any lock.
   mutable std::shared_mutex mutex_;
-  std::atomic<uint64_t> hits_{0};       // relaxed: monotonic stat only
-  std::atomic<uint64_t> misses_{0};     // relaxed: monotonic stat only
-  std::atomic<uint64_t> evictions_{0};  // relaxed: monotonic stat only
+  std::atomic<uint64_t> hits_{0};    // relaxed: monotonic stat only
+  std::atomic<uint64_t> misses_{0};  // relaxed: monotonic stat only
+  std::atomic<uint64_t> evictions_{0};             // relaxed: monotonic stat
+  std::atomic<uint64_t> generation_evictions_{0};  // relaxed: monotonic stat
 };
 
 }  // namespace lqo

@@ -2,6 +2,7 @@
 #define LQO_STORAGE_COLUMN_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,11 @@ struct Column {
   int64_t min_value = 0;
   int64_t max_value = 0;
   int64_t num_distinct = 0;
+
+  /// Contiguous view of the column values, for the vectorized kernels
+  /// (engine/filter_kernels.h): one span covers the whole column, so scan
+  /// batches index it directly with absolute row ids.
+  std::span<const int64_t> Span() const { return {data.data(), data.size()}; }
 
   /// Renders a cell for debugging (dictionary-decoded when categorical).
   std::string ValueToString(size_t row) const;

@@ -2,6 +2,7 @@
 #define LQO_STORAGE_TABLE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,11 @@ class Table {
 
   const Column& column(size_t index) const;
   const std::vector<Column>& columns() const { return columns_; }
+
+  /// Contiguous span of one column's values (vectorized-kernel accessor).
+  std::span<const int64_t> ColumnSpan(size_t index) const {
+    return column(index).Span();
+  }
 
   /// Index of the column named `name`, or kNotFound error.
   StatusOr<size_t> ColumnIndex(const std::string& name) const;

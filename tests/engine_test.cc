@@ -1,12 +1,16 @@
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "engine/executor.h"
+#include "engine/filter_kernels.h"
 #include "engine/plan.h"
 #include "engine/explain.h"
 #include "engine/true_cardinality.h"
+#include "engine/vec_batch.h"
 #include "query/workload.h"
 #include "storage/datasets.h"
 
@@ -253,6 +257,217 @@ TEST(ExplainAnalyzeTest, RendersEstimatesActualsAndFlagsErrors) {
   // partition path.
   EXPECT_NE(text.find("collisions="), std::string::npos) << text;
   EXPECT_NE(text.find("partitions=1"), std::string::npos) << text;
+}
+
+// --- Vectorized execution: kernels, edge cases, scalar/vectorized and
+// thread-count bit-equality (DESIGN.md "Vectorized execution"). ------------
+
+// Full ExecutionResult equality, excluding the wall-clock *_seconds
+// diagnostics — the only fields outside the determinism contract.
+void ExpectResultsBitIdentical(const ExecutionResult& a,
+                               const ExecutionResult& b) {
+  EXPECT_EQ(a.row_count, b.row_count);
+  EXPECT_EQ(a.time_units, b.time_units);
+  ASSERT_EQ(a.node_profiles.size(), b.node_profiles.size());
+  for (size_t i = 0; i < a.node_profiles.size(); ++i) {
+    const NodeProfile& p = a.node_profiles[i];
+    const NodeProfile& q = b.node_profiles[i];
+    EXPECT_EQ(p.kind, q.kind) << "node " << i;
+    EXPECT_EQ(p.algorithm, q.algorithm) << "node " << i;
+    EXPECT_EQ(p.table_index, q.table_index) << "node " << i;
+    EXPECT_EQ(p.left_rows, q.left_rows) << "node " << i;
+    EXPECT_EQ(p.right_rows, q.right_rows) << "node " << i;
+    EXPECT_EQ(p.output_rows, q.output_rows) << "node " << i;
+    EXPECT_EQ(p.time_units, q.time_units) << "node " << i;
+    EXPECT_EQ(p.build_collisions, q.build_collisions) << "node " << i;
+    EXPECT_EQ(p.probe_collisions, q.probe_collisions) << "node " << i;
+    EXPECT_EQ(p.partitions, q.partitions) << "node " << i;
+  }
+}
+
+// Two joinable tables of parameterized size with overlapping skewed keys
+// (hash chains + collisions) and filterable value columns.
+Catalog MakeSyntheticCatalog(size_t rows_a, size_t rows_b) {
+  Catalog catalog;
+  {
+    TableBuilder b("big_a");
+    b.AddInt64Column("k");
+    b.AddInt64Column("v");
+    for (size_t i = 0; i < rows_a; ++i) {
+      b.AppendRow({static_cast<int64_t>((i * 37 + 11) % 512),
+                   static_cast<int64_t>((i * 13) % 1000)});
+    }
+    LQO_CHECK(catalog.AddTable(b.Build()).ok());
+  }
+  {
+    TableBuilder b("big_b");
+    b.AddInt64Column("k");
+    b.AddInt64Column("w");
+    for (size_t i = 0; i < rows_b; ++i) {
+      b.AppendRow({static_cast<int64_t>((i * 29 + 3) % 512),
+                   static_cast<int64_t>(i % 7)});
+    }
+    LQO_CHECK(catalog.AddTable(b.Build()).ok());
+  }
+  LQO_CHECK(catalog
+                .AddJoinEdge({.left_table = "big_a",
+                              .left_column = "k",
+                              .right_table = "big_b",
+                              .right_column = "k"})
+                .ok());
+  return catalog;
+}
+
+TEST(VectorizedKernelTest, KernelsMatchPredicateReference) {
+  std::vector<int64_t> col;
+  for (size_t i = 0; i < 2500; ++i) {
+    col.push_back(static_cast<int64_t>((i * 31 + 7) % 97));
+  }
+  std::vector<Predicate> predicates = {
+      Predicate::Equals(0, "c", 42),
+      Predicate::Range(0, "c", 20, 60),
+      Predicate::Range(0, "c", -5, 1000),  // fully selected
+      Predicate::Range(0, "c", 200, 300),  // fully filtered
+      Predicate::In(0, "c", {3, 5, 8, 13, 21, 34, 55, 89}),
+  };
+  std::vector<uint32_t> sel(col.size());
+  std::vector<uint32_t> out(col.size());
+  for (const Predicate& p : predicates) {
+    // Dense kernel over the whole column vs per-row Matches.
+    size_t got = FilterDense(p, col.data(), 0,
+                             static_cast<uint32_t>(col.size()), out.data());
+    std::vector<uint32_t> want;
+    for (uint32_t r = 0; r < col.size(); ++r) {
+      if (p.Matches(col[r])) want.push_back(r);
+    }
+    ASSERT_EQ(got, want.size());
+    for (size_t i = 0; i < got; ++i) EXPECT_EQ(out[i], want[i]);
+    // Sel kernel refining every third row.
+    size_t count = 0;
+    for (uint32_t r = 0; r < col.size(); r += 3) sel[count++] = r;
+    got = FilterSel(p, col.data(), sel.data(), count, out.data());
+    want.clear();
+    for (size_t i = 0; i < count; ++i) {
+      if (p.Matches(col[sel[i]])) want.push_back(sel[i]);
+    }
+    ASSERT_EQ(got, want.size());
+    for (size_t i = 0; i < got; ++i) EXPECT_EQ(out[i], want[i]);
+  }
+  // Empty batch: zero rows in, zero survivors out.
+  EXPECT_EQ(FilterDense(predicates[0], col.data(), 5, 5, out.data()), 0u);
+  EXPECT_EQ(FilterSel(predicates[0], col.data(), sel.data(), 0, out.data()),
+            0u);
+}
+
+TEST(VectorizedScanTest, EdgeCaseSelectionsMatchScalar) {
+  // Batch-size boundaries around kVecBatchRows and the morsel/parallel
+  // thresholds; predicates that select everything, nothing, and a mix.
+  for (size_t rows : {size_t{1}, kVecBatchRows - 1, kVecBatchRows,
+                      kVecBatchRows + 1, size_t{4096}, size_t{8193}}) {
+    Catalog catalog = MakeSyntheticCatalog(rows, 16);
+    Executor executor(&catalog);
+    struct Case {
+      const char* name;
+      std::vector<Predicate> predicates;
+    };
+    std::vector<Case> cases = {
+        {"all", {Predicate::Range(0, "v", -1, 10000)}},
+        {"none", {Predicate::Range(0, "v", 5000, 6000)}},
+        {"mixed", {Predicate::Range(0, "v", 100, 700)}},
+        {"chained",
+         {Predicate::Range(0, "v", 100, 700), Predicate::In(0, "k", {1, 2, 3}),
+          Predicate::Equals(0, "v", 104)}},
+        {"nopred", {}},
+    };
+    for (const Case& c : cases) {
+      Query q;
+      q.AddTable("big_a");
+      for (const Predicate& p : c.predicates) q.AddPredicate(p);
+      PhysicalPlan plan;
+      plan.query = &q;
+      plan.root = MakeScanNode(0);
+      executor.set_vectorized(true);
+      auto vec = executor.Execute(plan);
+      executor.set_vectorized(false);
+      auto scalar = executor.Execute(plan);
+      ASSERT_TRUE(vec.ok() && scalar.ok()) << c.name << " rows=" << rows;
+      ExpectResultsBitIdentical(*vec, *scalar);
+      // Cross-check the count against a direct per-row evaluation.
+      uint64_t want = 0;
+      const Table& t = **catalog.GetTable("big_a");
+      for (size_t r = 0; r < t.num_rows(); ++r) {
+        bool pass = true;
+        for (const Predicate& p : c.predicates) {
+          auto idx = t.ColumnIndex(p.column);
+          if (!p.Matches(t.ValueAt(r, *idx))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) ++want;
+      }
+      EXPECT_EQ(vec->row_count, want) << c.name << " rows=" << rows;
+    }
+  }
+}
+
+TEST(VectorizedJoinTest, MatchesScalarBitForBitAcrossThreads) {
+  // Sizes straddle the parallel-join threshold (8192 build+probe rows) and
+  // the batch size, so both the single-partition and the 16-partition radix
+  // paths are exercised; match counts exceed kVecBatchRows per partition on
+  // the larger sizes, exercising the match-buffer flush.
+  struct Shape {
+    size_t rows_a, rows_b;
+  };
+  for (Shape shape : {Shape{100, 50}, Shape{1025, 1023}, Shape{4096, 4095},
+                      Shape{9000, 3000}}) {
+    Catalog catalog = MakeSyntheticCatalog(shape.rows_a, shape.rows_b);
+    Executor executor(&catalog);
+    Query q;
+    q.AddTable("big_a");
+    q.AddTable("big_b");
+    q.AddJoin(0, "k", 1, "k");
+    q.AddPredicate(Predicate::Range(1, "w", 0, 4));
+    PhysicalPlan plan;
+    plan.query = &q;
+    plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                             MakeScanNode(1));
+
+    ExecutionResult reference;
+    bool have_reference = false;
+    for (int threads : {1, 2, 8}) {
+      ThreadPool::SetGlobalThreads(static_cast<size_t>(threads));
+      executor.set_vectorized(true);
+      auto vec = executor.Execute(plan);
+      executor.set_vectorized(false);
+      auto scalar = executor.Execute(plan);
+      ASSERT_TRUE(vec.ok() && scalar.ok())
+          << shape.rows_a << "x" << shape.rows_b << " threads=" << threads;
+      ExpectResultsBitIdentical(*vec, *scalar);
+      if (!have_reference) {
+        reference = *vec;
+        have_reference = true;
+      } else {
+        ExpectResultsBitIdentical(*vec, reference);
+      }
+    }
+    ThreadPool::SetGlobalThreads(ThreadPool::ParseThreadCount(nullptr));
+  }
+}
+
+TEST(VectorizedExecutorTest, EnvEscapeHatchControlsDefault) {
+  Catalog catalog = MakeToyCatalog();
+  setenv("LQO_VECTORIZED", "0", /*overwrite=*/1);
+  Executor scalar_default(&catalog);
+  EXPECT_FALSE(scalar_default.vectorized());
+  setenv("LQO_VECTORIZED", "1", /*overwrite=*/1);
+  Executor vectorized_on(&catalog);
+  EXPECT_TRUE(vectorized_on.vectorized());
+  unsetenv("LQO_VECTORIZED");
+  Executor vectorized_default(&catalog);
+  EXPECT_TRUE(vectorized_default.vectorized());
+  vectorized_default.set_vectorized(false);
+  EXPECT_FALSE(vectorized_default.vectorized());
 }
 
 TEST(TrueCardinalityTest, SubqueryMonotoneUnderPredicates) {

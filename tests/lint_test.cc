@@ -366,6 +366,86 @@ TEST(LintRules, UsingNamespaceHeaderViolatingAndConforming) {
             0);
 }
 
+TEST(LintRules, HotLoopGrowthViolatingAndConforming) {
+  // Growth in a nested loop of a hot-path file fires.
+  std::string violating = R"cpp(
+    void Kernel(std::vector<std::vector<long>>& cols, long n) {
+      for (long r = 0; r < n; ++r) {
+        for (size_t c = 0; c < cols.size(); ++c) {
+          cols[c].push_back(r);
+        }
+      }
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("engine/executor.cc", violating),
+                  "hot-loop-growth"),
+            1);
+  // emplace_back in a while-inside-for fires too.
+  std::string while_nested = R"cpp(
+    void Probe(std::vector<long>& out, long n) {
+      for (long l = 0; l < n; ++l) {
+        while (Step(l)) {
+          out.emplace_back(l);
+        }
+      }
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("engine/executor.cc", while_nested),
+                  "hot-loop-growth"),
+            1);
+  // Depth-1 growth (scatter loops) and bulk gathers are fine.
+  std::string conforming = R"cpp(
+    void Scatter(std::vector<long>& out, long n) {
+      for (long r = 0; r < n; ++r) {
+        out.push_back(r);
+      }
+      for (long r = 0; r < n; ++r) {
+        for (long c = 0; c < 3; ++c) {
+          GatherAppend(col, sel, count, &out);
+        }
+      }
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("engine/executor.cc", conforming),
+                  "hot-loop-growth"),
+            0);
+  // The rule is scoped to hot-path files: engine/ and *kernel* paths.
+  EXPECT_EQ(Count(LintText("optimizer/search.cc", violating),
+                  "hot-loop-growth"),
+            0);
+  EXPECT_EQ(Count(LintText("ml/scan_kernels.cc", violating),
+                  "hot-loop-growth"),
+            1);
+  // Non-member push_back identifiers don't count.
+  std::string free_fn = R"cpp(
+    void F(long n) {
+      for (long r = 0; r < n; ++r) {
+        for (long c = 0; c < 3; ++c) {
+          push_back(r);
+        }
+      }
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("engine/executor.cc", free_fn), "hot-loop-growth"),
+            0);
+}
+
+TEST(LintRules, HotLoopGrowthWaiverOnScalarReferencePath) {
+  std::string waived = R"cpp(
+    void Scan(std::vector<long>& out, long n) {
+      for (long r = 0; r < n; ++r) {
+        for (long c = 0; c < 3; ++c) {
+          // lint: hot-loop-growth-ok(scalar reference path for A/B equality)
+          out.push_back(r);
+        }
+      }
+    }
+  )cpp";
+  std::vector<Finding> findings = LintText("engine/executor.cc", waived);
+  EXPECT_EQ(Count(findings, "hot-loop-growth", /*waived=*/false), 0);
+  EXPECT_EQ(Count(findings, "hot-loop-growth", /*waived=*/true), 1);
+}
+
 // --- waivers ---------------------------------------------------------------
 
 TEST(LintWaivers, SameLineAndPrecedingLineWaive) {

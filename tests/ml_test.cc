@@ -682,20 +682,68 @@ TEST(FeatureCacheTest, VersionBumpClearsWholesale) {
   EXPECT_EQ(out, v1);
 }
 
-TEST(FeatureCacheTest, EvictsWholesaleAtCapacity) {
+TEST(FeatureCacheTest, CapacityRotatesGenerations) {
   FeatureCache cache(1, /*max_rows=*/4);
   double value = 1.0;
   double scratch = 0.0;
   EXPECT_FALSE(cache.Lookup(0, 1, &scratch));  // syncs the cache to v1
   for (uint64_t key = 0; key < 4; ++key) cache.Insert(key, 1, &value);
   EXPECT_EQ(cache.Stats().rows, 4u);
-  cache.Insert(99, 1, &value);  // fifth insert clears, then admits
+  cache.Insert(99, 1, &value);  // fifth insert rotates, then admits
   FeatureCacheStats stats = cache.Stats();
-  EXPECT_EQ(stats.rows, 1u);
-  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_EQ(stats.rows, 5u);  // 1 current + 4 rotated-out but servable
+  EXPECT_EQ(stats.generation_evictions, 1u);
+  // Only the initial version sync counts as a wholesale eviction; capacity
+  // pressure rotates instead of clearing.
+  EXPECT_EQ(stats.evictions, 1u);
   double out = 0.0;
-  EXPECT_TRUE(cache.Lookup(99, 1, &out));
+  EXPECT_TRUE(cache.Lookup(99, 1, &out));  // current generation
+  EXPECT_TRUE(cache.Lookup(0, 1, &out));   // previous generation still serves
+}
+
+TEST(FeatureCacheTest, SecondRotationDropsOldestGeneration) {
+  FeatureCache cache(1, /*max_rows=*/2);
+  double value = 1.0;
+  double scratch = 0.0;
+  EXPECT_FALSE(cache.Lookup(0, 1, &scratch));  // syncs the cache to v1
+  for (uint64_t key = 0; key < 5; ++key) cache.Insert(key, 1, &value);
+  // Inserting 0..4 rotates twice: {0,1} filled, rotated out by 2; {2,3}
+  // filled, rotated out by 4. The oldest generation {0,1} is gone.
+  FeatureCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.generation_evictions, 2u);
+  EXPECT_EQ(stats.rows, 3u);  // current {4} + previous {2,3}
+  double out = 0.0;
   EXPECT_FALSE(cache.Lookup(0, 1, &out));
+  EXPECT_FALSE(cache.Lookup(1, 1, &out));
+  EXPECT_TRUE(cache.Lookup(2, 1, &out));
+  EXPECT_TRUE(cache.Lookup(3, 1, &out));
+  EXPECT_TRUE(cache.Lookup(4, 1, &out));
+}
+
+TEST(FeatureCacheTest, WorkingSetLargerThanMaxRowsStopsThrashing) {
+  // A retrain working set larger than max_rows (but within two
+  // generations) must keep hitting after warmup. Under the old wholesale
+  // clear, every pass over 6 keys with max_rows=4 re-missed most keys.
+  FeatureCache cache(1, /*max_rows=*/4);
+  double scratch = 0.0;
+  EXPECT_FALSE(cache.Lookup(0, 1, &scratch));  // syncs the cache to v1
+  const uint64_t kWorkingSet = 6;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (uint64_t key = 0; key < kWorkingSet; ++key) {
+      double out = 0.0;
+      if (!cache.Lookup(key, 1, &out)) {
+        double row = static_cast<double>(key);
+        cache.Insert(key, 1, &row);
+      }
+    }
+  }
+  FeatureCacheStats stats = cache.Stats();
+  // Warmup misses each key at most twice (initial + one rotation casualty);
+  // steady-state passes are all hits.
+  EXPECT_LE(stats.misses, 1 + 2 * kWorkingSet);
+  EXPECT_GE(stats.hits, 2 * kWorkingSet);
+  EXPECT_EQ(stats.evictions, 1u);  // the initial version sync only
+  EXPECT_GE(stats.generation_evictions, 1u);
 }
 
 TEST(FeatureCacheTest, ConcurrentMixedLookupInsertIsConsistent) {

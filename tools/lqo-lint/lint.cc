@@ -275,6 +275,7 @@ class Linter {
     CheckRawThread();
     CheckMutexGuards();
     CheckAtomicComment();
+    CheckHotLoopGrowth();
     if (is_header) {
       CheckHeaderGuard();
       CheckUsingNamespace();
@@ -735,6 +736,72 @@ class Linter {
                  "std::atomic '" + std::string(code_.substr(i, e - i)) +
                      "' needs a comment stating its protocol (what it "
                      "counts/signals and why the ordering is sound)");
+    }
+  }
+
+  // --- hygiene: hot-loop-growth --------------------------------------------
+
+  // Per-row container growth (member push_back/emplace_back) inside a
+  // nested loop of a hot-path file (engine/, *kernel*) defeats the batched
+  // execution substrate: each call re-checks capacity and may reallocate
+  // mid-scan, where the vectorized kernels size once per batch and write
+  // through a raw pointer (GatherAppend in engine/vec_batch.h). Depth-1
+  // loops (one growth per outer item, e.g. scatter loops) are accepted;
+  // only growth inside an inner loop — per row per something — fires.
+  void CheckHotLoopGrowth() {
+    if (input_.path.find("engine/") == std::string::npos &&
+        input_.path.find("kernel") == std::string::npos) {
+      return;
+    }
+    std::vector<size_t> sites;
+    for (std::string_view tok : {"push_back", "emplace_back"}) {
+      for (size_t pos : FindTokens(code_, tok)) {
+        bool member = pos > 0 && (code_[pos - 1] == '.' ||
+                                  (pos > 1 && code_[pos - 2] == '-' &&
+                                   code_[pos - 1] == '>'));
+        if (member && NextIs(pos + tok.size(), '(')) sites.push_back(pos);
+      }
+    }
+    if (sites.empty()) return;
+    std::sort(sites.begin(), sites.end());
+
+    // One pass tracking brace scopes; a scope whose statement head contains
+    // for/while/do is a loop scope. `;` separates statements only at paren
+    // depth 0, so for-loop heads (which hold `;`s inside their parens) stay
+    // attached to their brace.
+    std::vector<char> scopes;  // 'l' = loop, 'o' = other
+    size_t stmt_start = 0;
+    int paren_depth = 0;
+    size_t next_site = 0;
+    for (size_t i = 0; i < code_.size() && next_site < sites.size(); ++i) {
+      if (i == sites[next_site]) {
+        ++next_site;
+        auto loops = std::count(scopes.begin(), scopes.end(), 'l');
+        if (loops >= 2) {
+          Report("hot-loop-growth", i,
+                 "per-row container growth inside a nested loop of a "
+                 "hot-path file; size once per batch and gather "
+                 "(engine/vec_batch.h), or waive a deliberate scalar path "
+                 "with // lint: hot-loop-growth-ok(<reason>)");
+        }
+      }
+      char c = code_[i];
+      if (c == '(') {
+        ++paren_depth;
+      } else if (c == ')') {
+        if (paren_depth > 0) --paren_depth;
+      } else if (c == '{') {
+        std::string_view head = code_.substr(stmt_start, i - stmt_start);
+        bool loop = HasToken(head, "for") || HasToken(head, "while") ||
+                    HasToken(head, "do");
+        scopes.push_back(loop ? 'l' : 'o');
+        stmt_start = i + 1;
+      } else if (c == '}') {
+        if (!scopes.empty()) scopes.pop_back();
+        stmt_start = i + 1;
+      } else if (c == ';' && paren_depth == 0) {
+        stmt_start = i + 1;
+      }
     }
   }
 

@@ -115,6 +115,20 @@ const std::vector<Rule>& Catalog() {
        "Headers must open with an include guard (#ifndef X / #define X,\n"
        "matching macro) or #pragma once before any code. The repo\n"
        "convention is LQO_<PATH>_H_ guards."},
+      {"hot-loop-growth", "hygiene", Severity::kError,
+       "per-row push_back/emplace_back inside a nested loop of a hot-path "
+       "file",
+       "// lint: hot-loop-growth-ok(<reason>)",
+       "Growing a container one element per row from inside a nested loop\n"
+       "of a hot-path file (engine/, *kernel*) defeats the batched\n"
+       "execution substrate: every call re-checks capacity, may reallocate\n"
+       "mid-scan, and serializes the inner loop on the container's size\n"
+       "bookkeeping. Batch kernels size the output once per batch and write\n"
+       "through a raw pointer instead — gather survivors with GatherAppend /\n"
+       "AppendContiguous (src/engine/vec_batch.h) or bulk insert() after the\n"
+       "loop. Deliberate per-row growth (e.g. a scalar reference path kept\n"
+       "for A/B equality) is waived with\n"
+       "// lint: hot-loop-growth-ok(<reason>)."},
       {"using-namespace-header", "hygiene", Severity::kError,
        "using namespace at header scope",
        "// lint: using-namespace-header-ok(<reason>)",
