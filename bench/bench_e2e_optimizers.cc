@@ -8,6 +8,7 @@
 
 #include "benchlib/e2e_harness.h"
 #include "benchlib/lab.h"
+#include "common/logging.h"
 #include "common/stats_util.h"
 #include "common/str_util.h"
 #include "common/table_printer.h"
@@ -16,6 +17,8 @@
 #include "e2e/leon.h"
 #include "e2e/lero.h"
 #include "e2e/neo.h"
+#include "serving/front_end.h"
+#include "serving/plan_cache.h"
 
 namespace lqo {
 namespace {
@@ -54,7 +57,8 @@ void RunDataset(const std::string& dataset) {
 
   TablePrinter table({"Optimizer", "speedup", "GMRL", "wins", "losses",
                       "worst regr", "train cost", "infer rows",
-                      "infer rows/s", "cache hits", "cache miss"});
+                      "infer rows/s", "feat hits", "feat miss", "feat rot",
+                      "plan hits", "plan miss", "plan inval"});
   for (auto& optimizer : optimizers) {
     // Per-optimizer delta of the lab-wide plan-feature cache: candidates
     // re-featurized across retrain epochs (and signatures shared across
@@ -65,6 +69,23 @@ void RunDataset(const std::string& dataset) {
     E2eEvalResult result = EvaluateLearnedOptimizer(
         optimizer.get(), lab->Context(), test, *lab->executor);
     FeatureCacheStats cache_after = lab->feature_cache->Stats();
+
+    // Serving pass: the trained optimizer behind the lab-wide parameterized
+    // plan cache, replaying the test workload twice (cold fills, the second
+    // pass should hit). Producer-tagged types keep optimizers apart inside
+    // the one shared cache.
+    PlanCacheStats plan_before = lab->plan_cache->Stats();
+    LearnedOptimizerPlanProducer producer(optimizer.get());
+    ServingFrontEnd front_end(lab->plan_cache.get(), &producer,
+                              lab->executor.get());
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Query& q : test.queries) {
+        auto served = front_end.Serve(q);
+        LQO_CHECK(served.ok()) << served.status().ToString();
+      }
+    }
+    PlanCacheStats plan_delta = lab->plan_cache->Stats() - plan_before;
+
     table.AddRow({result.name, FormatDouble(result.Speedup(), 4),
                   FormatDouble(Gmrl(result), 4), std::to_string(result.wins),
                   std::to_string(result.losses),
@@ -73,7 +94,12 @@ void RunDataset(const std::string& dataset) {
                   std::to_string(result.inference.rows),
                   FormatDouble(result.inference.RowsPerSec(), 0),
                   std::to_string(cache_after.hits - cache_before.hits),
-                  std::to_string(cache_after.misses - cache_before.misses)});
+                  std::to_string(cache_after.misses - cache_before.misses),
+                  std::to_string(cache_after.generation_evictions -
+                                 cache_before.generation_evictions),
+                  std::to_string(plan_delta.hits),
+                  std::to_string(plan_delta.misses),
+                  std::to_string(plan_delta.invalidations)});
   }
   std::printf("%s\n", table.ToString("-- dataset: " + dataset +
                                      " (speedup>1 & GMRL<1 beat native) --")

@@ -73,6 +73,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
   --gtest_filter='*BatchedCandidateScoring*:*EstimateSubqueryBatch*'
 "$BUILD_DIR"/bench/bench_micro_components \
   --benchmark_filter='Inference' --benchmark_min_time=0.05
+
+# Serving front end determinism site, under TSan: replays concurrent
+# sessions (drift + parameter-sensitive scenarios included) through the
+# shared plan cache at LQO_THREADS 1/2/8 and exits nonzero unless the
+# fingerprints are bit-identical (the 3x throughput gate is compiled out
+# under sanitizers).
+"$BUILD_DIR"/bench/bench_serving --determinism-only
 echo "check.sh: stage 2 (TSan suite) passed with LQO_THREADS=4"
 
 # --- Stage 3: UndefinedBehaviorSanitizer suite -----------------------------

@@ -33,6 +33,7 @@ std::unique_ptr<Lab> MakeLabFromCatalog(Catalog catalog) {
   lab->executor = std::make_unique<Executor>(&lab->catalog);
   lab->truth = std::make_unique<TrueCardinalityService>(&lab->catalog);
   lab->feature_cache = std::make_unique<FeatureCache>(PlanFeaturizer::kDim);
+  lab->plan_cache = std::make_unique<PlanCache>();
   return lab;
 }
 

@@ -11,6 +11,7 @@
 #include "optimizer/baseline_estimator.h"
 #include "optimizer/optimizer.h"
 #include "query/workload.h"
+#include "serving/plan_cache.h"
 #include "storage/datasets.h"
 
 namespace lqo {
@@ -31,6 +32,10 @@ struct Lab {
   /// (query, plan signature) for a fixed baseline estimator, so rows
   /// survive across retrain epochs and across optimizers.
   std::unique_ptr<FeatureCache> feature_cache;
+  /// Lab-wide parameterized plan cache for the serving front end: one cache
+  /// shared by every ServingFrontEnd built from this lab (producer-tagged
+  /// type keys keep families apart; see src/serving/front_end.h).
+  std::unique_ptr<PlanCache> plan_cache;
 
   /// Non-owning view for the e2e learned optimizers.
   E2eContext Context() const {
@@ -41,6 +46,7 @@ struct Lab {
     context.cost_model = cost_model.get();
     context.estimator = estimator.get();
     context.feature_cache = feature_cache.get();
+    context.plan_cache = plan_cache.get();
     return context;
   }
 };

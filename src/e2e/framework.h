@@ -15,6 +15,8 @@
 
 namespace lqo {
 
+class PlanCache;  // serving/plan_cache.h; e2e never dereferences it.
+
 /// Shared context every end-to-end learned optimizer plans against: the
 /// native optimizer, its statistics and its baseline estimator. Each
 /// learned optimizer owns its own CardinalityProvider so knob turning
@@ -30,6 +32,12 @@ struct E2eContext {
   /// estimator (see FeaturizePlanCached). Null disables caching; features
   /// are identical either way.
   FeatureCache* feature_cache = nullptr;
+  /// Optional lab-wide parameterized plan cache for the serving front end
+  /// (src/serving). Like feature_cache it is shared plumbing, not policy:
+  /// e2e code never touches it; ServingFrontEnd keys it per producer so
+  /// many optimizer families share one cache without collisions. Null when
+  /// the lab serves nothing.
+  PlanCache* plan_cache = nullptr;
 };
 
 /// One observed execution, the unit of experience for risk models.

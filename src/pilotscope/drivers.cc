@@ -51,6 +51,23 @@ StatusOr<ExecutionResult> CardinalityDriver::Algo(const Query& query) {
   return interactor_->PullExecution(*plan);
 }
 
+StatusOr<PhysicalPlan> CardinalityDriver::PlanQuery(const Query& query) {
+  if (interactor_ == nullptr) {
+    return Status::FailedPrecondition("driver not initialized");
+  }
+  auto subqueries = interactor_->PullSubqueries(query);
+  if (!subqueries.ok()) return subqueries.status();
+  LQO_RETURN_IF_ERROR(interactor_->ClearPushes());
+  for (const Subquery& subquery : *subqueries) {
+    LQO_RETURN_IF_ERROR(interactor_->PushCardinalityOverride(
+        subquery.Key(), estimator_->EstimateSubquery(subquery)));
+  }
+  auto plan = interactor_->PullPlan(query);
+  if (!plan.ok()) return plan.status();
+  LQO_RETURN_IF_ERROR(interactor_->ClearPushes());
+  return plan;
+}
+
 std::string CardinalityDriver::Name() const {
   return "ce_driver(" + estimator_->Name() + ")";
 }
@@ -107,6 +124,26 @@ StatusOr<ExecutionResult> BaoDriver::Algo(const Query& query) {
     since_retrain_ = 0;
   }
   return result;
+}
+
+StatusOr<PhysicalPlan> BaoDriver::PlanQuery(const Query& query) {
+  if (interactor_ == nullptr) {
+    return Status::FailedPrecondition("driver not initialized");
+  }
+  // The planning half of Algo: collect hint-set candidates and score them,
+  // but neither execute nor learn — serving feedback goes to the plan
+  // cache's drift detector, not the risk model.
+  auto candidates = Candidates(query);
+  if (!candidates.ok()) return candidates.status();
+  size_t chosen = 0;
+  if (risk_model_.trained() && candidates->size() > 1) {
+    std::vector<std::vector<double>> features;
+    for (const PhysicalPlan& plan : *candidates) {
+      features.push_back(PlanFeaturizer::Featurize(plan));
+    }
+    chosen = risk_model_.PickBest(features);
+  }
+  return std::move((*candidates)[chosen]);
 }
 
 Status BaoDriver::TrainOnWorkload(const Workload& workload) {
@@ -180,6 +217,23 @@ StatusOr<ExecutionResult> LeroDriver::Algo(const Query& query) {
   return result;
 }
 
+StatusOr<PhysicalPlan> LeroDriver::PlanQuery(const Query& query) {
+  if (interactor_ == nullptr) {
+    return Status::FailedPrecondition("driver not initialized");
+  }
+  auto candidates = Candidates(query);
+  if (!candidates.ok()) return candidates.status();
+  size_t chosen = 0;
+  if (risk_model_.trained() && candidates->size() > 1) {
+    std::vector<std::vector<double>> features;
+    for (const PhysicalPlan& plan : *candidates) {
+      features.push_back(PlanFeaturizer::Featurize(plan));
+    }
+    chosen = risk_model_.PickBest(features);
+  }
+  return std::move((*candidates)[chosen]);
+}
+
 Status LeroDriver::TrainOnWorkload(const Workload& workload) {
   if (interactor_ == nullptr) {
     return Status::FailedPrecondition("driver not initialized");
@@ -196,5 +250,15 @@ Status LeroDriver::TrainOnWorkload(const Workload& workload) {
   risk_model_.Train(experience_);
   return Status::Ok();
 }
+
+DriverPlanProducer::DriverPlanProducer(Driver* driver) : driver_(driver) {
+  LQO_CHECK(driver_ != nullptr);
+}
+
+StatusOr<PhysicalPlan> DriverPlanProducer::Plan(const Query& query) {
+  return driver_->PlanQuery(query);
+}
+
+std::string DriverPlanProducer::Name() const { return driver_->Name(); }
 
 }  // namespace lqo

@@ -7,6 +7,7 @@
 #include "e2e/risk_models.h"
 #include "optimizer/cardinality_interface.h"
 #include "pilotscope/driver.h"
+#include "serving/front_end.h"
 
 namespace lqo {
 
@@ -23,6 +24,7 @@ class CardinalityDriver : public Driver {
 
   Status Init(DbInteractor* interactor) override;
   StatusOr<ExecutionResult> Algo(const Query& query) override;
+  StatusOr<PhysicalPlan> PlanQuery(const Query& query) override;
   std::string Name() const override;
 
  private:
@@ -39,6 +41,7 @@ class BaoDriver : public Driver {
 
   Status Init(DbInteractor* interactor) override;
   StatusOr<ExecutionResult> Algo(const Query& query) override;
+  StatusOr<PhysicalPlan> PlanQuery(const Query& query) override;
   Status TrainOnWorkload(const Workload& workload) override;
   std::string Name() const override { return "bao_driver"; }
 
@@ -63,6 +66,7 @@ class LeroDriver : public Driver {
 
   Status Init(DbInteractor* interactor) override;
   StatusOr<ExecutionResult> Algo(const Query& query) override;
+  StatusOr<PhysicalPlan> PlanQuery(const Query& query) override;
   Status TrainOnWorkload(const Workload& workload) override;
   std::string Name() const override { return "lero_driver"; }
 
@@ -75,6 +79,22 @@ class LeroDriver : public Driver {
   std::vector<double> scale_factors_;
   ExperienceBuffer experience_;
   PairwiseRiskModel risk_model_;
+};
+
+/// Adapts any PilotScope driver's PlanQuery to the serving front end, so
+/// the middleware's drivers are servable like the e2e optimizers. Not
+/// thread-safe: drivers hold per-session interactor state (pushed hints,
+/// cardinality overrides), so the front end plans them serially.
+class DriverPlanProducer : public PlanProducer {
+ public:
+  /// The driver must be Init()-ed by the caller and outlive the producer.
+  explicit DriverPlanProducer(Driver* driver);
+
+  StatusOr<PhysicalPlan> Plan(const Query& query) override;
+  std::string Name() const override;
+
+ private:
+  Driver* driver_;
 };
 
 }  // namespace lqo

@@ -84,6 +84,61 @@ std::vector<std::string> PredicateColumns(const Catalog& catalog,
   return result;
 }
 
+Query ResampleConstants(const Catalog& catalog, const Query& query, Rng& rng,
+                        double range_widen) {
+  Query out;
+  for (const QueryTable& t : query.tables()) {
+    out.AddTable(t.table_name, t.alias);
+  }
+  for (const QueryJoin& j : query.joins()) {
+    out.AddJoin(j.left_table, j.left_column, j.right_table, j.right_column);
+  }
+  for (const Predicate& p : query.predicates()) {
+    const Table& table =
+        *catalog.GetTable(query.tables()[static_cast<size_t>(p.table_index)]
+                              .table_name)
+             .value();
+    size_t col_idx = table.ColumnIndex(p.column).value();
+    const Column& col = table.column(col_idx);
+    LQO_CHECK_GT(table.num_rows(), 0u);
+    auto draw = [&]() {
+      return col.data[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(table.num_rows()) - 1))];
+    };
+    int64_t anchor = draw();
+    switch (p.kind) {
+      case PredicateKind::kEquals:
+        out.AddPredicate(Predicate::Equals(p.table_index, p.column, anchor));
+        break;
+      case PredicateKind::kIn: {
+        std::vector<int64_t> values;
+        values.reserve(p.in_values.size());
+        for (size_t i = 0; i < p.in_values.size(); ++i) values.push_back(draw());
+        out.AddPredicate(
+            Predicate::In(p.table_index, p.column, std::move(values)));
+        break;
+      }
+      case PredicateKind::kRange: {
+        int64_t span = std::max<int64_t>(1, col.max_value - col.min_value);
+        // Width uniform in [0.2, 0.4] * range_widen * span: bounded away
+        // from zero so same-scale bindings have bounded selectivity
+        // variance, while range_widen far from 1 still produces near-point
+        // (or whole-span) ranges.
+        int64_t width = static_cast<int64_t>(
+            rng.UniformDouble(0.2, 0.4) * range_widen *
+            static_cast<double>(span));
+        width = std::clamp<int64_t>(width, 0, span);
+        int64_t lo = std::max(anchor - width / 2, col.min_value);
+        int64_t hi = std::min(anchor + width / 2, col.max_value);
+        if (lo > hi) std::swap(lo, hi);
+        out.AddPredicate(Predicate::Range(p.table_index, p.column, lo, hi));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 Workload GenerateWorkload(const Catalog& catalog,
                           const WorkloadOptions& options) {
   Rng rng(options.seed);

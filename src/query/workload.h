@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.h"
 #include "storage/catalog.h"
 #include "query/query.h"
 
@@ -42,6 +43,17 @@ Workload GenerateWorkload(const Catalog& catalog,
 /// the generator places predicates on.
 std::vector<std::string> PredicateColumns(const Catalog& catalog,
                                           const std::string& table);
+
+/// Rebuilds `query` with identical tables, aliases, join graph and predicate
+/// shapes (column + kind, and the same IN-list length) but freshly sampled
+/// constants — a new parameter binding of the same structural query type, so
+/// QueryTypeHash(ResampleConstants(q)) == QueryTypeHash(q) always. Constants
+/// are anchored on actual rows like GenerateWorkload's; range predicates are
+/// resampled two-sided with width scaled by `range_widen` (>1 widens toward
+/// whole-column spans, <1 tightens — the serving benches use this to stage
+/// cardinality drift and parameter-sensitive types).
+Query ResampleConstants(const Catalog& catalog, const Query& query, Rng& rng,
+                        double range_widen = 1.0);
 
 }  // namespace lqo
 

@@ -1,0 +1,113 @@
+#include "serving/query_type.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lqo {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+uint64_t MixHash(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashBytes(const std::string& s, uint64_t h) {
+  for (char c : s) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ull;  // FNV-1a prime.
+  }
+  return h;
+}
+
+// Predicate *shape*: column and kind only. Every literal payload (value,
+// lo/hi, in_values and even the IN-list length) is a constant and is
+// deliberately excluded — that is the typing contract.
+uint64_t HashPredicateShape(const Predicate& p) {
+  uint64_t h = HashBytes(p.column, kFnvOffset);
+  return MixHash(h ^ (static_cast<uint64_t>(p.kind) + 0x9e37u));
+}
+
+const char* PredicateKindName(PredicateKind kind) {
+  switch (kind) {
+    case PredicateKind::kEquals:
+      return "=?";
+    case PredicateKind::kRange:
+      return " between ?";
+    case PredicateKind::kIn:
+      return " in (?)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+uint64_t QueryTypeHash(const Query& query) {
+  // Tables fold *sequentially* in index order: cached plans reference
+  // tables by query-table index, so the index -> table assignment is part
+  // of the type (see the header). Predicate shapes within a table combine
+  // by addition — their attachment order is a no-op to the executor.
+  uint64_t tables_hash = kFnvOffset;
+  for (int t = 0; t < query.num_tables(); ++t) {
+    const std::string& name = query.tables()[static_cast<size_t>(t)].table_name;
+    uint64_t shapes_hash = 0;
+    for (const Predicate& p : query.PredicatesOf(t)) {
+      shapes_hash += MixHash(HashPredicateShape(p));
+    }
+    uint64_t part = HashBytes(name, kFnvOffset);
+    tables_hash =
+        MixHash(tables_hash ^ MixHash(part ^ MixHash(shapes_hash + 0x517cc1b7u)));
+  }
+
+  // With indices pinned above, joins hash as index-qualified columns:
+  // endpoint-symmetric per conjunct (a=b and b=a are the same join) and
+  // commutative across the conjunct list (the executor picks applicable
+  // conjuncts per join node, so list order is a no-op too).
+  uint64_t joins_hash = 0;
+  for (const QueryJoin& j : query.joins()) {
+    uint64_t a = HashBytes(
+        j.left_column,
+        MixHash(static_cast<uint64_t>(j.left_table) + 0x2eu) ^ kFnvOffset);
+    uint64_t b = HashBytes(
+        j.right_column,
+        MixHash(static_cast<uint64_t>(j.right_table) + 0x2eu) ^ kFnvOffset);
+    joins_hash += MixHash((a ^ b) + MixHash(a + b));
+  }
+  return MixHash(tables_hash ^ MixHash(joins_hash + 0x85ebca6bu));
+}
+
+std::string QueryTypeKey(const Query& query) {
+  // Same canonicalization as the hash, rendered: table parts in FROM order
+  // (the index assignment is part of the type) with sorted '?'-masked
+  // predicate shapes, then sorted index-qualified symmetric join conjuncts.
+  std::string key;
+  for (int t = 0; t < query.num_tables(); ++t) {
+    std::vector<std::string> shapes;
+    for (const Predicate& p : query.PredicatesOf(t)) {
+      shapes.push_back(p.column + PredicateKindName(p.kind));
+    }
+    std::sort(shapes.begin(), shapes.end());
+    key += query.tables()[static_cast<size_t>(t)].table_name + "{";
+    for (const std::string& s : shapes) key += s + ";";
+    key += "}|";
+  }
+
+  std::vector<std::string> join_parts;
+  for (const QueryJoin& j : query.joins()) {
+    std::string a = "#" + std::to_string(j.left_table) + "." + j.left_column;
+    std::string b = "#" + std::to_string(j.right_table) + "." + j.right_column;
+    if (b < a) std::swap(a, b);
+    join_parts.push_back(a + "=" + b);
+  }
+  std::sort(join_parts.begin(), join_parts.end());
+
+  key += "/";
+  for (const std::string& p : join_parts) key += p + "|";
+  return key;
+}
+
+}  // namespace lqo

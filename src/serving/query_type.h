@@ -1,0 +1,37 @@
+#ifndef LQO_SERVING_QUERY_TYPE_H_
+#define LQO_SERVING_QUERY_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "query/query.h"
+
+namespace lqo {
+
+/// Structural query typing, following aqo's preprocessing strategy: two
+/// queries are of the same *type* if and only if they are equal or differ
+/// only in their constants. The hash covers base tables, the join graph
+/// (endpoint tables + columns, endpoint-symmetric) and every predicate's
+/// *shape* — its table, column and kind — while stripping every literal:
+/// the kEquals value, the kRange bounds, and the kIn values (including the
+/// IN-list length, which is just "how many constants", not structure).
+///
+/// Predicate and join-conjunct *attachment order* is neutral (the executor
+/// re-derives both from the query by table index, so reordering them is a
+/// no-op), but the FROM-clause table order is folded sequentially: a cached
+/// plan's scan and join nodes reference tables by query-table index, so two
+/// queries may only share a type if index i names the same table in both.
+/// Same tables in a different FROM order is not a constants-only difference
+/// and hashes differently. This is the key of the serving-layer plan cache:
+/// one plan optimized for a type is rebound to every later parameter
+/// binding of it, and any same-type query must be a sound binding target.
+uint64_t QueryTypeHash(const Query& query);
+
+/// Human-readable canonical rendering of the type with constants replaced by
+/// '?' — the debugging/test companion of QueryTypeHash. Equal type keys
+/// imply equal type hashes.
+std::string QueryTypeKey(const Query& query);
+
+}  // namespace lqo
+
+#endif  // LQO_SERVING_QUERY_TYPE_H_
