@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
@@ -15,6 +16,7 @@
 #include "common/rng.h"
 #include "costmodel/plan_featurizer.h"
 #include "engine/filter_kernels.h"
+#include "engine/simd.h"
 #include "engine/vec_batch.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
@@ -469,6 +471,46 @@ struct KernelFixture {
     check("range", range);
     check("eq", eq);
     check("in", in);
+
+    // Per-ISA-level bit-equality at odd batch sizes: every supported SIMD
+    // level must agree with the scalar reference table on sizes that leave
+    // 1/3/... row remainder tails after the 2/4/8-row lane groups. Guards
+    // the dispatch layer itself, not just whichever level is active.
+    const simd::KernelTable& ref = simd::KernelsFor(simd::Level::kScalar);
+    std::vector<uint32_t> expect(kRows);
+    for (uint32_t n : {1u, 1023u, 1025u, 8193u, kRows}) {
+      for (simd::Level level : simd::SupportedLevels()) {
+        const simd::KernelTable& kt = simd::KernelsFor(level);
+        auto check_isa = [&](const char* name, size_t want, size_t got) {
+          LQO_CHECK_EQ(want, got)
+              << name << " count, level=" << simd::LevelName(level)
+              << " n=" << n;
+          for (size_t i = 0; i < want; ++i) {
+            LQO_CHECK_EQ(expect[i], out[i])
+                << name << " row " << i
+                << ", level=" << simd::LevelName(level) << " n=" << n;
+          }
+        };
+        check_isa("eq",
+                  ref.filter_eq_dense(col.data(), 0, n, 42, expect.data()),
+                  kt.filter_eq_dense(col.data(), 0, n, 42, out.data()));
+        check_isa(
+            "range",
+            ref.filter_range_dense(col.data(), 0, n, 100, 600, expect.data()),
+            kt.filter_range_dense(col.data(), 0, n, 100, 600, out.data()));
+        check_isa("in",
+                  ref.filter_in_dense(col.data(), 0, n, in_values.data(),
+                                      in_values.size(), expect.data()),
+                  kt.filter_in_dense(col.data(), 0, n, in_values.data(),
+                                     in_values.size(), out.data()));
+        size_t sel_count = std::min<size_t>(half_sel.size(), n / 2 + 1);
+        check_isa("range_sel",
+                  ref.filter_range_sel(col.data(), half_sel.data(), sel_count,
+                                       100, 600, expect.data()),
+                  kt.filter_range_sel(col.data(), half_sel.data(), sel_count,
+                                      100, 600, out.data()));
+      }
+    }
   }
 };
 
@@ -502,6 +544,20 @@ void BM_KernelFilterRangeScalarRef(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelFilterRangeScalarRef);
 
+// Same kernels pinned to the scalar ISA level (bypassing dispatch), so the
+// report shows the active SIMD level's margin directly:
+// BM_KernelFilter*Dense (dispatched) vs BM_KernelFilter*DenseScalarIsa.
+void BM_KernelFilterRangeDenseScalarIsa(benchmark::State& state) {
+  KernelFixture& f = Kernels();
+  const simd::KernelTable& kt = simd::KernelsFor(simd::Level::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.filter_range_dense(
+        f.col.data(), 0, KernelFixture::kRows, 100, 600, f.out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * KernelFixture::kRows);
+}
+BENCHMARK(BM_KernelFilterRangeDenseScalarIsa);
+
 void BM_KernelFilterEqDense(benchmark::State& state) {
   KernelFixture& f = Kernels();
   for (auto _ : state) {
@@ -511,6 +567,17 @@ void BM_KernelFilterEqDense(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * KernelFixture::kRows);
 }
 BENCHMARK(BM_KernelFilterEqDense);
+
+void BM_KernelFilterEqDenseScalarIsa(benchmark::State& state) {
+  KernelFixture& f = Kernels();
+  const simd::KernelTable& kt = simd::KernelsFor(simd::Level::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.filter_eq_dense(
+        f.col.data(), 0, KernelFixture::kRows, 42, f.out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * KernelFixture::kRows);
+}
+BENCHMARK(BM_KernelFilterEqDenseScalarIsa);
 
 void BM_KernelFilterInDense(benchmark::State& state) {
   KernelFixture& f = Kernels();

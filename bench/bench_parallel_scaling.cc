@@ -4,6 +4,7 @@
 // that its parallel result equals its serial result (the determinism
 // contract), so a scaling regression can never hide a correctness one.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -27,6 +28,7 @@
 #include "common/thread_pool.h"
 #include "e2e/lero.h"
 #include "engine/executor.h"
+#include "engine/simd.h"
 #include "ml/chow_liu.h"
 #include "ml/dataset.h"
 #include "ml/forest.h"
@@ -104,6 +106,314 @@ SiteReport RunSite(const std::string& name, const std::vector<int>& counts,
   return report;
 }
 
+// Site 13 (also standalone via --simd-only): the explicit SIMD kernel layer
+// of engine/simd.h. Three jobs:
+//   1. Determinism fingerprint: scan/filter, hash-join, merge-join and NLJ
+//      plans executed at every supported LQO_SIMD level x scalar/vectorized
+//      path, folded into the RunSite fingerprint, which RunSite then sweeps
+//      across thread counts — any bit divergence across the full
+//      level x path x threads cube fails the bench.
+//   2. Throughput A/B per kernel family (filter eq/range/in dense, join-key
+//      hashing) at every supported level, plus executor-level A/Bs of the
+//      real merge-join and block-NLJ paths, emitted as BENCH_simd.json.
+//   3. Perf floor (plain builds only): the best SIMD level must beat the
+//      scalar reference by >= 1.3x on each filter kernel family.
+void RunSimdKernelsSite(const std::vector<int>& counts, int hw,
+                        std::vector<SiteReport>* reports) {
+  simd::Level entry_level = simd::ActiveLevel();
+  std::vector<simd::Level> levels = simd::SupportedLevels();
+  std::fprintf(stderr, "  simd_kernels: entry level %s, supported",
+               simd::LevelName(entry_level));
+  for (simd::Level l : levels) {
+    std::fprintf(stderr, " %s", simd::LevelName(l));
+  }
+  std::fprintf(stderr, "\n");
+
+  // fact(262144 rows) x dim(2048 rows): scan, hash-join and (under the 2^20
+  // gate) merge-join workloads. outer(1800) x inner(2000) stays under the
+  // 2^22-pair gate so the NLJ-declared plan takes the real block path.
+  constexpr uint32_t kFactRows = 1u << 18;
+  Catalog fcat;
+  {
+    Rng rng(101);
+    TableBuilder builder("fact");
+    builder.AddInt64Column("k");
+    builder.AddInt64Column("v");
+    for (uint32_t r = 0; r < kFactRows; ++r) {
+      builder.AppendRow({rng.UniformInt(0, 511), rng.UniformInt(0, 999)});
+    }
+    LQO_CHECK(fcat.AddTable(builder.Build()).ok());
+  }
+  {
+    Rng rng(102);
+    TableBuilder builder("dim");
+    builder.AddInt64Column("k");
+    builder.AddInt64Column("w");
+    for (uint32_t r = 0; r < 2048; ++r) {
+      builder.AppendRow({rng.UniformInt(0, 511), rng.UniformInt(0, 99)});
+    }
+    LQO_CHECK(fcat.AddTable(builder.Build()).ok());
+  }
+  LQO_CHECK(fcat.AddJoinEdge({.left_table = "fact",
+                              .left_column = "k",
+                              .right_table = "dim",
+                              .right_column = "k"})
+                .ok());
+  Catalog ncat;
+  {
+    Rng rng(103);
+    TableBuilder builder("outer_t");
+    builder.AddInt64Column("k");
+    builder.AddInt64Column("v");
+    for (uint32_t r = 0; r < 1800; ++r) {
+      builder.AppendRow({rng.UniformInt(0, 127), rng.UniformInt(0, 999)});
+    }
+    LQO_CHECK(ncat.AddTable(builder.Build()).ok());
+  }
+  {
+    Rng rng(104);
+    TableBuilder builder("inner_t");
+    builder.AddInt64Column("k");
+    builder.AddInt64Column("w");
+    for (uint32_t r = 0; r < 2000; ++r) {
+      builder.AppendRow({rng.UniformInt(0, 127), rng.UniformInt(0, 99)});
+    }
+    LQO_CHECK(ncat.AddTable(builder.Build()).ok());
+  }
+  LQO_CHECK(ncat.AddJoinEdge({.left_table = "outer_t",
+                              .left_column = "k",
+                              .right_table = "inner_t",
+                              .right_column = "k"})
+                .ok());
+
+  Executor fexec(&fcat);
+  Executor nexec(&ncat);
+  Query scan_q;
+  scan_q.AddTable("fact");
+  scan_q.AddPredicate(Predicate::Range(0, "v", 100, 600));
+  scan_q.AddPredicate(
+      Predicate::In(0, "k", {3, 17, 96, 204, 305, 401, 477, 508}));
+  PhysicalPlan scan_plan;
+  scan_plan.query = &scan_q;
+  scan_plan.root = MakeScanNode(0);
+  Query join_q;
+  join_q.AddTable("fact");
+  join_q.AddTable("dim");
+  join_q.AddJoin(0, "k", 1, "k");
+  PhysicalPlan hash_plan;
+  hash_plan.query = &join_q;
+  hash_plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                                MakeScanNode(1));
+  PhysicalPlan merge_plan;
+  merge_plan.query = &join_q;
+  merge_plan.root = MakeJoinNode(JoinAlgorithm::kMergeJoin, MakeScanNode(0),
+                                 MakeScanNode(1));
+  Query nlj_q;
+  nlj_q.AddTable("outer_t");
+  nlj_q.AddTable("inner_t");
+  nlj_q.AddJoin(0, "k", 1, "k");
+  PhysicalPlan nlj_plan;
+  nlj_plan.query = &nlj_q;
+  nlj_plan.root = MakeJoinNode(JoinAlgorithm::kNestedLoopJoin,
+                               MakeScanNode(0), MakeScanNode(1));
+
+  auto result_fingerprint = [](const ExecutionResult& r) {
+    double f = static_cast<double>(r.row_count) * 1e-3 + r.time_units;
+    for (const NodeProfile& p : r.node_profiles) {
+      f += static_cast<double>(p.left_rows + p.right_rows + p.output_rows +
+                               p.build_collisions + p.probe_collisions) +
+           static_cast<double>(p.partitions) + p.time_units;
+    }
+    return f;
+  };
+
+  // 1. Determinism cube: levels x scalar/vectorized inside the work
+  // function, thread counts via RunSite.
+  reports->push_back(RunSite("simd_kernels", counts, [&] {
+    double fingerprint = 0.0;
+    for (simd::Level level : levels) {
+      simd::SetLevelForTest(level);
+      for (bool vectorized : {false, true}) {
+        fexec.set_vectorized(vectorized);
+        nexec.set_vectorized(vectorized);
+        for (const PhysicalPlan* plan :
+             {&scan_plan, &hash_plan, &merge_plan}) {
+          auto r = fexec.Execute(*plan);
+          LQO_CHECK(r.ok());
+          fingerprint += result_fingerprint(*r);
+        }
+        auto r = nexec.Execute(nlj_plan);
+        LQO_CHECK(r.ok());
+        fingerprint += result_fingerprint(*r);
+      }
+    }
+    simd::SetLevelForTest(entry_level);
+    fexec.set_vectorized(true);
+    nexec.set_vectorized(true);
+    return fingerprint;
+  }));
+
+  // 2. Throughput A/B. Kernel families run the per-level tables directly on
+  // the fact table's columns (best-of-5 in-process, so the ratios are
+  // stable on a noisy box); the join paths run whole plans.
+  ThreadPool::SetGlobalThreads(hw);
+  auto best_seconds = [](int reps, const std::function<void()>& fn) {
+    double best = 1e100;
+    for (int i = 0; i < reps; ++i) {
+      double secs = SecondsOf(fn);
+      if (secs < best) best = secs;
+    }
+    return best;
+  };
+  const Table& fact = **fcat.GetTable("fact");
+  const int64_t* fact_k = fact.ColumnSpan(0).data();
+  const int64_t* fact_v = fact.ColumnSpan(1).data();
+  std::vector<uint32_t> out_sel(kFactRows);
+  std::vector<uint64_t> hashes(kFactRows);
+  const std::vector<int64_t> in_list = {3, 17, 96, 204, 305, 401, 477, 508};
+  static volatile uint64_t simd_sink = 0;
+  constexpr int kKernelPasses = 16;
+  struct Family {
+    const char* name;
+    std::vector<double> rps;  // parallel to `levels`
+  };
+  std::vector<Family> families = {{"filter_eq", {}},
+                                  {"filter_range", {}},
+                                  {"filter_in", {}},
+                                  {"join_hash", {}}};
+  for (simd::Level level : levels) {
+    const simd::KernelTable& kt = simd::KernelsFor(level);
+    auto family_rps = [&](const std::function<void()>& pass) {
+      double secs = best_seconds(5, [&] {
+        for (int p = 0; p < kKernelPasses; ++p) pass();
+      });
+      return static_cast<double>(kFactRows) * kKernelPasses / secs;
+    };
+    families[0].rps.push_back(family_rps([&] {
+      simd_sink = simd_sink + kt.filter_eq_dense(fact_v, 0, kFactRows, 42,
+                                                 out_sel.data());
+    }));
+    families[1].rps.push_back(family_rps([&] {
+      simd_sink = simd_sink + kt.filter_range_dense(fact_v, 0, kFactRows, 100,
+                                                    600, out_sel.data());
+    }));
+    families[2].rps.push_back(family_rps([&] {
+      simd_sink = simd_sink + kt.filter_in_dense(fact_k, 0, kFactRows,
+                                                 in_list.data(),
+                                                 in_list.size(),
+                                                 out_sel.data());
+    }));
+    families[3].rps.push_back(family_rps([&] {
+      std::fill(hashes.begin(), hashes.end(), 0);
+      kt.hash_combine_column(hashes.data(), fact_k, 0, kFactRows);
+      kt.hash_finalize(hashes.data(), 0, kFactRows);
+      simd_sink = simd_sink + hashes[kFactRows - 1];
+    }));
+  }
+  for (const Family& f : families) {
+    std::fprintf(stderr, "  simd %-12s", f.name);
+    for (size_t i = 0; i < levels.size(); ++i) {
+      std::fprintf(stderr, "  %s %9.0f Mrows/s", simd::LevelName(levels[i]),
+                   f.rps[i] / 1e6);
+    }
+    std::fprintf(stderr, "  (best %.2fx)\n",
+                 *std::max_element(f.rps.begin(), f.rps.end()) / f.rps[0]);
+  }
+
+  // Executor-level A/Bs: merge join tuple-vs-vectorized path (the SIMD
+  // level does not enter its comparisons), block NLJ per level (its inner
+  // loop is the dispatched Eq kernel), both against the plan's total input.
+  auto plan_rps = [&](Executor& ex, const PhysicalPlan& plan, double rows,
+                      int passes) {
+    double secs = best_seconds(3, [&] {
+      for (int p = 0; p < passes; ++p) {
+        auto r = ex.Execute(plan);
+        LQO_CHECK(r.ok());
+        simd_sink = simd_sink + r->row_count;
+      }
+    });
+    return rows * passes / secs;
+  };
+  const double merge_rows = static_cast<double>(kFactRows) + 2048.0;
+  const double nlj_pairs = 1800.0 * 2000.0;
+  fexec.set_vectorized(false);
+  double merge_tuple_rps = plan_rps(fexec, merge_plan, merge_rows, 2);
+  fexec.set_vectorized(true);
+  double merge_vec_rps = plan_rps(fexec, merge_plan, merge_rows, 2);
+  std::fprintf(stderr,
+               "  simd merge_join   tuple %9.0f Mrows/s  vectorized %9.0f "
+               "Mrows/s  (%.2fx)\n",
+               merge_tuple_rps / 1e6, merge_vec_rps / 1e6,
+               merge_vec_rps / merge_tuple_rps);
+  nexec.set_vectorized(false);
+  double nlj_tuple_rps = plan_rps(nexec, nlj_plan, nlj_pairs, 2);
+  nexec.set_vectorized(true);
+  std::vector<double> nlj_rps;
+  for (simd::Level level : levels) {
+    simd::SetLevelForTest(level);
+    nlj_rps.push_back(plan_rps(nexec, nlj_plan, nlj_pairs, 2));
+  }
+  simd::SetLevelForTest(entry_level);
+  std::fprintf(stderr, "  simd nlj          tuple %9.0f Mpairs/s",
+               nlj_tuple_rps / 1e6);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    std::fprintf(stderr, "  %s %9.0f Mpairs/s", simd::LevelName(levels[i]),
+                 nlj_rps[i] / 1e6);
+  }
+  std::fprintf(stderr, "\n");
+
+  // 3. Perf floor + JSON.
+  std::ofstream sjson("BENCH_simd.json");
+  sjson << "{\n  \"entry_level\": \"" << simd::LevelName(entry_level)
+        << "\",\n  \"supported_levels\": [";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    sjson << (i ? ", " : "") << "\"" << simd::LevelName(levels[i]) << "\"";
+  }
+  sjson << "],\n  \"rows\": " << kFactRows << ",\n  \"families\": [\n";
+  for (size_t fi = 0; fi < families.size(); ++fi) {
+    const Family& f = families[fi];
+    double best = *std::max_element(f.rps.begin(), f.rps.end());
+    sjson << "    {\"name\": \"" << f.name << "\"";
+    for (size_t i = 0; i < levels.size(); ++i) {
+      sjson << ", \"" << simd::LevelName(levels[i])
+            << "_rows_per_sec\": " << f.rps[i];
+    }
+    sjson << ", \"best_speedup\": " << best / f.rps[0] << "}"
+          << (fi + 1 < families.size() ? "," : "") << "\n";
+  }
+  sjson << "  ],\n  \"merge_join\": {\"rows\": " << merge_rows
+        << ", \"tuple_rows_per_sec\": " << merge_tuple_rps
+        << ", \"vectorized_rows_per_sec\": " << merge_vec_rps
+        << ", \"vectorized_speedup\": " << merge_vec_rps / merge_tuple_rps
+        << "},\n  \"nested_loop_join\": {\"pairs\": " << nlj_pairs
+        << ", \"tuple_pairs_per_sec\": " << nlj_tuple_rps;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    sjson << ", \"" << simd::LevelName(levels[i])
+          << "_pairs_per_sec\": " << nlj_rps[i];
+  }
+  sjson << ", \"best_speedup\": "
+        << *std::max_element(nlj_rps.begin(), nlj_rps.end()) / nlj_rps[0]
+        << "}\n}\n";
+  sjson.close();
+  std::fprintf(stderr, "wrote BENCH_simd.json\n");
+
+#if !LQO_BENCH_SANITIZED
+  // Perf floor from ISSUE 8: the best SIMD level must beat the scalar
+  // reference by >= 1.3x on every filter kernel family. Only meaningful
+  // when the CPU supports a non-scalar level; compiled out under TSan/ASan
+  // where instrumentation skews the ratio.
+  if (levels.size() > 1) {
+    for (const Family& f : families) {
+      if (std::string(f.name).rfind("filter_", 0) != 0) continue;
+      double best = *std::max_element(f.rps.begin(), f.rps.end());
+      LQO_CHECK(best >= 1.3 * f.rps[0])
+          << "SIMD " << f.name << " below the 1.3x floor: best " << best
+          << " rows/s vs scalar " << f.rps[0];
+    }
+  }
+#endif
+}
+
 std::vector<std::vector<double>> MakeMlRows(size_t n, size_t features,
                                             std::vector<double>* targets) {
   Rng rng(5);
@@ -126,7 +436,7 @@ std::vector<std::vector<double>> MakeMlRows(size_t n, size_t features,
 }  // namespace
 }  // namespace lqo
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lqo;
 
   int hw = ThreadPool::ParseThreadCount(nullptr);
@@ -135,6 +445,23 @@ int main() {
 
   std::fprintf(stderr, "bench_parallel_scaling (hardware_concurrency=%d)\n",
                hw);
+
+  // --simd-only: run just the simd_kernels site (scripts/check.sh uses this
+  // to sweep LQO_SIMD settings without paying for the full suite).
+  bool simd_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--simd-only") simd_only = true;
+  }
+  if (simd_only) {
+    std::vector<SiteReport> simd_reports;
+    RunSimdKernelsSite(counts, hw, &simd_reports);
+    ThreadPool::SetGlobalThreads(hw);
+    bool ok = true;
+    for (const SiteReport& r : simd_reports) ok &= r.deterministic;
+    std::fprintf(stderr, "simd_kernels only (%s)\n",
+                 ok ? "deterministic" : "DETERMINISM VIOLATION");
+    return ok ? 0 : 1;
+  }
 
   auto lab = MakeLab("stats_lite", 0.05);
   WorkloadOptions wopts;
@@ -671,6 +998,10 @@ int main() {
         << vec_filter_rps << " vs " << scalar_filter_rps;
 #endif
   }
+
+  // Site 13: SIMD kernel layer (levels x paths x threads determinism cube,
+  // per-family throughput A/B, BENCH_simd.json, 1.3x filter floor).
+  RunSimdKernelsSite(counts, hw, &reports);
 
   ThreadPool::SetGlobalThreads(hw);
 

@@ -56,14 +56,24 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 # too (the >=1.5x throughput floor is compiled out under sanitizers).
 "$BUILD_DIR"/bench/bench_parallel_scaling
 
-# Vectorized-executor gates, under TSan + 4 threads: selection-vector
-# kernel reference checks, scan/join edge-case batches, and bit-equality
-# of scalar vs vectorized results at 1/2/8 threads.
-"$BUILD_DIR"/tests/engine_test --gtest_filter='Vectorized*'
+# Vectorized-executor and SIMD-dispatch gates, under TSan + 4 threads:
+# selection-vector kernel reference checks, scan/join edge-case batches,
+# per-ISA-level kernel bit-equality, the LQO_SIMD override path, the real
+# merge/NLJ join paths, and bit-equality of scalar vs vectorized results at
+# 1/2/8 threads.
+"$BUILD_DIR"/tests/engine_test --gtest_filter='Vectorized*:Simd*'
 # The kernel microbenchmarks' fixture CHECK-fails if any filter kernel
-# disagrees with per-row Predicate::Matches.
+# disagrees with per-row Predicate::Matches or any SIMD level diverges from
+# the scalar reference table on odd batch sizes.
 "$BUILD_DIR"/bench/bench_micro_components \
   --benchmark_filter='Kernel' --benchmark_min_time=0.05
+# SIMD determinism fingerprint, twice: once pinned to the scalar reference
+# level and once at the best detected level. The site itself sweeps every
+# supported level x scalar/vectorized path x 1/2/4/N threads and exits
+# nonzero on any bit divergence (the >=1.3x filter-kernel floor is compiled
+# out under sanitizers).
+LQO_SIMD=scalar "$BUILD_DIR"/bench/bench_parallel_scaling --simd-only
+"$BUILD_DIR"/bench/bench_parallel_scaling --simd-only
 
 # Batched-inference gates, still under TSan + 4 threads: the bit-identity
 # and thread-invariance tests, then the inference microbenchmarks (whose

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "engine/filter_kernels.h"
+#include "engine/simd.h"
 #include "engine/vec_batch.h"
 
 namespace lqo {
@@ -25,6 +26,17 @@ constexpr uint64_t kParallelScanMinRows = 8192;
 constexpr size_t kJoinPartitions = 16;
 // Below this many build+probe rows a join uses a single partition.
 constexpr uint64_t kParallelJoinMinRows = 8192;
+// Physical-strategy gates for the declared-algorithm join paths. A node
+// declared merge/nested-loop *executes* as such only when its inputs fit
+// under these input-size-only (therefore deterministic) bounds; above them
+// it falls back to the partitioned hash execution, which produces the same
+// output multiset, so hint-forced pathological plans keep reporting their
+// declared cost without pathological wall-clock. Both real paths emit rows
+// in a deterministic order of their own (merge: key order with row-id
+// tie-breaks; NLJ: outer × inner row order), so every downstream bit is
+// still reproducible.
+constexpr uint64_t kMergeJoinMaxRows = 1ull << 20;   // left + right rows
+constexpr uint64_t kNljMaxPairs = 1ull << 22;        // left * right rows
 
 double WallSeconds(const std::chrono::steady_clock::time_point& start) {
   std::chrono::duration<double> elapsed =
@@ -50,24 +62,12 @@ struct Chunk {
   }
 };
 
-uint64_t HashCombine(uint64_t h, int64_t v) {
-  // FNV-ish mix; good enough for join bucketing (equality is verified).
-  h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-// Murmur3-style finalizer. HashCombine alone leaves the top bits of small
-// keys nearly constant; radix partitioning reads the top 32 bits and slot
-// addressing the low bits, so both need full avalanche. Bijective, so
-// distinct-hash counts (the skew statistic) are unchanged.
-uint64_t FinalizeHash(uint64_t h) {
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  h *= 0xc4ceb9fe1a85ec53ULL;
-  h ^= h >> 33;
-  return h;
-}
+// Scalar hash steps live in engine/simd.h (HashCombine / FinalizeHash) so
+// the SIMD hash kernels and this row-at-a-time reference share one
+// definition; the batched path calls the dispatched N-lane kernels, which
+// are bit-identical by the simd layer's contract.
+using simd::FinalizeHash;
+using simd::HashCombine;
 
 double Log2Rows(uint64_t rows) {
   return std::log2(static_cast<double>(std::max<uint64_t>(rows, 2)));
@@ -345,12 +345,106 @@ class PlanRunner {
     }
     LQO_CHECK_LT(right.num_rows, (1ULL << 32));
 
+    // Pick the physical strategy from the declared algorithm and the
+    // input-size gates (see kMergeJoinMaxRows / kNljMaxPairs); cost
+    // charging and the profile layout below are shared by all three.
+    bool run_merge = node.algorithm == JoinAlgorithm::kMergeJoin &&
+                     left.num_rows + right.num_rows <= kMergeJoinMaxRows;
+    bool run_nlj = node.algorithm == JoinAlgorithm::kNestedLoopJoin &&
+                   left.num_rows <= kNljMaxPairs &&
+                   right.num_rows <= kNljMaxPairs &&
+                   left.num_rows * right.num_rows <= kNljMaxPairs;
+    JoinExecOut exec = run_merge ? ExecuteMergeJoin(left, right, key_cols)
+                       : run_nlj
+                           ? ExecuteNestedLoopJoin(left, right, key_cols)
+                           : ExecuteHashJoin(left, right, key_cols);
+    Chunk out = std::move(exec.chunk);
+
+    // Charge the node under its declared algorithm.
+    double l_rows = static_cast<double>(left.num_rows);
+    double r_rows = static_cast<double>(right.num_rows);
+    double out_rows = static_cast<double>(out.num_rows);
+    double time = 0.0;
+    switch (node.algorithm) {
+      case JoinAlgorithm::kHashJoin: {
+        // A hash-declared node always ran the hash strategy, so its skew
+        // statistics are present.
+        double skew =
+            exec.max_bucket > 0 && exec.mean_bucket > 0
+                ? static_cast<double>(exec.max_bucket) / exec.mean_bucket - 1.0
+                : 0.0;
+        time = r_rows * constants_.hash_build_row +
+               l_rows * constants_.hash_probe_row *
+                   (1.0 + constants_.skew_probe_factor * skew) +
+               out_rows * constants_.output_row;
+        if (right.num_rows >
+            static_cast<uint64_t>(constants_.hash_memory_rows)) {
+          time *= constants_.hash_spill_factor;
+        }
+        break;
+      }
+      case JoinAlgorithm::kNestedLoopJoin: {
+        double pair_cost =
+            right.num_rows <= static_cast<uint64_t>(constants_.nlj_cache_rows)
+                ? constants_.nlj_cached_pair
+                : constants_.nlj_pair;
+        time = l_rows * r_rows * pair_cost + out_rows * constants_.output_row;
+        break;
+      }
+      case JoinAlgorithm::kMergeJoin: {
+        time = l_rows * Log2Rows(left.num_rows) * constants_.sort_row_log +
+               r_rows * Log2Rows(right.num_rows) * constants_.sort_row_log +
+               (l_rows + r_rows) * constants_.merge_row +
+               out_rows * constants_.output_row;
+        break;
+      }
+    }
+
+    NodeProfile profile;
+    profile.kind = PlanNode::Kind::kJoin;
+    profile.algorithm = node.algorithm;
+    profile.left_rows = left.num_rows;
+    profile.right_rows = right.num_rows;
+    profile.output_rows = out.num_rows;
+    profile.time_units = time;
+    profile.build_collisions = exec.build_collisions;
+    profile.probe_collisions = exec.probe_collisions;
+    profile.partitions = exec.partitions;
+    profile.build_seconds = exec.build_seconds;
+    profile.probe_seconds = exec.probe_seconds;
+    profile.concat_seconds = exec.concat_seconds;
+    profiles_.push_back(profile);
+    return out;
+  }
+
+  // Per-execution output of whichever physical join strategy ran. The hash
+  // statistics stay zero/default on the merge and nested-loop paths — no
+  // table is built, so there is nothing to collide with.
+  struct JoinExecOut {
+    Chunk chunk;
+    uint64_t build_collisions = 0;
+    uint64_t probe_collisions = 0;
+    uint64_t max_bucket = 0;
+    double mean_bucket = 1.0;
+    int partitions = 1;
+    double build_seconds = 0.0;
+    double probe_seconds = 0.0;
+    double concat_seconds = 0.0;
+  };
+
+  // Radix-partitioned open-addressing hash join — the workhorse strategy,
+  // and the fallback that executes merge/NLJ-declared nodes whose inputs
+  // exceed the real-path gates (same output multiset either way).
+  JoinExecOut ExecuteHashJoin(
+      const Chunk& left, const Chunk& right,
+      const std::vector<std::pair<int, int>>& key_cols) {
     // Input-size gate: small joins run the identical code with a single
     // partition (which ParallelFor executes inline).
     size_t num_partitions =
         left.num_rows + right.num_rows >= kParallelJoinMinRows
             ? kJoinPartitions
             : 1;
+    const simd::KernelTable& kt = simd::Kernels();
 
     auto key_hash = [&](const Chunk& side, bool use_left_col, size_t row) {
       uint64_t h = 0;
@@ -360,10 +454,11 @@ class PlanRunner {
       }
       return FinalizeHash(h);
     };
-    // Column-wise batched hash kernel: one tight loop per key column over
-    // the morsel range, then one finalize loop. Per row it combines the key
-    // columns in the same key_cols order as key_hash, so every hash value
-    // is bit-identical to the row-at-a-time computation.
+    // Column-wise batched hash kernel: one dispatched N-lane combine pass
+    // per key column over the morsel range, then one finalize pass. Per row
+    // it combines the key columns in the same key_cols order as key_hash,
+    // and the SIMD kernels are bit-identical to the scalar steps, so every
+    // hash value matches the row-at-a-time computation.
     auto hash_range_columnwise = [&](const Chunk& side, bool use_left_col,
                                      size_t begin, size_t end,
                                      uint64_t* hashes) {
@@ -371,11 +466,9 @@ class PlanRunner {
       for (auto [lc, rc] : key_cols) {
         int col = use_left_col ? lc : rc;
         const int64_t* data = side.cols[static_cast<size_t>(col)].data();
-        for (size_t r = begin; r < end; ++r) {
-          hashes[r] = HashCombine(hashes[r], data[r]);
-        }
+        kt.hash_combine_column(hashes, data, begin, end);
       }
-      for (size_t r = begin; r < end; ++r) hashes[r] = FinalizeHash(hashes[r]);
+      kt.hash_finalize(hashes, begin, end);
     };
 
     // ---- Build phase: hash, scatter, per-partition open addressing. ----
@@ -545,7 +638,8 @@ class PlanRunner {
 
     // ---- Concat phase: ordered reduction over partition outputs. ----
     auto concat_start = std::chrono::steady_clock::now();
-    Chunk out;
+    JoinExecOut exec;
+    Chunk& out = exec.chunk;
     out.col_keys = left.col_keys;
     out.col_keys.insert(out.col_keys.end(), right.col_keys.begin(),
                         right.col_keys.end());
@@ -562,60 +656,290 @@ class PlanRunner {
                            p.cols[c].end());
       }
     });
-    double concat_seconds = WallSeconds(concat_start);
+    exec.concat_seconds = WallSeconds(concat_start);
 
-    // Charge the node under its declared algorithm.
-    double l_rows = static_cast<double>(left.num_rows);
-    double r_rows = static_cast<double>(right.num_rows);
-    double out_rows = static_cast<double>(out.num_rows);
-    double time = 0.0;
-    switch (node.algorithm) {
-      case JoinAlgorithm::kHashJoin: {
-        double skew = max_bucket > 0 && mean_bucket > 0
-                          ? static_cast<double>(max_bucket) / mean_bucket - 1.0
-                          : 0.0;
-        time = r_rows * constants_.hash_build_row +
-               l_rows * constants_.hash_probe_row *
-                   (1.0 + constants_.skew_probe_factor * skew) +
-               out_rows * constants_.output_row;
-        if (right.num_rows >
-            static_cast<uint64_t>(constants_.hash_memory_rows)) {
-          time *= constants_.hash_spill_factor;
+    exec.build_collisions = build_collisions;
+    exec.probe_collisions = probe_collisions;
+    exec.max_bucket = max_bucket;
+    exec.mean_bucket = mean_bucket;
+    exec.partitions = static_cast<int>(num_partitions);
+    exec.build_seconds = build_seconds;
+    exec.probe_seconds = probe_seconds;
+    return exec;
+  }
+
+  // Sort-merge join — the real path for merge-declared nodes under
+  // kMergeJoinMaxRows. Both sides are argsorted by key tuple with the row
+  // id as the final tie-break, so the sorted orders (and therefore every
+  // emitted bit) are unique regardless of key duplication; the merge then
+  // emits the cross product of each equal-key run pair, runs in merge
+  // order, pairs in (left-run, right-run) row order. The scalar reference
+  // finds run ends linearly and emits tuple at a time; the vectorized path
+  // gallops to run ends (exponential probe + binary search) and emits
+  // through fixed-size match buffers into bulk gathers. Identical run
+  // boundaries, identical emission order. The whole strategy is serial by
+  // construction (the gate keeps inputs small), so thread count cannot
+  // influence anything.
+  JoinExecOut ExecuteMergeJoin(
+      const Chunk& left, const Chunk& right,
+      const std::vector<std::pair<int, int>>& key_cols) {
+    auto sort_start = std::chrono::steady_clock::now();
+    JoinExecOut exec;
+    size_t ln = static_cast<size_t>(left.num_rows);
+    size_t rn = static_cast<size_t>(right.num_rows);
+    std::vector<uint32_t> lorder(ln);
+    std::vector<uint32_t> rorder(rn);
+    for (size_t i = 0; i < ln; ++i) lorder[i] = static_cast<uint32_t>(i);
+    for (size_t i = 0; i < rn; ++i) rorder[i] = static_cast<uint32_t>(i);
+    std::sort(lorder.begin(), lorder.end(), [&](uint32_t a, uint32_t b) {
+      for (auto [lc, rc] : key_cols) {
+        (void)rc;
+        const std::vector<int64_t>& col = left.cols[static_cast<size_t>(lc)];
+        if (col[a] != col[b]) return col[a] < col[b];
+      }
+      return a < b;
+    });
+    std::sort(rorder.begin(), rorder.end(), [&](uint32_t a, uint32_t b) {
+      for (auto [lc, rc] : key_cols) {
+        (void)lc;
+        const std::vector<int64_t>& col = right.cols[static_cast<size_t>(rc)];
+        if (col[a] != col[b]) return col[a] < col[b];
+      }
+      return a < b;
+    });
+    exec.build_seconds = WallSeconds(sort_start);
+
+    auto merge_start = std::chrono::steady_clock::now();
+    size_t left_width = left.cols.size();
+    size_t out_width = left_width + right.cols.size();
+    Chunk& out = exec.chunk;
+    out.col_keys = left.col_keys;
+    out.col_keys.insert(out.col_keys.end(), right.col_keys.begin(),
+                        right.col_keys.end());
+    out.cols.resize(out_width);
+
+    auto compare_lr = [&](uint32_t l, uint32_t r) {
+      for (auto [lc, rc] : key_cols) {
+        int64_t lv = left.cols[static_cast<size_t>(lc)][l];
+        int64_t rv = right.cols[static_cast<size_t>(rc)][r];
+        if (lv != rv) return lv < rv ? -1 : 1;
+      }
+      return 0;
+    };
+    auto equal_ll = [&](uint32_t a, uint32_t b) {
+      for (auto [lc, rc] : key_cols) {
+        (void)rc;
+        const std::vector<int64_t>& col = left.cols[static_cast<size_t>(lc)];
+        if (col[a] != col[b]) return false;
+      }
+      return true;
+    };
+    auto equal_rr = [&](uint32_t a, uint32_t b) {
+      for (auto [lc, rc] : key_cols) {
+        (void)lc;
+        const std::vector<int64_t>& col = right.cols[static_cast<size_t>(rc)];
+        if (col[a] != col[b]) return false;
+      }
+      return true;
+    };
+    // First position in (begin, n) whose key differs from the key at
+    // `begin`, found by galloping: exponential probe to bracket the run
+    // end, then binary search inside the bracket. Returns exactly what the
+    // linear scan of the scalar reference returns.
+    auto gallop_run_end = [](size_t begin, size_t n, auto&& equal_at) {
+      size_t last = begin;  // highest index known equal to `begin`
+      size_t step = 1;
+      while (last + step < n && equal_at(last + step, begin)) {
+        last += step;
+        step <<= 1;
+      }
+      size_t hi = std::min(last + step, n);  // first known non-equal (or n)
+      while (last + 1 < hi) {
+        size_t mid = last + (hi - last) / 2;
+        if (equal_at(mid, begin)) {
+          last = mid;
+        } else {
+          hi = mid;
         }
-        break;
       }
-      case JoinAlgorithm::kNestedLoopJoin: {
-        double pair_cost =
-            right.num_rows <= static_cast<uint64_t>(constants_.nlj_cache_rows)
-                ? constants_.nlj_cached_pair
-                : constants_.nlj_pair;
-        time = l_rows * r_rows * pair_cost + out_rows * constants_.output_row;
-        break;
+      return last + 1;
+    };
+
+    size_t i = 0;
+    size_t j = 0;
+    if (vectorized_) {
+      uint32_t match_l[kVecBatchRows];
+      uint32_t match_r[kVecBatchRows];
+      size_t n_match = 0;
+      auto flush = [&] {
+        for (size_t c = 0; c < left_width; ++c) {
+          GatherAppend(left.cols[c].data(), match_l, n_match, &out.cols[c]);
+        }
+        for (size_t c = 0; c < right.cols.size(); ++c) {
+          GatherAppend(right.cols[c].data(), match_r, n_match,
+                       &out.cols[left_width + c]);
+        }
+        out.num_rows += n_match;
+        n_match = 0;
+      };
+      while (i < ln && j < rn) {
+        int c = compare_lr(lorder[i], rorder[j]);
+        if (c < 0) {
+          ++i;
+          continue;
+        }
+        if (c > 0) {
+          ++j;
+          continue;
+        }
+        size_t ie = gallop_run_end(i, ln, [&](size_t x, size_t y) {
+          return equal_ll(lorder[x], lorder[y]);
+        });
+        size_t je = gallop_run_end(j, rn, [&](size_t x, size_t y) {
+          return equal_rr(rorder[x], rorder[y]);
+        });
+        for (size_t a = i; a < ie; ++a) {
+          for (size_t b = j; b < je; ++b) {
+            match_l[n_match] = lorder[a];
+            match_r[n_match] = rorder[b];
+            if (++n_match == kVecBatchRows) flush();
+          }
+        }
+        i = ie;
+        j = je;
       }
-      case JoinAlgorithm::kMergeJoin: {
-        time = l_rows * Log2Rows(left.num_rows) * constants_.sort_row_log +
-               r_rows * Log2Rows(right.num_rows) * constants_.sort_row_log +
-               (l_rows + r_rows) * constants_.merge_row +
-               out_rows * constants_.output_row;
-        break;
+      flush();
+    } else {
+      // Tuple-at-a-time reference: linear run-end scans, per-row emission.
+      while (i < ln && j < rn) {
+        int c = compare_lr(lorder[i], rorder[j]);
+        if (c < 0) {
+          ++i;
+          continue;
+        }
+        if (c > 0) {
+          ++j;
+          continue;
+        }
+        size_t ie = i + 1;
+        while (ie < ln && equal_ll(lorder[ie], lorder[i])) ++ie;
+        size_t je = j + 1;
+        while (je < rn && equal_rr(rorder[je], rorder[j])) ++je;
+        for (size_t a = i; a < ie; ++a) {
+          for (size_t b = j; b < je; ++b) {
+            for (size_t c2 = 0; c2 < left_width; ++c2) {
+              // lint: hot-loop-growth-ok(scalar reference path, LQO_VECTORIZED=0)
+              out.cols[c2].push_back(left.cols[c2][lorder[a]]);
+            }
+            for (size_t c2 = 0; c2 < right.cols.size(); ++c2) {
+              // lint: hot-loop-growth-ok(scalar reference path, LQO_VECTORIZED=0)
+              out.cols[left_width + c2].push_back(right.cols[c2][rorder[b]]);
+            }
+            ++out.num_rows;
+          }
+        }
+        i = ie;
+        j = je;
       }
     }
+    exec.probe_seconds = WallSeconds(merge_start);
+    return exec;
+  }
 
-    NodeProfile profile;
-    profile.kind = PlanNode::Kind::kJoin;
-    profile.algorithm = node.algorithm;
-    profile.left_rows = left.num_rows;
-    profile.right_rows = right.num_rows;
-    profile.output_rows = out.num_rows;
-    profile.time_units = time;
-    profile.build_collisions = build_collisions;
-    profile.probe_collisions = probe_collisions;
-    profile.partitions = static_cast<int>(num_partitions);
-    profile.build_seconds = build_seconds;
-    profile.probe_seconds = probe_seconds;
-    profile.concat_seconds = concat_seconds;
-    profiles_.push_back(profile);
-    return out;
+  // Block nested-loop join — the real path for NLJ-declared nodes under
+  // kNljMaxPairs. The outer (left) side is walked row by row; the inner
+  // (right) side is consumed as dense kVecBatchRows batches through the
+  // dispatched filter kernels: an Eq kernel on the first key column, then
+  // Eq refinements on the remaining key columns — instead of per-row
+  // Predicate-style comparisons. The scalar reference compares every
+  // (outer, inner) pair tuple at a time. Both emit pairs in (outer row,
+  // inner row) order, serially — bit-identical output, no thread
+  // sensitivity.
+  JoinExecOut ExecuteNestedLoopJoin(
+      const Chunk& left, const Chunk& right,
+      const std::vector<std::pair<int, int>>& key_cols) {
+    auto probe_start = std::chrono::steady_clock::now();
+    JoinExecOut exec;
+    size_t ln = static_cast<size_t>(left.num_rows);
+    uint32_t rn = static_cast<uint32_t>(right.num_rows);
+    size_t left_width = left.cols.size();
+    size_t out_width = left_width + right.cols.size();
+    Chunk& out = exec.chunk;
+    out.col_keys = left.col_keys;
+    out.col_keys.insert(out.col_keys.end(), right.col_keys.begin(),
+                        right.col_keys.end());
+    out.cols.resize(out_width);
+
+    if (vectorized_) {
+      const int64_t* right_key0 =
+          right.cols[static_cast<size_t>(key_cols[0].second)].data();
+      SelVector sel_a;
+      SelVector sel_b;
+      uint32_t match_l[kVecBatchRows];
+      uint32_t match_r[kVecBatchRows];
+      size_t n_match = 0;
+      auto flush = [&] {
+        for (size_t c = 0; c < left_width; ++c) {
+          GatherAppend(left.cols[c].data(), match_l, n_match, &out.cols[c]);
+        }
+        for (size_t c = 0; c < right.cols.size(); ++c) {
+          GatherAppend(right.cols[c].data(), match_r, n_match,
+                       &out.cols[left_width + c]);
+        }
+        out.num_rows += n_match;
+        n_match = 0;
+      };
+      for (size_t l = 0; l < ln; ++l) {
+        for (uint32_t batch = 0; batch < rn; batch += kVecBatchRows) {
+          uint32_t e = static_cast<uint32_t>(
+              std::min<size_t>(rn, batch + kVecBatchRows));
+          uint32_t* cur = sel_a.row;
+          uint32_t* next = sel_b.row;
+          size_t count = FilterEqDense(
+              right_key0, batch, e,
+              left.cols[static_cast<size_t>(key_cols[0].first)][l], cur);
+          for (size_t kc = 1; kc < key_cols.size() && count > 0; ++kc) {
+            count = FilterEqSel(
+                right.cols[static_cast<size_t>(key_cols[kc].second)].data(),
+                cur, count,
+                left.cols[static_cast<size_t>(key_cols[kc].first)][l], next);
+            std::swap(cur, next);
+          }
+          for (size_t t = 0; t < count; ++t) {
+            match_l[n_match] = static_cast<uint32_t>(l);
+            match_r[n_match] = cur[t];
+            if (++n_match == kVecBatchRows) flush();
+          }
+        }
+      }
+      flush();
+    } else {
+      // Tuple-at-a-time reference: compare every pair.
+      for (size_t l = 0; l < ln; ++l) {
+        for (uint32_t r = 0; r < rn; ++r) {
+          bool match = true;
+          for (auto [lc, rc] : key_cols) {
+            if (left.cols[static_cast<size_t>(lc)][l] !=
+                right.cols[static_cast<size_t>(rc)][r]) {
+              match = false;
+              break;
+            }
+          }
+          if (!match) continue;
+          for (size_t c = 0; c < left_width; ++c) {
+            // lint: hot-loop-growth-ok(scalar reference path, LQO_VECTORIZED=0)
+            out.cols[c].push_back(left.cols[c][l]);
+          }
+          for (size_t c = 0; c < right.cols.size(); ++c) {
+            // lint: hot-loop-growth-ok(scalar reference path, LQO_VECTORIZED=0)
+            out.cols[left_width + c].push_back(right.cols[c][r]);
+          }
+          ++out.num_rows;
+        }
+      }
+    }
+    exec.probe_seconds = WallSeconds(probe_start);
+    return exec;
   }
 
   // Morsel geometry for the hash-computation loops: one morsel below the

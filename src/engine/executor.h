@@ -52,11 +52,17 @@ struct ExecutionResult {
 
 /// Volcano-style executor over the in-memory catalog.
 ///
-/// Results are always computed with an efficient hash strategy internally,
-/// but each node is *charged* according to its declared physical algorithm,
-/// so executing a pathological plan (e.g. a huge nested-loop join) reports
-/// its true awful latency without taking quadratic wall-clock time. This is
-/// the deterministic stand-in for running plans on a real PostgreSQL server
+/// Each join node is *charged* according to its declared physical algorithm,
+/// but the physical strategy that computes its rows is gated on input size:
+/// merge-declared nodes run a real sort-merge join (with galloping run
+/// detection) while left+right rows stay under 2^20, nested-loop-declared
+/// nodes run a real block NLJ (inner side through the dispatched filter
+/// kernels) while left*right pairs stay under 2^22, and everything else —
+/// including any declared node above its gate — runs the radix-partitioned
+/// hash join. All three strategies emit the same row multiset, so executing
+/// a pathological plan (e.g. a huge nested-loop join) still reports its true
+/// awful latency without taking quadratic wall-clock time. This is the
+/// deterministic stand-in for running plans on a real PostgreSQL server
 /// (see DESIGN.md, substitutions).
 ///
 /// Execution is morsel-driven (HyPer-style) on the shared lqo::ThreadPool:

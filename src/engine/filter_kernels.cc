@@ -1,93 +1,50 @@
 #include "engine/filter_kernels.h"
 
+#include "engine/simd.h"
+
 namespace lqo {
-namespace {
 
-// Branchless membership test against a sorted-unique IN list: a lower-bound
-// descent whose step is selected by comparison, not control flow. Agrees
-// with std::binary_search (Predicate::Matches) on every input because the
-// list is sorted and duplicate-free.
-inline bool InListContains(const int64_t* base, size_t n, int64_t v) {
-  while (n > 1) {
-    size_t half = n / 2;
-    base += (base[half - 1] < v) ? half : 0;
-    n -= half;
-  }
-  return *base == v;
-}
-
-}  // namespace
+// Each entry point forwards to the process-wide SIMD kernel table
+// (engine/simd.h): one indirect call per batch, resolved once at first use
+// from CPU detection or the LQO_SIMD override. The scalar loop bodies these
+// kernels used to carry verbatim now live in engine/simd.cc as the kScalar
+// reference level; every other level is bit-identical to them by contract.
 
 size_t FilterEqDense(const int64_t* col, uint32_t row_begin, uint32_t row_end,
                      int64_t value, uint32_t* out_sel) {
-  size_t k = 0;
-  for (uint32_t r = row_begin; r < row_end; ++r) {
-    out_sel[k] = r;
-    k += static_cast<size_t>(col[r] == value);
-  }
-  return k;
+  return simd::Kernels().filter_eq_dense(col, row_begin, row_end, value,
+                                         out_sel);
 }
 
 size_t FilterEqSel(const int64_t* col, const uint32_t* sel, size_t count,
                    int64_t value, uint32_t* out_sel) {
-  size_t k = 0;
-  for (size_t i = 0; i < count; ++i) {
-    uint32_t r = sel[i];
-    out_sel[k] = r;
-    k += static_cast<size_t>(col[r] == value);
-  }
-  return k;
+  return simd::Kernels().filter_eq_sel(col, sel, count, value, out_sel);
 }
 
 size_t FilterRangeDense(const int64_t* col, uint32_t row_begin,
                         uint32_t row_end, int64_t lo, int64_t hi,
                         uint32_t* out_sel) {
-  size_t k = 0;
-  for (uint32_t r = row_begin; r < row_end; ++r) {
-    int64_t v = col[r];
-    out_sel[k] = r;
-    // Bitwise & of the two bool outcomes: no short-circuit branch.
-    k += static_cast<size_t>((v >= lo) & (v <= hi));
-  }
-  return k;
+  return simd::Kernels().filter_range_dense(col, row_begin, row_end, lo, hi,
+                                            out_sel);
 }
 
 size_t FilterRangeSel(const int64_t* col, const uint32_t* sel, size_t count,
                       int64_t lo, int64_t hi, uint32_t* out_sel) {
-  size_t k = 0;
-  for (size_t i = 0; i < count; ++i) {
-    uint32_t r = sel[i];
-    int64_t v = col[r];
-    out_sel[k] = r;
-    k += static_cast<size_t>((v >= lo) & (v <= hi));
-  }
-  return k;
+  return simd::Kernels().filter_range_sel(col, sel, count, lo, hi, out_sel);
 }
 
 size_t FilterInDense(const int64_t* col, uint32_t row_begin, uint32_t row_end,
                      std::span<const int64_t> sorted_values,
                      uint32_t* out_sel) {
-  const int64_t* base = sorted_values.data();
-  size_t n = sorted_values.size();
-  size_t k = 0;
-  for (uint32_t r = row_begin; r < row_end; ++r) {
-    out_sel[k] = r;
-    k += static_cast<size_t>(InListContains(base, n, col[r]));
-  }
-  return k;
+  return simd::Kernels().filter_in_dense(col, row_begin, row_end,
+                                         sorted_values.data(),
+                                         sorted_values.size(), out_sel);
 }
 
 size_t FilterInSel(const int64_t* col, const uint32_t* sel, size_t count,
                    std::span<const int64_t> sorted_values, uint32_t* out_sel) {
-  const int64_t* base = sorted_values.data();
-  size_t n = sorted_values.size();
-  size_t k = 0;
-  for (size_t i = 0; i < count; ++i) {
-    uint32_t r = sel[i];
-    out_sel[k] = r;
-    k += static_cast<size_t>(InListContains(base, n, col[r]));
-  }
-  return k;
+  return simd::Kernels().filter_in_sel(col, sel, count, sorted_values.data(),
+                                       sorted_values.size(), out_sel);
 }
 
 size_t FilterDense(const Predicate& p, const int64_t* col, uint32_t row_begin,

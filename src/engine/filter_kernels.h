@@ -12,15 +12,19 @@ namespace lqo {
 /// selection-vector stage of the vectorized executor (DESIGN.md "Vectorized
 /// execution").
 ///
-/// Every kernel writes the candidate row id unconditionally and advances the
-/// output cursor by the 0/1 predicate outcome, so the loop body carries no
-/// data-dependent branch; survivors come out in ascending row order, which
-/// is what makes vectorized output bit-identical to the tuple-at-a-time
-/// loop. `Dense` variants scan the contiguous row range [row_begin,
-/// row_end); `Sel` variants refine an existing selection vector. All return
-/// the number of surviving rows written to `out_sel`, whose capacity must
-/// cover the input count. Selection semantics match Predicate::Matches
-/// exactly (inclusive ranges, sorted-unique IN lists).
+/// Survivors always come out in ascending row order, which is what makes
+/// vectorized output bit-identical to the tuple-at-a-time loop. `Dense`
+/// variants scan the contiguous row range [row_begin, row_end); `Sel`
+/// variants refine an existing selection vector. All return the number of
+/// surviving rows written to `out_sel`, whose capacity must cover the input
+/// count. Selection semantics match Predicate::Matches exactly (inclusive
+/// ranges, sorted-unique IN lists).
+///
+/// Since the SIMD dispatch layer landed, these entry points forward to the
+/// active engine/simd.h kernel table: on a CPU with SSE4.2/AVX2 (or under
+/// an `LQO_SIMD` override) the loops run as explicit
+/// compare→movemask→compressed-store kernels; the scalar reference level
+/// keeps the original cursor loops, and every level is bit-identical.
 
 // -- Typed kernels (one tight loop per comparison op), exposed for the
 //    kernel microbenchmarks in bench_micro_components. --

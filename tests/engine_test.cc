@@ -1,5 +1,6 @@
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -7,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "engine/executor.h"
 #include "engine/filter_kernels.h"
+#include "engine/simd.h"
 #include "engine/plan.h"
 #include "engine/explain.h"
 #include "engine/true_cardinality.h"
@@ -453,6 +455,269 @@ TEST(VectorizedJoinTest, MatchesScalarBitForBitAcrossThreads) {
     }
     ThreadPool::SetGlobalThreads(ThreadPool::ParseThreadCount(nullptr));
   }
+}
+
+// --- SIMD dispatch layer: level detection, LQO_SIMD override, per-level
+// kernel bit-equality, and the real merge/NLJ join paths (DESIGN.md
+// "Vectorized execution" → "SIMD dispatch"). ------------------------------
+
+// Restores the active SIMD level on scope exit so tests compose.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level)
+      : previous_(simd::SetLevelForTest(level)) {}
+  ~ScopedSimdLevel() { simd::SetLevelForTest(previous_); }
+
+ private:
+  simd::Level previous_;
+};
+
+TEST(SimdDispatchTest, SupportedLevelsAndNames) {
+  std::vector<simd::Level> levels = simd::SupportedLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), simd::Level::kScalar);
+  for (size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_LT(static_cast<int>(levels[i - 1]), static_cast<int>(levels[i]));
+    EXPECT_TRUE(simd::LevelSupported(levels[i]));
+  }
+  EXPECT_TRUE(simd::LevelSupported(simd::BestSupportedLevel()));
+  for (simd::Level level : levels) {
+    simd::Level parsed;
+    ASSERT_TRUE(simd::ParseLevel(simd::LevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  simd::Level unused;
+  EXPECT_FALSE(simd::ParseLevel("avx512", &unused));
+  EXPECT_FALSE(simd::ParseLevel("", &unused));
+}
+
+TEST(SimdDispatchTest, EnvOverrideHonored) {
+  simd::Level entry = simd::ActiveLevel();
+  ASSERT_EQ(setenv("LQO_SIMD", "scalar", 1), 0);
+  EXPECT_EQ(simd::ReinitFromEnv(), simd::Level::kScalar);
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  // An unrecognized spelling falls back to plain detection.
+  ASSERT_EQ(setenv("LQO_SIMD", "bogus", 1), 0);
+  EXPECT_EQ(simd::ReinitFromEnv(), simd::BestSupportedLevel());
+  ASSERT_EQ(unsetenv("LQO_SIMD"), 0);
+  EXPECT_EQ(simd::ReinitFromEnv(), simd::BestSupportedLevel());
+  simd::SetLevelForTest(entry);
+}
+
+TEST(SimdDispatchTest, SetLevelForTestClampsUnsupported) {
+  simd::Level entry = simd::ActiveLevel();
+  for (int l = 0; l < simd::kNumLevels; ++l) {
+    simd::Level level = static_cast<simd::Level>(l);
+    simd::SetLevelForTest(level);
+    if (simd::LevelSupported(level)) {
+      EXPECT_EQ(simd::ActiveLevel(), level);
+    } else {
+      EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+      // The table for an unsupported level is the scalar reference.
+      EXPECT_EQ(&simd::KernelsFor(level),
+                &simd::KernelsFor(simd::Level::kScalar));
+    }
+  }
+  simd::SetLevelForTest(entry);
+}
+
+// Every supported level must produce byte-identical survivor vectors and
+// hash words on lane-width edge cases: empty inputs, single rows, sizes
+// straddling multiples of the 2/4/8-row lane groups, and selections that
+// keep everything or nothing (compressed-store full/empty masks).
+TEST(SimdKernelTest, AllLevelsMatchScalarOnEdgeSizes) {
+  const simd::KernelTable& ref = simd::KernelsFor(simd::Level::kScalar);
+  std::vector<int64_t> needles = {3, 5, 8, 13, 21, 34, 55, 89};
+  for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{5},
+                   size_t{7}, size_t{8}, size_t{9}, size_t{1023},
+                   size_t{1024}, size_t{1025}, size_t{8193}}) {
+    std::vector<int64_t> col(n);
+    for (size_t i = 0; i < n; ++i) {
+      col[i] = static_cast<int64_t>((i * 31 + 7) % 97);
+    }
+    // Selection of every third row, plus empty and full selections.
+    std::vector<uint32_t> third;
+    for (uint32_t r = 0; r < n; r += 3) third.push_back(r);
+    std::vector<uint32_t> full(n);
+    for (uint32_t r = 0; r < n; ++r) full[r] = r;
+    std::vector<uint32_t> want(n + 1);
+    std::vector<uint32_t> got(n + 1);
+    std::vector<uint64_t> want_hash(n, 0x12345678u);
+    std::vector<uint64_t> got_hash(n);
+    ref.hash_combine_column(want_hash.data(), col.data(), 0, n);
+    ref.hash_finalize(want_hash.data(), 0, n);
+    for (simd::Level level : simd::SupportedLevels()) {
+      if (level == simd::Level::kScalar) continue;
+      const simd::KernelTable& kt = simd::KernelsFor(level);
+      SCOPED_TRACE(std::string("level=") + simd::LevelName(level) +
+                   " n=" + std::to_string(n));
+      auto check = [&](size_t want_count, size_t got_count) {
+        ASSERT_EQ(want_count, got_count);
+        for (size_t i = 0; i < want_count; ++i) {
+          ASSERT_EQ(want[i], got[i]) << "survivor " << i;
+        }
+      };
+      uint32_t un = static_cast<uint32_t>(n);
+      check(ref.filter_eq_dense(col.data(), 0, un, 42, want.data()),
+            kt.filter_eq_dense(col.data(), 0, un, 42, got.data()));
+      check(ref.filter_range_dense(col.data(), 0, un, 20, 60, want.data()),
+            kt.filter_range_dense(col.data(), 0, un, 20, 60, got.data()));
+      // Select-everything and select-nothing ranges (full/empty masks).
+      check(ref.filter_range_dense(col.data(), 0, un, -5, 1000, want.data()),
+            kt.filter_range_dense(col.data(), 0, un, -5, 1000, got.data()));
+      check(ref.filter_range_dense(col.data(), 0, un, 200, 300, want.data()),
+            kt.filter_range_dense(col.data(), 0, un, 200, 300, got.data()));
+      check(ref.filter_in_dense(col.data(), 0, un, needles.data(),
+                                needles.size(), want.data()),
+            kt.filter_in_dense(col.data(), 0, un, needles.data(),
+                               needles.size(), got.data()));
+      for (const std::vector<uint32_t>* sel : {&third, &full}) {
+        check(ref.filter_eq_sel(col.data(), sel->data(), sel->size(), 42,
+                                want.data()),
+              kt.filter_eq_sel(col.data(), sel->data(), sel->size(), 42,
+                               got.data()));
+        check(ref.filter_range_sel(col.data(), sel->data(), sel->size(), 20,
+                                   60, want.data()),
+              kt.filter_range_sel(col.data(), sel->data(), sel->size(), 20,
+                                  60, got.data()));
+        check(ref.filter_in_sel(col.data(), sel->data(), sel->size(),
+                                needles.data(), needles.size(), want.data()),
+              kt.filter_in_sel(col.data(), sel->data(), sel->size(),
+                               needles.data(), needles.size(), got.data()));
+      }
+      // Empty selection.
+      EXPECT_EQ(kt.filter_eq_sel(col.data(), full.data(), 0, 42, got.data()),
+                0u);
+      std::fill(got_hash.begin(), got_hash.end(), 0x12345678u);
+      kt.hash_combine_column(got_hash.data(), col.data(), 0, n);
+      kt.hash_finalize(got_hash.data(), 0, n);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(want_hash[i], got_hash[i]) << "hash word " << i;
+      }
+    }
+  }
+}
+
+// Executes `plan` at every supported SIMD level and thread count 1/2/8,
+// vectorized and scalar, and expects one bit-identical ExecutionResult.
+void ExpectPlanInvariantAcrossLevelsAndThreads(Catalog* catalog,
+                                               const PhysicalPlan& plan) {
+  Executor executor(catalog);
+  simd::Level entry = simd::ActiveLevel();
+  ExecutionResult reference;
+  bool have_reference = false;
+  for (simd::Level level : simd::SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    for (int threads : {1, 2, 8}) {
+      ThreadPool::SetGlobalThreads(static_cast<size_t>(threads));
+      executor.set_vectorized(true);
+      auto vec = executor.Execute(plan);
+      executor.set_vectorized(false);
+      auto scalar = executor.Execute(plan);
+      ASSERT_TRUE(vec.ok() && scalar.ok())
+          << "level=" << simd::LevelName(level) << " threads=" << threads;
+      SCOPED_TRACE(std::string("level=") + simd::LevelName(level) +
+                   " threads=" + std::to_string(threads));
+      ExpectResultsBitIdentical(*vec, *scalar);
+      if (!have_reference) {
+        reference = *vec;
+        have_reference = true;
+      } else {
+        ExpectResultsBitIdentical(*vec, reference);
+      }
+    }
+  }
+  ThreadPool::SetGlobalThreads(ThreadPool::ParseThreadCount(nullptr));
+  simd::SetLevelForTest(entry);
+}
+
+TEST(SimdJoinTest, MergeJoinDuplicateRunsMatchScalarAndHash) {
+  // Key space of 512 over thousands of rows → long duplicate runs on both
+  // sides, exercising galloping run detection and the batched cross-product
+  // emission (match buffers overflow kVecBatchRows within single runs).
+  Catalog catalog = MakeSyntheticCatalog(3000, 2000);
+  Query q;
+  q.AddTable("big_a");
+  q.AddTable("big_b");
+  q.AddJoin(0, "k", 1, "k");
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kMergeJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  ExpectPlanInvariantAcrossLevelsAndThreads(&catalog, plan);
+  // Same row count as the hash strategy (same multiset contract).
+  Executor executor(&catalog);
+  auto merge = executor.Execute(plan);
+  plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  auto hash = executor.Execute(plan);
+  ASSERT_TRUE(merge.ok() && hash.ok());
+  EXPECT_EQ(merge->row_count, hash->row_count);
+  EXPECT_GT(merge->row_count, 0u);
+}
+
+TEST(SimdJoinTest, NestedLoopBatchesMatchScalarAndHash) {
+  // 1500 x 1300 = 1.95M pairs — under the 2^22 NLJ gate, so the real block
+  // NLJ runs; inner batches hit full/partial kVecBatchRows boundaries.
+  Catalog catalog = MakeSyntheticCatalog(1500, 1300);
+  Query q;
+  q.AddTable("big_a");
+  q.AddTable("big_b");
+  q.AddJoin(0, "k", 1, "k");
+  q.AddPredicate(Predicate::Range(1, "w", 0, 4));
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kNestedLoopJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  ExpectPlanInvariantAcrossLevelsAndThreads(&catalog, plan);
+  Executor executor(&catalog);
+  auto nlj = executor.Execute(plan);
+  plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  auto hash = executor.Execute(plan);
+  ASSERT_TRUE(nlj.ok() && hash.ok());
+  EXPECT_EQ(nlj->row_count, hash->row_count);
+  EXPECT_GT(nlj->row_count, 0u);
+}
+
+TEST(SimdJoinTest, AboveGateDeclaredJoinsFallBackToHash) {
+  // 3000 x 2000 = 6M pairs > 2^22: an NLJ-declared node must take the hash
+  // strategy (partitioned once past the parallel threshold) yet still charge
+  // quadratic NLJ time.
+  Catalog catalog = MakeSyntheticCatalog(3000, 2000);
+  Executor executor(&catalog);
+  Query q;
+  q.AddTable("big_a");
+  q.AddTable("big_b");
+  q.AddJoin(0, "k", 1, "k");
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kNestedLoopJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  auto nlj = executor.Execute(plan);
+  plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  auto hash = executor.Execute(plan);
+  ASSERT_TRUE(nlj.ok() && hash.ok());
+  EXPECT_EQ(nlj->row_count, hash->row_count);
+  // Hash execution internals leak only into diagnostics, never charging:
+  // the NLJ-declared node still pays the quadratic pair cost.
+  EXPECT_GT(nlj->node_profiles.back().time_units,
+            hash->node_profiles.back().time_units);
+  EXPECT_EQ(nlj->node_profiles.back().partitions,
+            hash->node_profiles.back().partitions);
+}
+
+TEST(SimdJoinTest, ScanFilterPlanInvariantAcrossLevels) {
+  Catalog catalog = MakeSyntheticCatalog(8193, 16);
+  Query q;
+  q.AddTable("big_a");
+  q.AddPredicate(Predicate::Range(0, "v", 100, 700));
+  q.AddPredicate(Predicate::In(0, "k", {1, 2, 3, 5, 8, 13}));
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeScanNode(0);
+  ExpectPlanInvariantAcrossLevelsAndThreads(&catalog, plan);
 }
 
 TEST(VectorizedExecutorTest, EnvEscapeHatchControlsDefault) {

@@ -446,6 +446,61 @@ TEST(LintRules, HotLoopGrowthWaiverOnScalarReferencePath) {
   EXPECT_EQ(Count(findings, "hot-loop-growth", /*waived=*/true), 1);
 }
 
+TEST(LintRules, RawIntrinsicsViolatingAndConforming) {
+  // Intrinsic headers and _mm*/v*q_ calls outside engine/simd.* fire.
+  std::string include_violation = "#include <immintrin.h>\n";
+  EXPECT_EQ(Count(LintText("engine/executor.cc", include_violation),
+                  "raw-intrinsics"),
+            1);
+  EXPECT_EQ(Count(LintText("ml/forest.cc", "#include <arm_neon.h>\n"),
+                  "raw-intrinsics"),
+            1);
+  std::string call_violation = R"cpp(
+    long F(const long* p) {
+      __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+      return _mm256_extract_epi64(v, 0);
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("engine/filter_kernels.cc", call_violation),
+                  "raw-intrinsics"),
+            2);
+  std::string neon_violation = R"cpp(
+    void G(const long* p) { auto v = vld1q_s64(p); Use(v); }
+  )cpp";
+  EXPECT_EQ(Count(LintText("bench/bench_micro_components.cc", neon_violation),
+                  "raw-intrinsics"),
+            1);
+  // The dispatch layer itself is the allowlisted home for intrinsics.
+  EXPECT_EQ(Count(LintText("engine/simd.cc", call_violation),
+                  "raw-intrinsics"),
+            0);
+  EXPECT_EQ(Count(LintText("engine/simd.h", include_violation),
+                  "raw-intrinsics"),
+            0);
+  // Identifiers that merely contain a prefix mid-token don't count, and
+  // calling through the dispatch table is the conforming spelling.
+  std::string conforming = R"cpp(
+    void H(const long* col, unsigned* out) {
+      int my_mm_count = 0;
+      simd::Kernels().filter_eq_dense(col, 0, 8, 42, out);
+      Use(my_mm_count);
+    }
+  )cpp";
+  EXPECT_EQ(Count(LintText("engine/executor.cc", conforming),
+                  "raw-intrinsics"),
+            0);
+}
+
+TEST(LintRules, RawIntrinsicsWaiver) {
+  std::string waived = R"cpp(
+    // lint: raw-intrinsics-ok(prefetch hint only, no data-path SIMD)
+    void F(const char* p) { _mm_prefetch(p, 1); }
+  )cpp";
+  std::vector<Finding> findings = LintText("engine/executor.cc", waived);
+  EXPECT_EQ(Count(findings, "raw-intrinsics", /*waived=*/false), 0);
+  EXPECT_EQ(Count(findings, "raw-intrinsics", /*waived=*/true), 1);
+}
+
 // --- waivers ---------------------------------------------------------------
 
 TEST(LintWaivers, SameLineAndPrecedingLineWaive) {

@@ -276,6 +276,7 @@ class Linter {
     CheckMutexGuards();
     CheckAtomicComment();
     CheckHotLoopGrowth();
+    CheckRawIntrinsics();
     if (is_header) {
       CheckHeaderGuard();
       CheckUsingNamespace();
@@ -801,6 +802,44 @@ class Linter {
         stmt_start = i + 1;
       } else if (c == ';' && paren_depth == 0) {
         stmt_start = i + 1;
+      }
+    }
+  }
+
+  // Raw SIMD intrinsics are confined to engine/simd.{h,cc} — everywhere
+  // else must go through the dispatched KernelTable, so every kernel has a
+  // scalar reference, per-level bit-equality coverage, and an LQO_SIMD
+  // off-switch.
+  void CheckRawIntrinsics() {
+    if (input_.path.find("engine/simd.") != std::string::npos) return;
+    for (std::string_view header :
+         {"immintrin.h", "emmintrin.h", "smmintrin.h", "nmmintrin.h",
+          "tmmintrin.h", "pmmintrin.h", "xmmintrin.h", "x86intrin.h",
+          "arm_neon.h"}) {
+      size_t pos = 0;
+      while ((pos = code_.find(header, pos)) != std::string_view::npos) {
+        Report("raw-intrinsics", pos,
+               "intrinsic header <" + std::string(header) +
+                   "> outside engine/simd.*; add the kernel to the dispatch "
+                   "table in engine/simd.cc instead, or waive with "
+                   "// lint: raw-intrinsics-ok(<reason>)");
+        pos += header.size();
+      }
+    }
+    for (std::string_view prefix :
+         {"_mm_", "_mm256_", "_mm512_", "vld1q_", "vst1q_", "vdupq_",
+          "vceqq_", "vcgtq_", "vcgeq_", "vcleq_", "vgetq_", "vandq_",
+          "vorrq_"}) {
+      size_t pos = 0;
+      while ((pos = code_.find(prefix, pos)) != std::string_view::npos) {
+        bool left_ok = pos == 0 || !IdentChar(code_[pos - 1]);
+        if (left_ok) {
+          Report("raw-intrinsics", pos,
+                 "raw SIMD intrinsic outside engine/simd.*; add the kernel "
+                 "to the dispatch table in engine/simd.cc instead, or waive "
+                 "with // lint: raw-intrinsics-ok(<reason>)");
+        }
+        pos += prefix.size();
       }
     }
   }
