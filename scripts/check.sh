@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # CI gate, three stages ordered cheapest-first so hazards fail fast:
 #
-#   1. lqo-lint       — static determinism/concurrency/hygiene analysis over
-#                       src/, tests/, bench/ and examples/ (tools/lqo-lint).
-#                       Rejects
-#                       banned nondeterminism sources, undocumented mutexes,
-#                       raw threading outside the pool, etc. before any
-#                       build of the full suite.
+#   1. lqo-lint       — two-phase whole-program static analysis over src/,
+#                       tests/, bench/, examples/ and tools/
+#                       (tools/lqo-lint): per-file determinism/concurrency/
+#                       hygiene rules plus cross-TU lock-discipline,
+#                       unordered-iter and layering, gated against the
+#                       checked-in waiver budget (baseline.json), before
+#                       any build of the full suite.
 #   2. TSan suite     — builds under ThreadSanitizer and runs every test
 #                       with a 4-thread global pool, so unsynchronized
 #                       accesses introduced by a new parallel site fail even
@@ -19,10 +20,10 @@
 # set (-Wshadow -Wnon-virtual-dtor -Wimplicit-fallthrough -Wcast-qual) is
 # enforced as errors.
 #
-# With LQO_CLANG_TSA=1 a fourth, opt-in stage rebuilds the tree with
-# clang++ and -Werror=thread-safety, statically checking the
-# LQO_GUARDED_BY/LQO_REQUIRES annotations. It errors out early if clang++
-# is not installed (the default image ships GCC only).
+# A fourth stage rebuilds the tree with clang++ and -Werror=thread-safety,
+# statically checking the LQO_GUARDED_BY/LQO_REQUIRES annotations. It
+# auto-enables whenever clang++ is on PATH; LQO_CLANG_TSA=1 forces it,
+# LQO_CLANG_TSA=0 skips it (the default image ships GCC only).
 #
 # Usage: scripts/check.sh [tsan-build-dir] [ubsan-build-dir] [tsa-build-dir]
 #        (defaults: build-tsan build-ubsan build-tsa)
@@ -36,10 +37,19 @@ JOBS="$(nproc)"
 # --- Stage 1: static analysis (fail-fast, before the expensive builds) -----
 cmake -B "$BUILD_DIR" -S . -DLQO_SANITIZE=thread -DLQO_WERROR=ON
 cmake --build "$BUILD_DIR" -j"$JOBS" --target lqo-lint
-# lqo-lint prints file:line diagnostics plus a per-rule violation summary
-# and exits nonzero on any unwaived finding.
-"$BUILD_DIR"/tools/lqo-lint/lqo-lint --root . src tests bench examples
-echo "check.sh: stage 1 (lqo-lint) passed"
+# Whole-program analysis (per-file rules + cross-TU lock-discipline /
+# unordered-iter / layering) with the waiver budget enforced against the
+# checked-in baseline. A SARIF log is always written so CI can upload it as
+# an artifact; on failure its path is echoed for the uploader.
+SARIF_OUT="$BUILD_DIR/lqo-lint.sarif"
+if ! "$BUILD_DIR"/tools/lqo-lint/lqo-lint --root . \
+    --baseline tools/lqo-lint/baseline.json \
+    --sarif-out "$SARIF_OUT" \
+    src tests bench examples tools; then
+  echo "check.sh: stage 1 (lqo-lint) FAILED — SARIF artifact: $SARIF_OUT" >&2
+  exit 1
+fi
+echo "check.sh: stage 1 (lqo-lint) passed (SARIF: $SARIF_OUT)"
 
 # --- Stage 2: ThreadSanitizer suite ----------------------------------------
 cmake --build "$BUILD_DIR" -j"$JOBS"
@@ -99,17 +109,27 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
   ctest --test-dir "$UBSAN_DIR" --output-on-failure -j"$JOBS"
 echo "check.sh: stage 3 (UBSan suite) passed"
 
-# --- Stage 4 (opt-in): Clang Thread Safety Analysis ------------------------
-# LQO_CLANG_TSA=1 compiles the tree with clang++ and -Wthread-safety as
-# errors, statically checking the LQO_GUARDED_BY/LQO_REQUIRES annotations
-# (src/common/thread_annotations.h). Opt-in because the default toolchain
-# image ships GCC only; the annotations are no-ops there.
-if [[ "${LQO_CLANG_TSA:-0}" == "1" ]]; then
+# --- Stage 4: Clang Thread Safety Analysis ---------------------------------
+# Compiles the tree with clang++ and -Wthread-safety as errors, statically
+# checking the LQO_GUARDED_BY/LQO_REQUIRES annotations
+# (src/common/thread_annotations.h). Auto-enables when clang++ is on PATH
+# (LQO_CLANG_TSA unset or "auto"); LQO_CLANG_TSA=1 forces it (error if
+# clang++ is missing), LQO_CLANG_TSA=0 skips it. The annotations are no-ops
+# under GCC, so skipping on a GCC-only image loses nothing the lint
+# lock-discipline pass doesn't cover.
+TSA_MODE="${LQO_CLANG_TSA:-auto}"
+RUN_TSA=0
+case "$TSA_MODE" in
+  1) RUN_TSA=1 ;;
+  0) RUN_TSA=0 ;;
+  *) command -v clang++ >/dev/null 2>&1 && RUN_TSA=1 || RUN_TSA=0 ;;
+esac
+if [[ "$RUN_TSA" == "1" ]]; then
   TSA_DIR="${3:-build-tsa}"
   if ! command -v clang++ >/dev/null 2>&1; then
     echo "check.sh: LQO_CLANG_TSA=1 but clang++ is not installed." >&2
-    echo "  Thread Safety Analysis needs Clang; install clang or unset" >&2
-    echo "  LQO_CLANG_TSA to run the GCC-only stages." >&2
+    echo "  Thread Safety Analysis needs Clang; install clang or set" >&2
+    echo "  LQO_CLANG_TSA=0 to run the GCC-only stages." >&2
     exit 1
   fi
   # Compile-only gate: any -Wthread-safety finding fails the build.
@@ -117,6 +137,8 @@ if [[ "${LQO_CLANG_TSA:-0}" == "1" ]]; then
     -DLQO_THREAD_SAFETY=ON -DCMAKE_CXX_FLAGS=-Werror=thread-safety
   cmake --build "$TSA_DIR" -j"$JOBS"
   echo "check.sh: stage 4 (clang -Wthread-safety) passed"
+else
+  echo "check.sh: stage 4 (clang -Wthread-safety) skipped (no clang++)"
 fi
 
 echo "check.sh: all stages passed (lint, TSan, UBSan)"

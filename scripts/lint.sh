@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Build and run the lqo-lint determinism/concurrency gate by itself.
 #
-# Usage: scripts/lint.sh [build-dir] [dirs...]
+# Usage: scripts/lint.sh [--changed] [build-dir] [dirs...]
+#   --changed  fast inner loop: report findings only for files touched per
+#              git (unstaged + staged + untracked) plus their header/impl
+#              pairs. The full project index is still built, so cross-TU
+#              rules (lock-discipline, layering, cross-TU unordered-iter)
+#              stay whole-program; baseline comparison is skipped.
 #   build-dir  cmake build tree to (re)use for the linter binary
 #              (default: build)
 #   dirs       directories to scan relative to the repo root
-#              (default: src tests bench examples)
+#              (default: src tests bench examples tools)
 #
 # This is the fast local loop for the gate scripts/check.sh runs first;
 # see DESIGN.md "Static analysis & correctness gates" and
@@ -14,11 +19,17 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+CHANGED=0
+if [ "${1:-}" == "--changed" ]; then
+  CHANGED=1
+  shift
+fi
+
 BUILD_DIR="${1:-build}"
 shift || true
 DIRS=("$@")
 if [ "${#DIRS[@]}" -eq 0 ]; then
-  DIRS=(src tests bench examples)
+  DIRS=(src tests bench examples tools)
 fi
 
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
@@ -26,4 +37,43 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
 fi
 cmake --build "$BUILD_DIR" --target lqo-lint -j
 
-exec "$BUILD_DIR"/tools/lqo-lint/lqo-lint --root . "${DIRS[@]}"
+if [ "$CHANGED" == "1" ]; then
+  # Touched C++ files: unstaged + staged + untracked, filtered to the
+  # extensions the linter loads.
+  mapfile -t touched < <(
+    { git diff --name-only
+      git diff --name-only --cached
+      git ls-files --others --exclude-standard
+    } | grep -E '\.(h|hpp|cc|cpp)$' | sort -u)
+
+  # Add each file's header/impl pair so a .cc edit re-checks its header's
+  # contracts and vice versa.
+  declare -A seen=()
+  ONLY_ARGS=()
+  add() {
+    local f="$1"
+    [ -e "$f" ] || return 0
+    [ -n "${seen[$f]:-}" ] && return 0
+    seen[$f]=1
+    ONLY_ARGS+=(--only "$f")
+  }
+  for f in "${touched[@]:-}"; do
+    [ -n "$f" ] || continue
+    add "$f"
+    stem="${f%.*}"
+    case "$f" in
+      *.cc|*.cpp) add "$stem.h"; add "$stem.hpp" ;;
+      *.h|*.hpp)  add "$stem.cc"; add "$stem.cpp" ;;
+    esac
+  done
+
+  if [ "${#ONLY_ARGS[@]}" -eq 0 ]; then
+    echo "lint.sh: no changed C++ files"
+    exit 0
+  fi
+  exec "$BUILD_DIR"/tools/lqo-lint/lqo-lint --root . \
+    "${ONLY_ARGS[@]}" "${DIRS[@]}"
+fi
+
+exec "$BUILD_DIR"/tools/lqo-lint/lqo-lint --root . \
+  --baseline tools/lqo-lint/baseline.json "${DIRS[@]}"

@@ -11,6 +11,8 @@ FeatureCache::FeatureCache(size_t dim, size_t max_rows)
     : dim_(dim), max_rows_(max_rows) {
   LQO_CHECK_GT(dim, 0u);
   LQO_CHECK_GT(max_rows, 0u);
+  // locked-by: mutex_(constructor body; no other thread can hold a
+  // reference to this object yet)
   rows_.Reset(dim_);
 }
 

@@ -34,6 +34,8 @@ void CardinalityProvider::InjectOverride(const std::string& key,
                                          double cardinality) {
   LQO_CHECK(!frozen()) << "InjectOverride on a frozen CardinalityProvider";
   overrides_[key] = cardinality;
+  // locked-by: mutex_(the !frozen() check above pins this to the
+  // single-threaded mutable phase; the lock only engages once frozen)
   cache_.clear();
 }
 
@@ -41,6 +43,8 @@ void CardinalityProvider::SetScale(double factor, int min_tables) {
   LQO_CHECK(!frozen()) << "SetScale on a frozen CardinalityProvider";
   scale_factor_ = factor;
   scale_min_tables_ = min_tables;
+  // locked-by: mutex_(the !frozen() check above pins this to the
+  // single-threaded mutable phase; the lock only engages once frozen)
   cache_.clear();
 }
 
@@ -49,6 +53,8 @@ void CardinalityProvider::ClearOverrides() {
   overrides_.clear();
   scale_factor_ = 1.0;
   scale_min_tables_ = 0;
+  // locked-by: mutex_(the !frozen() check above pins this to the
+  // single-threaded mutable phase; the lock only engages once frozen)
   cache_.clear();
 }
 
@@ -114,13 +120,17 @@ double CardinalityProvider::Raw(const Subquery& subquery) {
     return it->second;
   }
 
-  auto cached = cache_.find(hash);
-  if (cached != cache_.end()) {
+  // Unfrozen path: by contract the provider is still in its single-threaded
+  // mutable phase, so cache_ is touched bare.
+  // locked-by: mutex_(unfrozen == single-threaded by contract; concurrent
+  // callers must Freeze() first, which routes them through the locked path)
+  if (auto cached = cache_.find(hash); cached != cache_.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     return cached->second;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   double value = Compute(subquery);
+  // locked-by: mutex_(unfrozen == single-threaded by contract, as above)
   cache_[hash] = value;
   return value;
 }

@@ -6,9 +6,11 @@
 #include "lqo-lint/lint.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "gtest/gtest.h"
 
 namespace lqo::lint {
@@ -563,6 +565,354 @@ TEST(LintFindings, CarryFileLineAndSortOrder) {
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].file, "dir/f.cc");
   EXPECT_EQ(findings[0].line, 2);
+}
+
+// --- whole-program analysis (phase 2) --------------------------------------
+
+std::vector<Finding> Analyze(std::vector<FileInput> files) {
+  return AnalyzeFiles(std::move(files));
+}
+
+TEST(LintLockDiscipline, BareUseOfGuardedMemberIsReported) {
+  std::string source = R"cpp(
+    class Counter {
+     public:
+      void Bump() {
+        total_ += 1;
+      }
+
+     private:
+      std::mutex mutex_;  // guards: total_
+      long total_ = 0;
+    };
+  )cpp";
+  std::vector<Finding> findings = Analyze({{"counter.h", source, ""}});
+  EXPECT_EQ(Count(findings, "lock-discipline"), 1);
+}
+
+TEST(LintLockDiscipline, LockGuardAcquisitionConforms) {
+  std::string source = R"cpp(
+    class Counter {
+     public:
+      void Bump() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        total_ += 1;
+      }
+
+     private:
+      std::mutex mutex_;  // guards: total_
+      long total_ = 0;
+    };
+  )cpp";
+  std::vector<Finding> findings = Analyze({{"counter.h", source, ""}});
+  EXPECT_EQ(Count(findings, "lock-discipline"), 0);
+}
+
+TEST(LintLockDiscipline, LockedByWaiverIsHonored) {
+  std::string source = R"cpp(
+    class Counter {
+     public:
+      void Init() {
+        // locked-by: mutex_(called before any worker can see this object)
+        total_ = 0;
+      }
+
+     private:
+      std::mutex mutex_;  // guards: total_
+      long total_ = 0;
+    };
+  )cpp";
+  std::vector<Finding> findings = Analyze({{"counter.h", source, ""}});
+  EXPECT_EQ(Count(findings, "lock-discipline", /*waived=*/false), 0);
+  EXPECT_EQ(Count(findings, "lock-discipline", /*waived=*/true), 1);
+}
+
+TEST(LintLockDiscipline, SharedAndExclusiveLocksBothAccepted) {
+  std::string source = R"cpp(
+    class Stats {
+     public:
+      long Read() const {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        return value_;
+      }
+      void Write(long v) {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        value_ = v;
+      }
+
+     private:
+      mutable std::shared_mutex mutex_;  // guards: value_
+      long value_ = 0;
+    };
+  )cpp";
+  std::vector<Finding> findings = Analyze({{"stats.h", source, ""}});
+  EXPECT_EQ(Count(findings, "lock-discipline"), 0);
+}
+
+TEST(LintLockDiscipline, CrossTuOutOfLineDefinitionIsChecked) {
+  std::string header = R"cpp(
+    class Registry {
+     public:
+      void Add(int v);
+
+     private:
+      std::mutex mutex_;  // guards: items_
+      std::vector<int> items_;
+    };
+  )cpp";
+  std::string impl = R"cpp(
+    void Registry::Add(int v) {
+      items_.push_back(v);
+    }
+  )cpp";
+  // The contract lives in the header; the violation is in the impl TU.
+  std::vector<Finding> findings =
+      Analyze({{"registry.h", header, ""}, {"other.cc", impl, ""}});
+  EXPECT_EQ(Count(findings, "lock-discipline"), 1);
+}
+
+TEST(LintLockDiscipline, RequiresAnnotationTreatsLockAsHeld) {
+  std::string header = R"cpp(
+    class Registry {
+     public:
+      void AddLocked(int v) LQO_REQUIRES(mutex_);
+
+     private:
+      std::mutex mutex_;  // guards: items_
+      std::vector<int> items_;
+    };
+  )cpp";
+  std::string impl = R"cpp(
+    void Registry::AddLocked(int v) {
+      items_.push_back(v);
+    }
+  )cpp";
+  std::vector<Finding> findings =
+      Analyze({{"registry.h", header, ""}, {"registry.cc", impl, ""}});
+  EXPECT_EQ(Count(findings, "lock-discipline"), 0);
+}
+
+TEST(LintLockDiscipline, LockScopeEndsAtBlockClose) {
+  std::string source = R"cpp(
+    class Box {
+     public:
+      void Reset() {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          v_ = 0;
+        }
+        v_ = 1;
+      }
+
+     private:
+      std::mutex mutex_;  // guards: v_
+      long v_ = 0;
+    };
+  )cpp";
+  std::vector<Finding> findings = Analyze({{"box.h", source, ""}});
+  EXPECT_EQ(Count(findings, "lock-discipline"), 1);
+}
+
+TEST(LintXtuUnorderedIter, MemberThroughHeaderAliasAcrossTu) {
+  // The alias lives in a third TU, so neither widget.cc nor its paired
+  // header can resolve by_id_'s type alone — only the project index can.
+  std::string types = R"cpp(
+    using Index = std::unordered_map<long, long>;
+  )cpp";
+  std::string header = R"cpp(
+    class Widget {
+     public:
+      long Sum() const;
+
+     private:
+      Index by_id_;
+    };
+  )cpp";
+  std::string impl = R"cpp(
+    long Widget::Sum() const {
+      long total = 0;
+      for (const auto& [k, v] : by_id_) total += v;
+      return total;
+    }
+  )cpp";
+  std::vector<Finding> findings = Analyze({{"types.h", types, ""},
+                                           {"widget.h", header, ""},
+                                           {"widget.cc", impl, ""}});
+  EXPECT_EQ(Count(findings, "unordered-iter"), 1);
+}
+
+TEST(LintXtuUnorderedIter, NoDoubleReportWithPairedHeader) {
+  // The per-file pass already sees the paired header; the cross-TU pass
+  // must not report the same site a second time.
+  std::string header = R"cpp(
+    class Catalog {
+     public:
+      long Total() const;
+
+     private:
+      std::unordered_map<long, long> counts_;
+    };
+  )cpp";
+  std::string impl = R"cpp(
+    long Catalog::Total() const {
+      long total = 0;
+      for (const auto& [k, v] : counts_) total += v;
+      return total;
+    }
+  )cpp";
+  std::vector<Finding> findings =
+      Analyze({{"catalog.h", header, ""}, {"catalog.cc", impl, ""}});
+  EXPECT_EQ(Count(findings, "unordered-iter"), 1);
+}
+
+TEST(LintLayering, ForbiddenEdgeReportedAllowedEdgeClean) {
+  std::string bad = "#include \"serving/plan_cache.h\"\n";
+  std::string good = "#include \"common/logging.h\"\n";
+  std::vector<Finding> findings =
+      Analyze({{"src/engine/exec.cc", bad, ""},
+               {"src/engine/exec2.cc", good, ""}});
+  EXPECT_EQ(Count(findings, "layering"), 1);
+  std::string waived =
+      "// lint: layering-ok(transition shim, tracked in ROADMAP)\n"
+      "#include \"serving/plan_cache.h\"\n";
+  findings = Analyze({{"src/ml/model.cc", waived, ""}});
+  EXPECT_EQ(Count(findings, "layering", /*waived=*/false), 0);
+  EXPECT_EQ(Count(findings, "layering", /*waived=*/true), 1);
+}
+
+TEST(LintLayering, DagIsWellFormed) {
+  ASSERT_FALSE(LayerDag().empty());
+  const LayerSpec* common = FindLayer("common");
+  ASSERT_NE(common, nullptr);
+  EXPECT_TRUE(common->may_include.empty());  // common is the base layer
+  // Every listed dependency must itself be a known layer, and no layer may
+  // list itself (self-edges are implicit).
+  for (const LayerSpec& layer : LayerDag()) {
+    for (std::string_view dep : layer.may_include) {
+      EXPECT_NE(FindLayer(dep), nullptr) << layer.name << " -> " << dep;
+      EXPECT_NE(dep, layer.name) << layer.name;
+    }
+  }
+  // The tentpole constraint: engine/ml/storage must not see the serving top.
+  for (std::string_view low : {"engine", "ml", "storage"}) {
+    const LayerSpec* spec = FindLayer(low);
+    ASSERT_NE(spec, nullptr);
+    for (std::string_view dep : spec->may_include) {
+      EXPECT_NE(dep, "serving") << low;
+      EXPECT_NE(dep, "e2e") << low;
+      EXPECT_NE(dep, "pilotscope") << low;
+    }
+  }
+  EXPECT_EQ(FindLayer("no-such-layer"), nullptr);
+}
+
+// --- baseline (waiver budget) ----------------------------------------------
+
+Finding WaivedFinding(std::string_view rule, int line) {
+  Finding f;
+  f.rule_id = rule;
+  f.file = "a.cc";
+  f.line = line;
+  f.message = "fixture";
+  f.waived = true;
+  return f;
+}
+
+TEST(LintBaseline, MatchingCountsPass) {
+  std::vector<Finding> findings = {WaivedFinding("rand", 1),
+                                   WaivedFinding("unordered-iter", 2)};
+  std::string baseline = RenderBaseline(findings);
+  EXPECT_TRUE(CheckBaseline(findings, baseline).empty());
+}
+
+TEST(LintBaseline, GrowthFails) {
+  std::vector<Finding> findings = {WaivedFinding("rand", 1)};
+  std::string baseline = RenderBaseline(findings);
+  findings.push_back(WaivedFinding("rand", 2));
+  std::vector<std::string> problems = CheckBaseline(findings, baseline);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("exceeded"), std::string::npos);
+}
+
+TEST(LintBaseline, ShrinkWithoutRegenerationFails) {
+  std::vector<Finding> findings = {WaivedFinding("rand", 1),
+                                   WaivedFinding("rand", 2)};
+  std::string baseline = RenderBaseline(findings);
+  findings.pop_back();
+  std::vector<std::string> problems = CheckBaseline(findings, baseline);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("stale"), std::string::npos);
+  // Dropping the rule's waivers entirely is also a shrink.
+  problems = CheckBaseline({}, baseline);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("stale"), std::string::npos);
+}
+
+TEST(LintBaseline, UnreadableBaselineFails) {
+  EXPECT_FALSE(CheckBaseline({}, "not json at all").empty());
+}
+
+// --- machine-readable emission ---------------------------------------------
+
+TEST(LintFormat, JsonCarriesFindingsAndTally) {
+  std::vector<Finding> findings = LintText("dir/f.cc", "int b = rand();\n");
+  std::string json = RenderJson(findings);
+  EXPECT_NE(json.find("\"tool\": \"lqo-lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"rand\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"dir/f.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tally\""), std::string::npos);
+}
+
+TEST(LintFormat, SarifCarriesRuleMetadataAndSuppressions) {
+  std::vector<Finding> findings =
+      LintText("a.cc", "int b = rand();  // lint: rand-ok(fixture)\n");
+  std::string sarif = RenderSarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"rand\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"suppressions\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"kind\": \"inSource\""), std::string::npos);
+  // Every catalog rule is published in the driver metadata.
+  for (const Rule& rule : Rules()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule.id) + "\""),
+              std::string::npos)
+        << rule.id;
+  }
+}
+
+// --- determinism across thread counts --------------------------------------
+
+TEST(LintWholeProgram, ByteIdenticalAcrossThreadCounts) {
+  // A fixture set wide enough that phase 1 actually fans out.
+  std::vector<FileInput> files;
+  for (int i = 0; i < 12; ++i) {
+    std::string tag = std::to_string(i);
+    files.push_back(
+        {"src/engine/f" + tag + ".cc",
+         "#include \"serving/x.h\"\nint v" + tag + " = rand();\n", ""});
+  }
+  files.push_back({"counter.h",
+                   "class C" + std::string("0") +
+                       " {\n void B() { t_ += 1; }\n std::mutex m_;  "
+                       "// guards: t_\n long t_ = 0;\n};\n",
+                   ""});
+  std::string reference;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::SetGlobalThreads(threads);
+    std::string rendered = RenderJson(AnalyzeFiles(files));
+    if (reference.empty()) {
+      reference = rendered;
+    } else {
+      EXPECT_EQ(rendered, reference) << "LQO_THREADS=" << threads;
+    }
+  }
+  ThreadPool::SetGlobalThreads(
+      ThreadPool::ParseThreadCount(std::getenv("LQO_THREADS")));
+  // Sanity: the fixture exercises per-file and both cross-TU rule families.
+  std::vector<Finding> findings = AnalyzeFiles(files);
+  EXPECT_EQ(Count(findings, "rand"), 12);
+  EXPECT_EQ(Count(findings, "layering"), 12);
+  EXPECT_EQ(Count(findings, "lock-discipline"), 1);
 }
 
 }  // namespace

@@ -1,0 +1,281 @@
+// Machine-readable emission (--format=json|sarif) and the waiver-budget
+// baseline. No external JSON dependency: emission is direct, and the
+// baseline reader is a tiny purpose-built parser for the flat object that
+// RenderBaseline writes (it tolerates arbitrary whitespace but is not a
+// general JSON parser — the file is machine-generated).
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "lqo-lint/lint.h"
+
+namespace lqo::lint {
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string Quoted(std::string_view s) {
+  std::string out = "\"";
+  AppendEscaped(&out, s);
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string RenderJson(const std::vector<Finding>& findings) {
+  int errors = 0;
+  int waived = 0;
+  for (const Finding& f : findings) (f.waived ? waived : errors)++;
+
+  std::string out;
+  out.reserve(findings.size() * 160 + 256);
+  out.append("{\n  \"tool\": \"lqo-lint\",\n  \"errors\": ");
+  out.append(std::to_string(errors));
+  out.append(",\n  \"waived\": ");
+  out.append(std::to_string(waived));
+  out.append(",\n  \"findings\": [");
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out.append(i == 0 ? "\n" : ",\n");
+    out.append("    {\"rule\": ");
+    out.append(Quoted(f.rule_id));
+    out.append(", \"file\": ");
+    out.append(Quoted(f.file));
+    out.append(", \"line\": ");
+    out.append(std::to_string(f.line));
+    out.append(", \"waived\": ");
+    out.append(f.waived ? "true" : "false");
+    out.append(", \"message\": ");
+    out.append(Quoted(f.message));
+    out.append("}");
+  }
+  out.append(findings.empty() ? "],\n" : "\n  ],\n");
+  out.append("  \"tally\": {");
+  bool first = true;
+  for (const auto& [rule_id, tally] : Tally(findings)) {
+    out.append(first ? "\n" : ",\n");
+    first = false;
+    out.append("    ");
+    out.append(Quoted(rule_id));
+    out.append(": {\"errors\": ");
+    out.append(std::to_string(tally.errors));
+    out.append(", \"waived\": ");
+    out.append(std::to_string(tally.waived));
+    out.append("}");
+  }
+  out.append(first ? "}\n}\n" : "\n  }\n}\n");
+  return out;
+}
+
+std::string RenderSarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out.reserve(findings.size() * 256 + 1024);
+  out.append(
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"lqo-lint\",\n"
+      "          \"informationUri\": \"tools/lqo-lint/README.md\",\n"
+      "          \"rules\": [");
+  const std::vector<Rule>& rules = Rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out.append(i == 0 ? "\n" : ",\n");
+    out.append("            {\"id\": ");
+    out.append(Quoted(rules[i].id));
+    out.append(", \"shortDescription\": {\"text\": ");
+    out.append(Quoted(rules[i].summary));
+    out.append("}, \"helpUri\": \"tools/lqo-lint/README.md\"}");
+  }
+  out.append(
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [");
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const Rule* rule = FindRule(f.rule_id);
+    bool error = rule == nullptr || rule->severity == Severity::kError;
+    out.append(i == 0 ? "\n" : ",\n");
+    out.append("        {\"ruleId\": ");
+    out.append(Quoted(f.rule_id));
+    out.append(", \"level\": ");
+    out.append(error ? "\"error\"" : "\"warning\"");
+    out.append(
+        ", \"message\": {\"text\": ");
+    out.append(Quoted(f.message));
+    out.append(
+        "}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+        "{\"uri\": ");
+    out.append(Quoted(f.file));
+    out.append("}, \"region\": {\"startLine\": ");
+    out.append(std::to_string(f.line));
+    out.append("}}}]");
+    if (f.waived) {
+      out.append(
+          ", \"suppressions\": [{\"kind\": \"inSource\", "
+          "\"justification\": \"in-source lint waiver comment\"}]");
+    }
+    out.append("}");
+  }
+  out.append(
+      findings.empty() ? "]\n" : "\n      ]\n");
+  out.append(
+      "    }\n"
+      "  ]\n"
+      "}\n");
+  return out;
+}
+
+std::string RenderBaseline(const std::vector<Finding>& findings) {
+  std::string out;
+  out.append("{\n  \"tool\": \"lqo-lint waiver budget\",\n");
+  out.append(
+      "  \"note\": \"per-rule waived-finding counts; regenerate with "
+      "lqo-lint --write-baseline\",\n");
+  out.append("  \"waived\": {");
+  bool first = true;
+  for (const auto& [rule_id, tally] : Tally(findings)) {
+    if (tally.waived == 0) continue;
+    out.append(first ? "\n" : ",\n");
+    first = false;
+    out.append("    ");
+    out.append(Quoted(rule_id));
+    out.append(": ");
+    out.append(std::to_string(tally.waived));
+  }
+  out.append(first ? "}\n}\n" : "\n  }\n}\n");
+  return out;
+}
+
+std::vector<std::string> CheckBaseline(const std::vector<Finding>& findings,
+                                       std::string_view baseline_json) {
+  // Parse the flat {"rule": count, ...} object under "waived".
+  std::map<std::string, int> budget;
+  size_t pos = baseline_json.find("\"waived\"");
+  bool parsed = false;
+  if (pos != std::string_view::npos) {
+    size_t open = baseline_json.find('{', pos);
+    size_t close =
+        open == std::string_view::npos
+            ? std::string_view::npos
+            : baseline_json.find('}', open);
+    if (close != std::string_view::npos) {
+      parsed = true;
+      size_t i = open + 1;
+      while (i < close) {
+        size_t q1 = baseline_json.find('"', i);
+        if (q1 == std::string_view::npos || q1 >= close) break;
+        size_t q2 = baseline_json.find('"', q1 + 1);
+        if (q2 == std::string_view::npos || q2 >= close) {
+          parsed = false;
+          break;
+        }
+        std::string key(baseline_json.substr(q1 + 1, q2 - q1 - 1));
+        size_t colon = baseline_json.find(':', q2);
+        if (colon == std::string_view::npos || colon >= close) {
+          parsed = false;
+          break;
+        }
+        size_t n = colon + 1;
+        while (n < close &&
+               std::isspace(static_cast<unsigned char>(baseline_json[n]))) {
+          ++n;
+        }
+        int value = 0;
+        bool any = false;
+        while (n < close && baseline_json[n] >= '0' &&
+               baseline_json[n] <= '9') {
+          value = value * 10 + (baseline_json[n] - '0');
+          ++n;
+          any = true;
+        }
+        if (!any) {
+          parsed = false;
+          break;
+        }
+        budget[key] = value;
+        i = n;
+        size_t comma = baseline_json.find(',', n);
+        if (comma == std::string_view::npos || comma >= close) break;
+        i = comma + 1;
+      }
+    }
+  }
+  if (!parsed) {
+    return {"baseline is unreadable (no valid \"waived\" object); regenerate "
+            "with lqo-lint --write-baseline"};
+  }
+
+  std::map<std::string, int> current;
+  for (const auto& [rule_id, tally] : Tally(findings)) {
+    if (tally.waived > 0) current[std::string(rule_id)] = tally.waived;
+  }
+
+  std::vector<std::string> problems;
+  for (const auto& [rule, count] : current) {
+    auto it = budget.find(rule);
+    int allowed = it == budget.end() ? 0 : it->second;
+    if (count > allowed) {
+      problems.push_back(
+          "waiver budget exceeded for rule '" + rule + "': " +
+          std::to_string(count) + " waived finding(s), baseline allows " +
+          std::to_string(allowed) +
+          " — new waivers need review; after review, regenerate with "
+          "lqo-lint --write-baseline");
+    } else if (count < allowed) {
+      problems.push_back(
+          "baseline is stale for rule '" + rule + "': " +
+          std::to_string(count) + " waived finding(s), baseline records " +
+          std::to_string(allowed) +
+          " — waivers were removed (good); regenerate with "
+          "lqo-lint --write-baseline so the budget ratchets down");
+    }
+  }
+  for (const auto& [rule, allowed] : budget) {
+    if (allowed > 0 && current.find(rule) == current.end()) {
+      problems.push_back(
+          "baseline is stale for rule '" + rule + "': 0 waived finding(s), "
+          "baseline records " + std::to_string(allowed) +
+          " — regenerate with lqo-lint --write-baseline so the budget "
+          "ratchets down");
+    }
+  }
+  std::sort(problems.begin(), problems.end());
+  return problems;
+}
+
+}  // namespace lqo::lint

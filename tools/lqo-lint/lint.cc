@@ -2,27 +2,29 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
+#include "lqo-lint/textutil.h"
+
 namespace lqo::lint {
-namespace {
 
 // The rule catalog lives in rules.cc; this file holds the lexer and the
-// check implementations.
+// per-file check implementations. Whole-program analysis (the project
+// index and the cross-TU rules) lives in project.cc; shared token helpers
+// in textutil.h.
+
+using text::CommentWaives;
+using text::FindTokens;
+using text::HasToken;
+using text::HexChar;
+using text::IdentChar;
+using text::LineIndex;
+using text::PrecededByStd;
+using text::SkipSpace;
 
 // ---------------------------------------------------------------------------
 // Lexer: blank out comments and string/char literal contents
 // ---------------------------------------------------------------------------
-
-bool IdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool HexChar(char c) { return std::isxdigit(static_cast<unsigned char>(c)); }
-
-}  // namespace
 
 ScrubResult Scrub(std::string_view src) {
   ScrubResult out;
@@ -165,60 +167,78 @@ ScrubResult Scrub(std::string_view src) {
   return out;
 }
 
-namespace {
-
-// ---------------------------------------------------------------------------
-// Token helpers over scrubbed code
-// ---------------------------------------------------------------------------
-
-// 1-based line number of a byte offset, via precomputed line starts.
-struct LineIndex {
-  std::vector<size_t> starts;  // starts[k] = offset of line k+1
-  explicit LineIndex(std::string_view code) {
-    starts.push_back(0);
-    for (size_t i = 0; i < code.size(); ++i) {
-      if (code[i] == '\n') starts.push_back(i + 1);
+void CollectUnorderedNames(std::string_view code,
+                           std::vector<std::string>& names,
+                           std::vector<std::string>& aliases) {
+  for (std::string_view tok :
+       {"unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"}) {
+    for (size_t pos : FindTokens(code, tok)) {
+      size_t i = SkipSpace(code, pos + tok.size());
+      if (i >= code.size() || code[i] != '<') continue;
+      // Balance template angles; `>>` closes two.
+      int depth = 0;
+      while (i < code.size()) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (code[i] == ';') break;  // malformed / multi-line; give up
+        ++i;
+      }
+      if (i >= code.size() || code[i] != '>') continue;
+      ++i;
+      // `using Alias = std::unordered_map<...>;` — record the alias.
+      size_t stmt_begin = code.find_last_of(";{}", pos);
+      stmt_begin = stmt_begin == std::string_view::npos ? 0 : stmt_begin + 1;
+      std::string_view head = code.substr(stmt_begin, pos - stmt_begin);
+      if (HasToken(head, "using") && head.find('=') != std::string_view::npos) {
+        size_t u = FindTokens(head, "using").front() + 5;
+        u = SkipSpace(head, u);
+        size_t e = u;
+        while (e < head.size() && IdentChar(head[e])) ++e;
+        if (e > u) aliases.push_back(std::string(head.substr(u, e - u)));
+        continue;
+      }
+      // Skip qualifiers between the type and the declared name.
+      while (true) {
+        i = SkipSpace(code, i);
+        if (i < code.size() && (code[i] == '&' || code[i] == '*')) {
+          ++i;
+          continue;
+        }
+        if (code.compare(i, 5, "const") == 0 &&
+            (i + 5 >= code.size() || !IdentChar(code[i + 5]))) {
+          i += 5;
+          continue;
+        }
+        break;
+      }
+      size_t e = i;
+      while (e < code.size() && IdentChar(code[e])) ++e;
+      if (e == i) continue;  // no declared name (temporary, return type...)
+      size_t after = SkipSpace(code, e);
+      // `name(` is a function returning the container, not a variable.
+      if (after < code.size() && code[after] == '(') continue;
+      names.push_back(std::string(code.substr(i, e - i)));
     }
   }
-  int LineAt(size_t pos) const {
-    auto it = std::upper_bound(starts.begin(), starts.end(), pos);
-    return static_cast<int>(it - starts.begin());
+  // Declarations through aliases: `CacheMap cache_;`
+  for (const std::string& alias : aliases) {
+    for (size_t pos : FindTokens(code, alias)) {
+      size_t i = SkipSpace(code, pos + alias.size());
+      size_t e = i;
+      while (e < code.size() && IdentChar(code[e])) ++e;
+      if (e == i) continue;
+      size_t after = SkipSpace(code, e);
+      if (after < code.size() && code[after] == '(') continue;
+      names.push_back(std::string(code.substr(i, e - i)));
+    }
   }
-};
-
-size_t SkipSpace(std::string_view s, size_t i) {
-  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
-  return i;
 }
 
-// All positions where `token` occurs with non-identifier characters on both
-// sides.
-std::vector<size_t> FindTokens(std::string_view code, std::string_view token) {
-  std::vector<size_t> hits;
-  size_t pos = 0;
-  while ((pos = code.find(token, pos)) != std::string_view::npos) {
-    bool left_ok = pos == 0 || !IdentChar(code[pos - 1]);
-    size_t end = pos + token.size();
-    bool right_ok = end >= code.size() || !IdentChar(code[end]);
-    if (left_ok && right_ok) hits.push_back(pos);
-    pos = end;
-  }
-  return hits;
-}
-
-bool PrecededByStd(std::string_view code, size_t pos) {
-  // Accept `std::tok` and `::std::tok`, with optional internal spaces.
-  size_t i = pos;
-  auto skip_back_space = [&](size_t j) {
-    while (j > 0 && (code[j - 1] == ' ' || code[j - 1] == '\t')) --j;
-    return j;
-  };
-  i = skip_back_space(i);
-  if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':') return false;
-  i = skip_back_space(i - 2);
-  return i >= 3 && code.compare(i - 3, 3, "std") == 0 &&
-         (i == 3 || !IdentChar(code[i - 4]));
-}
+namespace {
 
 std::string_view StatementAt(std::string_view code, size_t start,
                              size_t max_len = 600) {
@@ -228,35 +248,6 @@ std::string_view StatementAt(std::string_view code, size_t start,
     ++end;
   }
   return code.substr(start, end - start);
-}
-
-bool HasToken(std::string_view text, std::string_view token) {
-  return !FindTokens(text, token).empty();
-}
-
-// ---------------------------------------------------------------------------
-// Waivers
-// ---------------------------------------------------------------------------
-
-// True when `comment` contains `lint: <id>-ok(<nonempty reason>)`.
-bool CommentWaives(std::string_view comment, std::string_view id) {
-  size_t pos = 0;
-  while ((pos = comment.find("lint:", pos)) != std::string_view::npos) {
-    size_t i = SkipSpace(comment, pos + 5);
-    std::string want = std::string(id) + "-ok(";
-    if (comment.compare(i, want.size(), want) == 0) {
-      size_t close = comment.find(')', i + want.size());
-      if (close != std::string_view::npos) {
-        std::string_view reason =
-            comment.substr(i + want.size(), close - i - want.size());
-        if (reason.find_first_not_of(" \t") != std::string_view::npos) {
-          return true;
-        }
-      }
-    }
-    pos += 5;
-  }
-  return false;
 }
 
 class Linter {
@@ -387,79 +378,6 @@ class Linter {
 
   // --- determinism: unordered-iter -----------------------------------------
 
-  // Names declared (in this file or the paired header) with an unordered
-  // container type, plus alias names introduced by `using X = unordered_*`.
-  static void CollectUnorderedNames(std::string_view code,
-                                    std::vector<std::string>& names,
-                                    std::vector<std::string>& aliases) {
-    for (std::string_view tok :
-         {"unordered_map", "unordered_set", "unordered_multimap",
-          "unordered_multiset"}) {
-      for (size_t pos : FindTokens(code, tok)) {
-        size_t i = SkipSpace(code, pos + tok.size());
-        if (i >= code.size() || code[i] != '<') continue;
-        // Balance template angles; `>>` closes two.
-        int depth = 0;
-        while (i < code.size()) {
-          if (code[i] == '<') ++depth;
-          if (code[i] == '>') {
-            --depth;
-            if (depth == 0) break;
-          }
-          if (code[i] == ';') break;  // malformed / multi-line; give up
-          ++i;
-        }
-        if (i >= code.size() || code[i] != '>') continue;
-        ++i;
-        // `using Alias = std::unordered_map<...>;` — record the alias.
-        size_t stmt_begin = code.find_last_of(";{}", pos);
-        stmt_begin = stmt_begin == std::string_view::npos ? 0 : stmt_begin + 1;
-        std::string_view head = code.substr(stmt_begin, pos - stmt_begin);
-        if (HasToken(head, "using") && head.find('=') != std::string_view::npos) {
-          size_t u = FindTokens(head, "using").front() + 5;
-          u = SkipSpace(head, u);
-          size_t e = u;
-          while (e < head.size() && IdentChar(head[e])) ++e;
-          if (e > u) aliases.push_back(std::string(head.substr(u, e - u)));
-          continue;
-        }
-        // Skip qualifiers between the type and the declared name.
-        while (true) {
-          i = SkipSpace(code, i);
-          if (i < code.size() && (code[i] == '&' || code[i] == '*')) {
-            ++i;
-            continue;
-          }
-          if (code.compare(i, 5, "const") == 0 &&
-              (i + 5 >= code.size() || !IdentChar(code[i + 5]))) {
-            i += 5;
-            continue;
-          }
-          break;
-        }
-        size_t e = i;
-        while (e < code.size() && IdentChar(code[e])) ++e;
-        if (e == i) continue;  // no declared name (temporary, return type...)
-        size_t after = SkipSpace(code, e);
-        // `name(` is a function returning the container, not a variable.
-        if (after < code.size() && code[after] == '(') continue;
-        names.push_back(std::string(code.substr(i, e - i)));
-      }
-    }
-    // Declarations through aliases: `CacheMap cache_;`
-    for (const std::string& alias : aliases) {
-      for (size_t pos : FindTokens(code, alias)) {
-        size_t i = SkipSpace(code, pos + alias.size());
-        size_t e = i;
-        while (e < code.size() && IdentChar(code[e])) ++e;
-        if (e == i) continue;
-        size_t after = SkipSpace(code, e);
-        if (after < code.size() && code[after] == '(') continue;
-        names.push_back(std::string(code.substr(i, e - i)));
-      }
-    }
-  }
-
   void CheckUnorderedIter() {
     std::vector<std::string> names;
     std::vector<std::string> aliases;
@@ -470,44 +388,19 @@ class Linter {
     }
     if (names.empty()) return;
 
-    for (size_t pos : FindTokens(code_, "for")) {
-      size_t open = SkipSpace(code_, pos + 3);
-      if (open >= code_.size() || code_[open] != '(') continue;
-      // Find the top-level `:` (range-for) and the closing paren.
-      int depth = 0;
-      size_t colon = std::string_view::npos;
-      size_t close = std::string_view::npos;
-      for (size_t i = open; i < code_.size() && i < open + 600; ++i) {
-        char ch = code_[i];
-        if (ch == '(' || ch == '[' || ch == '{') ++depth;
-        if (ch == ')' || ch == ']' || ch == '}') {
-          --depth;
-          if (depth == 0) {
-            close = i;
+    text::ForEachRangeFor(
+        code_, 0, code_.size(), [&](size_t pos, std::string_view range) {
+          for (const std::string& name : names) {
+            if (!HasToken(range, name)) continue;
+            Report("unordered-iter", pos,
+                   "range-for over unordered container '" + name +
+                       "': iteration order is unspecified; iterate sorted "
+                       "keys or waive with "
+                       "// lint: unordered-iter-ok(<reason>)");
             break;
           }
-        }
-        if (ch == ';' && depth == 1) break;  // classic for-loop
-        if (ch == ':' && depth == 1 && colon == std::string_view::npos) {
-          bool scope = (i > 0 && code_[i - 1] == ':') ||
-                       (i + 1 < code_.size() && code_[i + 1] == ':');
-          if (!scope) colon = i;
-        }
-      }
-      if (colon == std::string_view::npos || close == std::string_view::npos)
-        continue;
-      std::string_view range = code_.substr(colon + 1, close - colon - 1);
-      for (const std::string& name : names) {
-        if (!HasToken(range, name)) continue;
-        Report("unordered-iter", pos,
-               "range-for over unordered container '" + name +
-                   "': iteration order is unspecified; iterate sorted keys or "
-                   "waive with // lint: unordered-iter-ok(<reason>)");
-        break;
-      }
-    }
+        });
   }
-
   // --- determinism: parallel-reduction -------------------------------------
 
   // Names declared (anywhere in `code`) with scalar double/float type —
@@ -1003,6 +896,11 @@ class Linter {
 
 std::vector<Finding> LintFile(const FileInput& input) {
   ScrubResult scrub = Scrub(input.content);
+  return LintFileScrubbed(input, scrub);
+}
+
+std::vector<Finding> LintFileScrubbed(const FileInput& input,
+                                      const ScrubResult& scrub) {
   Linter linter(input, scrub);
   return linter.Run();
 }
@@ -1012,46 +910,6 @@ std::vector<Finding> LintText(std::string_view path, std::string_view content) {
   input.path = std::string(path);
   input.content = std::string(content);
   return LintFile(input);
-}
-
-std::vector<Finding> LintTree(const std::string& root,
-                              const std::vector<std::string>& dirs) {
-  namespace fs = std::filesystem;
-  std::vector<std::string> files;
-  for (const std::string& dir : dirs) {
-    fs::path base = fs::path(root) / dir;
-    if (!fs::exists(base)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) continue;
-      std::string ext = entry.path().extension().string();
-      if (ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp") {
-        files.push_back(fs::relative(entry.path(), root).generic_string());
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  auto slurp = [](const fs::path& p) {
-    std::ifstream in(p, std::ios::binary);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    return buf.str();
-  };
-
-  std::vector<Finding> all;
-  for (const std::string& rel : files) {
-    FileInput input;
-    input.path = rel;
-    input.content = slurp(fs::path(root) / rel);
-    if (rel.ends_with(".cc") || rel.ends_with(".cpp")) {
-      fs::path header = fs::path(root) / rel;
-      header.replace_extension(".h");
-      if (fs::exists(header)) input.paired_header = slurp(header);
-    }
-    std::vector<Finding> found = LintFile(input);
-    all.insert(all.end(), found.begin(), found.end());
-  }
-  return all;
 }
 
 std::map<std::string_view, RuleTally> Tally(const std::vector<Finding>& all) {

@@ -11,6 +11,16 @@
 // token-level rules). The rule catalog is table-driven; every rule has an id,
 // a severity, a waiver syntax, and an --explain entry. See DESIGN.md
 // "Static analysis & correctness gates" for the policy.
+//
+// Since PR 9 the tool is a two-phase whole-program analyzer:
+//   phase 1  scrubs and tokenizes every file in parallel (lqo::ThreadPool),
+//            runs the per-file rules, and builds a ProjectIndex — per-class
+//            member tables with their // guards: / LQO_GUARDED_BY contracts,
+//            unordered-container members and aliases, and the #include
+//            graph. Results are folded in sorted path order, so output is
+//            bit-identical at any LQO_THREADS.
+//   phase 2  runs the cross-TU rule families against the index:
+//            lock-discipline, cross-TU unordered-iter, and layering.
 namespace lqo::lint {
 
 enum class Severity { kError, kWarning };
@@ -31,6 +41,18 @@ const std::vector<Rule>& Rules();
 // Catalog lookup; nullptr when no rule has that id.
 const Rule* FindRule(std::string_view id);
 
+// One node of the declarative layering DAG over src/ (defined in rules.cc):
+// a layer may include itself, plus the listed layers. Directories under
+// src/ that do not appear in the table are unconstrained.
+struct LayerSpec {
+  std::string_view name;
+  std::vector<std::string_view> may_include;
+};
+const std::vector<LayerSpec>& LayerDag();
+
+// Lookup in the DAG; nullptr for unknown layers.
+const LayerSpec* FindLayer(std::string_view name);
+
 struct Finding {
   std::string_view rule_id;
   std::string file;
@@ -41,7 +63,8 @@ struct Finding {
 
 // A single file to lint. `paired_header` carries the contents of the
 // matching .h when linting a .cc so member containers declared in the header
-// are visible to the unordered-iter rule (empty when there is none).
+// are visible to the unordered-iter rule (empty when there is none;
+// AnalyzeFiles auto-pairs from its in-memory file set).
 struct FileInput {
   std::string path;  // used for diagnostics and path-based allowlists
   std::string content;
@@ -58,17 +81,89 @@ struct ScrubResult {
 };
 ScrubResult Scrub(std::string_view source);
 
-// Runs every rule over one file. Findings covered by a waiver comment are
-// returned with `waived = true` rather than dropped, so callers can report
-// waiver counts.
+// Collects names declared (in scrubbed `code`) with an unordered container
+// type into `names`, plus alias names introduced by
+// `using X = std::unordered_*` into `aliases`. `aliases` may be pre-seeded
+// (e.g. with project-wide aliases); declarations through any listed alias
+// are collected too. Shared by the per-file rule and the whole-program pass.
+void CollectUnorderedNames(std::string_view code,
+                           std::vector<std::string>& names,
+                           std::vector<std::string>& aliases);
+
+// ---------------------------------------------------------------------------
+// Whole-program index (phase 1 output, phase 2 input)
+// ---------------------------------------------------------------------------
+
+// A member protected by a named mutex, from a // guards: comment on the
+// mutex declaration or an LQO_GUARDED_BY(mutex) attribute on the member.
+struct GuardedMember {
+  std::string member;
+  std::string mutex;
+};
+
+// A method declared to run with a mutex already held (LQO_REQUIRES).
+struct RequiredLock {
+  std::string method;
+  std::string mutex;
+};
+
+// Per-class member table. `member_code` is the scrubbed class body with
+// nested blocks blanked, so phase 2 can re-resolve member types against the
+// project-wide alias set.
+struct ClassInfo {
+  std::string name;
+  std::string file;  // file of the (first seen) definition
+  int line = 0;
+  std::vector<GuardedMember> guarded;
+  std::vector<RequiredLock> requires_lock;
+  std::vector<std::string> unordered_members;
+  // member name -> protocol comment, for every std::atomic member that has
+  // one (the atomic-comment rule enforces presence per file).
+  std::map<std::string, std::string> atomic_protocols;
+  std::string member_code;
+};
+
+struct IncludeEdge {
+  std::string target;  // the quoted include path, e.g. "engine/executor.h"
+  int line = 0;
+};
+
+struct ProjectIndex {
+  // Class name -> merged info. Same-named classes in different files merge
+  // member tables (textual pass; qualification is out of scope).
+  std::map<std::string, ClassInfo> classes;
+  // File path -> quoted #include targets, in file order.
+  std::map<std::string, std::vector<IncludeEdge>> includes;
+  // Project-wide `using X = std::unordered_*` alias names, deduped, sorted.
+  std::vector<std::string> unordered_aliases;
+};
+
+// Runs every per-file rule over one file. Findings covered by a waiver
+// comment are returned with `waived = true` rather than dropped, so callers
+// can report waiver counts.
 std::vector<Finding> LintFile(const FileInput& input);
+
+// Per-file rules over an already-scrubbed file (phase 1 scrubs once and
+// shares the result between the rule pass and the indexer).
+std::vector<Finding> LintFileScrubbed(const FileInput& input,
+                                      const ScrubResult& scrub);
 
 // Convenience overload for tests and single-file use.
 std::vector<Finding> LintText(std::string_view path, std::string_view content);
 
-// Recursively lints every C++ source file (.h/.hpp/.cc/.cpp) under
-// `root/<dir>` for each dir, in sorted path order. Paths in findings are
-// relative to `root`.
+// Two-phase whole-program analysis over an in-memory file set: per-file
+// rules + index build (parallel, folded in sorted path order) followed by
+// the cross-TU rules. Deterministic: output is identical at any LQO_THREADS.
+// `index_out`, when non-null, receives the phase-1 index.
+std::vector<Finding> AnalyzeFiles(std::vector<FileInput> files,
+                                  ProjectIndex* index_out = nullptr);
+
+// Loads every C++ source file (.h/.hpp/.cc/.cpp) under `root/<dir>` for
+// each dir, in sorted path order, with paths relative to `root`.
+std::vector<FileInput> LoadTree(const std::string& root,
+                                const std::vector<std::string>& dirs);
+
+// LoadTree + AnalyzeFiles: the full whole-program gate over a source tree.
 std::vector<Finding> LintTree(const std::string& root,
                               const std::vector<std::string>& dirs);
 
@@ -78,6 +173,29 @@ struct RuleTally {
   int waived = 0;
 };
 std::map<std::string_view, RuleTally> Tally(const std::vector<Finding>& all);
+
+// ---------------------------------------------------------------------------
+// Machine-readable emission and the waiver-budget baseline (format.cc)
+// ---------------------------------------------------------------------------
+
+// Findings as a JSON object: {"tool", "errors", "waived", "findings": [...],
+// "tally": {...}}.
+std::string RenderJson(const std::vector<Finding>& findings);
+
+// Findings as a SARIF 2.1.0 log (one run, rule metadata from the catalog;
+// waived findings carry an inSource suppression).
+std::string RenderSarif(const std::vector<Finding>& findings);
+
+// The checked-in waiver budget: per-rule counts of waived findings.
+// The gate fails when the current counts grow past the baseline (new
+// waivers need review) OR shrink below it (the baseline is stale and must
+// be regenerated), so the budget only moves by explicit regeneration.
+std::string RenderBaseline(const std::vector<Finding>& findings);
+
+// Compares current findings against a baseline.json payload. Returns one
+// human-readable problem string per deviation; empty means in budget.
+std::vector<std::string> CheckBaseline(const std::vector<Finding>& findings,
+                                       std::string_view baseline_json);
 
 }  // namespace lqo::lint
 

@@ -1,16 +1,32 @@
-// lqo-lint CLI: scans the repo's C++ sources for determinism, concurrency
-// and hygiene hazards (see lint.h for the rule catalog) and exits nonzero on
-// any unwaived finding. Registered as a ctest test and run first by
+// lqo-lint CLI: two-phase whole-program analysis of the repo's C++ sources
+// for determinism, concurrency and hygiene hazards (see lint.h for the rule
+// catalog and the phase split) — exits nonzero on any unwaived finding or
+// waiver-budget deviation. Registered as a ctest test and run first by
 // scripts/check.sh, so hazards fail CI before any dynamic test executes.
 //
 // Usage:
 //   lqo-lint [--root <dir>] [dirs...]    lint dirs
-//                                        (default: src tests bench examples)
+//                                        (default: src tests bench examples
+//                                         tools)
+//   lqo-lint --only <path> [...]         report findings only for the listed
+//                                        files (repeatable; the full project
+//                                        index is still built from dirs, so
+//                                        cross-TU rules stay whole-program).
+//                                        Baseline comparison is skipped.
+//   lqo-lint --format text|json|sarif    findings emission (default text)
+//   lqo-lint --sarif-out <file>          additionally write a SARIF log
+//   lqo-lint --baseline <file>           enforce the waiver budget: fail if
+//                                        waived counts grow past the file OR
+//                                        shrink below it (stale baseline)
+//   lqo-lint --write-baseline <file>     regenerate the waiver budget
 //   lqo-lint --explain <rule-id>         print a rule's rationale and waiver
 //   lqo-lint --list-rules                print the rule catalog
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -44,11 +60,29 @@ int ListRules() {
   return 0;
 }
 
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+// Normalizes an --only argument to the root-relative form LintTree emits
+// ("./src/x.cc" and "src/x.cc" both match "src/x.cc").
+std::string NormalizePath(std::string path) {
+  while (path.rfind("./", 0) == 0) path = path.substr(2);
+  return path;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string format = "text";
+  std::string sarif_out;
+  std::string baseline_path;
+  std::string write_baseline_path;
   std::vector<std::string> dirs;
+  std::set<std::string> only;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0 && i + 1 < argc) {
       return Explain(argv[++i]);
@@ -60,44 +94,132 @@ int main(int argc, char** argv) {
       root = argv[++i];
       continue;
     }
+    if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "lqo-lint: --format must be text, json or sarif\n";
+        return 2;
+      }
+      continue;
+    }
+    if (std::strncmp(argv[i], "--format=", 9) == 0) {
+      format = argv[i] + 9;
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "lqo-lint: --format must be text, json or sarif\n";
+        return 2;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--sarif-out") == 0 && i + 1 < argc) {
+      sarif_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--write-baseline") == 0 && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      only.insert(NormalizePath(argv[++i]));
+      continue;
+    }
     if (argv[i][0] == '-') {
       std::cerr << "lqo-lint: unknown flag " << argv[i] << "\n";
       return 2;
     }
     dirs.push_back(argv[i]);
   }
-  if (dirs.empty()) dirs = {"src", "tests", "bench", "examples"};
+  if (dirs.empty()) dirs = {"src", "tests", "bench", "examples", "tools"};
 
-  std::vector<lqo::lint::Finding> findings = lqo::lint::LintTree(root, dirs);
+  // Whole-program analysis over the full tree; --only filters the report
+  // only, so cross-TU rules always see the complete index.
+  std::vector<lqo::lint::Finding> all = lqo::lint::LintTree(root, dirs);
+  std::vector<lqo::lint::Finding> findings;
+  if (only.empty()) {
+    findings = std::move(all);
+  } else {
+    for (lqo::lint::Finding& f : all) {
+      if (only.count(NormalizePath(f.file)) > 0) {
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  if (!write_baseline_path.empty()) {
+    if (!only.empty()) {
+      std::cerr << "lqo-lint: --write-baseline cannot be combined with "
+                   "--only (the budget covers the whole tree)\n";
+      return 2;
+    }
+    if (!WriteFile(write_baseline_path,
+                   lqo::lint::RenderBaseline(findings))) {
+      std::cerr << "lqo-lint: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    std::cout << "lqo-lint: wrote waiver budget to " << write_baseline_path
+              << "\n";
+  }
+
+  if (!sarif_out.empty() &&
+      !WriteFile(sarif_out, lqo::lint::RenderSarif(findings))) {
+    std::cerr << "lqo-lint: cannot write " << sarif_out << "\n";
+    return 2;
+  }
 
   int errors = 0;
   int waived = 0;
-  for (const lqo::lint::Finding& f : findings) {
-    if (f.waived) {
-      ++waived;
-      continue;
+  for (const lqo::lint::Finding& f : findings) (f.waived ? waived : errors)++;
+
+  if (format == "json") {
+    std::cout << lqo::lint::RenderJson(findings);
+  } else if (format == "sarif") {
+    std::cout << lqo::lint::RenderSarif(findings);
+  } else {
+    for (const lqo::lint::Finding& f : findings) {
+      if (f.waived) continue;
+      const lqo::lint::Rule* rule = lqo::lint::FindRule(f.rule_id);
+      std::cout << f.file << ":" << f.line << ": "
+                << SeverityName(rule ? rule->severity
+                                     : lqo::lint::Severity::kError)
+                << ": [" << f.rule_id << "] " << f.message << "\n";
     }
-    ++errors;
-    const lqo::lint::Rule* rule = lqo::lint::FindRule(f.rule_id);
-    std::cout << f.file << ":" << f.line << ": "
-              << SeverityName(rule ? rule->severity
-                                   : lqo::lint::Severity::kError)
-              << ": [" << f.rule_id << "] " << f.message << "\n";
+    // Per-rule summary (check.sh surfaces this after the diagnostics).
+    std::cout << "lqo-lint: " << errors << " error(s), " << waived
+              << " waived finding(s)\n";
+    if (!findings.empty()) {
+      std::cout << "  rule                     errors  waived\n";
+      for (const auto& [rule_id, tally] : lqo::lint::Tally(findings)) {
+        std::printf("  %-24.*s %6d  %6d\n", static_cast<int>(rule_id.size()),
+                    rule_id.data(), tally.errors, tally.waived);
+      }
+    }
   }
 
-  // Per-rule summary (check.sh surfaces this after the diagnostics).
-  std::cout << "lqo-lint: " << errors << " error(s), " << waived
-            << " waived finding(s)\n";
-  if (!findings.empty()) {
-    std::cout << "  rule                     errors  waived\n";
-    for (const auto& [rule_id, tally] : lqo::lint::Tally(findings)) {
-      std::printf("  %-24.*s %6d  %6d\n", static_cast<int>(rule_id.size()),
-                  rule_id.data(), tally.errors, tally.waived);
+  // Waiver budget: only meaningful over the full tree.
+  bool budget_failed = false;
+  if (!baseline_path.empty() && only.empty() && write_baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "lqo-lint: cannot read baseline " << baseline_path
+                << " (generate with --write-baseline)\n";
+      budget_failed = true;
+    } else {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      for (const std::string& problem :
+           lqo::lint::CheckBaseline(findings, buf.str())) {
+        std::cerr << "lqo-lint: " << problem << "\n";
+        budget_failed = true;
+      }
     }
   }
-  if (errors > 0) {
+
+  if (errors > 0 && format == "text") {
     std::cout << "lqo-lint: run with --explain <rule-id> for rationale and "
                  "waiver syntax\n";
   }
-  return errors > 0 ? 1 : 0;
+  return (errors > 0 || budget_failed) ? 1 : 0;
 }

@@ -1,0 +1,1037 @@
+// Whole-program analysis: the two-phase pass promoted in PR 9.
+//
+// Phase 1 scrubs and tokenizes every file in parallel on the repo's own
+// lqo::ThreadPool (dogfooding the deterministic substrate: ParallelMap
+// writes index-addressed slots, results are folded in sorted path order, so
+// diagnostics are bit-identical at any LQO_THREADS). Each worker runs the
+// per-file rules and extracts index fragments: per-class member tables with
+// their // guards: / LQO_GUARDED_BY / LQO_REQUIRES contracts and atomic
+// protocol comments, unordered-container members and aliases, and the
+// quoted-include list.
+//
+// Phase 2 folds the fragments into a ProjectIndex and runs the cross-TU
+// rule families against it:
+//   lock-discipline   a use of a guarded member inside a method body must be
+//                     lexically preceded, in an enclosing scope, by a lock
+//                     acquisition on the named mutex (lock_guard /
+//                     unique_lock / shared_lock / scoped_lock / manual
+//                     .lock()), or the method carries LQO_REQUIRES(mutex),
+//                     or the site carries a // locked-by: waiver.
+//   unordered-iter    range-for over a member whose unordered type was
+//                     declared in a different translation unit.
+//   layering          the #include graph over src/ must respect the
+//                     declarative layer DAG in rules.cc.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/thread_pool.h"
+#include "lqo-lint/lint.h"
+#include "lqo-lint/textutil.h"
+
+namespace lqo::lint {
+namespace {
+
+using text::CommentWaives;
+using text::FindTokens;
+using text::ForEachRangeFor;
+using text::HasToken;
+using text::IdentChar;
+using text::LineIndex;
+using text::MatchBrace;
+using text::PrecededByStd;
+using text::SkipSpace;
+
+constexpr size_t npos = std::string_view::npos;
+
+// Offset of the matching `close` for the `open` delimiter at `at`.
+size_t MatchPair(std::string_view code, size_t at, char open, char close) {
+  int depth = 0;
+  for (size_t i = at; i < code.size(); ++i) {
+    if (code[i] == open) ++depth;
+    if (code[i] == close) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return npos;
+}
+
+// Skips balanced template angles starting at `<`; returns the offset just
+// past the matching `>`, or `at` when they never balance.
+size_t SkipAngles(std::string_view code, size_t at) {
+  int depth = 0;
+  for (size_t i = at; i < code.size() && i < at + 400; ++i) {
+    if (code[i] == '<') ++depth;
+    if (code[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+    if (code[i] == ';') break;
+  }
+  return at;
+}
+
+std::string_view TokenAt(std::string_view code, size_t pos) {
+  size_t e = pos;
+  while (e < code.size() && IdentChar(code[e])) ++e;
+  return code.substr(pos, e - pos);
+}
+
+// Identifier ending right before `pos` (skipping trailing spaces); empty
+// when `pos` is not preceded by one.
+std::string_view TokenBefore(std::string_view code, size_t pos) {
+  size_t e = pos;
+  while (e > 0 && (code[e - 1] == ' ' || code[e - 1] == '\t')) --e;
+  size_t s = e;
+  while (s > 0 && IdentChar(code[s - 1])) --s;
+  return code.substr(s, e - s);
+}
+
+// ---------------------------------------------------------------------------
+// Comment lookup over a ScrubResult
+// ---------------------------------------------------------------------------
+
+class CommentLookup {
+ public:
+  CommentLookup(const ScrubResult& scrub, const LineIndex& lines)
+      : scrub_(scrub), lines_(lines) {}
+
+  std::string_view On(int line) const {
+    if (line < 1 ||
+        static_cast<size_t>(line) >= scrub_.line_comments.size()) {
+      return {};
+    }
+    return scrub_.line_comments[static_cast<size_t>(line)];
+  }
+
+  // True when the scrubbed code of `line` holds only whitespace, i.e. the
+  // line is comment-only.
+  bool LineCodeBlank(int line) const {
+    if (line < 1 || static_cast<size_t>(line) > lines_.starts.size()) {
+      return false;
+    }
+    size_t begin = lines_.starts[static_cast<size_t>(line) - 1];
+    size_t end = static_cast<size_t>(line) < lines_.starts.size()
+                     ? lines_.starts[static_cast<size_t>(line)]
+                     : scrub_.code.size();
+    for (size_t i = begin; i < end; ++i) {
+      if (!std::isspace(static_cast<unsigned char>(scrub_.code[i]))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // The contiguous comment-only block above `line` plus the same-line
+  // comment, concatenated top-to-bottom with spaces (so a // guards: list
+  // that wraps across physical lines parses as one).
+  std::string Block(int line) const {
+    std::vector<std::string_view> above;
+    for (int l = line - 1; l >= 1; --l) {
+      if (On(l).empty() || !LineCodeBlank(l)) break;
+      above.push_back(On(l));
+    }
+    std::string out;
+    for (auto it = above.rbegin(); it != above.rend(); ++it) {
+      out.append(*it);
+      out.push_back(' ');
+    }
+    out.append(On(line));
+    return out;
+  }
+
+  // Standard waiver: `// lint: <id>-ok(<reason>)` on the line or line above.
+  bool Waives(int line, std::string_view id) const {
+    return CommentWaives(On(line), id) || CommentWaives(On(line - 1), id);
+  }
+
+ private:
+  const ScrubResult& scrub_;
+  const LineIndex& lines_;
+};
+
+// True when `comment` contains `locked-by: <mutex>(<nonempty reason>)` for
+// the given mutex.
+bool LockedByWaives(std::string_view comment, std::string_view mutex) {
+  size_t pos = 0;
+  while ((pos = comment.find("locked-by:", pos)) != npos) {
+    size_t i = SkipSpace(comment, pos + 10);
+    if (comment.compare(i, mutex.size(), mutex) == 0) {
+      size_t after = i + mutex.size();
+      if (after < comment.size() && comment[after] == '(') {
+        size_t close = comment.find(')', after);
+        if (close != npos &&
+            comment.substr(after + 1, close - after - 1)
+                    .find_first_not_of(" \t") != std::string_view::npos) {
+          return true;
+        }
+      }
+    }
+    pos += 10;
+  }
+  return false;
+}
+
+// Identifiers after "guards:" separated by commas; the list ends at the
+// first token that is not an identifier (prose, an em-dash, a paren).
+std::vector<std::string> ParseGuardsList(std::string_view comment) {
+  std::vector<std::string> out;
+  size_t g = comment.find("guards:");
+  if (g == npos) return out;
+  size_t i = g + 7;
+  while (true) {
+    i = SkipSpace(comment, i);
+    size_t e = i;
+    while (e < comment.size() && IdentChar(comment[e])) ++e;
+    if (e == i) break;
+    out.emplace_back(comment.substr(i, e - i));
+    i = SkipSpace(comment, e);
+    if (i < comment.size() && comment[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: per-file analysis
+// ---------------------------------------------------------------------------
+
+struct MethodRegion {
+  std::string class_name;
+  std::string method;  // bare name; "" when unknown
+  size_t begin = 0;    // offset of the body '{'
+  size_t end = 0;      // offset of the matching '}'
+  // Mutexes named by LQO_REQUIRES/LQO_REQUIRES_SHARED on this definition.
+  std::vector<std::string> held;
+};
+
+struct FileAnalysis {
+  ScrubResult scrub;
+  std::vector<Finding> findings;  // per-file rules
+  std::vector<ClassInfo> classes;
+  std::vector<MethodRegion> inline_methods;  // bodies inside class bodies
+  std::vector<IncludeEdge> includes;
+  std::vector<std::string> aliases;  // file-level unordered aliases
+};
+
+// Mutex names inside LQO_REQUIRES / LQO_REQUIRES_SHARED in `text`.
+std::vector<std::string> ParseRequires(std::string_view text) {
+  std::vector<std::string> out;
+  for (std::string_view macro : {"LQO_REQUIRES", "LQO_REQUIRES_SHARED"}) {
+    for (size_t pos : FindTokens(text, macro)) {
+      size_t p = SkipSpace(text, pos + macro.size());
+      if (p >= text.size() || text[p] != '(') continue;
+      size_t close = MatchPair(text, p, '(', ')');
+      if (close == npos) continue;
+      std::string_view args = text.substr(p + 1, close - p - 1);
+      size_t i = 0;
+      while (i < args.size()) {
+        if (IdentChar(args[i]) && (i == 0 || !IdentChar(args[i - 1]))) {
+          std::string_view tok = TokenAt(args, i);
+          out.emplace_back(tok);
+          i += tok.size();
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// Method name = the identifier right before the first paren-depth-0 `(` of
+// a member-declaration head (handles `void F(`, `Shard& ShardOf(`,
+// `size_t operator()(`).
+std::string MethodNameFromHead(std::string_view head) {
+  size_t paren = head.find('(');
+  if (paren == npos) return "";
+  std::string_view name = TokenBefore(head, paren);
+  return std::string(name);
+}
+
+// Parses one member-level statement of a class body: mutex members with
+// their // guards: lists, LQO_GUARDED_BY members, LQO_REQUIRES method
+// declarations, and documented atomics.
+void ParseMemberStatement(std::string_view code, size_t stmt_begin,
+                          size_t stmt_end, const CommentLookup& comments,
+                          const LineIndex& lines, ClassInfo* cls) {
+  std::string_view stmt = code.substr(stmt_begin, stmt_end - stmt_begin);
+
+  // Mutex member declaration -> // guards: contract.
+  for (std::string_view tok : {"mutex", "shared_mutex"}) {
+    for (size_t pos : FindTokens(stmt, tok)) {
+      if (!PrecededByStd(stmt, pos)) continue;
+      // Skip template arguments (lock_guard<std::mutex>, ...).
+      size_t before = pos;
+      while (before > 0 &&
+             (stmt[before - 1] == ' ' || stmt[before - 1] == ':')) {
+        --before;
+      }
+      if (before >= 4 && stmt.compare(before - 3, 3, "std") == 0) before -= 3;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(stmt[before - 1]))) {
+        --before;
+      }
+      if (before > 0 && (stmt[before - 1] == '<' || stmt[before - 1] == ',')) {
+        continue;
+      }
+      size_t i = SkipSpace(stmt, pos + tok.size());
+      std::string_view name = TokenAt(stmt, i);
+      if (name.empty()) continue;  // reference/return type, not a member
+      int line = lines.LineAt(stmt_begin + pos);
+      for (const std::string& member : ParseGuardsList(comments.Block(line))) {
+        cls->guarded.push_back({member, std::string(name)});
+      }
+    }
+  }
+
+  // `Type member LQO_GUARDED_BY(mutex)` attributes.
+  for (size_t pos : FindTokens(stmt, "LQO_GUARDED_BY")) {
+    std::string_view member = TokenBefore(stmt, pos);
+    size_t p = SkipSpace(stmt, pos + 14);
+    if (member.empty() || p >= stmt.size() || stmt[p] != '(') continue;
+    size_t close = MatchPair(stmt, p, '(', ')');
+    if (close == npos) continue;
+    size_t m = SkipSpace(stmt, p + 1);
+    std::string_view mutex = TokenAt(stmt, m);
+    if (!mutex.empty()) {
+      cls->guarded.push_back({std::string(member), std::string(mutex)});
+    }
+  }
+
+  // `ReturnType Method(...) LQO_REQUIRES(mutex);` declarations.
+  if (stmt.find("LQO_REQUIRES") != std::string_view::npos) {
+    std::string method = MethodNameFromHead(stmt);
+    if (!method.empty()) {
+      for (const std::string& mutex : ParseRequires(stmt)) {
+        cls->requires_lock.push_back({method, mutex});
+      }
+    }
+  }
+
+  // Documented std::atomic members -> protocol table.
+  for (size_t pos : FindTokens(stmt, "atomic")) {
+    if (!PrecededByStd(stmt, pos)) continue;
+    size_t i = SkipSpace(stmt, pos + 6);
+    if (i >= stmt.size() || stmt[i] != '<') continue;
+    size_t after_angles = SkipAngles(stmt, i);
+    if (after_angles == i) continue;
+    size_t n = SkipSpace(stmt, after_angles);
+    std::string_view name = TokenAt(stmt, n);
+    if (name.empty()) continue;
+    int line = lines.LineAt(stmt_begin + pos);
+    std::string protocol = comments.Block(line);
+    if (!protocol.empty()) {
+      cls->atomic_protocols.emplace(std::string(name), std::move(protocol));
+    }
+  }
+}
+
+// Finds every `class X {` / `struct X {` definition in scrubbed code and
+// parses its member-level statements and inline method bodies.
+void CollectClasses(const std::string& path, const ScrubResult& scrub,
+                    const LineIndex& lines, const CommentLookup& comments,
+                    FileAnalysis* out) {
+  std::string_view code = scrub.code;
+  for (std::string_view kw : {"class", "struct"}) {
+    for (size_t pos : FindTokens(code, kw)) {
+      if (TokenBefore(code, pos) == "enum") continue;  // enum class
+      size_t i = SkipSpace(code, pos + kw.size());
+      std::string_view name = TokenAt(code, i);
+      if (name.empty()) continue;
+      size_t j = SkipSpace(code, i + name.size());
+      if (TokenAt(code, j) == "final") j = SkipSpace(code, j + 5);
+      size_t body_open = npos;
+      if (j < code.size() && code[j] == '{') {
+        body_open = j;
+      } else if (j < code.size() && code[j] == ':' &&
+                 (j + 1 >= code.size() || code[j + 1] != ':')) {
+        // Base clause: scan to the first top-level '{'.
+        for (size_t k = j + 1; k < code.size() && k < j + 400; ++k) {
+          if (code[k] == '<') k = SkipAngles(code, k) - 1;
+          if (code[k] == ';') break;
+          if (code[k] == '{') {
+            body_open = k;
+            break;
+          }
+        }
+      }
+      if (body_open == npos) continue;  // fwd decl / template param / var
+      size_t body_close = MatchBrace(code, body_open);
+      if (body_close == npos) continue;
+
+      ClassInfo cls;
+      cls.name = std::string(name);
+      cls.file = path;
+      cls.line = lines.LineAt(pos);
+
+      // Walk member-level statements; nested blocks are skipped wholesale
+      // (methods are recorded as regions, nested types are re-found by the
+      // outer token scan, brace initializers stay part of their statement).
+      size_t stmt_start = body_open + 1;
+      int paren = 0;
+      for (size_t k = body_open + 1; k < body_close; ++k) {
+        char c = code[k];
+        if (c == '(') {
+          ++paren;
+        } else if (c == ')') {
+          if (paren > 0) --paren;
+        } else if (c == '{') {
+          std::string_view head =
+              code.substr(stmt_start, k - stmt_start);
+          size_t close = MatchBrace(code, k);
+          if (close == npos || close > body_close) break;
+          bool is_type = HasToken(head, "class") || HasToken(head, "struct") ||
+                         HasToken(head, "enum") || HasToken(head, "union");
+          // '=' at paren depth 0 in the head means a default member
+          // initializer, unless this is operator=.
+          bool has_init_eq = false;
+          int hd = 0;
+          for (char hc : head) {
+            if (hc == '(') ++hd;
+            if (hc == ')') --hd;
+            if (hc == '=' && hd == 0) has_init_eq = true;
+          }
+          bool is_method =
+              !is_type && head.find('(') != std::string_view::npos &&
+              (!has_init_eq || HasToken(head, "operator"));
+          if (is_method) {
+            MethodRegion region;
+            region.class_name = cls.name;
+            region.method = MethodNameFromHead(head);
+            region.begin = k;
+            region.end = close;
+            region.held = ParseRequires(head);
+            if (!region.held.empty() && !region.method.empty()) {
+              for (const std::string& mutex : region.held) {
+                cls.requires_lock.push_back({region.method, mutex});
+              }
+            }
+            out->inline_methods.push_back(std::move(region));
+          }
+          if (is_type || is_method) {
+            stmt_start = close + 1;
+          }
+          k = close;
+        } else if (c == ';' && paren == 0) {
+          ParseMemberStatement(code, stmt_start, k, comments, lines, &cls);
+          cls.member_code.append(code.substr(stmt_start, k - stmt_start));
+          cls.member_code.append(";\n");
+          stmt_start = k + 1;
+        } else if (c == ':' && paren == 0 &&
+                   (k + 1 >= code.size() || code[k + 1] != ':') &&
+                   (k == 0 || code[k - 1] != ':')) {
+          // Access specifiers end statements with ':' rather than ';'.
+          std::string_view head = code.substr(stmt_start, k - stmt_start);
+          size_t b = head.find_first_not_of(" \t\n");
+          if (b != std::string_view::npos) {
+            std::string_view tok = TokenAt(head, b);
+            if (tok == "public" || tok == "private" || tok == "protected") {
+              stmt_start = k + 1;
+            }
+          }
+        }
+      }
+      out->classes.push_back(std::move(cls));
+    }
+  }
+}
+
+// Quoted #include directives, from the raw content (the scrubber blanks
+// string literals, so the target must come from the source text).
+std::vector<IncludeEdge> CollectIncludes(std::string_view raw) {
+  std::vector<IncludeEdge> out;
+  int line = 1;
+  size_t i = 0;
+  while (i < raw.size()) {
+    size_t eol = raw.find('\n', i);
+    if (eol == npos) eol = raw.size();
+    std::string_view l = raw.substr(i, eol - i);
+    size_t b = l.find_first_not_of(" \t");
+    if (b != std::string_view::npos && l[b] == '#') {
+      size_t inc = SkipSpace(l, b + 1);
+      if (l.compare(inc, 7, "include") == 0) {
+        size_t q1 = l.find('"', inc + 7);
+        if (q1 != std::string_view::npos) {
+          size_t q2 = l.find('"', q1 + 1);
+          if (q2 != std::string_view::npos) {
+            out.push_back({std::string(l.substr(q1 + 1, q2 - q1 - 1)), line});
+          }
+        }
+      }
+    }
+    i = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
+FileAnalysis AnalyzeOne(const FileInput& input) {
+  FileAnalysis out;
+  out.scrub = Scrub(input.content);
+  out.findings = LintFileScrubbed(input, out.scrub);
+  LineIndex lines(out.scrub.code);
+  CommentLookup comments(out.scrub, lines);
+  CollectClasses(input.path, out.scrub, lines, comments, &out);
+  out.includes = CollectIncludes(input.content);
+  std::vector<std::string> names_unused;
+  CollectUnorderedNames(out.scrub.code, names_unused, out.aliases);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: cross-TU rules
+// ---------------------------------------------------------------------------
+
+// Skip uses through another object (`obj.member` / `ptr->member`);
+// `this->member` is a self-use.
+bool IsForeignAccess(std::string_view code, size_t pos) {
+  size_t j = pos;
+  while (j > 0 && (code[j - 1] == ' ' || code[j - 1] == '\t')) --j;
+  if (j > 0 && code[j - 1] == '.') {
+    return TokenBefore(code, j - 1) != "this";
+  }
+  if (j > 1 && code[j - 2] == '-' && code[j - 1] == '>') {
+    return TokenBefore(code, j - 2) != "this";
+  }
+  return false;
+}
+
+// Finds out-of-line `Class::Method(...) ... { body }` definitions for
+// indexed classes.
+std::vector<MethodRegion> FindOutOfLineMethods(std::string_view code,
+                                               const ProjectIndex& index) {
+  std::vector<MethodRegion> out;
+  size_t pos = 0;
+  while ((pos = code.find("::", pos)) != npos) {
+    size_t at = pos;
+    pos += 2;
+    std::string_view cls = TokenBefore(code, at);
+    if (cls.empty()) continue;
+    auto it = index.classes.find(std::string(cls));
+    if (it == index.classes.end()) continue;
+    size_t r = SkipSpace(code, at + 2);
+    if (r < code.size() && code[r] == '~') r = SkipSpace(code, r + 1);
+    std::string_view method = TokenAt(code, r);
+    if (method.empty()) continue;
+    size_t p = SkipSpace(code, r + method.size());
+    if (p >= code.size() || code[p] != '(') continue;
+    size_t close = MatchPair(code, p, '(', ')');
+    if (close == npos) continue;
+
+    // Trailer between the parameter list and the body: qualifiers,
+    // annotations, a constructor init list, or a trailing return type.
+    size_t i = SkipSpace(code, close + 1);
+    size_t body = npos;
+    size_t limit = std::min(code.size(), i + 500);
+    while (i < limit) {
+      char c = code[i];
+      if (c == '{') {
+        body = i;
+        break;
+      }
+      if (c == ';' || c == '=') break;  // declaration / = delete
+      if (c == ':' && (i + 1 >= code.size() || code[i + 1] != ':')) {
+        // Constructor init list: `name(args)` / `name{args}` items.
+        size_t j = i + 1;
+        bool ok = true;
+        while (ok) {
+          j = SkipSpace(code, j);
+          size_t s = j;
+          while (j < code.size() && (IdentChar(code[j]) || code[j] == ':')) {
+            ++j;
+          }
+          if (j < code.size() && code[j] == '<') j = SkipAngles(code, j);
+          j = SkipSpace(code, j);
+          if (j == s && !(j < code.size() &&
+                          (code[j] == '(' || code[j] == '{'))) {
+            ok = false;
+            break;
+          }
+          size_t m;
+          if (j < code.size() && code[j] == '(') {
+            m = MatchPair(code, j, '(', ')');
+          } else if (j < code.size() && code[j] == '{') {
+            m = MatchBrace(code, j);
+          } else {
+            ok = false;
+            break;
+          }
+          if (m == npos) {
+            ok = false;
+            break;
+          }
+          j = SkipSpace(code, m + 1);
+          if (j < code.size() && code[j] == ',') {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        if (!ok) break;
+        i = SkipSpace(code, j);
+        continue;  // next char should be the body '{'
+      }
+      if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+        // Trailing return type: first top-level '{' or ';'.
+        int depth = 0;
+        size_t j = i + 2;
+        for (; j < limit; ++j) {
+          if (code[j] == '(' || code[j] == '<') ++depth;
+          else if (code[j] == ')' || code[j] == '>') --depth;
+          else if (code[j] == '{' && depth <= 0) break;
+          else if (code[j] == ';' && depth <= 0) break;
+        }
+        if (j < limit && code[j] == '{') body = j;
+        break;
+      }
+      if (IdentChar(c)) {
+        std::string_view tok = TokenAt(code, i);
+        i = SkipSpace(code, i + tok.size());
+        if (i < code.size() && code[i] == '(' &&
+            (tok == "noexcept" || tok.rfind("LQO_", 0) == 0)) {
+          size_t m = MatchPair(code, i, '(', ')');
+          if (m == npos) break;
+          i = SkipSpace(code, m + 1);
+        }
+        continue;
+      }
+      break;
+    }
+    if (body == npos) continue;
+    size_t end = MatchBrace(code, body);
+    if (end == npos) continue;
+
+    MethodRegion region;
+    region.class_name = std::string(cls);
+    region.method = std::string(method);
+    region.begin = body;
+    region.end = end;
+    region.held = ParseRequires(code.substr(close, body - close));
+    out.push_back(std::move(region));
+    pos = body;  // nested definitions (local classes) are still scanned
+  }
+  return out;
+}
+
+// The lock-discipline walk over one method body.
+void CheckLockDiscipline(const std::string& path, std::string_view code,
+                         const LineIndex& lines, const CommentLookup& comments,
+                         const MethodRegion& region, const ClassInfo& cls,
+                         std::vector<Finding>* findings) {
+  if (cls.guarded.empty()) return;
+
+  // Required-held mutexes: LQO_REQUIRES on this definition or on the
+  // in-class declaration of a method with this name.
+  std::set<std::string> held_throughout(region.held.begin(),
+                                        region.held.end());
+  for (const RequiredLock& req : cls.requires_lock) {
+    if (req.method == region.method) held_throughout.insert(req.mutex);
+  }
+
+  // Mutexes that matter for this class.
+  std::set<std::string> mutexes;
+  for (const GuardedMember& gm : cls.guarded) mutexes.insert(gm.mutex);
+
+  struct Event {
+    size_t pos;
+    int kind;  // 0 = acquire, 1 = release, 2 = use
+    std::string mutex;   // acquire/release
+    std::string member;  // use
+  };
+  std::vector<Event> events;
+
+  // RAII acquisitions: lock_guard/unique_lock/shared_lock/scoped_lock whose
+  // constructor args name a tracked mutex.
+  for (std::string_view tok :
+       {"lock_guard", "unique_lock", "shared_lock", "scoped_lock"}) {
+    for (size_t pos : FindTokens(code.substr(0, region.end), tok)) {
+      if (pos < region.begin) continue;
+      size_t i = SkipSpace(code, pos + tok.size());
+      if (i < code.size() && code[i] == '<') {
+        i = SkipSpace(code, SkipAngles(code, i));
+      }
+      std::string_view var = TokenAt(code, i);
+      i = SkipSpace(code, i + var.size());
+      if (i >= code.size() || code[i] != '(') continue;
+      size_t close = MatchPair(code, i, '(', ')');
+      if (close == npos) continue;
+      std::string_view args = code.substr(i + 1, close - i - 1);
+      for (const std::string& mutex : mutexes) {
+        if (HasToken(args, mutex)) events.push_back({pos, 0, mutex, ""});
+      }
+    }
+  }
+
+  // Manual mutex_.lock()/.lock_shared() and .unlock()/.unlock_shared().
+  for (const std::string& mutex : mutexes) {
+    for (size_t pos : FindTokens(code.substr(0, region.end), mutex)) {
+      if (pos < region.begin) continue;
+      size_t i = SkipSpace(code, pos + mutex.size());
+      if (i >= code.size() || code[i] != '.') continue;
+      std::string_view call = TokenAt(code, SkipSpace(code, i + 1));
+      if (call == "lock" || call == "lock_shared") {
+        events.push_back({pos, 0, mutex, ""});
+      } else if (call == "unlock" || call == "unlock_shared") {
+        events.push_back({pos, 1, mutex, ""});
+      }
+    }
+  }
+
+  // Guarded member uses.
+  for (const GuardedMember& gm : cls.guarded) {
+    for (size_t pos : FindTokens(code.substr(0, region.end), gm.member)) {
+      if (pos <= region.begin) continue;
+      if (IsForeignAccess(code, pos)) continue;
+      events.push_back({pos, 2, gm.mutex, gm.member});
+    }
+  }
+
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return std::tie(a.pos, a.kind) < std::tie(b.pos, b.kind);
+  });
+
+  struct ActiveLock {
+    std::string mutex;
+    int depth;
+  };
+  std::vector<ActiveLock> active;
+  int depth = 0;
+  size_t next_event = 0;
+  for (size_t i = region.begin; i <= region.end && i < code.size(); ++i) {
+    while (next_event < events.size() && events[next_event].pos == i) {
+      const Event& ev = events[next_event++];
+      if (ev.kind == 0) {
+        active.push_back({ev.mutex, depth});
+      } else if (ev.kind == 1) {
+        for (size_t k = active.size(); k-- > 0;) {
+          if (active[k].mutex == ev.mutex) {
+            active.erase(active.begin() + static_cast<long>(k));
+            break;
+          }
+        }
+      } else {
+        bool covered = held_throughout.count(ev.mutex) > 0;
+        for (const ActiveLock& lock : active) {
+          if (lock.mutex == ev.mutex) covered = true;
+        }
+        if (!covered) {
+          int line = lines.LineAt(ev.pos);
+          Finding f;
+          f.rule_id = "lock-discipline";
+          f.file = path;
+          f.line = line;
+          f.message =
+              "'" + ev.member + "' is guarded by '" + ev.mutex +
+              "' (class " + cls.name +
+              ") but no lock on it is held here; acquire "
+              "lock_guard/unique_lock/shared_lock/scoped_lock(" + ev.mutex +
+              ") before this use, annotate the method with LQO_REQUIRES(" +
+              ev.mutex + "), or waive with // locked-by: " + ev.mutex +
+              "(<reason>)";
+          f.waived = comments.Waives(line, "lock-discipline") ||
+                     LockedByWaives(comments.Block(line), ev.mutex) ||
+                     LockedByWaives(comments.On(line - 1), ev.mutex);
+          findings->push_back(std::move(f));
+        }
+      }
+    }
+    if (code[i] == '{') {
+      ++depth;
+    } else if (code[i] == '}') {
+      --depth;
+      // A lock recorded at depth D lives until the block at depth D closes,
+      // i.e. until depth drops below D (a nested block returning to D must
+      // not pop it).
+      while (!active.empty() && active.back().depth > depth) {
+        active.pop_back();
+      }
+    }
+  }
+}
+
+// Cross-TU unordered-iter: range-for over a member whose unordered type was
+// declared in another file. Same-file/paired-header sites are already
+// reported by the per-file rule and deduplicated at fold time.
+void CheckXtuUnorderedIter(const std::string& path, std::string_view code,
+                           const LineIndex& lines,
+                           const CommentLookup& comments,
+                           const MethodRegion& region, const ClassInfo& cls,
+                           std::vector<Finding>* findings) {
+  if (cls.unordered_members.empty()) return;
+  ForEachRangeFor(
+      code, region.begin, region.end,
+      [&](size_t pos, std::string_view range) {
+        for (const std::string& member : cls.unordered_members) {
+          if (!HasToken(range, member)) continue;
+          int line = lines.LineAt(pos);
+          Finding f;
+          f.rule_id = "unordered-iter";
+          f.file = path;
+          f.line = line;
+          f.message =
+              "range-for over unordered member '" + member + "' of class " +
+              cls.name + " (declared in " + cls.file +
+              "): iteration order is unspecified; iterate sorted keys or "
+              "waive with // lint: unordered-iter-ok(<reason>)";
+          f.waived = comments.Waives(line, "unordered-iter");
+          findings->push_back(std::move(f));
+          break;
+        }
+      });
+}
+
+// The layer of a path under src/ ("src/engine/executor.cc" -> "engine"),
+// or empty when the file is outside src/.
+std::string_view LayerOfPath(std::string_view path) {
+  if (path.rfind("src/", 0) != 0) return {};
+  std::string_view rest = path.substr(4);
+  size_t slash = rest.find('/');
+  return slash == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(0, slash);
+}
+
+void CheckLayering(const std::string& path,
+                   const std::vector<IncludeEdge>& includes,
+                   const CommentLookup& comments,
+                   std::vector<Finding>* findings) {
+  std::string_view layer = LayerOfPath(path);
+  if (layer.empty()) return;
+  const LayerSpec* spec = FindLayer(layer);
+  if (spec == nullptr) return;  // unknown directories are unconstrained
+  for (const IncludeEdge& edge : includes) {
+    size_t slash = edge.target.find('/');
+    if (slash == std::string::npos) continue;
+    std::string_view target_layer =
+        std::string_view(edge.target).substr(0, slash);
+    if (target_layer == layer) continue;
+    if (FindLayer(target_layer) == nullptr) continue;  // not a src/ layer
+    bool allowed = false;
+    for (std::string_view dep : spec->may_include) {
+      if (dep == target_layer) allowed = true;
+    }
+    if (allowed) continue;
+    Finding f;
+    f.rule_id = "layering";
+    f.file = path;
+    f.line = edge.line;
+    f.message = "#include \"" + edge.target + "\": layer '" +
+                std::string(layer) + "' must not depend on '" +
+                std::string(target_layer) +
+                "' (edge forbidden by the layering DAG in "
+                "tools/lqo-lint/rules.cc)";
+    f.waived = comments.Waives(edge.line, "layering");
+    findings->push_back(std::move(f));
+  }
+}
+
+std::vector<Finding> CrossTuFindings(const FileInput& input,
+                                     const FileAnalysis& analysis,
+                                     const ProjectIndex& index) {
+  std::vector<Finding> out;
+  std::string_view code = analysis.scrub.code;
+  LineIndex lines(code);
+  CommentLookup comments(analysis.scrub, lines);
+
+  std::vector<MethodRegion> regions = analysis.inline_methods;
+  std::vector<MethodRegion> out_of_line = FindOutOfLineMethods(code, index);
+  regions.insert(regions.end(), out_of_line.begin(), out_of_line.end());
+
+  for (const MethodRegion& region : regions) {
+    auto it = index.classes.find(region.class_name);
+    if (it == index.classes.end()) continue;
+    CheckLockDiscipline(input.path, code, lines, comments, region, it->second,
+                        &out);
+    CheckXtuUnorderedIter(input.path, code, lines, comments, region,
+                          it->second, &out);
+  }
+  CheckLayering(input.path, analysis.includes, comments, &out);
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule_id, a.message) <
+           std::tie(b.line, b.rule_id, b.message);
+  });
+  // The same site can be reached through several regions (e.g. a class
+  // re-opened by the token scan); collapse exact duplicates.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.line == b.line && a.rule_id == b.rule_id &&
+                                 a.message == b.message;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> AnalyzeFiles(std::vector<FileInput> files,
+                                  ProjectIndex* index_out) {
+  std::sort(files.begin(), files.end(),
+            [](const FileInput& a, const FileInput& b) {
+              return a.path < b.path;
+            });
+  files.erase(std::unique(files.begin(), files.end(),
+                          [](const FileInput& a, const FileInput& b) {
+                            return a.path == b.path;
+                          }),
+              files.end());
+
+  // Auto-pair headers from the in-memory set (callers may pre-set).
+  {
+    std::map<std::string, size_t> by_path;
+    for (size_t i = 0; i < files.size(); ++i) by_path[files[i].path] = i;
+    for (FileInput& f : files) {
+      if (!f.paired_header.empty()) continue;
+      if (!(f.path.ends_with(".cc") || f.path.ends_with(".cpp"))) continue;
+      std::string header = f.path.substr(0, f.path.rfind('.')) + ".h";
+      auto it = by_path.find(header);
+      if (it != by_path.end()) f.paired_header = files[it->second].content;
+    }
+  }
+
+  // Phase 1: parallel scrub + per-file rules + index fragments, folded in
+  // sorted path order (index-addressed slots, so any LQO_THREADS gives the
+  // same fold).
+  std::vector<FileAnalysis> per_file = ParallelMap(
+      files.size(), [&](size_t i) { return AnalyzeOne(files[i]); });
+
+  ProjectIndex index;
+  for (size_t i = 0; i < files.size(); ++i) {
+    const FileAnalysis& fa = per_file[i];
+    for (const ClassInfo& cls : fa.classes) {
+      auto [it, inserted] = index.classes.emplace(cls.name, cls);
+      if (!inserted) {
+        ClassInfo& merged = it->second;
+        merged.guarded.insert(merged.guarded.end(), cls.guarded.begin(),
+                              cls.guarded.end());
+        merged.requires_lock.insert(merged.requires_lock.end(),
+                                    cls.requires_lock.begin(),
+                                    cls.requires_lock.end());
+        merged.atomic_protocols.insert(cls.atomic_protocols.begin(),
+                                       cls.atomic_protocols.end());
+        merged.member_code.append(cls.member_code);
+      }
+    }
+    if (!fa.includes.empty()) index.includes[files[i].path] = fa.includes;
+    index.unordered_aliases.insert(index.unordered_aliases.end(),
+                                   fa.aliases.begin(), fa.aliases.end());
+  }
+  std::sort(index.unordered_aliases.begin(), index.unordered_aliases.end());
+  index.unordered_aliases.erase(
+      std::unique(index.unordered_aliases.begin(),
+                  index.unordered_aliases.end()),
+      index.unordered_aliases.end());
+
+  // Resolve unordered members per class against the project-wide alias set
+  // (this is what makes the tracking cross-TU: an alias declared in one
+  // header resolves members of classes declared anywhere).
+  for (auto& [name, cls] : index.classes) {
+    std::vector<std::string> names;
+    std::vector<std::string> aliases = index.unordered_aliases;
+    CollectUnorderedNames(cls.member_code, names, aliases);
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    cls.unordered_members = std::move(names);
+  }
+  // Dedup guarded-member entries (a member can carry both a // guards:
+  // listing and an LQO_GUARDED_BY attribute).
+  for (auto& [name, cls] : index.classes) {
+    std::sort(cls.guarded.begin(), cls.guarded.end(),
+              [](const GuardedMember& a, const GuardedMember& b) {
+                return std::tie(a.member, a.mutex) <
+                       std::tie(b.member, b.mutex);
+              });
+    cls.guarded.erase(std::unique(cls.guarded.begin(), cls.guarded.end(),
+                                  [](const GuardedMember& a,
+                                     const GuardedMember& b) {
+                                    return a.member == b.member &&
+                                           a.mutex == b.mutex;
+                                  }),
+                      cls.guarded.end());
+  }
+
+  // Phase 2: cross-TU rules, again parallel per file and folded in path
+  // order.
+  std::vector<std::vector<Finding>> extra =
+      ParallelMap(files.size(), [&](size_t i) {
+        return CrossTuFindings(files[i], per_file[i], index);
+      });
+
+  std::vector<Finding> all;
+  for (size_t i = 0; i < files.size(); ++i) {
+    // Per-file findings first; cross-TU findings that land on a line the
+    // per-file pass already reported under the same rule are duplicates
+    // (e.g. unordered-iter through the paired header) and are dropped.
+    std::set<std::pair<int, std::string_view>> seen;
+    for (const Finding& f : per_file[i].findings) {
+      seen.insert({f.line, f.rule_id});
+    }
+    std::vector<Finding> merged = per_file[i].findings;
+    for (Finding& f : extra[i]) {
+      if (seen.count({f.line, f.rule_id})) continue;
+      merged.push_back(std::move(f));
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.line, a.rule_id) <
+                       std::tie(b.line, b.rule_id);
+              });
+    all.insert(all.end(), std::make_move_iterator(merged.begin()),
+               std::make_move_iterator(merged.end()));
+  }
+  if (index_out != nullptr) *index_out = std::move(index);
+  return all;
+}
+
+std::vector<FileInput> LoadTree(const std::string& root,
+                                const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const std::string& dir : dirs) {
+    fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp") {
+        paths.push_back(fs::relative(entry.path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+
+  std::vector<FileInput> files;
+  files.reserve(paths.size());
+  for (const std::string& rel : paths) {
+    FileInput input;
+    input.path = rel;
+    input.content = slurp(fs::path(root) / rel);
+    files.push_back(std::move(input));
+  }
+  return files;
+}
+
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& dirs) {
+  return AnalyzeFiles(LoadTree(root, dirs));
+}
+
+}  // namespace lqo::lint

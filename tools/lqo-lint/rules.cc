@@ -53,8 +53,11 @@ const std::vector<Rule>& Catalog() {
        "in sorted key order, or — when the fold is provably order-free\n"
        "(e.g. exact integer counting) — waive the site with\n"
        "// lint: unordered-iter-ok(<reason>) on the for-line or the line\n"
-       "above. The pass sees declarations in the same file and in the\n"
-       "paired header of a .cc."},
+       "above. The per-file pass sees declarations in the same file and in\n"
+       "the paired header of a .cc; the whole-program pass additionally\n"
+       "tracks members and `using X = std::unordered_*` aliases declared in\n"
+       "any other translation unit, so iterating a member through a header\n"
+       "alias from a distant .cc is reported too."},
       {"raw-thread", "concurrency", Severity::kError,
        "raw std::thread/std::async/detach()/thread_local outside the pool",
        "// lint: raw-thread-ok(<reason>)",
@@ -149,8 +152,73 @@ const std::vector<Rule>& Catalog() {
        "`using namespace` in a header leaks the namespace into every\n"
        "translation unit that includes it, producing spooky overload\n"
        "changes at a distance. Qualify names instead."},
+      {"lock-discipline", "concurrency", Severity::kError,
+       "guarded member used without the named mutex lexically held",
+       "// locked-by: <mutex>(<reason>)  (or // lint: lock-discipline-ok(...))",
+       "A // guards: comment (or LQO_GUARDED_BY attribute) is a contract,\n"
+       "not documentation: every use of the listed member inside a method\n"
+       "body must be lexically preceded, in an enclosing scope, by a lock\n"
+       "acquisition on the named mutex — a std::lock_guard / unique_lock /\n"
+       "shared_lock / scoped_lock naming it, or a manual .lock(). Methods\n"
+       "annotated LQO_REQUIRES(mutex) (on the in-class declaration or the\n"
+       "definition) are checked as if the lock were held throughout. This\n"
+       "is the guarded-member-touched-without-lock class of race that TSan\n"
+       "only catches when a test happens to hit the interleaving. Sites\n"
+       "that are safe without the lock (single-threaded construction, a\n"
+       "frozen read-only phase) are waived in place with\n"
+       "// locked-by: <mutex>(<reason>), which names the protocol that\n"
+       "makes the bare access sound."},
+      {"layering", "hygiene", Severity::kError,
+       "#include edge forbidden by the src/ layering DAG",
+       "// lint: layering-ok(<reason>)",
+       "src/ layers form a declarative DAG (the LayerDag() table in\n"
+       "tools/lqo-lint/rules.cc): common is the base everything may use;\n"
+       "storage/query/engine/ml sit in the middle; optimizer and the model\n"
+       "layers build on them; serving/e2e/regression/pilotscope are the\n"
+       "top. Lower layers must never include upper ones — engine, ml and\n"
+       "storage must not include serving, e2e or pilotscope — or builds\n"
+       "grow hidden cycles and the serving substrate leaks into kernels.\n"
+       "Violations name the offending edge. Extending the DAG is a\n"
+       "reviewed edit to the table, not a waiver."},
   };
   return *rules;
+}
+
+// The declarative layering DAG over src/. A layer may include itself plus
+// the listed layers (transitive closure spelled out, so the check is a flat
+// membership test). Directories not listed are unconstrained.
+const std::vector<LayerSpec>& Dag() {
+  static const std::vector<LayerSpec>* dag = new std::vector<LayerSpec>{
+      {"common", {}},
+      {"storage", {"common"}},
+      {"query", {"common", "storage"}},
+      {"engine", {"common", "storage", "query"}},
+      {"ml", {"common"}},
+      {"optimizer", {"common", "storage", "query", "engine", "ml"}},
+      {"costmodel",
+       {"common", "storage", "query", "engine", "ml", "optimizer"}},
+      {"cardinality",
+       {"common", "storage", "query", "engine", "ml", "optimizer"}},
+      {"joinorder",
+       {"common", "storage", "query", "engine", "ml", "optimizer"}},
+      {"e2e",
+       {"common", "storage", "query", "engine", "ml", "optimizer",
+        "costmodel", "cardinality", "joinorder"}},
+      {"regression",
+       {"common", "storage", "query", "engine", "ml", "optimizer",
+        "costmodel", "cardinality", "joinorder", "e2e"}},
+      {"serving",
+       {"common", "storage", "query", "engine", "ml", "optimizer",
+        "costmodel", "cardinality", "joinorder", "e2e"}},
+      {"pilotscope",
+       {"common", "storage", "query", "engine", "ml", "optimizer",
+        "costmodel", "cardinality", "joinorder", "e2e", "serving"}},
+      {"benchlib",
+       {"common", "storage", "query", "engine", "ml", "optimizer",
+        "costmodel", "cardinality", "joinorder", "e2e", "regression",
+        "serving", "pilotscope"}},
+  };
+  return *dag;
 }
 
 }  // namespace
@@ -160,6 +228,15 @@ const std::vector<Rule>& Rules() { return Catalog(); }
 const Rule* FindRule(std::string_view id) {
   for (const Rule& r : Catalog()) {
     if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+const std::vector<LayerSpec>& LayerDag() { return Dag(); }
+
+const LayerSpec* FindLayer(std::string_view name) {
+  for (const LayerSpec& layer : Dag()) {
+    if (layer.name == name) return &layer;
   }
   return nullptr;
 }

@@ -1,0 +1,151 @@
+#ifndef LQO_TOOLS_LQO_LINT_TEXTUTIL_H_
+#define LQO_TOOLS_LQO_LINT_TEXTUTIL_H_
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Internal token-level helpers shared by the per-file rule pass (lint.cc)
+// and the whole-program pass (project.cc). Everything operates on scrubbed
+// code (comments and literal contents blanked, newlines preserved), so a
+// byte offset is always a code offset.
+namespace lqo::lint::text {
+
+inline bool IdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+inline bool HexChar(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c));
+}
+
+inline size_t SkipSpace(std::string_view s, size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+/// All positions where `token` occurs with non-identifier characters on both
+/// sides.
+inline std::vector<size_t> FindTokens(std::string_view code,
+                                      std::string_view token) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string_view::npos) {
+    bool left_ok = pos == 0 || !IdentChar(code[pos - 1]);
+    size_t end = pos + token.size();
+    bool right_ok = end >= code.size() || !IdentChar(code[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+inline bool HasToken(std::string_view text, std::string_view token) {
+  return !FindTokens(text, token).empty();
+}
+
+/// Accepts `std::tok` and `::std::tok`, with optional internal spaces,
+/// where `pos` is the offset of `tok`.
+inline bool PrecededByStd(std::string_view code, size_t pos) {
+  size_t i = pos;
+  auto skip_back_space = [&](size_t j) {
+    while (j > 0 && (code[j - 1] == ' ' || code[j - 1] == '\t')) --j;
+    return j;
+  };
+  i = skip_back_space(i);
+  if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':') return false;
+  i = skip_back_space(i - 2);
+  return i >= 3 && code.compare(i - 3, 3, "std") == 0 &&
+         (i == 3 || !IdentChar(code[i - 4]));
+}
+
+/// 1-based line number of a byte offset, via precomputed line starts.
+struct LineIndex {
+  std::vector<size_t> starts;  // starts[k] = offset of line k+1
+  explicit LineIndex(std::string_view code) {
+    starts.push_back(0);
+    for (size_t i = 0; i < code.size(); ++i) {
+      if (code[i] == '\n') starts.push_back(i + 1);
+    }
+  }
+  int LineAt(size_t pos) const {
+    auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+    return static_cast<int>(it - starts.begin());
+  }
+};
+
+/// True when `comment` contains `lint: <id>-ok(<nonempty reason>)`.
+inline bool CommentWaives(std::string_view comment, std::string_view id) {
+  size_t pos = 0;
+  while ((pos = comment.find("lint:", pos)) != std::string_view::npos) {
+    size_t i = SkipSpace(comment, pos + 5);
+    std::string want = std::string(id) + "-ok(";
+    if (comment.compare(i, want.size(), want) == 0) {
+      size_t close = comment.find(')', i + want.size());
+      if (close != std::string_view::npos) {
+        std::string_view reason =
+            comment.substr(i + want.size(), close - i - want.size());
+        if (reason.find_first_not_of(" \t") != std::string_view::npos) {
+          return true;
+        }
+      }
+    }
+    pos += 5;
+  }
+  return false;
+}
+
+/// Offset of the matching close brace for the `{` at `open`, or npos when
+/// the braces never balance before `code` ends.
+inline size_t MatchBrace(std::string_view code, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '{') ++depth;
+    if (code[i] == '}') {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Walks every range-for statement whose head starts inside [begin, end) and
+/// hands the callback the offset of the `for` token and the range expression
+/// (the text between the top-level `:` and the closing paren).
+template <typename Fn>
+void ForEachRangeFor(std::string_view code, size_t begin, size_t end, Fn&& fn) {
+  for (size_t pos : FindTokens(code.substr(0, end), "for")) {
+    if (pos < begin) continue;
+    size_t open = SkipSpace(code, pos + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    int depth = 0;
+    size_t colon = std::string_view::npos;
+    size_t close = std::string_view::npos;
+    for (size_t i = open; i < code.size() && i < open + 600; ++i) {
+      char ch = code[i];
+      if (ch == '(' || ch == '[' || ch == '{') ++depth;
+      if (ch == ')' || ch == ']' || ch == '}') {
+        --depth;
+        if (depth == 0) {
+          close = i;
+          break;
+        }
+      }
+      if (ch == ';' && depth == 1) break;  // classic for-loop
+      if (ch == ':' && depth == 1 && colon == std::string_view::npos) {
+        bool scope = (i > 0 && code[i - 1] == ':') ||
+                     (i + 1 < code.size() && code[i + 1] == ':');
+        if (!scope) colon = i;
+      }
+    }
+    if (colon == std::string_view::npos || close == std::string_view::npos)
+      continue;
+    fn(pos, code.substr(colon + 1, close - colon - 1));
+  }
+}
+
+}  // namespace lqo::lint::text
+
+#endif  // LQO_TOOLS_LQO_LINT_TEXTUTIL_H_
