@@ -414,6 +414,213 @@ void RunSimdKernelsSite(const std::vector<int>& counts, int hw,
 #endif
 }
 
+// Site 14 (also standalone via --agg-only): the late-materialization output
+// pipeline (DESIGN.md "Late materialization & output pipeline"). Three jobs:
+//   1. Determinism fingerprint: grouped aggregation over a scan, grouped
+//      aggregation over a hash join (deferred row-id probe feeding the
+//      sink), and a bare projection, executed at every supported LQO_SIMD
+//      level x scalar/vectorized path. The fingerprint folds every output
+//      value (FNV over output_cols), output_row_count and the
+//      carried/materialized/groups profile counters, and RunSite sweeps it
+//      across thread counts — any bit divergence across the full
+//      level x path x threads cube fails the bench.
+//   2. Throughput A/B scalar-vs-vectorized per pipeline shape, emitted as
+//      BENCH_agg.json.
+//   3. Perf floor (plain builds only): vectorized grouped aggregation must
+//      beat the tuple-at-a-time reference by >= 1.5x.
+void RunAggProjectionSite(const std::vector<int>& counts, int hw,
+                          std::vector<SiteReport>* reports) {
+  simd::Level entry_level = simd::ActiveLevel();
+  std::vector<simd::Level> levels = simd::SupportedLevels();
+
+  // fact(262144 rows; k in [0,511], v in [0,999]) x dim(2048 rows): 512
+  // groups with ~512 rows each on the scan shape, and a fan-out join whose
+  // probe output feeds the sink through deferred row ids.
+  constexpr uint32_t kFactRows = 1u << 18;
+  Catalog cat;
+  {
+    Rng rng(105);
+    TableBuilder builder("fact");
+    builder.AddInt64Column("k");
+    builder.AddInt64Column("v");
+    for (uint32_t r = 0; r < kFactRows; ++r) {
+      builder.AppendRow({rng.UniformInt(0, 511), rng.UniformInt(0, 999)});
+    }
+    LQO_CHECK(cat.AddTable(builder.Build()).ok());
+  }
+  {
+    Rng rng(106);
+    TableBuilder builder("dim");
+    builder.AddInt64Column("k");
+    builder.AddInt64Column("w");
+    for (uint32_t r = 0; r < 2048; ++r) {
+      builder.AppendRow({rng.UniformInt(0, 511), rng.UniformInt(0, 99)});
+    }
+    LQO_CHECK(cat.AddTable(builder.Build()).ok());
+  }
+  LQO_CHECK(cat.AddJoinEdge({.left_table = "fact",
+                             .left_column = "k",
+                             .right_table = "dim",
+                             .right_column = "k"})
+                .ok());
+  Executor exec(&cat);
+
+  // Shape 1: grouped aggregation over a filtered scan (dense-range and
+  // selection kernels both reachable depending on the filter).
+  Query group_q;
+  group_q.AddTable("fact");
+  group_q.AddPredicate(Predicate::Range(0, "v", 50, 900));
+  group_q.AddOutput(OutputExpr::Column(0, "k"));
+  group_q.AddOutput(OutputExpr::CountStar());
+  group_q.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 0, "v"));
+  group_q.AddOutput(OutputExpr::Aggregate(AggFunc::kMin, 0, "v"));
+  group_q.AddOutput(OutputExpr::Aggregate(AggFunc::kMax, 0, "v"));
+  group_q.AddOutput(OutputExpr::Aggregate(AggFunc::kAvg, 0, "v"));
+  group_q.SetGroupBy(0, "k");
+  PhysicalPlan group_plan;
+  group_plan.query = &group_q;
+  group_plan.root = MakeScanNode(0);
+
+  // Shape 2: grouped aggregation over a hash join — the deferred row-id
+  // probe output is gathered only at the sink.
+  Query jgroup_q;
+  jgroup_q.AddTable("fact");
+  jgroup_q.AddTable("dim");
+  jgroup_q.AddJoin(0, "k", 1, "k");
+  jgroup_q.AddOutput(OutputExpr::Column(1, "w"));
+  jgroup_q.AddOutput(OutputExpr::CountStar());
+  jgroup_q.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 0, "v"));
+  jgroup_q.AddOutput(OutputExpr::Aggregate(AggFunc::kMax, 0, "v"));
+  jgroup_q.SetGroupBy(1, "w");
+  PhysicalPlan jgroup_plan;
+  jgroup_plan.query = &jgroup_q;
+  jgroup_plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                                  MakeScanNode(1));
+
+  // Shape 3: bare projection of a filtered scan (run-detected gathers).
+  Query proj_q;
+  proj_q.AddTable("fact");
+  proj_q.AddPredicate(Predicate::Range(0, "v", 100, 600));
+  proj_q.AddOutput(OutputExpr::Column(0, "v"));
+  proj_q.AddOutput(OutputExpr::Column(0, "k"));
+  PhysicalPlan proj_plan;
+  proj_plan.query = &proj_q;
+  proj_plan.root = MakeScanNode(0);
+
+  // Folds every output value: a wrong gather, group id, or aggregate at any
+  // level/path/thread count changes the fingerprint.
+  auto output_fingerprint = [](const ExecutionResult& r) {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::vector<int64_t>& col : r.output_cols) {
+      for (int64_t v : col) {
+        h = (h ^ static_cast<uint64_t>(v)) * 0x100000001b3ull;
+      }
+    }
+    double f = static_cast<double>(r.row_count) * 1e-3 +
+               static_cast<double>(r.output_row_count) +
+               static_cast<double>(h >> 11) * 1e-9;
+    for (const NodeProfile& p : r.node_profiles) {
+      f += static_cast<double>(p.output_rows + p.carried_columns +
+                               p.materialized_values + p.groups) +
+           p.time_units;
+    }
+    return f;
+  };
+
+  // 1. Determinism cube: levels x scalar/vectorized inside the work
+  // function, thread counts via RunSite.
+  reports->push_back(RunSite("agg_projection", counts, [&] {
+    double fingerprint = 0.0;
+    for (simd::Level level : levels) {
+      simd::SetLevelForTest(level);
+      for (bool vectorized : {false, true}) {
+        exec.set_vectorized(vectorized);
+        for (const PhysicalPlan* plan :
+             {&group_plan, &jgroup_plan, &proj_plan}) {
+          auto r = exec.Execute(*plan);
+          LQO_CHECK(r.ok());
+          fingerprint += output_fingerprint(*r);
+        }
+      }
+    }
+    simd::SetLevelForTest(entry_level);
+    exec.set_vectorized(true);
+    return fingerprint;
+  }));
+
+  // 2. Throughput A/B at full thread count, best-of-5.
+  ThreadPool::SetGlobalThreads(hw);
+  static volatile double agg_sink = 0.0;
+  auto plan_rps = [&](const PhysicalPlan& plan, double rows, int passes) {
+    double best = 1e100;
+    for (int rep = 0; rep < 5; ++rep) {
+      double secs = SecondsOf([&] {
+        for (int p = 0; p < passes; ++p) {
+          auto r = exec.Execute(plan);
+          LQO_CHECK(r.ok());
+          agg_sink = agg_sink + static_cast<double>(r->output_row_count);
+        }
+      });
+      if (secs < best) best = secs;
+    }
+    return rows * passes / best;
+  };
+  struct ShapeAb {
+    const char* name;
+    const PhysicalPlan* plan;
+    double rows;
+    uint64_t output_rows = 0;
+    double scalar_rps = 0.0;
+    double vec_rps = 0.0;
+  };
+  std::vector<ShapeAb> shapes = {
+      {"grouped_scan", &group_plan, static_cast<double>(kFactRows)},
+      {"grouped_join", &jgroup_plan, static_cast<double>(kFactRows) + 2048.0},
+      {"projection", &proj_plan, static_cast<double>(kFactRows)}};
+  for (ShapeAb& s : shapes) {
+    exec.set_vectorized(true);
+    auto r = exec.Execute(*s.plan);
+    LQO_CHECK(r.ok());
+    s.output_rows = r->output_row_count;
+    exec.set_vectorized(false);
+    s.scalar_rps = plan_rps(*s.plan, s.rows, 5);
+    exec.set_vectorized(true);
+    s.vec_rps = plan_rps(*s.plan, s.rows, 5);
+    std::fprintf(stderr,
+                 "  agg %-13s scalar %12.0f rows/s  batch %12.0f rows/s  "
+                 "(%.2fx; %llu output rows)\n",
+                 s.name, s.scalar_rps, s.vec_rps, s.vec_rps / s.scalar_rps,
+                 static_cast<unsigned long long>(s.output_rows));
+  }
+
+  // 3. JSON + perf floor.
+  std::ofstream ajson("BENCH_agg.json");
+  ajson << "{\n  \"rows\": " << kFactRows << ",\n  \"shapes\": [\n";
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    const ShapeAb& s = shapes[i];
+    ajson << "    {\"name\": \"" << s.name
+          << "\", \"output_rows\": " << s.output_rows
+          << ", \"scalar_rows_per_sec\": " << s.scalar_rps
+          << ", \"vectorized_rows_per_sec\": " << s.vec_rps
+          << ", \"vectorized_speedup\": " << s.vec_rps / s.scalar_rps << "}"
+          << (i + 1 < shapes.size() ? "," : "") << "\n";
+  }
+  ajson << "  ]\n}\n";
+  ajson.close();
+  std::fprintf(stderr, "wrote BENCH_agg.json\n");
+
+#if !LQO_BENCH_SANITIZED
+  // Perf floor from ISSUE 10: vectorized grouped aggregation must beat the
+  // tuple-at-a-time reference by >= 1.5x. Compiled out under TSan/ASan.
+  for (const ShapeAb& s : shapes) {
+    if (std::string(s.name) != "grouped_scan") continue;
+    LQO_CHECK(s.vec_rps >= 1.5 * s.scalar_rps)
+        << "vectorized grouped aggregation below the 1.5x floor: " << s.vec_rps
+        << " rows/s vs scalar " << s.scalar_rps;
+  }
+#endif
+}
+
 std::vector<std::vector<double>> MakeMlRows(size_t n, size_t features,
                                             std::vector<double>* targets) {
   Rng rng(5);
@@ -459,6 +666,23 @@ int main(int argc, char** argv) {
     bool ok = true;
     for (const SiteReport& r : simd_reports) ok &= r.deterministic;
     std::fprintf(stderr, "simd_kernels only (%s)\n",
+                 ok ? "deterministic" : "DETERMINISM VIOLATION");
+    return ok ? 0 : 1;
+  }
+
+  // --agg-only: run just the agg_projection site (scripts/check.sh uses
+  // this to gate the late-materialization output pipeline under TSan).
+  bool agg_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--agg-only") agg_only = true;
+  }
+  if (agg_only) {
+    std::vector<SiteReport> agg_reports;
+    RunAggProjectionSite(counts, hw, &agg_reports);
+    ThreadPool::SetGlobalThreads(hw);
+    bool ok = true;
+    for (const SiteReport& r : agg_reports) ok &= r.deterministic;
+    std::fprintf(stderr, "agg_projection only (%s)\n",
                  ok ? "deterministic" : "DETERMINISM VIOLATION");
     return ok ? 0 : 1;
   }
@@ -1002,6 +1226,11 @@ int main(int argc, char** argv) {
   // Site 13: SIMD kernel layer (levels x paths x threads determinism cube,
   // per-family throughput A/B, BENCH_simd.json, 1.3x filter floor).
   RunSimdKernelsSite(counts, hw, &reports);
+
+  // Site 14: late-materialization output pipeline (grouped aggregation +
+  // projection determinism cube, scalar-vs-vectorized A/B, BENCH_agg.json,
+  // 1.5x grouped-aggregation floor).
+  RunAggProjectionSite(counts, hw, &reports);
 
   ThreadPool::SetGlobalThreads(hw);
 

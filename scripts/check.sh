@@ -85,6 +85,17 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 LQO_SIMD=scalar "$BUILD_DIR"/bench/bench_parallel_scaling --simd-only
 "$BUILD_DIR"/bench/bench_parallel_scaling --simd-only
 
+# Late-materialization output pipeline gates, under TSan + 4 threads:
+# aggregate-kernel bit-equality at boundary batch sizes, GROUP BY hash
+# aggregation, projection gathers, thread/SIMD-level invariance, then the
+# agg_projection determinism fingerprint (every supported level x
+# scalar/vectorized path x 1/2/4/N threads, folding every output value;
+# the >=1.5x grouped-aggregation floor is compiled out under sanitizers).
+"$BUILD_DIR"/tests/engine_test \
+  --gtest_filter='Aggregate*:Projection*:GroupIndex*'
+LQO_SIMD=scalar "$BUILD_DIR"/bench/bench_parallel_scaling --agg-only
+"$BUILD_DIR"/bench/bench_parallel_scaling --agg-only
+
 # Batched-inference gates, still under TSan + 4 threads: the bit-identity
 # and thread-invariance tests, then the inference microbenchmarks (whose
 # fixture CHECK-fails if PredictBatch diverges from per-row Predict).

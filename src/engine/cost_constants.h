@@ -38,6 +38,16 @@ struct CostConstants {
   /// Extra probe cost proportional to build-side key skew
   /// (max bucket / mean bucket).
   double skew_probe_factor = 0.15;
+
+  // Output-stage terms (late-materialization sink). Charged once at the
+  // root, only for queries with an explicit select list; legacy COUNT(*)
+  // queries have no output stage and are charged exactly as before.
+  /// Per column value gathered from a base table at the sink.
+  double materialize_value = 0.05;
+  /// Per qualifying row per aggregate accumulator update.
+  double agg_update = 0.1;
+  /// Per qualifying row probe of the GROUP BY hash table.
+  double group_probe = 0.6;
 };
 
 /// The canonical schedule used by every experiment.

@@ -4,11 +4,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "engine/agg_kernels.h"
 #include "engine/filter_kernels.h"
 #include "engine/simd.h"
 #include "engine/vec_batch.h"
@@ -44,12 +47,33 @@ double WallSeconds(const std::chrono::steady_clock::time_point& start) {
   return elapsed.count();
 }
 
-// A materialized intermediate result: selected join-key columns for the
-// covered tables, stored column-wise.
+// An intermediate result. The two execution modes store it differently:
+//
+//  - The scalar reference path materializes *early*: value columns for the
+//    join keys and output-stage columns of every covered table, copied
+//    forward through each operator (col_keys/cols).
+//  - The vectorized path materializes *late*: only per-base-table row-id
+//    columns flow between operators (rowid_tables/rowids); join keys are
+//    gathered on demand from base tables, and the output stage gathers
+//    values through the surviving row ids at the very end. Intermediates
+//    under COUNT(*) carry nothing at all past each join's key needs.
+//
+// Both modes agree on num_rows and row order, which is all the
+// ExecutionResult bit-equality contract needs.
 struct Chunk {
-  // Parallel vectors: col_keys[i] identifies cols[i].
+  // Scalar mode. Parallel vectors: col_keys[i] identifies cols[i].
   std::vector<std::pair<int, std::string>> col_keys;
   std::vector<std::vector<int64_t>> cols;
+
+  // Vectorized mode. Parallel vectors: rowids[i] holds base-table row ids
+  // of query table rowid_tables[i], one entry per intermediate row.
+  std::vector<int> rowid_tables;
+  std::vector<std::vector<uint32_t>> rowids;
+  // True when every rowid column is strictly ascending (scan outputs);
+  // joins scramble row order and reset this. Enables the sink's dense
+  // kernels and run-detected gathers.
+  bool rowids_ascending = false;
+
   uint64_t num_rows = 0;
 
   int FindColumn(int table_index, const std::string& column) const {
@@ -57,6 +81,13 @@ struct Chunk {
       if (col_keys[i].first == table_index && col_keys[i].second == column) {
         return static_cast<int>(i);
       }
+    }
+    return -1;
+  }
+
+  int FindRowids(int table_index) const {
+    for (size_t i = 0; i < rowid_tables.size(); ++i) {
+      if (rowid_tables[i] == table_index) return static_cast<int>(i);
     }
     return -1;
   }
@@ -125,6 +156,16 @@ struct JoinHashTable {
   }
 };
 
+// Per-aggregate accumulator state shared by the scalar reference and the
+// kernel path: SUM in wrapping uint64 (see engine/agg_kernels.h for why
+// that is lane-order independent), MIN/MAX from their fold identities. One
+// finalize block converts it to the emitted int64 in both modes.
+struct AggAcc {
+  uint64_t sum = 0;
+  int64_t mn = INT64_MAX;
+  int64_t mx = INT64_MIN;
+};
+
 // Process-wide default for the vectorized executor: on unless LQO_VECTORIZED=0.
 bool DefaultVectorized() {
   const char* v = std::getenv("LQO_VECTORIZED");
@@ -141,10 +182,16 @@ class PlanRunner {
         vectorized_(vectorized) {}
 
   StatusOr<ExecutionResult> Run(const PlanNode& root) {
-    auto chunk_or = Evaluate(root);
+    Status valid = ValidateOutputStage(root);
+    if (!valid.ok()) return valid;
+    auto chunk_or = Evaluate(root, SinkTables() & root.table_set);
     if (!chunk_or.ok()) return chunk_or.status();
     ExecutionResult result;
     result.row_count = chunk_or->num_rows;
+    if (query_.HasOutputStage()) {
+      Status sink = ExecuteOutput(*chunk_or, &result);
+      if (!sink.ok()) return sink;
+    }
     result.node_profiles = std::move(profiles_);
     for (const NodeProfile& p : result.node_profiles) {
       result.time_units += p.time_units;
@@ -153,8 +200,66 @@ class PlanRunner {
   }
 
  private:
-  // Join-key columns of `table_index` used anywhere in the query; these are
-  // the only columns an intermediate needs to carry.
+  // Tables whose base rows the output stage reads (select list + GROUP BY
+  // key). Empty for legacy COUNT(*) queries — nothing is ever materialized.
+  TableSet SinkTables() const {
+    TableSet set = 0;
+    for (const OutputExpr& e : query_.outputs()) {
+      if (e.ReferencesColumn()) set |= TableBit(e.table_index);
+    }
+    if (query_.has_group_by()) set |= TableBit(query_.group_by_table());
+    return set;
+  }
+
+  Status ValidateOutputStage(const PlanNode& root) const {
+    if (!query_.HasOutputStage()) return Status::Ok();
+    bool has_col = false;
+    bool has_agg = false;
+    for (const OutputExpr& e : query_.outputs()) {
+      if (e.ReferencesColumn() &&
+          !ContainsTable(root.table_set, e.table_index)) {
+        return Status::InvalidArgument(
+            "select list references a table outside the plan");
+      }
+      if (e.kind == OutputExpr::Kind::kColumn) {
+        has_col = true;
+        if (query_.has_group_by() &&
+            (e.table_index != query_.group_by_table() ||
+             e.column != query_.group_by_column())) {
+          return Status::InvalidArgument(
+              "non-aggregate select item must be the GROUP BY key");
+        }
+      } else {
+        has_agg = true;
+      }
+    }
+    if (query_.has_group_by() &&
+        !ContainsTable(root.table_set, query_.group_by_table())) {
+      return Status::InvalidArgument(
+          "GROUP BY references a table outside the plan");
+    }
+    if (!query_.has_group_by() && has_col && has_agg) {
+      return Status::InvalidArgument(
+          "mixing bare columns and aggregates requires GROUP BY");
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<const Column*> BaseColumn(int table_index,
+                                     const std::string& column) const {
+    const QueryTable& qt = query_.tables()[static_cast<size_t>(table_index)];
+    auto table_or = catalog_.GetTable(qt.table_name);
+    if (!table_or.ok()) return table_or.status();
+    const Table& table = **table_or;
+    auto idx = table.ColumnIndex(column);
+    if (!idx.ok()) return idx.status();
+    return &table.column(*idx);
+  }
+
+  // Columns of `table_index` a *scalar* intermediate must carry: the join
+  // keys used anywhere in the query plus the columns the output stage
+  // reads. (The vectorized path carries row ids instead and gathers both
+  // on demand — that is the late-materialization tentpole.)
   std::vector<std::string> NeededColumns(int table_index) const {
     std::vector<std::string> cols;
     auto add = [&](const std::string& c) {
@@ -166,15 +271,22 @@ class PlanRunner {
       if (j.left_table == table_index) add(j.left_column);
       if (j.right_table == table_index) add(j.right_column);
     }
+    for (const std::string& c : query_.OutputColumnsOf(table_index)) add(c);
     return cols;
   }
 
-  StatusOr<Chunk> Evaluate(const PlanNode& node) {
-    if (node.kind == PlanNode::Kind::kScan) return EvaluateScan(node);
-    return EvaluateJoin(node);
+  // `keep` is the set of tables whose row ids this node's output must carry
+  // for consumers above it (ancestor join keys + the output sink); always a
+  // subset of node.table_set. Threaded through both paths: the vectorized
+  // path materializes exactly these row-id columns, the scalar path uses it
+  // only for the (structurally defined, therefore path-identical)
+  // late-materialization profile counters.
+  StatusOr<Chunk> Evaluate(const PlanNode& node, TableSet keep) {
+    if (node.kind == PlanNode::Kind::kScan) return EvaluateScan(node, keep);
+    return EvaluateJoin(node, keep);
   }
 
-  StatusOr<Chunk> EvaluateScan(const PlanNode& node) {
+  StatusOr<Chunk> EvaluateScan(const PlanNode& node, TableSet keep) {
     const QueryTable& qt =
         query_.tables()[static_cast<size_t>(node.table_index)];
     auto table_or = catalog_.GetTable(qt.table_name);
@@ -189,24 +301,29 @@ class PlanRunner {
       if (!idx.ok()) return idx.status();
       pred_cols.push_back(&table.column(*idx));
     }
-    std::vector<std::string> needed = NeededColumns(node.table_index);
+    std::vector<std::string> needed;
     std::vector<const Column*> out_cols;
-    for (const std::string& name : needed) {
-      auto idx = table.ColumnIndex(name);
-      if (!idx.ok()) return idx.status();
-      out_cols.push_back(&table.column(*idx));
+    if (!vectorized_) {
+      needed = NeededColumns(node.table_index);
+      for (const std::string& name : needed) {
+        auto idx = table.ColumnIndex(name);
+        if (!idx.ok()) return idx.status();
+        out_cols.push_back(&table.column(*idx));
+      }
     }
+    const bool keep_ids = ContainsTable(keep, node.table_index);
 
     size_t n = table.num_rows();
     size_t num_morsels =
         n >= kParallelScanMinRows ? (n + kScanMorselRows - 1) / kScanMorselRows
                                   : 1;
 
-    // Each morsel filters its row range into a private column set; morsels
-    // are then concatenated in index order, reproducing the serial row
-    // order exactly.
+    // Each morsel filters its row range into a private output; morsels are
+    // then concatenated in index order, reproducing the serial row order
+    // exactly.
     struct MorselOut {
-      std::vector<std::vector<int64_t>> cols;
+      std::vector<std::vector<int64_t>> cols;  // scalar: value columns
+      std::vector<uint32_t> ids;               // vectorized: row ids
       uint64_t num_rows = 0;
     };
     // Tuple-at-a-time reference path, kept byte-for-byte equivalent to the
@@ -234,14 +351,14 @@ class PlanRunner {
       return out;
     };
     // Batch-at-a-time twin: same morsel boundaries, batches of kVecBatchRows
-    // flow through the branch-free filter kernels into bulk column gathers.
-    // Selection vectors stay ascending and predicates are applied in query
-    // order, so surviving rows (and their order) match the scalar loop
+    // flow through the branch-free filter kernels; survivors are recorded as
+    // *row ids only* (when a consumer above needs them) — no value column is
+    // copied. Selection vectors stay ascending and predicates are applied in
+    // query order, so surviving rows (and their order) match the scalar loop
     // exactly; evaluating later predicates only on survivors is equivalent
     // to the scalar short-circuit.
     auto run_morsel_vectorized = [&](size_t m) {
       MorselOut out;
-      out.cols.resize(out_cols.size());
       size_t begin = m * n / num_morsels;
       size_t end = (m + 1) * n / num_morsels;
       SelVector sel_a;
@@ -265,12 +382,16 @@ class PlanRunner {
           sel = cur;
         }
         if (count == 0) continue;
-        for (size_t c = 0; c < out_cols.size(); ++c) {
-          const int64_t* col = out_cols[c]->data.data();
+        if (keep_ids) {
+          size_t offset = out.ids.size();
+          out.ids.resize(offset + count);
+          uint32_t* dst = out.ids.data() + offset;
           if (sel == nullptr) {
-            AppendContiguous(col, b, count, &out.cols[c]);
+            for (size_t i = 0; i < count; ++i) {
+              dst[i] = b + static_cast<uint32_t>(i);
+            }
           } else {
-            GatherAppend(col, sel, count, &out.cols[c]);
+            std::memcpy(dst, sel, count * sizeof(uint32_t));
           }
         }
         out.num_rows += count;
@@ -283,16 +404,29 @@ class PlanRunner {
                     : ParallelMap(num_morsels, run_morsel_scalar);
 
     Chunk chunk;
-    for (const std::string& name : needed) {
-      chunk.col_keys.emplace_back(node.table_index, name);
-      chunk.cols.emplace_back();
-    }
     for (const MorselOut& m : morsels) chunk.num_rows += m.num_rows;
-    for (size_t c = 0; c < chunk.cols.size(); ++c) {
-      chunk.cols[c].reserve(static_cast<size_t>(chunk.num_rows));
-      for (const MorselOut& m : morsels) {
-        chunk.cols[c].insert(chunk.cols[c].end(), m.cols[c].begin(),
-                             m.cols[c].end());
+    if (vectorized_) {
+      chunk.rowids_ascending = true;
+      if (keep_ids) {
+        chunk.rowid_tables.push_back(node.table_index);
+        chunk.rowids.emplace_back();
+        std::vector<uint32_t>& ids = chunk.rowids[0];
+        ids.reserve(static_cast<size_t>(chunk.num_rows));
+        for (const MorselOut& m : morsels) {
+          ids.insert(ids.end(), m.ids.begin(), m.ids.end());
+        }
+      }
+    } else {
+      for (const std::string& name : needed) {
+        chunk.col_keys.emplace_back(node.table_index, name);
+        chunk.cols.emplace_back();
+      }
+      for (size_t c = 0; c < chunk.cols.size(); ++c) {
+        chunk.cols[c].reserve(static_cast<size_t>(chunk.num_rows));
+        for (const MorselOut& m : morsels) {
+          chunk.cols[c].insert(chunk.cols[c].end(), m.cols[c].begin(),
+                               m.cols[c].end());
+        }
       }
     }
 
@@ -305,45 +439,144 @@ class PlanRunner {
         static_cast<double>(n) * constants_.scan_row +
         static_cast<double>(n) * static_cast<double>(predicates.size()) *
             constants_.predicate_eval;
+    profile.carried_columns = keep_ids ? 1 : 0;
+    profile.materialized_values = chunk.num_rows * profile.carried_columns;
     profiles_.push_back(profile);
     return chunk;
   }
 
-  StatusOr<Chunk> EvaluateJoin(const PlanNode& node) {
-    auto left_or = Evaluate(*node.left);
-    if (!left_or.ok()) return left_or.status();
-    auto right_or = Evaluate(*node.right);
-    if (!right_or.ok()) return right_or.status();
-    Chunk left = std::move(*left_or);
-    Chunk right = std::move(*right_or);
+  // Where a join output's row-id column for one kept table comes from.
+  struct RowidSrc {
+    int table = -1;
+    bool from_left = true;
+    size_t src_col = 0;
+  };
 
-    // Join conditions crossing the two sides.
-    std::vector<std::pair<int, int>> key_cols;  // (left col idx, right col idx)
+  // Gathers base-table key column `column` of `table` through `side`'s
+  // row-id column into `*out` — the on-demand key materialization of the
+  // late pipeline. Morsel-parallel with disjoint writes, so deterministic.
+  Status GatherKeyColumn(const Chunk& side, int table,
+                         const std::string& column,
+                         std::vector<int64_t>* out) const {
+    auto col_or = BaseColumn(table, column);
+    if (!col_or.ok()) return col_or.status();
+    const int64_t* base = (*col_or)->data.data();
+    int idx = side.FindRowids(table);
+    if (idx < 0) {
+      return Status::Internal("join key row ids missing from intermediate");
+    }
+    const std::vector<uint32_t>& ids = side.rowids[static_cast<size_t>(idx)];
+    LQO_CHECK_EQ(ids.size(), static_cast<size_t>(side.num_rows));
+    out->resize(ids.size());
+    int64_t* dst = out->data();
+    const uint32_t* src = ids.data();
+    ParallelFor(HashMorsels(ids.size()), [&](size_t m) {
+      auto [begin, end] = MorselRange(m, ids.size());
+      for (size_t i = begin; i < end; ++i) dst[i] = base[src[i]];
+    });
+    return Status::Ok();
+  }
+
+  StatusOr<Chunk> EvaluateJoin(const PlanNode& node, TableSet keep) {
+    // Join conditions crossing the two sides, resolved to (table, column)
+    // per side. Built from the query's join list in declaration order —
+    // the same order the scalar key loop and the column-wise hash kernels
+    // combine keys, so hashes match bit for bit.
+    struct KeyRef {
+      int ltab;
+      std::string lcol;
+      int rtab;
+      std::string rcol;
+    };
+    std::vector<KeyRef> key_refs;
     for (const QueryJoin& j : query_.joins()) {
       bool l_in_left = ContainsTable(node.left->table_set, j.left_table);
       bool l_in_right = ContainsTable(node.right->table_set, j.left_table);
       bool r_in_left = ContainsTable(node.left->table_set, j.right_table);
       bool r_in_right = ContainsTable(node.right->table_set, j.right_table);
-      int lc = -1, rc = -1;
       if (l_in_left && r_in_right) {
-        lc = left.FindColumn(j.left_table, j.left_column);
-        rc = right.FindColumn(j.right_table, j.right_column);
+        key_refs.push_back({j.left_table, j.left_column, j.right_table,
+                            j.right_column});
       } else if (l_in_right && r_in_left) {
-        lc = left.FindColumn(j.right_table, j.right_column);
-        rc = right.FindColumn(j.left_table, j.left_column);
-      } else {
-        continue;
+        key_refs.push_back({j.right_table, j.right_column, j.left_table,
+                            j.left_column});
       }
-      if (lc < 0 || rc < 0) {
-        return Status::Internal("join key column missing from intermediate");
-      }
-      key_cols.emplace_back(lc, rc);
     }
-    if (key_cols.empty()) {
+    if (key_refs.empty()) {
       return Status::InvalidArgument(
           "plan joins disconnected components (cross product)");
     }
+
+    // Children must carry row ids for everything consumers above need plus
+    // this join's own key tables.
+    TableSet lkeep = keep & node.left->table_set;
+    TableSet rkeep = keep & node.right->table_set;
+    for (const KeyRef& k : key_refs) {
+      lkeep |= TableBit(k.ltab);
+      rkeep |= TableBit(k.rtab);
+    }
+    auto left_or = Evaluate(*node.left, lkeep);
+    if (!left_or.ok()) return left_or.status();
+    auto right_or = Evaluate(*node.right, rkeep);
+    if (!right_or.ok()) return right_or.status();
+    Chunk left = std::move(*left_or);
+    Chunk right = std::move(*right_or);
     LQO_CHECK_LT(right.num_rows, (1ULL << 32));
+
+    // Unified key access for every strategy: lkeys[k][row] is key k of left
+    // row `row`. Scalar mode points into the early-materialized chunk
+    // columns; vectorized mode gathers scratch key columns from base tables
+    // through the carried row ids (the only per-join materialization the
+    // late pipeline does).
+    std::vector<std::vector<int64_t>> lkey_store(key_refs.size());
+    std::vector<std::vector<int64_t>> rkey_store(key_refs.size());
+    std::vector<const int64_t*> lkeys;
+    std::vector<const int64_t*> rkeys;
+    if (vectorized_) {
+      for (size_t k = 0; k < key_refs.size(); ++k) {
+        Status s = GatherKeyColumn(left, key_refs[k].ltab, key_refs[k].lcol,
+                                   &lkey_store[k]);
+        if (!s.ok()) return s;
+        s = GatherKeyColumn(right, key_refs[k].rtab, key_refs[k].rcol,
+                            &rkey_store[k]);
+        if (!s.ok()) return s;
+        lkeys.push_back(lkey_store[k].data());
+        rkeys.push_back(rkey_store[k].data());
+      }
+    } else {
+      for (const KeyRef& k : key_refs) {
+        int lc = left.FindColumn(k.ltab, k.lcol);
+        int rc = right.FindColumn(k.rtab, k.rcol);
+        if (lc < 0 || rc < 0) {
+          return Status::Internal("join key column missing from intermediate");
+        }
+        lkeys.push_back(left.cols[static_cast<size_t>(lc)].data());
+        rkeys.push_back(right.cols[static_cast<size_t>(rc)].data());
+      }
+    }
+
+    // Which child row-id column feeds each kept table of the output.
+    std::vector<RowidSrc> rowid_plan;
+    if (vectorized_) {
+      for (int t = 0; t < query_.num_tables(); ++t) {
+        if (!ContainsTable(keep, t)) continue;
+        RowidSrc s;
+        s.table = t;
+        int li = left.FindRowids(t);
+        int ri = right.FindRowids(t);
+        if (li >= 0) {
+          s.from_left = true;
+          s.src_col = static_cast<size_t>(li);
+        } else if (ri >= 0) {
+          s.from_left = false;
+          s.src_col = static_cast<size_t>(ri);
+        } else {
+          return Status::Internal(
+              "row ids for kept table missing from join input");
+        }
+        rowid_plan.push_back(s);
+      }
+    }
 
     // Pick the physical strategy from the declared algorithm and the
     // input-size gates (see kMergeJoinMaxRows / kNljMaxPairs); cost
@@ -354,10 +587,11 @@ class PlanRunner {
                    left.num_rows <= kNljMaxPairs &&
                    right.num_rows <= kNljMaxPairs &&
                    left.num_rows * right.num_rows <= kNljMaxPairs;
-    JoinExecOut exec = run_merge ? ExecuteMergeJoin(left, right, key_cols)
-                       : run_nlj
-                           ? ExecuteNestedLoopJoin(left, right, key_cols)
-                           : ExecuteHashJoin(left, right, key_cols);
+    JoinExecOut exec =
+        run_merge ? ExecuteMergeJoin(left, right, lkeys, rkeys, rowid_plan)
+        : run_nlj ? ExecuteNestedLoopJoin(left, right, lkeys, rkeys,
+                                          rowid_plan)
+                  : ExecuteHashJoin(left, right, lkeys, rkeys, rowid_plan);
     Chunk out = std::move(exec.chunk);
 
     // Charge the node under its declared algorithm.
@@ -413,6 +647,8 @@ class PlanRunner {
     profile.build_seconds = exec.build_seconds;
     profile.probe_seconds = exec.probe_seconds;
     profile.concat_seconds = exec.concat_seconds;
+    profile.carried_columns = static_cast<uint64_t>(PopCount(keep));
+    profile.materialized_values = out.num_rows * profile.carried_columns;
     profiles_.push_back(profile);
     return out;
   }
@@ -432,12 +668,29 @@ class PlanRunner {
     double concat_seconds = 0.0;
   };
 
+  // Shared output-chunk scaffolding for the three strategies: scalar mode
+  // concatenates both sides' value-column schemas, vectorized mode lays out
+  // the kept row-id columns.
+  void InitJoinOut(const Chunk& left, const Chunk& right,
+                   const std::vector<RowidSrc>& rowid_plan, Chunk* out) const {
+    if (vectorized_) {
+      for (const RowidSrc& s : rowid_plan) out->rowid_tables.push_back(s.table);
+      out->rowids.resize(rowid_plan.size());
+      return;
+    }
+    out->col_keys = left.col_keys;
+    out->col_keys.insert(out->col_keys.end(), right.col_keys.begin(),
+                         right.col_keys.end());
+    out->cols.resize(left.cols.size() + right.cols.size());
+  }
+
   // Radix-partitioned open-addressing hash join — the workhorse strategy,
   // and the fallback that executes merge/NLJ-declared nodes whose inputs
   // exceed the real-path gates (same output multiset either way).
-  JoinExecOut ExecuteHashJoin(
-      const Chunk& left, const Chunk& right,
-      const std::vector<std::pair<int, int>>& key_cols) {
+  JoinExecOut ExecuteHashJoin(const Chunk& left, const Chunk& right,
+                              const std::vector<const int64_t*>& lkeys,
+                              const std::vector<const int64_t*>& rkeys,
+                              const std::vector<RowidSrc>& rowid_plan) {
     // Input-size gate: small joins run the identical code with a single
     // partition (which ParallelFor executes inline).
     size_t num_partitions =
@@ -446,26 +699,21 @@ class PlanRunner {
             : 1;
     const simd::KernelTable& kt = simd::Kernels();
 
-    auto key_hash = [&](const Chunk& side, bool use_left_col, size_t row) {
+    auto key_hash = [&](const std::vector<const int64_t*>& keys, size_t row) {
       uint64_t h = 0;
-      for (auto [lc, rc] : key_cols) {
-        int col = use_left_col ? lc : rc;
-        h = HashCombine(h, side.cols[static_cast<size_t>(col)][row]);
-      }
+      for (const int64_t* data : keys) h = HashCombine(h, data[row]);
       return FinalizeHash(h);
     };
     // Column-wise batched hash kernel: one dispatched N-lane combine pass
     // per key column over the morsel range, then one finalize pass. Per row
-    // it combines the key columns in the same key_cols order as key_hash,
-    // and the SIMD kernels are bit-identical to the scalar steps, so every
-    // hash value matches the row-at-a-time computation.
-    auto hash_range_columnwise = [&](const Chunk& side, bool use_left_col,
+    // it combines the key columns in the same order as key_hash, and the
+    // SIMD kernels are bit-identical to the scalar steps, so every hash
+    // value matches the row-at-a-time computation.
+    auto hash_range_columnwise = [&](const std::vector<const int64_t*>& keys,
                                      size_t begin, size_t end,
                                      uint64_t* hashes) {
       for (size_t r = begin; r < end; ++r) hashes[r] = 0;
-      for (auto [lc, rc] : key_cols) {
-        int col = use_left_col ? lc : rc;
-        const int64_t* data = side.cols[static_cast<size_t>(col)].data();
+      for (const int64_t* data : keys) {
         kt.hash_combine_column(hashes, data, begin, end);
       }
       kt.hash_finalize(hashes, begin, end);
@@ -478,12 +726,11 @@ class PlanRunner {
     ParallelFor(HashMorsels(right.num_rows), [&](size_t m) {
       auto [begin, end] = MorselRange(m, right.num_rows);
       if (vectorized_) {
-        hash_range_columnwise(right, /*use_left_col=*/false, begin, end,
-                              right_hashes.data());
+        hash_range_columnwise(rkeys, begin, end, right_hashes.data());
         return;
       }
       for (size_t r = begin; r < end; ++r) {
-        right_hashes[r] = key_hash(right, /*use_left_col=*/false, r);
+        right_hashes[r] = key_hash(rkeys, r);
       }
     });
     // Serial scatter in row order: partition row lists preserve build-side
@@ -525,12 +772,11 @@ class PlanRunner {
     ParallelFor(HashMorsels(left.num_rows), [&](size_t m) {
       auto [begin, end] = MorselRange(m, left.num_rows);
       if (vectorized_) {
-        hash_range_columnwise(left, /*use_left_col=*/true, begin, end,
-                              left_hashes.data());
+        hash_range_columnwise(lkeys, begin, end, left_hashes.data());
         return;
       }
       for (size_t l = begin; l < end; ++l) {
-        left_hashes[l] = key_hash(left, /*use_left_col=*/true, l);
+        left_hashes[l] = key_hash(lkeys, l);
       }
     });
     std::vector<std::vector<uint64_t>> probe_rows(num_partitions);
@@ -541,7 +787,8 @@ class PlanRunner {
     size_t left_width = left.cols.size();
     size_t out_width = left_width + right.cols.size();
     struct PartitionOut {
-      std::vector<std::vector<int64_t>> cols;
+      std::vector<std::vector<int64_t>> cols;        // scalar mode
+      std::vector<std::vector<uint32_t>> rowid_cols; // vectorized mode
       uint64_t num_rows = 0;
       uint64_t probe_collisions = 0;
     };
@@ -549,24 +796,27 @@ class PlanRunner {
     // its private table, emitting into an index-addressed slot.
     std::vector<PartitionOut> outs = ParallelMap(num_partitions, [&](size_t p) {
       PartitionOut out;
-      out.cols.resize(out_width);
       const JoinHashTable& table = tables[p];
       if (vectorized_) {
         // Batched probe: the slot walk (and its collision counting) is
         // identical to the scalar path, but surviving (l, r) pairs land in
-        // fixed-size match buffers and materialize in bulk per output
-        // column. Flush boundaries never reorder matches, so the output is
-        // bit-identical.
+        // fixed-size match buffers and resolve to *row-id* columns in bulk
+        // — the payload gather is deferred all the way to the sink. Flush
+        // boundaries never reorder matches, so the output is bit-identical.
+        out.rowid_cols.resize(rowid_plan.size());
         uint64_t match_l[kVecBatchRows];
         uint32_t match_r[kVecBatchRows];
         size_t n_match = 0;
         auto flush = [&] {
-          for (size_t c = 0; c < left_width; ++c) {
-            GatherAppend(left.cols[c].data(), match_l, n_match, &out.cols[c]);
-          }
-          for (size_t c = 0; c < right.cols.size(); ++c) {
-            GatherAppend(right.cols[c].data(), match_r, n_match,
-                         &out.cols[left_width + c]);
+          for (size_t c = 0; c < rowid_plan.size(); ++c) {
+            const RowidSrc& s = rowid_plan[c];
+            if (s.from_left) {
+              GatherAppend(left.rowids[s.src_col].data(), match_l, n_match,
+                           &out.rowid_cols[c]);
+            } else {
+              GatherAppend(right.rowids[s.src_col].data(), match_r, n_match,
+                           &out.rowid_cols[c]);
+            }
           }
           out.num_rows += n_match;
           n_match = 0;
@@ -582,9 +832,8 @@ class PlanRunner {
             }
             uint32_t r = table.rows[slot];
             bool match = true;
-            for (auto [lc, rc] : key_cols) {
-              if (left.cols[static_cast<size_t>(lc)][l] !=
-                  right.cols[static_cast<size_t>(rc)][r]) {
+            for (size_t k = 0; k < lkeys.size(); ++k) {
+              if (lkeys[k][l] != rkeys[k][r]) {
                 match = false;
                 break;
               }
@@ -600,6 +849,7 @@ class PlanRunner {
         flush();
         return out;
       }
+      out.cols.resize(out_width);
       for (uint64_t l : probe_rows[p]) {
         uint64_t h = left_hashes[l];
         size_t slot = static_cast<size_t>(h) & table.mask;
@@ -611,9 +861,8 @@ class PlanRunner {
           }
           uint32_t r = table.rows[slot];
           bool match = true;
-          for (auto [lc, rc] : key_cols) {
-            if (left.cols[static_cast<size_t>(lc)][l] !=
-                right.cols[static_cast<size_t>(rc)][r]) {
+          for (size_t k = 0; k < lkeys.size(); ++k) {
+            if (lkeys[k][l] != rkeys[k][r]) {
               match = false;
               break;
             }
@@ -640,22 +889,29 @@ class PlanRunner {
     auto concat_start = std::chrono::steady_clock::now();
     JoinExecOut exec;
     Chunk& out = exec.chunk;
-    out.col_keys = left.col_keys;
-    out.col_keys.insert(out.col_keys.end(), right.col_keys.begin(),
-                        right.col_keys.end());
-    out.cols.resize(out_width);
+    InitJoinOut(left, right, rowid_plan, &out);
     uint64_t probe_collisions = 0;
     for (const PartitionOut& p : outs) {
       out.num_rows += p.num_rows;
       probe_collisions += p.probe_collisions;
     }
-    ParallelFor(out_width, [&](size_t c) {
-      out.cols[c].reserve(static_cast<size_t>(out.num_rows));
-      for (const PartitionOut& p : outs) {
-        out.cols[c].insert(out.cols[c].end(), p.cols[c].begin(),
-                           p.cols[c].end());
-      }
-    });
+    if (vectorized_) {
+      ParallelFor(rowid_plan.size(), [&](size_t c) {
+        out.rowids[c].reserve(static_cast<size_t>(out.num_rows));
+        for (const PartitionOut& p : outs) {
+          out.rowids[c].insert(out.rowids[c].end(), p.rowid_cols[c].begin(),
+                               p.rowid_cols[c].end());
+        }
+      });
+    } else {
+      ParallelFor(out_width, [&](size_t c) {
+        out.cols[c].reserve(static_cast<size_t>(out.num_rows));
+        for (const PartitionOut& p : outs) {
+          out.cols[c].insert(out.cols[c].end(), p.cols[c].begin(),
+                             p.cols[c].end());
+        }
+      });
+    }
     exec.concat_seconds = WallSeconds(concat_start);
 
     exec.build_collisions = build_collisions;
@@ -676,13 +932,14 @@ class PlanRunner {
   // order, pairs in (left-run, right-run) row order. The scalar reference
   // finds run ends linearly and emits tuple at a time; the vectorized path
   // gallops to run ends (exponential probe + binary search) and emits
-  // through fixed-size match buffers into bulk gathers. Identical run
+  // row-id columns through fixed-size match buffers. Identical run
   // boundaries, identical emission order. The whole strategy is serial by
   // construction (the gate keeps inputs small), so thread count cannot
   // influence anything.
-  JoinExecOut ExecuteMergeJoin(
-      const Chunk& left, const Chunk& right,
-      const std::vector<std::pair<int, int>>& key_cols) {
+  JoinExecOut ExecuteMergeJoin(const Chunk& left, const Chunk& right,
+                               const std::vector<const int64_t*>& lkeys,
+                               const std::vector<const int64_t*>& rkeys,
+                               const std::vector<RowidSrc>& rowid_plan) {
     auto sort_start = std::chrono::steady_clock::now();
     JoinExecOut exec;
     size_t ln = static_cast<size_t>(left.num_rows);
@@ -692,17 +949,13 @@ class PlanRunner {
     for (size_t i = 0; i < ln; ++i) lorder[i] = static_cast<uint32_t>(i);
     for (size_t i = 0; i < rn; ++i) rorder[i] = static_cast<uint32_t>(i);
     std::sort(lorder.begin(), lorder.end(), [&](uint32_t a, uint32_t b) {
-      for (auto [lc, rc] : key_cols) {
-        (void)rc;
-        const std::vector<int64_t>& col = left.cols[static_cast<size_t>(lc)];
+      for (const int64_t* col : lkeys) {
         if (col[a] != col[b]) return col[a] < col[b];
       }
       return a < b;
     });
     std::sort(rorder.begin(), rorder.end(), [&](uint32_t a, uint32_t b) {
-      for (auto [lc, rc] : key_cols) {
-        (void)lc;
-        const std::vector<int64_t>& col = right.cols[static_cast<size_t>(rc)];
+      for (const int64_t* col : rkeys) {
         if (col[a] != col[b]) return col[a] < col[b];
       }
       return a < b;
@@ -711,33 +964,25 @@ class PlanRunner {
 
     auto merge_start = std::chrono::steady_clock::now();
     size_t left_width = left.cols.size();
-    size_t out_width = left_width + right.cols.size();
     Chunk& out = exec.chunk;
-    out.col_keys = left.col_keys;
-    out.col_keys.insert(out.col_keys.end(), right.col_keys.begin(),
-                        right.col_keys.end());
-    out.cols.resize(out_width);
+    InitJoinOut(left, right, rowid_plan, &out);
 
     auto compare_lr = [&](uint32_t l, uint32_t r) {
-      for (auto [lc, rc] : key_cols) {
-        int64_t lv = left.cols[static_cast<size_t>(lc)][l];
-        int64_t rv = right.cols[static_cast<size_t>(rc)][r];
+      for (size_t k = 0; k < lkeys.size(); ++k) {
+        int64_t lv = lkeys[k][l];
+        int64_t rv = rkeys[k][r];
         if (lv != rv) return lv < rv ? -1 : 1;
       }
       return 0;
     };
     auto equal_ll = [&](uint32_t a, uint32_t b) {
-      for (auto [lc, rc] : key_cols) {
-        (void)rc;
-        const std::vector<int64_t>& col = left.cols[static_cast<size_t>(lc)];
+      for (const int64_t* col : lkeys) {
         if (col[a] != col[b]) return false;
       }
       return true;
     };
     auto equal_rr = [&](uint32_t a, uint32_t b) {
-      for (auto [lc, rc] : key_cols) {
-        (void)lc;
-        const std::vector<int64_t>& col = right.cols[static_cast<size_t>(rc)];
+      for (const int64_t* col : rkeys) {
         if (col[a] != col[b]) return false;
       }
       return true;
@@ -772,12 +1017,15 @@ class PlanRunner {
       uint32_t match_r[kVecBatchRows];
       size_t n_match = 0;
       auto flush = [&] {
-        for (size_t c = 0; c < left_width; ++c) {
-          GatherAppend(left.cols[c].data(), match_l, n_match, &out.cols[c]);
-        }
-        for (size_t c = 0; c < right.cols.size(); ++c) {
-          GatherAppend(right.cols[c].data(), match_r, n_match,
-                       &out.cols[left_width + c]);
+        for (size_t c = 0; c < rowid_plan.size(); ++c) {
+          const RowidSrc& s = rowid_plan[c];
+          if (s.from_left) {
+            GatherAppend(left.rowids[s.src_col].data(), match_l, n_match,
+                         &out.rowids[c]);
+          } else {
+            GatherAppend(right.rowids[s.src_col].data(), match_r, n_match,
+                         &out.rowids[c]);
+          }
         }
         out.num_rows += n_match;
         n_match = 0;
@@ -855,36 +1103,35 @@ class PlanRunner {
   // (outer, inner) pair tuple at a time. Both emit pairs in (outer row,
   // inner row) order, serially — bit-identical output, no thread
   // sensitivity.
-  JoinExecOut ExecuteNestedLoopJoin(
-      const Chunk& left, const Chunk& right,
-      const std::vector<std::pair<int, int>>& key_cols) {
+  JoinExecOut ExecuteNestedLoopJoin(const Chunk& left, const Chunk& right,
+                                    const std::vector<const int64_t*>& lkeys,
+                                    const std::vector<const int64_t*>& rkeys,
+                                    const std::vector<RowidSrc>& rowid_plan) {
     auto probe_start = std::chrono::steady_clock::now();
     JoinExecOut exec;
     size_t ln = static_cast<size_t>(left.num_rows);
     uint32_t rn = static_cast<uint32_t>(right.num_rows);
     size_t left_width = left.cols.size();
-    size_t out_width = left_width + right.cols.size();
     Chunk& out = exec.chunk;
-    out.col_keys = left.col_keys;
-    out.col_keys.insert(out.col_keys.end(), right.col_keys.begin(),
-                        right.col_keys.end());
-    out.cols.resize(out_width);
+    InitJoinOut(left, right, rowid_plan, &out);
 
     if (vectorized_) {
-      const int64_t* right_key0 =
-          right.cols[static_cast<size_t>(key_cols[0].second)].data();
+      const int64_t* right_key0 = rkeys[0];
       SelVector sel_a;
       SelVector sel_b;
       uint32_t match_l[kVecBatchRows];
       uint32_t match_r[kVecBatchRows];
       size_t n_match = 0;
       auto flush = [&] {
-        for (size_t c = 0; c < left_width; ++c) {
-          GatherAppend(left.cols[c].data(), match_l, n_match, &out.cols[c]);
-        }
-        for (size_t c = 0; c < right.cols.size(); ++c) {
-          GatherAppend(right.cols[c].data(), match_r, n_match,
-                       &out.cols[left_width + c]);
+        for (size_t c = 0; c < rowid_plan.size(); ++c) {
+          const RowidSrc& s = rowid_plan[c];
+          if (s.from_left) {
+            GatherAppend(left.rowids[s.src_col].data(), match_l, n_match,
+                         &out.rowids[c]);
+          } else {
+            GatherAppend(right.rowids[s.src_col].data(), match_r, n_match,
+                         &out.rowids[c]);
+          }
         }
         out.num_rows += n_match;
         n_match = 0;
@@ -895,14 +1142,9 @@ class PlanRunner {
               std::min<size_t>(rn, batch + kVecBatchRows));
           uint32_t* cur = sel_a.row;
           uint32_t* next = sel_b.row;
-          size_t count = FilterEqDense(
-              right_key0, batch, e,
-              left.cols[static_cast<size_t>(key_cols[0].first)][l], cur);
-          for (size_t kc = 1; kc < key_cols.size() && count > 0; ++kc) {
-            count = FilterEqSel(
-                right.cols[static_cast<size_t>(key_cols[kc].second)].data(),
-                cur, count,
-                left.cols[static_cast<size_t>(key_cols[kc].first)][l], next);
+          size_t count = FilterEqDense(right_key0, batch, e, lkeys[0][l], cur);
+          for (size_t kc = 1; kc < lkeys.size() && count > 0; ++kc) {
+            count = FilterEqSel(rkeys[kc], cur, count, lkeys[kc][l], next);
             std::swap(cur, next);
           }
           for (size_t t = 0; t < count; ++t) {
@@ -918,9 +1160,8 @@ class PlanRunner {
       for (size_t l = 0; l < ln; ++l) {
         for (uint32_t r = 0; r < rn; ++r) {
           bool match = true;
-          for (auto [lc, rc] : key_cols) {
-            if (left.cols[static_cast<size_t>(lc)][l] !=
-                right.cols[static_cast<size_t>(rc)][r]) {
+          for (size_t k = 0; k < lkeys.size(); ++k) {
+            if (lkeys[k][l] != rkeys[k][r]) {
               match = false;
               break;
             }
@@ -940,6 +1181,425 @@ class PlanRunner {
     }
     exec.probe_seconds = WallSeconds(probe_start);
     return exec;
+  }
+
+  // ---- Output stage (projection / aggregation sink). ----
+  //
+  // The one place the vectorized pipeline finally touches base-table
+  // values: every select-list read gathers through the row-id columns the
+  // plan carried forward (run-detected bulk gathers / selection-vector agg
+  // kernels). The scalar reference reads the early-materialized chunk
+  // columns tuple at a time. Both emit bit-identical output columns.
+  Status ExecuteOutput(const Chunk& root, ExecutionResult* result) {
+    const std::vector<OutputExpr>& outputs = query_.outputs();
+    size_t n = static_cast<size_t>(root.num_rows);
+
+    // Distinct (table, column) pairs the stage reads, and each output's
+    // slot in that list (-1 for COUNT(*)).
+    std::vector<std::pair<int, std::string>> refs;
+    auto add_ref = [&](int t, const std::string& c) {
+      for (size_t i = 0; i < refs.size(); ++i) {
+        if (refs[i].first == t && refs[i].second == c) {
+          return static_cast<int>(i);
+        }
+      }
+      refs.emplace_back(t, c);
+      return static_cast<int>(refs.size() - 1);
+    };
+    int gk_ref = -1;
+    if (query_.has_group_by()) {
+      gk_ref = add_ref(query_.group_by_table(), query_.group_by_column());
+    }
+    std::vector<int> out_ref(outputs.size(), -1);
+    for (size_t o = 0; o < outputs.size(); ++o) {
+      if (outputs[o].ReferencesColumn()) {
+        out_ref[o] = add_ref(outputs[o].table_index, outputs[o].column);
+      }
+    }
+
+    // Resolve value access per referenced column: scalar mode points into
+    // the carried chunk columns; vectorized mode pairs the base column with
+    // the carried row-id vector (the deferred gather).
+    struct RefAccess {
+      const int64_t* chunk_col = nullptr;  // scalar
+      const int64_t* base = nullptr;       // vectorized
+      size_t base_rows = 0;
+      const uint32_t* ids = nullptr;
+    };
+    std::vector<RefAccess> ref_access(refs.size());
+    for (size_t i = 0; i < refs.size(); ++i) {
+      RefAccess& a = ref_access[i];
+      if (vectorized_) {
+        auto col_or = BaseColumn(refs[i].first, refs[i].second);
+        if (!col_or.ok()) return col_or.status();
+        a.base = (*col_or)->data.data();
+        a.base_rows = (*col_or)->data.size();
+        int ridx = root.FindRowids(refs[i].first);
+        if (ridx < 0) {
+          return Status::Internal("output row ids missing from intermediate");
+        }
+        a.ids = root.rowids[static_cast<size_t>(ridx)].data();
+      } else {
+        int idx = root.FindColumn(refs[i].first, refs[i].second);
+        if (idx < 0) {
+          return Status::Internal("output column missing from intermediate");
+        }
+        a.chunk_col = root.cols[static_cast<size_t>(idx)].data();
+      }
+    }
+
+    result->output_cols.assign(outputs.size(), {});
+    if (query_.has_group_by()) {
+      Status s = RunGroupBy(root, outputs, ref_access, out_ref, gk_ref, n,
+                            result);
+      if (!s.ok()) return s;
+    } else {
+      bool all_aggregate = true;
+      for (const OutputExpr& e : outputs) {
+        if (e.kind == OutputExpr::Kind::kColumn) all_aggregate = false;
+      }
+      if (all_aggregate) {
+        RunGlobalAggregates(root, outputs, ref_access, out_ref, n, result);
+      } else {
+        RunProjection(outputs, ref_access, out_ref, n, result);
+      }
+    }
+
+    // Charge the stage. Every term is structural (row counts × select-list
+    // shape), so scalar and vectorized runs charge identically.
+    size_t naggs = 0;
+    for (const OutputExpr& e : outputs) {
+      if (e.kind == OutputExpr::Kind::kAggregate) ++naggs;
+    }
+    double rows = static_cast<double>(n);
+    NodeProfile profile;
+    profile.kind = PlanNode::Kind::kOutput;
+    profile.table_index = -1;
+    profile.left_rows = n;
+    profile.output_rows = result->output_row_count;
+    profile.time_units =
+        rows * static_cast<double>(refs.size()) * constants_.materialize_value +
+        rows * static_cast<double>(naggs) * constants_.agg_update +
+        (query_.has_group_by() ? rows * constants_.group_probe : 0.0) +
+        static_cast<double>(result->output_row_count) *
+            static_cast<double>(outputs.size()) * constants_.materialize_value;
+    profile.carried_columns = refs.size();
+    profile.materialized_values =
+        result->output_row_count * static_cast<uint64_t>(outputs.size());
+    profile.groups =
+        query_.has_group_by() ? result->output_row_count : 0;
+    profiles_.push_back(profile);
+    return Status::Ok();
+  }
+
+  template <typename RefAccessT>
+  void RunGlobalAggregates(const Chunk& root,
+                           const std::vector<OutputExpr>& outputs,
+                           const std::vector<RefAccessT>& ref_access,
+                           const std::vector<int>& out_ref, size_t n,
+                           ExecutionResult* result) {
+    std::vector<AggAcc> accs(outputs.size());
+    if (vectorized_) {
+      const simd::AggKernelTable& ak = simd::AggKernels();
+      for (size_t o = 0; o < outputs.size(); ++o) {
+        const OutputExpr& e = outputs[o];
+        if (!e.ReferencesColumn() || e.func == AggFunc::kCount || n == 0) {
+          continue;
+        }
+        const RefAccessT& a = ref_access[static_cast<size_t>(out_ref[o])];
+        AggAcc& acc = accs[o];
+        // Scans emit ascending row ids, so a predicate-free (or prefix)
+        // selection is a dense range: fold it with the dense kernels, no
+        // gather at all. Anything else goes through the sel kernels.
+        bool dense = root.rowids_ascending &&
+                     static_cast<uint64_t>(a.ids[n - 1]) - a.ids[0] == n - 1;
+        if (dense) {
+          uint32_t row_begin = a.ids[0];
+          uint32_t row_end = a.ids[n - 1] + 1;
+          LQO_CHECK_LE(static_cast<size_t>(row_end), a.base_rows);
+          switch (e.func) {
+            case AggFunc::kSum:
+            case AggFunc::kAvg:
+              acc.sum = ak.sum_dense(a.base, row_begin, row_end);
+              break;
+            case AggFunc::kMin:
+              acc.mn = ak.min_dense(a.base, row_begin, row_end);
+              break;
+            case AggFunc::kMax:
+              acc.mx = ak.max_dense(a.base, row_begin, row_end);
+              break;
+            case AggFunc::kCount:
+              break;
+          }
+        } else {
+          switch (e.func) {
+            case AggFunc::kSum:
+            case AggFunc::kAvg:
+              acc.sum = ak.sum_sel(a.base, a.ids, n);
+              break;
+            case AggFunc::kMin:
+              acc.mn = ak.min_sel(a.base, a.ids, n);
+              break;
+            case AggFunc::kMax:
+              acc.mx = ak.max_sel(a.base, a.ids, n);
+              break;
+            case AggFunc::kCount:
+              break;
+          }
+        }
+      }
+    } else {
+      // Tuple-at-a-time reference: one pass over the carried columns.
+      for (size_t row = 0; row < n; ++row) {
+        for (size_t o = 0; o < outputs.size(); ++o) {
+          const OutputExpr& e = outputs[o];
+          if (!e.ReferencesColumn() || e.func == AggFunc::kCount) continue;
+          int64_t v =
+              ref_access[static_cast<size_t>(out_ref[o])].chunk_col[row];
+          AggAcc& a = accs[o];
+          switch (e.func) {
+            case AggFunc::kSum:
+            case AggFunc::kAvg:
+              a.sum += static_cast<uint64_t>(v);
+              break;
+            case AggFunc::kMin:
+              a.mn = v < a.mn ? v : a.mn;
+              break;
+            case AggFunc::kMax:
+              a.mx = v > a.mx ? v : a.mx;
+              break;
+            case AggFunc::kCount:
+              break;
+          }
+        }
+      }
+    }
+    // Shared finalize — the only place accumulator state becomes output, so
+    // path equality reduces to the kernel bit-equality contract.
+    for (size_t o = 0; o < outputs.size(); ++o) {
+      result->output_cols[o] = {FinalizeAgg(outputs[o].func, accs[o],
+                                            static_cast<uint64_t>(n))};
+    }
+    result->output_row_count = 1;
+  }
+
+  template <typename RefAccessT>
+  void RunProjection(const std::vector<OutputExpr>& outputs,
+                     const std::vector<RefAccessT>& ref_access,
+                     const std::vector<int>& out_ref, size_t n,
+                     ExecutionResult* result) {
+    for (size_t o = 0; o < outputs.size(); ++o) {
+      const RefAccessT& a = ref_access[static_cast<size_t>(out_ref[o])];
+      std::vector<int64_t>& col = result->output_cols[o];
+      if (vectorized_) {
+        col.reserve(n);
+        GatherAppendRuns(a.base, a.base_rows, a.ids, n, &col);
+      } else {
+        col.reserve(n);
+        for (size_t row = 0; row < n; ++row) {
+          // lint: hot-loop-growth-ok(scalar reference path, not the hot kernel)
+          col.push_back(a.chunk_col[row]);
+        }
+      }
+    }
+    result->output_row_count = n;
+  }
+
+  template <typename RefAccessT>
+  Status RunGroupBy(const Chunk& /*root*/,
+                    const std::vector<OutputExpr>& outputs,
+                    const std::vector<RefAccessT>& ref_access,
+                    const std::vector<int>& out_ref, int gk_ref, size_t n,
+                    ExecutionResult* result) {
+    // Both paths produce: group keys in first-seen row order, per-group row
+    // counts, and per-(output, group) accumulators.
+    std::vector<int64_t> gkeys;
+    std::vector<uint64_t> gcounts;
+    std::vector<std::vector<AggAcc>> gaccs(outputs.size());
+    const RefAccessT& gk = ref_access[static_cast<size_t>(gk_ref)];
+
+    if (vectorized_) {
+      // Map every row to a dense first-seen group id. Two key paths, both
+      // reproducing the scalar reference's first-seen insertion order
+      // bit-for-bit (the choice depends only on the key values, never on
+      // thread count, SIMD level or path):
+      //   - dense key domain (max-min fits a small direct table, measured
+      //     with the dispatched min/max kernels): one direct-indexed pass,
+      //     no hashing at all;
+      //   - general: gather the key column once (run-detected bulk copy),
+      //     hash it with the dispatched join-hash kernels, probe the
+      //     open-addressing GroupIndex.
+      std::vector<uint32_t> gids(n);
+      if (n > 0) {
+        const simd::AggKernelTable& ak = simd::AggKernels();
+        int64_t kmin = ak.min_sel(gk.base, gk.ids, n);
+        int64_t kmax = ak.max_sel(gk.base, gk.ids, n);
+        uint64_t domain =
+            static_cast<uint64_t>(kmax) - static_cast<uint64_t>(kmin);
+        // Direct-table cap: generous relative to the row count but bounded
+        // so the table stays cache-resident.
+        if (domain < 2 * static_cast<uint64_t>(n) + 1024 &&
+            domain < (1u << 20)) {
+          std::vector<uint32_t> slot(static_cast<size_t>(domain) + 1,
+                                     UINT32_MAX);
+          gkeys.reserve(std::min<size_t>(n, static_cast<size_t>(domain) + 1));
+          for (size_t i = 0; i < n; ++i) {
+            int64_t kv = gk.base[gk.ids[i]];
+            size_t s = static_cast<size_t>(static_cast<uint64_t>(kv) -
+                                           static_cast<uint64_t>(kmin));
+            uint32_t g = slot[s];
+            if (g == UINT32_MAX) {
+              g = static_cast<uint32_t>(gkeys.size());
+              slot[s] = g;
+              // lint: hot-loop-growth-ok(reserved above; grows once per new group)
+              gkeys.push_back(kv);
+            }
+            gids[i] = g;
+          }
+        } else {
+          std::vector<int64_t> keys;
+          keys.reserve(n);
+          GatherAppendRuns(gk.base, gk.base_rows, gk.ids, n, &keys);
+          std::vector<uint64_t> hashes(n);
+          const simd::KernelTable& kt = simd::Kernels();
+          ParallelFor(HashMorsels(n), [&](size_t m) {
+            auto [begin, end] = MorselRange(m, n);
+            for (size_t r = begin; r < end; ++r) hashes[r] = 0;
+            kt.hash_combine_column(hashes.data(), keys.data(), begin, end);
+            kt.hash_finalize(hashes.data(), begin, end);
+          });
+          simd::GroupIndex gindex;
+          gindex.MapBatch(keys.data(), hashes.data(), n, gids.data());
+          gkeys = gindex.group_keys();
+        }
+      }
+      gcounts.assign(gkeys.size(), 0);
+      for (size_t i = 0; i < n; ++i) ++gcounts[gids[i]];
+      // One scatter-accumulate pass per *distinct* referenced column,
+      // reading base values straight through the carried row ids (no
+      // intermediate gather) and folding every aggregate kind that reads
+      // the column in the same pass — SUM and AVG share the wrapping sum.
+      for (size_t r = 0; r < ref_access.size(); ++r) {
+        bool want_sum = false;
+        bool want_min = false;
+        bool want_max = false;
+        for (size_t o = 0; o < outputs.size(); ++o) {
+          const OutputExpr& e = outputs[o];
+          if (e.kind != OutputExpr::Kind::kAggregate ||
+              !e.ReferencesColumn() || e.func == AggFunc::kCount ||
+              out_ref[o] != static_cast<int>(r)) {
+            continue;
+          }
+          want_sum |= e.func == AggFunc::kSum || e.func == AggFunc::kAvg;
+          want_min |= e.func == AggFunc::kMin;
+          want_max |= e.func == AggFunc::kMax;
+        }
+        if (!want_sum && !want_min && !want_max) continue;
+        const RefAccessT& a = ref_access[r];
+        std::vector<AggAcc> acc(gkeys.size(), AggAcc{});
+        const int64_t* base = a.base;
+        const uint32_t* ids = a.ids;
+        for (size_t i = 0; i < n; ++i) {
+          int64_t v = base[ids[i]];
+          AggAcc& g = acc[gids[i]];
+          if (want_sum) g.sum += static_cast<uint64_t>(v);
+          if (want_min) g.mn = v < g.mn ? v : g.mn;
+          if (want_max) g.mx = v > g.mx ? v : g.mx;
+        }
+        for (size_t o = 0; o < outputs.size(); ++o) {
+          const OutputExpr& e = outputs[o];
+          if (e.kind == OutputExpr::Kind::kAggregate && e.ReferencesColumn() &&
+              e.func != AggFunc::kCount && out_ref[o] == static_cast<int>(r)) {
+            gaccs[o] = acc;
+          }
+        }
+      }
+    } else {
+      // Tuple-at-a-time reference: unordered_map lookups only (never
+      // iterated), first-seen dense group ids, per-row accumulator updates.
+      std::unordered_map<int64_t, uint32_t> gid_of;
+      const int64_t* keyv = gk.chunk_col;
+      for (size_t row = 0; row < n; ++row) {
+        int64_t kv = keyv[row];
+        auto [it, inserted] =
+            gid_of.try_emplace(kv, static_cast<uint32_t>(gkeys.size()));
+        uint32_t g = it->second;
+        if (inserted) {
+          // lint: hot-loop-growth-ok(scalar reference path: grows once per new group)
+          gkeys.push_back(kv);
+          // lint: hot-loop-growth-ok(scalar reference path: grows once per new group)
+          gcounts.push_back(0);
+          for (size_t o = 0; o < outputs.size(); ++o) {
+            // lint: hot-loop-growth-ok(scalar reference path: grows once per new group)
+            gaccs[o].push_back(AggAcc{});
+          }
+        }
+        ++gcounts[g];
+        for (size_t o = 0; o < outputs.size(); ++o) {
+          const OutputExpr& e = outputs[o];
+          if (e.kind != OutputExpr::Kind::kAggregate ||
+              !e.ReferencesColumn() || e.func == AggFunc::kCount) {
+            continue;
+          }
+          int64_t v =
+              ref_access[static_cast<size_t>(out_ref[o])].chunk_col[row];
+          AggAcc& a = gaccs[o][g];
+          switch (e.func) {
+            case AggFunc::kSum:
+            case AggFunc::kAvg:
+              a.sum += static_cast<uint64_t>(v);
+              break;
+            case AggFunc::kMin:
+              a.mn = v < a.mn ? v : a.mn;
+              break;
+            case AggFunc::kMax:
+              a.mx = v > a.mx ? v : a.mx;
+              break;
+            case AggFunc::kCount:
+              break;
+          }
+        }
+      }
+    }
+
+    // Shared emission in group-id (= first-seen) order.
+    size_t num_groups = gkeys.size();
+    for (size_t o = 0; o < outputs.size(); ++o) {
+      const OutputExpr& e = outputs[o];
+      std::vector<int64_t>& col = result->output_cols[o];
+      if (e.kind == OutputExpr::Kind::kColumn) {
+        col = gkeys;  // validated to be the GROUP BY key
+        continue;
+      }
+      col.resize(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) {
+        AggAcc acc = gaccs[o].empty() ? AggAcc{} : gaccs[o][g];
+        col[g] = FinalizeAgg(e.func, acc, gcounts[g]);
+      }
+    }
+    result->output_row_count = num_groups;
+    return Status::Ok();
+  }
+
+  // Converts accumulator state + row count to the emitted int64. Empty
+  // inputs (count == 0, global aggregates over zero qualifying rows) emit
+  // 0 for every function; AVG is the truncated integer quotient.
+  static int64_t FinalizeAgg(AggFunc func, const AggAcc& acc, uint64_t count) {
+    switch (func) {
+      case AggFunc::kCount:
+        return static_cast<int64_t>(count);
+      case AggFunc::kSum:
+        return static_cast<int64_t>(acc.sum);
+      case AggFunc::kAvg:
+        return count == 0 ? 0
+                          : static_cast<int64_t>(acc.sum) /
+                                static_cast<int64_t>(count);
+      case AggFunc::kMin:
+        return count == 0 ? 0 : acc.mn;
+      case AggFunc::kMax:
+        return count == 0 ? 0 : acc.mx;
+    }
+    return 0;
   }
 
   // Morsel geometry for the hash-computation loops: one morsel below the

@@ -38,15 +38,40 @@ struct NodeProfile {
   double build_seconds = 0.0;
   double probe_seconds = 0.0;
   double concat_seconds = 0.0;
+
+  /// Late-materialization accounting. Logical counters, defined by plan
+  /// structure and row counts alone (like time_units), so they are
+  /// bit-identical across scalar/vectorized paths, SIMD levels and thread
+  /// counts: carried_columns is the number of per-table row-id columns the
+  /// late-materialized pipeline carries out of this node (0 at a COUNT(*)
+  /// root — nothing is ever materialized); materialized_values is
+  /// output_rows * carried_columns for scans/joins, and emitted output
+  /// values (output rows * select-list width) for the output stage.
+  uint64_t carried_columns = 0;
+  uint64_t materialized_values = 0;
+  /// Output stage under GROUP BY: number of groups (0 otherwise).
+  uint64_t groups = 0;
 };
 
-/// Result of executing a COUNT(*) plan.
+/// Result of executing a plan.
 struct ExecutionResult {
+  /// Qualifying rows entering the output stage — the COUNT(*) answer. This
+  /// keeps its meaning for every query; projection/aggregation never change
+  /// the qualifying-row semantics estimators and optimizers consume.
   uint64_t row_count = 0;
+  /// Output-stage result for queries with a select list
+  /// (Query::HasOutputStage()): output_cols[i] is the column of SELECT item
+  /// i, all of length output_row_count (1 for global aggregates, the group
+  /// count under GROUP BY, row_count for pure projection). Both stay
+  /// empty/zero for legacy COUNT(*) queries.
+  uint64_t output_row_count = 0;
+  std::vector<std::vector<int64_t>> output_cols;
   /// Deterministic simulated latency: sum of per-node work charged under
   /// the full CostConstants schedule (including skew/cache/spill effects).
   double time_units = 0.0;
-  /// Bottom-up per-node profiles (children before parents).
+  /// Bottom-up per-node profiles (children before parents), plus one
+  /// trailing PlanNode::Kind::kOutput profile for the output stage when the
+  /// query declares one.
   std::vector<NodeProfile> node_profiles;
 };
 

@@ -17,9 +17,11 @@ enum class JoinAlgorithm { kHashJoin, kNestedLoopJoin, kMergeJoin };
 const char* JoinAlgorithmName(JoinAlgorithm algorithm);
 
 /// A node in a physical plan tree: either a (filtered) table scan or a
-/// binary join of two subplans.
+/// binary join of two subplans. kOutput never appears in a plan tree — it
+/// tags the implicit output-stage profile the executor appends after the
+/// root for queries with a select list (see NodeProfile).
 struct PlanNode {
-  enum class Kind { kScan, kJoin };
+  enum class Kind { kScan, kJoin, kOutput };
 
   Kind kind = Kind::kScan;
 

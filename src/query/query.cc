@@ -30,6 +30,57 @@ void Query::AddPredicate(Predicate predicate) {
   predicates_.push_back(std::move(predicate));
 }
 
+void Query::AddOutput(OutputExpr output) {
+  if (output.ReferencesColumn()) {
+    LQO_CHECK_LT(output.table_index, num_tables());
+    LQO_CHECK(!output.column.empty());
+  } else {
+    // Only COUNT(*) reads no column.
+    LQO_CHECK(output.kind == OutputExpr::Kind::kAggregate);
+    LQO_CHECK(output.func == AggFunc::kCount);
+  }
+  outputs_.push_back(std::move(output));
+}
+
+void Query::SetGroupBy(int table_index, std::string column) {
+  LQO_CHECK_GE(table_index, 0);
+  LQO_CHECK_LT(table_index, num_tables());
+  LQO_CHECK(!column.empty());
+  has_group_by_ = true;
+  group_by_table_ = table_index;
+  group_by_column_ = std::move(column);
+}
+
+std::vector<std::string> Query::OutputColumnsOf(int table_index) const {
+  std::vector<std::string> cols;
+  auto add = [&](const std::string& c) {
+    if (std::find(cols.begin(), cols.end(), c) == cols.end()) {
+      cols.push_back(c);
+    }
+  };
+  if (has_group_by_ && group_by_table_ == table_index) add(group_by_column_);
+  for (const OutputExpr& o : outputs_) {
+    if (o.ReferencesColumn() && o.table_index == table_index) add(o.column);
+  }
+  return cols;
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
 TableSet Query::AllTables() const {
   if (tables_.empty()) return 0;
   if (tables_.size() == 64) return ~TableSet{0};
@@ -90,7 +141,26 @@ bool Query::IsConnected(TableSet set) const {
 
 std::string Query::ToString() const {
   std::ostringstream out;
-  out << "SELECT COUNT(*) FROM ";
+  out << "SELECT ";
+  if (outputs_.empty()) {
+    out << "COUNT(*)";
+  } else {
+    for (size_t i = 0; i < outputs_.size(); ++i) {
+      if (i > 0) out << ", ";
+      const OutputExpr& o = outputs_[i];
+      if (o.kind == OutputExpr::Kind::kColumn) {
+        out << tables_[static_cast<size_t>(o.table_index)].alias << "."
+            << o.column;
+      } else if (!o.ReferencesColumn()) {
+        out << "COUNT(*)";
+      } else {
+        out << AggFuncName(o.func) << "("
+            << tables_[static_cast<size_t>(o.table_index)].alias << "."
+            << o.column << ")";
+      }
+    }
+  }
+  out << " FROM ";
   for (size_t i = 0; i < tables_.size(); ++i) {
     if (i > 0) out << ", ";
     out << tables_[i].table_name << " " << tables_[i].alias;
@@ -128,6 +198,11 @@ std::string Query::ToString() const {
         break;
       }
     }
+  }
+  if (has_group_by_) {
+    out << " GROUP BY "
+        << tables_[static_cast<size_t>(group_by_table_)].alias << "."
+        << group_by_column_;
   }
   return out.str();
 }

@@ -39,9 +39,43 @@ struct QueryJoin {
   }
 };
 
-/// A select-project-join COUNT(*) query: the unit of work throughout the
-/// library, matching the query class used by the cardinality-estimation and
-/// learned-optimizer literature the paper surveys.
+/// Aggregate functions of the output stage (int64 columns; AVG is the
+/// truncated integer quotient SUM/COUNT).
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFuncName(AggFunc func);
+
+/// One SELECT-list item: either a bare column reference (projection) or an
+/// aggregate over a column. COUNT(*) is the aggregate form with no column
+/// (table_index == -1).
+struct OutputExpr {
+  enum class Kind { kColumn, kAggregate };
+
+  Kind kind = Kind::kAggregate;
+  AggFunc func = AggFunc::kCount;  // meaningful for kAggregate only.
+  int table_index = -1;            // -1 only for COUNT(*).
+  std::string column;              // empty only for COUNT(*).
+
+  static OutputExpr CountStar() { return OutputExpr{}; }
+  static OutputExpr Column(int table_index, std::string column) {
+    return {Kind::kColumn, AggFunc::kCount, table_index, std::move(column)};
+  }
+  static OutputExpr Aggregate(AggFunc func, int table_index,
+                              std::string column) {
+    return {Kind::kAggregate, func, table_index, std::move(column)};
+  }
+
+  /// True when the expression reads a column (everything but COUNT(*)).
+  bool ReferencesColumn() const { return table_index >= 0; }
+};
+
+/// A select-project-join query: the unit of work throughout the library,
+/// matching the query class used by the cardinality-estimation and
+/// learned-optimizer literature the paper surveys. The select list defaults
+/// to the literature's COUNT(*) (an empty `outputs()`); adding OutputExprs
+/// and an optional single GROUP BY key turns on the engine's
+/// late-materialization output stage without changing the qualifying-row
+/// semantics any estimator or optimizer depends on.
 class Query {
  public:
   Query() = default;
@@ -53,9 +87,29 @@ class Query {
                int right_table, const std::string& right_column);
   void AddPredicate(Predicate predicate);
 
+  /// Appends a SELECT-list item. An empty select list means the legacy
+  /// SELECT COUNT(*) — callers that never touch outputs see no change.
+  void AddOutput(OutputExpr output);
+
+  /// Sets the (single) GROUP BY key. Aggregate outputs then aggregate per
+  /// key; kColumn outputs must reference this column.
+  void SetGroupBy(int table_index, std::string column);
+
   const std::vector<QueryTable>& tables() const { return tables_; }
   const std::vector<QueryJoin>& joins() const { return joins_; }
   const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::vector<OutputExpr>& outputs() const { return outputs_; }
+  bool has_group_by() const { return has_group_by_; }
+  int group_by_table() const { return group_by_table_; }
+  const std::string& group_by_column() const { return group_by_column_; }
+
+  /// True when the query declares an explicit output stage (non-empty
+  /// select list); false for legacy COUNT(*) queries.
+  bool HasOutputStage() const { return !outputs_.empty(); }
+
+  /// Distinct columns of `table_index` the output stage reads (select list
+  /// plus GROUP BY key), in first-reference order.
+  std::vector<std::string> OutputColumnsOf(int table_index) const;
 
   int num_tables() const { return static_cast<int>(tables_.size()); }
 
@@ -82,6 +136,10 @@ class Query {
   std::vector<QueryTable> tables_;
   std::vector<QueryJoin> joins_;
   std::vector<Predicate> predicates_;
+  std::vector<OutputExpr> outputs_;
+  bool has_group_by_ = false;
+  int group_by_table_ = -1;
+  std::string group_by_column_;
 };
 
 /// A view of a query restricted to a connected subset of its tables — the

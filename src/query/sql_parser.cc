@@ -100,12 +100,12 @@ class Parser {
 
   StatusOr<Query> Parse() {
     LQO_RETURN_IF_ERROR(ExpectKeyword("select"));
-    LQO_RETURN_IF_ERROR(ExpectKeyword("count"));
-    LQO_RETURN_IF_ERROR(ExpectSymbol("("));
-    LQO_RETURN_IF_ERROR(ExpectSymbol("*"));
-    LQO_RETURN_IF_ERROR(ExpectSymbol(")"));
+    // Select-list items are collected as raw tokens here — aliases are not
+    // known until the FROM list is parsed — and resolved right after it.
+    LQO_RETURN_IF_ERROR(ParseSelectList());
     LQO_RETURN_IF_ERROR(ExpectKeyword("from"));
     LQO_RETURN_IF_ERROR(ParseFromList());
+    LQO_RETURN_IF_ERROR(ResolveSelectList());
     if (IsKeyword(Peek(), "where")) {
       Advance();
       LQO_RETURN_IF_ERROR(ParseCondition());
@@ -113,6 +113,18 @@ class Parser {
         Advance();
         LQO_RETURN_IF_ERROR(ParseCondition());
       }
+    }
+    if (IsKeyword(Peek(), "group")) {
+      Advance();
+      LQO_RETURN_IF_ERROR(ExpectKeyword("by"));
+      auto key_or = ParseColumnRef();
+      if (!key_or.ok()) return key_or.status();
+      // GROUP BY turns a bare COUNT(*) select list into an explicit
+      // per-group output stage.
+      if (!query_.HasOutputStage()) {
+        query_.AddOutput(OutputExpr::CountStar());
+      }
+      query_.SetGroupBy(key_or->table_index, key_or->column);
     }
     if (Peek().kind == TokenKind::kSymbol && Peek().text == ";") Advance();
     if (Peek().kind != TokenKind::kEnd) {
@@ -155,6 +167,107 @@ class Parser {
     return Status::Ok();
   }
 
+  /// One select-list item captured as raw tokens; aliases are resolved
+  /// against the FROM list after it has been parsed.
+  struct RawSelectItem {
+    bool count_star = false;
+    bool is_aggregate = false;
+    AggFunc func = AggFunc::kCount;
+    std::string alias;
+    std::string column;
+  };
+
+  static bool AggFuncFromName(const std::string& name, AggFunc* out) {
+    if (name == "count") { *out = AggFunc::kCount; return true; }
+    if (name == "sum") { *out = AggFunc::kSum; return true; }
+    if (name == "min") { *out = AggFunc::kMin; return true; }
+    if (name == "max") { *out = AggFunc::kMax; return true; }
+    if (name == "avg") { *out = AggFunc::kAvg; return true; }
+    return false;
+  }
+
+  Status ParseRawColumn(std::string* alias, std::string* column) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected alias.column in select list");
+    }
+    *alias = Peek().text;
+    Advance();
+    LQO_RETURN_IF_ERROR(ExpectSymbol("."));
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected column after '" + *alias +
+                                     ".'");
+    }
+    *column = Peek().text;
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ParseSelectList() {
+    while (true) {
+      RawSelectItem item;
+      AggFunc func = AggFunc::kCount;
+      if (IsKeyword(Peek(), "count") && Peek(1).kind == TokenKind::kSymbol &&
+          Peek(1).text == "(" && Peek(2).kind == TokenKind::kSymbol &&
+          Peek(2).text == "*") {
+        Advance();  // count
+        Advance();  // (
+        Advance();  // *
+        LQO_RETURN_IF_ERROR(ExpectSymbol(")"));
+        item.count_star = true;
+      } else if (Peek().kind == TokenKind::kIdent &&
+                 AggFuncFromName(AsciiLower(Peek().text), &func) &&
+                 Peek(1).kind == TokenKind::kSymbol && Peek(1).text == "(") {
+        Advance();
+        LQO_RETURN_IF_ERROR(ExpectSymbol("("));
+        LQO_RETURN_IF_ERROR(ParseRawColumn(&item.alias, &item.column));
+        LQO_RETURN_IF_ERROR(ExpectSymbol(")"));
+        item.is_aggregate = true;
+        item.func = func;
+      } else {
+        LQO_RETURN_IF_ERROR(ParseRawColumn(&item.alias, &item.column));
+      }
+      select_items_.push_back(std::move(item));
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      return Status::Ok();
+    }
+  }
+
+  /// Resolves the buffered select list. A list of exactly one bare COUNT(*)
+  /// stays the legacy cardinality-only query (empty outputs) so every
+  /// existing caller parses to a byte-identical Query; GROUP BY later
+  /// promotes it to an explicit output stage.
+  Status ResolveSelectList() {
+    if (select_items_.size() == 1 && select_items_[0].count_star) {
+      return Status::Ok();
+    }
+    for (const RawSelectItem& item : select_items_) {
+      if (item.count_star) {
+        query_.AddOutput(OutputExpr::CountStar());
+        continue;
+      }
+      auto it = alias_to_index_.find(item.alias);
+      if (it == alias_to_index_.end()) {
+        return Status::NotFound("unknown alias '" + item.alias +
+                                "' in select list");
+      }
+      const Table& table = *TableOf(it->second);
+      if (!table.HasColumn(item.column)) {
+        return Status::NotFound("no column '" + item.column + "' in '" +
+                                table.name() + "'");
+      }
+      if (item.is_aggregate) {
+        query_.AddOutput(
+            OutputExpr::Aggregate(item.func, it->second, item.column));
+      } else {
+        query_.AddOutput(OutputExpr::Column(it->second, item.column));
+      }
+    }
+    return Status::Ok();
+  }
+
   Status ParseFromList() {
     while (true) {
       if (Peek().kind != TokenKind::kIdent) {
@@ -166,7 +279,8 @@ class Parser {
         return Status::NotFound("unknown table '" + table + "'");
       }
       std::string alias = table;
-      if (Peek().kind == TokenKind::kIdent && !IsKeyword(Peek(), "where")) {
+      if (Peek().kind == TokenKind::kIdent && !IsKeyword(Peek(), "where") &&
+          !IsKeyword(Peek(), "group")) {
         alias = Peek().text;
         Advance();
       }
@@ -335,6 +449,7 @@ class Parser {
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   Query query_;
+  std::vector<RawSelectItem> select_items_;
   std::map<std::string, int> alias_to_index_;
 };
 

@@ -69,6 +69,60 @@ Predicate MakePredicateOn(const Table& table, const std::string& column_name,
   return Predicate::Range(table_index, column_name, lo, hi);
 }
 
+// Attaches a random output stage to `query`. Candidate columns are the same
+// non-join, non-surrogate columns the predicate sampler uses, across every
+// chosen table. Only called when an output stage was decided, so all RNG
+// draws here are behind the output_stage_prob gate.
+void AddRandomOutputs(const Catalog& catalog,
+                      const std::vector<std::string>& chosen,
+                      std::map<std::string, int>& index_of,
+                      const WorkloadOptions& options, Rng& rng, Query* query) {
+  std::vector<std::pair<int, std::string>> candidates;
+  for (const std::string& table : chosen) {
+    for (const std::string& col : PredicateColumns(catalog, table)) {
+      candidates.emplace_back(index_of[table], col);
+    }
+  }
+  if (candidates.empty()) {
+    // Degenerate schema (all columns are join keys): explicit COUNT(*).
+    query->AddOutput(OutputExpr::CountStar());
+    return;
+  }
+  auto pick = [&]() -> const std::pair<int, std::string>& {
+    return candidates[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+  };
+  static constexpr AggFunc kFuncs[] = {AggFunc::kCount, AggFunc::kSum,
+                                       AggFunc::kMin, AggFunc::kMax,
+                                       AggFunc::kAvg};
+  int items = static_cast<int>(
+      rng.UniformInt(1, std::max(1, options.max_output_items)));
+  if (rng.Bernoulli(options.group_by_prob)) {
+    // Grouped aggregation: key column first, then aggregates per group.
+    const auto& key = pick();
+    query->AddOutput(OutputExpr::Column(key.first, key.second));
+    for (int i = 0; i < items; ++i) {
+      const auto& c = pick();
+      AggFunc func = kFuncs[static_cast<size_t>(rng.UniformInt(0, 4))];
+      query->AddOutput(OutputExpr::Aggregate(func, c.first, c.second));
+    }
+    query->SetGroupBy(key.first, key.second);
+  } else if (rng.Bernoulli(0.5)) {
+    // Global aggregates over the qualifying rows.
+    for (int i = 0; i < items; ++i) {
+      const auto& c = pick();
+      AggFunc func = kFuncs[static_cast<size_t>(rng.UniformInt(0, 4))];
+      query->AddOutput(OutputExpr::Aggregate(func, c.first, c.second));
+    }
+  } else {
+    // Bare projection of qualifying rows.
+    for (int i = 0; i < items; ++i) {
+      const auto& c = pick();
+      query->AddOutput(OutputExpr::Column(c.first, c.second));
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> PredicateColumns(const Catalog& catalog,
@@ -92,6 +146,12 @@ Query ResampleConstants(const Catalog& catalog, const Query& query, Rng& rng,
   }
   for (const QueryJoin& j : query.joins()) {
     out.AddJoin(j.left_table, j.left_column, j.right_table, j.right_column);
+  }
+  // The output stage is structure, not a constant: copy it through verbatim
+  // so the resampled binding has the same type (and output shape).
+  for (const OutputExpr& o : query.outputs()) out.AddOutput(o);
+  if (query.has_group_by()) {
+    out.SetGroupBy(query.group_by_table(), query.group_by_column());
   }
   for (const Predicate& p : query.predicates()) {
     const Table& table =
@@ -218,6 +278,14 @@ Workload GenerateWorkload(const Catalog& catalog,
             MakePredicateOn(t, cols[static_cast<size_t>(i)],
                             index_of[table], options, rng));
       }
+    }
+
+    // Output stage. The gate on output_stage_prob > 0 (not just the
+    // Bernoulli draw) keeps the default configuration's RNG stream — and
+    // therefore every seeded legacy workload — byte-identical.
+    if (options.output_stage_prob > 0.0 &&
+        rng.Bernoulli(options.output_stage_prob)) {
+      AddRandomOutputs(catalog, chosen, index_of, options, rng, &query);
     }
 
     workload.queries.push_back(std::move(query));

@@ -26,6 +26,17 @@ struct WorkloadOptions {
   /// Probability of including each induced (non-spanning-tree) join edge,
   /// producing cyclic join graphs as in JOB.
   double extra_edge_prob = 0.5;
+  /// Probability a query gets an explicit output stage (projection, global
+  /// aggregates, or grouped aggregation) instead of the legacy COUNT(*).
+  /// The default 0 draws *zero* extra RNG values, so seeded workloads stay
+  /// byte-identical to those generated before output stages existed.
+  double output_stage_prob = 0.0;
+  /// Given an output stage: probability it is a grouped aggregation (GROUP
+  /// BY key column + aggregates) rather than a projection / global-agg list.
+  double group_by_prob = 0.5;
+  /// Output-stage item count is uniform in [1, max_output_items] (aggregates
+  /// for aggregation shapes, bare columns for projections).
+  int max_output_items = 3;
 };
 
 /// A generated batch of queries over one catalog.

@@ -77,7 +77,33 @@ uint64_t QueryTypeHash(const Query& query) {
         MixHash(static_cast<uint64_t>(j.right_table) + 0x2eu) ^ kFnvOffset);
     joins_hash += MixHash((a ^ b) + MixHash(a + b));
   }
-  return MixHash(tables_hash ^ MixHash(joins_hash + 0x85ebca6bu));
+  uint64_t h = MixHash(tables_hash ^ MixHash(joins_hash + 0x85ebca6bu));
+
+  // Output shape. Legacy COUNT(*) queries (empty select list) fold nothing,
+  // so their hashes are unchanged from before output stages existed. The
+  // select list folds *sequentially*: item order is the order of
+  // ExecutionResult::output_cols, so it is part of the type.
+  if (query.HasOutputStage()) {
+    uint64_t out_hash = kFnvOffset;
+    for (const OutputExpr& o : query.outputs()) {
+      uint64_t e = HashBytes(o.column, kFnvOffset);
+      e = MixHash(e ^ (static_cast<uint64_t>(o.kind) * 0x9e3779b9ull) ^
+                  MixHash(static_cast<uint64_t>(o.func) + 0x7f4a7c15ull) ^
+                  (static_cast<uint64_t>(
+                       static_cast<int64_t>(o.table_index)) +
+                   0x165667b1ull));
+      out_hash = MixHash(out_hash ^ e);
+    }
+    if (query.has_group_by()) {
+      uint64_t g = HashBytes(
+          query.group_by_column(),
+          MixHash(static_cast<uint64_t>(query.group_by_table()) + 0x2eu) ^
+              kFnvOffset);
+      out_hash = MixHash(out_hash ^ MixHash(g + 0xd6e8feb8u));
+    }
+    h = MixHash(h ^ MixHash(out_hash + 0x27d4eb2fu));
+  }
+  return h;
 }
 
 std::string QueryTypeKey(const Query& query) {
@@ -107,6 +133,30 @@ std::string QueryTypeKey(const Query& query) {
 
   key += "/";
   for (const std::string& p : join_parts) key += p + "|";
+
+  // Output shape, in select-list order (order is part of the type — it is
+  // the order of ExecutionResult::output_cols). Legacy COUNT(*) queries
+  // append nothing, keeping their keys unchanged.
+  if (query.HasOutputStage()) {
+    key += ">";
+    for (const OutputExpr& o : query.outputs()) {
+      if (!o.ReferencesColumn()) {
+        key += "COUNT(*)";
+      } else {
+        std::string c = "#" + std::to_string(o.table_index) + "." + o.column;
+        if (o.kind == OutputExpr::Kind::kColumn) {
+          key += c;
+        } else {
+          key += std::string(AggFuncName(o.func)) + "(" + c + ")";
+        }
+      }
+      key += ";";
+    }
+    if (query.has_group_by()) {
+      key += "@#" + std::to_string(query.group_by_table()) + "." +
+             query.group_by_column();
+    }
+  }
   return key;
 }
 

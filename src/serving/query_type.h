@@ -25,6 +25,12 @@ namespace lqo {
 /// and hashes differently. This is the key of the serving-layer plan cache:
 /// one plan optimized for a type is rebound to every later parameter
 /// binding of it, and any same-type query must be a sound binding target.
+///
+/// The output stage is structure too: the select list folds sequentially
+/// (item order is the order of ExecutionResult::output_cols) along with the
+/// optional GROUP BY key, so queries with different output shapes type
+/// differently. Legacy COUNT(*) queries (empty select list) fold nothing and
+/// keep the hashes they had before output stages existed.
 uint64_t QueryTypeHash(const Query& query);
 
 /// Human-readable canonical rendering of the type with constants replaced by

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "engine/agg_kernels.h"
 #include "engine/executor.h"
 #include "engine/filter_kernels.h"
 #include "engine/simd.h"
@@ -270,6 +271,11 @@ void ExpectResultsBitIdentical(const ExecutionResult& a,
                                const ExecutionResult& b) {
   EXPECT_EQ(a.row_count, b.row_count);
   EXPECT_EQ(a.time_units, b.time_units);
+  EXPECT_EQ(a.output_row_count, b.output_row_count);
+  ASSERT_EQ(a.output_cols.size(), b.output_cols.size());
+  for (size_t c = 0; c < a.output_cols.size(); ++c) {
+    EXPECT_EQ(a.output_cols[c], b.output_cols[c]) << "output col " << c;
+  }
   ASSERT_EQ(a.node_profiles.size(), b.node_profiles.size());
   for (size_t i = 0; i < a.node_profiles.size(); ++i) {
     const NodeProfile& p = a.node_profiles[i];
@@ -284,6 +290,9 @@ void ExpectResultsBitIdentical(const ExecutionResult& a,
     EXPECT_EQ(p.build_collisions, q.build_collisions) << "node " << i;
     EXPECT_EQ(p.probe_collisions, q.probe_collisions) << "node " << i;
     EXPECT_EQ(p.partitions, q.partitions) << "node " << i;
+    EXPECT_EQ(p.carried_columns, q.carried_columns) << "node " << i;
+    EXPECT_EQ(p.materialized_values, q.materialized_values) << "node " << i;
+    EXPECT_EQ(p.groups, q.groups) << "node " << i;
   }
 }
 
@@ -733,6 +742,421 @@ TEST(VectorizedExecutorTest, EnvEscapeHatchControlsDefault) {
   EXPECT_TRUE(vectorized_default.vectorized());
   vectorized_default.set_vectorized(false);
   EXPECT_FALSE(vectorized_default.vectorized());
+}
+
+// --- Late-materialization output stage: aggregation kernels, projection,
+// grouped aggregation (DESIGN.md "Late materialization & output pipeline").
+
+// Every supported level's aggregation kernels must equal the scalar
+// reference bit-for-bit at lane-width boundary sizes, through selections,
+// and on wrapping-overflow sums.
+TEST(AggregateKernelTest, AllLevelsMatchScalarAtBoundarySizes) {
+  const simd::AggKernelTable& ref = simd::AggKernelsFor(simd::Level::kScalar);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{5},
+                   size_t{7}, size_t{8}, size_t{9}, size_t{1023},
+                   size_t{1024}, size_t{1025}, size_t{8193}}) {
+    std::vector<int64_t> col(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Mixed signs, and huge values so multi-element sums wrap uint64.
+      col[i] = static_cast<int64_t>((i * 31 + 7) % 97) - 48;
+      if (i % 11 == 0) col[i] = INT64_MAX - static_cast<int64_t>(i);
+    }
+    std::vector<uint32_t> third;
+    for (uint32_t r = 0; r < n; r += 3) third.push_back(r);
+    std::vector<uint32_t> full(n);
+    for (uint32_t r = 0; r < n; ++r) full[r] = r;
+    uint32_t un = static_cast<uint32_t>(n);
+    uint32_t mid = un / 3;  // sub-range with unaligned begin
+    for (simd::Level level : simd::SupportedLevels()) {
+      if (level == simd::Level::kScalar) continue;
+      const simd::AggKernelTable& kt = simd::AggKernelsFor(level);
+      SCOPED_TRACE(std::string("level=") + simd::LevelName(level) +
+                   " n=" + std::to_string(n));
+      EXPECT_EQ(ref.sum_dense(col.data(), 0, un),
+                kt.sum_dense(col.data(), 0, un));
+      EXPECT_EQ(ref.sum_dense(col.data(), mid, un),
+                kt.sum_dense(col.data(), mid, un));
+      EXPECT_EQ(ref.min_dense(col.data(), 0, un),
+                kt.min_dense(col.data(), 0, un));
+      EXPECT_EQ(ref.max_dense(col.data(), 0, un),
+                kt.max_dense(col.data(), 0, un));
+      for (const std::vector<uint32_t>* sel : {&third, &full}) {
+        EXPECT_EQ(ref.sum_sel(col.data(), sel->data(), sel->size()),
+                  kt.sum_sel(col.data(), sel->data(), sel->size()));
+        EXPECT_EQ(ref.min_sel(col.data(), sel->data(), sel->size()),
+                  kt.min_sel(col.data(), sel->data(), sel->size()));
+        EXPECT_EQ(ref.max_sel(col.data(), sel->data(), sel->size()),
+                  kt.max_sel(col.data(), sel->data(), sel->size()));
+      }
+      // Empty inputs return the fold identities at every level.
+      EXPECT_EQ(kt.sum_dense(col.data(), un, un), 0u);
+      EXPECT_EQ(kt.min_sel(col.data(), full.data(), 0), INT64_MAX);
+      EXPECT_EQ(kt.max_sel(col.data(), full.data(), 0), INT64_MIN);
+    }
+  }
+}
+
+TEST(GroupIndexTest, AssignsFirstSeenOrderIdsAcrossGrowth) {
+  // 10k keys over 600 distinct values forces several doublings past the
+  // initial capacity; ids must stay dense and first-seen ordered.
+  const simd::KernelTable& kt = simd::KernelsFor(simd::Level::kScalar);
+  std::vector<int64_t> keys(10000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int64_t>((i * 37 + 11) % 600) - 300;
+  }
+  std::vector<uint64_t> hashes(keys.size(), 0);
+  kt.hash_combine_column(hashes.data(), keys.data(), 0, keys.size());
+  kt.hash_finalize(hashes.data(), 0, keys.size());
+  simd::GroupIndex index(4);
+  std::vector<uint32_t> ids(keys.size());
+  index.MapBatch(keys.data(), hashes.data(), keys.size(), ids.data());
+  // Reference: first-seen order via a plain map.
+  std::vector<int64_t> want_keys;
+  std::vector<uint32_t> want_ids;
+  for (int64_t k : keys) {
+    size_t g = 0;
+    for (; g < want_keys.size(); ++g) {
+      if (want_keys[g] == k) break;
+    }
+    if (g == want_keys.size()) want_keys.push_back(k);
+    want_ids.push_back(static_cast<uint32_t>(g));
+  }
+  ASSERT_EQ(index.num_groups(), want_keys.size());
+  EXPECT_EQ(index.group_keys(), want_keys);
+  EXPECT_EQ(ids, want_ids);
+}
+
+TEST(AggregateTest, GlobalAggregatesMatchHandComputation) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q;
+  q.AddTable("r");
+  q.AddPredicate(Predicate::Range(0, "v", 15, 35));  // v=20, v=30 qualify
+  q.AddOutput(OutputExpr::CountStar());
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 0, "v"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kMin, 0, "v"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kMax, 0, "v"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kAvg, 0, "v"));
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeScanNode(0);
+  executor.set_vectorized(true);
+  auto vec = executor.Execute(plan);
+  executor.set_vectorized(false);
+  auto scalar = executor.Execute(plan);
+  ASSERT_TRUE(vec.ok() && scalar.ok()) << vec.status().ToString();
+  ExpectResultsBitIdentical(*vec, *scalar);
+  EXPECT_EQ(vec->row_count, 2u);  // qualifying-row semantics unchanged
+  EXPECT_EQ(vec->output_row_count, 1u);
+  ASSERT_EQ(vec->output_cols.size(), 5u);
+  EXPECT_EQ(vec->output_cols[0], (std::vector<int64_t>{2}));   // COUNT(*)
+  EXPECT_EQ(vec->output_cols[1], (std::vector<int64_t>{50}));  // SUM
+  EXPECT_EQ(vec->output_cols[2], (std::vector<int64_t>{20}));  // MIN
+  EXPECT_EQ(vec->output_cols[3], (std::vector<int64_t>{30}));  // MAX
+  EXPECT_EQ(vec->output_cols[4], (std::vector<int64_t>{25}));  // AVG
+  // The sink appends one trailing profile: scan + output.
+  ASSERT_EQ(vec->node_profiles.size(), 2u);
+  EXPECT_EQ(vec->node_profiles.back().kind, PlanNode::Kind::kOutput);
+  EXPECT_EQ(vec->node_profiles.back().output_rows, 1u);
+}
+
+TEST(AggregateTest, EmptyInputAggregatesAreZero) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q;
+  q.AddTable("r");
+  q.AddPredicate(Predicate::Equals(0, "v", 999));  // matches nothing
+  q.AddOutput(OutputExpr::CountStar());
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 0, "v"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kMin, 0, "v"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kMax, 0, "v"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kAvg, 0, "v"));
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeScanNode(0);
+  executor.set_vectorized(true);
+  auto vec = executor.Execute(plan);
+  executor.set_vectorized(false);
+  auto scalar = executor.Execute(plan);
+  ASSERT_TRUE(vec.ok() && scalar.ok());
+  ExpectResultsBitIdentical(*vec, *scalar);
+  EXPECT_EQ(vec->row_count, 0u);
+  EXPECT_EQ(vec->output_row_count, 1u);  // one (all-zero) global agg row
+  for (size_t o = 0; o < vec->output_cols.size(); ++o) {
+    EXPECT_EQ(vec->output_cols[o], (std::vector<int64_t>{0})) << "output " << o;
+  }
+}
+
+TEST(AggregateTest, GroupByMatchesHandComputation) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q;
+  q.AddTable("r");
+  q.AddOutput(OutputExpr::Column(0, "k"));
+  q.AddOutput(OutputExpr::CountStar());
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 0, "v"));
+  q.SetGroupBy(0, "k");
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeScanNode(0);
+  executor.set_vectorized(true);
+  auto vec = executor.Execute(plan);
+  executor.set_vectorized(false);
+  auto scalar = executor.Execute(plan);
+  ASSERT_TRUE(vec.ok() && scalar.ok()) << vec.status().ToString();
+  ExpectResultsBitIdentical(*vec, *scalar);
+  // r = (1,10) (1,20) (2,30) (3,40): groups in first-seen order 1, 2, 3.
+  EXPECT_EQ(vec->row_count, 4u);
+  EXPECT_EQ(vec->output_row_count, 3u);
+  ASSERT_EQ(vec->output_cols.size(), 3u);
+  EXPECT_EQ(vec->output_cols[0], (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(vec->output_cols[1], (std::vector<int64_t>{2, 1, 1}));
+  EXPECT_EQ(vec->output_cols[2], (std::vector<int64_t>{30, 30, 40}));
+  EXPECT_EQ(vec->node_profiles.back().groups, 3u);
+}
+
+TEST(AggregateTest, AllGroupsDistinctOnePerRow) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q;
+  q.AddTable("r");
+  q.AddOutput(OutputExpr::Column(0, "v"));
+  q.AddOutput(OutputExpr::CountStar());
+  q.SetGroupBy(0, "v");  // unique column: every row its own group
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeScanNode(0);
+  executor.set_vectorized(true);
+  auto vec = executor.Execute(plan);
+  executor.set_vectorized(false);
+  auto scalar = executor.Execute(plan);
+  ASSERT_TRUE(vec.ok() && scalar.ok());
+  ExpectResultsBitIdentical(*vec, *scalar);
+  EXPECT_EQ(vec->output_row_count, 4u);
+  EXPECT_EQ(vec->output_cols[0], (std::vector<int64_t>{10, 20, 30, 40}));
+  EXPECT_EQ(vec->output_cols[1], (std::vector<int64_t>{1, 1, 1, 1}));
+}
+
+TEST(AggregateTest, SparseKeyDomainTakesHashGroupingPath) {
+  // Keys spread over a huge domain defeat the dense direct-table mapping,
+  // forcing the vectorized sink onto the hash + GroupIndex fallback — which
+  // must still match the scalar reference bit for bit, first-seen order
+  // included.
+  Catalog catalog;
+  {
+    TableBuilder b("sparse");
+    b.AddInt64Column("k");
+    b.AddInt64Column("v");
+    for (int64_t i = 0; i < 5000; ++i) {
+      // 40 distinct keys ~2.6e14 apart: domain >> 2n+1024 and >> 1<<20.
+      b.AppendRow({(i % 40) * 262'144'000'000'000, i});
+    }
+    LQO_CHECK(catalog.AddTable(b.Build()).ok());
+  }
+  Executor executor(&catalog);
+  Query q;
+  q.AddTable("sparse");
+  q.AddOutput(OutputExpr::Column(0, "k"));
+  q.AddOutput(OutputExpr::CountStar());
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 0, "v"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kMin, 0, "v"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kMax, 0, "v"));
+  q.SetGroupBy(0, "k");
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeScanNode(0);
+  executor.set_vectorized(true);
+  auto vec = executor.Execute(plan);
+  executor.set_vectorized(false);
+  auto scalar = executor.Execute(plan);
+  ASSERT_TRUE(vec.ok() && scalar.ok());
+  ExpectResultsBitIdentical(*vec, *scalar);
+  EXPECT_EQ(vec->output_row_count, 40u);
+  // First-seen order: group g holds rows g, g+40, ... -> COUNT 125 each,
+  // MIN = g, MAX = g + 4960.
+  for (size_t g = 0; g < 40; ++g) {
+    EXPECT_EQ(vec->output_cols[0][g],
+              static_cast<int64_t>(g) * 262'144'000'000'000);
+    EXPECT_EQ(vec->output_cols[1][g], 125);
+    EXPECT_EQ(vec->output_cols[3][g], static_cast<int64_t>(g));
+    EXPECT_EQ(vec->output_cols[4][g], static_cast<int64_t>(g) + 4960);
+  }
+}
+
+TEST(AggregateTest, GroupByOverJoinCrossChecksRowCount) {
+  // Per-group COUNT(*) over a join must sum to the plain COUNT(*) row count
+  // of the identical join — the output stage cannot change join semantics.
+  Catalog catalog = MakeSyntheticCatalog(9000, 3000);
+  Executor executor(&catalog);
+  Query q;
+  q.AddTable("big_a");
+  q.AddTable("big_b");
+  q.AddJoin(0, "k", 1, "k");
+  q.AddPredicate(Predicate::Range(1, "w", 0, 4));
+  q.AddOutput(OutputExpr::Column(1, "w"));
+  q.AddOutput(OutputExpr::CountStar());
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kMax, 0, "v"));
+  q.SetGroupBy(1, "w");
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  auto grouped = executor.Execute(plan);
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+
+  Query plain;
+  plain.AddTable("big_a");
+  plain.AddTable("big_b");
+  plain.AddJoin(0, "k", 1, "k");
+  plain.AddPredicate(Predicate::Range(1, "w", 0, 4));
+  PhysicalPlan plain_plan;
+  plain_plan.query = &plain;
+  plain_plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                                 MakeScanNode(1));
+  auto counted = executor.Execute(plain_plan);
+  ASSERT_TRUE(counted.ok());
+
+  EXPECT_EQ(grouped->row_count, counted->row_count);
+  uint64_t group_total = 0;
+  for (int64_t c : grouped->output_cols[1]) {
+    group_total += static_cast<uint64_t>(c);
+  }
+  EXPECT_EQ(group_total, counted->row_count);
+  EXPECT_EQ(grouped->output_row_count, 5u);  // w in [0,4]
+}
+
+TEST(AggregateTest, GroupedJoinInvariantAcrossLevelsAndThreads) {
+  Catalog catalog = MakeSyntheticCatalog(9000, 3000);
+  Query q;
+  q.AddTable("big_a");
+  q.AddTable("big_b");
+  q.AddJoin(0, "k", 1, "k");
+  q.AddOutput(OutputExpr::Column(1, "w"));
+  q.AddOutput(OutputExpr::CountStar());
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 0, "v"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kMin, 0, "v"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kMax, 1, "w"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kAvg, 0, "v"));
+  q.SetGroupBy(1, "w");
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  ExpectPlanInvariantAcrossLevelsAndThreads(&catalog, plan);
+}
+
+TEST(ProjectionTest, ScanProjectionMatchesReferenceAtBoundarySizes) {
+  for (size_t rows : {size_t{1}, size_t{1023}, size_t{1024}, size_t{1025},
+                      size_t{8193}}) {
+    Catalog catalog = MakeSyntheticCatalog(rows, 16);
+    Executor executor(&catalog);
+    Query q;
+    q.AddTable("big_a");
+    q.AddPredicate(Predicate::Range(0, "v", 100, 700));
+    q.AddOutput(OutputExpr::Column(0, "v"));
+    q.AddOutput(OutputExpr::Column(0, "k"));
+    PhysicalPlan plan;
+    plan.query = &q;
+    plan.root = MakeScanNode(0);
+    executor.set_vectorized(true);
+    auto vec = executor.Execute(plan);
+    executor.set_vectorized(false);
+    auto scalar = executor.Execute(plan);
+    ASSERT_TRUE(vec.ok() && scalar.ok()) << "rows=" << rows;
+    ExpectResultsBitIdentical(*vec, *scalar);
+    // Direct reference: qualifying rows in base-table order.
+    const Table& t = **catalog.GetTable("big_a");
+    std::vector<int64_t> want_v, want_k;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      int64_t v = t.ValueAt(r, *t.ColumnIndex("v"));
+      if (v >= 100 && v <= 700) {
+        want_v.push_back(v);
+        want_k.push_back(t.ValueAt(r, *t.ColumnIndex("k")));
+      }
+    }
+    EXPECT_EQ(vec->output_row_count, want_v.size()) << "rows=" << rows;
+    EXPECT_EQ(vec->output_cols[0], want_v) << "rows=" << rows;
+    EXPECT_EQ(vec->output_cols[1], want_k) << "rows=" << rows;
+  }
+}
+
+TEST(ProjectionTest, JoinProjectionInvariantAcrossLevelsAndThreads) {
+  Catalog catalog = MakeSyntheticCatalog(4096, 4095);
+  Query q;
+  q.AddTable("big_a");
+  q.AddTable("big_b");
+  q.AddJoin(0, "k", 1, "k");
+  q.AddPredicate(Predicate::Range(1, "w", 0, 2));
+  q.AddOutput(OutputExpr::Column(0, "v"));
+  q.AddOutput(OutputExpr::Column(1, "w"));
+  q.AddOutput(OutputExpr::Column(0, "k"));
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  ExpectPlanInvariantAcrossLevelsAndThreads(&catalog, plan);
+}
+
+TEST(ExecutorTest, RejectsInvalidOutputStage) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  // Mixing bare columns and aggregates without GROUP BY.
+  {
+    Query q;
+    q.AddTable("r");
+    q.AddOutput(OutputExpr::Column(0, "v"));
+    q.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 0, "v"));
+    PhysicalPlan plan;
+    plan.query = &q;
+    plan.root = MakeScanNode(0);
+    EXPECT_FALSE(executor.Execute(plan).ok());
+  }
+  // A bare column that is not the GROUP BY key.
+  {
+    Query q;
+    q.AddTable("r");
+    q.AddOutput(OutputExpr::Column(0, "v"));
+    q.SetGroupBy(0, "k");
+    PhysicalPlan plan;
+    plan.query = &q;
+    plan.root = MakeScanNode(0);
+    EXPECT_FALSE(executor.Execute(plan).ok());
+  }
+  // Output referencing a table outside the plan.
+  {
+    Query q;
+    q.AddTable("r");
+    q.AddTable("s");
+    q.AddJoin(0, "k", 1, "k");
+    q.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 1, "w"));
+    PhysicalPlan plan;
+    plan.query = &q;
+    plan.root = MakeScanNode(0);  // plan covers r only
+    EXPECT_FALSE(executor.Execute(plan).ok());
+  }
+}
+
+TEST(ExplainAnalyzeTest, RendersOutputStageAndMaterialization) {
+  Catalog catalog = MakeToyCatalog();
+  Executor executor(&catalog);
+  Query q = MakeJoinQuery();
+  q.AddOutput(OutputExpr::Column(0, "k"));
+  q.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 1, "w"));
+  q.SetGroupBy(0, "k");
+  PhysicalPlan plan;
+  plan.query = &q;
+  plan.root = MakeJoinNode(JoinAlgorithm::kHashJoin, MakeScanNode(0),
+                           MakeScanNode(1));
+  auto result = executor.Execute(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string text = ExplainAnalyze(plan, *result);
+  EXPECT_NE(text.find("Output t0.k, SUM(t1.w) GROUP BY t0.k"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("carried_cols="), std::string::npos) << text;
+  EXPECT_NE(text.find("materialized="), std::string::npos) << text;
+  EXPECT_NE(text.find("groups=2"), std::string::npos) << text;  // k=1, k=2
+  EXPECT_NE(text.find("output rows"), std::string::npos) << text;
 }
 
 TEST(TrueCardinalityTest, SubqueryMonotoneUnderPredicates) {

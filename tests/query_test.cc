@@ -243,5 +243,180 @@ TEST_F(SqlParserTest, RoundTripsGeneratedQueries) {
   }
 }
 
+TEST_F(SqlParserTest, BareCountStarStaysLegacy) {
+  // The literature's SELECT COUNT(*) must keep parsing to an empty select
+  // list — the legacy cardinality-only query every estimator test uses.
+  auto q = ParseSql(catalog_, "SELECT COUNT(*) FROM users u");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->HasOutputStage());
+  EXPECT_TRUE(q->outputs().empty());
+  EXPECT_FALSE(q->has_group_by());
+}
+
+TEST_F(SqlParserTest, ParsesSelectListAndGroupBy) {
+  auto q = ParseSql(catalog_,
+                    "SELECT p.post_type, COUNT(*), SUM(p.score), AVG(u.reputation) "
+                    "FROM users u, posts p WHERE u.id = p.owner_user_id "
+                    "GROUP BY p.post_type;");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->outputs().size(), 4u);
+  EXPECT_EQ(q->outputs()[0].kind, OutputExpr::Kind::kColumn);
+  EXPECT_EQ(q->outputs()[0].table_index, 1);
+  EXPECT_EQ(q->outputs()[0].column, "post_type");
+  EXPECT_FALSE(q->outputs()[1].ReferencesColumn());  // COUNT(*)
+  EXPECT_EQ(q->outputs()[2].func, AggFunc::kSum);
+  EXPECT_EQ(q->outputs()[2].table_index, 1);
+  EXPECT_EQ(q->outputs()[3].func, AggFunc::kAvg);
+  EXPECT_EQ(q->outputs()[3].table_index, 0);
+  EXPECT_TRUE(q->has_group_by());
+  EXPECT_EQ(q->group_by_table(), 1);
+  EXPECT_EQ(q->group_by_column(), "post_type");
+}
+
+TEST_F(SqlParserTest, ParsesProjectionAndCountStarGroupBy) {
+  auto proj = ParseSql(catalog_,
+                       "SELECT u.reputation, u.up_votes FROM users u "
+                       "WHERE u.reputation >= 100");
+  ASSERT_TRUE(proj.ok()) << proj.status().ToString();
+  ASSERT_EQ(proj->outputs().size(), 2u);
+  EXPECT_EQ(proj->outputs()[0].kind, OutputExpr::Kind::kColumn);
+  EXPECT_FALSE(proj->has_group_by());
+
+  // GROUP BY promotes a bare COUNT(*) into an explicit per-group count.
+  auto grouped = ParseSql(
+      catalog_, "SELECT COUNT(*) FROM posts p GROUP BY p.post_type");
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  EXPECT_TRUE(grouped->HasOutputStage());
+  ASSERT_EQ(grouped->outputs().size(), 1u);
+  EXPECT_FALSE(grouped->outputs()[0].ReferencesColumn());
+  EXPECT_TRUE(grouped->has_group_by());
+}
+
+TEST_F(SqlParserTest, RejectsBadSelectLists) {
+  EXPECT_FALSE(
+      ParseSql(catalog_, "SELECT nosuch.x FROM users u").ok());
+  EXPECT_FALSE(
+      ParseSql(catalog_, "SELECT u.nope FROM users u").ok());
+  EXPECT_FALSE(
+      ParseSql(catalog_, "SELECT MEDIAN(u.reputation) FROM users u").ok());
+  EXPECT_FALSE(
+      ParseSql(catalog_, "SELECT SUM(u.reputation FROM users u").ok());
+  EXPECT_FALSE(ParseSql(catalog_,
+                        "SELECT COUNT(*) FROM users u GROUP BY nosuch.x")
+                   .ok());
+}
+
+TEST_F(SqlParserTest, RoundTripsOutputQueries) {
+  WorkloadOptions options;
+  options.num_queries = 30;
+  options.max_tables = 3;
+  options.output_stage_prob = 1.0;
+  Workload workload = GenerateWorkload(catalog_, options);
+  bool saw_group_by = false;
+  for (const Query& q : workload.queries) {
+    auto parsed = ParseSql(catalog_, q.ToString());
+    ASSERT_TRUE(parsed.ok())
+        << q.ToString() << " -> " << parsed.status().ToString();
+    ASSERT_EQ(parsed->outputs().size(), q.outputs().size()) << q.ToString();
+    for (size_t i = 0; i < q.outputs().size(); ++i) {
+      EXPECT_EQ(parsed->outputs()[i].kind, q.outputs()[i].kind);
+      EXPECT_EQ(parsed->outputs()[i].func, q.outputs()[i].func);
+      EXPECT_EQ(parsed->outputs()[i].table_index, q.outputs()[i].table_index);
+      EXPECT_EQ(parsed->outputs()[i].column, q.outputs()[i].column);
+    }
+    EXPECT_EQ(parsed->has_group_by(), q.has_group_by());
+    if (q.has_group_by()) {
+      saw_group_by = true;
+      EXPECT_EQ(parsed->group_by_table(), q.group_by_table());
+      EXPECT_EQ(parsed->group_by_column(), q.group_by_column());
+    }
+  }
+  EXPECT_TRUE(saw_group_by) << "output workload never drew a GROUP BY shape";
+}
+
+TEST(WorkloadOutputTest, DefaultsDrawZeroExtraRngValues) {
+  // Output-stage knobs are gated on output_stage_prob > 0: with the default
+  // 0, changing the other knobs must not perturb the RNG stream, so the
+  // workload is byte-identical to one generated before the knobs existed.
+  DatasetOptions dopts;
+  dopts.scale = 0.05;
+  Catalog catalog = MakeStatsLite(dopts);
+  WorkloadOptions plain;
+  plain.num_queries = 25;
+  WorkloadOptions knobs_changed = plain;
+  knobs_changed.group_by_prob = 0.9;
+  knobs_changed.max_output_items = 7;
+  Workload w1 = GenerateWorkload(catalog, plain);
+  Workload w2 = GenerateWorkload(catalog, knobs_changed);
+  ASSERT_EQ(w1.queries.size(), w2.queries.size());
+  for (size_t i = 0; i < w1.queries.size(); ++i) {
+    EXPECT_EQ(w1.queries[i].ToString(), w2.queries[i].ToString());
+    EXPECT_FALSE(w1.queries[i].HasOutputStage());
+  }
+}
+
+TEST(WorkloadOutputTest, OutputStageShapesAreValid) {
+  DatasetOptions dopts;
+  dopts.scale = 0.05;
+  Catalog catalog = MakeStatsLite(dopts);
+  WorkloadOptions options;
+  options.num_queries = 40;
+  options.max_tables = 3;
+  options.output_stage_prob = 1.0;
+  Workload workload = GenerateWorkload(catalog, options);
+  for (const Query& q : workload.queries) {
+    ASSERT_TRUE(q.HasOutputStage()) << q.ToString();
+    bool has_bare = false, has_agg = false;
+    for (const OutputExpr& o : q.outputs()) {
+      if (o.kind == OutputExpr::Kind::kColumn) {
+        has_bare = true;
+        // Bare columns only appear as the GROUP BY key or in pure
+        // projections (the executor's validation contract).
+        if (q.has_group_by()) {
+          EXPECT_EQ(o.table_index, q.group_by_table()) << q.ToString();
+          EXPECT_EQ(o.column, q.group_by_column()) << q.ToString();
+        }
+      } else {
+        has_agg = true;
+      }
+      if (o.ReferencesColumn()) {
+        const Table& t = **catalog.GetTable(
+            q.tables()[static_cast<size_t>(o.table_index)].table_name);
+        EXPECT_TRUE(t.HasColumn(o.column)) << q.ToString();
+      }
+    }
+    if (has_bare && has_agg) {
+      EXPECT_TRUE(q.has_group_by()) << q.ToString();
+    }
+  }
+}
+
+TEST(WorkloadOutputTest, ResampleConstantsPreservesOutputStage) {
+  DatasetOptions dopts;
+  dopts.scale = 0.05;
+  Catalog catalog = MakeStatsLite(dopts);
+  WorkloadOptions options;
+  options.num_queries = 10;
+  options.max_tables = 3;
+  options.output_stage_prob = 1.0;
+  Workload workload = GenerateWorkload(catalog, options);
+  Rng rng(123);
+  for (const Query& q : workload.queries) {
+    Query r = ResampleConstants(catalog, q, rng);
+    ASSERT_EQ(r.outputs().size(), q.outputs().size());
+    for (size_t i = 0; i < q.outputs().size(); ++i) {
+      EXPECT_EQ(r.outputs()[i].kind, q.outputs()[i].kind);
+      EXPECT_EQ(r.outputs()[i].func, q.outputs()[i].func);
+      EXPECT_EQ(r.outputs()[i].table_index, q.outputs()[i].table_index);
+      EXPECT_EQ(r.outputs()[i].column, q.outputs()[i].column);
+    }
+    EXPECT_EQ(r.has_group_by(), q.has_group_by());
+    if (q.has_group_by()) {
+      EXPECT_EQ(r.group_by_table(), q.group_by_table());
+      EXPECT_EQ(r.group_by_column(), q.group_by_column());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lqo

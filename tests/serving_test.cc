@@ -131,6 +131,47 @@ TEST(QueryTypeTest, TypeKeyMasksConstants) {
   EXPECT_NE(key.find("kind in (?)"), std::string::npos);
 }
 
+TEST(QueryTypeTest, OutputShapeIsPartOfTheType) {
+  const Query base = ThreeTableQuery();
+  const uint64_t base_hash = QueryTypeHash(base);
+
+  // A select list changes the type: a cached plan's rebinding must produce
+  // the same output shape, not just the same row count.
+  Query agg = ThreeTableQuery();
+  agg.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 1, "total"));
+  EXPECT_NE(QueryTypeHash(agg), base_hash);
+  EXPECT_NE(QueryTypeKey(agg), QueryTypeKey(base));
+
+  // Different aggregate function, different type.
+  Query avg = ThreeTableQuery();
+  avg.AddOutput(OutputExpr::Aggregate(AggFunc::kAvg, 1, "total"));
+  EXPECT_NE(QueryTypeHash(avg), QueryTypeHash(agg));
+
+  // Select-list order is the order of ExecutionResult::output_cols, so it
+  // is structural too.
+  Query ab = ThreeTableQuery();
+  ab.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 1, "total"));
+  ab.AddOutput(OutputExpr::CountStar());
+  Query ba = ThreeTableQuery();
+  ba.AddOutput(OutputExpr::CountStar());
+  ba.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 1, "total"));
+  EXPECT_NE(QueryTypeHash(ab), QueryTypeHash(ba));
+
+  // GROUP BY key folds in as well.
+  Query grouped = ThreeTableQuery();
+  grouped.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 1, "total"));
+  grouped.SetGroupBy(2, "kind");
+  EXPECT_NE(QueryTypeHash(grouped), QueryTypeHash(agg));
+  EXPECT_NE(QueryTypeKey(grouped), QueryTypeKey(agg));
+
+  // Same output shape on both sides: still one type (constants-only
+  // difference elsewhere is already covered above).
+  Query same = ThreeTableQuery();
+  same.AddOutput(OutputExpr::Aggregate(AggFunc::kSum, 1, "total"));
+  EXPECT_EQ(QueryTypeHash(same), QueryTypeHash(agg));
+  EXPECT_EQ(QueryTypeKey(same), QueryTypeKey(agg));
+}
+
 class ServingTest : public ::testing::Test {
  protected:
   ServingTest() {

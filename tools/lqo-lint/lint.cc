@@ -699,12 +699,15 @@ class Linter {
     }
   }
 
-  // Raw SIMD intrinsics are confined to engine/simd.{h,cc} — everywhere
-  // else must go through the dispatched KernelTable, so every kernel has a
-  // scalar reference, per-level bit-equality coverage, and an LQO_SIMD
-  // off-switch.
+  // Raw SIMD intrinsics are confined to the dispatch layer's kernel files —
+  // engine/simd.{h,cc} and the aggregation kernels in
+  // engine/agg_kernels.{h,cc}, which follow the identical per-level
+  // table/ActiveLevel() discipline — everywhere else must go through a
+  // dispatched kernel table, so every kernel has a scalar reference,
+  // per-level bit-equality coverage, and an LQO_SIMD off-switch.
   void CheckRawIntrinsics() {
     if (input_.path.find("engine/simd.") != std::string::npos) return;
+    if (input_.path.find("engine/agg_kernels.") != std::string::npos) return;
     for (std::string_view header :
          {"immintrin.h", "emmintrin.h", "smmintrin.h", "nmmintrin.h",
           "tmmintrin.h", "pmmintrin.h", "xmmintrin.h", "x86intrin.h",
